@@ -1,0 +1,96 @@
+/// \file bench_enumeration_ablation.cc
+/// \brief Ablation for §IV-A2: how much does constraint injection shrink
+/// the view-enumeration search space?
+///
+/// Compares, over schemas with a growing number of edge types M and a
+/// growing hop cap k:
+///  (a) constrained enumeration (query + schema constraints injected):
+///      candidates actually produced for the blast-radius query;
+///  (b) unconstrained schema-walk space (>= M^k for cyclic schemas);
+///  (c) the procedural baseline of Alg. 1 (k-hop schema path sets).
+///
+/// Expected shape: (b) grows exponentially with k and M while (a) stays
+/// flat (bounded by the query's hop budget and endpoint types).
+
+#include <cstdio>
+
+#include "core/enumerator.h"
+#include "datasets/workloads.h"
+#include "graph/schema.h"
+#include "query/parser.h"
+
+namespace {
+
+using kaskade::core::EnumerationStats;
+using kaskade::core::ViewEnumerator;
+using kaskade::graph::GraphSchema;
+
+/// Lineage schema with `parallel` edge types in each direction between
+/// Job and File (writes/appends/touches/... and their read
+/// counterparts), so M = 2*parallel and every schema-walk step has
+/// `parallel` choices: the unconstrained k-walk space grows like
+/// parallel^k — the >= M^k blowup of §IV-A2.
+GraphSchema WideSchema(int parallel) {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  (void)schema.AddEdgeType("WRITES_TO", "Job", "File");
+  (void)schema.AddEdgeType("IS_READ_BY", "File", "Job");
+  for (int i = 1; i < parallel; ++i) {
+    (void)schema.AddEdgeType("PRODUCES_" + std::to_string(i), "Job", "File");
+    (void)schema.AddEdgeType("CONSUMED_BY_" + std::to_string(i), "File",
+                             "Job");
+  }
+  return schema;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Enumeration ablation (§IV-A2): constrained candidates vs\n"
+      "unconstrained schema-walk space vs procedural Alg. 1 baseline.\n\n");
+  auto query =
+      kaskade::query::ParseQueryText(kaskade::datasets::BlastRadiusQueryText());
+  if (!query.ok()) return 1;
+
+  std::printf("%4s %4s %14s %18s %14s %16s\n", "M", "k", "constrained",
+              "unconstrained", "alg1-paths", "inference-steps");
+  for (int parallel : {1, 2, 3, 4}) {
+    GraphSchema schema = WideSchema(parallel);
+    int m = static_cast<int>(schema.num_edge_types());
+    for (int k : {4, 8, 12}) {
+      kaskade::core::EnumeratorOptions options;
+      options.max_k = k;
+      ViewEnumerator enumerator(&schema, options);
+      EnumerationStats stats;
+      auto candidates = enumerator.Enumerate(*query, &stats);
+      if (!candidates.ok()) {
+        std::printf("enumeration failed: %s\n",
+                    candidates.status().ToString().c_str());
+        return 1;
+      }
+      auto unconstrained = enumerator.CountUnconstrainedSchemaWalks(k);
+      uint64_t alg1 = ViewEnumerator::ProceduralKHopSchemaPaths(schema, k);
+      char unconstrained_text[32];
+      if (unconstrained.ok()) {
+        std::snprintf(unconstrained_text, sizeof(unconstrained_text), "%llu",
+                      static_cast<unsigned long long>(*unconstrained));
+      } else {
+        // The walk space itself exceeded the inference step budget —
+        // the strongest form of the point being made.
+        std::snprintf(unconstrained_text, sizeof(unconstrained_text),
+                      ">step-budget");
+      }
+      std::printf("%4d %4d %14zu %18s %14llu %16llu\n", m, k,
+                  candidates->size(), unconstrained_text,
+                  static_cast<unsigned long long>(alg1),
+                  static_cast<unsigned long long>(stats.inference_steps));
+    }
+  }
+  std::printf(
+      "\nReading: 'constrained' stays flat as M and k grow because the\n"
+      "query facts bind the connector length and endpoint types before\n"
+      "the schema walk fires; 'unconstrained' is the >= M^k space.\n");
+  return 0;
+}

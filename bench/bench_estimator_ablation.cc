@@ -1,0 +1,52 @@
+/// \file bench_estimator_ablation.cc
+/// \brief Ablation for §V-A: the Erdős–Rényi estimator (Eq. 1) vs
+/// Kaskade's degree-percentile estimators (Eq. 2/3) vs exact counts.
+///
+/// The paper's claim: Eq. 1 "significantly underestimates — by several
+/// orders of magnitude — the number of directed k-length paths in
+/// real-world graphs", because edges are correlated (hubs). Expected
+/// shape: ER underestimates on the skewed graphs (prov, dblp, social)
+/// and is closest on the near-uniform road network.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/size_estimator.h"
+#include "graph/algorithms.h"
+#include "graph/stats.h"
+
+namespace {
+
+using kaskade::core::ErdosRenyiPathEstimate;
+using kaskade::core::EstimateKPathCount;
+using kaskade::graph::GraphStats;
+using kaskade::graph::PropertyGraph;
+
+void Report(const char* name, const PropertyGraph& g) {
+  GraphStats stats = GraphStats::Compute(g);
+  uint64_t actual = kaskade::graph::CountSimple2Paths(g);
+  double er = ErdosRenyiPathEstimate(g.NumVertices(), g.NumEdges(), 2);
+  double eq95 = EstimateKPathCount(g, stats, 2, 95);
+  double eq50 = EstimateKPathCount(g, stats, 2, 50);
+  std::printf("%-18s %12llu %12.3g %8.2fx %12.3g %12.3g\n", name,
+              static_cast<unsigned long long>(actual), er,
+              er > 0 ? static_cast<double>(actual) / er : 0.0, eq50, eq95);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Estimator ablation (§V-A): exact 2-path count vs Eq. 1 (ER) vs\n"
+      "Eq. 2/3 at alpha=50/95.\n\n");
+  std::printf("%-18s %12s %12s %8s %12s %12s\n", "dataset", "actual",
+              "eq1(ER)", "act/ER", "eq23(a=50)", "eq23(a=95)");
+  Report("prov", kaskade::bench::BenchProvRaw());
+  Report("dblp", kaskade::bench::BenchDblpRaw());
+  Report("roadnet-usa", kaskade::bench::BenchRoad());
+  Report("soc-livejournal", kaskade::bench::BenchSocial());
+  std::printf(
+      "\nReading: act/ER >> 1 on skewed graphs (the §V-A claim); the\n"
+      "road network's uniform degrees keep ER honest there.\n");
+  return 0;
+}

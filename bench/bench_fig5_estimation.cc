@@ -1,0 +1,58 @@
+/// \file bench_fig5_estimation.cc
+/// \brief Reproduces Figure 5: estimated vs actual 2-hop connector sizes
+/// over edge-count prefixes of each dataset.
+///
+/// For each graph and each prefix of its first n edges, prints the
+/// alpha=50 and alpha=95 estimates (Eq. 2 homogeneous / Eq. 3
+/// heterogeneous), the original size |E|, and the actual number of
+/// 2-length simple paths (the edge count of a non-deduplicated 2-hop
+/// connector). Expected shapes (paper Fig. 5):
+///  - on power-law graphs the two alphas bracket the actual curve;
+///  - homogeneous 2-hop connectors exceed |E|;
+///  - the prov curve sits far below its homogeneous counterparts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/size_estimator.h"
+#include "graph/algorithms.h"
+#include "graph/stats.h"
+
+namespace {
+
+using kaskade::core::EstimateKPathCount;
+using kaskade::graph::GraphStats;
+using kaskade::graph::PropertyGraph;
+
+void Sweep(const char* name, const PropertyGraph& full) {
+  std::printf("\n%s\n", name);
+  std::printf("%10s %14s %14s %14s %14s\n", "edges", "est(a=50)", "est(a=95)",
+              "actual", "|E|");
+  for (size_t n : {1000ul, 3000ul, 10000ul, 30000ul, 100000ul}) {
+    if (n > full.NumEdges() * 2) break;
+    PropertyGraph prefix = kaskade::datasets::PrefixSubgraph(full, n);
+    GraphStats stats = GraphStats::Compute(prefix);
+    double lo = EstimateKPathCount(prefix, stats, 2, 50);
+    double hi = EstimateKPathCount(prefix, stats, 2, 95);
+    uint64_t actual = kaskade::graph::CountSimple2Paths(prefix);
+    std::printf("%10zu %14.3g %14.3g %14llu %14zu\n", prefix.NumEdges(), lo,
+                hi, static_cast<unsigned long long>(actual),
+                prefix.NumEdges());
+    if (n >= full.NumEdges()) break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 5: 2-hop connector size estimates vs actual (log-log in the\n"
+      "paper; printed as series here). Estimators: Eq. 2 (homogeneous),\n"
+      "Eq. 3 (heterogeneous), alpha = 50 and 95.\n");
+  Sweep("prov", kaskade::bench::BenchProvRaw());
+  Sweep("dblp", kaskade::bench::BenchDblpRaw());
+  Sweep("roadnet-usa", kaskade::bench::BenchRoad());
+  Sweep("soc-livejournal", kaskade::bench::BenchSocial());
+  return 0;
+}

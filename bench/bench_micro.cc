@@ -1,0 +1,207 @@
+/// \file bench_micro.cc
+/// \brief google-benchmark microbenchmarks for the individual Kaskade
+/// components: inference, pattern matching, contraction, estimation,
+/// knapsack. These track regressions in the substrate rather than
+/// reproducing a paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "core/enumerator.h"
+#include "core/knapsack.h"
+#include "core/rules.h"
+#include "core/size_estimator.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "graph/algorithms.h"
+#include "graph/contraction.h"
+#include "graph/csr.h"
+#include "graph/stats.h"
+#include "prolog/knowledge_base.h"
+#include "prolog/solver.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace {
+
+kaskade::graph::PropertyGraph& SmallProv() {
+  static kaskade::graph::PropertyGraph graph = [] {
+    kaskade::datasets::ProvOptions options;
+    options.num_jobs = 300;
+    options.num_files = 700;
+    options.include_auxiliary = false;
+    return kaskade::datasets::MakeProvenanceGraph(options);
+  }();
+  return graph;
+}
+
+void BM_PrologSchemaKHopPath(benchmark::State& state) {
+  kaskade::prolog::KnowledgeBase kb;
+  (void)kb.Consult(kaskade::core::SchemaConstraintRules());
+  (void)kb.Consult(
+      "schemaEdge('Job','File',w). schemaEdge('File','Job',r).");
+  kaskade::prolog::Solver solver(&kb);
+  for (auto _ : state) {
+    auto result = solver.QueryAll("schemaKHopPath(X, Y, K).");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PrologSchemaKHopPath);
+
+void BM_PrologFindallOverFacts(benchmark::State& state) {
+  kaskade::prolog::KnowledgeBase kb;
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)kb.AssertFact(
+        "f", {kaskade::prolog::Term::MakeInt(i)});
+  }
+  kaskade::prolog::Solver solver(&kb);
+  for (auto _ : state) {
+    auto result = solver.QueryAll("findall(X, f(X), L), length(L, N).");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PrologFindallOverFacts)->Arg(64)->Arg(512);
+
+void BM_ViewEnumerationBlastRadius(benchmark::State& state) {
+  auto& graph = SmallProv();
+  auto query = kaskade::query::ParseQueryText(
+      kaskade::datasets::BlastRadiusQueryText());
+  kaskade::core::ViewEnumerator enumerator(&graph.schema());
+  for (auto _ : state) {
+    auto candidates = enumerator.Enumerate(*query);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_ViewEnumerationBlastRadius);
+
+void BM_FixedPatternMatch(benchmark::State& state) {
+  auto& graph = SmallProv();
+  kaskade::query::QueryExecutor executor(&graph);
+  auto query = kaskade::query::ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b");
+  for (auto _ : state) {
+    auto result = executor.Execute(*query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FixedPatternMatch);
+
+void BM_VariableLengthMatch(benchmark::State& state) {
+  auto& graph = SmallProv();
+  kaskade::query::QueryExecutor executor(&graph);
+  auto query = kaskade::query::ParseQueryText(
+      kaskade::datasets::AncestorsQueryText("Job", state.range(0)));
+  for (auto _ : state) {
+    auto result = executor.Execute(*query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_VariableLengthMatch)->Arg(2)->Arg(4);
+
+void BM_Contraction2Hop(benchmark::State& state) {
+  auto& graph = SmallProv();
+  kaskade::graph::VertexTypeId job =
+      graph.schema().FindVertexType("Job");
+  for (auto _ : state) {
+    auto view = kaskade::graph::BuildKHopSameTypeConnector(graph, job, 2);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_Contraction2Hop);
+
+void BM_SizeEstimation(benchmark::State& state) {
+  auto& graph = SmallProv();
+  kaskade::graph::GraphStats stats =
+      kaskade::graph::GraphStats::Compute(graph);
+  for (auto _ : state) {
+    double estimate =
+        kaskade::core::EstimateKPathCount(graph, stats, 2, 95);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_SizeEstimation);
+
+void BM_GraphStatsCompute(benchmark::State& state) {
+  auto& graph = SmallProv();
+  for (auto _ : state) {
+    auto stats = kaskade::graph::GraphStats::Compute(graph);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_GraphStatsCompute);
+
+void BM_KnapsackBranchAndBound(benchmark::State& state) {
+  std::vector<kaskade::core::KnapsackItem> items;
+  uint64_t x = 42;
+  for (int i = 0; i < state.range(0); ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    items.push_back(kaskade::core::KnapsackItem{
+        static_cast<double>(1 + (x >> 33) % 100),
+        static_cast<double>(1 + (x >> 13) % 50)});
+  }
+  for (auto _ : state) {
+    auto result = kaskade::core::SolveKnapsackBranchAndBound(
+        items, state.range(0) * 10.0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KnapsackBranchAndBound)->Arg(16)->Arg(64);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  auto& graph = SmallProv();
+  for (auto _ : state) {
+    auto communities = kaskade::graph::LabelPropagation(graph, 5);
+    benchmark::DoNotOptimize(communities);
+  }
+}
+BENCHMARK(BM_LabelPropagation);
+
+void BM_CsrBuild(benchmark::State& state) {
+  auto& graph = SmallProv();
+  for (auto _ : state) {
+    auto csr = kaskade::graph::CsrGraph::Build(graph);
+    benchmark::DoNotOptimize(csr);
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_AdjacencyBfs(benchmark::State& state) {
+  auto& graph = SmallProv();
+  kaskade::graph::TraversalOptions options;
+  options.max_hops = 4;
+  for (auto _ : state) {
+    size_t total = 0;
+    for (kaskade::graph::VertexId v = 0; v < graph.NumVertices(); v += 10) {
+      total += kaskade::graph::CountReachable(graph, v, options);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AdjacencyBfs);
+
+void BM_CsrBfs(benchmark::State& state) {
+  auto& graph = SmallProv();
+  static kaskade::graph::CsrGraph csr = kaskade::graph::CsrGraph::Build(graph);
+  for (auto _ : state) {
+    size_t total = 0;
+    for (kaskade::graph::VertexId v = 0; v < csr.NumVertices(); v += 10) {
+      total += kaskade::graph::CsrCountReachable(csr, v, 4);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CsrBfs);
+
+void BM_CsrLabelPropagation(benchmark::State& state) {
+  auto& graph = SmallProv();
+  static kaskade::graph::CsrGraph csr = kaskade::graph::CsrGraph::Build(graph);
+  for (auto _ : state) {
+    auto labels = kaskade::graph::CsrLabelPropagation(csr, 5);
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_CsrLabelPropagation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/// \file bench_table3_datasets.cc
+/// \brief Reproduces Table III: the dataset inventory — |V| and |E| for
+/// each evaluation graph, raw and summarized.
+///
+/// Paper rows (for reference):
+///   prov (raw)          3.2B / 16.4B      prov (summarized)  7M / 34M
+///   dblp-net            5.1M / 24.7M      soc-livejournal    4.8M / 68.9M
+///   roadnet-usa         23.9M / 28.8M
+/// Ours are scaled ~1e3-1e5x down; the structural ratios (summarization
+/// shrink factor, heterogeneous vs homogeneous) are the target.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/materializer.h"
+
+namespace {
+
+using kaskade::FormatWithCommas;
+using kaskade::graph::PropertyGraph;
+
+void Row(const char* name, const char* type, const PropertyGraph& g) {
+  std::printf("%-22s %-16s %12s %12s %8zu %8zu\n", name, type,
+              FormatWithCommas(static_cast<long long>(g.NumVertices())).c_str(),
+              FormatWithCommas(static_cast<long long>(g.NumEdges())).c_str(),
+              g.schema().num_vertex_types(), g.schema().num_edge_types());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table III: networks used for evaluation (scaled reproduction)\n");
+  std::printf("%-22s %-16s %12s %12s %8s %8s\n", "Short Name", "Type", "|V|",
+              "|E|", "VTypes", "ETypes");
+
+  PropertyGraph prov_raw = kaskade::bench::BenchProvRaw();
+  Row("prov (raw)", "Data lineage", prov_raw);
+
+  // The summarized prov of Table III is the vertex-inclusion summarizer
+  // keeping jobs/files, materialized from the raw graph.
+  kaskade::core::ViewDefinition filter;
+  filter.kind = kaskade::core::ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  auto summarized = kaskade::core::Materialize(prov_raw, filter);
+  if (summarized.ok()) {
+    Row("prov (summarized)", "Data lineage", summarized->graph);
+  }
+
+  Row("dblp-net", "Publications", kaskade::bench::BenchDblpRaw());
+  Row("soc-livejournal", "Social network", kaskade::bench::BenchSocial());
+  Row("roadnet-usa", "Road network", kaskade::bench::BenchRoad());
+
+  std::printf(
+      "\nNote: paper scale is 3.2B/16.4B vertices/edges for prov (raw); this\n"
+      "reproduction holds the schema shapes and degree-distribution classes\n"
+      "at ~1e3-1e5x smaller scale (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the paper-reproduction bench binaries: the
+/// four evaluation datasets at bench scale, wall-clock timing, and table
+/// formatting.
+///
+/// Scale note: the paper's graphs range from 24M to 16B edges on a
+/// 128 GB / 28-core box; ours are scaled to tens of thousands of edges
+/// for a single-core container. EXPERIMENTS.md records the mapping. The
+/// *shapes* (who wins, by what factor, where crossovers happen) are the
+/// reproduction target, not absolute numbers.
+
+#ifndef KASKADE_BENCH_BENCH_UTIL_H_
+#define KASKADE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "datasets/generators.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::bench {
+
+/// Provenance graph (heterogeneous, 5 vertex types) at bench scale. Tasks
+/// outnumber jobs 10:1 — production clusters spawn billions of tasks for
+/// hundreds of thousands of jobs, which is why the schema-level
+/// summarizer wins so much in the paper.
+inline graph::PropertyGraph BenchProvRaw() {
+  datasets::ProvOptions options;
+  options.num_jobs = 800;
+  options.num_files = 2000;
+  options.num_tasks = 8000;
+  options.num_machines = 40;
+  options.num_users = 60;
+  return datasets::MakeProvenanceGraph(options);
+}
+
+/// Pre-summarized provenance graph (jobs + files only), the §VII-B
+/// "prov (summarized)" input used for runtime experiments.
+inline graph::PropertyGraph BenchProvFiltered() {
+  datasets::ProvOptions options;
+  options.num_jobs = 800;
+  options.num_files = 2000;
+  options.include_auxiliary = false;
+  return datasets::MakeProvenanceGraph(options);
+}
+
+/// dblp-like publication graph (heterogeneous, 3 vertex types).
+inline graph::PropertyGraph BenchDblpRaw() {
+  datasets::DblpOptions options;
+  options.num_authors = 1200;
+  options.num_articles = 2400;
+  options.num_venues = 40;
+  return datasets::MakeDblpGraph(options);
+}
+
+/// Pre-summarized dblp (authors + articles only).
+inline graph::PropertyGraph BenchDblpFiltered() {
+  datasets::DblpOptions options;
+  options.num_authors = 1200;
+  options.num_articles = 2400;
+  options.include_venues = false;
+  return datasets::MakeDblpGraph(options);
+}
+
+/// soc-livejournal-like homogeneous social graph.
+inline graph::PropertyGraph BenchSocial() {
+  datasets::SocialOptions options;
+  options.num_vertices = 4000;
+  options.edges_per_vertex = 6;
+  return datasets::MakeSocialGraph(options);
+}
+
+/// roadnet-usa-like homogeneous road grid.
+inline graph::PropertyGraph BenchRoad() {
+  datasets::RoadOptions options;
+  options.width = 70;
+  options.height = 70;
+  return datasets::MakeRoadGraph(options);
+}
+
+/// Wall-clock seconds for `fn()`.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Prints a section header in the style used across bench outputs.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace kaskade::bench
+
+#endif  // KASKADE_BENCH_BENCH_UTIL_H_

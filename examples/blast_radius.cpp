@@ -1,0 +1,117 @@
+/// \file blast_radius.cpp
+/// \brief The paper's running example (§I-A, Listings 1 and 4): the job
+/// blast radius over a provenance graph, raw vs rewritten over the 2-hop
+/// job-to-job connector, with timings and result verification.
+///
+/// Build & run:  cmake --build build && ./build/examples/blast_radius
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "core/materializer.h"
+#include "core/rewriter.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+using kaskade::graph::PropertyGraph;
+
+namespace {
+
+double Seconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  // A summarized provenance graph (jobs + files), as in §VII-B.
+  kaskade::datasets::ProvOptions options;
+  options.num_jobs = 500;
+  options.num_files = 1200;
+  options.include_auxiliary = false;
+  PropertyGraph graph = kaskade::datasets::MakeProvenanceGraph(options);
+  std::printf("provenance graph: %zu vertices, %zu edges\n",
+              graph.NumVertices(), graph.NumEdges());
+
+  // Listing 1: rank pipelines by the average CPU consumed by downstream
+  // consumers of their jobs, up to 10 hops away.
+  std::string raw_text = kaskade::datasets::BlastRadiusQueryText();
+  std::printf("\nListing 1 (over the raw lineage):\n%s\n\n", raw_text.c_str());
+
+  // The rewriter turns it into Listing 4: a 1..5-hop traversal over the
+  // 2-hop job-to-job connector (the exact contraction of raw hop range
+  // 2..10; the paper's listing prints *1..4 — see EXPERIMENTS.md).
+  kaskade::core::ViewDefinition connector;
+  connector.kind = kaskade::core::ViewKind::kKHopConnector;
+  connector.k = 2;
+  connector.source_type = "Job";
+  connector.target_type = "Job";
+
+  auto query = kaskade::query::ParseQueryText(raw_text);
+  if (!query.ok()) return 1;
+  auto rewritten =
+      kaskade::core::RewriteQueryWithView(*query, connector, graph.schema());
+  if (!rewritten.ok()) {
+    std::printf("rewrite failed: %s\n", rewritten.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Listing 4 (rewritten over the connector):\n%s\n\n",
+              rewritten->ToString().c_str());
+
+  // Materialize the view (this is what the workload analyzer would do).
+  auto t0 = std::chrono::steady_clock::now();
+  auto materialized = kaskade::core::Materialize(graph, connector);
+  double creation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!materialized.ok()) {
+    std::printf("materialization failed: %s\n",
+                materialized.status().ToString().c_str());
+    return 1;
+  }
+  const kaskade::core::MaterializedView& view = *materialized;
+  std::printf("materialized %s: %zu vertices, %zu edges (%.3fs)\n",
+              connector.Name().c_str(), view.graph.NumVertices(),
+              view.graph.NumEdges(), creation_seconds);
+
+  // Run both plans and compare.
+  kaskade::query::QueryExecutor raw_executor(&graph);
+  kaskade::query::QueryExecutor view_executor(&view.graph);
+  kaskade::query::Table raw_table;
+  kaskade::query::Table view_table;
+  double raw_seconds = Seconds([&] {
+    auto r = raw_executor.Execute(*query);
+    if (r.ok()) raw_table = std::move(*r);
+  });
+  double view_seconds = Seconds([&] {
+    auto r = view_executor.Execute(*rewritten);
+    if (r.ok()) view_table = std::move(*r);
+  });
+
+  std::printf("\nraw plan:  %.3fs (%zu pipelines)\n", raw_seconds,
+              raw_table.num_rows());
+  std::printf("view plan: %.3fs (%zu pipelines)  -> %.1fx speedup\n",
+              view_seconds, view_table.num_rows(),
+              view_seconds > 0 ? raw_seconds / view_seconds : 0.0);
+
+  // Verify the rewrite returned identical aggregates.
+  auto raw_rows = raw_table.SortedRows();
+  auto view_rows = view_table.SortedRows();
+  bool equal = raw_rows.size() == view_rows.size();
+  for (size_t i = 0; equal && i < raw_rows.size(); ++i) {
+    equal = raw_rows[i][0] == view_rows[i][0] &&
+            std::abs(raw_rows[i][1].ToDouble() - view_rows[i][1].ToDouble()) <
+                1e-6;
+  }
+  std::printf("results identical: %s\n", equal ? "yes" : "NO (bug!)");
+
+  std::printf("\ntop pipelines by blast radius:\n%s",
+              view_table.ToString(8).c_str());
+  return equal ? 0 : 1;
+}

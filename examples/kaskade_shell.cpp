@@ -1,0 +1,174 @@
+/// \file kaskade_shell.cpp
+/// \brief A small interactive shell over the Kaskade engine: generate or
+/// load a graph, analyze workloads, run queries (with EXPLAIN), inspect
+/// the view catalog, and save graphs to disk.
+///
+/// Usage:  ./build/examples/kaskade_shell
+/// Commands (also: pipe a script into stdin):
+///   gen prov|dblp|social|road     build a synthetic dataset
+///   load <path> / save <path>     graph serialization
+///   analyze <query>               workload analyzer: select+materialize
+///   q <query>                     execute through the rewriter
+///   explain <query>               show the raw-graph plan
+///   views                         list the view catalog
+///   stats                         base-graph statistics
+///   help / quit
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/kaskade.h"
+#include "datasets/generators.h"
+#include "graph/serialization.h"
+#include "graph/stats.h"
+#include "query/explain.h"
+#include "query/parser.h"
+
+namespace {
+
+using kaskade::core::Kaskade;
+using kaskade::graph::PropertyGraph;
+
+std::unique_ptr<Kaskade> MakeEngine(PropertyGraph graph) {
+  std::printf("graph ready: %zu vertices, %zu edges, %zu vertex types\n",
+              graph.NumVertices(), graph.NumEdges(),
+              graph.schema().num_vertex_types());
+  return std::make_unique<Kaskade>(std::move(graph));
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  gen prov|dblp|social|road   build a synthetic dataset\n"
+      "  load <path>                 load a serialized graph\n"
+      "  save <path>                 save the base graph\n"
+      "  analyze <query>             select + materialize views for a "
+      "query\n"
+      "  q <query>                   execute (rewriter picks the plan)\n"
+      "  explain <query>             show the raw-graph plan\n"
+      "  views                       list materialized views\n"
+      "  stats                       base graph statistics\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<Kaskade> engine;
+  PrintHelp();
+  std::string line;
+  std::printf("kaskade> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(kaskade::TrimWhitespace(line));
+    std::string command = trimmed.substr(0, trimmed.find(' '));
+    std::string rest(kaskade::TrimWhitespace(
+        trimmed.size() > command.size() ? trimmed.substr(command.size())
+                                        : ""));
+    if (command == "quit" || command == "exit") break;
+    if (command.empty()) {
+      // fallthrough to prompt
+    } else if (command == "help") {
+      PrintHelp();
+    } else if (command == "gen") {
+      if (rest == "prov") {
+        engine = MakeEngine(kaskade::datasets::MakeProvenanceGraph(
+            {.num_jobs = 400, .num_files = 1000}));
+      } else if (rest == "dblp") {
+        engine = MakeEngine(kaskade::datasets::MakeDblpGraph(
+            {.num_authors = 600, .num_articles = 1200}));
+      } else if (rest == "social") {
+        engine = MakeEngine(
+            kaskade::datasets::MakeSocialGraph({.num_vertices = 1000}));
+      } else if (rest == "road") {
+        engine = MakeEngine(
+            kaskade::datasets::MakeRoadGraph({.width = 30, .height = 30}));
+      } else {
+        std::printf("unknown dataset '%s'\n", rest.c_str());
+      }
+    } else if (command == "load") {
+      std::ifstream in(rest);
+      if (!in) {
+        std::printf("cannot open '%s'\n", rest.c_str());
+      } else {
+        auto graph = kaskade::graph::LoadGraph(&in);
+        if (!graph.ok()) {
+          std::printf("load failed: %s\n", graph.status().ToString().c_str());
+        } else {
+          engine = MakeEngine(std::move(*graph));
+        }
+      }
+    } else if (engine == nullptr) {
+      std::printf("no graph loaded; use 'gen' or 'load' first\n");
+    } else if (command == "save") {
+      std::ofstream out(rest);
+      kaskade::Status st = out
+                               ? kaskade::graph::SaveGraph(
+                                     engine->base_graph(), &out)
+                               : kaskade::Status::InvalidArgument(
+                                     "cannot open '" + rest + "'");
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    } else if (command == "analyze") {
+      auto report = engine->AnalyzeWorkload({rest});
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+      } else {
+        std::printf("%zu candidates, %zu selected+materialized\n",
+                    report->candidates.size(), report->selected.size());
+        for (const auto& view : report->selected) {
+          std::printf("  %s (est. %.3g edges)\n",
+                      view.definition.Name().c_str(),
+                      view.estimated_size_edges);
+        }
+      }
+    } else if (command == "q") {
+      auto result = engine->Execute(rest);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        std::printf("plan: %s\n",
+                    result->used_view
+                        ? ("view " + result->view_name).c_str()
+                        : "raw graph");
+        std::printf("%s", result->table.ToString(10).c_str());
+      }
+    } else if (command == "explain") {
+      auto query = kaskade::query::ParseQueryText(rest);
+      if (!query.ok()) {
+        std::printf("error: %s\n", query.status().ToString().c_str());
+      } else {
+        auto stats = kaskade::graph::GraphStats::Compute(engine->base_graph());
+        std::printf("%s", kaskade::query::ExplainQuery(
+                              *query, engine->base_graph(), stats)
+                              .c_str());
+      }
+    } else if (command == "views") {
+      if (engine->catalog().empty()) std::printf("(no views)\n");
+      for (const auto& entry : engine->catalog()) {
+        std::printf("  %-28s |V|=%zu |E|=%zu\n",
+                    entry.view.definition.Name().c_str(),
+                    entry.view.graph.NumVertices(),
+                    entry.view.graph.NumEdges());
+      }
+    } else if (command == "stats") {
+      auto stats = kaskade::graph::GraphStats::Compute(engine->base_graph());
+      std::printf("|V|=%zu |E|=%zu\n", stats.num_vertices(),
+                  stats.num_edges());
+      for (const auto& summary : stats.per_type()) {
+        std::printf("  %-14s n=%-8zu out-deg p50=%.0f p95=%.0f max=%.0f\n",
+                    summary.type_name.c_str(), summary.vertex_count,
+                    summary.p50, summary.p95, summary.p100);
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+    std::printf("kaskade> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

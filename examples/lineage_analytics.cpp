@@ -1,0 +1,107 @@
+/// \file lineage_analytics.cpp
+/// \brief Dependency-driven analytics over a provenance graph (§I-A):
+/// the operational queries the paper's introduction motivates —
+/// summarization for governance, reachability for impact analysis,
+/// communities for workload insight, and a source-to-sink connector for
+/// end-to-end dataflows.
+///
+/// Build & run:  cmake --build build && ./build/examples/lineage_analytics
+
+#include <cstdio>
+
+#include "core/materializer.h"
+#include "datasets/generators.h"
+#include "graph/algorithms.h"
+#include "graph/contraction.h"
+#include "graph/stats.h"
+
+using kaskade::graph::PropertyGraph;
+using kaskade::graph::VertexId;
+using kaskade::graph::VertexTypeId;
+
+int main() {
+  // The full provenance graph, tasks and machines included.
+  kaskade::datasets::ProvOptions options;
+  options.num_jobs = 400;
+  options.num_files = 1000;
+  options.num_tasks = 2000;
+  PropertyGraph raw = kaskade::datasets::MakeProvenanceGraph(options);
+  std::printf("raw provenance graph: %zu vertices, %zu edges, %zu types\n",
+              raw.NumVertices(), raw.NumEdges(),
+              raw.schema().num_vertex_types());
+
+  // --- Governance view: drop everything but the data-lineage core. ----
+  kaskade::core::ViewDefinition filter;
+  filter.kind = kaskade::core::ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  auto filtered = kaskade::core::Materialize(raw, filter);
+  if (!filtered.ok()) return 1;
+  const PropertyGraph& lineage = filtered->graph;
+  std::printf("lineage view:         %zu vertices, %zu edges (%.1fx smaller)\n",
+              lineage.NumVertices(), lineage.NumEdges(),
+              static_cast<double>(raw.NumEdges()) / lineage.NumEdges());
+
+  // --- Impact analysis: how far does a job's influence reach? ----------
+  VertexTypeId job_type = lineage.schema().FindVertexType("Job");
+  std::vector<VertexId> jobs = lineage.VerticesOfType(job_type);
+  kaskade::graph::TraversalOptions forward;
+  forward.max_hops = 8;
+  size_t widest_reach = 0;
+  VertexId widest_job = 0;
+  for (VertexId job : jobs) {
+    size_t reach = kaskade::graph::CountReachable(lineage, job, forward);
+    if (reach > widest_reach) {
+      widest_reach = reach;
+      widest_job = job;
+    }
+  }
+  std::printf(
+      "\nimpact analysis: job '%s' reaches %zu downstream vertices within 8 "
+      "hops\n",
+      lineage.VertexProperty(widest_job, "name").ToString().c_str(),
+      widest_reach);
+
+  // --- Data valuation: files by consumer count (in-degree centrality). -
+  VertexTypeId file_type = lineage.schema().FindVertexType("File");
+  VertexId hottest_file = 0;
+  size_t most_readers = 0;
+  for (VertexId v : lineage.VerticesOfType(file_type)) {
+    if (lineage.OutDegree(v) > most_readers) {
+      most_readers = lineage.OutDegree(v);
+      hottest_file = v;
+    }
+  }
+  std::printf("data valuation: '%s' feeds %zu jobs\n",
+              lineage.VertexProperty(hottest_file, "path").ToString().c_str(),
+              most_readers);
+
+  // --- Workload insight: pipeline communities via label propagation. ---
+  auto communities = kaskade::graph::LabelPropagation(lineage, 25);
+  auto largest =
+      kaskade::graph::LargestCommunity(lineage, communities, job_type);
+  std::printf(
+      "community detection: %zu communities after %d passes; the largest "
+      "touches %zu vertices\n",
+      communities.num_communities, communities.passes, largest.size());
+
+  // --- End-to-end dataflows: source-to-sink connector. -----------------
+  kaskade::graph::ContractionSpec spec;
+  spec.k = 0;
+  spec.max_hops = 12;
+  spec.sources_and_sinks_only = true;
+  spec.connector_edge_name = "FLOWS_TO";
+  auto flows = kaskade::graph::ContractPaths(lineage, spec);
+  if (!flows.ok()) return 1;
+  std::printf(
+      "source-to-sink connector: %zu end-to-end dataflows between %zu "
+      "terminals\n",
+      flows->view.NumEdges(), flows->view.NumVertices());
+
+  // --- Capacity insight: degree distribution of the lineage core. ------
+  auto dist = kaskade::graph::ComputeOutDegreeDistribution(lineage);
+  std::printf(
+      "degree distribution: power-law slope %.2f (r^2=%.2f) — plan for "
+      "hotspots\n",
+      dist.powerlaw_slope, dist.r_squared);
+  return 0;
+}

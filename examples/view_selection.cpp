@@ -1,0 +1,82 @@
+/// \file view_selection.cpp
+/// \brief The workload analyzer in detail (§V-B): score candidate views
+/// for a mixed workload and watch the knapsack's choices change as the
+/// space budget shrinks.
+///
+/// Build & run:  cmake --build build && ./build/examples/view_selection
+
+#include <cstdio>
+
+#include "core/view_selector.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "query/parser.h"
+
+int main() {
+  kaskade::datasets::ProvOptions options;
+  options.num_jobs = 400;
+  options.num_files = 900;
+  options.include_auxiliary = false;
+  kaskade::graph::PropertyGraph graph =
+      kaskade::datasets::MakeProvenanceGraph(options);
+
+  // A mixed workload: job-impact analytics (frequent), job ancestry
+  // (occasional), and file-lineage exploration (frequent). Weights play
+  // the paper's query-frequency role.
+  struct WorkloadSpec {
+    const char* description;
+    std::string text;
+    double weight;
+  };
+  std::vector<WorkloadSpec> specs = {
+      {"job blast radius", kaskade::datasets::BlastRadiusQueryText(), 5.0},
+      {"job ancestors", kaskade::datasets::AncestorsQueryText("Job", 4), 1.0},
+      {"file lineage", "MATCH (a:File)-[r*2..4]->(b:File) RETURN a, b", 4.0},
+  };
+
+  std::vector<kaskade::core::WorkloadEntry> workload;
+  std::printf("workload:\n");
+  for (const auto& spec : specs) {
+    std::printf("  [w=%.0f] %s\n", spec.weight, spec.description);
+    auto q = kaskade::query::ParseQueryText(spec.text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    workload.push_back(
+        kaskade::core::WorkloadEntry{std::move(*q), spec.weight});
+  }
+
+  for (double budget : {1e6, 1.5e5, 5e4}) {
+    kaskade::core::SelectorOptions selector_options;
+    selector_options.budget_edges = budget;
+    kaskade::core::ViewSelector selector(&graph, selector_options);
+    auto report = selector.Select(workload);
+    if (!report.ok()) {
+      std::printf("selection failed: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nbudget = %.0e edges: %zu candidates, %zu selected\n",
+                budget, report->candidates.size(), report->selected.size());
+    std::printf("  %-24s %12s %12s %10s %6s\n", "view", "est. size", "value",
+                "improve", "qrys");
+    for (const auto& c : report->candidates) {
+      if (c.value <= 0) continue;  // only show views that serve the workload
+      bool selected = false;
+      for (const auto& s : report->selected) {
+        if (s.definition.Name() == c.definition.Name()) selected = true;
+      }
+      std::printf("  %-24s %12.3g %12.3g %10.3g %6zu %s\n",
+                  c.definition.Name().c_str(), c.estimated_size_edges,
+                  c.value, c.improvement, c.applicable_queries,
+                  selected ? "<= selected" : "");
+    }
+  }
+
+  std::printf(
+      "\nReading: with a generous budget both connectors are worth\n"
+      "materializing; as it tightens, the knapsack keeps the view with\n"
+      "the best improvement-per-edge for the weighted workload.\n");
+  return 0;
+}

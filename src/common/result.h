@@ -1,0 +1,86 @@
+/// \file result.h
+/// \brief `Result<T>`: value-or-Status, the fallible-producer counterpart
+/// of `Status` (see status.h).
+
+#ifndef KASKADE_COMMON_RESULT_H_
+#define KASKADE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace kaskade {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`. Constructing from an OK status is a programming
+/// error (asserted in debug builds, coerced to Internal otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \name Value accessors; must only be called when `ok()`.
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the held value or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace kaskade
+
+/// \brief Assigns the value of a `Result` expression to `lhs`, or
+/// propagates its error status.
+#define KASKADE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define KASKADE_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define KASKADE_ASSIGN_OR_RETURN_UNIQ(a, b) KASKADE_ASSIGN_OR_RETURN_CAT(a, b)
+#define KASKADE_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  KASKADE_ASSIGN_OR_RETURN_IMPL(                                             \
+      KASKADE_ASSIGN_OR_RETURN_UNIQ(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // KASKADE_COMMON_RESULT_H_

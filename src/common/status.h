@@ -1,0 +1,102 @@
+/// \file status.h
+/// \brief Status-based error model used across all Kaskade public APIs.
+///
+/// Kaskade follows the Arrow/RocksDB convention of returning a `Status`
+/// (or `Result<T>`, see result.h) instead of throwing exceptions across
+/// library boundaries. Exceptions are never thrown out of public entry
+/// points; internal code is exception-free as well.
+
+#ifndef KASKADE_COMMON_STATUS_H_
+#define KASKADE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kaskade {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// message string otherwise. Functions that produce a value use
+/// `Result<T>` instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per error code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+}  // namespace kaskade
+
+/// \brief Propagates a non-OK Status from the current function.
+#define KASKADE_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::kaskade::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // KASKADE_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+/// \file string_util.h
+/// \brief Small string helpers shared across modules.
+
+#ifndef KASKADE_COMMON_STRING_UTIL_H_
+#define KASKADE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kaskade {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Returns `input` with ASCII whitespace removed from both ends.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLowerAscii(std::string_view input);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpperAscii(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats `value` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long value);
+
+}  // namespace kaskade
+
+#endif  // KASKADE_COMMON_STRING_UTIL_H_

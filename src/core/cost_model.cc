@@ -1,0 +1,72 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kaskade::core {
+
+namespace {
+constexpr double kCostCap = 1e30;
+}  // namespace
+
+double CostModel::QueryCostOnCandidateView(const query::Query& rewritten,
+                                           const ViewDefinition& view) const {
+  const query::MatchQuery* match = rewritten.InnermostMatch();
+  if (match == nullptr) return kCostCap;
+
+  // Predicted profile of the candidate view: vertex count from the base
+  // graph's endpoint-type cardinalities, edge count from the *central*
+  // size estimate (see CostModelOptions::improvement_alpha), degree as
+  // their ratio.
+  double edges = std::max(
+      EstimateViewSizeEdges(*base_, stats_, view, options_.improvement_alpha),
+      1.0);
+  double vertices = 0;
+  if (IsConnector(view.kind)) {
+    graph::VertexTypeId src = base_->schema().FindVertexType(view.source_type);
+    graph::VertexTypeId dst = base_->schema().FindVertexType(view.target_type);
+    if (src != graph::kInvalidTypeId) {
+      vertices += static_cast<double>(base_->NumVerticesOfType(src));
+    }
+    if (dst != graph::kInvalidTypeId && dst != src) {
+      vertices += static_cast<double>(base_->NumVerticesOfType(dst));
+    }
+    if (vertices == 0) vertices = static_cast<double>(base_->NumVertices());
+  } else {
+    for (const std::string& t : view.type_list) {
+      graph::VertexTypeId id = base_->schema().FindVertexType(t);
+      if (id != graph::kInvalidTypeId) {
+        vertices += static_cast<double>(base_->NumVerticesOfType(id));
+      }
+    }
+    if (view.kind == ViewKind::kVertexRemovalSummarizer) {
+      vertices = static_cast<double>(base_->NumVertices()) - vertices;
+    }
+    if (vertices <= 0) vertices = static_cast<double>(base_->NumVertices());
+  }
+  double degree = std::max(edges / std::max(vertices, 1.0), 0.1);
+
+  // Seeds: cardinality of the first pattern node's type in the view.
+  double seeds = vertices;
+  if (!match->nodes.empty() && !match->nodes.front().type.empty()) {
+    graph::VertexTypeId type =
+        base_->schema().FindVertexType(match->nodes.front().type);
+    if (type != graph::kInvalidTypeId) {
+      seeds = static_cast<double>(base_->NumVerticesOfType(type));
+    }
+  }
+  seeds = std::max(seeds, 1.0);
+
+  double cost = query::MatchCostOnCounts(
+      *match, seeds, vertices, edges,
+      [degree](const std::string&) { return degree; });
+  // Relational layers add a small linear factor, as in the base model.
+  const query::Query* layer = &rewritten;
+  while (layer->is_select()) {
+    cost = std::min(cost * 1.1, kCostCap);
+    layer = layer->select().from.get();
+  }
+  return cost;
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,241 @@
+#include "core/enumerator.h"
+
+#include <set>
+
+#include "core/fact_extractor.h"
+#include "core/rules.h"
+#include "prolog/knowledge_base.h"
+
+namespace kaskade::core {
+
+using prolog::Solution;
+using prolog::Solver;
+using prolog::TermPtr;
+
+namespace {
+
+/// Extracts an atom binding from a solution, or "" when absent/unbound.
+std::string AtomOf(const Solution& s, const std::string& var) {
+  auto it = s.bindings.find(var);
+  if (it == s.bindings.end()) return "";
+  return it->second->is_atom() ? it->second->name() : "";
+}
+
+int64_t IntOf(const Solution& s, const std::string& var, int64_t fallback) {
+  auto it = s.bindings.find(var);
+  if (it == s.bindings.end() || !it->second->is_int()) return fallback;
+  return it->second->int_value();
+}
+
+}  // namespace
+
+Result<std::vector<CandidateView>> ViewEnumerator::Enumerate(
+    const query::Query& q, EnumerationStats* stats) {
+  prolog::KnowledgeBase kb;
+  KASKADE_RETURN_IF_ERROR(kb.Consult(AllRules()));
+  KASKADE_RETURN_IF_ERROR(ExtractSchemaFacts(*schema_, &kb));
+  KASKADE_RETURN_IF_ERROR(ExtractQueryFacts(q, &kb));
+
+  Solver solver(&kb, options_.solver_options);
+  std::vector<CandidateView> candidates;
+  std::set<std::string> seen;
+  EnumerationStats local_stats;
+
+  auto add = [&](ViewDefinition def, const Solution& s) {
+    ++local_stats.instantiations;
+    CandidateView cand;
+    cand.definition = std::move(def);
+    cand.query_vertex_x = AtomOf(s, "X");
+    cand.query_vertex_y = AtomOf(s, "Y");
+    if (seen.insert(cand.definition.Name()).second) {
+      candidates.push_back(std::move(cand));
+      ++local_stats.candidates;
+    }
+  };
+
+  // --- k-hop connectors (Lst. 3) ---------------------------------------
+  {
+    Result<std::vector<Solution>> sols =
+        solver.QueryAll("kHopConnector(X, Y, XTYPE, YTYPE, K), K =< " +
+                        std::to_string(options_.max_k) + ".");
+    if (!sols.ok()) return sols.status();
+    local_stats.inference_steps += solver.steps_used();
+    for (const Solution& s : *sols) {
+      ViewDefinition def;
+      def.kind = ViewKind::kKHopConnector;
+      def.k = static_cast<int>(IntOf(s, "K", 0));
+      def.source_type = AtomOf(s, "XTYPE");
+      def.target_type = AtomOf(s, "YTYPE");
+      if (def.k < 1) continue;
+      add(std::move(def), s);
+    }
+  }
+
+  // --- same-vertex-type variable-length connectors ----------------------
+  {
+    Result<std::vector<Solution>> sols =
+        solver.QueryAll("connectorSameVertexType(X, Y, VTYPE).");
+    if (!sols.ok()) return sols.status();
+    local_stats.inference_steps += solver.steps_used();
+    for (const Solution& s : *sols) {
+      ViewDefinition def;
+      def.kind = ViewKind::kSameVertexTypeConnector;
+      def.k = options_.max_k;  // bounded contraction depth
+      def.source_type = AtomOf(s, "VTYPE");
+      def.target_type = def.source_type;
+      add(std::move(def), s);
+    }
+  }
+
+  // --- same-edge-type connectors -----------------------------------------
+  {
+    Result<std::vector<Solution>> sols =
+        solver.QueryAll("sameEdgeTypeConnector(X, Y, ETYPE).");
+    if (!sols.ok()) return sols.status();
+    local_stats.inference_steps += solver.steps_used();
+    for (const Solution& s : *sols) {
+      ViewDefinition def;
+      def.kind = ViewKind::kSameEdgeTypeConnector;
+      def.k = options_.max_k;
+      def.path_edge_type = AtomOf(s, "ETYPE");
+      if (def.path_edge_type.empty()) continue;
+      // Endpoint types follow from the edge type's declaration.
+      graph::EdgeTypeId et = schema_->FindEdgeType(def.path_edge_type);
+      if (et != graph::kInvalidTypeId) {
+        const graph::EdgeTypeDecl& decl = schema_->edge_type(et);
+        def.source_type = schema_->vertex_type_name(decl.source_type);
+        def.target_type = schema_->vertex_type_name(decl.target_type);
+      }
+      add(std::move(def), s);
+    }
+  }
+
+  // --- source-to-sink connectors ----------------------------------------
+  {
+    Result<std::vector<Solution>> sols =
+        solver.QueryAll("sourceToSinkConnector(X, Y).");
+    if (!sols.ok()) return sols.status();
+    local_stats.inference_steps += solver.steps_used();
+    for (const Solution& s : *sols) {
+      ViewDefinition def;
+      def.kind = ViewKind::kSourceToSinkConnector;
+      def.k = options_.max_k;
+      // The endpoint types come from the query vertices when declared.
+      Solver type_solver(&kb, options_.solver_options);
+      Result<std::vector<Solution>> xt = type_solver.QueryAll(
+          "queryVertexType(" + AtomOf(s, "X") + ", T).");
+      if (xt.ok() && !xt->empty()) def.source_type = AtomOf(xt->front(), "T");
+      Result<std::vector<Solution>> yt = type_solver.QueryAll(
+          "queryVertexType(" + AtomOf(s, "Y") + ", T).");
+      if (yt.ok() && !yt->empty()) def.target_type = AtomOf(yt->front(), "T");
+      add(std::move(def), s);
+    }
+  }
+
+  if (options_.enumerate_summarizers) {
+    // --- vertex-inclusion summarizer (schema-level filter) --------------
+    {
+      Result<std::vector<Solution>> sols =
+          solver.QueryAll("vertexInclusionSummarizer(TYPES).");
+      if (!sols.ok()) return sols.status();
+      local_stats.inference_steps += solver.steps_used();
+      for (const Solution& s : *sols) {
+        auto it = s.bindings.find("TYPES");
+        if (it == s.bindings.end()) continue;
+        std::vector<TermPtr> items;
+        if (!prolog::Term::ListItems(it->second, &items)) continue;
+        ViewDefinition def;
+        def.kind = ViewKind::kVertexInclusionSummarizer;
+        for (const TermPtr& t : items) {
+          if (t->is_atom()) def.type_list.push_back(t->name());
+        }
+        if (def.type_list.empty()) continue;
+        // Skip when the filter keeps every type (no reduction).
+        if (def.type_list.size() >= schema_->num_vertex_types()) continue;
+        add(std::move(def), s);
+      }
+    }
+    // --- edge-removal summarizer ---------------------------------------
+    {
+      Result<std::vector<Solution>> sols =
+          solver.QueryAll("edgeRemovalSummarizer(ETYPE).");
+      if (!sols.ok()) return sols.status();
+      local_stats.inference_steps += solver.steps_used();
+      // Collect all removable edge types into one view.
+      ViewDefinition def;
+      def.kind = ViewKind::kEdgeRemovalSummarizer;
+      std::set<std::string> types;
+      for (const Solution& s : *sols) {
+        std::string t = AtomOf(s, "ETYPE");
+        if (!t.empty()) types.insert(t);
+      }
+      def.type_list.assign(types.begin(), types.end());
+      if (!def.type_list.empty() && !sols->empty()) {
+        add(std::move(def), sols->front());
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return candidates;
+}
+
+Result<uint64_t> ViewEnumerator::CountUnconstrainedSchemaWalks(
+    int max_k, uint64_t* steps) {
+  prolog::KnowledgeBase kb;
+  KASKADE_RETURN_IF_ERROR(kb.Consult(SchemaConstraintRules()));
+  KASKADE_RETURN_IF_ERROR(ExtractSchemaFacts(*schema_, &kb));
+  Solver solver(&kb, options_.solver_options);
+  // Each schema walk has exactly one derivation, so the proof count is
+  // the walk count: sum over k of the k-length schema walks, the >= M^k
+  // space the paper describes for cyclic schemas (§IV-A2).
+  uint64_t count = 0;
+  Result<size_t> n = solver.Query(
+      "between(1, " + std::to_string(max_k) + ", K), schemaKHopWalk(X, Y, K).",
+      [&](const Solution&) {
+        ++count;
+        return true;
+      });
+  if (!n.ok()) return n.status();
+  if (steps != nullptr) *steps = solver.steps_used();
+  return count;
+}
+
+uint64_t ViewEnumerator::ProceduralKHopSchemaPaths(
+    const graph::GraphSchema& schema, int k) {
+  // Alg. 1 (appendix): build paths level by level from all schema edges,
+  // extending at both ends, deduplicating each round.
+  using Edge = std::pair<graph::VertexTypeId, graph::VertexTypeId>;
+  std::vector<Edge> schema_edges;
+  for (const graph::EdgeTypeDecl& decl : schema.edge_types()) {
+    schema_edges.emplace_back(decl.source_type, decl.target_type);
+  }
+  std::set<std::vector<Edge>> paths;
+  for (const Edge& e : schema_edges) paths.insert({e});
+  for (int round = 1; round < k; ++round) {
+    std::set<std::vector<Edge>> next_paths;
+    for (const std::vector<Edge>& path : paths) {
+      graph::VertexTypeId src = path.front().first;
+      graph::VertexTypeId dst = path.back().second;
+      for (const Edge& e : schema_edges) {
+        if (dst == e.first) {
+          std::vector<Edge> grown = path;
+          grown.push_back(e);
+          next_paths.insert(std::move(grown));
+        }
+        if (src == e.second) {
+          std::vector<Edge> grown;
+          grown.reserve(path.size() + 1);
+          grown.push_back(e);
+          grown.insert(grown.end(), path.begin(), path.end());
+          next_paths.insert(std::move(grown));
+        }
+      }
+    }
+    paths = std::move(next_paths);
+    if (paths.empty()) break;
+  }
+  return static_cast<uint64_t>(paths.size());
+}
+
+}  // namespace kaskade::core

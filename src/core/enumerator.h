@@ -1,0 +1,82 @@
+/// \file enumerator.h
+/// \brief Constraint-based view enumeration (§IV).
+///
+/// Pipeline (Fig. 4): extract explicit facts from the query and schema,
+/// load the constraint-mining rules and view templates into the inference
+/// engine, and evaluate each template. The mined constraints are injected
+/// simply by being present in the same knowledge base — the inference
+/// engine's goal ordering prunes infeasible candidates (e.g. odd-k
+/// job-to-job connectors) before they are ever constructed.
+
+#ifndef KASKADE_CORE_ENUMERATOR_H_
+#define KASKADE_CORE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/view_definition.h"
+#include "graph/schema.h"
+#include "prolog/solver.h"
+#include "query/ast.h"
+
+namespace kaskade::core {
+
+/// \brief A view candidate produced by template instantiation, with the
+/// query vertices that witnessed it (the X/Y unification of Lst. 3).
+struct CandidateView {
+  ViewDefinition definition;
+  std::string query_vertex_x;
+  std::string query_vertex_y;
+};
+
+/// \brief Enumeration counters for the §IV-A2 ablation.
+struct EnumerationStats {
+  size_t candidates = 0;        ///< Distinct views after dedup.
+  size_t instantiations = 0;    ///< Template unifications found.
+  uint64_t inference_steps = 0; ///< Solver resolution steps consumed.
+};
+
+/// \brief Options controlling the enumeration.
+struct EnumeratorOptions {
+  /// Upper bound on connector hop count considered (k <= max_k). The
+  /// query constraints usually bind k well below this; the cap guards
+  /// degenerate rule sets.
+  int max_k = 16;
+  /// Enumerate summarizer templates as well as connectors.
+  bool enumerate_summarizers = true;
+  /// Solver budget per template query.
+  prolog::SolverOptions solver_options;
+};
+
+/// \brief Enumerates candidate views for queries against one schema.
+class ViewEnumerator {
+ public:
+  ViewEnumerator(const graph::GraphSchema* schema,
+                 EnumeratorOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  /// Enumerates candidates for `q` (constraint mining + inference).
+  Result<std::vector<CandidateView>> Enumerate(const query::Query& q,
+                                               EnumerationStats* stats = nullptr);
+
+  /// Ablation baseline: enumerate k-hop schema walks for k = 1..max_k
+  /// with *no query constraints* (the >= M^k space of §IV-A2). Returns
+  /// the number of (srcType, dstType, k) instantiations.
+  Result<uint64_t> CountUnconstrainedSchemaWalks(int max_k,
+                                                 uint64_t* steps = nullptr);
+
+  /// Procedural baseline: Alg. 1 of the paper (k_hop_schema_paths),
+  /// returning the number of k-length schema paths built level by level.
+  static uint64_t ProceduralKHopSchemaPaths(const graph::GraphSchema& schema,
+                                            int k);
+
+ private:
+  const graph::GraphSchema* schema_;
+  EnumeratorOptions options_;
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_ENUMERATOR_H_

@@ -1,0 +1,70 @@
+#include "core/fact_extractor.h"
+
+namespace kaskade::core {
+
+using prolog::Term;
+using prolog::TermPtr;
+
+Status ExtractMatchFacts(const query::MatchQuery& match,
+                         prolog::KnowledgeBase* kb) {
+  for (const query::NodePattern& node : match.nodes) {
+    KASKADE_RETURN_IF_ERROR(
+        kb->AssertFact("queryVertex", {Term::MakeAtom(node.name)}));
+    if (!node.type.empty()) {
+      KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+          "queryVertexType",
+          {Term::MakeAtom(node.name), Term::MakeAtom(node.type)}));
+    }
+  }
+  for (const query::EdgePattern& edge : match.edges) {
+    if (edge.variable_length) {
+      KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+          "queryVariableLengthPath",
+          {Term::MakeAtom(edge.from), Term::MakeAtom(edge.to),
+           Term::MakeInt(edge.min_hops), Term::MakeInt(edge.max_hops)}));
+      if (!edge.type.empty()) {
+        // Typed variable-length segment, e.g. -[:ROAD*1..5]-> — the
+        // trigger for same-edge-type connectors (Table I).
+        KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+            "queryVariableLengthPathType",
+            {Term::MakeAtom(edge.from), Term::MakeAtom(edge.to),
+             Term::MakeAtom(edge.type)}));
+      }
+      continue;
+    }
+    KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+        "queryEdge", {Term::MakeAtom(edge.from), Term::MakeAtom(edge.to)}));
+    if (!edge.type.empty()) {
+      KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+          "queryEdgeType", {Term::MakeAtom(edge.from), Term::MakeAtom(edge.to),
+                            Term::MakeAtom(edge.type)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtractQueryFacts(const query::Query& q, prolog::KnowledgeBase* kb) {
+  const query::MatchQuery* match = q.InnermostMatch();
+  if (match == nullptr) {
+    return Status::InvalidArgument("query has no MATCH clause");
+  }
+  return ExtractMatchFacts(*match, kb);
+}
+
+Status ExtractSchemaFacts(const graph::GraphSchema& schema,
+                          prolog::KnowledgeBase* kb) {
+  for (const std::string& name : schema.vertex_type_names()) {
+    KASKADE_RETURN_IF_ERROR(
+        kb->AssertFact("schemaVertex", {Term::MakeAtom(name)}));
+  }
+  for (const graph::EdgeTypeDecl& edge : schema.edge_types()) {
+    KASKADE_RETURN_IF_ERROR(kb->AssertFact(
+        "schemaEdge",
+        {Term::MakeAtom(schema.vertex_type_name(edge.source_type)),
+         Term::MakeAtom(schema.vertex_type_name(edge.target_type)),
+         Term::MakeAtom(edge.name)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace kaskade::core

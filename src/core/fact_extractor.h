@@ -1,0 +1,34 @@
+/// \file fact_extractor.h
+/// \brief Explicit-constraint extraction (§IV-A1): transforms the query's
+/// MATCH clause and the graph schema into Prolog facts.
+///
+/// For the job blast-radius query (Lst. 1) this emits exactly the facts
+/// shown in the paper: `queryVertex/1`, `queryVertexType/2`,
+/// `queryEdge/2`, `queryEdgeType/3`, `queryVariableLengthPath/4`,
+/// `schemaVertex/1`, and `schemaEdge/3`.
+
+#ifndef KASKADE_CORE_FACT_EXTRACTOR_H_
+#define KASKADE_CORE_FACT_EXTRACTOR_H_
+
+#include "common/status.h"
+#include "graph/schema.h"
+#include "prolog/knowledge_base.h"
+#include "query/ast.h"
+
+namespace kaskade::core {
+
+/// Emits the explicit query facts of §IV-A1 for the query's innermost
+/// MATCH clause into `kb`.
+Status ExtractQueryFacts(const query::Query& q, prolog::KnowledgeBase* kb);
+
+/// Emits facts for a MATCH clause directly.
+Status ExtractMatchFacts(const query::MatchQuery& match,
+                         prolog::KnowledgeBase* kb);
+
+/// Emits the explicit schema facts of §IV-A1 into `kb`.
+Status ExtractSchemaFacts(const graph::GraphSchema& schema,
+                          prolog::KnowledgeBase* kb);
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_FACT_EXTRACTOR_H_

@@ -1,0 +1,150 @@
+#include "core/kaskade.h"
+
+#include "core/rewriter.h"
+#include "query/cost.h"
+#include "query/parser.h"
+
+namespace kaskade::core {
+
+Result<SelectionReport> Kaskade::AnalyzeWorkload(
+    const std::vector<std::string>& query_texts) {
+  std::vector<WorkloadEntry> workload;
+  workload.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    KASKADE_ASSIGN_OR_RETURN(query::Query q, query::ParseQueryText(text));
+    workload.push_back(WorkloadEntry{std::move(q), 1.0});
+  }
+  ViewSelector selector(&base_, options_.selector);
+  KASKADE_ASSIGN_OR_RETURN(SelectionReport report, selector.Select(workload));
+  for (const ScoredView& scored : report.selected) {
+    KASKADE_RETURN_IF_ERROR(AddMaterializedView(scored.definition));
+  }
+  return report;
+}
+
+Status Kaskade::AddMaterializedView(const ViewDefinition& definition) {
+  for (const CatalogEntry& entry : catalog_) {
+    if (entry.view.definition.Name() == definition.Name()) {
+      return Status::AlreadyExists("view '" + definition.Name() +
+                                   "' already materialized");
+    }
+  }
+  Result<MaterializedView> view = Materialize(base_, definition);
+  if (!view.ok()) return view.status();
+  graph::GraphStats stats = graph::GraphStats::Compute(view->graph);
+  catalog_.push_back(CatalogEntry{std::move(*view), std::move(stats)});
+  // Attach an incremental maintainer where the view kind supports one;
+  // a null slot means RefreshViews re-materializes instead.
+  CatalogEntry& entry = catalog_.back();
+  bool maintainable = entry.view.definition.kind == ViewKind::kKHopConnector ||
+                      entry.view.definition.kind ==
+                          ViewKind::kVertexInclusionSummarizer ||
+                      entry.view.definition.kind ==
+                          ViewKind::kVertexRemovalSummarizer ||
+                      entry.view.definition.kind ==
+                          ViewKind::kEdgeInclusionSummarizer ||
+                      entry.view.definition.kind ==
+                          ViewKind::kEdgeRemovalSummarizer;
+  maintainers_.push_back(
+      maintainable ? std::make_unique<ViewMaintainer>(&base_, &entry.view)
+                   : nullptr);
+  plan_cache_.clear();  // a new view can change the best plan
+  return Status::OK();
+}
+
+Status Kaskade::RefreshViews() {
+  plan_cache_.clear();  // size statistics (and thus plan choice) may shift
+  for (size_t i = 0; i < catalog_.size(); ++i) {
+    CatalogEntry& entry = catalog_[i];
+    if (maintainers_[i] != nullptr) {
+      Result<MaintenanceStats> stats = maintainers_[i]->CatchUp();
+      if (!stats.ok()) return stats.status();
+      if (stats->edges_added + stats->edges_updated + stats->vertices_added ==
+          0) {
+        continue;  // nothing changed; stats stay valid
+      }
+    } else {
+      Result<MaterializedView> fresh =
+          Materialize(base_, entry.view.definition);
+      if (!fresh.ok()) return fresh.status();
+      entry.view = std::move(*fresh);
+      // The maintainer slot stays null (unsupported kind).
+    }
+    entry.stats = graph::GraphStats::Compute(entry.view.graph);
+  }
+  return Status::OK();
+}
+
+Status Kaskade::ChoosePlan(const query::Query& query, PlanCacheEntry* entry) {
+  // Plan 0: the raw graph.
+  graph::GraphStats base_stats = graph::GraphStats::Compute(base_);
+  entry->estimated_cost = query::EstimateEvalCost(
+      query, base_, base_stats, options_.selector.cost.eval);
+  entry->view_name.clear();
+  entry->executed_query = query.ToString();
+
+  // Plans 1..n: one per materialized view (single-view rewritings, §V-C).
+  for (const CatalogEntry& catalog_entry : catalog_) {
+    Result<query::Query> rewritten = RewriteQueryWithView(
+        query, catalog_entry.view.definition, base_.schema());
+    if (!rewritten.ok()) continue;
+    double cost = query::EstimateEvalCost(*rewritten,
+                                          catalog_entry.view.graph,
+                                          catalog_entry.stats,
+                                          options_.selector.cost.eval);
+    if (cost < entry->estimated_cost) {
+      entry->estimated_cost = cost;
+      entry->view_name = catalog_entry.view.definition.Name();
+      entry->executed_query = rewritten->ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Kaskade::ExecutionResult> Kaskade::RunPlan(const PlanCacheEntry& entry) {
+  const graph::PropertyGraph* target = &base_;
+  if (!entry.view_name.empty()) {
+    for (const CatalogEntry& catalog_entry : catalog_) {
+      if (catalog_entry.view.definition.Name() == entry.view_name) {
+        target = &catalog_entry.view.graph;
+      }
+    }
+    if (target == &base_) {
+      return Status::Internal("cached plan references a missing view '" +
+                              entry.view_name + "'");
+    }
+  }
+  query::QueryExecutor executor(target, options_.executor);
+  KASKADE_ASSIGN_OR_RETURN(query::Table table,
+                           executor.ExecuteText(entry.executed_query));
+  ExecutionResult result;
+  result.table = std::move(table);
+  result.used_view = !entry.view_name.empty();
+  result.view_name = entry.view_name;
+  result.executed_query = entry.executed_query;
+  result.estimated_cost = entry.estimated_cost;
+  return result;
+}
+
+Result<Kaskade::ExecutionResult> Kaskade::Execute(
+    const std::string& query_text) {
+  auto it = plan_cache_.find(query_text);
+  if (it != plan_cache_.end()) {
+    ++plan_cache_hits_;
+    return RunPlan(it->second);
+  }
+  ++plan_cache_misses_;
+  KASKADE_ASSIGN_OR_RETURN(query::Query q, query::ParseQueryText(query_text));
+  PlanCacheEntry entry;
+  KASKADE_RETURN_IF_ERROR(ChoosePlan(q, &entry));
+  plan_cache_.emplace(query_text, entry);
+  return RunPlan(entry);
+}
+
+Result<Kaskade::ExecutionResult> Kaskade::Execute(const query::Query& query) {
+  PlanCacheEntry entry;
+  KASKADE_RETURN_IF_ERROR(ChoosePlan(query, &entry));
+  return RunPlan(entry);
+}
+
+}  // namespace kaskade::core

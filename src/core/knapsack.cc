@@ -1,0 +1,177 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kaskade::core {
+
+namespace {
+
+struct Indexed {
+  size_t original;
+  double value;
+  double weight;
+  double Density() const {
+    return weight > 0 ? value / weight : std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Fractional (Dantzig) bound for the remaining items [start..end) given
+/// remaining capacity.
+double FractionalBound(const std::vector<Indexed>& items, size_t start,
+                       double remaining_capacity) {
+  double bound = 0;
+  for (size_t i = start; i < items.size(); ++i) {
+    if (items[i].weight <= remaining_capacity) {
+      bound += items[i].value;
+      remaining_capacity -= items[i].weight;
+    } else {
+      if (items[i].weight > 0) {
+        bound += items[i].value * (remaining_capacity / items[i].weight);
+      }
+      break;
+    }
+  }
+  return bound;
+}
+
+class BranchAndBound {
+ public:
+  BranchAndBound(std::vector<Indexed> items, double capacity)
+      : items_(std::move(items)), capacity_(capacity) {
+    current_.assign(items_.size(), false);
+    best_choice_.assign(items_.size(), false);
+  }
+
+  void Run() { Recurse(0, 0, 0); }
+
+  double best_value() const { return best_value_; }
+  const std::vector<bool>& best_choice() const { return best_choice_; }
+
+ private:
+  void Recurse(size_t index, double value, double weight) {
+    if (value > best_value_) {
+      best_value_ = value;
+      best_choice_ = current_;
+    }
+    if (index >= items_.size()) return;
+    double bound = value + FractionalBound(items_, index, capacity_ - weight);
+    // Strict comparison: an epsilon here would wrongly prune items whose
+    // (legitimate) values are tiny, e.g. improvement ratios much below 1.
+    if (bound <= best_value_) return;  // prune
+    // Include (if it fits) — explored first since items are
+    // density-sorted, so good solutions are found early for pruning.
+    const Indexed& item = items_[index];
+    if (weight + item.weight <= capacity_ + kEps) {
+      current_[index] = true;
+      Recurse(index + 1, value + item.value, weight + item.weight);
+      current_[index] = false;
+    }
+    // Exclude.
+    Recurse(index + 1, value, weight);
+  }
+
+  static constexpr double kEps = 1e-12;
+
+  std::vector<Indexed> items_;
+  double capacity_;
+  std::vector<bool> current_;
+  std::vector<bool> best_choice_;
+  double best_value_ = -1;
+};
+
+KnapsackResult BuildResult(const std::vector<KnapsackItem>& items,
+                           const std::vector<size_t>& selected) {
+  KnapsackResult result;
+  result.selected = selected;
+  std::sort(result.selected.begin(), result.selected.end());
+  for (size_t i : result.selected) {
+    result.total_value += items[i].value;
+    result.total_weight += items[i].weight;
+  }
+  return result;
+}
+
+}  // namespace
+
+KnapsackResult SolveKnapsackBranchAndBound(
+    const std::vector<KnapsackItem>& items, double capacity) {
+  std::vector<Indexed> feasible;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= capacity && items[i].value > 0) {
+      feasible.push_back(Indexed{i, items[i].value, items[i].weight});
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Indexed& a, const Indexed& b) {
+              return a.Density() > b.Density();
+            });
+  BranchAndBound solver(feasible, capacity);
+  solver.Run();
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < feasible.size(); ++i) {
+    if (solver.best_choice()[i]) selected.push_back(feasible[i].original);
+  }
+  return BuildResult(items, selected);
+}
+
+KnapsackResult SolveKnapsackDP(const std::vector<KnapsackItem>& items,
+                               double capacity, size_t resolution) {
+  if (capacity <= 0 || items.empty() || resolution == 0) return {};
+  // Scale weights to integers, rounding *up* so the scaled solution never
+  // exceeds the true capacity.
+  double scale = static_cast<double>(resolution) / capacity;
+  std::vector<size_t> w(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    w[i] = static_cast<size_t>(std::ceil(items[i].weight * scale));
+  }
+  std::vector<double> best(resolution + 1, 0);
+  std::vector<std::vector<bool>> take(items.size(),
+                                      std::vector<bool>(resolution + 1, false));
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value <= 0) continue;
+    for (size_t c = resolution; c + 1 > w[i]; --c) {
+      size_t prev = c - w[i];
+      if (best[prev] + items[i].value > best[c]) {
+        best[c] = best[prev] + items[i].value;
+        take[i][c] = true;
+      }
+    }
+  }
+  // Reconstruct.
+  size_t c = resolution;
+  std::vector<size_t> selected;
+  for (size_t i = items.size(); i-- > 0;) {
+    if (c >= w[i] && take[i][c]) {
+      selected.push_back(i);
+      c -= w[i];
+    }
+  }
+  return BuildResult(items, selected);
+}
+
+KnapsackResult SolveKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                   double capacity) {
+  std::vector<Indexed> feasible;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= capacity && items[i].value > 0) {
+      feasible.push_back(Indexed{i, items[i].value, items[i].weight});
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Indexed& a, const Indexed& b) {
+              return a.Density() > b.Density();
+            });
+  double remaining = capacity;
+  std::vector<size_t> selected;
+  for (const Indexed& item : feasible) {
+    if (item.weight <= remaining) {
+      selected.push_back(item.original);
+      remaining -= item.weight;
+    }
+  }
+  return BuildResult(items, selected);
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,50 @@
+/// \file knapsack.h
+/// \brief 0-1 knapsack solvers for view selection (§V-B).
+///
+/// The paper formulates view selection as 0-1 knapsack (capacity = space
+/// budget, weight = estimated view size, value = performance improvement
+/// divided by creation cost) and solves it with OR-tools'
+/// branch-and-bound solver. `SolveKnapsackBranchAndBound` is our
+/// replacement: depth-first branch-and-bound with the fractional
+/// (Dantzig) upper bound. `SolveKnapsackDP` is an exact
+/// dynamic-programming cross-check used by tests and small instances.
+
+#ifndef KASKADE_CORE_KNAPSACK_H_
+#define KASKADE_CORE_KNAPSACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kaskade::core {
+
+/// \brief One candidate item.
+struct KnapsackItem {
+  double value = 0;   ///< Benefit (must be >= 0).
+  double weight = 0;  ///< Size (must be >= 0).
+};
+
+/// \brief Selected subset and its totals.
+struct KnapsackResult {
+  std::vector<size_t> selected;  ///< Indices into the item vector, sorted.
+  double total_value = 0;
+  double total_weight = 0;
+};
+
+/// Exact branch-and-bound solver. Items with weight > capacity are never
+/// selected; zero-weight items with positive value are always selected.
+KnapsackResult SolveKnapsackBranchAndBound(
+    const std::vector<KnapsackItem>& items, double capacity);
+
+/// Exact DP solver over integer-scaled weights (`resolution` buckets of
+/// capacity). Intended for tests and small instances; O(n * resolution).
+KnapsackResult SolveKnapsackDP(const std::vector<KnapsackItem>& items,
+                               double capacity, size_t resolution = 10'000);
+
+/// Greedy density heuristic (ablation baseline for the selection bench).
+KnapsackResult SolveKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                   double capacity);
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_KNAPSACK_H_

@@ -1,0 +1,335 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace kaskade::core {
+
+using graph::EdgeId;
+using graph::EdgeRecord;
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
+                               MaterializedView* view)
+    : base_(base), view_(view) {
+  const ViewDefinition& def = view_->definition;
+  const PropertyGraph& vg = view_->graph;
+  // Reverse vertex mapping.
+  for (VertexId v = 0; v < vg.NumVertices(); ++v) {
+    base_to_view_.emplace(view_->view_to_base[v], v);
+  }
+  if (IsConnector(def.kind)) {
+    connector_type_ = vg.schema().FindEdgeType(def.EdgeName());
+    source_type_ = base_->schema().FindVertexType(def.source_type);
+    target_type_ = base_->schema().FindVertexType(def.target_type);
+    for (EdgeId e = 0; e < vg.NumEdges(); ++e) {
+      const EdgeRecord& rec = vg.Edge(e);
+      connector_edges_.emplace(std::make_pair(rec.source, rec.target), e);
+    }
+  } else {
+    // Filter summarizers: precompute keep masks (mirrors the
+    // materializer's logic).
+    const graph::GraphSchema& schema = base_->schema();
+    keep_vertex_type_.assign(schema.num_vertex_types(), true);
+    keep_edge_type_.assign(schema.num_edge_types(), true);
+    auto in_list = [&](const std::string& name) {
+      return std::find(def.type_list.begin(), def.type_list.end(), name) !=
+             def.type_list.end();
+    };
+    switch (def.kind) {
+      case ViewKind::kVertexInclusionSummarizer:
+        for (size_t t = 0; t < schema.num_vertex_types(); ++t) {
+          keep_vertex_type_[t] =
+              in_list(schema.vertex_type_name(static_cast<uint32_t>(t)));
+        }
+        break;
+      case ViewKind::kVertexRemovalSummarizer:
+        for (size_t t = 0; t < schema.num_vertex_types(); ++t) {
+          keep_vertex_type_[t] =
+              !in_list(schema.vertex_type_name(static_cast<uint32_t>(t)));
+        }
+        break;
+      case ViewKind::kEdgeInclusionSummarizer:
+        for (size_t t = 0; t < schema.num_edge_types(); ++t) {
+          keep_edge_type_[t] =
+              in_list(schema.edge_type(static_cast<uint32_t>(t)).name);
+        }
+        break;
+      case ViewKind::kEdgeRemovalSummarizer:
+        for (size_t t = 0; t < schema.num_edge_types(); ++t) {
+          keep_edge_type_[t] =
+              !in_list(schema.edge_type(static_cast<uint32_t>(t)).name);
+        }
+        break;
+      default:
+        break;
+    }
+    // Edges only survive when both endpoint types survive.
+    for (size_t t = 0; t < schema.num_edge_types(); ++t) {
+      const graph::EdgeTypeDecl& decl =
+          schema.edge_type(static_cast<uint32_t>(t));
+      if (!keep_vertex_type_[decl.source_type] ||
+          !keep_vertex_type_[decl.target_type]) {
+        keep_edge_type_[t] = false;
+      }
+    }
+  }
+  watermark_ = static_cast<EdgeId>(base_->NumEdges());
+  vertex_watermark_ = static_cast<VertexId>(base_->NumVertices());
+}
+
+VertexId ViewMaintainer::ViewVertexFor(VertexId base_vertex,
+                                       MaintenanceStats* stats) {
+  auto it = base_to_view_.find(base_vertex);
+  if (it != base_to_view_.end()) return it->second;
+  PropertyGraph& vg = view_->graph;
+  const std::string& type_name =
+      base_->schema().vertex_type_name(base_->VertexType(base_vertex));
+  graph::VertexTypeId view_type = vg.schema().FindVertexType(type_name);
+  graph::PropertyMap props = base_->VertexProperties(base_vertex);
+  props.Set("orig_id", PropertyValue(static_cast<int64_t>(base_vertex)));
+  VertexId vid = vg.AddVertexOfType(view_type, std::move(props));
+  base_to_view_.emplace(base_vertex, vid);
+  view_->view_to_base.push_back(base_vertex);
+  ++stats->vertices_added;
+  return vid;
+}
+
+Status ViewMaintainer::UpsertConnectorEdge(VertexId base_src,
+                                           VertexId base_dst, uint64_t paths,
+                                           MaintenanceStats* stats) {
+  PropertyGraph& vg = view_->graph;
+  VertexId src = ViewVertexFor(base_src, stats);
+  VertexId dst = ViewVertexFor(base_dst, stats);
+  auto key = std::make_pair(src, dst);
+  auto it = connector_edges_.find(key);
+  if (it != connector_edges_.end()) {
+    int64_t current = vg.EdgeProperty(it->second, "paths").as_int();
+    KASKADE_RETURN_IF_ERROR(vg.SetEdgeProperty(
+        it->second, "paths",
+        PropertyValue(current + static_cast<int64_t>(paths))));
+    ++stats->edges_updated;
+    return Status::OK();
+  }
+  graph::PropertyMap props;
+  props.Set("paths", PropertyValue(static_cast<int64_t>(paths)));
+  KASKADE_ASSIGN_OR_RETURN(
+      EdgeId e, vg.AddEdgeOfType(src, dst, connector_type_, std::move(props)));
+  connector_edges_.emplace(key, e);
+  ++stats->edges_added;
+  return Status::OK();
+}
+
+Result<MaintenanceStats> ViewMaintainer::MaintainConnector(EdgeId e) {
+  const ViewDefinition& def = view_->definition;
+  const EdgeRecord& rec = base_->Edge(e);
+  const VertexId u = rec.source;
+  const VertexId v = rec.target;
+  const int k = def.k;
+  MaintenanceStats stats;
+
+  // Every new k-path decomposes as: s --(i edges)--> u --e--> v
+  // --(k-1-i edges)--> t, with all vertices distinct except possibly
+  // t == s (closed paths are contracted, matching the materializer).
+  std::map<std::pair<VertexId, VertexId>, uint64_t> new_pairs;
+  std::vector<std::vector<VertexId>> backward_paths;  // [u .. s]
+  std::vector<VertexId> current{u};
+  // Set per split: when the new edge is the *last* edge of the path
+  // (forward_steps == 0), a backward extension may terminate at v itself,
+  // forming the closed path v -> ... -> u -> v.
+  bool closed_start_allowed = false;
+  std::function<void(VertexId, int)> extend_back = [&](VertexId w, int left) {
+    if (left == 0) {
+      backward_paths.push_back(current);
+      return;
+    }
+    for (EdgeId be : base_->InEdges(w)) {
+      // Only edges inserted up to and including e may participate:
+      // paths that use a *later* insertion are that insertion's delta
+      // (prevents double counting during batch catch-up).
+      if (be > e) continue;
+      VertexId prev = base_->Edge(be).source;
+      if (prev == v) {
+        // v is already on the path; allowed only as the closed-path
+        // start s == v, reached at the final backward step.
+        if (closed_start_allowed && left == 1 &&
+            (source_type_ == graph::kInvalidTypeId ||
+             base_->VertexType(v) == source_type_) &&
+            (target_type_ == graph::kInvalidTypeId ||
+             base_->VertexType(v) == target_type_)) {
+          ++new_pairs[{v, v}];
+        }
+        continue;
+      }
+      if (std::find(current.begin(), current.end(), prev) != current.end()) {
+        continue;  // must stay simple
+      }
+      current.push_back(prev);
+      extend_back(prev, left - 1);
+      current.pop_back();
+    }
+  };
+
+  for (int i = 0; i <= k - 1; ++i) {
+    backward_paths.clear();
+    current.assign(1, u);
+    const int forward_steps = k - 1 - i;
+    closed_start_allowed = forward_steps == 0;
+    extend_back(u, i);
+    for (const std::vector<VertexId>& back : backward_paths) {
+      const VertexId s = back.back();  // path start
+      if (source_type_ != graph::kInvalidTypeId &&
+          base_->VertexType(s) != source_type_) {
+        continue;
+      }
+      // Forward extension from v, avoiding every vertex of the backward
+      // half and of the forward prefix; the start s is allowed only as
+      // the final vertex (closed path).
+      std::vector<VertexId> forward{v};
+      std::function<void(VertexId, int)> extend_fwd = [&](VertexId w,
+                                                          int left) {
+        if (left == 0) {
+          const VertexId t = w;
+          if (target_type_ == graph::kInvalidTypeId ||
+              base_->VertexType(t) == target_type_) {
+            ++new_pairs[{s, t}];
+          }
+          return;
+        }
+        for (EdgeId fe : base_->OutEdges(w)) {
+          if (fe > e) continue;  // see the backward-half comment
+          VertexId next = base_->Edge(fe).target;
+          bool in_back =
+              std::find(back.begin(), back.end(), next) != back.end();
+          bool in_fwd = std::find(forward.begin(), forward.end(), next) !=
+                        forward.end();
+          if (in_fwd) continue;
+          if (in_back) {
+            // Allowed only when it closes the full path at its very end.
+            if (next == s && left == 1) {
+              if (target_type_ == graph::kInvalidTypeId ||
+                  base_->VertexType(s) == target_type_) {
+                ++new_pairs[{s, s}];
+              }
+            }
+            continue;
+          }
+          forward.push_back(next);
+          extend_fwd(next, left - 1);
+          forward.pop_back();
+        }
+      };
+      if (forward_steps == 0) {
+        // v itself is the endpoint.
+        if (target_type_ == graph::kInvalidTypeId ||
+            base_->VertexType(v) == target_type_) {
+          ++new_pairs[{s, v}];
+        }
+      } else {
+        extend_fwd(v, forward_steps);
+      }
+    }
+  }
+
+  for (const auto& [pair, paths] : new_pairs) {
+    stats.paths_added += paths;
+    KASKADE_RETURN_IF_ERROR(
+        UpsertConnectorEdge(pair.first, pair.second, paths, &stats));
+  }
+  return stats;
+}
+
+Result<MaintenanceStats> ViewMaintainer::MaintainFilterSummarizer(EdgeId e) {
+  MaintenanceStats stats;
+  const ViewDefinition& def = view_->definition;
+  const EdgeRecord& rec = base_->Edge(e);
+  if (!keep_edge_type_[rec.type]) return stats;
+  if (def.has_predicate()) {
+    // Mirror the materializer's footnote-5 semantics.
+    bool vertex_filter = def.kind == ViewKind::kVertexInclusionSummarizer ||
+                         def.kind == ViewKind::kVertexRemovalSummarizer;
+    if (vertex_filter) {
+      for (VertexId endpoint : {rec.source, rec.target}) {
+        if (!EvalPredicate(
+                base_->VertexProperty(endpoint, def.predicate_property),
+                def.predicate_op, def.predicate_value)) {
+          return stats;
+        }
+      }
+    } else if (!EvalPredicate(base_->EdgeProperty(e, def.predicate_property),
+                              def.predicate_op, def.predicate_value)) {
+      return stats;
+    }
+  }
+  PropertyGraph& vg = view_->graph;
+  VertexId src = ViewVertexFor(rec.source, &stats);
+  VertexId dst = ViewVertexFor(rec.target, &stats);
+  graph::EdgeTypeId et =
+      vg.schema().FindEdgeType(base_->schema().edge_type(rec.type).name);
+  if (et == graph::kInvalidTypeId) {
+    return Status::Internal("summarizer view schema lost an edge type");
+  }
+  KASKADE_RETURN_IF_ERROR(
+      vg.AddEdgeOfType(src, dst, et, base_->EdgeProperties(e)).status());
+  ++stats.edges_added;
+  return stats;
+}
+
+Result<MaintenanceStats> ViewMaintainer::OnEdgeAdded(EdgeId e) {
+  if (e >= base_->NumEdges()) {
+    return Status::OutOfRange("edge id not present in base graph");
+  }
+  if (e < watermark_) {
+    return Status::InvalidArgument(
+        "edge was already reflected in the view (ids must be reported "
+        "once, in order)");
+  }
+  watermark_ = e + 1;
+  const ViewDefinition& def = view_->definition;
+  if (def.kind == ViewKind::kKHopConnector) return MaintainConnector(e);
+  if (def.kind == ViewKind::kVertexInclusionSummarizer ||
+      def.kind == ViewKind::kVertexRemovalSummarizer ||
+      def.kind == ViewKind::kEdgeInclusionSummarizer ||
+      def.kind == ViewKind::kEdgeRemovalSummarizer) {
+    return MaintainFilterSummarizer(e);
+  }
+  return Status::Unimplemented(
+      "incremental maintenance supports k-hop connectors and filter "
+      "summarizers; re-materialize other view kinds");
+}
+
+Result<MaintenanceStats> ViewMaintainer::CatchUp() {
+  MaintenanceStats total;
+  // Vertices first (summarizers copy kept vertices even when isolated).
+  const ViewDefinition& def = view_->definition;
+  if (!IsConnector(def.kind)) {
+    bool vertex_predicate =
+        def.has_predicate() &&
+        (def.kind == ViewKind::kVertexInclusionSummarizer ||
+         def.kind == ViewKind::kVertexRemovalSummarizer);
+    for (VertexId v = vertex_watermark_;
+         v < static_cast<VertexId>(base_->NumVertices()); ++v) {
+      if (!keep_vertex_type_[base_->VertexType(v)]) continue;
+      if (vertex_predicate &&
+          !EvalPredicate(base_->VertexProperty(v, def.predicate_property),
+                         def.predicate_op, def.predicate_value)) {
+        continue;
+      }
+      ViewVertexFor(v, &total);
+    }
+  }
+  vertex_watermark_ = static_cast<VertexId>(base_->NumVertices());
+  for (EdgeId e = watermark_; e < static_cast<EdgeId>(base_->NumEdges());
+       ++e) {
+    KASKADE_ASSIGN_OR_RETURN(MaintenanceStats stats, OnEdgeAdded(e));
+    total.paths_added += stats.paths_added;
+    total.edges_added += stats.edges_added;
+    total.edges_updated += stats.edges_updated;
+    total.vertices_added += stats.vertices_added;
+  }
+  return total;
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,107 @@
+/// \file maintenance.h
+/// \brief Incremental maintenance of materialized graph views.
+///
+/// The paper defers view maintenance to the graph-view literature it
+/// builds on (Zhuge & Garcia-Molina, ICDE'98 — see §VIII); this module
+/// implements it for Kaskade's view classes under *edge insertions* (the
+/// provenance workload is append-only: jobs and lineage edges only ever
+/// arrive).
+///
+/// For a k-hop connector, inserting base edge (u -> v) creates exactly
+/// the k-paths that use the new edge: every simple path formed by a
+/// backward extension of length i from u and a forward extension of
+/// length k-1-i from v (0 <= i <= k-1). The maintainer enumerates those
+/// and upserts the corresponding connector edges, updating the "paths"
+/// multiplicity — O(sum_i deg^i * deg^(k-1-i)) per insertion instead of
+/// re-materializing the whole view.
+///
+/// For type-filter summarizers, insertion is a constant-time type check
+/// plus a copy.
+
+#ifndef KASKADE_CORE_MAINTENANCE_H_
+#define KASKADE_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/materializer.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::core {
+
+/// \brief Statistics from one maintenance operation.
+struct MaintenanceStats {
+  uint64_t paths_added = 0;       ///< New contracted paths (connectors).
+  uint64_t edges_added = 0;       ///< New view edges created.
+  uint64_t edges_updated = 0;     ///< Existing view edges re-weighted.
+  uint64_t vertices_added = 0;    ///< New view vertices created.
+};
+
+/// \brief Keeps one materialized view consistent with an append-only base
+/// graph.
+///
+/// Usage: materialize a view, construct a maintainer over base+view, then
+/// call `OnEdgeAdded(e)` for every edge appended to the base graph (in
+/// append order). Supported view kinds: k-hop connectors and the four
+/// type-filter summarizers. `Unimplemented` is returned for other kinds
+/// (re-materialize instead).
+///
+/// Invariant (tested property): after any insertion sequence, the
+/// maintained view graph has the same edge multiset — including "paths"
+/// multiplicities — as `Materialize(base, definition)` run from scratch.
+class ViewMaintainer {
+ public:
+  /// Binds to a base graph and a view previously materialized from it.
+  /// The maintainer indexes the current view; O(view size).
+  ViewMaintainer(const graph::PropertyGraph* base, MaterializedView* view);
+
+  /// Applies the consequences of base edge `e` (which must already be in
+  /// the base graph) to the view. Edges must be reported exactly once,
+  /// in insertion order.
+  Result<MaintenanceStats> OnEdgeAdded(graph::EdgeId e);
+
+  /// Convenience: processes every base edge beyond the watermark the
+  /// maintainer has seen (edge ids are dense and append-only).
+  Result<MaintenanceStats> CatchUp();
+
+ private:
+  Result<MaintenanceStats> MaintainConnector(graph::EdgeId e);
+  Result<MaintenanceStats> MaintainFilterSummarizer(graph::EdgeId e);
+
+  /// View vertex for a base vertex, creating it (with copied properties
+  /// and orig_id) on first use.
+  graph::VertexId ViewVertexFor(graph::VertexId base_vertex,
+                                MaintenanceStats* stats);
+
+  /// Upserts a connector edge (src, dst) with `paths` new contracted
+  /// paths.
+  Status UpsertConnectorEdge(graph::VertexId base_src,
+                             graph::VertexId base_dst, uint64_t paths,
+                             MaintenanceStats* stats);
+
+  const graph::PropertyGraph* base_;
+  MaterializedView* view_;
+  graph::EdgeTypeId connector_type_ = graph::kInvalidTypeId;
+  graph::VertexTypeId source_type_ = graph::kInvalidTypeId;
+  graph::VertexTypeId target_type_ = graph::kInvalidTypeId;
+  /// base vertex id -> view vertex id.
+  std::unordered_map<graph::VertexId, graph::VertexId> base_to_view_;
+  /// (view src, view dst) -> view edge id (connector edges are unique per
+  /// pair under deduplicated materialization).
+  std::map<std::pair<graph::VertexId, graph::VertexId>, graph::EdgeId>
+      connector_edges_;
+  /// Edge types preserved by a filter summarizer.
+  std::vector<bool> keep_edge_type_;
+  std::vector<bool> keep_vertex_type_;
+  /// First base edge id not yet processed.
+  graph::EdgeId watermark_ = 0;
+  /// First base vertex id not yet processed (summarizers copy kept
+  /// vertices even when isolated).
+  graph::VertexId vertex_watermark_ = 0;
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_MAINTENANCE_H_

@@ -1,0 +1,332 @@
+#include "core/materializer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "graph/contraction.h"
+
+namespace kaskade::core {
+
+using graph::EdgeId;
+using graph::EdgeTypeId;
+using graph::GraphSchema;
+using graph::PropertyGraph;
+using graph::PropertyMap;
+using graph::PropertyValue;
+using graph::VertexId;
+using graph::VertexTypeId;
+
+namespace {
+
+Result<MaterializedView> MaterializeConnector(const PropertyGraph& base,
+                                              const ViewDefinition& view) {
+  graph::ContractionSpec spec;
+  spec.connector_edge_name = view.EdgeName();
+  const GraphSchema& schema = base.schema();
+  auto resolve_type = [&](const std::string& name) -> Result<VertexTypeId> {
+    if (name.empty()) return graph::kInvalidTypeId;
+    VertexTypeId id = schema.FindVertexType(name);
+    if (id == graph::kInvalidTypeId) {
+      return Status::NotFound("unknown vertex type '" + name +
+                              "' in view definition");
+    }
+    return id;
+  };
+  KASKADE_ASSIGN_OR_RETURN(spec.source_type, resolve_type(view.source_type));
+  KASKADE_ASSIGN_OR_RETURN(spec.target_type, resolve_type(view.target_type));
+
+  switch (view.kind) {
+    case ViewKind::kKHopConnector:
+      spec.k = view.k;
+      break;
+    case ViewKind::kSameVertexTypeConnector:
+      spec.k = 0;  // variable length
+      spec.max_hops = view.k;
+      break;
+    case ViewKind::kSameEdgeTypeConnector: {
+      spec.k = 0;
+      spec.max_hops = view.k;
+      EdgeTypeId et = schema.FindEdgeType(view.path_edge_type);
+      if (et == graph::kInvalidTypeId) {
+        return Status::NotFound("unknown edge type '" + view.path_edge_type +
+                                "' in view definition");
+      }
+      spec.edge_types.push_back(et);
+      break;
+    }
+    case ViewKind::kSourceToSinkConnector:
+      spec.k = 0;
+      spec.max_hops = view.k;
+      spec.sources_and_sinks_only = true;
+      break;
+    default:
+      return Status::Internal("not a connector view");
+  }
+  KASKADE_ASSIGN_OR_RETURN(graph::ConnectorView cv,
+                           graph::ContractPaths(base, spec));
+  return MaterializedView{view, std::move(cv.view), std::move(cv.view_to_base)};
+}
+
+/// Shared machinery for the four type-filter summarizers: keeps the
+/// vertex/edge types accepted by the two predicates.
+Result<MaterializedView> MaterializeTypeFilter(
+    const PropertyGraph& base, const ViewDefinition& view,
+    const std::vector<bool>& keep_vertex_type,
+    const std::vector<bool>& keep_edge_type) {
+  const GraphSchema& schema = base.schema();
+  GraphSchema view_schema;
+  for (size_t t = 0; t < schema.num_vertex_types(); ++t) {
+    if (keep_vertex_type[t]) {
+      view_schema.AddVertexType(
+          schema.vertex_type_name(static_cast<VertexTypeId>(t)));
+    }
+  }
+  for (size_t e = 0; e < schema.num_edge_types(); ++e) {
+    const graph::EdgeTypeDecl& decl =
+        schema.edge_type(static_cast<EdgeTypeId>(e));
+    if (keep_edge_type[e] && keep_vertex_type[decl.source_type] &&
+        keep_vertex_type[decl.target_type]) {
+      KASKADE_RETURN_IF_ERROR(
+          view_schema
+              .AddEdgeType(decl.name,
+                           schema.vertex_type_name(decl.source_type),
+                           schema.vertex_type_name(decl.target_type))
+              .status());
+    }
+  }
+
+  // Property predicates (footnote 5): vertex-filter predicates drop
+  // non-matching vertices; edge-filter predicates drop non-matching
+  // edges.
+  bool vertex_predicate =
+      view.has_predicate() &&
+      (view.kind == ViewKind::kVertexInclusionSummarizer ||
+       view.kind == ViewKind::kVertexRemovalSummarizer);
+  bool edge_predicate = view.has_predicate() &&
+                        (view.kind == ViewKind::kEdgeInclusionSummarizer ||
+                         view.kind == ViewKind::kEdgeRemovalSummarizer);
+
+  PropertyGraph out(view_schema);
+  std::vector<VertexId> view_to_base;
+  std::unordered_map<VertexId, VertexId> base_to_view;
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    VertexTypeId t = base.VertexType(v);
+    if (!keep_vertex_type[t]) continue;
+    if (vertex_predicate &&
+        !EvalPredicate(base.VertexProperty(v, view.predicate_property),
+                       view.predicate_op, view.predicate_value)) {
+      continue;
+    }
+    VertexTypeId vt = out.schema().FindVertexType(schema.vertex_type_name(t));
+    PropertyMap props = base.VertexProperties(v);
+    props.Set("orig_id", PropertyValue(static_cast<int64_t>(v)));
+    VertexId nv = out.AddVertexOfType(vt, std::move(props));
+    base_to_view.emplace(v, nv);
+    view_to_base.push_back(v);
+  }
+  for (EdgeId e = 0; e < base.NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = base.Edge(e);
+    if (!keep_edge_type[rec.type]) continue;
+    if (edge_predicate &&
+        !EvalPredicate(base.EdgeProperty(e, view.predicate_property),
+                       view.predicate_op, view.predicate_value)) {
+      continue;
+    }
+    auto src = base_to_view.find(rec.source);
+    auto dst = base_to_view.find(rec.target);
+    if (src == base_to_view.end() || dst == base_to_view.end()) continue;
+    EdgeTypeId et =
+        out.schema().FindEdgeType(schema.edge_type(rec.type).name);
+    if (et == graph::kInvalidTypeId) continue;
+    KASKADE_RETURN_IF_ERROR(out.AddEdgeOfType(src->second, dst->second, et,
+                                              base.EdgeProperties(e))
+                                .status());
+  }
+  return MaterializedView{view, std::move(out), std::move(view_to_base)};
+}
+
+Result<MaterializedView> MaterializeSummarizer(const PropertyGraph& base,
+                                               const ViewDefinition& view) {
+  const GraphSchema& schema = base.schema();
+  std::vector<bool> keep_vertex(schema.num_vertex_types(), true);
+  std::vector<bool> keep_edge(schema.num_edge_types(), true);
+  auto vertex_type_id = [&](const std::string& name) -> Result<VertexTypeId> {
+    VertexTypeId id = schema.FindVertexType(name);
+    if (id == graph::kInvalidTypeId) {
+      return Status::NotFound("unknown vertex type '" + name + "'");
+    }
+    return id;
+  };
+  auto edge_type_id = [&](const std::string& name) -> Result<EdgeTypeId> {
+    EdgeTypeId id = schema.FindEdgeType(name);
+    if (id == graph::kInvalidTypeId) {
+      return Status::NotFound("unknown edge type '" + name + "'");
+    }
+    return id;
+  };
+  switch (view.kind) {
+    case ViewKind::kVertexInclusionSummarizer: {
+      keep_vertex.assign(schema.num_vertex_types(), false);
+      for (const std::string& t : view.type_list) {
+        KASKADE_ASSIGN_OR_RETURN(VertexTypeId id, vertex_type_id(t));
+        keep_vertex[id] = true;
+      }
+      break;
+    }
+    case ViewKind::kVertexRemovalSummarizer: {
+      for (const std::string& t : view.type_list) {
+        KASKADE_ASSIGN_OR_RETURN(VertexTypeId id, vertex_type_id(t));
+        keep_vertex[id] = false;
+      }
+      break;
+    }
+    case ViewKind::kEdgeInclusionSummarizer: {
+      keep_edge.assign(schema.num_edge_types(), false);
+      for (const std::string& t : view.type_list) {
+        KASKADE_ASSIGN_OR_RETURN(EdgeTypeId id, edge_type_id(t));
+        keep_edge[id] = true;
+      }
+      break;
+    }
+    case ViewKind::kEdgeRemovalSummarizer: {
+      for (const std::string& t : view.type_list) {
+        KASKADE_ASSIGN_OR_RETURN(EdgeTypeId id, edge_type_id(t));
+        keep_edge[id] = false;
+      }
+      break;
+    }
+    default:
+      return Status::Internal("not a filter summarizer view");
+  }
+  return MaterializeTypeFilter(base, view, keep_vertex, keep_edge);
+}
+
+/// Vertex- and subgraph-aggregator summarizers (Table II): group
+/// vertices by `group_by_property` into supervertices; numeric vertex
+/// properties are summed per group. Edges incident to grouped vertices
+/// are re-targeted to the supervertices; parallel view edges collapse
+/// into one with a "weight" count.
+///
+/// The vertex aggregator groups one vertex type. The subgraph aggregator
+/// groups every vertex carrying the property, keyed by (type, value) —
+/// the paper's template library likewise does not merge vertices of
+/// different types (§VI-B); vertices without the property stay
+/// individual.
+Result<MaterializedView> MaterializeVertexAggregator(
+    const PropertyGraph& base, const ViewDefinition& view) {
+  const GraphSchema& schema = base.schema();
+  const bool all_types =
+      view.kind == ViewKind::kSubgraphAggregatorSummarizer;
+  VertexTypeId agg_type = graph::kInvalidTypeId;
+  if (!all_types) {
+    agg_type = schema.FindVertexType(view.source_type);
+    if (agg_type == graph::kInvalidTypeId) {
+      return Status::NotFound("unknown vertex type '" + view.source_type +
+                              "'");
+    }
+  }
+  if (view.group_by_property.empty()) {
+    return Status::InvalidArgument("aggregator requires group_by_property");
+  }
+
+  GraphSchema view_schema;
+  for (const std::string& name : schema.vertex_type_names()) {
+    view_schema.AddVertexType(name);
+  }
+  for (const graph::EdgeTypeDecl& decl : schema.edge_types()) {
+    KASKADE_RETURN_IF_ERROR(
+        view_schema
+            .AddEdgeType(decl.name, schema.vertex_type_name(decl.source_type),
+                         schema.vertex_type_name(decl.target_type))
+            .status());
+  }
+  PropertyGraph out(view_schema);
+  std::vector<VertexId> view_to_base;
+  std::unordered_map<VertexId, VertexId> base_to_view;
+
+  // Pass 1: supervertices for grouped vertices, copies for the rest.
+  // Group keys include the vertex type so types never merge.
+  std::map<std::string, VertexId> group_vertex;
+  std::map<std::string, std::map<std::string, double>> group_sums;
+  std::map<std::string, int64_t> group_counts;
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    PropertyValue group_value =
+        base.VertexProperty(v, view.group_by_property);
+    bool grouped = all_types ? !group_value.is_null()
+                             : base.VertexType(v) == agg_type;
+    if (!grouped) {
+      PropertyMap props = base.VertexProperties(v);
+      props.Set("orig_id", PropertyValue(static_cast<int64_t>(v)));
+      VertexId nv = out.AddVertexOfType(base.VertexType(v), std::move(props));
+      base_to_view.emplace(v, nv);
+      view_to_base.push_back(v);
+      continue;
+    }
+    std::string key = std::to_string(base.VertexType(v)) + "\x1f" +
+                      group_value.ToString();
+    auto it = group_vertex.find(key);
+    if (it == group_vertex.end()) {
+      PropertyMap props;
+      props.Set(view.group_by_property, PropertyValue(group_value.ToString()));
+      VertexId nv = out.AddVertexOfType(base.VertexType(v), std::move(props));
+      it = group_vertex.emplace(key, nv).first;
+      view_to_base.push_back(v);  // representative
+    }
+    base_to_view.emplace(v, it->second);
+    ++group_counts[key];
+    for (const auto& [pkey, pvalue] : base.VertexProperties(v)) {
+      if (pvalue.is_numeric() && pkey != view.group_by_property) {
+        group_sums[key][pkey] += pvalue.ToDouble();
+      }
+    }
+  }
+  for (const auto& [key, sums] : group_sums) {
+    VertexId nv = group_vertex.at(key);
+    for (const auto& [pkey, total] : sums) {
+      KASKADE_RETURN_IF_ERROR(out.SetVertexProperty(nv, pkey, total));
+    }
+  }
+  for (const auto& [key, count] : group_counts) {
+    KASKADE_RETURN_IF_ERROR(
+        out.SetVertexProperty(group_vertex.at(key), "members", count));
+  }
+
+  // Pass 2: edges, collapsing parallels between supervertices.
+  std::map<std::tuple<VertexId, VertexId, EdgeTypeId>, EdgeId> dedup;
+  for (EdgeId e = 0; e < base.NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = base.Edge(e);
+    VertexId src = base_to_view.at(rec.source);
+    VertexId dst = base_to_view.at(rec.target);
+    auto key = std::make_tuple(src, dst, rec.type);
+    auto it = dedup.find(key);
+    if (it == dedup.end()) {
+      PropertyMap props;
+      props.Set("weight", PropertyValue(static_cast<int64_t>(1)));
+      KASKADE_ASSIGN_OR_RETURN(EdgeId ne,
+                               out.AddEdgeOfType(src, dst, rec.type,
+                                                 std::move(props)));
+      dedup.emplace(key, ne);
+    } else {
+      int64_t w = out.EdgeProperty(it->second, "weight").as_int();
+      KASKADE_RETURN_IF_ERROR(
+          out.SetEdgeProperty(it->second, "weight", PropertyValue(w + 1)));
+    }
+  }
+  return MaterializedView{view, std::move(out), std::move(view_to_base)};
+}
+
+}  // namespace
+
+Result<MaterializedView> Materialize(const PropertyGraph& base,
+                                     const ViewDefinition& view) {
+  if (IsConnector(view.kind)) return MaterializeConnector(base, view);
+  if (view.kind == ViewKind::kVertexAggregatorSummarizer ||
+      view.kind == ViewKind::kSubgraphAggregatorSummarizer) {
+    return MaterializeVertexAggregator(base, view);
+  }
+  return MaterializeSummarizer(base, view);
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,35 @@
+/// \file materializer.h
+/// \brief View materialization: executes a `ViewDefinition` against a base
+/// graph and produces the view graph (§V-B).
+///
+/// Connectors delegate to the path-contraction engine in `src/graph`;
+/// summarizers are evaluated directly (type filters and aggregations).
+/// In the paper this step translates the Prolog instantiation to Cypher
+/// and runs it on Neo4j; here the translation target is our own substrate.
+
+#ifndef KASKADE_CORE_MATERIALIZER_H_
+#define KASKADE_CORE_MATERIALIZER_H_
+
+#include "common/result.h"
+#include "core/view_definition.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::core {
+
+/// \brief A materialized graph view: the physical data object of §III-C.
+struct MaterializedView {
+  ViewDefinition definition;
+  graph::PropertyGraph graph;
+  /// Base-graph vertex id per view vertex (lineage; vertices also carry
+  /// an "orig_id" property).
+  std::vector<graph::VertexId> view_to_base;
+};
+
+/// Materializes `view` over `base`. Fails with InvalidArgument when the
+/// definition references unknown types or is internally inconsistent.
+Result<MaterializedView> Materialize(const graph::PropertyGraph& base,
+                                     const ViewDefinition& view);
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_MATERIALIZER_H_

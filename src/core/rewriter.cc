@@ -1,0 +1,477 @@
+#include "core/rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kaskade::core {
+
+using graph::GraphSchema;
+using graph::VertexTypeId;
+
+namespace {
+
+Status NotApplicable(const std::string& why) {
+  return Status::NotFound("view not applicable: " + why);
+}
+
+/// Union of vertex types reachable from `from` within 1..steps schema
+/// walk steps (forward when `forward`, else co-reachable).
+std::set<VertexTypeId> ReachableTypeUnion(const GraphSchema& schema,
+                                          VertexTypeId from, int steps,
+                                          bool forward) {
+  std::set<VertexTypeId> current{from};
+  std::set<VertexTypeId> all;
+  for (int i = 0; i < steps; ++i) {
+    std::set<VertexTypeId> next;
+    for (const graph::EdgeTypeDecl& decl : schema.edge_types()) {
+      VertexTypeId a = forward ? decl.source_type : decl.target_type;
+      VertexTypeId b = forward ? decl.target_type : decl.source_type;
+      if (current.count(a) > 0) next.insert(b);
+    }
+    if (next.empty()) break;
+    all.insert(next.begin(), next.end());
+    current = std::move(next);
+  }
+  return all;
+}
+
+/// Exact-length reachability table: result[i] is the set of vertex types
+/// reachable from `from` in exactly i steps (forward) or from which
+/// `from` is reachable in exactly i steps (backward).
+std::vector<std::set<VertexTypeId>> ExactReachability(const GraphSchema& schema,
+                                                      VertexTypeId from,
+                                                      int horizon,
+                                                      bool forward) {
+  std::vector<std::set<VertexTypeId>> table(horizon + 1);
+  table[0] = {from};
+  for (int i = 1; i <= horizon; ++i) {
+    for (const graph::EdgeTypeDecl& decl : schema.edge_types()) {
+      VertexTypeId a = forward ? decl.source_type : decl.target_type;
+      VertexTypeId b = forward ? decl.target_type : decl.source_type;
+      if (table[i - 1].count(a) > 0) table[i].insert(b);
+    }
+    if (table[i].empty()) break;
+  }
+  return table;
+}
+
+/// Checks rewrite exactness condition (b) of the header: over raw path
+/// lengths lr..ur between `src_type` and `dst_type`,
+///  - src->dst walks can only exist at lengths divisible by k, and
+///  - every such walk passes through `dst_type` (and nothing else) at
+///    every multiple-of-k offset, established by intersecting the
+///    forward-reachable types at the offset with the types that can
+///    still reach `dst_type` in the remaining steps.
+bool ConnectorCoversChain(const GraphSchema& schema, VertexTypeId src_type,
+                          VertexTypeId dst_type, int k, int lr, int ur) {
+  std::vector<std::set<VertexTypeId>> fwd =
+      ExactReachability(schema, src_type, ur, /*forward=*/true);
+  std::vector<std::set<VertexTypeId>> bwd =
+      ExactReachability(schema, dst_type, ur, /*forward=*/false);
+  for (int len = std::max(lr, 1); len <= ur; ++len) {
+    if (fwd[len].count(dst_type) == 0) continue;  // no walk of this length
+    if (len % k != 0) return false;  // raw length the connector cannot express
+    for (int offset = k; offset < len; offset += k) {
+      for (VertexTypeId t : fwd[offset]) {
+        if (t == dst_type) continue;
+        if (bwd[len - offset].count(t) > 0) return false;  // non-cut interior
+      }
+      // The cut point must be reachable as dst_type as well; otherwise no
+      // walk actually threads through this offset (vacuous, still fine).
+    }
+  }
+  return true;
+}
+
+/// Condition (a): `edge_type` is the only schema edge type between its
+/// declared endpoint types.
+bool EdgeTypeIsForced(const GraphSchema& schema, const std::string& edge_type) {
+  graph::EdgeTypeId id = schema.FindEdgeType(edge_type);
+  if (id == graph::kInvalidTypeId) return false;
+  const graph::EdgeTypeDecl& decl = schema.edge_type(id);
+  for (const graph::EdgeTypeDecl& other : schema.edge_types()) {
+    if (&other == &decl) continue;
+    if (other.source_type == decl.source_type &&
+        other.target_type == decl.target_type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PatternChain> ExtractChain(const query::MatchQuery& match) {
+  if (match.edges.empty()) return NotApplicable("pattern has no edges");
+  // Map out/in degree within the pattern.
+  std::map<std::string, int> out_deg;
+  std::map<std::string, int> in_deg;
+  for (const query::EdgePattern& e : match.edges) {
+    ++out_deg[e.from];
+    ++in_deg[e.to];
+  }
+  std::string start;
+  for (const query::NodePattern& n : match.nodes) {
+    if (out_deg[n.name] > 1 || in_deg[n.name] > 1) {
+      return NotApplicable("pattern branches at node '" + n.name + "'");
+    }
+    if (in_deg[n.name] == 0 && out_deg[n.name] == 1) {
+      if (!start.empty()) return NotApplicable("pattern has multiple chains");
+      start = n.name;
+    }
+  }
+  if (start.empty()) return NotApplicable("pattern is cyclic");
+
+  // Walk the chain.
+  std::map<std::string, const query::EdgePattern*> edge_from;
+  for (const query::EdgePattern& e : match.edges) edge_from[e.from] = &e;
+  PatternChain chain;
+  chain.node_names.push_back(start);
+  std::string cur = start;
+  size_t used_edges = 0;
+  while (true) {
+    auto it = edge_from.find(cur);
+    if (it == edge_from.end()) break;
+    const query::EdgePattern* e = it->second;
+    chain.min_total_hops += e->variable_length ? e->min_hops : 1;
+    chain.max_total_hops += e->variable_length ? e->max_hops : 1;
+    chain.node_names.push_back(e->to);
+    cur = e->to;
+    ++used_edges;
+  }
+  if (used_edges != match.edges.size()) {
+    return NotApplicable("pattern is not a single connected chain");
+  }
+  if (chain.node_names.size() != match.nodes.size()) {
+    return NotApplicable("pattern has nodes outside the chain");
+  }
+  return chain;
+}
+
+namespace {
+
+/// Maps query comparison operators onto view predicate operators.
+PredicateOp ToPredicateOp(query::CompareOp op) {
+  switch (op) {
+    case query::CompareOp::kEq:
+      return PredicateOp::kEq;
+    case query::CompareOp::kNe:
+      return PredicateOp::kNe;
+    case query::CompareOp::kLt:
+      return PredicateOp::kLt;
+    case query::CompareOp::kLe:
+      return PredicateOp::kLe;
+    case query::CompareOp::kGt:
+      return PredicateOp::kGt;
+    case query::CompareOp::kGe:
+      return PredicateOp::kGe;
+  }
+  return PredicateOp::kNone;
+}
+
+/// A predicate summarizer covers a query only when the query provably
+/// re-applies the predicate everywhere a filtered vertex could bind:
+/// every pattern node carries the identical WHERE condition, and there
+/// are no variable-length segments (whose interior vertices cannot carry
+/// conditions).
+bool PredicateCovered(const ViewDefinition& view,
+                      const query::MatchQuery& match) {
+  if (!view.has_predicate()) return true;
+  for (const query::EdgePattern& e : match.edges) {
+    if (e.variable_length) return false;
+  }
+  for (const query::NodePattern& n : match.nodes) {
+    bool has_condition = false;
+    for (const query::Condition& cond : match.where) {
+      if (cond.lhs.base == n.name &&
+          cond.lhs.property == view.predicate_property &&
+          ToPredicateOp(cond.op) == view.predicate_op &&
+          cond.rhs == view.predicate_value) {
+        has_condition = true;
+      }
+    }
+    if (!has_condition) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SummarizerCoversQuery(const ViewDefinition& view, const query::Query& q,
+                           const graph::GraphSchema& schema) {
+  const query::MatchQuery* match = q.InnermostMatch();
+  if (match == nullptr) return false;
+  if (!PredicateCovered(view, *match)) return false;
+  auto in_list = [&](const std::string& name) {
+    return std::find(view.type_list.begin(), view.type_list.end(), name) !=
+           view.type_list.end();
+  };
+
+  // Edge-filter summarizers: every edge (including every step of a
+  // variable-length segment) must provably use kept edge types; untyped
+  // or variable-length segments are rejected conservatively.
+  if (view.kind == ViewKind::kEdgeInclusionSummarizer ||
+      view.kind == ViewKind::kEdgeRemovalSummarizer) {
+    bool inclusion = view.kind == ViewKind::kEdgeInclusionSummarizer;
+    for (const query::EdgePattern& e : match->edges) {
+      if (e.type.empty() || e.variable_length) return false;
+      bool listed = in_list(e.type);
+      if (inclusion ? !listed : listed) return false;
+    }
+    return true;
+  }
+  if (view.kind != ViewKind::kVertexInclusionSummarizer &&
+      view.kind != ViewKind::kVertexRemovalSummarizer) {
+    return false;
+  }
+
+  // Vertex-filter summarizers: compute the kept-type set, then check that
+  // (1) every typed pattern node is kept, (2) the domain/range of every
+  // typed edge is kept, (3) the possible interior types of every
+  // variable-length segment are kept (a raw-graph path could otherwise
+  // wander through removed vertices that the view lacks).
+  std::vector<bool> kept(schema.num_vertex_types(),
+                         view.kind == ViewKind::kVertexRemovalSummarizer);
+  for (const std::string& t : view.type_list) {
+    VertexTypeId id = schema.FindVertexType(t);
+    if (id == graph::kInvalidTypeId) return false;
+    kept[id] = view.kind == ViewKind::kVertexInclusionSummarizer;
+  }
+  auto type_kept = [&](const std::string& name) {
+    VertexTypeId id = schema.FindVertexType(name);
+    return id != graph::kInvalidTypeId && kept[id];
+  };
+
+  bool all_kept = std::all_of(kept.begin(), kept.end(), [](bool b) { return b; });
+  for (const query::NodePattern& n : match->nodes) {
+    if (n.type.empty()) {
+      if (!all_kept) return false;  // untyped node may bind a removed vertex
+      continue;
+    }
+    if (!type_kept(n.type)) return false;
+  }
+  for (const query::EdgePattern& e : match->edges) {
+    if (!e.type.empty() && !e.variable_length) {
+      graph::EdgeTypeId id = schema.FindEdgeType(e.type);
+      if (id == graph::kInvalidTypeId) return false;
+      const graph::EdgeTypeDecl& decl = schema.edge_type(id);
+      if (!kept[decl.source_type] || !kept[decl.target_type]) return false;
+    }
+    if (e.variable_length && e.max_hops > 1) {
+      const query::NodePattern* from = match->FindNode(e.from);
+      const query::NodePattern* to = match->FindNode(e.to);
+      if (from == nullptr || to == nullptr || from->type.empty() ||
+          to->type.empty()) {
+        if (!all_kept) return false;
+        continue;
+      }
+      VertexTypeId src = schema.FindVertexType(from->type);
+      VertexTypeId dst = schema.FindVertexType(to->type);
+      // Interior types are (conservatively) those both forward-reachable
+      // from the segment source and backward-reachable from its target
+      // within the hop budget.
+      std::set<VertexTypeId> fwd =
+          ReachableTypeUnion(schema, src, e.max_hops - 1, /*forward=*/true);
+      std::set<VertexTypeId> bwd =
+          ReachableTypeUnion(schema, dst, e.max_hops - 1, /*forward=*/false);
+      for (VertexTypeId t : fwd) {
+        if (bwd.count(t) > 0 && !kept[t]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Builds the rewritten query: the innermost MATCH chain replaced by a
+/// single connector edge pattern (fixed when h_min == h_max == 1).
+query::Query ReplaceChainWithConnector(const query::Query& q,
+                                       const query::NodePattern& xn,
+                                       const query::NodePattern& yn,
+                                       const std::string& edge_type,
+                                       int h_min, int h_max) {
+  query::Query rewritten = q.Clone();
+  query::MatchQuery* rm = rewritten.MutableInnermostMatch();
+  query::MatchQuery replacement;
+  replacement.nodes.push_back(xn);
+  if (yn.name != xn.name) replacement.nodes.push_back(yn);
+  query::EdgePattern edge;
+  edge.from = xn.name;
+  edge.to = yn.name;
+  edge.type = edge_type;
+  if (h_min == 1 && h_max == 1) {
+    edge.variable_length = false;
+  } else {
+    edge.variable_length = true;
+    edge.min_hops = h_min;
+    edge.max_hops = h_max;
+  }
+  replacement.edges.push_back(std::move(edge));
+  for (const query::Condition& cond : rm->where) {
+    replacement.where.push_back(cond);
+  }
+  replacement.return_items = rm->return_items;
+  *rm = std::move(replacement);
+  return rewritten;
+}
+
+/// Same-vertex-type (variable-length) connector rewrite: the view's one
+/// edge merges all path lengths 1..view.k between T-typed vertices, so
+/// exactness needs the query's accepted length window [lr..ur] to align
+/// with the view's 1..k window wherever the schema admits T-to-T walks:
+/// no feasible length below lr, none in (ur..k].
+Result<query::Query> RewriteWithSameTypeConnector(
+    const query::Query& q, const ViewDefinition& view,
+    const graph::GraphSchema& schema, const query::MatchQuery& match,
+    const PatternChain& chain) {
+  const std::string& x = chain.node_names.front();
+  const std::string& y = chain.node_names.back();
+  const query::NodePattern* xn = match.FindNode(x);
+  const query::NodePattern* yn = match.FindNode(y);
+  if (xn == nullptr || yn == nullptr) {
+    return Status::Internal("chain endpoints missing from pattern");
+  }
+  if (xn->type != view.source_type || yn->type != view.source_type) {
+    return NotApplicable("chain endpoint types do not match the view");
+  }
+  for (const query::EdgePattern& e : match.edges) {
+    if (!e.type.empty() && !EdgeTypeIsForced(schema, e.type)) {
+      return NotApplicable("edge type '" + e.type +
+                           "' is not the unique type between its endpoints");
+    }
+  }
+  VertexTypeId type = schema.FindVertexType(view.source_type);
+  if (type == graph::kInvalidTypeId) {
+    return NotApplicable("view endpoint type unknown to the schema");
+  }
+  const int lr = chain.min_total_hops;
+  const int ur = chain.max_total_hops;
+  const int horizon = std::max(ur, view.k);
+  std::vector<std::set<VertexTypeId>> fwd =
+      ExactReachability(schema, type, horizon, /*forward=*/true);
+  auto feasible = [&](int len) { return fwd[len].count(type) > 0; };
+  for (int len = 1; len < lr; ++len) {
+    if (feasible(len)) {
+      return NotApplicable(
+          "view merges path lengths below the query's lower bound");
+    }
+  }
+  for (int len = ur + 1; len <= view.k; ++len) {
+    if (feasible(len)) {
+      return NotApplicable(
+          "view merges path lengths above the query's upper bound");
+    }
+  }
+  for (int len = view.k + 1; len <= ur; ++len) {
+    if (feasible(len)) {
+      return NotApplicable(
+          "query accepts path lengths beyond the view's contraction bound");
+    }
+  }
+  // Interiors must be unobserved (same rule as k-hop).
+  std::set<std::string> interior(chain.node_names.begin() + 1,
+                                 chain.node_names.end() - 1);
+  for (const query::ReturnItem& item : match.return_items) {
+    if (interior.count(item.variable) > 0) {
+      return NotApplicable("chain interior vertex is returned");
+    }
+  }
+  for (const query::Condition& cond : match.where) {
+    if (interior.count(cond.lhs.base) > 0) {
+      return NotApplicable("chain interior vertex is filtered");
+    }
+  }
+  return ReplaceChainWithConnector(q, *xn, *yn, view.EdgeName(), 1, 1);
+}
+
+}  // namespace
+
+Result<query::Query> RewriteQueryWithView(const query::Query& q,
+                                          const ViewDefinition& view,
+                                          const graph::GraphSchema& schema) {
+  if (!IsConnector(view.kind)) {
+    if (SummarizerCoversQuery(view, q, schema)) return q.Clone();
+    return NotApplicable("summarizer drops types the query uses");
+  }
+  const query::MatchQuery* pre_match = q.InnermostMatch();
+  if (pre_match == nullptr) return NotApplicable("query has no MATCH clause");
+  if (view.kind == ViewKind::kSameVertexTypeConnector) {
+    KASKADE_ASSIGN_OR_RETURN(PatternChain pre_chain, ExtractChain(*pre_match));
+    return RewriteWithSameTypeConnector(q, view, schema, *pre_match,
+                                        pre_chain);
+  }
+  if (view.kind != ViewKind::kKHopConnector) {
+    return NotApplicable(
+        "same-edge-type and source-to-sink connector rewrites are not "
+        "supported (materialize and query them directly)");
+  }
+
+  const query::MatchQuery* match = q.InnermostMatch();
+  if (match == nullptr) return NotApplicable("query has no MATCH clause");
+  KASKADE_ASSIGN_OR_RETURN(PatternChain chain, ExtractChain(*match));
+
+  const std::string& x = chain.node_names.front();
+  const std::string& y = chain.node_names.back();
+  const query::NodePattern* xn = match->FindNode(x);
+  const query::NodePattern* yn = match->FindNode(y);
+  if (xn == nullptr || yn == nullptr) {
+    return Status::Internal("chain endpoints missing from pattern");
+  }
+  if (xn->type != view.source_type || yn->type != view.target_type) {
+    return NotApplicable("chain endpoint types do not match the view");
+  }
+  // Intermediates must not be observable.
+  std::set<std::string> interior(chain.node_names.begin() + 1,
+                                 chain.node_names.end() - 1);
+  for (const query::ReturnItem& item : match->return_items) {
+    if (interior.count(item.variable) > 0) {
+      return NotApplicable("chain interior vertex is returned");
+    }
+  }
+  for (const query::Condition& cond : match->where) {
+    if (interior.count(cond.lhs.base) > 0) {
+      return NotApplicable("chain interior vertex is filtered");
+    }
+  }
+  // Exactness (a): typed chain edges must be schema-forced.
+  for (const query::EdgePattern& e : match->edges) {
+    if (!e.type.empty() && !EdgeTypeIsForced(schema, e.type)) {
+      return NotApplicable("edge type '" + e.type +
+                           "' is not the unique type between its endpoints");
+    }
+  }
+
+  const int k = view.k;
+  const int lr = chain.min_total_hops;
+  const int ur = chain.max_total_hops;
+  int h_min = (lr + k - 1) / k;  // ceil
+  int h_max = ur / k;            // floor
+  if (h_max < 1 || h_max < h_min) {
+    return NotApplicable("no multiple of k fits the chain's hop range");
+  }
+
+  VertexTypeId src_type = schema.FindVertexType(view.source_type);
+  VertexTypeId dst_type = schema.FindVertexType(view.target_type);
+  if (src_type == graph::kInvalidTypeId || dst_type == graph::kInvalidTypeId) {
+    return NotApplicable("view endpoint type unknown to the schema");
+  }
+  if (src_type != dst_type && h_max > 1) {
+    // Connector edges go srcT -> dstT; chaining needs srcT == dstT.
+    h_max = 1;
+    if (h_min > 1) return NotApplicable("cross-type connector cannot chain");
+  }
+  // Exactness (b): within the chain's hop range, src->dst walks exist
+  // only at multiples of k and cut at connector vertices.
+  if (!ConnectorCoversChain(schema, src_type, dst_type, k, lr, ur)) {
+    return NotApplicable("schema admits paths the connector cannot cover");
+  }
+
+  // Replace the chain with X -[:CONNECTOR*h_min..h_max]-> Y; endpoint
+  // WHERE conditions and the RETURN clause carry over.
+  return ReplaceChainWithConnector(q, *xn, *yn, view.EdgeName(), h_min,
+                                   h_max);
+}
+
+}  // namespace kaskade::core

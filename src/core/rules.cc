@@ -1,0 +1,206 @@
+#include "core/rules.h"
+
+#include <string>
+
+namespace kaskade::core {
+
+const char* SchemaConstraintRules() {
+  return R"PL(
+% ---------------------------------------------------------------------------
+% Schema constraint mining (paper Lst. 2).
+% Determine whether acyclic directed k-length paths between two node
+% types X and Y are feasible over the input graph schema. schemaEdge are
+% explicit constraints extracted from the schema.
+% ---------------------------------------------------------------------------
+schemaKHopPath(X, Y, K) :-
+    schemaKHopPath(X, Y, K, []).
+schemaKHopPath(X, Y, 1, _) :-
+    schemaEdge(X, Y, _).
+schemaKHopPath(X, Y, K, Trail) :-
+    schemaEdge(X, Z, _), not(member(Z, Trail)),
+    schemaKHopPath(Z, Y, K1, [X|Trail]), K is K1 + 1.
+
+% Walk variant: k-length schema walks may revisit vertex types (needed to
+% validate K>=3 connectors over cyclic schemas such as Job<->File).
+% Requires K bound; view templates bind K from the query constraints
+% before consulting the schema, which is exactly how constraint injection
+% prunes this search.
+schemaKHopWalk(X, Y, 1) :-
+    schemaEdge(X, Y, _).
+schemaKHopWalk(X, Y, K) :-
+    integer(K), K > 1,
+    schemaEdge(X, Z, _),
+    K1 is K - 1,
+    schemaKHopWalk(Z, Y, K1).
+
+% Reachability over the schema graph (trail-bounded, so it terminates on
+% cyclic schemas).
+schemaPath(X, Y) :- schemaPathTrail(X, Y, [X]).
+schemaPathTrail(X, Y, _) :- schemaEdge(X, Y, _).
+schemaPathTrail(X, Y, Trail) :-
+    schemaEdge(X, Z, _), not(member(Z, Trail)),
+    schemaPathTrail(Z, Y, [Z|Trail]).
+
+% All edge types named by the schema.
+schemaEdgeType(T) :- schemaEdge(_, _, T).
+)PL";
+}
+
+const char* QueryConstraintRules() {
+  return R"PL(
+% ---------------------------------------------------------------------------
+% Query constraint mining (paper Lst. 6).
+% ---------------------------------------------------------------------------
+% Query k-hop variable length paths
+queryKHopVariableLengthPath(X, Y, K) :-
+    queryVariableLengthPath(X, Y, LOWER, UPPER),
+    between(LOWER, UPPER, K).
+
+% Query k-hop paths
+queryKHopPath(X, Y, 1) :- queryEdge(X, Y).
+queryKHopPath(X, Y, K) :-
+    queryKHopVariableLengthPath(X, Y, K).
+queryKHopPath(X, Y, K) :- queryEdge(X, Z),
+    queryKHopPath(Z, Y, K1), K is K1 + 1.
+queryKHopPath(X, Y, K) :-
+    queryKHopVariableLengthPath(X, Z, K2),
+    queryKHopPath(Z, Y, K1), K is K1 + K2.
+
+% Query paths
+queryPath(X, Y) :- queryEdge(X, Y).
+queryPath(X, Y) :- queryKHopPath(X, Y, _).
+queryPath(X, Y) :- queryEdge(X, Z), queryPath(Z, Y).
+
+% Query vertex source/sink
+queryVertexSource(X) :- queryVertexInDegree(X, 0).
+queryVertexSink(X) :- queryVertexOutDegree(X, 0).
+
+% Query vertex in/out degrees. Lst. 6 counts only queryEdge facts, but a
+% vertex that anchors a variable-length path segment is clearly not a
+% source/sink; incident var-length paths count toward the degree here.
+queryIncomingVertices(X, INLIST) :- queryVertex(X),
+    findall(SRC, queryIncidentIn(SRC, X), INLIST).
+queryOutgoingVertices(X, OUTLIST) :- queryVertex(X),
+    findall(DST, queryIncidentOut(X, DST), OUTLIST).
+queryIncidentIn(S, X) :- queryEdge(S, X).
+queryIncidentIn(S, X) :- queryVariableLengthPath(S, X, _, _).
+queryIncidentOut(X, D) :- queryEdge(X, D).
+queryIncidentOut(X, D) :- queryVariableLengthPath(X, D, _, _).
+queryVertexInDegree(X, D) :-
+    queryIncomingVertices(X, INLIST), length(INLIST, D).
+queryVertexOutDegree(X, D) :-
+    queryOutgoingVertices(X, OUTLIST), length(OUTLIST, D).
+
+% Vertex/edge types referenced anywhere in the query.
+queryUsesVertexType(T) :- queryVertexType(_, T).
+queryUsesEdgeType(T) :- queryEdgeType(_, _, T).
+)PL";
+}
+
+const char* ConnectorViewTemplates() {
+  return R"PL(
+% ---------------------------------------------------------------------------
+% Connector view templates (paper Lst. 3).
+% ---------------------------------------------------------------------------
+% k-hop connector between nodes X and Y.
+kHopConnector(X, Y, XTYPE, YTYPE, K) :-
+    % query constraints
+    queryVertexType(X, XTYPE),
+    queryVertexType(Y, YTYPE),
+    queryKHopPath(X, Y, K),
+    % schema constraints (K is bound here, so the walk terminates)
+    schemaKHopWalk(XTYPE, YTYPE, K).
+
+% k-hop connector where all vertices are of the same type.
+kHopConnectorSameVertexType(X, Y, VTYPE, K) :-
+    kHopConnector(X, Y, VTYPE, VTYPE, K).
+
+% Variable-length connector where all vertices are of the same type.
+connectorSameVertexType(X, Y, VTYPE) :-
+    % query constraints
+    queryVertexType(X, VTYPE),
+    queryVertexType(Y, VTYPE),
+    queryPath(X, Y),
+    % schema constraints
+    schemaPath(VTYPE, VTYPE).
+
+% Source-to-sink variable-length connector.
+sourceToSinkConnector(X, Y) :-
+    % query constraints
+    queryVertexSource(X),
+    queryVertexSink(Y),
+    queryPath(X, Y),
+    % schema constraints (over the endpoint types)
+    queryVertexType(X, XTYPE),
+    queryVertexType(Y, YTYPE),
+    schemaPath(XTYPE, YTYPE).
+
+% Same-edge-type connector (Table I): the query traverses a
+% variable-length path restricted to a single edge type, and the schema
+% allows that type to chain (its range can reach its domain... for a
+% single type, chaining requires range == domain or repeated hops of the
+% same type; the schema check below requires the type to exist).
+sameEdgeTypeConnector(X, Y, ETYPE) :-
+    % query constraints
+    queryVariableLengthPathType(X, Y, ETYPE),
+    % schema constraints
+    schemaEdgeType(ETYPE).
+)PL";
+}
+
+const char* SummarizerViewTemplates() {
+  return R"PL(
+% ---------------------------------------------------------------------------
+% Summarizer view templates (paper Lst. 5, plus the schema-driven
+% inclusion/removal templates used by the evaluation's "filter" views).
+% ---------------------------------------------------------------------------
+% summarizers: filter vertices and edges by type (paper Lst. 5 verbatim)
+summarizerRemoveEdges(X, Y, ETYPE_REMOVE, ETYPE_KEPT) :-
+    queryEdge(X, Y), not(queryEdgeType(X, Y, ETYPE_REMOVE)),
+    queryEdgeType(X, Y, ETYPE_KEPT).
+summarizerRemoveVertices(X, VTYPE_REMOVE, VTYPE_KEPT) :-
+    queryVertex(X), not(queryVertexType(X, VTYPE_REMOVE)),
+    queryVertexType(X, VTYPE_KEPT).
+
+% Schema-driven summarizers: keep exactly the vertex/edge types the query
+% references; remove every schema type the query never touches. These
+% instantiate the "schema-level summarizer" of the paper's evaluation
+% (SS VII-E), which prunes task/machine vertices from the provenance graph.
+vertexInclusionSummarizer(TYPES) :-
+    setof(T, queryUsesVertexType(T), TYPES).
+vertexRemovalSummarizer(VTYPE) :-
+    schemaVertex(VTYPE), not(queryUsesVertexType(VTYPE)).
+edgeInclusionSummarizer(TYPES) :-
+    setof(T, queryUsesEdgeType(T), TYPES).
+edgeRemovalSummarizer(ETYPE) :-
+    schemaEdgeType(ETYPE), not(queryUsesEdgeType(ETYPE)).
+
+% Example aggr function for higher-order functions such as aggregator
+% graph view templates (paper Lst. 5).
+sum(X, Y, R) :- R is X + Y.
+
+% Ego-centric k-hop neighborhood (undirected).
+queryVertexKHopNbors(K, X, LIST) :- queryVertex(X),
+    findall(SRC, queryKHopPath(SRC, X, K), INLIST),
+    findall(DST, queryKHopPath(X, DST, K), OUTLIST),
+    append(INLIST, OUTLIST, TMPLIST), sort(TMPLIST, LIST).
+
+% Example aggregator using k-hop neighborhood, e.g., aggregate all 1-hop
+% neighbors as sum of their bytes:
+%   kHopNborsAggregator(1, j2, 'bytes', sum, R).
+kHopNborsAggregator(K, X, P, AGGR, RESULT) :-
+    queryVertexKHopNbors(K, X, NBORS),
+    convlist(property(P), NBORS, OUTLIST),
+    foldl(AGGR, OUTLIST, 0, RESULT).
+)PL";
+}
+
+const char* AllRules() {
+  static const std::string all = std::string(SchemaConstraintRules()) +
+                                 QueryConstraintRules() +
+                                 ConnectorViewTemplates() +
+                                 SummarizerViewTemplates();
+  return all.c_str();
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,48 @@
+/// \file rules.h
+/// \brief Kaskade's library of constraint-mining rules and view templates,
+/// expressed in Prolog (§IV, Listings 2, 3, 5, 6).
+///
+/// Fidelity notes versus the paper's listings:
+///  - Lst. 3's `kHopConnector` body writes `schemaKHopPath(XTYPE, TYPE,
+///    K)`; `TYPE` is an obvious typo for `YTYPE` and is fixed here.
+///  - Lst. 2's `schemaKHopPath` keeps a trail of *visited vertex types*,
+///    which makes it enumerate only type-acyclic schema paths. That
+///    contradicts the paper's own §IV-B example, where K = 2,4,6,8,10
+///    job-to-job connectors are enumerated over a two-type schema (those
+///    walks revisit types). We therefore provide both: `schemaKHopPath`
+///    exactly as printed (terminates even with K unbound), and
+///    `schemaKHopWalk`, a count-down variant that permits type revisits
+///    and terminates whenever K is bound — which it always is inside view
+///    templates because the query constraints bind K first. This is
+///    precisely the paper's point about injecting query constraints to
+///    bound the schema search.
+///  - Lst. 3's `connectorSameVertexType`/`sourceToSinkConnector` write
+///    `schemaPath(X, Y)` over query vertices; the schema check must be
+///    over their *types*, fixed here.
+
+#ifndef KASKADE_CORE_RULES_H_
+#define KASKADE_CORE_RULES_H_
+
+namespace kaskade::core {
+
+/// Schema constraint-mining rules (Lst. 2 plus the walk variant and
+/// schemaPath).
+const char* SchemaConstraintRules();
+
+/// Query constraint-mining rules (Lst. 6 verbatim: k-hop paths, paths,
+/// source/sink, degree rules).
+const char* QueryConstraintRules();
+
+/// Connector view templates (Lst. 3, with the typo fixes noted above).
+const char* ConnectorViewTemplates();
+
+/// Summarizer view templates (Lst. 5 verbatim plus the schema-driven
+/// inclusion/removal templates Kaskade's evaluation uses).
+const char* SummarizerViewTemplates();
+
+/// All of the above concatenated (what the view enumerator consults).
+const char* AllRules();
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_RULES_H_

@@ -1,0 +1,193 @@
+#include "core/view_definition.h"
+
+#include "common/string_util.h"
+
+namespace kaskade::core {
+
+const char* ViewKindName(ViewKind kind) {
+  switch (kind) {
+    case ViewKind::kKHopConnector:
+      return "k-hop connector";
+    case ViewKind::kSameVertexTypeConnector:
+      return "same-vertex-type connector";
+    case ViewKind::kSameEdgeTypeConnector:
+      return "same-edge-type connector";
+    case ViewKind::kSourceToSinkConnector:
+      return "source-to-sink connector";
+    case ViewKind::kVertexInclusionSummarizer:
+      return "vertex-inclusion summarizer";
+    case ViewKind::kVertexRemovalSummarizer:
+      return "vertex-removal summarizer";
+    case ViewKind::kEdgeInclusionSummarizer:
+      return "edge-inclusion summarizer";
+    case ViewKind::kEdgeRemovalSummarizer:
+      return "edge-removal summarizer";
+    case ViewKind::kVertexAggregatorSummarizer:
+      return "vertex-aggregator summarizer";
+    case ViewKind::kSubgraphAggregatorSummarizer:
+      return "subgraph-aggregator summarizer";
+  }
+  return "unknown";
+}
+
+bool IsConnector(ViewKind kind) {
+  switch (kind) {
+    case ViewKind::kKHopConnector:
+    case ViewKind::kSameVertexTypeConnector:
+    case ViewKind::kSameEdgeTypeConnector:
+    case ViewKind::kSourceToSinkConnector:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* PredicateOpName(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kNone:
+      return "";
+    case PredicateOp::kEq:
+      return "=";
+    case PredicateOp::kNe:
+      return "<>";
+    case PredicateOp::kLt:
+      return "<";
+    case PredicateOp::kLe:
+      return "<=";
+    case PredicateOp::kGt:
+      return ">";
+    case PredicateOp::kGe:
+      return ">=";
+  }
+  return "";
+}
+
+bool EvalPredicate(const graph::PropertyValue& lhs, PredicateOp op,
+                   const graph::PropertyValue& rhs) {
+  switch (op) {
+    case PredicateOp::kNone:
+      return true;
+    case PredicateOp::kEq:
+      return lhs == rhs;
+    case PredicateOp::kNe:
+      return lhs != rhs;
+    case PredicateOp::kLt:
+      return lhs < rhs;
+    case PredicateOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case PredicateOp::kGt:
+      return rhs < lhs;
+    case PredicateOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+namespace {
+
+std::string PredicateSuffix(const ViewDefinition& view) {
+  if (!view.has_predicate()) return "";
+  return "{" + view.predicate_property + PredicateOpName(view.predicate_op) +
+         view.predicate_value.ToString() + "}";
+}
+
+}  // namespace
+
+std::string ViewDefinition::Name() const {
+  switch (kind) {
+    case ViewKind::kKHopConnector:
+      return "khop" + std::to_string(k) + "[" + source_type + "->" +
+             target_type + "]";
+    case ViewKind::kSameVertexTypeConnector:
+      return "conn*" + std::to_string(k) + "[" + source_type + "]";
+    case ViewKind::kSameEdgeTypeConnector:
+      return "econn*" + std::to_string(k) + "[" + path_edge_type + "]";
+    case ViewKind::kSourceToSinkConnector:
+      return "src2sink*" + std::to_string(k) + "[" + source_type + "->" +
+             target_type + "]";
+    case ViewKind::kVertexInclusionSummarizer:
+      return "vinc[" + JoinStrings(type_list, ",") + "]" +
+             PredicateSuffix(*this);
+    case ViewKind::kVertexRemovalSummarizer:
+      return "vrem[" + JoinStrings(type_list, ",") + "]" +
+             PredicateSuffix(*this);
+    case ViewKind::kEdgeInclusionSummarizer:
+      return "einc[" + JoinStrings(type_list, ",") + "]" +
+             PredicateSuffix(*this);
+    case ViewKind::kEdgeRemovalSummarizer:
+      return "erem[" + JoinStrings(type_list, ",") + "]" +
+             PredicateSuffix(*this);
+    case ViewKind::kVertexAggregatorSummarizer:
+      return "vagg[" + source_type + " by " + group_by_property + "]";
+    case ViewKind::kSubgraphAggregatorSummarizer:
+      return "sagg[by " + group_by_property + "]";
+  }
+  return "view";
+}
+
+std::string ViewDefinition::EdgeName() const {
+  if (!connector_edge_name.empty()) return connector_edge_name;
+  std::string src = ToUpperAscii(source_type.empty() ? "ANY" : source_type);
+  std::string dst = ToUpperAscii(target_type.empty() ? "ANY" : target_type);
+  switch (kind) {
+    case ViewKind::kKHopConnector:
+      return std::to_string(k) + "_HOP_" + src + "_TO_" + dst;
+    case ViewKind::kSameVertexTypeConnector:
+      return "CONN_" + src + "_TO_" + src;
+    case ViewKind::kSameEdgeTypeConnector:
+      return "CONN_VIA_" + ToUpperAscii(path_edge_type);
+    case ViewKind::kSourceToSinkConnector:
+      return "SRC_TO_SINK";
+    default:
+      return "VIEW_EDGE";
+  }
+}
+
+std::string ViewDefinition::ToCypher() const {
+  auto node = [](const char* var, const std::string& type) {
+    std::string s = "(";
+    s += var;
+    if (!type.empty()) s += ":" + type;
+    return s + ")";
+  };
+  switch (kind) {
+    case ViewKind::kKHopConnector:
+      return "MATCH " + node("x", source_type) + "-[*" + std::to_string(k) +
+             ".." + std::to_string(k) + "]->" + node("y", target_type) +
+             " MERGE (x)-[:" + EdgeName() + "]->(y)";
+    case ViewKind::kSameVertexTypeConnector:
+      return "MATCH " + node("x", source_type) + "-[*1.." + std::to_string(k) +
+             "]->" + node("y", source_type) + " MERGE (x)-[:" + EdgeName() +
+             "]->(y)";
+    case ViewKind::kSameEdgeTypeConnector:
+      return "MATCH " + node("x", "") + "-[:" + path_edge_type + "*1.." +
+             std::to_string(k) + "]->" + node("y", "") + " MERGE (x)-[:" +
+             EdgeName() + "]->(y)";
+    case ViewKind::kSourceToSinkConnector:
+      return "MATCH " + node("x", source_type) + "-[*1.." + std::to_string(k) +
+             "]->" + node("y", target_type) +
+             " WHERE x.indegree = 0 AND y.outdegree = 0 MERGE (x)-[:" +
+             EdgeName() + "]->(y)";
+    case ViewKind::kVertexInclusionSummarizer:
+      return "MATCH (v) WHERE v.type IN [" + JoinStrings(type_list, ",") +
+             "] RETURN v";
+    case ViewKind::kVertexRemovalSummarizer:
+      return "MATCH (v) WHERE NOT v.type IN [" + JoinStrings(type_list, ",") +
+             "] RETURN v";
+    case ViewKind::kEdgeInclusionSummarizer:
+      return "MATCH (a)-[e]->(b) WHERE e.type IN [" +
+             JoinStrings(type_list, ",") + "] RETURN a, e, b";
+    case ViewKind::kEdgeRemovalSummarizer:
+      return "MATCH (a)-[e]->(b) WHERE NOT e.type IN [" +
+             JoinStrings(type_list, ",") + "] RETURN a, e, b";
+    case ViewKind::kVertexAggregatorSummarizer:
+      return "MATCH (v:" + source_type + ") WITH v." + group_by_property +
+             " AS grp, collect(v) AS members MERGE (s:Super {key: grp})";
+    case ViewKind::kSubgraphAggregatorSummarizer:
+      return "MATCH (v) WITH v." + group_by_property +
+             " AS grp, collect(v) AS members MERGE (s:Super {key: grp})";
+  }
+  return "";
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,110 @@
+/// \file view_definition.h
+/// \brief Graph view definitions: connectors (Table I) and summarizers
+/// (Table II).
+///
+/// A graph view is a graph query against the base graph whose result is
+/// itself a graph (§III-C). `ViewDefinition` is the engine-facing record
+/// of one instantiated view template: enough information to (a) estimate
+/// its size (§V-A), (b) materialize it (§V-B), and (c) rewrite queries
+/// over it (§V-C).
+
+#ifndef KASKADE_CORE_VIEW_DEFINITION_H_
+#define KASKADE_CORE_VIEW_DEFINITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_value.h"
+
+namespace kaskade::core {
+
+/// \brief The view families of Tables I and II.
+enum class ViewKind {
+  // Connectors (Table I).
+  kKHopConnector,            ///< Edges contract exactly-k-hop paths.
+  kSameVertexTypeConnector,  ///< Variable-length paths between one type.
+  kSameEdgeTypeConnector,    ///< Paths using a single edge type.
+  kSourceToSinkConnector,    ///< (source, sink) endpoint pairs.
+  // Summarizers (Table II).
+  kVertexInclusionSummarizer,  ///< Keep listed vertex types (+ induced edges).
+  kVertexRemovalSummarizer,    ///< Drop listed vertex types (+ incident edges).
+  kEdgeInclusionSummarizer,    ///< Keep listed edge types.
+  kEdgeRemovalSummarizer,      ///< Drop listed edge types.
+  kVertexAggregatorSummarizer, ///< Group one type's vertices into supervertices.
+  kSubgraphAggregatorSummarizer, ///< Group whole subgraphs (all types) by a
+                                 ///< property into supervertices.
+};
+
+/// Human-readable name of a view kind.
+const char* ViewKindName(ViewKind kind);
+
+/// True for the connector half of the taxonomy.
+bool IsConnector(ViewKind kind);
+
+/// \brief Comparison operator of a summarizer property predicate
+/// (paper footnote 5: summarizer views may also filter on vertex/edge
+/// properties, not just types).
+enum class PredicateOp { kNone, kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders "=", "<>", "<", ... for display.
+const char* PredicateOpName(PredicateOp op);
+
+/// Evaluates `lhs <op> rhs` under PropertyValue ordering.
+bool EvalPredicate(const graph::PropertyValue& lhs, PredicateOp op,
+                   const graph::PropertyValue& rhs);
+
+/// \brief One instantiated graph view.
+struct ViewDefinition {
+  ViewKind kind = ViewKind::kKHopConnector;
+
+  // --- connector parameters -------------------------------------------
+  /// Exact hop count for k-hop connectors; upper bound for
+  /// variable-length connectors.
+  int k = 2;
+  /// Endpoint vertex types (empty = untyped endpoints).
+  std::string source_type;
+  std::string target_type;
+  /// For kSameEdgeTypeConnector: the single edge type paths may use.
+  std::string path_edge_type;
+
+  // --- summarizer parameters -------------------------------------------
+  /// Vertex or edge type names listed by inclusion/removal summarizers.
+  std::vector<std::string> type_list;
+  /// For kVertexAggregatorSummarizer: group vertices of `source_type` by
+  /// this property; all numeric vertex properties are summed per group.
+  std::string group_by_property;
+  /// Optional property predicate (footnote 5): for vertex filters it
+  /// applies to vertices of the types the filter keeps; for edge filters
+  /// to kept edges. Elements failing the predicate are dropped.
+  std::string predicate_property;
+  PredicateOp predicate_op = PredicateOp::kNone;
+  graph::PropertyValue predicate_value;
+
+  bool has_predicate() const { return predicate_op != PredicateOp::kNone; }
+
+  /// Name of the edge type the materialized view introduces (connectors
+  /// only), e.g. "2_HOP_JOB_TO_JOB". Defaults from `DefaultName()` when
+  /// empty.
+  std::string connector_edge_name;
+
+  /// Canonical unique view name, e.g. "khop2[Job->Job]" or
+  /// "vinc[Job,File]"; used for deduplication and catalog keys.
+  std::string Name() const;
+
+  /// Edge type name the materialized connector introduces (resolves the
+  /// default when `connector_edge_name` is empty).
+  std::string EdgeName() const;
+
+  /// Renders the view as the Cypher-ish creation query the paper's
+  /// workload analyzer would send to the graph engine (§V-B), e.g.
+  /// `MATCH (x:Job)-[*2..2]->(y:Job) MERGE (x)-[:2_HOP_JOB_TO_JOB]->(y)`.
+  std::string ToCypher() const;
+
+  bool operator==(const ViewDefinition& other) const {
+    return Name() == other.Name();
+  }
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_VIEW_DEFINITION_H_

@@ -1,0 +1,68 @@
+#include "core/view_selector.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/rewriter.h"
+
+namespace kaskade::core {
+
+Result<SelectionReport> ViewSelector::Select(
+    const std::vector<WorkloadEntry>& workload) {
+  ViewEnumerator enumerator(&base_->schema(), options_.enumerator);
+
+  // Enumerate candidates across the workload, deduplicating by name.
+  std::map<std::string, ViewDefinition> candidates;
+  for (const WorkloadEntry& entry : workload) {
+    KASKADE_ASSIGN_OR_RETURN(std::vector<CandidateView> views,
+                             enumerator.Enumerate(entry.query));
+    for (CandidateView& cand : views) {
+      candidates.try_emplace(cand.definition.Name(),
+                             std::move(cand.definition));
+    }
+  }
+
+  // Score each candidate against the whole workload.
+  SelectionReport report;
+  report.budget_edges = options_.budget_edges;
+  for (auto& [name, def] : candidates) {
+    ScoredView scored;
+    scored.definition = def;
+    scored.estimated_size_edges = cost_model_.ViewSizeEdges(def);
+    scored.creation_cost = cost_model_.ViewCreationCost(def);
+    for (const WorkloadEntry& entry : workload) {
+      Result<query::Query> rewritten =
+          RewriteQueryWithView(entry.query, def, base_->schema());
+      if (!rewritten.ok()) continue;  // view not applicable to this query
+      double base_cost = cost_model_.QueryCostOnBase(entry.query);
+      double view_cost =
+          cost_model_.QueryCostOnCandidateView(*rewritten, def);
+      if (view_cost <= 0) continue;
+      scored.improvement += entry.weight * (base_cost / view_cost);
+      ++scored.applicable_queries;
+    }
+    scored.value = scored.creation_cost > 0
+                       ? scored.improvement / scored.creation_cost
+                       : scored.improvement;
+    report.candidates.push_back(std::move(scored));
+  }
+
+  // Knapsack over the scored candidates.
+  std::vector<KnapsackItem> items;
+  items.reserve(report.candidates.size());
+  for (const ScoredView& scored : report.candidates) {
+    items.push_back(KnapsackItem{scored.value, scored.estimated_size_edges});
+  }
+  KnapsackResult solution =
+      options_.use_greedy
+          ? SolveKnapsackGreedy(items, options_.budget_edges)
+          : SolveKnapsackBranchAndBound(items, options_.budget_edges);
+  for (size_t index : solution.selected) {
+    report.selected.push_back(report.candidates[index]);
+    report.selected_size_edges +=
+        report.candidates[index].estimated_size_edges;
+  }
+  return report;
+}
+
+}  // namespace kaskade::core

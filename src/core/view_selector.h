@@ -1,0 +1,87 @@
+/// \file view_selector.h
+/// \brief View selection (§V-B): the workload analyzer.
+///
+/// Given a query workload, enumerate candidate views (§IV), score each
+/// candidate as
+///
+///   value(v) = sum_q weight_q * [cost(q) / cost(rewrite(q, v))]
+///              ------------------------------------------------
+///                           creation_cost(v)
+///
+/// (zero contribution from queries v cannot serve), weight(v) = estimated
+/// view size, and solve 0-1 knapsack against the space budget.
+
+#ifndef KASKADE_CORE_VIEW_SELECTOR_H_
+#define KASKADE_CORE_VIEW_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cost_model.h"
+#include "core/enumerator.h"
+#include "core/knapsack.h"
+#include "core/view_definition.h"
+#include "query/ast.h"
+
+namespace kaskade::core {
+
+/// \brief A workload query with an optional importance weight (frequency
+/// or expected execution time, §V-B).
+struct WorkloadEntry {
+  query::Query query;
+  double weight = 1.0;
+};
+
+/// \brief A scored candidate view.
+struct ScoredView {
+  ViewDefinition definition;
+  double estimated_size_edges = 0;
+  double creation_cost = 0;
+  /// Sum over workload queries of weighted cost ratios.
+  double improvement = 0;
+  /// Knapsack value: improvement / creation cost.
+  double value = 0;
+  /// Number of workload queries this view can serve.
+  size_t applicable_queries = 0;
+};
+
+/// \brief Output of view selection.
+struct SelectionReport {
+  std::vector<ScoredView> selected;
+  std::vector<ScoredView> candidates;  ///< All candidates with scores.
+  double budget_edges = 0;
+  double selected_size_edges = 0;
+};
+
+/// \brief Selection configuration.
+struct SelectorOptions {
+  /// Space budget in view edges (the paper budgets a fraction of memory;
+  /// edges dominate the footprint).
+  double budget_edges = 1e7;
+  EnumeratorOptions enumerator;
+  CostModelOptions cost;
+  /// Use the greedy heuristic instead of branch-and-bound (ablation).
+  bool use_greedy = false;
+};
+
+/// \brief The workload analyzer.
+class ViewSelector {
+ public:
+  ViewSelector(const graph::PropertyGraph* base, SelectorOptions options = {})
+      : base_(base), options_(options), cost_model_(base, options.cost) {}
+
+  /// Enumerates, scores, and selects views for `workload`.
+  Result<SelectionReport> Select(const std::vector<WorkloadEntry>& workload);
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const graph::PropertyGraph* base_;
+  SelectorOptions options_;
+  CostModel cost_model_;
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_VIEW_SELECTOR_H_

@@ -1,0 +1,372 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+namespace kaskade::datasets {
+
+using graph::GraphSchema;
+using graph::PropertyGraph;
+using graph::PropertyMap;
+using graph::PropertyValue;
+using graph::VertexId;
+
+namespace {
+
+/// Adds an edge that is known to satisfy the schema; asserts in debug
+/// builds (generators construct only valid edges).
+void MustAddEdge(PropertyGraph* g, VertexId src, VertexId dst,
+                 const std::string& type, PropertyMap props = {}) {
+  auto result = g->AddEdge(src, dst, type, std::move(props));
+  assert(result.ok());
+  (void)result;
+}
+
+PropertyMap TimestampProps(int64_t ts) {
+  PropertyMap props;
+  props.Set("timestamp", PropertyValue(ts));
+  return props;
+}
+
+}  // namespace
+
+int SampleZipf(double u, double alpha, int max_value) {
+  if (max_value <= 1) return 1;
+  // Inverse-CDF of the continuous Pareto with exponent alpha, clamped.
+  double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+  int v = static_cast<int>(x);
+  return std::clamp(v, 1, max_value);
+}
+
+PropertyGraph MakeProvenanceGraph(const ProvOptions& options) {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  if (options.include_auxiliary) {
+    schema.AddVertexType("Task");
+    schema.AddVertexType("Machine");
+    schema.AddVertexType("User");
+  }
+  auto must = [](auto result) {
+    assert(result.ok());
+    (void)result;
+  };
+  must(schema.AddEdgeType("WRITES_TO", "Job", "File"));
+  must(schema.AddEdgeType("IS_READ_BY", "File", "Job"));
+  if (options.include_auxiliary) {
+    must(schema.AddEdgeType("SPAWNS", "Job", "Task"));
+    must(schema.AddEdgeType("TRANSFERS_TO", "Task", "Task"));
+    must(schema.AddEdgeType("RUNS_ON", "Task", "Machine"));
+    must(schema.AddEdgeType("SUBMITS", "User", "Job"));
+  }
+
+  PropertyGraph g(schema);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  const int kNumPipelines = 20;
+  std::vector<VertexId> jobs;
+  jobs.reserve(options.num_jobs);
+  for (size_t i = 0; i < options.num_jobs; ++i) {
+    PropertyMap props;
+    props.Set("name", PropertyValue("job_" + std::to_string(i)));
+    props.Set("CPU", PropertyValue(1.0 + 99.0 * uniform(rng)));
+    props.Set("pipelineName",
+              PropertyValue("pipeline_" +
+                            std::to_string(i % kNumPipelines)));
+    jobs.push_back(g.AddVertexOfType(0, std::move(props)));
+  }
+  std::vector<VertexId> files;
+  files.reserve(options.num_files);
+  for (size_t i = 0; i < options.num_files; ++i) {
+    PropertyMap props;
+    props.Set("path", PropertyValue("/data/file_" + std::to_string(i)));
+    props.Set("bytes",
+              PropertyValue(static_cast<int64_t>(1024 + rng() % (1 << 22))));
+    files.push_back(g.AddVertexOfType(1, std::move(props)));
+  }
+
+  // Lineage core. Jobs are created in submission order; each job writes a
+  // power-law number of "its own" files and reads files written by jobs
+  // in the preceding locality window, so deep producer-consumer chains
+  // form (the structure blast-radius queries traverse).
+  int64_t timestamp = 0;
+  size_t files_per_job = std::max<size_t>(1, options.num_files / options.num_jobs);
+  std::vector<std::vector<VertexId>> written_by_job(options.num_jobs);
+  for (size_t j = 0; j < options.num_jobs; ++j) {
+    int writes = SampleZipf(uniform(rng), options.zipf_alpha,
+                            options.max_writes);
+    for (int w = 0; w < writes; ++w) {
+      // Mostly own files (dense block), occasionally any file.
+      size_t file_index;
+      if (uniform(rng) < 0.9) {
+        file_index = std::min(options.num_files - 1,
+                              j * files_per_job + static_cast<size_t>(w));
+      } else {
+        file_index = rng() % options.num_files;
+      }
+      MustAddEdge(&g, jobs[j], files[file_index], "WRITES_TO",
+                  TimestampProps(++timestamp));
+      written_by_job[j].push_back(files[file_index]);
+    }
+    if (j == 0) continue;
+    int reads = SampleZipf(uniform(rng), options.zipf_alpha, options.max_reads);
+    size_t window_start = j > options.locality_window
+                              ? j - options.locality_window
+                              : 0;
+    for (int r = 0; r < reads; ++r) {
+      size_t producer = window_start + rng() % (j - window_start);
+      if (written_by_job[producer].empty()) continue;
+      VertexId file =
+          written_by_job[producer][rng() % written_by_job[producer].size()];
+      // A job never reads a file it wrote itself (inputs are consumed
+      // before outputs exist); without this, write/read round trips
+      // (job -> file -> same job) would appear, which real provenance
+      // graphs do not have.
+      bool wrote_it = std::find(written_by_job[j].begin(),
+                                written_by_job[j].end(),
+                                file) != written_by_job[j].end();
+      if (wrote_it) continue;
+      MustAddEdge(&g, file, jobs[j], "IS_READ_BY",
+                  TimestampProps(++timestamp));
+    }
+  }
+
+  if (options.include_auxiliary) {
+    std::vector<VertexId> machines;
+    for (size_t i = 0; i < options.num_machines; ++i) {
+      PropertyMap props;
+      props.Set("hostname", PropertyValue("machine_" + std::to_string(i)));
+      machines.push_back(g.AddVertexOfType(3, std::move(props)));
+    }
+    std::vector<VertexId> users;
+    for (size_t i = 0; i < options.num_users; ++i) {
+      PropertyMap props;
+      props.Set("login", PropertyValue("user_" + std::to_string(i)));
+      users.push_back(g.AddVertexOfType(4, std::move(props)));
+    }
+    VertexId prev_task = graph::kInvalidId;
+    for (size_t i = 0; i < options.num_tasks; ++i) {
+      PropertyMap props;
+      props.Set("attempt", PropertyValue(static_cast<int64_t>(i % 3)));
+      VertexId task = g.AddVertexOfType(2, std::move(props));
+      VertexId job = jobs[rng() % jobs.size()];
+      MustAddEdge(&g, job, task, "SPAWNS", TimestampProps(++timestamp));
+      MustAddEdge(&g, task, machines[rng() % machines.size()], "RUNS_ON",
+                  TimestampProps(++timestamp));
+      if (prev_task != graph::kInvalidId && uniform(rng) < 0.5) {
+        MustAddEdge(&g, prev_task, task, "TRANSFERS_TO",
+                    TimestampProps(++timestamp));
+      }
+      prev_task = task;
+    }
+    for (size_t j = 0; j < options.num_jobs; ++j) {
+      MustAddEdge(&g, users[rng() % users.size()], jobs[j], "SUBMITS",
+                  TimestampProps(++timestamp));
+    }
+  }
+  return g;
+}
+
+PropertyGraph MakeDblpGraph(const DblpOptions& options) {
+  GraphSchema schema;
+  schema.AddVertexType("Author");
+  schema.AddVertexType("Article");
+  if (options.include_venues) schema.AddVertexType("Venue");
+  auto must = [](auto result) {
+    assert(result.ok());
+    (void)result;
+  };
+  must(schema.AddEdgeType("WROTE", "Author", "Article"));
+  must(schema.AddEdgeType("WRITTEN_BY", "Article", "Author"));
+  if (options.include_venues) {
+    must(schema.AddEdgeType("PUBLISHED_IN", "Article", "Venue"));
+  }
+
+  PropertyGraph g(schema);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::vector<VertexId> authors;
+  for (size_t i = 0; i < options.num_authors; ++i) {
+    PropertyMap props;
+    props.Set("name", PropertyValue("author_" + std::to_string(i)));
+    props.Set("hIndex", PropertyValue(static_cast<int64_t>(rng() % 60)));
+    authors.push_back(g.AddVertexOfType(0, std::move(props)));
+  }
+  std::vector<VertexId> venues;
+  if (options.include_venues) {
+    for (size_t i = 0; i < options.num_venues; ++i) {
+      PropertyMap props;
+      props.Set("name", PropertyValue("venue_" + std::to_string(i)));
+      venues.push_back(g.AddVertexOfType(2, std::move(props)));
+    }
+  }
+
+  // Preferential authorship: prolific authors accumulate more articles.
+  // `author_pool` holds one slot per authorship, so sampling from it is
+  // degree-proportional.
+  std::vector<VertexId> author_pool = authors;
+  int64_t timestamp = 0;
+  for (size_t a = 0; a < options.num_articles; ++a) {
+    PropertyMap props;
+    props.Set("title", PropertyValue("article_" + std::to_string(a)));
+    props.Set("year",
+              PropertyValue(static_cast<int64_t>(1990 + rng() % 30)));
+    VertexId article = g.AddVertexOfType(1, std::move(props));
+    int coauthors = SampleZipf(uniform(rng), options.zipf_alpha,
+                               options.max_authors_per_article);
+    std::vector<VertexId> chosen;
+    for (int c = 0; c < coauthors; ++c) {
+      VertexId author = uniform(rng) < 0.7
+                            ? author_pool[rng() % author_pool.size()]
+                            : authors[rng() % authors.size()];
+      if (std::find(chosen.begin(), chosen.end(), author) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(author);
+      MustAddEdge(&g, author, article, "WROTE", TimestampProps(++timestamp));
+      MustAddEdge(&g, article, author, "WRITTEN_BY",
+                  TimestampProps(++timestamp));
+      author_pool.push_back(author);
+    }
+    if (options.include_venues) {
+      MustAddEdge(&g, article, venues[rng() % venues.size()], "PUBLISHED_IN",
+                  TimestampProps(++timestamp));
+    }
+  }
+  return g;
+}
+
+PropertyGraph MakeSocialGraph(const SocialOptions& options) {
+  GraphSchema schema;
+  schema.AddVertexType("Person");
+  auto must = [](auto result) {
+    assert(result.ok());
+    (void)result;
+  };
+  must(schema.AddEdgeType("FOLLOWS", "Person", "Person"));
+
+  PropertyGraph g(schema);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::vector<VertexId> people;
+  for (size_t i = 0; i < options.num_vertices; ++i) {
+    PropertyMap props;
+    props.Set("handle", PropertyValue("person_" + std::to_string(i)));
+    people.push_back(g.AddVertexOfType(0, std::move(props)));
+  }
+  // Directed preferential attachment: targets are sampled from a pool
+  // with one slot per incoming edge (plus one base slot per vertex), so
+  // in-degrees follow a power law; fan-outs are Zipf so out-degrees do
+  // too.
+  std::vector<VertexId> target_pool = people;
+  int64_t timestamp = 0;
+  int max_fanout = options.max_fanout > 0
+                       ? options.max_fanout
+                       : static_cast<int>(30 * options.edges_per_vertex);
+  for (size_t i = 1; i < options.num_vertices; ++i) {
+    size_t fanout = static_cast<size_t>(options.edges_per_vertex) *
+                    SampleZipf(uniform(rng), options.zipf_alpha, max_fanout) /
+                    2;
+    fanout = std::max<size_t>(fanout, 1);
+    for (size_t e = 0; e < fanout; ++e) {
+      VertexId target;
+      if (uniform(rng) < options.preferential_prob) {
+        target = target_pool[rng() % target_pool.size()];
+      } else {
+        target = people[rng() % i];
+      }
+      if (target == people[i]) continue;
+      MustAddEdge(&g, people[i], target, "FOLLOWS",
+                  TimestampProps(++timestamp));
+      target_pool.push_back(target);
+      if (uniform(rng) < options.reciprocal_prob) {
+        MustAddEdge(&g, target, people[i], "FOLLOWS",
+                    TimestampProps(++timestamp));
+        target_pool.push_back(people[i]);
+      }
+    }
+  }
+  return g;
+}
+
+PropertyGraph MakeRoadGraph(const RoadOptions& options) {
+  GraphSchema schema;
+  schema.AddVertexType("Intersection");
+  auto must = [](auto result) {
+    assert(result.ok());
+    (void)result;
+  };
+  must(schema.AddEdgeType("ROAD", "Intersection", "Intersection"));
+
+  PropertyGraph g(schema);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  auto at = [&](size_t x, size_t y) {
+    return static_cast<VertexId>(y * options.width + x);
+  };
+  for (size_t y = 0; y < options.height; ++y) {
+    for (size_t x = 0; x < options.width; ++x) {
+      PropertyMap props;
+      props.Set("x", PropertyValue(static_cast<int64_t>(x)));
+      props.Set("y", PropertyValue(static_cast<int64_t>(y)));
+      g.AddVertexOfType(0, std::move(props));
+    }
+  }
+  int64_t timestamp = 0;
+  for (size_t y = 0; y < options.height; ++y) {
+    for (size_t x = 0; x < options.width; ++x) {
+      if (x + 1 < options.width) {
+        if (uniform(rng) < options.keep_probability) {
+          MustAddEdge(&g, at(x, y), at(x + 1, y), "ROAD",
+                      TimestampProps(++timestamp));
+        }
+        if (uniform(rng) < options.keep_probability) {
+          MustAddEdge(&g, at(x + 1, y), at(x, y), "ROAD",
+                      TimestampProps(++timestamp));
+        }
+      }
+      if (y + 1 < options.height) {
+        if (uniform(rng) < options.keep_probability) {
+          MustAddEdge(&g, at(x, y), at(x, y + 1), "ROAD",
+                      TimestampProps(++timestamp));
+        }
+        if (uniform(rng) < options.keep_probability) {
+          MustAddEdge(&g, at(x, y + 1), at(x, y), "ROAD",
+                      TimestampProps(++timestamp));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+PropertyGraph PrefixSubgraph(const PropertyGraph& g, size_t num_edges) {
+  PropertyGraph out(g.schema());
+  std::unordered_map<VertexId, VertexId> remap;
+  auto map_vertex = [&](VertexId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VertexId nv = out.AddVertexOfType(g.VertexType(v), g.VertexProperties(v));
+    remap.emplace(v, nv);
+    return nv;
+  };
+  size_t limit = std::min(num_edges, g.NumEdges());
+  for (graph::EdgeId e = 0; e < limit; ++e) {
+    const graph::EdgeRecord& rec = g.Edge(e);
+    VertexId src = map_vertex(rec.source);
+    VertexId dst = map_vertex(rec.target);
+    auto result = out.AddEdgeOfType(src, dst, rec.type, g.EdgeProperties(e));
+    assert(result.ok());
+    (void)result;
+  }
+  return out;
+}
+
+}  // namespace kaskade::datasets

@@ -1,0 +1,129 @@
+/// \file generators.h
+/// \brief Deterministic synthetic generators for the four evaluation
+/// graphs of Table III.
+///
+/// The paper's datasets are either proprietary (the Microsoft provenance
+/// graph) or external downloads (dblp, soc-livejournal, roadnet-usa);
+/// none are available offline, so we generate scaled-down graphs that
+/// preserve the properties the experiments depend on (see DESIGN.md):
+///
+///  - `prov`: heterogeneous data-lineage graph. Jobs write files, files
+///    are read by jobs (the bipartite core that makes only even-length
+///    job-to-job paths feasible); tasks/machines/users add the schema
+///    breadth that summarizers prune. Power-law fan-out.
+///  - `dblp`: tripartite author/article/venue graph with author-article
+///    edges in both directions (so author-to-author 2-hop connectors
+///    exist) and power-law authorship counts.
+///  - `soc-livejournal`: homogeneous directed social graph grown with
+///    preferential attachment (power-law in/out degrees).
+///  - `roadnet-usa`: homogeneous near-planar perturbed grid with bounded
+///    degree (explicitly *not* power-law; Fig. 8's contrast case).
+///
+/// All generators are seeded and fully deterministic. Every edge carries
+/// an integer `timestamp` property (used by Q4); jobs carry `CPU` and
+/// `pipelineName` (used by Q1).
+
+#ifndef KASKADE_DATASETS_GENERATORS_H_
+#define KASKADE_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+
+namespace kaskade::datasets {
+
+/// \brief Scale/shape knobs for the provenance graph.
+struct ProvOptions {
+  size_t num_jobs = 2000;
+  size_t num_files = 5000;
+  size_t num_tasks = 4000;
+  size_t num_machines = 50;
+  size_t num_users = 100;
+  /// Power-law exponent for fan-out sampling (smaller = heavier tail).
+  double zipf_alpha = 2.2;
+  /// Max files written / read per job (tail cap).
+  int max_writes = 30;
+  int max_reads = 30;
+  /// Jobs read files produced within this many preceding jobs (lineage
+  /// locality; creates the deep chains blast-radius queries traverse).
+  size_t locality_window = 200;
+  uint64_t seed = 42;
+  /// Include the task/machine/user portion of the schema (what the
+  /// schema-level summarizer prunes). Disable for pre-filtered graphs.
+  bool include_auxiliary = true;
+};
+
+/// Builds the provenance graph. Vertex types: Job, File (+ Task, Machine,
+/// User when `include_auxiliary`); edge types: WRITES_TO (Job->File),
+/// IS_READ_BY (File->Job), SPAWNS (Job->Task), TRANSFERS_TO (Task->Task),
+/// RUNS_ON (Task->Machine), SUBMITS (User->Job).
+graph::PropertyGraph MakeProvenanceGraph(const ProvOptions& options = {});
+
+/// \brief Scale knobs for the dblp-like publication graph.
+struct DblpOptions {
+  size_t num_authors = 3000;
+  size_t num_articles = 6000;
+  size_t num_venues = 40;
+  double zipf_alpha = 2.0;
+  int max_articles_per_author = 40;
+  int max_authors_per_article = 6;
+  uint64_t seed = 7;
+  /// Include the venue portion of the schema.
+  bool include_venues = true;
+};
+
+/// Builds the publication graph. Vertex types: Author, Article (+ Venue);
+/// edge types: WROTE (Author->Article), WRITTEN_BY (Article->Author),
+/// PUBLISHED_IN (Article->Venue).
+graph::PropertyGraph MakeDblpGraph(const DblpOptions& options = {});
+
+/// \brief Scale knobs for the social graph.
+struct SocialOptions {
+  size_t num_vertices = 10000;
+  /// Typical out-degree; per-vertex fan-out is Zipf-distributed around it
+  /// so *both* in- and out-degrees are heavy-tailed, as in
+  /// soc-livejournal.
+  size_t edges_per_vertex = 7;
+  /// Power-law exponent of the fan-out distribution.
+  double zipf_alpha = 1.9;
+  /// Fan-out cap (0 = derived as 30x edges_per_vertex).
+  int max_fanout = 0;
+  /// Probability a new edge attaches preferentially (vs uniformly).
+  double preferential_prob = 0.8;
+  /// Probability the target follows back (soc-livejournal has high edge
+  /// reciprocity, which correlates in- and out-degrees at hubs — the
+  /// effect that makes uniform-edge path estimates collapse, §V-A).
+  double reciprocal_prob = 0.5;
+  uint64_t seed = 11;
+};
+
+/// Builds the homogeneous social graph (vertex type Person, edge type
+/// FOLLOWS) via directed preferential attachment.
+graph::PropertyGraph MakeSocialGraph(const SocialOptions& options = {});
+
+/// \brief Scale knobs for the road network.
+struct RoadOptions {
+  size_t width = 100;
+  size_t height = 100;
+  /// Probability each grid edge exists (per direction).
+  double keep_probability = 0.92;
+  uint64_t seed = 5;
+};
+
+/// Builds the homogeneous road network (vertex type Intersection, edge
+/// type ROAD) as a perturbed bidirectional grid.
+graph::PropertyGraph MakeRoadGraph(const RoadOptions& options = {});
+
+/// Subgraph induced by the first `num_edges` edges of `g` (the paper's
+/// "first n edges of each graph" prefix for Fig. 5). Keeps only vertices
+/// touched by those edges.
+graph::PropertyGraph PrefixSubgraph(const graph::PropertyGraph& g,
+                                    size_t num_edges);
+
+/// Bounded-support Zipf-like sampler: returns a value in [1, max_value]
+/// with P(v) proportional to v^-alpha. `u` is a uniform (0,1) draw.
+int SampleZipf(double u, double alpha, int max_value);
+
+}  // namespace kaskade::datasets
+
+#endif  // KASKADE_DATASETS_GENERATORS_H_

@@ -1,0 +1,40 @@
+#include "datasets/workloads.h"
+
+namespace kaskade::datasets {
+
+std::string BlastRadiusQueryText() {
+  return R"(SELECT A.pipelineName, AVG(T_CPU) FROM (
+  SELECT A, SUM(B.CPU) AS T_CPU FROM (
+    MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+          (q_f1:File)-[r*0..8]->(q_f2:File)
+          (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+    RETURN q_j1 as A, q_j2 as B
+  ) GROUP BY A, B
+) GROUP BY A.pipelineName)";
+}
+
+std::string BlastRadiusRewrittenText() {
+  return R"(SELECT A.pipelineName, AVG(T_CPU) FROM (
+  SELECT A, SUM(B.CPU) AS T_CPU FROM (
+    MATCH (q_j1:Job)-[:2_HOP_JOB_TO_JOB*1..5]->(q_j2:Job)
+    RETURN q_j1 as A, q_j2 as B
+  ) GROUP BY A, B
+) GROUP BY A.pipelineName)";
+}
+
+std::string AncestorsQueryText(const std::string& vertex_type, int hops) {
+  return "MATCH (x:" + vertex_type + ")-[r*1.." + std::to_string(hops) +
+         "]->(j:" + vertex_type + ") RETURN j AS node, x AS ancestor";
+}
+
+std::string DescendantsQueryText(const std::string& vertex_type, int hops) {
+  return "MATCH (j:" + vertex_type + ")-[r*1.." + std::to_string(hops) +
+         "]->(x:" + vertex_type + ") RETURN j AS node, x AS descendant";
+}
+
+std::string CoauthorQueryText() {
+  return "MATCH (a1:Author)-[:WROTE]->(p:Article) "
+         "(p:Article)-[:WRITTEN_BY]->(a2:Author) RETURN a1, a2";
+}
+
+}  // namespace kaskade::datasets

@@ -1,0 +1,263 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace kaskade::graph {
+
+namespace {
+
+bool EdgeTypeAllowed(const TraversalOptions& options, EdgeTypeId type) {
+  if (options.edge_types.empty()) return true;
+  return std::find(options.edge_types.begin(), options.edge_types.end(),
+                   type) != options.edge_types.end();
+}
+
+}  // namespace
+
+std::vector<ReachedVertex> BoundedBfs(const PropertyGraph& graph,
+                                      VertexId source,
+                                      const TraversalOptions& options) {
+  std::vector<ReachedVertex> reached;
+  if (source >= graph.NumVertices() || options.max_hops <= 0) return reached;
+  std::vector<bool> visited(graph.NumVertices(), false);
+  visited[source] = true;
+  std::deque<ReachedVertex> frontier;
+  frontier.push_back({source, 0});
+  while (!frontier.empty()) {
+    auto [v, hops] = frontier.front();
+    frontier.pop_front();
+    if (hops >= options.max_hops) continue;
+    const std::vector<EdgeId>& incident = options.direction == Direction::kForward
+                                              ? graph.OutEdges(v)
+                                              : graph.InEdges(v);
+    for (EdgeId e : incident) {
+      const EdgeRecord& rec = graph.Edge(e);
+      if (!EdgeTypeAllowed(options, rec.type)) continue;
+      VertexId next =
+          options.direction == Direction::kForward ? rec.target : rec.source;
+      if (visited[next]) continue;
+      visited[next] = true;
+      reached.push_back({next, hops + 1});
+      frontier.push_back({next, hops + 1});
+    }
+  }
+  return reached;
+}
+
+size_t CountReachable(const PropertyGraph& graph, VertexId source,
+                      const TraversalOptions& options) {
+  return BoundedBfs(graph, source, options).size();
+}
+
+namespace {
+
+/// DFS path extension for simple-path counting. Returns the number of
+/// simple paths of exactly `remaining` further edges starting at `v`,
+/// bounded by `cap - *count_so_far`.
+void CountSimplePathsFrom(const PropertyGraph& graph, VertexId v,
+                          int remaining, std::vector<bool>* on_path,
+                          uint64_t cap, uint64_t* count) {
+  if (*count >= cap) return;
+  if (remaining == 0) {
+    ++*count;
+    return;
+  }
+  (*on_path)[v] = true;
+  for (EdgeId e : graph.OutEdges(v)) {
+    VertexId next = graph.Edge(e).target;
+    if ((*on_path)[next]) continue;
+    CountSimplePathsFrom(graph, next, remaining - 1, on_path, cap, count);
+    if (*count >= cap) break;
+  }
+  (*on_path)[v] = false;
+}
+
+}  // namespace
+
+uint64_t CountSimpleKPaths(const PropertyGraph& graph, int k, uint64_t cap) {
+  if (k <= 0) return 0;
+  uint64_t count = 0;
+  std::vector<bool> on_path(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices() && count < cap; ++v) {
+    CountSimplePathsFrom(graph, v, k, &on_path, cap, &count);
+  }
+  return std::min(count, cap);
+}
+
+uint64_t CountKLengthWalks(const PropertyGraph& graph, int k, uint64_t cap) {
+  if (k <= 0) return 0;
+  // walks[v] = number of k'-length walks ending at v; iterate k' from 0
+  // (walks[v] = 1) to k, pushing counts along out-edges. Saturating at cap.
+  std::vector<uint64_t> walks(graph.NumVertices(), 1);
+  auto saturating_add = [cap](uint64_t a, uint64_t b) {
+    return (a > cap - b) ? cap : a + b;  // b <= cap always holds here
+  };
+  for (int step = 0; step < k; ++step) {
+    std::vector<uint64_t> next(graph.NumVertices(), 0);
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (walks[v] == 0) continue;
+      for (EdgeId e : graph.OutEdges(v)) {
+        VertexId t = graph.Edge(e).target;
+        next[t] = saturating_add(next[t], std::min(walks[v], cap));
+      }
+    }
+    walks = std::move(next);
+  }
+  uint64_t total = 0;
+  for (uint64_t w : walks) {
+    total = saturating_add(total, std::min(w, cap));
+    if (total >= cap) return cap;
+  }
+  return total;
+}
+
+uint64_t CountSimple2Paths(const PropertyGraph& graph) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    total += static_cast<uint64_t>(graph.InDegree(v)) * graph.OutDegree(v);
+  }
+  // Subtract u->v->u round trips: one per (u->v, v->u) edge pair.
+  uint64_t round_trips = 0;
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeRecord& rec = graph.Edge(e);
+    for (EdgeId back : graph.OutEdges(rec.target)) {
+      if (graph.Edge(back).target == rec.source) ++round_trips;
+    }
+  }
+  return total - round_trips;
+}
+
+CommunityAssignment LabelPropagation(const PropertyGraph& graph, int passes) {
+  CommunityAssignment result;
+  result.label.resize(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) result.label[v] = v;
+
+  std::unordered_map<VertexId, size_t> freq;
+  for (int pass = 0; pass < passes; ++pass) {
+    result.passes = pass + 1;
+    bool changed = false;
+    std::vector<VertexId> next_label(result.label);
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      freq.clear();
+      for (EdgeId e : graph.OutEdges(v)) ++freq[result.label[graph.Edge(e).target]];
+      for (EdgeId e : graph.InEdges(v)) ++freq[result.label[graph.Edge(e).source]];
+      if (freq.empty()) continue;
+      // Most frequent neighbor label; ties toward the smaller label so the
+      // result is deterministic.
+      VertexId best = result.label[v];
+      size_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count || (count == best_count && label < best)) {
+          best = label;
+          best_count = count;
+        }
+      }
+      if (best != result.label[v]) {
+        next_label[v] = best;
+        changed = true;
+      }
+    }
+    result.label = std::move(next_label);
+    if (!changed) break;
+  }
+  std::vector<VertexId> sorted = result.label;
+  std::sort(sorted.begin(), sorted.end());
+  result.num_communities =
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin();
+  return result;
+}
+
+std::vector<VertexId> LargestCommunity(const PropertyGraph& graph,
+                                       const CommunityAssignment& communities,
+                                       VertexTypeId count_type) {
+  std::unordered_map<VertexId, size_t> weight;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (count_type == kInvalidTypeId || graph.VertexType(v) == count_type) {
+      ++weight[communities.label[v]];
+    }
+  }
+  VertexId best_label = kInvalidId;
+  size_t best_weight = 0;
+  for (const auto& [label, w] : weight) {
+    if (w > best_weight || (w == best_weight && label < best_label)) {
+      best_label = label;
+      best_weight = w;
+    }
+  }
+  std::vector<VertexId> members;
+  if (best_label == kInvalidId) return members;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (communities.label[v] == best_label) members.push_back(v);
+  }
+  return members;
+}
+
+std::vector<VertexAggregate> WeightedPathAggregate(
+    const PropertyGraph& graph, VertexId source, int max_hops,
+    const std::string& edge_property) {
+  std::vector<VertexAggregate> out;
+  if (source >= graph.NumVertices() || max_hops <= 0) return out;
+  // BFS layer by layer; value[v] = max over discovery paths of the max
+  // edge property along the path (monotone, so one relaxation per layer
+  // suffices).
+  std::unordered_map<VertexId, double> value;
+  value[source] = std::numeric_limits<double>::lowest();
+  std::vector<VertexId> frontier{source};
+  std::vector<bool> visited(graph.NumVertices(), false);
+  visited[source] = true;
+  for (int hop = 0; hop < max_hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next_frontier;
+    for (VertexId v : frontier) {
+      for (EdgeId e : graph.OutEdges(v)) {
+        VertexId t = graph.Edge(e).target;
+        double ts = graph.EdgeProperty(e, edge_property).ToDouble();
+        double candidate = std::max(value[v], ts);
+        auto it = value.find(t);
+        if (it == value.end() || candidate > it->second) value[t] = candidate;
+        if (!visited[t]) {
+          visited[t] = true;
+          next_frontier.push_back(t);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  value.erase(source);
+  out.reserve(value.size());
+  for (const auto& [v, val] : value) out.push_back({v, val});
+  std::sort(out.begin(), out.end(),
+            [](const VertexAggregate& a, const VertexAggregate& b) {
+              return a.vertex < b.vertex;
+            });
+  return out;
+}
+
+std::pair<std::vector<uint32_t>, size_t> WeakComponents(
+    const PropertyGraph& graph) {
+  std::vector<uint32_t> comp(graph.NumVertices(), kInvalidId);
+  size_t count = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < graph.NumVertices(); ++start) {
+    if (comp[start] != kInvalidId) continue;
+    uint32_t id = static_cast<uint32_t>(count++);
+    comp[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId next) {
+        if (comp[next] == kInvalidId) {
+          comp[next] = id;
+          stack.push_back(next);
+        }
+      };
+      for (EdgeId e : graph.OutEdges(v)) visit(graph.Edge(e).target);
+      for (EdgeId e : graph.InEdges(v)) visit(graph.Edge(e).source);
+    }
+  }
+  return {std::move(comp), count};
+}
+
+}  // namespace kaskade::graph

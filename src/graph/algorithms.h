@@ -1,0 +1,111 @@
+/// \file algorithms.h
+/// \brief Graph algorithms backing the paper's workload (Table IV) and the
+/// exact path counts used as ground truth in Fig. 5.
+///
+/// Q2/Q3 (ancestors/descendants) use the bounded BFS; Q4 (path lengths)
+/// uses `WeightedPathAggregate`; Q7/Q8 (community detection / largest
+/// community) use `LabelPropagation`; the Fig. 5 "actual" series uses
+/// `CountSimpleKPaths` / `CountKLengthWalks`.
+
+#ifndef KASKADE_GRAPH_ALGORITHMS_H_
+#define KASKADE_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+
+/// Direction of traversal.
+enum class Direction { kForward, kBackward };
+
+/// \brief Options for bounded BFS traversals.
+struct TraversalOptions {
+  Direction direction = Direction::kForward;
+  /// Maximum number of hops from the source (inclusive).
+  int max_hops = std::numeric_limits<int>::max();
+  /// When non-empty, only edges of these types are traversed.
+  std::vector<EdgeTypeId> edge_types;
+};
+
+/// \brief A vertex reached by a traversal and its hop distance.
+struct ReachedVertex {
+  VertexId vertex;
+  int hops;
+};
+
+/// Bounded BFS from `source`; returns reached vertices (excluding the
+/// source itself) in nondecreasing hop order.
+std::vector<ReachedVertex> BoundedBfs(const PropertyGraph& graph,
+                                      VertexId source,
+                                      const TraversalOptions& options);
+
+/// Number of distinct vertices within `max_hops` of `source` (excluding
+/// `source`).
+size_t CountReachable(const PropertyGraph& graph, VertexId source,
+                      const TraversalOptions& options);
+
+/// \brief Exact count of directed k-length *simple* paths (no repeated
+/// vertex). Matches the paper's definition of the number of edges in a
+/// k-hop connector (§V-A). DFS-based; `cap` bounds work for large graphs
+/// (counting stops once the cap is reached and the cap is returned).
+uint64_t CountSimpleKPaths(const PropertyGraph& graph, int k,
+                           uint64_t cap = std::numeric_limits<uint64_t>::max());
+
+/// \brief Exact count of directed k-length walks (vertices may repeat);
+/// cheaper (DP over adjacency) and equal to the simple-path count on
+/// DAG-like graphs. Used to cross-check CountSimpleKPaths.
+uint64_t CountKLengthWalks(const PropertyGraph& graph, int k,
+                           uint64_t cap = std::numeric_limits<uint64_t>::max());
+
+/// Closed-form count of 2-length simple paths:
+/// sum_v indeg(v)*outdeg(v) - #(u->v->u round trips).
+uint64_t CountSimple2Paths(const PropertyGraph& graph);
+
+/// \brief Result of label-propagation community detection.
+struct CommunityAssignment {
+  /// Community label per vertex (label = some member vertex id).
+  std::vector<VertexId> label;
+  /// Number of distinct labels after the final pass.
+  size_t num_communities = 0;
+  /// Passes actually executed.
+  int passes = 0;
+};
+
+/// \brief Synchronous label propagation over the *undirected* view of the
+/// graph (each vertex adopts the most frequent label among its in+out
+/// neighbors; ties break toward the smaller label). Deterministic.
+/// Stops early when a pass changes no label.
+CommunityAssignment LabelPropagation(const PropertyGraph& graph, int passes);
+
+/// Returns the vertices of the largest community, where community size is
+/// measured by the number of member vertices whose type is `count_type`
+/// (pass kInvalidTypeId to count all member vertices) — Q8's "largest
+/// community by number of job vertices".
+std::vector<VertexId> LargestCommunity(const PropertyGraph& graph,
+                                       const CommunityAssignment& communities,
+                                       VertexTypeId count_type);
+
+/// \brief Q4 "path lengths": for every vertex within `max_hops` forward of
+/// `source`, the maximum value of `edge_property` over the edges of its
+/// BFS discovery paths (a weighted distance with max-aggregation).
+struct VertexAggregate {
+  VertexId vertex;
+  double value;
+};
+std::vector<VertexAggregate> WeightedPathAggregate(
+    const PropertyGraph& graph, VertexId source, int max_hops,
+    const std::string& edge_property);
+
+/// Weakly connected components; returns component id per vertex and the
+/// component count.
+std::pair<std::vector<uint32_t>, size_t> WeakComponents(
+    const PropertyGraph& graph);
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_ALGORITHMS_H_

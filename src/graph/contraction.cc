@@ -1,0 +1,219 @@
+#include "graph/contraction.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace kaskade::graph {
+
+namespace {
+
+bool EdgeAllowed(const ContractionSpec& spec, EdgeTypeId type) {
+  if (spec.edge_types.empty()) return true;
+  return std::find(spec.edge_types.begin(), spec.edge_types.end(), type) !=
+         spec.edge_types.end();
+}
+
+/// Accepts `v` (reached at `depth`) as a contraction endpoint?
+bool EndpointOk(const PropertyGraph& base, const ContractionSpec& spec,
+                VertexId v, int depth) {
+  bool depth_ok = spec.k > 0 ? depth == spec.k : depth >= 1;
+  return depth_ok &&
+         (spec.target_type == kInvalidTypeId ||
+          base.VertexType(v) == spec.target_type) &&
+         (!spec.sources_and_sinks_only || base.OutDegree(v) == 0);
+}
+
+/// Per-endpoint contraction record: how many paths were contracted and
+/// the maximum of `spec.max_property` over them (when requested).
+struct EndpointHit {
+  uint64_t paths = 0;
+  double max_value = std::numeric_limits<double>::lowest();
+};
+
+/// Enumerates simple paths from `start` and records endpoints reached at
+/// an acceptable depth into `hits`. When `include_closed_paths`, a final
+/// step back to `start` also counts (the path interior stays simple; the
+/// start is never expanded twice). `path_max` carries the running max of
+/// the aggregated edge property along the current path.
+void CollectEndpoints(const PropertyGraph& base, const ContractionSpec& spec,
+                      VertexId start, VertexId v, int depth, double path_max,
+                      std::vector<bool>* on_path,
+                      std::map<VertexId, EndpointHit>* hits) {
+  bool exact = spec.k > 0;
+  int limit = exact ? spec.k : spec.max_hops;
+  if (depth > 0 && EndpointOk(base, spec, v, depth)) {
+    EndpointHit& hit = (*hits)[v];
+    ++hit.paths;
+    hit.max_value = std::max(hit.max_value, path_max);
+  }
+  if (depth == limit) return;
+  (*on_path)[v] = true;
+  for (EdgeId e : base.OutEdges(v)) {
+    const EdgeRecord& rec = base.Edge(e);
+    if (!EdgeAllowed(spec, rec.type)) continue;
+    double next_max = path_max;
+    if (!spec.max_property.empty()) {
+      next_max = std::max(next_max,
+                          base.EdgeProperty(e, spec.max_property).ToDouble());
+    }
+    if ((*on_path)[rec.target]) {
+      if (spec.include_closed_paths && rec.target == start &&
+          EndpointOk(base, spec, start, depth + 1)) {
+        EndpointHit& hit = (*hits)[start];
+        ++hit.paths;
+        hit.max_value = std::max(hit.max_value, next_max);
+      }
+      continue;
+    }
+    CollectEndpoints(base, spec, start, rec.target, depth + 1, next_max,
+                     on_path, hits);
+  }
+  (*on_path)[v] = false;
+}
+
+}  // namespace
+
+Result<ConnectorView> ContractPaths(const PropertyGraph& base,
+                                    const ContractionSpec& spec) {
+  if (spec.k < 0) return Status::InvalidArgument("negative path length k");
+  if (spec.k == 0 && spec.max_hops < 1) {
+    return Status::InvalidArgument(
+        "variable-length contraction needs max_hops >= 1");
+  }
+
+  // The view schema: only the vertex types that can appear as endpoints.
+  // When both endpoint types are fixed, a single connector edge type is
+  // declared under the requested name; with untyped endpoints the schema
+  // model still requires a (domain, range) per edge type, so one edge
+  // type per endpoint-type pair is declared ("NAME__SRC__DST"), except
+  // that a single feasible pair keeps the plain name.
+  GraphSchema view_schema;
+  const GraphSchema& base_schema = base.schema();
+  std::vector<std::string> endpoint_types;
+  bool fully_typed = spec.source_type != kInvalidTypeId &&
+                     spec.target_type != kInvalidTypeId;
+  if (fully_typed) {
+    view_schema.AddVertexType(base_schema.vertex_type_name(spec.source_type));
+    view_schema.AddVertexType(base_schema.vertex_type_name(spec.target_type));
+    KASKADE_RETURN_IF_ERROR(
+        view_schema
+            .AddEdgeType(spec.connector_edge_name,
+                         base_schema.vertex_type_name(spec.source_type),
+                         base_schema.vertex_type_name(spec.target_type))
+            .status());
+  } else {
+    for (const std::string& name : base_schema.vertex_type_names()) {
+      view_schema.AddVertexType(name);
+    }
+    bool single_pair = base_schema.num_vertex_types() == 1;
+    for (const std::string& src : base_schema.vertex_type_names()) {
+      for (const std::string& dst : base_schema.vertex_type_names()) {
+        std::string name =
+            single_pair ? spec.connector_edge_name
+                        : spec.connector_edge_name + "__" +
+                              ToUpperAscii(src) + "__" + ToUpperAscii(dst);
+        KASKADE_RETURN_IF_ERROR(
+            view_schema.AddEdgeType(name, src, dst).status());
+      }
+    }
+  }
+
+  PropertyGraph view(view_schema);
+  std::vector<VertexId> view_to_base;
+  std::unordered_map<VertexId, VertexId> base_to_view;
+  uint64_t total_paths = 0;
+
+  auto view_vertex_for = [&](VertexId base_vertex) {
+    auto it = base_to_view.find(base_vertex);
+    if (it != base_to_view.end()) return it->second;
+    const std::string& type_name =
+        base_schema.vertex_type_name(base.VertexType(base_vertex));
+    VertexTypeId view_type = view.schema().FindVertexType(type_name);
+    PropertyMap props;
+    if (spec.copy_vertex_properties) props = base.VertexProperties(base_vertex);
+    props.Set("orig_id", PropertyValue(static_cast<int64_t>(base_vertex)));
+    VertexId vid = view.AddVertexOfType(view_type, std::move(props));
+    base_to_view.emplace(base_vertex, vid);
+    view_to_base.push_back(base_vertex);
+    return vid;
+  };
+
+  auto connector_type_for = [&](VertexId src_base,
+                                VertexId dst_base) -> EdgeTypeId {
+    if (fully_typed || base_schema.num_vertex_types() == 1) {
+      return view.schema().FindEdgeType(spec.connector_edge_name);
+    }
+    const std::string& src =
+        base_schema.vertex_type_name(base.VertexType(src_base));
+    const std::string& dst =
+        base_schema.vertex_type_name(base.VertexType(dst_base));
+    return view.schema().FindEdgeType(spec.connector_edge_name + "__" +
+                                      ToUpperAscii(src) + "__" +
+                                      ToUpperAscii(dst));
+  };
+  std::vector<bool> on_path(base.NumVertices(), false);
+  std::map<VertexId, EndpointHit> hits;
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    if (spec.source_type != kInvalidTypeId &&
+        base.VertexType(v) != spec.source_type) {
+      continue;
+    }
+    if (spec.sources_and_sinks_only && base.InDegree(v) != 0) continue;
+    hits.clear();
+    CollectEndpoints(base, spec, v, v, 0,
+                     std::numeric_limits<double>::lowest(), &on_path, &hits);
+    if (hits.empty()) continue;
+    VertexId src_view = view_vertex_for(v);
+    for (const auto& [endpoint, hit] : hits) {
+      VertexId dst_view = view_vertex_for(endpoint);
+      EdgeTypeId connector_type = connector_type_for(v, endpoint);
+      total_paths += hit.paths;
+      if (spec.deduplicate_pairs) {
+        PropertyMap eprops;
+        eprops.Set("paths", PropertyValue(static_cast<int64_t>(hit.paths)));
+        if (!spec.max_property.empty()) {
+          eprops.Set(spec.max_property, PropertyValue(hit.max_value));
+        }
+        KASKADE_RETURN_IF_ERROR(
+            view.AddEdgeOfType(src_view, dst_view, connector_type,
+                               std::move(eprops))
+                .status());
+      } else {
+        for (uint64_t i = 0; i < hit.paths; ++i) {
+          PropertyMap eprops;
+          if (!spec.max_property.empty()) {
+            eprops.Set(spec.max_property, PropertyValue(hit.max_value));
+          }
+          KASKADE_RETURN_IF_ERROR(view.AddEdgeOfType(src_view, dst_view,
+                                                     connector_type,
+                                                     std::move(eprops))
+                                      .status());
+        }
+      }
+    }
+  }
+  return ConnectorView{std::move(view), std::move(view_to_base), total_paths};
+}
+
+Result<ConnectorView> BuildKHopSameTypeConnector(const PropertyGraph& base,
+                                                 VertexTypeId vertex_type,
+                                                 int k) {
+  if (vertex_type == kInvalidTypeId ||
+      vertex_type >= base.schema().num_vertex_types()) {
+    return Status::InvalidArgument("invalid vertex type for connector");
+  }
+  ContractionSpec spec;
+  spec.k = k;
+  spec.source_type = vertex_type;
+  spec.target_type = vertex_type;
+  std::string type_name =
+      ToUpperAscii(base.schema().vertex_type_name(vertex_type));
+  spec.connector_edge_name = std::to_string(k) + "_HOP_" + type_name + "_TO_" +
+                             type_name;
+  return ContractPaths(base, spec);
+}
+
+}  // namespace kaskade::graph

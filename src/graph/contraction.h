@@ -1,0 +1,93 @@
+/// \file contraction.h
+/// \brief Path-contraction transformations that build connector views
+/// (§VI-A, Fig. 3).
+///
+/// A connector of G is a graph G' where every edge (u, v) contracts a
+/// single directed path between target vertices u, v of G, and V(G') is
+/// the union of all target vertices. The functions here implement the
+/// connector family of Table I as graph-to-graph transformations; the
+/// `core` module wraps them behind `ViewDefinition`s.
+
+#ifndef KASKADE_GRAPH_CONTRACTION_H_
+#define KASKADE_GRAPH_CONTRACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+
+/// \brief Parameters of a path-contraction pass.
+struct ContractionSpec {
+  /// Exact number of hops each contracted path must have; 0 means
+  /// variable-length (1..max_hops).
+  int k = 2;
+  /// Upper bound on path length for variable-length contraction (ignored
+  /// when k > 0).
+  int max_hops = 8;
+  /// Required type of path start vertices (kInvalidTypeId = any).
+  VertexTypeId source_type = kInvalidTypeId;
+  /// Required type of path end vertices (kInvalidTypeId = any).
+  VertexTypeId target_type = kInvalidTypeId;
+  /// When non-empty, paths may only use edges of these types.
+  std::vector<EdgeTypeId> edge_types;
+  /// Name of the connector edge type in the view graph, e.g.
+  /// "2_HOP_JOB_TO_JOB".
+  std::string connector_edge_name = "CONNECTOR";
+  /// Copy vertex property maps from the base graph into the view.
+  bool copy_vertex_properties = true;
+  /// When true (default), at most one connector edge is created per
+  /// distinct (u, v) pair, and its "paths" property holds the number of
+  /// contracted simple paths. When false, one edge per path (the literal
+  /// §VI-A definition; view sizes then equal the simple-path counts that
+  /// the §V-A estimators target).
+  bool deduplicate_pairs = true;
+  /// When true, restrict target vertices to (source, sink) pairs of the
+  /// base graph (for the source-to-sink connector of Table I).
+  bool sources_and_sinks_only = false;
+  /// When true (default), a path may close back on its start vertex
+  /// (producing a self-loop connector edge) as long as its interior is
+  /// simple. Pattern matching with homomorphism semantics can bind both
+  /// chain endpoints to one vertex (e.g. author-article-author), so
+  /// closed paths must be contracted for view-based rewrites to be
+  /// exact. Set false to contract strictly simple paths (whose count is
+  /// what the §V-A estimators target).
+  bool include_closed_paths = true;
+  /// When non-empty, every connector edge carries a property of this name
+  /// holding the maximum of that edge property over the contracted path
+  /// (and over all merged paths when deduplicating). Lets max-aggregating
+  /// path queries (Q4 "path lengths") run on the view.
+  std::string max_property;
+};
+
+/// \brief A materialized connector plus the base-graph lineage of its
+/// vertices.
+struct ConnectorView {
+  PropertyGraph view;
+  /// Base-graph vertex id for each view vertex.
+  std::vector<VertexId> view_to_base;
+  /// Total contracted simple paths (== sum of "paths" properties).
+  uint64_t contracted_paths = 0;
+};
+
+/// Builds a connector view by contracting simple paths of the base graph
+/// according to `spec`. Vertices of the view carry an "orig_id" integer
+/// property referring to the base graph. Fails with InvalidArgument for a
+/// nonsensical spec (k < 0, k == 0 with max_hops < 1).
+Result<ConnectorView> ContractPaths(const PropertyGraph& base,
+                                    const ContractionSpec& spec);
+
+/// Convenience wrapper: the paper's workhorse k-hop same-vertex-type
+/// connector (e.g. 2-hop job-to-job). Edge name defaults to
+/// "<k>_HOP_<TYPE>_TO_<TYPE>".
+Result<ConnectorView> BuildKHopSameTypeConnector(const PropertyGraph& base,
+                                                 VertexTypeId vertex_type,
+                                                 int k);
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_CONTRACTION_H_

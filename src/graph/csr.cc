@@ -1,0 +1,99 @@
+#include "graph/csr.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace kaskade::graph {
+
+CsrGraph CsrGraph::Build(const PropertyGraph& g) {
+  CsrGraph csr;
+  const size_t n = g.NumVertices();
+  const size_t m = g.NumEdges();
+  csr.vertex_types_.resize(n);
+  for (VertexId v = 0; v < n; ++v) csr.vertex_types_[v] = g.VertexType(v);
+
+  // Counting pass.
+  csr.out_offsets_.assign(n + 1, 0);
+  csr.in_offsets_.assign(n + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const EdgeRecord& rec = g.Edge(e);
+    ++csr.out_offsets_[rec.source + 1];
+    ++csr.in_offsets_[rec.target + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    csr.out_offsets_[v + 1] += csr.out_offsets_[v];
+    csr.in_offsets_[v + 1] += csr.in_offsets_[v];
+  }
+  // Placement pass.
+  csr.out_targets_.resize(m);
+  csr.out_edge_types_.resize(m);
+  csr.in_sources_.resize(m);
+  std::vector<uint64_t> out_cursor(csr.out_offsets_.begin(),
+                                   csr.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(csr.in_offsets_.begin(),
+                                  csr.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const EdgeRecord& rec = g.Edge(e);
+    uint64_t out_slot = out_cursor[rec.source]++;
+    csr.out_targets_[out_slot] = rec.target;
+    csr.out_edge_types_[out_slot] = rec.type;
+    csr.in_sources_[in_cursor[rec.target]++] = rec.source;
+  }
+  return csr;
+}
+
+size_t CsrCountReachable(const CsrGraph& g, VertexId source, int max_hops,
+                         bool backward) {
+  if (source >= g.NumVertices() || max_hops <= 0) return 0;
+  std::vector<bool> visited(g.NumVertices(), false);
+  visited[source] = true;
+  std::deque<std::pair<VertexId, int>> frontier{{source, 0}};
+  size_t reached = 0;
+  while (!frontier.empty()) {
+    auto [v, hops] = frontier.front();
+    frontier.pop_front();
+    if (hops >= max_hops) continue;
+    NeighborSpan neighbors = backward ? g.InNeighbors(v) : g.OutNeighbors(v);
+    for (VertexId next : neighbors) {
+      if (visited[next]) continue;
+      visited[next] = true;
+      ++reached;
+      frontier.emplace_back(next, hops + 1);
+    }
+  }
+  return reached;
+}
+
+std::vector<VertexId> CsrLabelPropagation(const CsrGraph& g, int passes) {
+  std::vector<VertexId> label(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) label[v] = v;
+  std::unordered_map<VertexId, size_t> freq;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool changed = false;
+    std::vector<VertexId> next_label(label);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      freq.clear();
+      for (VertexId u : g.OutNeighbors(v)) ++freq[label[u]];
+      for (VertexId u : g.InNeighbors(v)) ++freq[label[u]];
+      if (freq.empty()) continue;
+      VertexId best = label[v];
+      size_t best_count = 0;
+      for (const auto& [candidate, count] : freq) {
+        if (count > best_count ||
+            (count == best_count && candidate < best)) {
+          best = candidate;
+          best_count = count;
+        }
+      }
+      if (best != label[v]) {
+        next_label[v] = best;
+        changed = true;
+      }
+    }
+    label = std::move(next_label);
+    if (!changed) break;
+  }
+  return label;
+}
+
+}  // namespace kaskade::graph

@@ -1,0 +1,87 @@
+/// \file csr.h
+/// \brief Immutable compressed-sparse-row snapshot of a property graph.
+///
+/// `PropertyGraph` optimizes for append-only mutation (per-vertex edge-id
+/// vectors); traversal-heavy analytics want contiguous neighbor arrays.
+/// `CsrGraph` is a frozen topology snapshot in the style of
+/// shared-memory graph frameworks (Ligra et al., which the paper's
+/// related work surveys): O(1) neighbor slices, cache-friendly scans, no
+/// property access (go back to the base graph by vertex id for that —
+/// ids are preserved).
+
+#ifndef KASKADE_GRAPH_CSR_H_
+#define KASKADE_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+
+/// \brief A contiguous, read-only neighbor slice.
+struct NeighborSpan {
+  const VertexId* data = nullptr;
+  size_t size = 0;
+
+  const VertexId* begin() const { return data; }
+  const VertexId* end() const { return data + size; }
+  VertexId operator[](size_t i) const { return data[i]; }
+  bool empty() const { return size == 0; }
+};
+
+/// \brief CSR topology snapshot (out- and in-adjacency), vertex ids
+/// shared with the source graph.
+class CsrGraph {
+ public:
+  /// Freezes the topology of `g`. O(|V| + |E|).
+  static CsrGraph Build(const PropertyGraph& g);
+
+  size_t NumVertices() const { return vertex_types_.size(); }
+  size_t NumEdges() const { return out_targets_.size(); }
+
+  NeighborSpan OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  NeighborSpan InNeighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  VertexTypeId VertexType(VertexId v) const { return vertex_types_[v]; }
+
+  /// Edge type of the i-th out-edge of v (parallel to OutNeighbors).
+  EdgeTypeId OutEdgeType(VertexId v, size_t i) const {
+    return out_edge_types_[out_offsets_[v] + i];
+  }
+
+ private:
+  std::vector<uint64_t> out_offsets_;  // |V|+1
+  std::vector<VertexId> out_targets_;  // |E|
+  std::vector<EdgeTypeId> out_edge_types_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_sources_;
+  std::vector<VertexTypeId> vertex_types_;
+};
+
+/// Bounded BFS over a CSR snapshot: distinct vertices within `max_hops`
+/// of `source` (excluding the source), like `CountReachable`.
+size_t CsrCountReachable(const CsrGraph& g, VertexId source, int max_hops,
+                         bool backward = false);
+
+/// Label propagation over a CSR snapshot; semantics identical to
+/// `LabelPropagation` (most frequent neighbor label over in+out edges,
+/// smaller label on ties, synchronous, early exit).
+std::vector<VertexId> CsrLabelPropagation(const CsrGraph& g, int passes);
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_CSR_H_

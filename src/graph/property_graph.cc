@@ -1,0 +1,112 @@
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+
+Result<VertexId> PropertyGraph::AddVertex(const std::string& type_name,
+                                          PropertyMap properties) {
+  VertexTypeId type = schema_.FindVertexType(type_name);
+  if (type == kInvalidTypeId) {
+    return Status::NotFound("unknown vertex type '" + type_name + "'");
+  }
+  return AddVertexOfType(type, std::move(properties));
+}
+
+VertexId PropertyGraph::AddVertexOfType(VertexTypeId type,
+                                        PropertyMap properties) {
+  VertexId id = static_cast<VertexId>(vertex_types_.size());
+  vertex_types_.push_back(type);
+  vertex_props_.push_back(std::move(properties));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  if (type >= vertex_type_counts_.size()) vertex_type_counts_.resize(type + 1, 0);
+  ++vertex_type_counts_[type];
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(VertexId source, VertexId target,
+                                      const std::string& type_name,
+                                      PropertyMap properties) {
+  EdgeTypeId type = schema_.FindEdgeType(type_name);
+  if (type == kInvalidTypeId) {
+    return Status::NotFound("unknown edge type '" + type_name + "'");
+  }
+  return AddEdgeOfType(source, target, type, std::move(properties));
+}
+
+Result<EdgeId> PropertyGraph::AddEdgeOfType(VertexId source, VertexId target,
+                                            EdgeTypeId type,
+                                            PropertyMap properties) {
+  if (source >= NumVertices() || target >= NumVertices()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  const EdgeTypeDecl& decl = schema_.edge_type(type);
+  if (vertex_types_[source] != decl.source_type) {
+    return Status::InvalidArgument(
+        "edge type '" + decl.name + "' requires source type '" +
+        schema_.vertex_type_name(decl.source_type) + "' but got '" +
+        schema_.vertex_type_name(vertex_types_[source]) + "'");
+  }
+  if (vertex_types_[target] != decl.target_type) {
+    return Status::InvalidArgument(
+        "edge type '" + decl.name + "' requires target type '" +
+        schema_.vertex_type_name(decl.target_type) + "' but got '" +
+        schema_.vertex_type_name(vertex_types_[target]) + "'");
+  }
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(EdgeRecord{source, target, type});
+  edge_props_.push_back(std::move(properties));
+  out_edges_[source].push_back(id);
+  in_edges_[target].push_back(id);
+  if (type >= edge_type_counts_.size()) edge_type_counts_.resize(type + 1, 0);
+  ++edge_type_counts_[type];
+  return id;
+}
+
+Status PropertyGraph::SetVertexProperty(VertexId v, const std::string& key,
+                                        PropertyValue value) {
+  if (v >= NumVertices()) return Status::OutOfRange("vertex id out of range");
+  vertex_props_[v].Set(key, std::move(value));
+  return Status::OK();
+}
+
+Status PropertyGraph::SetEdgeProperty(EdgeId e, const std::string& key,
+                                      PropertyValue value) {
+  if (e >= NumEdges()) return Status::OutOfRange("edge id out of range");
+  edge_props_[e].Set(key, std::move(value));
+  return Status::OK();
+}
+
+std::vector<VertexId> PropertyGraph::VerticesOfType(VertexTypeId type) const {
+  std::vector<VertexId> out;
+  out.reserve(NumVerticesOfType(type));
+  for (VertexId v = 0; v < vertex_types_.size(); ++v) {
+    if (vertex_types_[v] == type) out.push_back(v);
+  }
+  return out;
+}
+
+bool PropertyGraph::HasEdgeBetween(VertexId source, VertexId target) const {
+  if (source >= NumVertices()) return false;
+  // Scan the smaller of the two incident lists.
+  if (out_edges_[source].size() <= in_edges_[target].size()) {
+    for (EdgeId e : out_edges_[source]) {
+      if (edges_[e].target == target) return true;
+    }
+  } else {
+    for (EdgeId e : in_edges_[target]) {
+      if (edges_[e].source == source) return true;
+    }
+  }
+  return false;
+}
+
+size_t PropertyGraph::EstimateSizeBytes() const {
+  // Topology: per-vertex type id + two adjacency vectors; per-edge record
+  // plus its two adjacency slots.
+  size_t bytes = vertex_types_.size() *
+                 (sizeof(VertexTypeId) + 2 * sizeof(std::vector<EdgeId>));
+  bytes += edges_.size() * (sizeof(EdgeRecord) + 2 * sizeof(EdgeId));
+  return bytes;
+}
+
+}  // namespace kaskade::graph

@@ -1,0 +1,158 @@
+/// \file property_graph.h
+/// \brief In-memory directed property graph with typed vertices and edges.
+///
+/// This is Kaskade's execution substrate (the role Neo4j plays in the
+/// paper): it stores the raw graph and all materialized graph views, and
+/// the query executor in `src/query` pattern-matches against it.
+
+#ifndef KASKADE_GRAPH_PROPERTY_GRAPH_H_
+#define KASKADE_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/property_value.h"
+#include "graph/schema.h"
+
+namespace kaskade::graph {
+
+/// Dense vertex identifier (index into the vertex arrays).
+using VertexId = uint32_t;
+/// Dense edge identifier (index into the edge arrays).
+using EdgeId = uint32_t;
+
+/// Sentinel meaning "no such vertex/edge".
+inline constexpr uint32_t kInvalidId = ~0u;
+
+/// \brief An edge record: (source, target, type).
+struct EdgeRecord {
+  VertexId source;
+  VertexId target;
+  EdgeTypeId type;
+};
+
+/// \brief Directed multigraph with schema-validated typed vertices/edges
+/// and per-element property maps.
+///
+/// Mutation is append-only (vertices and edges are never deleted); views
+/// are materialized as *new* PropertyGraph instances, which matches the
+/// paper's design where views live beside the raw graph. Adjacency is
+/// stored as per-vertex out/in edge lists for O(degree) expansion.
+class PropertyGraph {
+ public:
+  /// Creates a graph over `schema` (copied; the schema of a graph is
+  /// immutable once the graph exists).
+  explicit PropertyGraph(GraphSchema schema) : schema_(std::move(schema)) {}
+
+  const GraphSchema& schema() const { return schema_; }
+
+  /// \name Mutation
+  /// @{
+
+  /// Adds a vertex of the named type. Fails with NotFound for an unknown
+  /// type name.
+  Result<VertexId> AddVertex(const std::string& type_name,
+                             PropertyMap properties = {});
+
+  /// Adds a vertex of the given type id (no name lookup; hot path for
+  /// generators and materializers).
+  VertexId AddVertexOfType(VertexTypeId type, PropertyMap properties = {});
+
+  /// Adds an edge of the named type. Fails with NotFound for an unknown
+  /// type, OutOfRange for bad endpoints, and InvalidArgument when the
+  /// endpoints violate the edge type's (domain, range) declaration.
+  Result<EdgeId> AddEdge(VertexId source, VertexId target,
+                         const std::string& type_name,
+                         PropertyMap properties = {});
+
+  /// Adds an edge by type id, still validating endpoints against the
+  /// schema constraint.
+  Result<EdgeId> AddEdgeOfType(VertexId source, VertexId target,
+                               EdgeTypeId type, PropertyMap properties = {});
+
+  /// Sets a property on an existing vertex.
+  Status SetVertexProperty(VertexId v, const std::string& key,
+                           PropertyValue value);
+
+  /// Sets a property on an existing edge.
+  Status SetEdgeProperty(EdgeId e, const std::string& key,
+                         PropertyValue value);
+  /// @}
+
+  /// \name Topology accessors
+  /// @{
+  size_t NumVertices() const { return vertex_types_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  VertexTypeId VertexType(VertexId v) const { return vertex_types_[v]; }
+  const std::string& VertexTypeName(VertexId v) const {
+    return schema_.vertex_type_name(vertex_types_[v]);
+  }
+
+  const EdgeRecord& Edge(EdgeId e) const { return edges_[e]; }
+  const std::string& EdgeTypeName(EdgeId e) const {
+    return schema_.edge_type(edges_[e].type).name;
+  }
+
+  const std::vector<EdgeId>& OutEdges(VertexId v) const {
+    return out_edges_[v];
+  }
+  const std::vector<EdgeId>& InEdges(VertexId v) const { return in_edges_[v]; }
+
+  size_t OutDegree(VertexId v) const { return out_edges_[v].size(); }
+  size_t InDegree(VertexId v) const { return in_edges_[v].size(); }
+
+  /// Number of vertices of the given type (O(1), maintained on insert).
+  size_t NumVerticesOfType(VertexTypeId type) const {
+    return type < vertex_type_counts_.size() ? vertex_type_counts_[type] : 0;
+  }
+
+  /// Number of edges of the given type (O(1), maintained on insert).
+  size_t NumEdgesOfType(EdgeTypeId type) const {
+    return type < edge_type_counts_.size() ? edge_type_counts_[type] : 0;
+  }
+
+  /// All vertex ids of a type (O(|V|) scan).
+  std::vector<VertexId> VerticesOfType(VertexTypeId type) const;
+  /// @}
+
+  /// \name Properties
+  /// @{
+  const PropertyMap& VertexProperties(VertexId v) const {
+    return vertex_props_[v];
+  }
+  const PropertyMap& EdgeProperties(EdgeId e) const { return edge_props_[e]; }
+
+  PropertyValue VertexProperty(VertexId v, const std::string& key) const {
+    return vertex_props_[v].GetOrNull(key);
+  }
+  PropertyValue EdgeProperty(EdgeId e, const std::string& key) const {
+    return edge_props_[e].GetOrNull(key);
+  }
+  /// @}
+
+  /// True if there is at least one edge source->target (any type).
+  bool HasEdgeBetween(VertexId source, VertexId target) const;
+
+  /// Approximate heap footprint in bytes (topology only; used by the view
+  /// selector's space budget accounting).
+  size_t EstimateSizeBytes() const;
+
+ private:
+  GraphSchema schema_;
+  std::vector<VertexTypeId> vertex_types_;
+  std::vector<PropertyMap> vertex_props_;
+  std::vector<EdgeRecord> edges_;
+  std::vector<PropertyMap> edge_props_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<size_t> vertex_type_counts_;
+  std::vector<size_t> edge_type_counts_;
+};
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_PROPERTY_GRAPH_H_

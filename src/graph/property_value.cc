@@ -1,0 +1,63 @@
+#include "graph/property_value.h"
+
+#include <sstream>
+
+namespace kaskade::graph {
+
+std::string PropertyValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  return as_string();
+}
+
+bool PropertyValue::operator==(const PropertyValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return ToDouble() == other.ToDouble();
+  }
+  return repr_ == other.repr_;
+}
+
+bool PropertyValue::operator<(const PropertyValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() < other.as_int();
+    return ToDouble() < other.ToDouble();
+  }
+  if (TypeRank() != other.TypeRank()) return TypeRank() < other.TypeRank();
+  return repr_ < other.repr_;
+}
+
+PropertyMap::PropertyMap(
+    std::initializer_list<std::pair<std::string, PropertyValue>> init) {
+  for (const auto& [k, v] : init) Set(k, v);
+}
+
+void PropertyMap::Set(const std::string& key, PropertyValue value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+const PropertyValue* PropertyMap::Find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+PropertyValue PropertyMap::GetOrNull(const std::string& key) const {
+  const PropertyValue* v = Find(key);
+  return v == nullptr ? PropertyValue() : *v;
+}
+
+}  // namespace kaskade::graph

@@ -1,0 +1,99 @@
+/// \file property_value.h
+/// \brief Dynamically-typed property values attached to vertices and edges
+/// of a property graph (§III-A of the Kaskade paper).
+
+#ifndef KASKADE_GRAPH_PROPERTY_VALUE_H_
+#define KASKADE_GRAPH_PROPERTY_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kaskade::graph {
+
+/// \brief A property value: null, boolean, 64-bit integer, double, or
+/// string.
+///
+/// The property-graph data model attaches key/value pairs to both vertices
+/// and edges. Values are compared first by type rank (null < bool < int <
+/// double < string), then by value, so they can be used as grouping keys.
+class PropertyValue {
+ public:
+  PropertyValue() : repr_(std::monostate{}) {}
+  PropertyValue(bool v) : repr_(v) {}                       // NOLINT
+  PropertyValue(int64_t v) : repr_(v) {}                    // NOLINT
+  PropertyValue(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT
+  PropertyValue(double v) : repr_(v) {}                     // NOLINT
+  PropertyValue(std::string v) : repr_(std::move(v)) {}     // NOLINT
+  PropertyValue(const char* v) : repr_(std::string(v)) {}   // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(repr_); }
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Numeric value widened to double; 0.0 for non-numeric values.
+  double ToDouble() const {
+    if (is_int()) return static_cast<double>(as_int());
+    if (is_double()) return as_double();
+    if (is_bool()) return as_bool() ? 1.0 : 0.0;
+    return 0.0;
+  }
+
+  /// Renders the value for display ("null", "true", "42", "1.5", "abc").
+  std::string ToString() const;
+
+  bool operator==(const PropertyValue& other) const;
+  bool operator!=(const PropertyValue& other) const { return !(*this == other); }
+  /// Total order: by type rank, then value (numerics compared as double
+  /// within the cross-type numeric case).
+  bool operator<(const PropertyValue& other) const;
+
+ private:
+  int TypeRank() const { return static_cast<int>(repr_.index()); }
+
+  std::variant<std::monostate, bool, int64_t, double, std::string> repr_;
+};
+
+/// \brief A flat list of key/value pairs; small maps dominate so linear
+/// scan beats hashing.
+class PropertyMap {
+ public:
+  PropertyMap() = default;
+  PropertyMap(std::initializer_list<std::pair<std::string, PropertyValue>> init);
+
+  /// Inserts or overwrites `key`.
+  void Set(const std::string& key, PropertyValue value);
+
+  /// Returns the value for `key`, or nullptr when absent.
+  const PropertyValue* Find(const std::string& key) const;
+
+  /// Returns the value for `key`, or a null PropertyValue when absent.
+  PropertyValue GetOrNull(const std::string& key) const;
+
+  bool Contains(const std::string& key) const { return Find(key) != nullptr; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  bool operator==(const PropertyMap& other) const = default;
+
+ private:
+  std::vector<std::pair<std::string, PropertyValue>> entries_;
+};
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_PROPERTY_VALUE_H_

@@ -1,0 +1,81 @@
+#include "graph/schema.h"
+
+namespace kaskade::graph {
+
+VertexTypeId GraphSchema::AddVertexType(const std::string& name) {
+  auto it = vertex_type_ids_.find(name);
+  if (it != vertex_type_ids_.end()) return it->second;
+  VertexTypeId id = static_cast<VertexTypeId>(vertex_type_names_.size());
+  vertex_type_names_.push_back(name);
+  vertex_type_ids_.emplace(name, id);
+  return id;
+}
+
+Result<EdgeTypeId> GraphSchema::AddEdgeType(const std::string& name,
+                                            const std::string& source_type,
+                                            const std::string& target_type) {
+  if (edge_type_ids_.count(name) > 0) {
+    return Status::AlreadyExists("edge type '" + name + "' already declared");
+  }
+  VertexTypeId src = FindVertexType(source_type);
+  if (src == kInvalidTypeId) {
+    return Status::NotFound("unknown source vertex type '" + source_type + "'");
+  }
+  VertexTypeId dst = FindVertexType(target_type);
+  if (dst == kInvalidTypeId) {
+    return Status::NotFound("unknown target vertex type '" + target_type + "'");
+  }
+  EdgeTypeId id = static_cast<EdgeTypeId>(edge_types_.size());
+  edge_types_.push_back(EdgeTypeDecl{name, src, dst});
+  edge_type_ids_.emplace(name, id);
+  return id;
+}
+
+VertexTypeId GraphSchema::FindVertexType(const std::string& name) const {
+  auto it = vertex_type_ids_.find(name);
+  return it == vertex_type_ids_.end() ? kInvalidTypeId : it->second;
+}
+
+EdgeTypeId GraphSchema::FindEdgeType(const std::string& name) const {
+  auto it = edge_type_ids_.find(name);
+  return it == edge_type_ids_.end() ? kInvalidTypeId : it->second;
+}
+
+std::vector<EdgeTypeId> GraphSchema::EdgeTypesFrom(VertexTypeId type) const {
+  std::vector<EdgeTypeId> out;
+  for (EdgeTypeId i = 0; i < edge_types_.size(); ++i) {
+    if (edge_types_[i].source_type == type) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<EdgeTypeId> GraphSchema::EdgeTypesInto(VertexTypeId type) const {
+  std::vector<EdgeTypeId> out;
+  for (EdgeTypeId i = 0; i < edge_types_.size(); ++i) {
+    if (edge_types_[i].target_type == type) out.push_back(i);
+  }
+  return out;
+}
+
+bool GraphSchema::HasKHopSchemaPath(VertexTypeId from, VertexTypeId to,
+                                    int k) const {
+  if (k <= 0) return k == 0 && from == to;
+  // Reachable type set after i steps, starting from {from}.
+  std::vector<bool> current(vertex_type_names_.size(), false);
+  current[from] = true;
+  for (int step = 0; step < k; ++step) {
+    std::vector<bool> next(vertex_type_names_.size(), false);
+    bool any = false;
+    for (const EdgeTypeDecl& et : edge_types_) {
+      if (current[et.source_type]) {
+        next[et.target_type] = true;
+        any = true;
+      }
+    }
+    if (!any) return false;
+    current = std::move(next);
+  }
+  return current[to];
+}
+
+}  // namespace kaskade::graph

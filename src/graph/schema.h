@@ -1,0 +1,99 @@
+/// \file schema.h
+/// \brief Graph schema: vertex types plus edge types with (domain, range)
+/// connectivity constraints (§III-A).
+///
+/// The schema is what makes Kaskade's constraint mining possible: an edge
+/// type such as `WRITES_TO` is declared to connect only `Job` vertices to
+/// `File` vertices, so no job-job or file-file edge can ever exist, and
+/// only even-length job-to-job paths are feasible.
+
+#ifndef KASKADE_GRAPH_SCHEMA_H_
+#define KASKADE_GRAPH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kaskade::graph {
+
+/// Dense id of a vertex type within a schema.
+using VertexTypeId = uint32_t;
+/// Dense id of an edge type within a schema.
+using EdgeTypeId = uint32_t;
+
+/// Sentinel meaning "no such type".
+inline constexpr uint32_t kInvalidTypeId = ~0u;
+
+/// \brief Declaration of an edge type: its name and the vertex types it is
+/// allowed to connect (domain -> range).
+struct EdgeTypeDecl {
+  std::string name;
+  VertexTypeId source_type;
+  VertexTypeId target_type;
+};
+
+/// \brief A property-graph schema.
+///
+/// Vertex and edge types are interned to dense ids. Multiple edge types may
+/// share a name pair; names must be unique per kind. A schema with one
+/// vertex type and one edge type models a homogeneous graph.
+class GraphSchema {
+ public:
+  /// Registers a vertex type; returns its id (existing id if duplicate).
+  VertexTypeId AddVertexType(const std::string& name);
+
+  /// Registers an edge type between two existing vertex types.
+  /// Fails with NotFound if either endpoint type is unknown, or
+  /// AlreadyExists if the edge-type name is taken.
+  Result<EdgeTypeId> AddEdgeType(const std::string& name,
+                                 const std::string& source_type,
+                                 const std::string& target_type);
+
+  /// Returns the id for a vertex type name, or kInvalidTypeId.
+  VertexTypeId FindVertexType(const std::string& name) const;
+
+  /// Returns the id for an edge type name, or kInvalidTypeId.
+  EdgeTypeId FindEdgeType(const std::string& name) const;
+
+  size_t num_vertex_types() const { return vertex_type_names_.size(); }
+  size_t num_edge_types() const { return edge_types_.size(); }
+
+  const std::string& vertex_type_name(VertexTypeId id) const {
+    return vertex_type_names_[id];
+  }
+  const EdgeTypeDecl& edge_type(EdgeTypeId id) const { return edge_types_[id]; }
+
+  const std::vector<std::string>& vertex_type_names() const {
+    return vertex_type_names_;
+  }
+  const std::vector<EdgeTypeDecl>& edge_types() const { return edge_types_; }
+
+  /// Edge types whose domain (source) is `type`.
+  std::vector<EdgeTypeId> EdgeTypesFrom(VertexTypeId type) const;
+
+  /// Edge types whose range (target) is `type`.
+  std::vector<EdgeTypeId> EdgeTypesInto(VertexTypeId type) const;
+
+  /// True when the schema has exactly one vertex type (the paper's notion
+  /// of a homogeneous graph).
+  bool IsHomogeneous() const { return vertex_type_names_.size() == 1; }
+
+  /// True if a directed path of exactly `k` edge-type steps can lead from
+  /// `from` to `to` under the schema (walks over the schema graph —
+  /// schema-level feasibility as used by `schemaKHopPath`).
+  bool HasKHopSchemaPath(VertexTypeId from, VertexTypeId to, int k) const;
+
+ private:
+  std::vector<std::string> vertex_type_names_;
+  std::unordered_map<std::string, VertexTypeId> vertex_type_ids_;
+  std::vector<EdgeTypeDecl> edge_types_;
+  std::unordered_map<std::string, EdgeTypeId> edge_type_ids_;
+};
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_SCHEMA_H_

@@ -1,0 +1,262 @@
+#include "graph/serialization.h"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kaskade::graph {
+
+namespace {
+
+constexpr char kMagic[] = "kaskade-graph";
+constexpr int kVersion = 1;
+
+bool NeedsEscape(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) || c == '=' ||
+         c == '\\' || !std::isprint(static_cast<unsigned char>(c));
+}
+
+std::string Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  char buf[8];
+  for (char c : raw) {
+    if (NeedsEscape(c)) {
+      std::snprintf(buf, sizeof(buf), "\\%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Status::InvalidArgument("truncated escape sequence");
+    }
+    int value = 0;
+    for (int d = 1; d <= 2; ++d) {
+      char c = escaped[i + d];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return Status::InvalidArgument("bad escape digit");
+      }
+      value = value * 16 + digit;
+    }
+    out.push_back(static_cast<char>(value));
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeValue(const PropertyValue& value) {
+  if (value.is_null()) return "n:";
+  if (value.is_bool()) return value.as_bool() ? "b:1" : "b:0";
+  if (value.is_int()) return "i:" + std::to_string(value.as_int());
+  if (value.is_double()) {
+    std::ostringstream os;
+    os << std::setprecision(17) << value.as_double();
+    return "d:" + os.str();
+  }
+  return "s:" + Escape(value.as_string());
+}
+
+Result<PropertyValue> DecodeValue(const std::string& encoded) {
+  if (encoded.size() < 2 || encoded[1] != ':') {
+    return Status::InvalidArgument("bad property encoding '" + encoded + "'");
+  }
+  std::string payload = encoded.substr(2);
+  switch (encoded[0]) {
+    case 'n':
+      return PropertyValue();
+    case 'b':
+      return PropertyValue(payload == "1");
+    case 'i':
+      try {
+        return PropertyValue(static_cast<int64_t>(std::stoll(payload)));
+      } catch (...) {
+        return Status::InvalidArgument("bad integer '" + payload + "'");
+      }
+    case 'd':
+      try {
+        return PropertyValue(std::stod(payload));
+      } catch (...) {
+        return Status::InvalidArgument("bad double '" + payload + "'");
+      }
+    case 's': {
+      KASKADE_ASSIGN_OR_RETURN(std::string raw, Unescape(payload));
+      return PropertyValue(std::move(raw));
+    }
+    default:
+      return Status::InvalidArgument("unknown property tag '" +
+                                     std::string(1, encoded[0]) + "'");
+  }
+}
+
+void WriteProperties(const PropertyMap& props, std::ostream* out) {
+  for (const auto& [key, value] : props) {
+    *out << " " << Escape(key) << "=" << EncodeValue(value);
+  }
+}
+
+Status ParseProperties(const std::vector<std::string>& tokens, size_t start,
+                       PropertyMap* props) {
+  for (size_t i = start; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) continue;
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("property token missing '=': " +
+                                     tokens[i]);
+    }
+    KASKADE_ASSIGN_OR_RETURN(std::string key,
+                             Unescape(tokens[i].substr(0, eq)));
+    KASKADE_ASSIGN_OR_RETURN(PropertyValue value,
+                             DecodeValue(tokens[i].substr(eq + 1)));
+    props->Set(key, std::move(value));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+Status SaveGraph(const PropertyGraph& graph, std::ostream* out) {
+  *out << kMagic << " " << kVersion << "\n";
+  const GraphSchema& schema = graph.schema();
+  for (const std::string& name : schema.vertex_type_names()) {
+    *out << "vtype " << Escape(name) << "\n";
+  }
+  for (const EdgeTypeDecl& decl : schema.edge_types()) {
+    *out << "etype " << Escape(decl.name) << " "
+         << Escape(schema.vertex_type_name(decl.source_type)) << " "
+         << Escape(schema.vertex_type_name(decl.target_type)) << "\n";
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    *out << "vertex " << Escape(graph.VertexTypeName(v));
+    WriteProperties(graph.VertexProperties(v), out);
+    *out << "\n";
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeRecord& rec = graph.Edge(e);
+    *out << "edge " << rec.source << " " << rec.target << " "
+         << Escape(graph.EdgeTypeName(e));
+    WriteProperties(graph.EdgeProperties(e), out);
+    *out << "\n";
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<PropertyGraph> LoadGraph(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("empty input");
+  }
+  std::vector<std::string> header = Tokenize(line);
+  if (header.size() != 2 || header[0] != kMagic) {
+    return Status::InvalidArgument("not a kaskade-graph file");
+  }
+  if (header[1] != std::to_string(kVersion)) {
+    return Status::InvalidArgument("unsupported version " + header[1]);
+  }
+
+  // Pass 1: schema lines must precede data lines; we build as we stream.
+  GraphSchema schema;
+  std::vector<std::pair<std::string, PropertyMap>> pending_vertices;
+  struct PendingEdge {
+    VertexId source;
+    VertexId target;
+    std::string type;
+    PropertyMap props;
+  };
+  std::vector<PendingEdge> pending_edges;
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + why);
+    };
+    if (tokens[0] == "vtype") {
+      if (tokens.size() != 2) return fail("vtype wants 1 argument");
+      KASKADE_ASSIGN_OR_RETURN(std::string name, Unescape(tokens[1]));
+      schema.AddVertexType(name);
+    } else if (tokens[0] == "etype") {
+      if (tokens.size() != 4) return fail("etype wants 3 arguments");
+      KASKADE_ASSIGN_OR_RETURN(std::string name, Unescape(tokens[1]));
+      KASKADE_ASSIGN_OR_RETURN(std::string src, Unescape(tokens[2]));
+      KASKADE_ASSIGN_OR_RETURN(std::string dst, Unescape(tokens[3]));
+      KASKADE_RETURN_IF_ERROR(schema.AddEdgeType(name, src, dst).status());
+    } else if (tokens[0] == "vertex") {
+      if (tokens.size() < 2) return fail("vertex wants a type");
+      KASKADE_ASSIGN_OR_RETURN(std::string type, Unescape(tokens[1]));
+      PropertyMap props;
+      KASKADE_RETURN_IF_ERROR(ParseProperties(tokens, 2, &props));
+      pending_vertices.emplace_back(std::move(type), std::move(props));
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() < 4) return fail("edge wants src dst type");
+      PendingEdge edge;
+      try {
+        edge.source = static_cast<VertexId>(std::stoul(tokens[1]));
+        edge.target = static_cast<VertexId>(std::stoul(tokens[2]));
+      } catch (...) {
+        return fail("bad endpoint id");
+      }
+      KASKADE_ASSIGN_OR_RETURN(edge.type, Unescape(tokens[3]));
+      KASKADE_RETURN_IF_ERROR(ParseProperties(tokens, 4, &edge.props));
+      pending_edges.push_back(std::move(edge));
+    } else {
+      return fail("unknown record '" + tokens[0] + "'");
+    }
+  }
+
+  PropertyGraph graph(schema);
+  for (auto& [type, props] : pending_vertices) {
+    KASKADE_RETURN_IF_ERROR(
+        graph.AddVertex(type, std::move(props)).status());
+  }
+  for (PendingEdge& edge : pending_edges) {
+    KASKADE_RETURN_IF_ERROR(
+        graph.AddEdge(edge.source, edge.target, edge.type,
+                      std::move(edge.props))
+            .status());
+  }
+  return graph;
+}
+
+std::string GraphToString(const PropertyGraph& graph) {
+  std::ostringstream os;
+  Status st = SaveGraph(graph, &os);
+  return st.ok() ? os.str() : "";
+}
+
+Result<PropertyGraph> GraphFromString(const std::string& text) {
+  std::istringstream is(text);
+  return LoadGraph(&is);
+}
+
+}  // namespace kaskade::graph

@@ -1,0 +1,46 @@
+/// \file serialization.h
+/// \brief Text serialization for property graphs.
+///
+/// A line-oriented, diff-friendly format so graphs and materialized views
+/// can be saved, shipped, and reloaded (Kaskade materializes views as
+/// physical data objects — this is their on-disk form in this
+/// implementation):
+///
+/// ```
+/// kaskade-graph 1
+/// vtype Job
+/// vtype File
+/// etype WRITES_TO Job File
+/// vertex 0 Job CPU=d:12.5 name=s:job\_0
+/// edge 0 1 WRITES_TO timestamp=i:7
+/// ```
+///
+/// Property values are typed (`i:`/`d:`/`s:`/`b:`/`n:`); strings escape
+/// whitespace, `=`, and backslash with `\xx` hex escapes. Vertices appear
+/// before edges; ids are implicit (declaration order), matching the
+/// append-only id assignment of `PropertyGraph`.
+
+#ifndef KASKADE_GRAPH_SERIALIZATION_H_
+#define KASKADE_GRAPH_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+
+/// Writes `graph` (schema, vertices, edges, properties) to `out`.
+Status SaveGraph(const PropertyGraph& graph, std::ostream* out);
+
+/// Reads a graph previously written by `SaveGraph`.
+Result<PropertyGraph> LoadGraph(std::istream* in);
+
+/// Convenience: serialize to / parse from a string.
+std::string GraphToString(const PropertyGraph& graph);
+Result<PropertyGraph> GraphFromString(const std::string& text);
+
+}  // namespace kaskade::graph
+
+#endif  // KASKADE_GRAPH_SERIALIZATION_H_

@@ -1,0 +1,108 @@
+#include "prolog/knowledge_base.h"
+
+#include <cassert>
+
+namespace kaskade::prolog {
+
+namespace {
+
+std::string Key(const std::string& functor, size_t arity) {
+  return functor + "/" + std::to_string(arity);
+}
+
+bool IsGround(const TermPtr& t) {
+  if (t->is_var()) return false;
+  for (const TermPtr& arg : t->args()) {
+    if (!IsGround(arg)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* KnowledgeBase::PreludeSource() {
+  return R"PL(
+% ---- Kaskade inference-engine standard library ----
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse([], []).
+reverse([H|T], R) :- reverse(T, RT), append(RT, [H], R).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], H) :- max_list(T, M), H >= M.
+max_list([H|T], M) :- max_list(T, M), M > H.
+
+min_list([X], X).
+min_list([H|T], H) :- min_list(T, M), H =< M.
+min_list([H|T], M) :- min_list(T, M), M < H.
+
+% Higher-order helpers used by aggregator view templates (Lst. 5).
+foldl(_, [], A, A).
+foldl(G, [H|T], A0, A) :- call(G, H, A0, A1), foldl(G, T, A1, A).
+
+convlist(_, [], []).
+convlist(G, [H|T], [RH|RT]) :- call(G, H, RH), convlist(G, T, RT).
+convlist(G, [H|T], R) :- \+ call(G, H, _), convlist(G, T, R).
+
+maplist(_, []).
+maplist(G, [H|T]) :- call(G, H), maplist(G, T).
+maplist(_, [], []).
+maplist(G, [H|T], [RH|RT]) :- call(G, H, RH), maplist(G, T, RT).
+
+nth0(0, [X|_], X).
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+)PL";
+}
+
+KnowledgeBase::KnowledgeBase(bool with_prelude) {
+  if (with_prelude) {
+    Status st = Consult(PreludeSource());
+    assert(st.ok());
+    (void)st;
+  }
+}
+
+Status KnowledgeBase::Consult(const std::string& program_text) {
+  Result<std::vector<Clause>> parsed = ParseProgram(program_text);
+  if (!parsed.ok()) return parsed.status();
+  for (Clause& clause : parsed.value()) {
+    AddClause(std::move(clause));
+  }
+  return Status::OK();
+}
+
+Status KnowledgeBase::AssertFact(const std::string& functor,
+                                 std::vector<TermPtr> args) {
+  Clause clause;
+  clause.head = Term::MakeCompound(functor, std::move(args));
+  if (!IsGround(clause.head)) {
+    return Status::InvalidArgument("AssertFact requires a ground fact: " +
+                                   clause.head->ToString());
+  }
+  AddClause(std::move(clause));
+  return Status::OK();
+}
+
+void KnowledgeBase::AddClause(Clause clause) {
+  std::string key = Key(clause.head->name(), clause.head->arity());
+  by_key_[key].push_back(std::move(clause));
+  ++num_clauses_;
+}
+
+const std::vector<Clause>& KnowledgeBase::Lookup(const std::string& functor,
+                                                 size_t arity) const {
+  auto it = by_key_.find(Key(functor, arity));
+  return it == by_key_.end() ? empty_ : it->second;
+}
+
+}  // namespace kaskade::prolog

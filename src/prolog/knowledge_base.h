@@ -1,0 +1,58 @@
+/// \file knowledge_base.h
+/// \brief Clause database for the inference engine, indexed by
+/// functor/arity.
+///
+/// Holds the facts mined from the query and schema (§IV-A1), the
+/// constraint-mining rules (§IV-A2), and the view templates (§IV-B).
+
+#ifndef KASKADE_PROLOG_KNOWLEDGE_BASE_H_
+#define KASKADE_PROLOG_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "prolog/parser.h"
+#include "prolog/term.h"
+
+namespace kaskade::prolog {
+
+/// \brief An ordered clause store with first-argument-free functor/arity
+/// indexing.
+class KnowledgeBase {
+ public:
+  /// Creates a knowledge base; when `with_prelude` (default) the standard
+  /// library rules (member/2, append/3, foldl/4, convlist/3, ...) are
+  /// preloaded.
+  explicit KnowledgeBase(bool with_prelude = true);
+
+  /// Parses `program_text` and appends all clauses.
+  Status Consult(const std::string& program_text);
+
+  /// Appends a ground fact built programmatically (no parsing); the args
+  /// must not contain variables.
+  Status AssertFact(const std::string& functor, std::vector<TermPtr> args);
+
+  /// Appends an already-parsed clause.
+  void AddClause(Clause clause);
+
+  /// Clauses whose head matches functor/arity, in assertion order.
+  const std::vector<Clause>& Lookup(const std::string& functor,
+                                    size_t arity) const;
+
+  size_t num_clauses() const { return num_clauses_; }
+
+  /// The Prolog source of the standard library preloaded by the default
+  /// constructor (exposed for tests and documentation).
+  static const char* PreludeSource();
+
+ private:
+  std::unordered_map<std::string, std::vector<Clause>> by_key_;
+  std::vector<Clause> empty_;
+  size_t num_clauses_ = 0;
+};
+
+}  // namespace kaskade::prolog
+
+#endif  // KASKADE_PROLOG_KNOWLEDGE_BASE_H_

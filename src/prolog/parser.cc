@@ -1,0 +1,434 @@
+#include "prolog/parser.h"
+
+#include <cctype>
+#include <optional>
+
+namespace kaskade::prolog {
+
+namespace {
+
+enum class TokKind {
+  kAtom,     // lowercase identifier, quoted atom, or symbolic operator
+  kVar,      // uppercase/underscore identifier
+  kInt,
+  kFloat,
+  kPunct,    // ( ) [ ] , |
+  kEnd,      // clause-terminating '.'
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t pos = 0;
+};
+
+bool IsSymbolChar(char c) {
+  static const std::string kSymbols = "+-*/\\^<>=~:.?@#&";
+  return kSymbols.find(c) != std::string::npos;
+}
+
+/// \brief Single-pass tokenizer.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      KASKADE_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (pos_ >= text_.size()) {
+        out.push_back(Token{TokKind::kEof, "", 0, 0, pos_});
+        return out;
+      }
+      KASKADE_ASSIGN_OR_RETURN(Token tok, Next());
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  Status SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated block comment");
+        }
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Token> Next() {
+    size_t start = pos_;
+    char c = text_[pos_];
+    // Punctuation.
+    if (c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '|') {
+      ++pos_;
+      return Token{TokKind::kPunct, std::string(1, c), 0, 0, start};
+    }
+    // Clause end: '.' followed by layout or EOF (otherwise '.' is symbolic).
+    if (c == '.') {
+      bool at_end = pos_ + 1 >= text_.size() ||
+                    std::isspace(static_cast<unsigned char>(text_[pos_ + 1])) ||
+                    text_[pos_ + 1] == '%';
+      if (at_end) {
+        ++pos_;
+        return Token{TokKind::kEnd, ".", 0, 0, start};
+      }
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        ++end;
+      }
+      bool is_float = false;
+      if (end + 1 < text_.size() && text_[end] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text_[end + 1]))) {
+        is_float = true;
+        ++end;
+        while (end < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[end]))) {
+          ++end;
+        }
+      }
+      std::string digits = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      Token tok;
+      tok.pos = start;
+      if (is_float) {
+        tok.kind = TokKind::kFloat;
+        tok.float_value = std::stod(digits);
+      } else {
+        tok.kind = TokKind::kInt;
+        tok.int_value = std::stoll(digits);
+      }
+      tok.text = digits;
+      return tok;
+    }
+    // Quoted atom.
+    if (c == '\'') {
+      std::string name;
+      ++pos_;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '\'') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+            name.push_back('\'');
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          return Token{TokKind::kAtom, name, 0, 0, start};
+        }
+        name.push_back(text_[pos_++]);
+      }
+      return Status::InvalidArgument("unterminated quoted atom");
+    }
+    // Identifiers.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      std::string name = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      bool is_var = std::isupper(static_cast<unsigned char>(name[0])) ||
+                    name[0] == '_';
+      return Token{is_var ? TokKind::kVar : TokKind::kAtom, name, 0, 0, start};
+    }
+    // Symbolic atom/operator (maximal munch over the symbol charset).
+    if (IsSymbolChar(c)) {
+      size_t end = pos_;
+      while (end < text_.size() && IsSymbolChar(text_[end])) ++end;
+      std::string sym = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      return Token{TokKind::kAtom, sym, 0, 0, start};
+    }
+    if (c == '!') {
+      ++pos_;
+      return Token{TokKind::kAtom, "!", 0, 0, start};
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// \brief Infix/prefix operator table entry.
+struct OpInfo {
+  int precedence;
+  bool right_assoc;  // xfy
+};
+
+std::optional<OpInfo> InfixOp(const std::string& name) {
+  static const std::map<std::string, OpInfo> kOps = {
+      {":-", {1200, false}}, {"->", {1050, true}},
+      {"is", {700, false}},  {"<", {700, false}},   {">", {700, false}},
+      {"=<", {700, false}},  {">=", {700, false}},  {"=:=", {700, false}},
+      {"=\\=", {700, false}}, {"=", {700, false}},  {"\\=", {700, false}},
+      {"==", {700, false}},  {"\\==", {700, false}},
+      {"+", {500, false}},   {"-", {500, false}},
+      {"*", {400, false}},   {"/", {400, false}},   {"//", {400, false}},
+      {"mod", {400, false}},
+  };
+  auto it = kOps.find(name);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+/// \brief Recursive-descent / Pratt parser over the token stream.
+class TermParser {
+ public:
+  TermParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a full clause term up to the clause-end token.
+  Result<TermPtr> ParseClauseTerm() {
+    KASKADE_ASSIGN_OR_RETURN(TermPtr t, ParseExpr(1200));
+    KASKADE_RETURN_IF_ERROR(Expect(TokKind::kEnd, "."));
+    return t;
+  }
+
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+
+  /// Resets per-clause variable numbering.
+  void BeginClause() {
+    var_ids_.clear();
+    next_var_ = 0;
+  }
+
+  size_t num_vars() const { return next_var_; }
+  const std::map<std::string, size_t>& var_names() const { return var_ids_; }
+
+  /// Parses "goal[, goal]*" with optional trailing '.'.
+  Result<std::vector<TermPtr>> ParseGoals() {
+    KASKADE_ASSIGN_OR_RETURN(TermPtr t, ParseExpr(1200));
+    if (Peek().kind == TokKind::kEnd) ++pos_;
+    if (Peek().kind != TokKind::kEof) {
+      return Status::InvalidArgument("trailing tokens after query");
+    }
+    std::vector<TermPtr> goals;
+    FlattenConj(t, &goals);
+    return goals;
+  }
+
+  /// Flattens nested ','/2 into a goal list.
+  static void FlattenConj(const TermPtr& t, std::vector<TermPtr>* out) {
+    if (t->is_compound() && t->name() == "," && t->arity() == 2) {
+      FlattenConj(t->args()[0], out);
+      FlattenConj(t->args()[1], out);
+      return;
+    }
+    out->push_back(t);
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Status Expect(TokKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected '" + what + "' but found '" +
+                                     Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectPunct(const std::string& text) {
+    if (Peek().kind != TokKind::kPunct || Peek().text != text) {
+      return Status::InvalidArgument("expected '" + text + "' but found '" +
+                                     Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  size_t VarId(const std::string& name) {
+    if (name == "_") return next_var_++;  // each _ is distinct
+    auto it = var_ids_.find(name);
+    if (it != var_ids_.end()) return it->second;
+    size_t id = next_var_++;
+    var_ids_.emplace(name, id);
+    return id;
+  }
+
+  /// Expression parsing at a maximum operator precedence. Comma is treated
+  /// as an operator of precedence 1000 only when max_prec >= 1000 (i.e.
+  /// not inside argument lists).
+  Result<TermPtr> ParseExpr(int max_prec) {
+    KASKADE_ASSIGN_OR_RETURN(TermPtr left, ParsePrimary(max_prec));
+    while (true) {
+      const Token& tok = Peek();
+      std::optional<OpInfo> op;
+      std::string op_name;
+      if (tok.kind == TokKind::kAtom) {
+        op = InfixOp(tok.text);
+        op_name = tok.text;
+      } else if (tok.kind == TokKind::kPunct && tok.text == "," &&
+                 max_prec >= 1000) {
+        op = OpInfo{1000, true};
+        op_name = ",";
+      }
+      if (!op.has_value() || op->precedence > max_prec) break;
+      ++pos_;
+      int rhs_prec = op->right_assoc ? op->precedence : op->precedence - 1;
+      KASKADE_ASSIGN_OR_RETURN(TermPtr right, ParseExpr(rhs_prec));
+      left = Term::MakeCompound(op_name, {left, right});
+    }
+    return left;
+  }
+
+  Result<TermPtr> ParsePrimary(int max_prec) {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kInt:
+        ++pos_;
+        return Term::MakeInt(tok.int_value);
+      case TokKind::kFloat:
+        ++pos_;
+        return Term::MakeFloat(tok.float_value);
+      case TokKind::kVar: {
+        ++pos_;
+        return Term::MakeVar(VarId(tok.text), tok.text);
+      }
+      case TokKind::kAtom: {
+        // Prefix operators.
+        if (tok.text == "-" &&
+            (Peek(1).kind == TokKind::kInt || Peek(1).kind == TokKind::kFloat)) {
+          ++pos_;
+          const Token& num = Peek();
+          ++pos_;
+          return num.kind == TokKind::kInt ? Term::MakeInt(-num.int_value)
+                                           : Term::MakeFloat(-num.float_value);
+        }
+        if (tok.text == "\\+" && max_prec >= 900) {
+          ++pos_;
+          KASKADE_ASSIGN_OR_RETURN(TermPtr arg, ParseExpr(900));
+          return Term::MakeCompound("\\+", {arg});
+        }
+        std::string name = tok.text;
+        ++pos_;
+        // Compound: name immediately followed by '('.
+        if (Peek().kind == TokKind::kPunct && Peek().text == "(") {
+          ++pos_;
+          std::vector<TermPtr> args;
+          while (true) {
+            KASKADE_ASSIGN_OR_RETURN(TermPtr arg, ParseExpr(999));
+            args.push_back(std::move(arg));
+            if (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+              ++pos_;
+              continue;
+            }
+            break;
+          }
+          KASKADE_RETURN_IF_ERROR(ExpectPunct(")"));
+          return Term::MakeCompound(std::move(name), std::move(args));
+        }
+        return Term::MakeAtom(std::move(name));
+      }
+      case TokKind::kPunct: {
+        if (tok.text == "(") {
+          ++pos_;
+          KASKADE_ASSIGN_OR_RETURN(TermPtr inner, ParseExpr(1200));
+          KASKADE_RETURN_IF_ERROR(ExpectPunct(")"));
+          return inner;
+        }
+        if (tok.text == "[") {
+          ++pos_;
+          if (Peek().kind == TokKind::kPunct && Peek().text == "]") {
+            ++pos_;
+            return Term::EmptyList();
+          }
+          std::vector<TermPtr> items;
+          TermPtr tail = nullptr;
+          while (true) {
+            KASKADE_ASSIGN_OR_RETURN(TermPtr item, ParseExpr(999));
+            items.push_back(std::move(item));
+            if (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+              ++pos_;
+              continue;
+            }
+            if (Peek().kind == TokKind::kPunct && Peek().text == "|") {
+              ++pos_;
+              KASKADE_ASSIGN_OR_RETURN(TermPtr t, ParseExpr(999));
+              tail = std::move(t);
+            }
+            break;
+          }
+          KASKADE_RETURN_IF_ERROR(ExpectPunct("]"));
+          return Term::MakeList(items, tail);
+        }
+        return Status::InvalidArgument("unexpected token '" + tok.text + "'");
+      }
+      case TokKind::kEnd:
+      case TokKind::kEof:
+        return Status::InvalidArgument("unexpected end of input");
+    }
+    return Status::InvalidArgument("unparsable token '" + tok.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, size_t> var_ids_;
+  size_t next_var_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Clause>> ParseProgram(const std::string& text) {
+  Lexer lexer(text);
+  KASKADE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  TermParser parser(std::move(tokens));
+  std::vector<Clause> clauses;
+  while (!parser.AtEof()) {
+    parser.BeginClause();
+    KASKADE_ASSIGN_OR_RETURN(TermPtr t, parser.ParseClauseTerm());
+    Clause clause;
+    if (t->is_compound() && t->name() == ":-" && t->arity() == 2) {
+      clause.head = t->args()[0];
+      TermParser::FlattenConj(t->args()[1], &clause.body);
+    } else {
+      clause.head = t;
+    }
+    if (!clause.head->is_atom() && !clause.head->is_compound()) {
+      return Status::InvalidArgument("clause head must be atom or compound: " +
+                                     clause.head->ToString());
+    }
+    clause.num_vars = parser.num_vars();
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  KASKADE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  TermParser parser(std::move(tokens));
+  parser.BeginClause();
+  ParsedQuery query;
+  KASKADE_ASSIGN_OR_RETURN(query.goals, parser.ParseGoals());
+  query.num_vars = parser.num_vars();
+  query.var_names = parser.var_names();
+  return query;
+}
+
+}  // namespace kaskade::prolog

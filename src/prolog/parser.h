@@ -1,0 +1,47 @@
+/// \file parser.h
+/// \brief Reader for the ISO-ish Prolog subset Kaskade's rules use.
+///
+/// Supported syntax: facts and rules (`head.` / `head :- body.`),
+/// conjunction `,`, atoms (unquoted and 'quoted'), variables, integers,
+/// floats, compounds, lists `[a,b|T]`, infix arithmetic/comparison
+/// operators (`is`, `<`, `>`, `=<`, `>=`, `=:=`, `=\=`, `=`, `\=`, `==`,
+/// `\==`, `+`, `-`, `*`, `/`, `//`, `mod`), prefix `-` and `\+`, and `%`
+/// and `/* */` comments. This covers Listings 2, 3, 5 and 6 of the paper.
+
+#ifndef KASKADE_PROLOG_PARSER_H_
+#define KASKADE_PROLOG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "prolog/term.h"
+
+namespace kaskade::prolog {
+
+/// \brief A parsed clause: `head :- body1, ..., bodyN.` (empty body for a
+/// fact). Variables are numbered 0..num_vars-1 locally to the clause.
+struct Clause {
+  TermPtr head;
+  std::vector<TermPtr> body;
+  size_t num_vars = 0;
+};
+
+/// \brief A parsed query: goal conjunction plus the name->local-id map of
+/// its named variables (for extracting solution bindings).
+struct ParsedQuery {
+  std::vector<TermPtr> goals;
+  size_t num_vars = 0;
+  std::map<std::string, size_t> var_names;
+};
+
+/// Parses a whole program (any number of clauses).
+Result<std::vector<Clause>> ParseProgram(const std::string& text);
+
+/// Parses a single query ("goal1, goal2." — final '.' optional).
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace kaskade::prolog
+
+#endif  // KASKADE_PROLOG_PARSER_H_

@@ -1,0 +1,632 @@
+#include "prolog/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kaskade::prolog {
+
+std::string Solution::ToString() const {
+  std::string out;
+  for (const auto& [name, term] : bindings) {
+    if (!out.empty()) out += ", ";
+    out += name + "=" + term->ToString();
+  }
+  return out;
+}
+
+Result<size_t> Solver::Query(const std::string& query_text,
+                             const SolutionCallback& on_solution) {
+  KASKADE_ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(query_text));
+  return Run(query, on_solution);
+}
+
+Result<size_t> Solver::Run(const ParsedQuery& query,
+                           const SolutionCallback& on_solution) {
+  bindings_.assign(query.num_vars, nullptr);
+  trail_.clear();
+  steps_ = 0;
+  solutions_found_ = 0;
+  depth_limit_hit_ = false;
+  error_ = Status::OK();
+  active_query_ = &query;
+  callback_ = &on_solution;
+  SearchOutcome out = SolveGoals(query.goals, 0);
+  active_query_ = nullptr;
+  callback_ = nullptr;
+  if (out == SearchOutcome::kError) return error_;
+  return solutions_found_;
+}
+
+Result<std::vector<Solution>> Solver::QueryAll(const std::string& query_text) {
+  std::vector<Solution> solutions;
+  Result<size_t> n = Query(query_text, [&](const Solution& s) {
+    solutions.push_back(s);
+    return true;
+  });
+  if (!n.ok()) return n.status();
+  return solutions;
+}
+
+Result<bool> Solver::Prove(const std::string& query_text) {
+  SolverOptions saved = options_;
+  options_.max_solutions = 1;
+  Result<size_t> n = Query(query_text, [](const Solution&) { return false; });
+  options_ = saved;
+  if (!n.ok()) return n.status();
+  return n.value() > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Binding store
+// ---------------------------------------------------------------------------
+
+TermPtr Solver::Deref(TermPtr t) const {
+  while (t->is_var()) {
+    size_t id = t->var_id();
+    if (id >= bindings_.size() || bindings_[id] == nullptr) return t;
+    t = bindings_[id];
+  }
+  return t;
+}
+
+void Solver::Bind(size_t var_id, TermPtr value) {
+  bindings_[var_id] = std::move(value);
+  trail_.push_back(var_id);
+}
+
+void Solver::UndoTrail(size_t mark) {
+  while (trail_.size() > mark) {
+    bindings_[trail_.back()] = nullptr;
+    trail_.pop_back();
+  }
+}
+
+size_t Solver::FreshVar() {
+  bindings_.push_back(nullptr);
+  return bindings_.size() - 1;
+}
+
+bool Solver::Unify(TermPtr a, TermPtr b) {
+  a = Deref(std::move(a));
+  b = Deref(std::move(b));
+  if (a->is_var()) {
+    if (b->is_var() && a->var_id() == b->var_id()) return true;
+    Bind(a->var_id(), b);
+    return true;
+  }
+  if (b->is_var()) {
+    Bind(b->var_id(), a);
+    return true;
+  }
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TermKind::kAtom:
+      return a->name() == b->name();
+    case TermKind::kInt:
+      return a->int_value() == b->int_value();
+    case TermKind::kFloat:
+      return a->float_value() == b->float_value();
+    case TermKind::kCompound: {
+      if (a->name() != b->name() || a->arity() != b->arity()) return false;
+      for (size_t i = 0; i < a->arity(); ++i) {
+        if (!Unify(a->args()[i], b->args()[i])) return false;
+      }
+      return true;
+    }
+    case TermKind::kVar:
+      return false;  // unreachable
+  }
+  return false;
+}
+
+TermPtr Solver::RenameTerm(const TermPtr& t, size_t var_base) {
+  switch (t->kind()) {
+    case TermKind::kVar:
+      return Term::MakeVar(var_base + t->var_id(), t->name());
+    case TermKind::kCompound: {
+      std::vector<TermPtr> args;
+      args.reserve(t->arity());
+      for (const TermPtr& arg : t->args()) {
+        args.push_back(RenameTerm(arg, var_base));
+      }
+      return Term::MakeCompound(t->name(), std::move(args));
+    }
+    default:
+      return t;
+  }
+}
+
+TermPtr Solver::ResolveCopy(const TermPtr& t,
+                            std::map<size_t, TermPtr>* fresh_map) {
+  TermPtr d = Deref(t);
+  switch (d->kind()) {
+    case TermKind::kVar: {
+      auto it = fresh_map->find(d->var_id());
+      if (it != fresh_map->end()) return it->second;
+      TermPtr fresh = Term::MakeVar(FreshVar(), d->name());
+      fresh_map->emplace(d->var_id(), fresh);
+      return fresh;
+    }
+    case TermKind::kCompound: {
+      std::vector<TermPtr> args;
+      args.reserve(d->arity());
+      for (const TermPtr& arg : d->args()) {
+        args.push_back(ResolveCopy(arg, fresh_map));
+      }
+      return Term::MakeCompound(d->name(), std::move(args));
+    }
+    default:
+      return d;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Solver::SearchOutcome Solver::ErrorOut(Status status) {
+  error_ = std::move(status);
+  return SearchOutcome::kError;
+}
+
+Solver::SearchOutcome Solver::EmitSolution() {
+  Solution solution;
+  if (active_query_ != nullptr) {
+    std::map<size_t, TermPtr> fresh;
+    for (const auto& [name, id] : active_query_->var_names) {
+      TermPtr value = ResolveCopy(Term::MakeVar(id, name), &fresh);
+      // Variables the query left unbound are omitted (like the solution
+      // display of interactive Prolog systems).
+      if (value->is_var()) continue;
+      solution.bindings[name] = std::move(value);
+    }
+  }
+  ++solutions_found_;
+  bool keep_going = callback_ != nullptr ? (*callback_)(solution) : true;
+  if (!keep_going || solutions_found_ >= options_.max_solutions) {
+    return SearchOutcome::kStopRequested;
+  }
+  return SearchOutcome::kExhausted;  // backtrack for more solutions
+}
+
+Solver::SearchOutcome Solver::SolveGoals(const std::vector<TermPtr>& goals,
+                                         size_t depth) {
+  if (++steps_ > options_.max_steps) {
+    return ErrorOut(Status::ResourceExhausted(
+        "inference step budget exceeded (" +
+        std::to_string(options_.max_steps) + " steps)"));
+  }
+  if (goals.empty()) return EmitSolution();
+  if (depth > options_.max_depth) {
+    depth_limit_hit_ = true;
+    return SearchOutcome::kExhausted;
+  }
+
+  TermPtr goal = Deref(goals.front());
+  std::vector<TermPtr> rest(goals.begin() + 1, goals.end());
+
+  if (goal->is_var()) {
+    return ErrorOut(Status::InvalidArgument("unbound variable used as goal"));
+  }
+  if (goal->is_number()) {
+    return ErrorOut(
+        Status::InvalidArgument("number used as goal: " + goal->ToString()));
+  }
+  // Flatten stray conjunctions (e.g. from call/1 of a conjunction).
+  if (goal->is_compound() && goal->name() == "," && goal->arity() == 2) {
+    std::vector<TermPtr> expanded;
+    TermParserFlatten(goal, &expanded);
+    expanded.insert(expanded.end(), rest.begin(), rest.end());
+    return SolveGoals(expanded, depth);
+  }
+
+  bool handled = false;
+  SearchOutcome out = TryBuiltin(goal, rest, depth, &handled);
+  if (handled) return out;
+
+  const std::vector<Clause>& clauses = kb_->Lookup(goal->name(), goal->arity());
+  for (const Clause& clause : clauses) {
+    size_t mark = TrailMark();
+    size_t base = bindings_.size();
+    bindings_.resize(base + clause.num_vars, nullptr);
+    TermPtr head = RenameTerm(clause.head, base);
+    if (Unify(goal, head)) {
+      std::vector<TermPtr> next;
+      next.reserve(clause.body.size() + rest.size());
+      for (const TermPtr& b : clause.body) next.push_back(RenameTerm(b, base));
+      next.insert(next.end(), rest.begin(), rest.end());
+      SearchOutcome sub = SolveGoals(next, depth + 1);
+      if (sub != SearchOutcome::kExhausted) return sub;
+    }
+    UndoTrail(mark);
+  }
+  return SearchOutcome::kExhausted;
+}
+
+void Solver::TermParserFlatten(const TermPtr& t, std::vector<TermPtr>* out) {
+  if (t->is_compound() && t->name() == "," && t->arity() == 2) {
+    TermParserFlatten(t->args()[0], out);
+    TermParserFlatten(t->args()[1], out);
+    return;
+  }
+  out->push_back(t);
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+Result<Solver::Number> Solver::EvalArith(const TermPtr& t) {
+  TermPtr d = Deref(t);
+  if (d->is_int()) return Number{false, d->int_value(), 0};
+  if (d->is_float()) return Number{true, 0, d->float_value()};
+  if (d->is_var()) {
+    return Status::InvalidArgument("arguments are not sufficiently instantiated");
+  }
+  if (d->is_atom()) {
+    return Status::InvalidArgument("atom '" + d->name() + "' is not evaluable");
+  }
+  const std::string& op = d->name();
+  if (d->arity() == 1) {
+    KASKADE_ASSIGN_OR_RETURN(Number a, EvalArith(d->args()[0]));
+    if (op == "-") {
+      return a.is_float ? Number{true, 0, -a.f} : Number{false, -a.i, 0};
+    }
+    if (op == "+") return a;
+    if (op == "abs") {
+      return a.is_float ? Number{true, 0, std::fabs(a.f)}
+                        : Number{false, std::llabs(a.i), 0};
+    }
+    if (op == "sign") {
+      double v = a.AsDouble();
+      return Number{false, v > 0 ? 1 : (v < 0 ? -1 : 0), 0};
+    }
+    return Status::InvalidArgument("unknown arithmetic function " + op + "/1");
+  }
+  if (d->arity() == 2) {
+    KASKADE_ASSIGN_OR_RETURN(Number a, EvalArith(d->args()[0]));
+    KASKADE_ASSIGN_OR_RETURN(Number b, EvalArith(d->args()[1]));
+    bool flt = a.is_float || b.is_float;
+    if (op == "+") {
+      return flt ? Number{true, 0, a.AsDouble() + b.AsDouble()}
+                 : Number{false, a.i + b.i, 0};
+    }
+    if (op == "-") {
+      return flt ? Number{true, 0, a.AsDouble() - b.AsDouble()}
+                 : Number{false, a.i - b.i, 0};
+    }
+    if (op == "*") {
+      return flt ? Number{true, 0, a.AsDouble() * b.AsDouble()}
+                 : Number{false, a.i * b.i, 0};
+    }
+    if (op == "/") {
+      if (!flt && b.i != 0 && a.i % b.i == 0) return Number{false, a.i / b.i, 0};
+      if (b.AsDouble() == 0) {
+        return Status::InvalidArgument("division by zero");
+      }
+      return Number{true, 0, a.AsDouble() / b.AsDouble()};
+    }
+    if (op == "//") {
+      if (flt) return Status::InvalidArgument("// requires integers");
+      if (b.i == 0) return Status::InvalidArgument("division by zero");
+      return Number{false, a.i / b.i, 0};
+    }
+    if (op == "mod") {
+      if (flt) return Status::InvalidArgument("mod requires integers");
+      if (b.i == 0) return Status::InvalidArgument("division by zero");
+      int64_t m = a.i % b.i;
+      if (m != 0 && ((m < 0) != (b.i < 0))) m += b.i;  // ISO mod sign
+      return Number{false, m, 0};
+    }
+    if (op == "min") {
+      return a.AsDouble() <= b.AsDouble() ? a : b;
+    }
+    if (op == "max") {
+      return a.AsDouble() >= b.AsDouble() ? a : b;
+    }
+    return Status::InvalidArgument("unknown arithmetic function " + op + "/2");
+  }
+  return Status::InvalidArgument("unknown arithmetic term " + d->ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+// ---------------------------------------------------------------------------
+
+Solver::SearchOutcome Solver::TryBuiltin(const TermPtr& goal,
+                                         const std::vector<TermPtr>& rest,
+                                         size_t depth, bool* handled) {
+  *handled = true;
+  const std::string& f = goal->name();
+  const size_t n = goal->arity();
+  auto arg = [&](size_t i) { return goal->args()[i]; };
+
+  // -- control -------------------------------------------------------------
+  if (n == 0 && (f == "true" || f == "!")) return SolveGoals(rest, depth);
+  if (n == 0 && (f == "fail" || f == "false")) {
+    return SearchOutcome::kExhausted;
+  }
+  if (n == 0 && f == "nl") return SolveGoals(rest, depth);
+  if (n == 1 && (f == "write" || f == "writeln")) {
+    return SolveGoals(rest, depth);  // output is discarded
+  }
+
+  // -- internal continuation hook -------------------------------------------
+  if (f == "$cont" && n == 1) {
+    TermPtr idx = Deref(arg(0));
+    return continuations_[static_cast<size_t>(idx->int_value())]();
+  }
+
+  // -- unification -----------------------------------------------------------
+  if (f == "=" && n == 2) {
+    size_t mark = TrailMark();
+    if (Unify(arg(0), arg(1))) {
+      SearchOutcome out = SolveGoals(rest, depth);
+      if (out != SearchOutcome::kExhausted) return out;
+    }
+    UndoTrail(mark);
+    return SearchOutcome::kExhausted;
+  }
+  if (f == "\\=" && n == 2) {
+    size_t mark = TrailMark();
+    bool unifies = Unify(arg(0), arg(1));
+    UndoTrail(mark);
+    if (unifies) return SearchOutcome::kExhausted;
+    return SolveGoals(rest, depth);
+  }
+  if ((f == "==" || f == "\\==") && n == 2) {
+    std::map<size_t, TermPtr> fresh;
+    // Two unbound occurrences of the same variable must compare equal, so
+    // resolve both under one fresh map.
+    TermPtr a = ResolveCopy(arg(0), &fresh);
+    TermPtr b = ResolveCopy(arg(1), &fresh);
+    bool equal = Term::Compare(a, b) == 0;
+    if (equal == (f == "==")) return SolveGoals(rest, depth);
+    return SearchOutcome::kExhausted;
+  }
+
+  // -- type tests --------------------------------------------------------------
+  if (n == 1 && (f == "var" || f == "nonvar" || f == "atom" || f == "number" ||
+                 f == "integer" || f == "float" || f == "atomic" ||
+                 f == "compound" || f == "is_list")) {
+    TermPtr d = Deref(arg(0));
+    bool pass = false;
+    if (f == "var") pass = d->is_var();
+    if (f == "nonvar") pass = !d->is_var();
+    if (f == "atom") pass = d->is_atom();
+    if (f == "number") pass = d->is_number();
+    if (f == "integer") pass = d->is_int();
+    if (f == "float") pass = d->is_float();
+    if (f == "atomic") pass = d->is_atom() || d->is_number();
+    if (f == "compound") pass = d->is_compound();
+    if (f == "is_list") {
+      std::map<size_t, TermPtr> fresh;
+      std::vector<TermPtr> items;
+      pass = Term::ListItems(ResolveCopy(d, &fresh), &items);
+    }
+    if (pass) return SolveGoals(rest, depth);
+    return SearchOutcome::kExhausted;
+  }
+
+  // -- arithmetic ---------------------------------------------------------------
+  if (f == "is" && n == 2) {
+    Result<Number> value = EvalArith(arg(1));
+    if (!value.ok()) return ErrorOut(value.status());
+    TermPtr num = value->is_float ? Term::MakeFloat(value->f)
+                                  : Term::MakeInt(value->i);
+    size_t mark = TrailMark();
+    if (Unify(arg(0), num)) {
+      SearchOutcome out = SolveGoals(rest, depth);
+      if (out != SearchOutcome::kExhausted) return out;
+    }
+    UndoTrail(mark);
+    return SearchOutcome::kExhausted;
+  }
+  if (n == 2 && (f == "<" || f == ">" || f == "=<" || f == ">=" ||
+                 f == "=:=" || f == "=\\=")) {
+    Result<Number> a = EvalArith(arg(0));
+    if (!a.ok()) return ErrorOut(a.status());
+    Result<Number> b = EvalArith(arg(1));
+    if (!b.ok()) return ErrorOut(b.status());
+    double x = a->AsDouble();
+    double y = b->AsDouble();
+    bool pass = (f == "<" && x < y) || (f == ">" && x > y) ||
+                (f == "=<" && x <= y) || (f == ">=" && x >= y) ||
+                (f == "=:=" && x == y) || (f == "=\\=" && x != y);
+    if (pass) return SolveGoals(rest, depth);
+    return SearchOutcome::kExhausted;
+  }
+  if (f == "succ" && n == 2) {
+    TermPtr a = Deref(arg(0));
+    TermPtr b = Deref(arg(1));
+    size_t mark = TrailMark();
+    bool unified = false;
+    if (a->is_int()) {
+      unified = Unify(b, Term::MakeInt(a->int_value() + 1));
+    } else if (b->is_int()) {
+      if (b->int_value() <= 0) return SearchOutcome::kExhausted;
+      unified = Unify(a, Term::MakeInt(b->int_value() - 1));
+    } else {
+      return ErrorOut(Status::InvalidArgument(
+          "succ/2: arguments are not sufficiently instantiated"));
+    }
+    if (unified) {
+      SearchOutcome out = SolveGoals(rest, depth);
+      if (out != SearchOutcome::kExhausted) return out;
+    }
+    UndoTrail(mark);
+    return SearchOutcome::kExhausted;
+  }
+  if (f == "between" && n == 3) {
+    TermPtr lo = Deref(arg(0));
+    TermPtr hi = Deref(arg(1));
+    if (!lo->is_int() || !hi->is_int()) {
+      return ErrorOut(
+          Status::InvalidArgument("between/3 requires integer bounds"));
+    }
+    TermPtr x = Deref(arg(2));
+    if (x->is_int()) {
+      if (x->int_value() >= lo->int_value() && x->int_value() <= hi->int_value()) {
+        return SolveGoals(rest, depth);
+      }
+      return SearchOutcome::kExhausted;
+    }
+    if (!x->is_var()) return SearchOutcome::kExhausted;
+    for (int64_t i = lo->int_value(); i <= hi->int_value(); ++i) {
+      size_t mark = TrailMark();
+      Bind(x->var_id(), Term::MakeInt(i));
+      SearchOutcome out = SolveGoals(rest, depth);
+      if (out != SearchOutcome::kExhausted) return out;
+      UndoTrail(mark);
+    }
+    return SearchOutcome::kExhausted;
+  }
+
+  // -- negation as failure ------------------------------------------------------
+  if (n == 1 && (f == "not" || f == "\\+")) {
+    size_t mark = TrailMark();
+    bool found = false;
+    continuations_.push_back([&found]() {
+      found = true;
+      return SearchOutcome::kStopRequested;
+    });
+    std::vector<TermPtr> sub = {
+        arg(0), Term::MakeCompound(
+                    "$cont", {Term::MakeInt(
+                                 static_cast<int64_t>(continuations_.size() - 1))})};
+    SearchOutcome out = SolveGoals(sub, depth + 1);
+    continuations_.pop_back();
+    UndoTrail(mark);
+    if (out == SearchOutcome::kError) return out;
+    if (found) return SearchOutcome::kExhausted;
+    return SolveGoals(rest, depth);
+  }
+
+  // -- all-solutions ----------------------------------------------------------
+  if ((f == "findall" || f == "setof" || f == "bagof") && n == 3) {
+    std::vector<TermPtr> results;
+    size_t mark = TrailMark();
+    continuations_.push_back([&]() {
+      std::map<size_t, TermPtr> fresh;
+      results.push_back(ResolveCopy(arg(0), &fresh));
+      return SearchOutcome::kExhausted;  // keep backtracking for more
+    });
+    std::vector<TermPtr> sub = {
+        arg(1), Term::MakeCompound(
+                    "$cont", {Term::MakeInt(
+                                 static_cast<int64_t>(continuations_.size() - 1))})};
+    SearchOutcome out = SolveGoals(sub, depth + 1);
+    continuations_.pop_back();
+    UndoTrail(mark);
+    if (out == SearchOutcome::kError) return out;
+    if (f != "findall") {
+      if (results.empty()) return SearchOutcome::kExhausted;
+      if (f == "setof") {
+        std::sort(results.begin(), results.end(),
+                  [](const TermPtr& a, const TermPtr& b) {
+                    return Term::Compare(a, b) < 0;
+                  });
+        results.erase(std::unique(results.begin(), results.end(),
+                                  [](const TermPtr& a, const TermPtr& b) {
+                                    return Term::Compare(a, b) == 0;
+                                  }),
+                      results.end());
+      }
+    }
+    size_t mark2 = TrailMark();
+    if (Unify(arg(2), Term::MakeList(results))) {
+      SearchOutcome out2 = SolveGoals(rest, depth);
+      if (out2 != SearchOutcome::kExhausted) return out2;
+    }
+    UndoTrail(mark2);
+    return SearchOutcome::kExhausted;
+  }
+
+  // -- list utilities -----------------------------------------------------------
+  if ((f == "sort" || f == "msort") && n == 2) {
+    std::map<size_t, TermPtr> fresh;
+    TermPtr list = ResolveCopy(arg(0), &fresh);
+    std::vector<TermPtr> items;
+    if (!Term::ListItems(list, &items)) {
+      return ErrorOut(Status::InvalidArgument(f + "/2 requires a proper list"));
+    }
+    std::sort(items.begin(), items.end(),
+              [](const TermPtr& a, const TermPtr& b) {
+                return Term::Compare(a, b) < 0;
+              });
+    if (f == "sort") {
+      items.erase(std::unique(items.begin(), items.end(),
+                              [](const TermPtr& a, const TermPtr& b) {
+                                return Term::Compare(a, b) == 0;
+                              }),
+                  items.end());
+    }
+    size_t mark = TrailMark();
+    if (Unify(arg(1), Term::MakeList(items))) {
+      SearchOutcome out = SolveGoals(rest, depth);
+      if (out != SearchOutcome::kExhausted) return out;
+    }
+    UndoTrail(mark);
+    return SearchOutcome::kExhausted;
+  }
+  if (f == "length" && n == 2) {
+    // Walk list cells; handles bound lists and var-list-with-bound-length.
+    TermPtr cur = Deref(arg(0));
+    int64_t count = 0;
+    while (cur->is_list_cell()) {
+      ++count;
+      cur = Deref(cur->args()[1]);
+    }
+    size_t mark = TrailMark();
+    if (cur->is_empty_list()) {
+      if (Unify(arg(1), Term::MakeInt(count))) {
+        SearchOutcome out = SolveGoals(rest, depth);
+        if (out != SearchOutcome::kExhausted) return out;
+      }
+      UndoTrail(mark);
+      return SearchOutcome::kExhausted;
+    }
+    if (cur->is_var()) {
+      TermPtr len = Deref(arg(1));
+      if (!len->is_int() || len->int_value() < count) {
+        UndoTrail(mark);
+        return SearchOutcome::kExhausted;
+      }
+      std::vector<TermPtr> suffix;
+      for (int64_t i = count; i < len->int_value(); ++i) {
+        suffix.push_back(Term::MakeVar(FreshVar()));
+      }
+      if (Unify(cur, Term::MakeList(suffix))) {
+        SearchOutcome out = SolveGoals(rest, depth);
+        if (out != SearchOutcome::kExhausted) return out;
+      }
+      UndoTrail(mark);
+      return SearchOutcome::kExhausted;
+    }
+    UndoTrail(mark);
+    return SearchOutcome::kExhausted;
+  }
+
+  // -- call/N ---------------------------------------------------------------------
+  if (f == "call" && n >= 1 && n <= 8) {
+    TermPtr target = Deref(arg(0));
+    if (target->is_var()) {
+      return ErrorOut(Status::InvalidArgument("call/N on unbound variable"));
+    }
+    if (!target->is_atom() && !target->is_compound()) {
+      return ErrorOut(Status::InvalidArgument("call/N target not callable"));
+    }
+    std::vector<TermPtr> args(target->args());
+    for (size_t i = 1; i < n; ++i) args.push_back(arg(i));
+    std::vector<TermPtr> next;
+    next.reserve(1 + rest.size());
+    next.push_back(Term::MakeCompound(target->name(), std::move(args)));
+    next.insert(next.end(), rest.begin(), rest.end());
+    return SolveGoals(next, depth + 1);
+  }
+
+  *handled = false;
+  return SearchOutcome::kExhausted;
+}
+
+}  // namespace kaskade::prolog

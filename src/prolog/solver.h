@@ -1,0 +1,142 @@
+/// \file solver.h
+/// \brief SLD-resolution solver with negation-as-failure, arithmetic, and
+/// the all-solutions builtins Kaskade's rules rely on.
+///
+/// The solver is depth-first with chronological backtracking, like
+/// SWI-Prolog's core loop. Recursive constraint-mining rules (e.g.
+/// `queryPath/2` on a cyclic query pattern) are kept terminating by a
+/// resolution-depth bound — exceeding it prunes the branch and sets
+/// `depth_limit_hit()`; exceeding the total step budget aborts with an
+/// error so runaway rule sets are surfaced rather than silently truncated.
+
+#ifndef KASKADE_PROLOG_SOLVER_H_
+#define KASKADE_PROLOG_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "prolog/knowledge_base.h"
+#include "prolog/term.h"
+
+namespace kaskade::prolog {
+
+/// \brief Solver resource limits.
+struct SolverOptions {
+  /// Maximum resolution depth along one branch (prunes, not errors).
+  size_t max_depth = 2048;
+  /// Total resolution-step budget across the query (errors when exceeded).
+  uint64_t max_steps = 50'000'000;
+  /// Stop after this many solutions.
+  size_t max_solutions = SIZE_MAX;
+};
+
+/// \brief One solution: the query's named variables resolved to terms.
+struct Solution {
+  std::map<std::string, TermPtr> bindings;
+
+  /// Renders "X=a, Y=2" for debugging and tests.
+  std::string ToString() const;
+};
+
+/// \brief Executes queries against a `KnowledgeBase`.
+///
+/// A Solver is single-use-at-a-time but reusable across queries; bindings
+/// are reset per query. Builtins: `true/0`, `fail/0`, `=/2`, `\=/2`,
+/// `==/2`, `\==/2`, `is/2`, `</2`, `>/2`, `=</2`, `>=/2`, `=:=/2`,
+/// `=\=/2`, `not/1`, `\+/1`, `var/1`, `nonvar/1`, `atom/1`, `number/1`,
+/// `integer/1`, `between/3`, `succ/2`, `length/2`, `findall/3`,
+/// `setof/3`, `bagof/3`, `sort/2`, `msort/2`, `call/1..8`. Predicates
+/// with no clauses and no builtin simply fail (no existence errors), so
+/// rule sets can reference fact families that happen to be empty.
+class Solver {
+ public:
+  explicit Solver(const KnowledgeBase* kb, SolverOptions options = {})
+      : kb_(kb), options_(options) {}
+
+  /// Callback per solution; return false to stop the search.
+  using SolutionCallback = std::function<bool(const Solution&)>;
+
+  /// Parses and runs `query_text`; returns the number of solutions found.
+  Result<size_t> Query(const std::string& query_text,
+                       const SolutionCallback& on_solution);
+
+  /// Runs an already-parsed query.
+  Result<size_t> Run(const ParsedQuery& query,
+                     const SolutionCallback& on_solution);
+
+  /// Convenience: collects all solutions of `query_text`.
+  Result<std::vector<Solution>> QueryAll(const std::string& query_text);
+
+  /// True if a solution was found for `query_text` (ignores bindings).
+  Result<bool> Prove(const std::string& query_text);
+
+  /// True when the last query pruned at least one branch at `max_depth`.
+  bool depth_limit_hit() const { return depth_limit_hit_; }
+
+  /// Resolution steps consumed by the last query.
+  uint64_t steps_used() const { return steps_; }
+
+ private:
+  enum class SearchOutcome { kExhausted, kStopRequested, kError };
+
+  SearchOutcome SolveGoals(const std::vector<TermPtr>& goals, size_t depth);
+
+  /// Flattens nested ','/2 conjunctions into `out` (used when a
+  /// conjunction reaches the goal position, e.g. via call/1).
+  static void TermParserFlatten(const TermPtr& t, std::vector<TermPtr>* out);
+
+  // -- binding store ---------------------------------------------------
+  TermPtr Deref(TermPtr t) const;
+  void Bind(size_t var_id, TermPtr value);
+  bool Unify(TermPtr a, TermPtr b);
+  size_t TrailMark() const { return trail_.size(); }
+  void UndoTrail(size_t mark);
+  size_t FreshVar();
+  /// Renames a clause's local variables to fresh store variables.
+  TermPtr RenameTerm(const TermPtr& t, size_t var_base);
+  /// Resolves `t` fully: bound vars replaced by their values, unbound vars
+  /// by fresh store variables (the `findall` copy semantics).
+  TermPtr ResolveCopy(const TermPtr& t,
+                      std::map<size_t, TermPtr>* fresh_map);
+
+  // -- builtins ----------------------------------------------------------
+  /// Handles a builtin goal; `handled` reports whether the functor/arity
+  /// was a builtin at all. For handled goals, continues with `rest`.
+  SearchOutcome TryBuiltin(const TermPtr& goal,
+                           const std::vector<TermPtr>& rest, size_t depth,
+                           bool* handled);
+
+  struct Number {
+    bool is_float = false;
+    int64_t i = 0;
+    double f = 0;
+    double AsDouble() const { return is_float ? f : static_cast<double>(i); }
+  };
+  Result<Number> EvalArith(const TermPtr& t);
+
+  SearchOutcome EmitSolution();
+  SearchOutcome ErrorOut(Status status);
+
+  const KnowledgeBase* kb_;
+  SolverOptions options_;
+
+  std::vector<TermPtr> bindings_;
+  std::vector<size_t> trail_;
+  /// Continuation slots for sub-searches (negation, findall); a reserved
+  /// `$cont(i)` goal invokes `continuations_[i]`.
+  std::vector<std::function<SearchOutcome()>> continuations_;
+  uint64_t steps_ = 0;
+  size_t solutions_found_ = 0;
+  bool depth_limit_hit_ = false;
+  Status error_;
+  const ParsedQuery* active_query_ = nullptr;
+  const SolutionCallback* callback_ = nullptr;
+};
+
+}  // namespace kaskade::prolog
+
+#endif  // KASKADE_PROLOG_SOLVER_H_

@@ -1,0 +1,219 @@
+#include "prolog/term.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace kaskade::prolog {
+
+namespace {
+
+bool IsSymbolCharForPrint(char c) {
+  static const std::string kSymbols = "+-*/\\^<>=~:.?@#&";
+  return kSymbols.find(c) != std::string::npos;
+}
+
+bool AtomNeedsQuotes(const std::string& name) {
+  if (name.empty()) return true;
+  if (name == "[]" || name == "!") return false;
+  // Purely symbolic atoms (operators) print bare, like SWI.
+  bool all_symbolic = true;
+  for (char c : name) {
+    if (!IsSymbolCharForPrint(c)) all_symbolic = false;
+  }
+  if (all_symbolic) return false;
+  if (!std::islower(static_cast<unsigned char>(name[0]))) return true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TermPtr MakeTermInternal(Term t) {
+  return std::make_shared<const Term>(std::move(t));
+}
+
+TermPtr Term::MakeAtom(std::string name) {
+  Term t;
+  t.kind_ = TermKind::kAtom;
+  t.name_ = std::move(name);
+  return MakeTermInternal(std::move(t));
+}
+
+TermPtr Term::MakeInt(int64_t value) {
+  Term t;
+  t.kind_ = TermKind::kInt;
+  t.int_value_ = value;
+  return MakeTermInternal(std::move(t));
+}
+
+TermPtr Term::MakeFloat(double value) {
+  Term t;
+  t.kind_ = TermKind::kFloat;
+  t.float_value_ = value;
+  return MakeTermInternal(std::move(t));
+}
+
+TermPtr Term::MakeVar(size_t id, std::string name) {
+  Term t;
+  t.kind_ = TermKind::kVar;
+  t.var_id_ = id;
+  t.name_ = std::move(name);
+  return MakeTermInternal(std::move(t));
+}
+
+TermPtr Term::MakeCompound(std::string functor, std::vector<TermPtr> args) {
+  if (args.empty()) return MakeAtom(std::move(functor));
+  Term t;
+  t.kind_ = TermKind::kCompound;
+  t.name_ = std::move(functor);
+  t.args_ = std::move(args);
+  return MakeTermInternal(std::move(t));
+}
+
+TermPtr Term::EmptyList() {
+  static const TermPtr empty = MakeAtom("[]");
+  return empty;
+}
+
+TermPtr Term::MakeList(const std::vector<TermPtr>& items, TermPtr tail) {
+  TermPtr list = tail == nullptr ? EmptyList() : std::move(tail);
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    list = MakeCompound(".", {*it, list});
+  }
+  return list;
+}
+
+bool Term::ListItems(const TermPtr& list, std::vector<TermPtr>* items) {
+  TermPtr cur = list;
+  while (true) {
+    if (cur->is_empty_list()) return true;
+    if (!cur->is_list_cell()) return false;
+    items->push_back(cur->args()[0]);
+    cur = cur->args()[1];
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kAtom:
+      return AtomNeedsQuotes(name_) ? "'" + name_ + "'" : name_;
+    case TermKind::kInt:
+      return std::to_string(int_value_);
+    case TermKind::kFloat: {
+      std::ostringstream os;
+      os << float_value_;
+      return os.str();
+    }
+    case TermKind::kVar:
+      return name_.empty() ? "_G" + std::to_string(var_id_) : name_;
+    case TermKind::kCompound: {
+      if (is_list_cell()) {
+        std::string out = "[";
+        const Term* cur = this;
+        bool first = true;
+        while (true) {
+          if (!first) out += ",";
+          out += cur->args_[0]->ToString();
+          first = false;
+          const Term& tail = *cur->args_[1];
+          if (tail.is_empty_list()) break;
+          if (!tail.is_list_cell()) {
+            out += "|" + tail.ToString();
+            break;
+          }
+          cur = &tail;
+        }
+        return out + "]";
+      }
+      std::string out =
+          AtomNeedsQuotes(name_) ? "'" + name_ + "'" : name_;
+      out += "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Term::Equal(const TermPtr& a, const TermPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TermKind::kAtom:
+      return a->name() == b->name();
+    case TermKind::kInt:
+      return a->int_value() == b->int_value();
+    case TermKind::kFloat:
+      return a->float_value() == b->float_value();
+    case TermKind::kVar:
+      return a->var_id() == b->var_id();
+    case TermKind::kCompound: {
+      if (a->name() != b->name() || a->arity() != b->arity()) return false;
+      for (size_t i = 0; i < a->arity(); ++i) {
+        if (!Equal(a->args()[i], b->args()[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+int KindRank(const Term& t) {
+  switch (t.kind()) {
+    case TermKind::kVar:
+      return 0;
+    case TermKind::kFloat:
+    case TermKind::kInt:
+      return 1;
+    case TermKind::kAtom:
+      return 2;
+    case TermKind::kCompound:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Term::Compare(const TermPtr& a, const TermPtr& b) {
+  int ra = KindRank(*a);
+  int rb = KindRank(*b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a->kind()) {
+    case TermKind::kVar: {
+      if (a->var_id() == b->var_id()) return 0;
+      return a->var_id() < b->var_id() ? -1 : 1;
+    }
+    case TermKind::kInt:
+    case TermKind::kFloat: {
+      double va = a->is_int() ? static_cast<double>(a->int_value())
+                              : a->float_value();
+      double vb = b->is_int() ? static_cast<double>(b->int_value())
+                              : b->float_value();
+      if (va == vb) return 0;
+      return va < vb ? -1 : 1;
+    }
+    case TermKind::kAtom:
+      return a->name().compare(b->name());
+    case TermKind::kCompound: {
+      if (a->arity() != b->arity()) return a->arity() < b->arity() ? -1 : 1;
+      int c = a->name().compare(b->name());
+      if (c != 0) return c < 0 ? -1 : 1;
+      for (size_t i = 0; i < a->arity(); ++i) {
+        int ci = Compare(a->args()[i], b->args()[i]);
+        if (ci != 0) return ci;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace kaskade::prolog

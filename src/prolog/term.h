@@ -1,0 +1,100 @@
+/// \file term.h
+/// \brief Prolog term representation for Kaskade's inference engine.
+///
+/// The paper evaluates view templates and constraint-mining rules in
+/// SWI-Prolog (§IV); this module is the term layer of our from-scratch
+/// replacement. Terms are immutable trees shared via `TermPtr`; variables
+/// are indices into the solver's binding store.
+
+#ifndef KASKADE_PROLOG_TERM_H_
+#define KASKADE_PROLOG_TERM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kaskade::prolog {
+
+class Term;
+/// Shared immutable term handle.
+using TermPtr = std::shared_ptr<const Term>;
+
+/// \brief Discriminator for the five term shapes.
+enum class TermKind { kAtom, kInt, kFloat, kVar, kCompound };
+
+/// \brief An immutable Prolog term.
+///
+/// Lists use the standard encoding: `'.'(Head, Tail)` cells terminated by
+/// the atom `[]`. Construction goes through the `Make*` factories.
+class Term {
+ public:
+  TermKind kind() const { return kind_; }
+
+  bool is_atom() const { return kind_ == TermKind::kAtom; }
+  bool is_int() const { return kind_ == TermKind::kInt; }
+  bool is_float() const { return kind_ == TermKind::kFloat; }
+  bool is_var() const { return kind_ == TermKind::kVar; }
+  bool is_compound() const { return kind_ == TermKind::kCompound; }
+  bool is_number() const { return is_int() || is_float(); }
+
+  /// Atom text, or compound functor name.
+  const std::string& name() const { return name_; }
+  int64_t int_value() const { return int_value_; }
+  double float_value() const { return float_value_; }
+  /// Binding-store index of a variable.
+  size_t var_id() const { return var_id_; }
+
+  const std::vector<TermPtr>& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  /// True for `[]` or a `'.'/2` cell.
+  bool is_list_cell() const {
+    return is_compound() && name_ == "." && args_.size() == 2;
+  }
+  bool is_empty_list() const { return is_atom() && name_ == "[]"; }
+
+  /// Renders the term in Prolog syntax (lists as [a,b], operators as
+  /// canonical compounds, variables as their name or _G<id>).
+  std::string ToString() const;
+
+  /// Structural equality (variables equal iff same id; no dereferencing).
+  static bool Equal(const TermPtr& a, const TermPtr& b);
+
+  /// ISO standard order: Var < Number < Atom < Compound; numbers by value,
+  /// atoms lexicographically, compounds by (arity, functor, args).
+  /// Returns <0, 0, >0.
+  static int Compare(const TermPtr& a, const TermPtr& b);
+
+  /// \name Factories
+  /// @{
+  static TermPtr MakeAtom(std::string name);
+  static TermPtr MakeInt(int64_t value);
+  static TermPtr MakeFloat(double value);
+  static TermPtr MakeVar(size_t id, std::string name = "");
+  static TermPtr MakeCompound(std::string functor, std::vector<TermPtr> args);
+  /// Builds a proper list from `items` (tail defaults to `[]`).
+  static TermPtr MakeList(const std::vector<TermPtr>& items,
+                          TermPtr tail = nullptr);
+  static TermPtr EmptyList();
+  /// @}
+
+  /// If `list` is a proper list (after no dereferencing), appends its
+  /// items to `*items` and returns true.
+  static bool ListItems(const TermPtr& list, std::vector<TermPtr>* items);
+
+ private:
+  friend TermPtr MakeTermInternal(Term t);
+  Term() = default;
+
+  TermKind kind_ = TermKind::kAtom;
+  std::string name_;
+  int64_t int_value_ = 0;
+  double float_value_ = 0;
+  size_t var_id_ = 0;
+  std::vector<TermPtr> args_;
+};
+
+}  // namespace kaskade::prolog
+
+#endif  // KASKADE_PROLOG_TERM_H_

@@ -1,0 +1,146 @@
+/// \file ast.h
+/// \brief Abstract syntax for Kaskade's hybrid query language (§III-B).
+///
+/// The language combines Cypher-style graph pattern matching (`MATCH`
+/// with typed nodes, typed edges, and variable-length paths) with
+/// relational constructs (`SELECT` / `GROUP BY` / aggregates) layered on
+/// top, exactly as in Listings 1 and 4 of the paper:
+///
+/// ```
+/// SELECT A.pipelineName, AVG(T_CPU) FROM (
+///   SELECT A, SUM(B.CPU) AS T_CPU FROM (
+///     MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File)
+///           (q_f1:File)-[r*0..8]->(q_f2:File)
+///           (q_f2:File)-[:IS_READ_BY]->(q_j2:Job)
+///     RETURN q_j1 as A, q_j2 as B
+///   ) GROUP BY A, B
+/// ) GROUP BY A.pipelineName
+/// ```
+
+#ifndef KASKADE_QUERY_AST_H_
+#define KASKADE_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/property_value.h"
+
+namespace kaskade::query {
+
+/// \brief A node in a MATCH pattern: `(name:Type)` (type optional).
+struct NodePattern {
+  std::string name;
+  std::string type;  ///< Empty means "any vertex type".
+};
+
+/// \brief An edge in a MATCH pattern: `-[:TYPE]->` or `-[r*L..U]->`.
+struct EdgePattern {
+  std::string from;  ///< Source node name.
+  std::string to;    ///< Target node name.
+  std::string var;   ///< Optional relationship variable (unused in eval).
+  std::string type;  ///< Edge type; empty means "any edge type".
+  bool variable_length = false;
+  int min_hops = 1;
+  int max_hops = 1;
+};
+
+/// \brief Reference to a column or a property of a vertex column:
+/// `A` or `A.pipelineName`.
+struct ColumnRef {
+  std::string base;
+  std::string property;  ///< Empty for a bare column reference.
+
+  std::string ToString() const {
+    return property.empty() ? base : base + "." + property;
+  }
+  bool operator==(const ColumnRef&) const = default;
+};
+
+/// \brief Comparison operator in WHERE predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief One conjunct of a WHERE clause: `<ref> <op> <literal>`.
+struct Condition {
+  ColumnRef lhs;
+  CompareOp op = CompareOp::kEq;
+  graph::PropertyValue rhs;
+};
+
+/// \brief One item of a RETURN clause: `variable [AS alias]`.
+struct ReturnItem {
+  std::string variable;
+  std::string alias;  ///< Empty means "use the variable name".
+
+  const std::string& OutputName() const {
+    return alias.empty() ? variable : alias;
+  }
+};
+
+/// \brief A Cypher-style pattern-matching query.
+struct MatchQuery {
+  std::vector<NodePattern> nodes;
+  std::vector<EdgePattern> edges;
+  std::vector<Condition> where;
+  std::vector<ReturnItem> return_items;
+
+  /// Returns the pattern node with the given name, or nullptr.
+  const NodePattern* FindNode(const std::string& name) const {
+    for (const NodePattern& n : nodes) {
+      if (n.name == name) return &n;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief Aggregate functions of the relational shell.
+enum class AggFunc { kNone, kSum, kAvg, kCount, kMin, kMax };
+
+/// \brief One item of a SELECT list: column ref or aggregate call, with
+/// optional alias.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef ref;       ///< Argument (ignored when `star`).
+  bool star = false;   ///< COUNT(*).
+  std::string alias;
+
+  std::string OutputName() const;
+};
+
+struct Query;
+
+/// \brief A relational SELECT over a subquery.
+struct SelectQuery {
+  std::vector<SelectItem> items;
+  std::unique_ptr<Query> from;
+  std::vector<Condition> where;
+  std::vector<ColumnRef> group_by;
+};
+
+/// \brief Root query node: either a MATCH or a SELECT.
+struct Query {
+  std::variant<MatchQuery, SelectQuery> node;
+
+  bool is_match() const { return std::holds_alternative<MatchQuery>(node); }
+  bool is_select() const { return std::holds_alternative<SelectQuery>(node); }
+  MatchQuery& match() { return std::get<MatchQuery>(node); }
+  const MatchQuery& match() const { return std::get<MatchQuery>(node); }
+  SelectQuery& select() { return std::get<SelectQuery>(node); }
+  const SelectQuery& select() const { return std::get<SelectQuery>(node); }
+
+  /// Deep copy (SelectQuery holds a unique_ptr, so Query is move-only).
+  Query Clone() const;
+
+  /// The innermost MATCH of the query (every query bottoms out in one);
+  /// nullptr if malformed.
+  const MatchQuery* InnermostMatch() const;
+  MatchQuery* MutableInnermostMatch();
+
+  /// Renders the query back to (normalized) source text.
+  std::string ToString() const;
+};
+
+}  // namespace kaskade::query
+
+#endif  // KASKADE_QUERY_AST_H_

@@ -1,0 +1,50 @@
+/// \file cost.h
+/// \brief Query evaluation cost model (§V-A "Query evaluation cost").
+///
+/// The paper leverages Neo4j's cost-based optimizer as a proxy for the
+/// cost of evaluating a query over a graph. Our substitute estimates the
+/// number of elements a pattern touches: seed-scan cardinality multiplied
+/// by per-edge expansion factors derived from the graph's per-type degree
+/// statistics; variable-length edges contribute a geometric series over
+/// their hop range. Relational layers add linear passes over their input.
+/// The absolute numbers are meaningless; what matters (and what view
+/// selection and rewriting need) is a consistent ordering between plans.
+
+#ifndef KASKADE_QUERY_COST_H_
+#define KASKADE_QUERY_COST_H_
+
+#include <functional>
+
+#include "graph/property_graph.h"
+#include "graph/stats.h"
+#include "query/ast.h"
+
+namespace kaskade::query {
+
+/// \brief Cost-model knobs.
+struct CostModelOptions {
+  /// Degree percentile used for fixed-edge expansion factors.
+  double degree_alpha = 90;
+  /// Lower bound on any expansion factor, so zero-degree statistics do
+  /// not collapse the estimate to zero.
+  double min_expansion = 0.1;
+};
+
+/// Estimated cost (abstract units ~ elements touched) of evaluating
+/// `query` against a graph with the given statistics.
+double EstimateEvalCost(const Query& query, const graph::PropertyGraph& graph,
+                        const graph::GraphStats& stats,
+                        const CostModelOptions& options = {});
+
+/// Shared frontier model over abstract (seeds, |V|, |E|) counts;
+/// `fixed_expansion` supplies the per-fixed-edge degree factor keyed by
+/// the edge's source node name. Used both for real graphs (above) and
+/// for candidate views that exist only as size estimates (core module).
+double MatchCostOnCounts(const MatchQuery& match, double seeds,
+                         double num_vertices, double num_edges,
+                         const std::function<double(const std::string&)>&
+                             fixed_expansion);
+
+}  // namespace kaskade::query
+
+#endif  // KASKADE_QUERY_COST_H_

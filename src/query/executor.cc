@@ -1,0 +1,618 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/parser.h"
+
+namespace kaskade::query {
+
+using graph::EdgeId;
+using graph::EdgeTypeId;
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+using graph::VertexTypeId;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// MATCH evaluation
+// ---------------------------------------------------------------------------
+
+/// Resolved pattern: names mapped to dense slots, types to ids.
+struct ResolvedPattern {
+  struct Node {
+    std::string name;
+    VertexTypeId type = graph::kInvalidTypeId;  // kInvalidTypeId = any
+    bool has_type_constraint = false;
+  };
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    EdgeTypeId type = graph::kInvalidTypeId;  // kInvalidTypeId = any
+    bool variable_length = false;
+    int min_hops = 1;
+    int max_hops = 1;
+  };
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  /// Conditions indexed by the node slot they constrain.
+  std::vector<std::vector<Condition>> node_conditions;
+};
+
+/// \brief Backtracking pattern matcher with set-semantics projection.
+class MatchEvaluator {
+ public:
+  MatchEvaluator(const PropertyGraph& graph, const ExecutorOptions& options)
+      : graph_(graph), options_(options) {}
+
+  Result<Table> Run(const MatchQuery& match) {
+    KASKADE_RETURN_IF_ERROR(Resolve(match));
+    KASKADE_RETURN_IF_ERROR(PlanOrder());
+
+    std::vector<Column> columns;
+    return_slots_.clear();
+    for (const ReturnItem& item : match.return_items) {
+      int slot = SlotOf(item.variable);
+      if (slot < 0) {
+        return Status::InvalidArgument("RETURN references unknown variable '" +
+                                       item.variable + "'");
+      }
+      return_slots_.push_back(slot);
+      columns.push_back(Column{item.OutputName(), /*is_vertex=*/true});
+    }
+    table_ = Table(std::move(columns));
+
+    binding_.assign(pattern_.nodes.size(), graph::kInvalidId);
+    Status st = Backtrack(0);
+    if (!st.ok()) return st;
+    return std::move(table_);
+  }
+
+ private:
+  int SlotOf(const std::string& name) const {
+    for (size_t i = 0; i < pattern_.nodes.size(); ++i) {
+      if (pattern_.nodes[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Status Resolve(const MatchQuery& match) {
+    pattern_ = ResolvedPattern();
+    for (const NodePattern& n : match.nodes) {
+      ResolvedPattern::Node rn;
+      rn.name = n.name;
+      if (!n.type.empty()) {
+        rn.type = graph_.schema().FindVertexType(n.type);
+        if (rn.type == graph::kInvalidTypeId) {
+          return Status::NotFound("unknown vertex type '" + n.type +
+                                  "' in pattern");
+        }
+        rn.has_type_constraint = true;
+      }
+      pattern_.nodes.push_back(std::move(rn));
+    }
+    for (const EdgePattern& e : match.edges) {
+      ResolvedPattern::Edge re;
+      re.from = SlotOf(e.from);
+      re.to = SlotOf(e.to);
+      if (re.from < 0 || re.to < 0) {
+        return Status::Internal("edge references unresolved node");
+      }
+      if (!e.type.empty()) {
+        re.type = graph_.schema().FindEdgeType(e.type);
+        if (re.type == graph::kInvalidTypeId) {
+          return Status::NotFound("unknown edge type '" + e.type +
+                                  "' in pattern");
+        }
+      }
+      re.variable_length = e.variable_length;
+      re.min_hops = e.variable_length ? e.min_hops : 1;
+      re.max_hops = e.variable_length ? e.max_hops : 1;
+      pattern_.edges.push_back(re);
+    }
+    pattern_.node_conditions.assign(pattern_.nodes.size(), {});
+    for (const Condition& cond : match.where) {
+      int slot = SlotOf(cond.lhs.base);
+      if (slot < 0) {
+        return Status::InvalidArgument("WHERE references unknown variable '" +
+                                       cond.lhs.base + "'");
+      }
+      if (cond.lhs.property.empty()) {
+        return Status::InvalidArgument(
+            "WHERE on a pattern variable must reference a property");
+      }
+      pattern_.node_conditions[slot].push_back(cond);
+    }
+    return Status::OK();
+  }
+
+  /// Chooses an evaluation order: seed at the node with the smallest
+  /// candidate count, then repeatedly take an edge with a bound endpoint
+  /// (connected expansion); falls back to new seeds for disconnected
+  /// components.
+  Status PlanOrder() {
+    const size_t num_nodes = pattern_.nodes.size();
+    std::vector<bool> node_planned(num_nodes, false);
+    std::vector<bool> edge_planned(pattern_.edges.size(), false);
+    plan_.clear();
+
+    auto candidate_count = [&](size_t slot) -> size_t {
+      const ResolvedPattern::Node& n = pattern_.nodes[slot];
+      return n.has_type_constraint ? graph_.NumVerticesOfType(n.type)
+                                   : graph_.NumVertices();
+    };
+
+    size_t planned_nodes = 0;
+    while (planned_nodes < num_nodes) {
+      // Seed: cheapest unplanned node.
+      size_t best = num_nodes;
+      for (size_t i = 0; i < num_nodes; ++i) {
+        if (node_planned[i]) continue;
+        if (best == num_nodes || candidate_count(i) < candidate_count(best)) {
+          best = i;
+        }
+      }
+      plan_.push_back(Step{Step::kSeed, static_cast<int>(best), -1});
+      node_planned[best] = true;
+      ++planned_nodes;
+      // Expand while an edge touches the planned set.
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (size_t e = 0; e < pattern_.edges.size(); ++e) {
+          if (edge_planned[e]) continue;
+          const ResolvedPattern::Edge& edge = pattern_.edges[e];
+          bool from_in = node_planned[edge.from];
+          bool to_in = node_planned[edge.to];
+          if (!from_in && !to_in) continue;
+          plan_.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+          edge_planned[e] = true;
+          if (!from_in) {
+            node_planned[edge.from] = true;
+            ++planned_nodes;
+          }
+          if (!to_in) {
+            node_planned[edge.to] = true;
+            ++planned_nodes;
+          }
+          progress = true;
+        }
+      }
+    }
+    // Any edges left connect already-planned nodes (cycles) — append as
+    // filters.
+    for (size_t e = 0; e < pattern_.edges.size(); ++e) {
+      if (!edge_planned[e]) {
+        plan_.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+      }
+    }
+    return Status::OK();
+  }
+
+  bool NodeAccepts(size_t slot, VertexId v) const {
+    const ResolvedPattern::Node& n = pattern_.nodes[slot];
+    if (n.has_type_constraint && graph_.VertexType(v) != n.type) return false;
+    for (const Condition& cond : pattern_.node_conditions[slot]) {
+      PropertyValue value = graph_.VertexProperty(v, cond.lhs.property);
+      bool pass = false;
+      switch (cond.op) {
+        case CompareOp::kEq:
+          pass = value == cond.rhs;
+          break;
+        case CompareOp::kNe:
+          pass = value != cond.rhs;
+          break;
+        case CompareOp::kLt:
+          pass = value < cond.rhs;
+          break;
+        case CompareOp::kLe:
+          pass = value < cond.rhs || value == cond.rhs;
+          break;
+        case CompareOp::kGt:
+          pass = cond.rhs < value;
+          break;
+        case CompareOp::kGe:
+          pass = cond.rhs < value || value == cond.rhs;
+          break;
+      }
+      if (!pass) return false;
+    }
+    return true;
+  }
+
+  /// Vertices reachable from `start` in exactly d hops for some d in
+  /// [min_hops, max_hops], following edges of `type` (reverse when
+  /// `backward`). Level-synchronized BFS so all reachable depths are seen
+  /// (bipartite graphs reach vertices at several parities).
+  std::vector<VertexId> VarLengthTargets(VertexId start, EdgeTypeId type,
+                                         int min_hops, int max_hops,
+                                         bool backward) const {
+    std::vector<VertexId> result;
+    std::unordered_set<VertexId> result_set;
+    if (min_hops == 0) {
+      result.push_back(start);
+      result_set.insert(start);
+    }
+    // Per-level frontiers: a vertex may recur at several depths (e.g. at
+    // both parities of a bipartite lineage graph), and membership in
+    // [min_hops, max_hops] is decided per depth, so dedup is on
+    // (vertex, depth) rather than vertex.
+    std::vector<std::vector<VertexId>> levels(max_hops + 1);
+    levels[0] = {start};
+    std::unordered_set<uint64_t> visited_at_level;
+    visited_at_level.insert(static_cast<uint64_t>(start) << 32);
+    for (int depth = 1; depth <= max_hops; ++depth) {
+      std::vector<VertexId>& prev = levels[depth - 1];
+      if (prev.empty()) break;
+      std::vector<VertexId>& cur = levels[depth];
+      for (VertexId v : prev) {
+        const std::vector<EdgeId>& incident =
+            backward ? graph_.InEdges(v) : graph_.OutEdges(v);
+        for (EdgeId e : incident) {
+          const graph::EdgeRecord& rec = graph_.Edge(e);
+          if (type != graph::kInvalidTypeId && rec.type != type) continue;
+          VertexId next = backward ? rec.source : rec.target;
+          uint64_t key = (static_cast<uint64_t>(next) << 32) |
+                         static_cast<uint64_t>(depth);
+          if (!visited_at_level.insert(key).second) continue;
+          cur.push_back(next);
+          if (depth >= min_hops && result_set.insert(next).second) {
+            result.push_back(next);
+          }
+        }
+      }
+    }
+    return result;
+  }
+
+  /// True if some path start->...->end with length in [min,max] exists.
+  bool VarLengthConnected(VertexId start, VertexId end, EdgeTypeId type,
+                          int min_hops, int max_hops) const {
+    std::vector<VertexId> targets =
+        VarLengthTargets(start, type, min_hops, max_hops, false);
+    return std::find(targets.begin(), targets.end(), end) != targets.end();
+  }
+
+  Status EmitRow() {
+    Table::Row row;
+    row.reserve(return_slots_.size());
+    std::string key;
+    for (int slot : return_slots_) {
+      VertexId v = binding_[slot];
+      row.emplace_back(static_cast<int64_t>(v));
+      key += std::to_string(v);
+      key += ",";
+    }
+    if (!distinct_rows_.insert(key).second) return Status::OK();
+    if (table_.num_rows() >= options_.max_rows) {
+      return Status::ResourceExhausted("MATCH row limit exceeded");
+    }
+    table_.AddRow(std::move(row));
+    return Status::OK();
+  }
+
+  Status Backtrack(size_t step_index) {
+    if (step_index == plan_.size()) return EmitRow();
+    const Step& step = plan_[step_index];
+    if (step.kind == Step::kSeed) {
+      size_t slot = static_cast<size_t>(step.node_slot);
+      if (binding_[slot] != graph::kInvalidId) {
+        return Backtrack(step_index + 1);
+      }
+      const ResolvedPattern::Node& n = pattern_.nodes[slot];
+      if (n.has_type_constraint) {
+        for (VertexId v : graph_.VerticesOfType(n.type)) {
+          if (!NodeAccepts(slot, v)) continue;
+          binding_[slot] = v;
+          KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+          binding_[slot] = graph::kInvalidId;
+        }
+      } else {
+        for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+          if (!NodeAccepts(slot, v)) continue;
+          binding_[slot] = v;
+          KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+          binding_[slot] = graph::kInvalidId;
+        }
+      }
+      return Status::OK();
+    }
+
+    const ResolvedPattern::Edge& edge = pattern_.edges[step.edge_index];
+    VertexId from = binding_[edge.from];
+    VertexId to = binding_[edge.to];
+    bool from_bound = from != graph::kInvalidId;
+    bool to_bound = to != graph::kInvalidId;
+
+    if (from_bound && to_bound) {
+      // Filter edge (closes a cycle).
+      bool connected =
+          edge.variable_length
+              ? VarLengthConnected(from, to, edge.type, edge.min_hops,
+                                   edge.max_hops)
+              : [&] {
+                  for (EdgeId e : graph_.OutEdges(from)) {
+                    const graph::EdgeRecord& rec = graph_.Edge(e);
+                    if (rec.target == to &&
+                        (edge.type == graph::kInvalidTypeId ||
+                         rec.type == edge.type)) {
+                      return true;
+                    }
+                  }
+                  return false;
+                }();
+      if (connected) return Backtrack(step_index + 1);
+      return Status::OK();
+    }
+
+    const bool forward = from_bound;  // else expand backward from `to`
+    size_t free_slot = forward ? edge.to : edge.from;
+    VertexId anchor = forward ? from : to;
+
+    if (edge.variable_length) {
+      for (VertexId v : VarLengthTargets(anchor, edge.type, edge.min_hops,
+                                         edge.max_hops, !forward)) {
+        if (!NodeAccepts(free_slot, v)) continue;
+        binding_[free_slot] = v;
+        KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+        binding_[free_slot] = graph::kInvalidId;
+      }
+      return Status::OK();
+    }
+
+    const std::vector<EdgeId>& incident =
+        forward ? graph_.OutEdges(anchor) : graph_.InEdges(anchor);
+    // Distinct neighbor set: parallel edges must not multiply rows under
+    // set semantics, and NodeAccepts can be expensive.
+    std::unordered_set<VertexId> tried;
+    for (EdgeId e : incident) {
+      const graph::EdgeRecord& rec = graph_.Edge(e);
+      if (edge.type != graph::kInvalidTypeId && rec.type != edge.type) continue;
+      VertexId next = forward ? rec.target : rec.source;
+      if (!tried.insert(next).second) continue;
+      if (!NodeAccepts(free_slot, next)) continue;
+      binding_[free_slot] = next;
+      KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+      binding_[free_slot] = graph::kInvalidId;
+    }
+    return Status::OK();
+  }
+
+  struct Step {
+    enum Kind { kSeed, kEdge } kind;
+    int node_slot;
+    int edge_index;
+  };
+
+  const PropertyGraph& graph_;
+  ExecutorOptions options_;
+  ResolvedPattern pattern_;
+  std::vector<Step> plan_;
+  std::vector<VertexId> binding_;
+  std::vector<int> return_slots_;
+  std::unordered_set<std::string> distinct_rows_;
+  Table table_;
+};
+
+// ---------------------------------------------------------------------------
+// SELECT evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluates a column reference against an input row; vertex property
+/// references go through the graph.
+Result<PropertyValue> EvalRef(const PropertyGraph& graph, const Table& input,
+                              const Table::Row& row, const ColumnRef& ref) {
+  if (ref.property.empty()) {
+    int col = input.FindColumn(ref.base);
+    if (col < 0) return Status::NotFound("unknown column '" + ref.base + "'");
+    return row[col];
+  }
+  // Try a literal "base.property" column first (propagated group key).
+  int direct = input.FindColumn(ref.ToString());
+  if (direct >= 0) return row[direct];
+  int col = input.FindColumn(ref.base);
+  if (col < 0) return Status::NotFound("unknown column '" + ref.base + "'");
+  if (!input.columns()[col].is_vertex) {
+    return Status::InvalidArgument("column '" + ref.base +
+                                   "' is not a vertex; cannot read property '" +
+                                   ref.property + "'");
+  }
+  VertexId v = static_cast<VertexId>(row[col].as_int());
+  return graph.VertexProperty(v, ref.property);
+}
+
+bool ConditionPasses(const Condition& cond, const PropertyValue& value) {
+  switch (cond.op) {
+    case CompareOp::kEq:
+      return value == cond.rhs;
+    case CompareOp::kNe:
+      return value != cond.rhs;
+    case CompareOp::kLt:
+      return value < cond.rhs;
+    case CompareOp::kLe:
+      return value < cond.rhs || value == cond.rhs;
+    case CompareOp::kGt:
+      return cond.rhs < value;
+    case CompareOp::kGe:
+      return cond.rhs < value || value == cond.rhs;
+  }
+  return false;
+}
+
+/// Streaming aggregate accumulator.
+struct Accumulator {
+  AggFunc func = AggFunc::kNone;
+  int64_t count = 0;
+  double sum = 0;
+  bool all_int = true;
+  int64_t isum = 0;
+  std::optional<PropertyValue> extreme;
+
+  void Add(const PropertyValue& v) {
+    if (v.is_null()) return;  // SQL semantics: NULLs are skipped
+    ++count;
+    if (v.is_int()) {
+      isum += v.as_int();
+    } else {
+      all_int = false;
+    }
+    sum += v.ToDouble();
+    if (func == AggFunc::kMin) {
+      if (!extreme.has_value() || v < *extreme) extreme = v;
+    } else if (func == AggFunc::kMax) {
+      if (!extreme.has_value() || *extreme < v) extreme = v;
+    }
+  }
+
+  PropertyValue Finish() const {
+    switch (func) {
+      case AggFunc::kCount:
+        return PropertyValue(count);
+      case AggFunc::kSum:
+        if (count == 0) return PropertyValue();
+        return all_int ? PropertyValue(isum) : PropertyValue(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return PropertyValue();
+        return PropertyValue(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return extreme.has_value() ? *extreme : PropertyValue();
+      case AggFunc::kNone:
+        break;
+    }
+    return PropertyValue();
+  }
+};
+
+}  // namespace
+
+Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match) {
+  MatchEvaluator evaluator(*graph_, options_);
+  return evaluator.Run(match);
+}
+
+Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select) {
+  KASKADE_ASSIGN_OR_RETURN(Table input, Execute(*select.from));
+
+  // WHERE filter.
+  std::vector<const Table::Row*> rows;
+  rows.reserve(input.num_rows());
+  for (const Table::Row& row : input.rows()) {
+    bool pass = true;
+    for (const Condition& cond : select.where) {
+      KASKADE_ASSIGN_OR_RETURN(PropertyValue v,
+                               EvalRef(*graph_, input, row, cond.lhs));
+      if (!ConditionPasses(cond, v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) rows.push_back(&row);
+  }
+
+  bool has_aggregates = false;
+  for (const SelectItem& item : select.items) {
+    if (item.agg != AggFunc::kNone) has_aggregates = true;
+  }
+
+  // Output schema. A bare vertex-column reference stays a vertex column.
+  std::vector<Column> out_columns;
+  for (const SelectItem& item : select.items) {
+    bool is_vertex = false;
+    if (item.agg == AggFunc::kNone && item.ref.property.empty()) {
+      int col = input.FindColumn(item.ref.base);
+      is_vertex = col >= 0 && input.columns()[col].is_vertex;
+    }
+    out_columns.push_back(Column{item.OutputName(), is_vertex});
+  }
+  Table out(std::move(out_columns));
+
+  if (!has_aggregates && select.group_by.empty()) {
+    // Plain projection.
+    for (const Table::Row* row : rows) {
+      Table::Row out_row;
+      out_row.reserve(select.items.size());
+      for (const SelectItem& item : select.items) {
+        KASKADE_ASSIGN_OR_RETURN(PropertyValue v,
+                                 EvalRef(*graph_, input, *row, item.ref));
+        out_row.push_back(std::move(v));
+      }
+      out.AddRow(std::move(out_row));
+    }
+    return out;
+  }
+
+  // Grouped aggregation (no GROUP BY + aggregates = one global group).
+  struct Group {
+    const Table::Row* representative;
+    std::vector<Accumulator> accumulators;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<std::string> group_order;
+
+  for (const Table::Row* row : rows) {
+    std::string key;
+    for (const ColumnRef& ref : select.group_by) {
+      KASKADE_ASSIGN_OR_RETURN(PropertyValue v,
+                               EvalRef(*graph_, input, *row, ref));
+      key += v.ToString();
+      key += "\x1f";
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    Group& group = it->second;
+    if (inserted) {
+      group.representative = row;
+      group.accumulators.resize(select.items.size());
+      for (size_t i = 0; i < select.items.size(); ++i) {
+        group.accumulators[i].func = select.items[i].agg;
+      }
+      group_order.push_back(key);
+    }
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      const SelectItem& item = select.items[i];
+      if (item.agg == AggFunc::kNone) continue;
+      if (item.star) {
+        group.accumulators[i].Add(PropertyValue(static_cast<int64_t>(1)));
+        continue;
+      }
+      KASKADE_ASSIGN_OR_RETURN(PropertyValue v,
+                               EvalRef(*graph_, input, *row, item.ref));
+      group.accumulators[i].Add(v);
+    }
+  }
+
+  for (const std::string& key : group_order) {
+    const Group& group = groups.at(key);
+    Table::Row out_row;
+    out_row.reserve(select.items.size());
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      const SelectItem& item = select.items[i];
+      if (item.agg != AggFunc::kNone) {
+        out_row.push_back(group.accumulators[i].Finish());
+      } else {
+        KASKADE_ASSIGN_OR_RETURN(
+            PropertyValue v,
+            EvalRef(*graph_, input, *group.representative, item.ref));
+        out_row.push_back(std::move(v));
+      }
+    }
+    out.AddRow(std::move(out_row));
+  }
+  return out;
+}
+
+Result<Table> QueryExecutor::Execute(const Query& query) {
+  if (query.is_match()) return ExecuteMatch(query.match());
+  return ExecuteSelect(query.select());
+}
+
+Result<Table> QueryExecutor::ExecuteText(const std::string& text) {
+  KASKADE_ASSIGN_OR_RETURN(Query query, ParseQueryText(text));
+  return Execute(query);
+}
+
+}  // namespace kaskade::query

@@ -1,0 +1,58 @@
+/// \file executor.h
+/// \brief Evaluates hybrid queries against a `PropertyGraph`.
+///
+/// This plays the role of Neo4j's execution engine in the paper's stack
+/// (Fig. 2): MATCH patterns run as a backtracking join over the adjacency
+/// lists, variable-length paths expand with a level-synchronized BFS, and
+/// the relational shell evaluates filters, grouping and aggregates over
+/// the match rows.
+///
+/// MATCH projection has *set semantics*: the executor returns distinct
+/// rows of the returned variables. This is the semantics under which the
+/// paper's raw-vs-connector rewrites return identical results (§VII-C
+/// "These rewritings are equivalent and produce the same results").
+
+#ifndef KASKADE_QUERY_EXECUTOR_H_
+#define KASKADE_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "query/ast.h"
+#include "query/table.h"
+
+namespace kaskade::query {
+
+/// \brief Executor resource limits.
+struct ExecutorOptions {
+  /// Abort with ResourceExhausted when a MATCH produces more distinct
+  /// rows than this.
+  size_t max_rows = 50'000'000;
+};
+
+/// \brief Executes parsed or textual queries against one graph.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const graph::PropertyGraph* graph,
+                         ExecutorOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// Runs a parsed query.
+  Result<Table> Execute(const Query& query);
+
+  /// Parses and runs `text`.
+  Result<Table> ExecuteText(const std::string& text);
+
+ private:
+  Result<Table> ExecuteMatch(const MatchQuery& match);
+  Result<Table> ExecuteSelect(const SelectQuery& select);
+
+  const graph::PropertyGraph* graph_;
+  ExecutorOptions options_;
+};
+
+}  // namespace kaskade::query
+
+#endif  // KASKADE_QUERY_EXECUTOR_H_

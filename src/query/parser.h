@@ -1,0 +1,24 @@
+/// \file parser.h
+/// \brief Parser for the hybrid Cypher+SQL query dialect (§III-B).
+///
+/// Keywords are case-insensitive. Edge-type names may start with a digit
+/// (connector types like `2_HOP_JOB_TO_JOB`); `-` is also accepted inside
+/// edge-type names directly after `HOP` digits, matching the paper's
+/// `2_HOP-JOB_TO_JOB` spelling.
+
+#ifndef KASKADE_QUERY_PARSER_H_
+#define KASKADE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace kaskade::query {
+
+/// Parses a full query (SELECT or MATCH at top level).
+Result<Query> ParseQueryText(const std::string& text);
+
+}  // namespace kaskade::query
+
+#endif  // KASKADE_QUERY_PARSER_H_

@@ -1,0 +1,39 @@
+#include "query/table.h"
+
+#include <algorithm>
+
+namespace kaskade::query {
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i].name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows_[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows_.size() > max_rows) {
+    out += "... (" + std::to_string(rows_.size() - max_rows) + " more rows)\n";
+  }
+  return out;
+}
+
+std::vector<Table::Row> Table::SortedRows() const {
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  });
+  return sorted;
+}
+
+}  // namespace kaskade::query

@@ -1,0 +1,58 @@
+/// \file table.h
+/// \brief Row-oriented result tables produced by the query executor.
+
+#ifndef KASKADE_QUERY_TABLE_H_
+#define KASKADE_QUERY_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_value.h"
+
+namespace kaskade::query {
+
+/// \brief Column metadata: name plus whether cells are vertex references
+/// (vertex ids stored as integers) rather than plain values.
+struct Column {
+  std::string name;
+  bool is_vertex = false;
+};
+
+/// \brief A materialized query result.
+class Table {
+ public:
+  using Row = std::vector<graph::PropertyValue>;
+
+  Table() = default;
+  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Index of the column with `name`, or -1.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Renders the first `max_rows` rows for display/tests.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Sorted copy of the rows (row-wise lexicographic order) — for
+  /// order-insensitive result comparison in tests.
+  std::vector<Row> SortedRows() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace kaskade::query
+
+#endif  // KASKADE_QUERY_TABLE_H_

@@ -1,0 +1,481 @@
+// Tests for graph algorithms: traversals, path counting, label
+// propagation, weighted path aggregates, components, and contraction
+// (including the paper's Fig. 3 worked example).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/contraction.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::graph {
+namespace {
+
+GraphSchema LineageSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  EXPECT_TRUE(schema.AddEdgeType("w", "Job", "File").ok());
+  EXPECT_TRUE(schema.AddEdgeType("r", "File", "Job").ok());
+  return schema;
+}
+
+/// The input graph of Fig. 3(a): j1 -w-> f1 -r-> j2, j1 -w-> f2 -r-> j3,
+/// j2 -w-> f3, j3 -w-> f4.
+struct Fig3Graph {
+  PropertyGraph g{LineageSchema()};
+  VertexId j1, j2, j3, f1, f2, f3, f4;
+
+  Fig3Graph() {
+    j1 = g.AddVertex("Job").value();
+    j2 = g.AddVertex("Job").value();
+    j3 = g.AddVertex("Job").value();
+    f1 = g.AddVertex("File").value();
+    f2 = g.AddVertex("File").value();
+    f3 = g.AddVertex("File").value();
+    f4 = g.AddVertex("File").value();
+    EXPECT_TRUE(g.AddEdge(j1, f1, "w").ok());
+    EXPECT_TRUE(g.AddEdge(f1, j2, "r").ok());
+    EXPECT_TRUE(g.AddEdge(j1, f2, "w").ok());
+    EXPECT_TRUE(g.AddEdge(f2, j3, "r").ok());
+    EXPECT_TRUE(g.AddEdge(j2, f3, "w").ok());
+    EXPECT_TRUE(g.AddEdge(j3, f4, "w").ok());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BoundedBfs / CountReachable
+// ---------------------------------------------------------------------------
+
+TEST(BoundedBfsTest, ForwardHopsAreExact) {
+  Fig3Graph fig;
+  TraversalOptions opts;
+  opts.max_hops = 1;
+  auto reached = BoundedBfs(fig.g, fig.j1, opts);
+  EXPECT_EQ(reached.size(), 2u);  // f1, f2
+
+  opts.max_hops = 2;
+  EXPECT_EQ(CountReachable(fig.g, fig.j1, opts), 4u);  // f1,f2,j2,j3
+  opts.max_hops = 3;
+  EXPECT_EQ(CountReachable(fig.g, fig.j1, opts), 6u);  // + f3, f4
+}
+
+TEST(BoundedBfsTest, BackwardTraversal) {
+  Fig3Graph fig;
+  TraversalOptions opts;
+  opts.direction = Direction::kBackward;
+  opts.max_hops = 2;
+  EXPECT_EQ(CountReachable(fig.g, fig.f3, opts), 2u);  // j2, f1
+  opts.max_hops = 4;
+  EXPECT_EQ(CountReachable(fig.g, fig.f3, opts), 3u);  // + j1
+}
+
+TEST(BoundedBfsTest, EdgeTypeRestriction) {
+  Fig3Graph fig;
+  TraversalOptions opts;
+  opts.max_hops = 10;
+  opts.edge_types = {fig.g.schema().FindEdgeType("w")};
+  // Only write edges: from j1 we reach f1, f2 and stop.
+  EXPECT_EQ(CountReachable(fig.g, fig.j1, opts), 2u);
+}
+
+TEST(BoundedBfsTest, HandlesInvalidInputs) {
+  Fig3Graph fig;
+  TraversalOptions opts;
+  opts.max_hops = 0;
+  EXPECT_EQ(CountReachable(fig.g, fig.j1, opts), 0u);
+  opts.max_hops = 3;
+  EXPECT_EQ(CountReachable(fig.g, 9999, opts), 0u);
+}
+
+TEST(BoundedBfsTest, HopsAreNondecreasing) {
+  Fig3Graph fig;
+  TraversalOptions opts;
+  opts.max_hops = 5;
+  auto reached = BoundedBfs(fig.g, fig.j1, opts);
+  for (size_t i = 1; i < reached.size(); ++i) {
+    EXPECT_LE(reached[i - 1].hops, reached[i].hops);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path counting
+// ---------------------------------------------------------------------------
+
+TEST(PathCountTest, Fig3TwoPaths) {
+  Fig3Graph fig;
+  // 2-length simple paths: j1-f1-j2, j1-f2-j3, f1-j2-f3, f2-j3-f4.
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 2), 4u);
+  EXPECT_EQ(CountSimple2Paths(fig.g), 4u);
+  EXPECT_EQ(CountKLengthWalks(fig.g, 2), 4u);  // DAG: walks == paths
+}
+
+TEST(PathCountTest, LongerPathsOnFig3) {
+  Fig3Graph fig;
+  // 3-length: j1-f1-j2-f3, j1-f2-j3-f4. 4-length: none... via j1 only.
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 3), 2u);
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 4), 0u);
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 1), fig.g.NumEdges());
+}
+
+TEST(PathCountTest, CycleWalksDivergeFromSimplePaths) {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  VertexId a = g.AddVertexOfType(0);
+  VertexId b = g.AddVertexOfType(0);
+  ASSERT_TRUE(g.AddEdgeOfType(a, b, 0).ok());
+  ASSERT_TRUE(g.AddEdgeOfType(b, a, 0).ok());
+  // Simple 2-paths: none (a-b-a repeats a). Walks: a-b-a and b-a-b.
+  EXPECT_EQ(CountSimpleKPaths(g, 2), 0u);
+  EXPECT_EQ(CountKLengthWalks(g, 2), 2u);
+  EXPECT_EQ(CountSimple2Paths(g), 0u);
+}
+
+TEST(PathCountTest, ClosedFormMatchesDfsOnDenserGraph) {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  for (int i = 0; i < 8; ++i) g.AddVertexOfType(0);
+  // Deterministic pseudo-random edges (with one reciprocal pair).
+  uint64_t x = 12345;
+  for (int i = 0; i < 20; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    VertexId s = static_cast<VertexId>((x >> 16) % 8);
+    VertexId t = static_cast<VertexId>((x >> 32) % 8);
+    if (s == t) continue;
+    ASSERT_TRUE(g.AddEdgeOfType(s, t, 0).ok());
+  }
+  ASSERT_TRUE(g.AddEdgeOfType(0, 1, 0).ok());
+  ASSERT_TRUE(g.AddEdgeOfType(1, 0, 0).ok());
+  EXPECT_EQ(CountSimple2Paths(g), CountSimpleKPaths(g, 2));
+}
+
+TEST(PathCountTest, CapIsRespected) {
+  Fig3Graph fig;
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 2, 3), 3u);
+  EXPECT_EQ(CountKLengthWalks(fig.g, 2, 2), 2u);
+}
+
+TEST(PathCountTest, ZeroAndNegativeK) {
+  Fig3Graph fig;
+  EXPECT_EQ(CountSimpleKPaths(fig.g, 0), 0u);
+  EXPECT_EQ(CountKLengthWalks(fig.g, 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Label propagation / communities
+// ---------------------------------------------------------------------------
+
+PropertyGraph TwoCliques() {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  EXPECT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  for (int i = 0; i < 8; ++i) g.AddVertexOfType(0);
+  auto connect = [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      for (int j = lo; j < hi; ++j) {
+        if (i != j) EXPECT_TRUE(g.AddEdgeOfType(i, j, 0).ok());
+      }
+    }
+  };
+  connect(0, 4);
+  connect(4, 8);
+  // One weak bridge.
+  EXPECT_TRUE(g.AddEdgeOfType(3, 4, 0).ok());
+  return g;
+}
+
+TEST(LabelPropagationTest, FindsTwoCliques) {
+  PropertyGraph g = TwoCliques();
+  CommunityAssignment result = LabelPropagation(g, 25);
+  EXPECT_LE(result.num_communities, 3u);
+  // Vertices within each clique share a label.
+  EXPECT_EQ(result.label[0], result.label[1]);
+  EXPECT_EQ(result.label[1], result.label[2]);
+  EXPECT_EQ(result.label[5], result.label[6]);
+  EXPECT_EQ(result.label[6], result.label[7]);
+}
+
+TEST(LabelPropagationTest, DeterministicAcrossRuns) {
+  PropertyGraph g = TwoCliques();
+  CommunityAssignment a = LabelPropagation(g, 25);
+  CommunityAssignment b = LabelPropagation(g, 25);
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST(LabelPropagationTest, ConvergesEarly) {
+  PropertyGraph g = TwoCliques();
+  CommunityAssignment result = LabelPropagation(g, 1000);
+  EXPECT_LT(result.passes, 1000);
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabel) {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  g.AddVertexOfType(0);
+  g.AddVertexOfType(0);
+  CommunityAssignment result = LabelPropagation(g, 5);
+  EXPECT_EQ(result.label[0], 0u);
+  EXPECT_EQ(result.label[1], 1u);
+  EXPECT_EQ(result.num_communities, 2u);
+}
+
+TEST(LargestCommunityTest, CountsByType) {
+  Fig3Graph fig;
+  CommunityAssignment communities = LabelPropagation(fig.g, 10);
+  VertexTypeId job_t = fig.g.schema().FindVertexType("Job");
+  std::vector<VertexId> members =
+      LargestCommunity(fig.g, communities, job_t);
+  EXPECT_FALSE(members.empty());
+  // All members share a single label.
+  for (VertexId v : members) {
+    EXPECT_EQ(communities.label[v], communities.label[members[0]]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WeightedPathAggregate (Q4)
+// ---------------------------------------------------------------------------
+
+TEST(WeightedPathAggregateTest, MaxTimestampAlongPaths) {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  VertexId a = g.AddVertexOfType(0);
+  VertexId b = g.AddVertexOfType(0);
+  VertexId c = g.AddVertexOfType(0);
+  ASSERT_TRUE(g.AddEdgeOfType(a, b, 0, {{"ts", PropertyValue(5)}}).ok());
+  ASSERT_TRUE(g.AddEdgeOfType(b, c, 0, {{"ts", PropertyValue(3)}}).ok());
+  auto result = WeightedPathAggregate(g, a, 4, "ts");
+  ASSERT_EQ(result.size(), 2u);
+  // b via edge ts=5; c via max(5, 3) = 5.
+  EXPECT_EQ(result[0].vertex, b);
+  EXPECT_DOUBLE_EQ(result[0].value, 5);
+  EXPECT_EQ(result[1].vertex, c);
+  EXPECT_DOUBLE_EQ(result[1].value, 5);
+}
+
+TEST(WeightedPathAggregateTest, HopBoundRespected) {
+  Fig3Graph fig;
+  auto hop1 = WeightedPathAggregate(fig.g, fig.j1, 1, "ts");
+  EXPECT_EQ(hop1.size(), 2u);
+  auto hop3 = WeightedPathAggregate(fig.g, fig.j1, 3, "ts");
+  EXPECT_EQ(hop3.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// WeakComponents
+// ---------------------------------------------------------------------------
+
+TEST(WeakComponentsTest, CountsComponents) {
+  Fig3Graph fig;
+  auto [comp, count] = WeakComponents(fig.g);
+  EXPECT_EQ(count, 1u);  // everything hangs off j1
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  g.AddVertexOfType(0);
+  g.AddVertexOfType(0);
+  auto [comp2, count2] = WeakComponents(g);
+  EXPECT_EQ(count2, 2u);
+  EXPECT_NE(comp2[0], comp2[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Path contraction (Fig. 3(c) and (d))
+// ---------------------------------------------------------------------------
+
+TEST(ContractionTest, Fig3JobToJobConnector) {
+  Fig3Graph fig;
+  VertexTypeId job_t = fig.g.schema().FindVertexType("Job");
+  auto result = BuildKHopSameTypeConnector(fig.g, job_t, 2);
+  ASSERT_TRUE(result.ok());
+  const PropertyGraph& view = result->view;
+  // Fig. 3(c) left: j1->j2 and j1->j3.
+  EXPECT_EQ(view.NumVertices(), 3u);
+  EXPECT_EQ(view.NumEdges(), 2u);
+  EXPECT_EQ(result->contracted_paths, 2u);
+  EXPECT_EQ(view.schema().num_edge_types(), 1u);
+  EXPECT_EQ(view.schema().edge_type(0).name, "2_HOP_JOB_TO_JOB");
+  // Lineage mapping returns base ids.
+  EXPECT_EQ(result->view_to_base.size(), view.NumVertices());
+  for (VertexId v = 0; v < view.NumVertices(); ++v) {
+    EXPECT_EQ(view.VertexProperty(v, "orig_id"),
+              PropertyValue(static_cast<int64_t>(result->view_to_base[v])));
+  }
+}
+
+TEST(ContractionTest, Fig3FileToFileConnector) {
+  Fig3Graph fig;
+  VertexTypeId file_t = fig.g.schema().FindVertexType("File");
+  auto result = BuildKHopSameTypeConnector(fig.g, file_t, 2);
+  ASSERT_TRUE(result.ok());
+  // Fig. 3(c) right: f1->f3 and f2->f4.
+  EXPECT_EQ(result->view.NumVertices(), 4u);
+  EXPECT_EQ(result->view.NumEdges(), 2u);
+}
+
+TEST(ContractionTest, DedupMergesParallelPathsWithCount) {
+  // Two jobs connected by two distinct 2-hop paths (via two files).
+  GraphSchema schema = LineageSchema();
+  PropertyGraph g(schema);
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f1 = g.AddVertex("File").value();
+  VertexId f2 = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j1, f1, "w").ok());
+  ASSERT_TRUE(g.AddEdge(f1, j2, "r").ok());
+  ASSERT_TRUE(g.AddEdge(j1, f2, "w").ok());
+  ASSERT_TRUE(g.AddEdge(f2, j2, "r").ok());
+
+  VertexTypeId job_t = schema.FindVertexType("Job");
+  auto dedup = BuildKHopSameTypeConnector(g, job_t, 2);
+  ASSERT_TRUE(dedup.ok());
+  EXPECT_EQ(dedup->view.NumEdges(), 1u);
+  EXPECT_EQ(dedup->view.EdgeProperty(0, "paths"), PropertyValue(2));
+  EXPECT_EQ(dedup->contracted_paths, 2u);
+
+  ContractionSpec spec;
+  spec.k = 2;
+  spec.source_type = job_t;
+  spec.target_type = job_t;
+  spec.deduplicate_pairs = false;
+  auto multi = ContractPaths(g, spec);
+  ASSERT_TRUE(multi.ok());
+  // The literal §VI-A definition: one edge per contracted path.
+  EXPECT_EQ(multi->view.NumEdges(), 2u);
+  EXPECT_EQ(multi->view.NumEdges(), CountSimpleKPaths(g, 2));
+}
+
+TEST(ContractionTest, VariableLengthConnector) {
+  Fig3Graph fig;
+  ContractionSpec spec;
+  spec.k = 0;
+  spec.max_hops = 4;
+  spec.source_type = fig.g.schema().FindVertexType("Job");
+  spec.target_type = spec.source_type;
+  spec.connector_edge_name = "JOB_REACHES";
+  auto result = ContractPaths(fig.g, spec);
+  ASSERT_TRUE(result.ok());
+  // j1 reaches j2 and j3 (2 hops); no other job-job pairs.
+  EXPECT_EQ(result->view.NumEdges(), 2u);
+}
+
+TEST(ContractionTest, SourceToSinkConnector) {
+  Fig3Graph fig;
+  ContractionSpec spec;
+  spec.k = 0;
+  spec.max_hops = 8;
+  spec.sources_and_sinks_only = true;
+  spec.connector_edge_name = "SRC_TO_SINK";
+  auto result = ContractPaths(fig.g, spec);
+  ASSERT_TRUE(result.ok());
+  // Source: j1 (indeg 0). Sinks reachable: f3, f4.
+  EXPECT_EQ(result->view.NumEdges(), 2u);
+  for (EdgeId e = 0; e < result->view.NumEdges(); ++e) {
+    VertexId src = result->view.Edge(e).source;
+    EXPECT_EQ(result->view_to_base[src], fig.j1);
+  }
+}
+
+TEST(ContractionTest, EdgeTypeRestrictedConnector) {
+  Fig3Graph fig;
+  ContractionSpec spec;
+  spec.k = 0;
+  spec.max_hops = 8;
+  spec.edge_types = {fig.g.schema().FindEdgeType("w")};
+  spec.connector_edge_name = "VIA_WRITES";
+  auto result = ContractPaths(fig.g, spec);
+  ASSERT_TRUE(result.ok());
+  // Write edges never chain (Job->File only), so exactly the w-edges
+  // appear as 1-hop contractions.
+  EXPECT_EQ(result->view.NumEdges(), 4u);
+}
+
+TEST(ContractionTest, RejectsBadSpecs) {
+  Fig3Graph fig;
+  ContractionSpec spec;
+  spec.k = -1;
+  EXPECT_FALSE(ContractPaths(fig.g, spec).ok());
+  spec.k = 0;
+  spec.max_hops = 0;
+  EXPECT_FALSE(ContractPaths(fig.g, spec).ok());
+  EXPECT_FALSE(BuildKHopSameTypeConnector(fig.g, kInvalidTypeId, 2).ok());
+  EXPECT_FALSE(BuildKHopSameTypeConnector(fig.g, 99, 2).ok());
+}
+
+TEST(ContractionTest, ConnectorEdgeCountEqualsSimplePathsWithoutDedup) {
+  // Property check on a denser random-ish lineage graph.
+  GraphSchema schema = LineageSchema();
+  PropertyGraph g(schema);
+  std::vector<VertexId> jobs, files;
+  for (int i = 0; i < 10; ++i) jobs.push_back(g.AddVertex("Job").value());
+  for (int i = 0; i < 10; ++i) files.push_back(g.AddVertex("File").value());
+  uint64_t x = 99;
+  for (int i = 0; i < 40; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (i % 2 == 0) {
+      ASSERT_TRUE(
+          g.AddEdge(jobs[(x >> 13) % 10], files[(x >> 29) % 10], "w").ok());
+    } else {
+      ASSERT_TRUE(
+          g.AddEdge(files[(x >> 13) % 10], jobs[(x >> 29) % 10], "r").ok());
+    }
+  }
+  ContractionSpec spec;
+  spec.k = 2;
+  spec.deduplicate_pairs = false;
+  spec.include_closed_paths = false;  // strict simple paths = Fig. 5 count
+  spec.connector_edge_name = "ANY_2";
+  auto result = ContractPaths(g, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->view.NumEdges(), CountSimpleKPaths(g, 2));
+}
+
+TEST(ContractionTest, ClosedPathsProduceSelfEdges) {
+  // Author writes article, article written-by author: the 2-hop
+  // author-to-author contraction must include the closed path (pattern
+  // matching can bind both chain endpoints to the same author).
+  GraphSchema schema;
+  schema.AddVertexType("Author");
+  schema.AddVertexType("Article");
+  ASSERT_TRUE(schema.AddEdgeType("WROTE", "Author", "Article").ok());
+  ASSERT_TRUE(schema.AddEdgeType("WRITTEN_BY", "Article", "Author").ok());
+  PropertyGraph g(schema);
+  VertexId a1 = g.AddVertex("Author").value();
+  VertexId a2 = g.AddVertex("Author").value();
+  VertexId p = g.AddVertex("Article").value();
+  ASSERT_TRUE(g.AddEdge(a1, p, "WROTE").ok());
+  ASSERT_TRUE(g.AddEdge(a2, p, "WROTE").ok());
+  ASSERT_TRUE(g.AddEdge(p, a1, "WRITTEN_BY").ok());
+  ASSERT_TRUE(g.AddEdge(p, a2, "WRITTEN_BY").ok());
+
+  VertexTypeId author_t = schema.FindVertexType("Author");
+  auto with_closed = BuildKHopSameTypeConnector(g, author_t, 2);
+  ASSERT_TRUE(with_closed.ok());
+  // a1->a2, a2->a1, a1->a1, a2->a2.
+  EXPECT_EQ(with_closed->view.NumEdges(), 4u);
+
+  ContractionSpec spec;
+  spec.k = 2;
+  spec.source_type = author_t;
+  spec.target_type = author_t;
+  spec.include_closed_paths = false;
+  spec.connector_edge_name = "COAUTH";
+  auto strict = ContractPaths(g, spec);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->view.NumEdges(), 2u);  // self-loops excluded
+}
+
+}  // namespace
+}  // namespace kaskade::graph

@@ -1,0 +1,709 @@
+// Tests for Kaskade's core: fact extraction, constraint mining rules,
+// view enumeration, size estimation, knapsack, rewriting, and
+// materialization.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/enumerator.h"
+#include "core/fact_extractor.h"
+#include "core/knapsack.h"
+#include "core/materializer.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+#include "core/size_estimator.h"
+#include "core/view_definition.h"
+#include "datasets/generators.h"
+#include "graph/algorithms.h"
+#include "datasets/workloads.h"
+#include "prolog/solver.h"
+#include "query/parser.h"
+
+namespace kaskade::core {
+namespace {
+
+using graph::GraphSchema;
+using graph::PropertyGraph;
+
+GraphSchema ProvSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  EXPECT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  EXPECT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+  return schema;
+}
+
+query::Query ParseOrDie(const std::string& text) {
+  auto q = query::ParseQueryText(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(*q);
+}
+
+// ---------------------------------------------------------------------------
+// Fact extraction (§IV-A1)
+// ---------------------------------------------------------------------------
+
+class FactExtractorTest : public ::testing::Test {
+ protected:
+  bool Proves(const std::string& goal) {
+    prolog::Solver solver(&kb_);
+    auto r = solver.Prove(goal);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && r.value();
+  }
+
+  size_t CountSolutions(const std::string& goal) {
+    prolog::Solver solver(&kb_);
+    auto sols = solver.QueryAll(goal);
+    EXPECT_TRUE(sols.ok()) << sols.status();
+    return sols.ok() ? sols->size() : 0;
+  }
+
+  prolog::KnowledgeBase kb_;
+};
+
+TEST_F(FactExtractorTest, ListingOneEmitsThePaperFacts) {
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  ASSERT_TRUE(ExtractQueryFacts(q, &kb_).ok());
+  // Exactly the facts printed in §IV-A1.
+  EXPECT_TRUE(Proves("queryVertex(q_j1)."));
+  EXPECT_TRUE(Proves("queryVertex(q_f1)."));
+  EXPECT_TRUE(Proves("queryVertex(q_f2)."));
+  EXPECT_TRUE(Proves("queryVertex(q_j2)."));
+  EXPECT_EQ(CountSolutions("queryVertex(X)."), 4u);
+  EXPECT_TRUE(Proves("queryVertexType(q_f1, 'File')."));
+  EXPECT_TRUE(Proves("queryVertexType(q_j1, 'Job')."));
+  EXPECT_TRUE(Proves("queryEdge(q_j1, q_f1)."));
+  EXPECT_TRUE(Proves("queryEdge(q_f2, q_j2)."));
+  EXPECT_EQ(CountSolutions("queryEdge(X, Y)."), 2u);
+  EXPECT_TRUE(Proves("queryEdgeType(q_j1, q_f1, 'WRITES_TO')."));
+  EXPECT_TRUE(Proves("queryEdgeType(q_f2, q_j2, 'IS_READ_BY')."));
+  EXPECT_TRUE(Proves("queryVariableLengthPath(q_f1, q_f2, 0, 8)."));
+}
+
+TEST_F(FactExtractorTest, SchemaFactsMatchPaper) {
+  ASSERT_TRUE(ExtractSchemaFacts(ProvSchema(), &kb_).ok());
+  EXPECT_TRUE(Proves("schemaVertex('Job')."));
+  EXPECT_TRUE(Proves("schemaVertex('File')."));
+  EXPECT_TRUE(Proves("schemaEdge('Job', 'File', 'WRITES_TO')."));
+  EXPECT_TRUE(Proves("schemaEdge('File', 'Job', 'IS_READ_BY')."));
+  EXPECT_EQ(CountSolutions("schemaEdge(X, Y, T)."), 2u);
+}
+
+TEST_F(FactExtractorTest, QueryWithoutMatchRejected) {
+  query::Query q = ParseOrDie("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a");
+  query::Query select_only;
+  query::SelectQuery s;
+  s.from = std::make_unique<query::Query>(std::move(q));
+  select_only.node = std::move(s);
+  // Select over match is fine (facts come from the innermost match).
+  EXPECT_TRUE(ExtractQueryFacts(select_only, &kb_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Constraint mining rules (§IV-A2, Lst. 2 + Lst. 6)
+// ---------------------------------------------------------------------------
+
+class RulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(kb_.Consult(AllRules()).ok());
+    ASSERT_TRUE(ExtractSchemaFacts(ProvSchema(), &kb_).ok());
+    query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+    ASSERT_TRUE(ExtractQueryFacts(q, &kb_).ok());
+  }
+
+  bool Proves(const std::string& goal) {
+    prolog::Solver solver(&kb_);
+    auto r = solver.Prove(goal);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && r.value();
+  }
+
+  std::set<int64_t> KValues(const std::string& query_with_k) {
+    prolog::Solver solver(&kb_);
+    std::set<int64_t> ks;
+    auto n = solver.Query(query_with_k, [&](const prolog::Solution& s) {
+      auto it = s.bindings.find("K");
+      if (it != s.bindings.end() && it->second->is_int()) {
+        ks.insert(it->second->int_value());
+      }
+      return true;
+    });
+    EXPECT_TRUE(n.ok()) << n.status();
+    return ks;
+  }
+
+  prolog::KnowledgeBase kb_;
+};
+
+TEST_F(RulesTest, SchemaKHopWalkAllowsTypeRevisits) {
+  EXPECT_TRUE(Proves("schemaKHopWalk('Job', 'Job', 2)."));
+  EXPECT_TRUE(Proves("schemaKHopWalk('Job', 'Job', 4)."));
+  EXPECT_TRUE(Proves("schemaKHopWalk('Job', 'Job', 10)."));
+  EXPECT_FALSE(Proves("schemaKHopWalk('Job', 'Job', 3)."));
+  EXPECT_TRUE(Proves("schemaKHopWalk('Job', 'File', 5)."));
+  EXPECT_FALSE(Proves("schemaKHopWalk('Job', 'File', 2)."));
+}
+
+TEST_F(RulesTest, SchemaPathOverTypes) {
+  EXPECT_TRUE(Proves("schemaPath('Job', 'File')."));
+  EXPECT_TRUE(Proves("schemaPath('Job', 'Job')."));
+  EXPECT_TRUE(Proves("schemaPath('File', 'File')."));
+}
+
+TEST_F(RulesTest, QueryKHopVariableLengthPathEnumeratesRange) {
+  std::set<int64_t> ks = KValues("queryKHopVariableLengthPath(q_f1, q_f2, K).");
+  std::set<int64_t> expected;
+  for (int64_t k = 0; k <= 8; ++k) expected.insert(k);
+  EXPECT_EQ(ks, expected);
+}
+
+TEST_F(RulesTest, QueryKHopPathComposesChainSegments) {
+  // q_j1 -> q_j2 spans the fixed edge (1) + var path (0..8) + fixed edge
+  // (1): lengths 2..10.
+  std::set<int64_t> ks = KValues("queryKHopPath(q_j1, q_j2, K).");
+  ASSERT_FALSE(ks.empty());
+  EXPECT_EQ(*ks.begin(), 2);
+  EXPECT_EQ(*ks.rbegin(), 10);
+  EXPECT_EQ(ks.size(), 9u);  // every integer in 2..10
+}
+
+TEST_F(RulesTest, QueryPathReachability) {
+  EXPECT_TRUE(Proves("queryPath(q_j1, q_j2)."));
+  EXPECT_TRUE(Proves("queryPath(q_j1, q_f1)."));
+  EXPECT_FALSE(Proves("queryPath(q_j2, q_j1)."));
+}
+
+TEST_F(RulesTest, SourceSinkAndDegreeRules) {
+  EXPECT_TRUE(Proves("queryVertexSource(q_j1)."));
+  EXPECT_TRUE(Proves("queryVertexSink(q_j2)."));
+  EXPECT_FALSE(Proves("queryVertexSource(q_f2)."));
+  EXPECT_TRUE(Proves("queryVertexOutDegree(q_j1, 1)."));
+  EXPECT_TRUE(Proves("queryVertexInDegree(q_j1, 0)."));
+}
+
+TEST_F(RulesTest, PaperSectionFourBExample) {
+  // §IV-B: the valid kHopConnector instantiations for q_j1/q_j2 are
+  // exactly K = 2, 4, 6, 8, 10 with both types Job.
+  std::set<int64_t> ks =
+      KValues("kHopConnector(q_j1, q_j2, 'Job', 'Job', K).");
+  EXPECT_EQ(ks, (std::set<int64_t>{2, 4, 6, 8, 10}));
+  // No odd or cross-type connectors.
+  EXPECT_FALSE(Proves("kHopConnector(q_j1, q_j2, 'Job', 'Job', 3)."));
+  EXPECT_FALSE(Proves("kHopConnector(q_j1, q_j2, 'Job', 'File', K)."));
+}
+
+TEST_F(RulesTest, SummarizerTemplates) {
+  prolog::Solver solver(&kb_);
+  auto sols = solver.QueryAll("vertexInclusionSummarizer(TYPES).");
+  ASSERT_TRUE(sols.ok());
+  ASSERT_EQ(sols->size(), 1u);
+  EXPECT_EQ(sols->front().bindings.at("TYPES")->ToString(),
+            "['File','Job']");
+  // Two-type schema, both used: nothing to remove.
+  EXPECT_FALSE(Proves("vertexRemovalSummarizer(T)."));
+  EXPECT_FALSE(Proves("edgeRemovalSummarizer(T)."));
+}
+
+TEST_F(RulesTest, RemovalSummarizersFireOnWiderSchema) {
+  // Full prov schema has Task/Machine/User and extra edge types.
+  prolog::KnowledgeBase kb;
+  ASSERT_TRUE(kb.Consult(AllRules()).ok());
+  PropertyGraph full = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 5,
+                            .num_files = 5,
+                            .num_tasks = 5,
+                            .num_machines = 2,
+                            .num_users = 2});
+  ASSERT_TRUE(ExtractSchemaFacts(full.schema(), &kb).ok());
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  ASSERT_TRUE(ExtractQueryFacts(q, &kb).ok());
+  prolog::Solver solver(&kb);
+  auto removed = solver.QueryAll("vertexRemovalSummarizer(T).");
+  ASSERT_TRUE(removed.ok());
+  std::set<std::string> removed_types;
+  for (const auto& s : *removed) {
+    removed_types.insert(s.bindings.at("T")->name());
+  }
+  EXPECT_EQ(removed_types,
+            (std::set<std::string>{"Task", "Machine", "User"}));
+  auto removed_edges = solver.QueryAll("edgeRemovalSummarizer(T).");
+  ASSERT_TRUE(removed_edges.ok());
+  EXPECT_EQ(removed_edges->size(), 4u);  // SPAWNS, TRANSFERS_TO, RUNS_ON, SUBMITS
+}
+
+// ---------------------------------------------------------------------------
+// View enumeration (§IV-B)
+// ---------------------------------------------------------------------------
+
+TEST(EnumeratorTest, BlastRadiusCandidates) {
+  GraphSchema schema = ProvSchema();
+  ViewEnumerator enumerator(&schema);
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  EnumerationStats stats;
+  auto candidates = enumerator.Enumerate(q, &stats);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  std::set<std::string> names;
+  for (const CandidateView& c : *candidates) names.insert(c.definition.Name());
+  // The five k-hop job-to-job connectors of §IV-B...
+  EXPECT_TRUE(names.count("khop2[Job->Job]"));
+  EXPECT_TRUE(names.count("khop4[Job->Job]"));
+  EXPECT_TRUE(names.count("khop6[Job->Job]"));
+  EXPECT_TRUE(names.count("khop8[Job->Job]"));
+  EXPECT_TRUE(names.count("khop10[Job->Job]"));
+  // ...and no odd-k ones.
+  EXPECT_FALSE(names.count("khop3[Job->Job]"));
+  EXPECT_GE(stats.instantiations, stats.candidates);
+  EXPECT_GT(stats.inference_steps, 0u);
+}
+
+TEST(EnumeratorTest, MaxKBoundsEnumeration) {
+  GraphSchema schema = ProvSchema();
+  EnumeratorOptions options;
+  options.max_k = 4;
+  ViewEnumerator enumerator(&schema, options);
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  auto candidates = enumerator.Enumerate(q);
+  ASSERT_TRUE(candidates.ok());
+  for (const CandidateView& c : *candidates) {
+    if (c.definition.kind == ViewKind::kKHopConnector) {
+      EXPECT_LE(c.definition.k, 4);
+    }
+  }
+}
+
+TEST(EnumeratorTest, FileToFileConnectorForFileQuery) {
+  GraphSchema schema = ProvSchema();
+  ViewEnumerator enumerator(&schema);
+  query::Query q =
+      ParseOrDie("MATCH (a:File)-[r*1..4]->(b:File) RETURN a, b");
+  auto candidates = enumerator.Enumerate(q);
+  ASSERT_TRUE(candidates.ok());
+  std::set<std::string> names;
+  for (const CandidateView& c : *candidates) names.insert(c.definition.Name());
+  EXPECT_TRUE(names.count("khop2[File->File]"));
+  EXPECT_TRUE(names.count("khop4[File->File]"));
+  EXPECT_FALSE(names.count("khop2[Job->Job]"));
+}
+
+TEST(EnumeratorTest, UnconstrainedSpaceGrowsLikeMToTheK) {
+  GraphSchema schema = ProvSchema();  // M = 2 edge types, one 2-cycle
+  ViewEnumerator enumerator(&schema);
+  auto walks4 = enumerator.CountUnconstrainedSchemaWalks(4);
+  auto walks8 = enumerator.CountUnconstrainedSchemaWalks(8);
+  ASSERT_TRUE(walks4.ok() && walks8.ok());
+  // Job<->File: exactly one walk per (start type, length): sum over
+  // k=1..max of 2 = 2*max.
+  EXPECT_EQ(*walks4, 8u);
+  EXPECT_EQ(*walks8, 16u);
+  // Denser schema: add a second Job->File edge type; walks multiply.
+  GraphSchema dense = ProvSchema();
+  ASSERT_TRUE(dense.AddEdgeType("APPENDS_TO", "Job", "File").ok());
+  ViewEnumerator dense_enum(&dense);
+  auto dense_walks = dense_enum.CountUnconstrainedSchemaWalks(8);
+  ASSERT_TRUE(dense_walks.ok());
+  EXPECT_GT(*dense_walks, 4 * *walks8);  // super-linear growth in M
+}
+
+TEST(EnumeratorTest, ProceduralBaselineMatchesWalkCounts) {
+  GraphSchema schema = ProvSchema();
+  // Alg. 1 builds the set of k-length schema paths; on the 2-type cycle
+  // there is exactly one k-path per start type.
+  EXPECT_EQ(ViewEnumerator::ProceduralKHopSchemaPaths(schema, 1), 2u);
+  EXPECT_EQ(ViewEnumerator::ProceduralKHopSchemaPaths(schema, 2), 2u);
+  EXPECT_EQ(ViewEnumerator::ProceduralKHopSchemaPaths(schema, 5), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Size estimation (§V-A, Eq. 1-3)
+// ---------------------------------------------------------------------------
+
+TEST(SizeEstimatorTest, ErdosRenyiOnCompleteDigraph) {
+  // K4 complete digraph: n=4, m=12. 2-length simple paths: 4*3*2 = 24.
+  // ER expectation: C(4,3) * (12/6)^2 = 4 * 4 = 16 (model underestimates
+  // because it ignores ordering of the k+1 subset -- still same order).
+  double est = ErdosRenyiPathEstimate(4, 12, 2);
+  EXPECT_NEAR(est, 16.0, 1e-6);
+  EXPECT_EQ(ErdosRenyiPathEstimate(4, 0, 2), 0);
+  EXPECT_EQ(ErdosRenyiPathEstimate(2, 1, 5), 0);  // k+1 > n
+  EXPECT_GT(ErdosRenyiPathEstimate(1'000'000'000, 10'000'000'000ull, 2), 0);
+}
+
+TEST(SizeEstimatorTest, HomogeneousEstimatorTracksActualOnSocialGraph) {
+  PropertyGraph g = datasets::MakeSocialGraph(
+      datasets::SocialOptions{.num_vertices = 2000, .edges_per_vertex = 5});
+  graph::GraphStats stats = graph::GraphStats::Compute(g);
+  uint64_t actual = graph::CountSimpleKPaths(g, 2, 20'000'000);
+  double lo = HomogeneousPathEstimate(stats, 2, 50);
+  double hi = HomogeneousPathEstimate(stats, 2, 95);
+  EXPECT_GT(hi, lo);
+  // Power-law out-degrees: the median-based estimate sits below the
+  // actual count and the 95th-percentile one brackets it from above
+  // within an order of magnitude (the Fig. 5 shape).
+  EXPECT_LT(lo, static_cast<double>(actual));
+  EXPECT_GT(hi * 10, static_cast<double>(actual));
+}
+
+TEST(SizeEstimatorTest, ErdosRenyiUnderestimatesPowerLawGraphs) {
+  // The §V-A claim: Eq. (1)'s uniform-edge assumption underestimates
+  // path counts on skewed graphs, increasingly so as the tail gets
+  // heavier (hub degrees enter the true count as deg^k).
+  PropertyGraph g = datasets::MakeSocialGraph(
+      datasets::SocialOptions{.num_vertices = 2000,
+                              .edges_per_vertex = 5,
+                              .zipf_alpha = 1.7,
+                              .max_fanout = 400});
+  uint64_t actual = graph::CountSimple2Paths(g);
+  double er = ErdosRenyiPathEstimate(g.NumVertices(), g.NumEdges(), 2);
+  EXPECT_LT(er * 5, static_cast<double>(actual));
+}
+
+TEST(SizeEstimatorTest, HeterogeneousSumsOverSourceTypes) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 500,
+                            .num_files = 1200,
+                            .include_auxiliary = false});
+  graph::GraphStats stats = graph::GraphStats::Compute(g);
+  uint64_t actual = graph::CountSimpleKPaths(g, 2, 500'000'000);
+  double hi = HeterogeneousPathEstimate(g, stats, 2, 95);
+  double max_est = HeterogeneousPathEstimate(g, stats, 2, 100);
+  EXPECT_GT(max_est, hi * 0.99);
+  // alpha=100 is a true upper bound (§V-A).
+  EXPECT_GE(max_est, static_cast<double>(actual));
+  // Dispatch picks the heterogeneous formula.
+  EXPECT_EQ(EstimateKPathCount(g, stats, 2, 95), hi);
+}
+
+TEST(SizeEstimatorTest, SummarizerSizesAreExactTypeCounts) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 100, .num_files = 200});
+  graph::GraphStats stats = graph::GraphStats::Compute(g);
+  ViewDefinition inclusion;
+  inclusion.kind = ViewKind::kVertexInclusionSummarizer;
+  inclusion.type_list = {"Job", "File"};
+  double est = EstimateViewSizeEdges(g, stats, inclusion, 95);
+  size_t expected = g.NumEdgesOfType(g.schema().FindEdgeType("WRITES_TO")) +
+                    g.NumEdgesOfType(g.schema().FindEdgeType("IS_READ_BY"));
+  EXPECT_DOUBLE_EQ(est, static_cast<double>(expected));
+
+  ViewDefinition removal;
+  removal.kind = ViewKind::kEdgeRemovalSummarizer;
+  removal.type_list = {"SUBMITS"};
+  double est2 = EstimateViewSizeEdges(g, stats, removal, 95);
+  EXPECT_DOUBLE_EQ(
+      est2, static_cast<double>(
+                g.NumEdges() -
+                g.NumEdgesOfType(g.schema().FindEdgeType("SUBMITS"))));
+}
+
+// ---------------------------------------------------------------------------
+// Knapsack (§V-B)
+// ---------------------------------------------------------------------------
+
+TEST(KnapsackTest, SmallExactInstance) {
+  std::vector<KnapsackItem> items{{60, 10}, {100, 20}, {120, 30}};
+  KnapsackResult result = SolveKnapsackBranchAndBound(items, 50);
+  EXPECT_DOUBLE_EQ(result.total_value, 220);  // items 1 + 2
+  EXPECT_EQ(result.selected, (std::vector<size_t>{1, 2}));
+}
+
+TEST(KnapsackTest, GreedyIsSuboptimalWhereBnBIsNot) {
+  // Classic density trap: greedy takes the densest item first (value 10,
+  // weight 5) and then cannot fit either remaining item.
+  std::vector<KnapsackItem> items{{10, 5}, {6, 4}, {6, 4}};
+  KnapsackResult greedy = SolveKnapsackGreedy(items, 8);
+  KnapsackResult exact = SolveKnapsackBranchAndBound(items, 8);
+  EXPECT_DOUBLE_EQ(greedy.total_value, 10);
+  EXPECT_DOUBLE_EQ(exact.total_value, 12);
+}
+
+TEST(KnapsackTest, EdgeCases) {
+  EXPECT_TRUE(SolveKnapsackBranchAndBound({}, 10).selected.empty());
+  std::vector<KnapsackItem> items{{5, 100}};
+  EXPECT_TRUE(SolveKnapsackBranchAndBound(items, 10).selected.empty());
+  std::vector<KnapsackItem> zero_weight{{5, 0}, {3, 0}};
+  KnapsackResult r = SolveKnapsackBranchAndBound(zero_weight, 1);
+  EXPECT_DOUBLE_EQ(r.total_value, 8);
+  std::vector<KnapsackItem> zero_value{{0, 1}};
+  EXPECT_TRUE(SolveKnapsackBranchAndBound(zero_value, 10).selected.empty());
+}
+
+/// Property sweep: branch-and-bound matches exact DP on random instances.
+class KnapsackPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackPropertyTest, BnBMatchesDP) {
+  uint64_t x = static_cast<uint64_t>(GetParam()) * 2654435761u + 1;
+  auto next = [&x]() {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x >> 33;
+  };
+  std::vector<KnapsackItem> items;
+  size_t n = 5 + next() % 12;
+  for (size_t i = 0; i < n; ++i) {
+    // Integer weights so the scaled DP is exact.
+    items.push_back(KnapsackItem{static_cast<double>(1 + next() % 100),
+                                 static_cast<double>(1 + next() % 20)});
+  }
+  double capacity = static_cast<double>(20 + next() % 60);
+  KnapsackResult bnb = SolveKnapsackBranchAndBound(items, capacity);
+  KnapsackResult dp = SolveKnapsackDP(items, capacity,
+                                      static_cast<size_t>(capacity));
+  EXPECT_DOUBLE_EQ(bnb.total_value, dp.total_value)
+      << "seed=" << GetParam() << " n=" << n << " cap=" << capacity;
+  EXPECT_LE(bnb.total_weight, capacity);
+  EXPECT_LE(dp.total_weight, capacity);
+  // Greedy never beats the exact solvers.
+  KnapsackResult greedy = SolveKnapsackGreedy(items, capacity);
+  EXPECT_LE(greedy.total_value, bnb.total_value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackPropertyTest,
+                         ::testing::Range(1, 26));
+
+// ---------------------------------------------------------------------------
+// Rewriter (§V-C)
+// ---------------------------------------------------------------------------
+
+ViewDefinition JobToJob2Hop() {
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "Job";
+  def.target_type = "Job";
+  return def;
+}
+
+TEST(RewriterTest, ChainExtraction) {
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  auto chain = ExtractChain(*q.InnermostMatch());
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  EXPECT_EQ(chain->node_names,
+            (std::vector<std::string>{"q_j1", "q_f1", "q_f2", "q_j2"}));
+  EXPECT_EQ(chain->min_total_hops, 2);   // 1 + 0 + 1
+  EXPECT_EQ(chain->max_total_hops, 10);  // 1 + 8 + 1
+}
+
+TEST(RewriterTest, BranchingPatternsRejected) {
+  query::Query q = ParseOrDie(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (a:Job)-[:WRITES_TO]->(g:File) "
+      "RETURN a");
+  EXPECT_FALSE(ExtractChain(*q.InnermostMatch()).ok());
+}
+
+TEST(RewriterTest, ListingOneBecomesListingFour) {
+  GraphSchema schema = ProvSchema();
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  auto rewritten = RewriteQueryWithView(q, JobToJob2Hop(), schema);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  const query::MatchQuery* match = rewritten->InnermostMatch();
+  ASSERT_NE(match, nullptr);
+  ASSERT_EQ(match->edges.size(), 1u);
+  EXPECT_EQ(match->edges[0].type, "2_HOP_JOB_TO_JOB");
+  EXPECT_TRUE(match->edges[0].variable_length);
+  // Exact contraction of raw hop range 2..10 with k = 2: *1..5 (see the
+  // rewriter.h note on the paper's *1..4).
+  EXPECT_EQ(match->edges[0].min_hops, 1);
+  EXPECT_EQ(match->edges[0].max_hops, 5);
+  // Outer SELECT layers survive untouched.
+  ASSERT_TRUE(rewritten->is_select());
+  EXPECT_EQ(rewritten->select().group_by[0].ToString(), "A.pipelineName");
+}
+
+TEST(RewriterTest, RewriteWorksOnFullRawSchemaToo) {
+  // Tasks/machines are type-reachable from Job but can never lie on a
+  // job-to-job path; the co-reachability analysis must see through that.
+  PropertyGraph raw = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 5, .num_files = 5, .num_tasks = 5});
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  auto rewritten = RewriteQueryWithView(q, JobToJob2Hop(), raw.schema());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+}
+
+TEST(RewriterTest, InteriorVertexReturnedBlocksRewrite) {
+  GraphSchema schema = ProvSchema();
+  query::Query q = ParseOrDie(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, f, b");
+  EXPECT_FALSE(RewriteQueryWithView(q, JobToJob2Hop(), schema).ok());
+}
+
+TEST(RewriterTest, InteriorConditionBlocksRewrite) {
+  GraphSchema schema = ProvSchema();
+  query::Query q = ParseOrDie(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "WHERE f.bytes > 100 RETURN a, b");
+  EXPECT_FALSE(RewriteQueryWithView(q, JobToJob2Hop(), schema).ok());
+}
+
+TEST(RewriterTest, NonForcedEdgeTypeBlocksRewrite) {
+  GraphSchema schema = ProvSchema();
+  ASSERT_TRUE(schema.AddEdgeType("APPENDS_TO", "Job", "File").ok());
+  query::Query q = ParseOrDie(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b");
+  // WRITES_TO is no longer the unique Job->File type: contraction over
+  // "any 2-hop path" would also cover APPENDS_TO paths.
+  EXPECT_FALSE(RewriteQueryWithView(q, JobToJob2Hop(), schema).ok());
+}
+
+TEST(RewriterTest, EndpointTypeMismatchBlocksRewrite) {
+  GraphSchema schema = ProvSchema();
+  query::Query q =
+      ParseOrDie("MATCH (a:File)-[r*2..2]->(b:File) RETURN a, b");
+  EXPECT_FALSE(RewriteQueryWithView(q, JobToJob2Hop(), schema).ok());
+  ViewDefinition file_view = JobToJob2Hop();
+  file_view.source_type = "File";
+  file_view.target_type = "File";
+  EXPECT_TRUE(RewriteQueryWithView(q, file_view, schema).ok());
+}
+
+TEST(RewriterTest, HopRangeWithoutMultipleOfKBlocksRewrite) {
+  GraphSchema schema = ProvSchema();
+  // Job-to-file paths have odd lengths; a 2-hop job connector can't help.
+  query::Query q =
+      ParseOrDie("MATCH (a:Job)-[r*1..1]->(b:File) RETURN a, b");
+  EXPECT_FALSE(RewriteQueryWithView(q, JobToJob2Hop(), schema).ok());
+}
+
+TEST(RewriterTest, SummarizerIdentityRewrite) {
+  PropertyGraph raw = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 5, .num_files = 5, .num_tasks = 5});
+  ViewDefinition filter;
+  filter.kind = ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  EXPECT_TRUE(SummarizerCoversQuery(filter, q, raw.schema()));
+  auto rewritten = RewriteQueryWithView(q, filter, raw.schema());
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->ToString(), q.ToString());
+  // A summarizer dropping File cannot serve the query.
+  ViewDefinition bad;
+  bad.kind = ViewKind::kVertexInclusionSummarizer;
+  bad.type_list = {"Job", "Task"};
+  EXPECT_FALSE(SummarizerCoversQuery(bad, q, raw.schema()));
+}
+
+TEST(RewriterTest, VertexRemovalCoverage) {
+  PropertyGraph raw = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 5, .num_files = 5, .num_tasks = 5});
+  ViewDefinition removal;
+  removal.kind = ViewKind::kVertexRemovalSummarizer;
+  removal.type_list = {"Task", "Machine", "User"};
+  query::Query q = ParseOrDie(datasets::BlastRadiusQueryText());
+  EXPECT_TRUE(SummarizerCoversQuery(removal, q, raw.schema()));
+  removal.type_list = {"File"};
+  EXPECT_FALSE(SummarizerCoversQuery(removal, q, raw.schema()));
+}
+
+// ---------------------------------------------------------------------------
+// Materializer (§V-B)
+// ---------------------------------------------------------------------------
+
+TEST(MaterializerTest, VertexInclusionFiltersProvGraph) {
+  PropertyGraph raw = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 50, .num_files = 100,
+                            .num_tasks = 80});
+  ViewDefinition filter;
+  filter.kind = ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  auto view = Materialize(raw, filter);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->graph.NumVertices(), 150u);
+  size_t lineage_edges =
+      raw.NumEdgesOfType(raw.schema().FindEdgeType("WRITES_TO")) +
+      raw.NumEdgesOfType(raw.schema().FindEdgeType("IS_READ_BY"));
+  EXPECT_EQ(view->graph.NumEdges(), lineage_edges);
+  EXPECT_EQ(view->graph.schema().num_vertex_types(), 2u);
+  // Properties carried over, plus lineage.
+  EXPECT_FALSE(view->graph.VertexProperty(0, "orig_id").is_null());
+}
+
+TEST(MaterializerTest, EdgeRemovalKeepsVertices) {
+  PropertyGraph raw = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 20, .num_files = 30,
+                            .num_tasks = 10});
+  ViewDefinition removal;
+  removal.kind = ViewKind::kEdgeRemovalSummarizer;
+  removal.type_list = {"SUBMITS", "RUNS_ON"};
+  auto view = Materialize(raw, removal);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->graph.NumVertices(), raw.NumVertices());
+  EXPECT_EQ(view->graph.NumEdges(),
+            raw.NumEdges() -
+                raw.NumEdgesOfType(raw.schema().FindEdgeType("SUBMITS")) -
+                raw.NumEdgesOfType(raw.schema().FindEdgeType("RUNS_ON")));
+}
+
+TEST(MaterializerTest, ConnectorDelegatesToContraction) {
+  PropertyGraph filtered = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 50, .num_files = 100,
+                            .include_auxiliary = false});
+  auto view = Materialize(filtered, JobToJob2Hop());
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_GT(view->graph.NumEdges(), 0u);
+  EXPECT_EQ(view->graph.schema().edge_type(0).name, "2_HOP_JOB_TO_JOB");
+  // Every view vertex is a Job.
+  for (graph::VertexId v = 0; v < view->graph.NumVertices(); ++v) {
+    EXPECT_EQ(view->graph.VertexTypeName(v), "Job");
+  }
+}
+
+TEST(MaterializerTest, VertexAggregatorGroupsByProperty) {
+  PropertyGraph filtered = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 40, .num_files = 60,
+                            .include_auxiliary = false});
+  ViewDefinition agg;
+  agg.kind = ViewKind::kVertexAggregatorSummarizer;
+  agg.source_type = "Job";
+  agg.group_by_property = "pipelineName";
+  auto view = Materialize(filtered, agg);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // 20 pipelines (or fewer) supervertices + all files.
+  size_t file_count = filtered.NumVerticesOfType(
+      filtered.schema().FindVertexType("File"));
+  EXPECT_LE(view->graph.NumVertices(), 20 + file_count);
+  EXPECT_LT(view->graph.NumVertices(), filtered.NumVertices());
+  // Supervertices carry member counts and summed CPU.
+  graph::VertexTypeId job_t = view->graph.schema().FindVertexType("Job");
+  bool found_members = false;
+  for (graph::VertexId v = 0; v < view->graph.NumVertices(); ++v) {
+    if (view->graph.VertexType(v) == job_t &&
+        !view->graph.VertexProperty(v, "members").is_null()) {
+      found_members = true;
+      EXPECT_FALSE(view->graph.VertexProperty(v, "CPU").is_null());
+    }
+  }
+  EXPECT_TRUE(found_members);
+}
+
+TEST(MaterializerTest, UnknownTypesRejected) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      datasets::ProvOptions{.num_jobs = 5, .num_files = 5});
+  ViewDefinition bad = JobToJob2Hop();
+  bad.source_type = "Nope";
+  EXPECT_FALSE(Materialize(g, bad).ok());
+  ViewDefinition bad2;
+  bad2.kind = ViewKind::kVertexInclusionSummarizer;
+  bad2.type_list = {"Nope"};
+  EXPECT_FALSE(Materialize(g, bad2).ok());
+}
+
+TEST(ViewDefinitionTest, NamesAndCypherRendering) {
+  ViewDefinition v = JobToJob2Hop();
+  EXPECT_EQ(v.Name(), "khop2[Job->Job]");
+  EXPECT_EQ(v.EdgeName(), "2_HOP_JOB_TO_JOB");
+  EXPECT_NE(v.ToCypher().find("MERGE (x)-[:2_HOP_JOB_TO_JOB]->(y)"),
+            std::string::npos);
+  ViewDefinition s;
+  s.kind = ViewKind::kVertexInclusionSummarizer;
+  s.type_list = {"Job", "File"};
+  EXPECT_EQ(s.Name(), "vinc[Job,File]");
+  EXPECT_TRUE(IsConnector(v.kind));
+  EXPECT_FALSE(IsConnector(s.kind));
+}
+
+}  // namespace
+}  // namespace kaskade::core

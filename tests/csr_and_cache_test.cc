@@ -1,0 +1,224 @@
+// Tests for the CSR snapshot substrate, the same-vertex-type connector
+// rewrite, and the facade's plan cache.
+
+#include <gtest/gtest.h>
+
+#include "core/kaskade.h"
+#include "core/materializer.h"
+#include "core/rewriter.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace kaskade {
+namespace {
+
+using graph::CsrGraph;
+using graph::PropertyGraph;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// CSR
+// ---------------------------------------------------------------------------
+
+TEST(CsrTest, TopologyMatchesSource) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      {.num_jobs = 30, .num_files = 60, .num_tasks = 20});
+  CsrGraph csr = CsrGraph::Build(g);
+  ASSERT_EQ(csr.NumVertices(), g.NumVertices());
+  ASSERT_EQ(csr.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(csr.OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(csr.InDegree(v), g.InDegree(v));
+    EXPECT_EQ(csr.VertexType(v), g.VertexType(v));
+    // Neighbor multisets agree.
+    std::multiset<VertexId> expected;
+    for (graph::EdgeId e : g.OutEdges(v)) {
+      expected.insert(g.Edge(e).target);
+    }
+    std::multiset<VertexId> got(csr.OutNeighbors(v).begin(),
+                                csr.OutNeighbors(v).end());
+    EXPECT_EQ(got, expected) << "vertex " << v;
+  }
+}
+
+TEST(CsrTest, EmptyGraph) {
+  graph::GraphSchema schema;
+  schema.AddVertexType("V");
+  PropertyGraph g(schema);
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.NumVertices(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+}
+
+/// CSR traversals must agree with the adjacency-list implementations.
+class CsrEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrEquivalenceTest, ReachabilityMatches) {
+  PropertyGraph g =
+      datasets::MakeSocialGraph({.num_vertices = 200,
+                                 .seed = static_cast<uint64_t>(GetParam())});
+  CsrGraph csr = CsrGraph::Build(g);
+  graph::TraversalOptions fwd;
+  fwd.max_hops = 3;
+  graph::TraversalOptions bwd = fwd;
+  bwd.direction = graph::Direction::kBackward;
+  for (VertexId v = 0; v < g.NumVertices(); v += 7) {
+    EXPECT_EQ(CsrCountReachable(csr, v, 3, false),
+              graph::CountReachable(g, v, fwd));
+    EXPECT_EQ(CsrCountReachable(csr, v, 3, true),
+              graph::CountReachable(g, v, bwd));
+  }
+}
+
+TEST_P(CsrEquivalenceTest, LabelPropagationMatches) {
+  PropertyGraph g =
+      datasets::MakeSocialGraph({.num_vertices = 150,
+                                 .seed = static_cast<uint64_t>(GetParam())});
+  CsrGraph csr = CsrGraph::Build(g);
+  auto adjacency = graph::LabelPropagation(g, 10);
+  auto csr_labels = graph::CsrLabelPropagation(csr, 10);
+  EXPECT_EQ(adjacency.label, csr_labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Same-vertex-type connector rewrite
+// ---------------------------------------------------------------------------
+
+core::ViewDefinition SameTypeView(const std::string& type, int k) {
+  core::ViewDefinition def;
+  def.kind = core::ViewKind::kSameVertexTypeConnector;
+  def.k = k;
+  def.source_type = type;
+  def.target_type = type;
+  return def;
+}
+
+TEST(SameTypeRewriteTest, HomogeneousReachabilityQueryRewrites) {
+  // Small and sparse: variable-length contraction enumerates *all*
+  // simple paths up to 4 hops, which explodes on dense reciprocal
+  // graphs (that cost is the paper's argument for the cost model).
+  PropertyGraph g = datasets::MakeSocialGraph(
+      {.num_vertices = 60, .edges_per_vertex = 2, .reciprocal_prob = 0.2});
+  core::ViewDefinition def = SameTypeView("Person", 4);
+  auto q = query::ParseQueryText(
+      "MATCH (a:Person)-[r*1..4]->(b:Person) RETURN a, b");
+  ASSERT_TRUE(q.ok());
+  auto rewritten = core::RewriteQueryWithView(*q, def, g.schema());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  const query::MatchQuery* match = rewritten->InnermostMatch();
+  ASSERT_EQ(match->edges.size(), 1u);
+  EXPECT_FALSE(match->edges[0].variable_length);  // one connector hop
+  EXPECT_EQ(match->edges[0].type, "CONN_PERSON_TO_PERSON");
+
+  // Result equivalence against the materialized view.
+  auto view = core::Materialize(g, def);
+  ASSERT_TRUE(view.ok());
+  query::QueryExecutor raw_exec(&g);
+  query::QueryExecutor view_exec(&view->graph);
+  auto raw = raw_exec.Execute(*q);
+  auto over_view = view_exec.Execute(*rewritten);
+  ASSERT_TRUE(raw.ok() && over_view.ok());
+  // Map view rows to base ids and compare as sets.
+  std::set<std::pair<int64_t, int64_t>> raw_pairs;
+  for (const auto& row : raw->rows()) {
+    raw_pairs.emplace(row[0].as_int(), row[1].as_int());
+  }
+  std::set<std::pair<int64_t, int64_t>> view_pairs;
+  for (const auto& row : over_view->rows()) {
+    auto a = static_cast<VertexId>(row[0].as_int());
+    auto b = static_cast<VertexId>(row[1].as_int());
+    view_pairs.emplace(view->graph.VertexProperty(a, "orig_id").as_int(),
+                       view->graph.VertexProperty(b, "orig_id").as_int());
+  }
+  EXPECT_EQ(raw_pairs, view_pairs);
+  EXPECT_FALSE(raw_pairs.empty());
+}
+
+TEST(SameTypeRewriteTest, MisalignedWindowsRejected) {
+  PropertyGraph g = datasets::MakeSocialGraph({.num_vertices = 50});
+  // View merges 1..4; on a self-loop-type schema every length is
+  // feasible, so narrower or wider query windows are inexact.
+  core::ViewDefinition def = SameTypeView("Person", 4);
+  for (const char* text :
+       {"MATCH (a:Person)-[r*2..4]->(b:Person) RETURN a, b",    // lr too high
+        "MATCH (a:Person)-[r*1..3]->(b:Person) RETURN a, b",    // ur < view k
+        "MATCH (a:Person)-[r*1..6]->(b:Person) RETURN a, b"}) { // ur > view k
+    auto q = query::ParseQueryText(text);
+    ASSERT_TRUE(q.ok());
+    EXPECT_FALSE(core::RewriteQueryWithView(*q, def, g.schema()).ok())
+        << text;
+  }
+}
+
+TEST(SameTypeRewriteTest, ParityGapsPermitWiderWindows) {
+  // Bipartite lineage schema: job-to-job paths only at even lengths, so
+  // a query window of 1..4 aligns exactly with a view bound of 4 even
+  // though their ends differ from the feasible lengths {2, 4}.
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      {.num_jobs = 40, .num_files = 80, .include_auxiliary = false});
+  core::ViewDefinition def = SameTypeView("Job", 4);
+  auto q = query::ParseQueryText(datasets::AncestorsQueryText("Job", 4));
+  ASSERT_TRUE(q.ok());
+  auto rewritten = core::RewriteQueryWithView(*q, def, g.schema());
+  EXPECT_TRUE(rewritten.ok()) << rewritten.status();
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, RepeatedQueriesHitTheCache) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 50, .num_files = 100, .include_auxiliary = false});
+  core::Kaskade engine(std::move(base));
+  core::ViewDefinition connector;
+  connector.kind = core::ViewKind::kKHopConnector;
+  connector.k = 2;
+  connector.source_type = "Job";
+  connector.target_type = "Job";
+  ASSERT_TRUE(engine.AddMaterializedView(connector).ok());
+
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  auto first = engine.Execute(text);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+  auto second = engine.Execute(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  // Same plan, same results.
+  EXPECT_EQ(second->view_name, first->view_name);
+  EXPECT_EQ(second->table.num_rows(), first->table.num_rows());
+}
+
+TEST(PlanCacheTest, CatalogChangesInvalidate) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 50, .num_files = 100, .include_auxiliary = false});
+  core::Kaskade engine(std::move(base));
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  auto before = engine.Execute(text);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->used_view);
+
+  core::ViewDefinition connector;
+  connector.kind = core::ViewKind::kKHopConnector;
+  connector.k = 2;
+  connector.source_type = "Job";
+  connector.target_type = "Job";
+  ASSERT_TRUE(engine.AddMaterializedView(connector).ok());
+  // The cached raw plan must not survive the catalog change.
+  auto after = engine.Execute(text);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->used_view);
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+}
+
+}  // namespace
+}  // namespace kaskade

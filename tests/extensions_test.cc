@@ -1,0 +1,281 @@
+// Tests for the extension features beyond the paper's core: graph
+// serialization, predicate summarizers (footnote 5), and their
+// interaction with rewriting and maintenance.
+
+#include <gtest/gtest.h>
+
+#include "core/maintenance.h"
+#include "core/materializer.h"
+#include "core/rewriter.h"
+#include "datasets/generators.h"
+#include "graph/serialization.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace kaskade {
+namespace {
+
+using core::EvalPredicate;
+using core::Materialize;
+using core::PredicateOp;
+using core::ViewDefinition;
+using core::ViewKind;
+using graph::GraphFromString;
+using graph::GraphToString;
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializationTest, RoundTripsSmallGraph) {
+  graph::GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  ASSERT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  PropertyGraph g(schema);
+  VertexId j = g.AddVertex("Job", {{"CPU", PropertyValue(2.5)},
+                                   {"name", PropertyValue("job with spaces")},
+                                   {"flag", PropertyValue(true)},
+                                   {"nothing", PropertyValue()}})
+                   .value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j, f, "WRITES_TO", {{"ts", PropertyValue(42)}}).ok());
+
+  std::string text = GraphToString(g);
+  auto loaded = GraphFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumVertices(), 2u);
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+  EXPECT_EQ(loaded->VertexProperty(0, "CPU"), PropertyValue(2.5));
+  EXPECT_EQ(loaded->VertexProperty(0, "name"),
+            PropertyValue("job with spaces"));
+  EXPECT_EQ(loaded->VertexProperty(0, "flag"), PropertyValue(true));
+  EXPECT_TRUE(loaded->VertexProperty(0, "nothing").is_null());
+  EXPECT_EQ(loaded->EdgeProperty(0, "ts"), PropertyValue(42));
+  EXPECT_EQ(loaded->EdgeTypeName(0), "WRITES_TO");
+  // Round-trip fixed point: serializing the loaded graph is identical.
+  EXPECT_EQ(GraphToString(*loaded), text);
+}
+
+TEST(SerializationTest, EscapesHostileStrings) {
+  graph::GraphSchema schema;
+  schema.AddVertexType("V Type");  // type name with a space
+  PropertyGraph g(schema);
+  g.AddVertexOfType(0, {{"weird key =", PropertyValue("a=b \\ c\nnewline")}});
+  auto loaded = GraphFromString(GraphToString(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->schema().vertex_type_name(0), "V Type");
+  EXPECT_EQ(loaded->VertexProperty(0, "weird key ="),
+            PropertyValue("a=b \\ c\nnewline"));
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(GraphFromString("").ok());
+  EXPECT_FALSE(GraphFromString("not a graph\n").ok());
+  EXPECT_FALSE(GraphFromString("kaskade-graph 99\n").ok());
+  EXPECT_FALSE(
+      GraphFromString("kaskade-graph 1\nvertex NoSuchType\n").ok());
+  EXPECT_FALSE(GraphFromString("kaskade-graph 1\nbogus record\n").ok());
+  EXPECT_FALSE(GraphFromString(
+                   "kaskade-graph 1\nvtype V\nedge 0 1 MISSING\n")
+                   .ok());
+}
+
+/// Property sweep: generated datasets round-trip losslessly.
+class SerializationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationPropertyTest, GeneratedGraphsRoundTrip) {
+  PropertyGraph g = [&]() -> PropertyGraph {
+    switch (GetParam()) {
+      case 0:
+        return datasets::MakeProvenanceGraph(
+            {.num_jobs = 30, .num_files = 60, .num_tasks = 20});
+      case 1:
+        return datasets::MakeDblpGraph(
+            {.num_authors = 40, .num_articles = 80});
+      case 2:
+        return datasets::MakeSocialGraph({.num_vertices = 100});
+      default:
+        return datasets::MakeRoadGraph({.width = 8, .height = 8});
+    }
+  }();
+  std::string text = GraphToString(g);
+  auto loaded = GraphFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  EXPECT_EQ(GraphToString(*loaded), text);
+  // Spot-check topology.
+  for (VertexId v = 0; v < g.NumVertices(); v += 17) {
+    EXPECT_EQ(loaded->OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(loaded->InDegree(v), g.InDegree(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SerializationPropertyTest,
+                         ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Predicate summarizers (footnote 5)
+// ---------------------------------------------------------------------------
+
+TEST(PredicateTest, EvalPredicateOperators) {
+  PropertyValue five(5);
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kEq, PropertyValue(5)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kNe, PropertyValue(6)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kLt, PropertyValue(6)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kLe, PropertyValue(5)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kGt, PropertyValue(4)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kGe, PropertyValue(5.0)));
+  EXPECT_FALSE(EvalPredicate(five, PredicateOp::kGt, PropertyValue(5)));
+  EXPECT_TRUE(EvalPredicate(five, PredicateOp::kNone, PropertyValue(99)));
+}
+
+PropertyGraph SmallProv() {
+  return datasets::MakeProvenanceGraph(
+      {.num_jobs = 60, .num_files = 120, .include_auxiliary = false});
+}
+
+TEST(PredicateTest, VertexPredicateShrinksView) {
+  PropertyGraph g = SmallProv();
+  ViewDefinition plain;
+  plain.kind = ViewKind::kVertexInclusionSummarizer;
+  plain.type_list = {"Job", "File"};
+  ViewDefinition filtered = plain;
+  filtered.predicate_property = "CPU";
+  filtered.predicate_op = PredicateOp::kGt;
+  filtered.predicate_value = PropertyValue(50.0);
+
+  auto all = Materialize(g, plain);
+  auto hot = Materialize(g, filtered);
+  ASSERT_TRUE(all.ok() && hot.ok());
+  EXPECT_LT(hot->graph.NumVertices(), all->graph.NumVertices());
+  EXPECT_LT(hot->graph.NumEdges(), all->graph.NumEdges());
+  // Every kept Job satisfies the predicate; Files have no CPU property
+  // (null fails CPU > 50), so only jobs survive... null < 50 -> dropped.
+  graph::VertexTypeId job_t = hot->graph.schema().FindVertexType("Job");
+  for (VertexId v = 0; v < hot->graph.NumVertices(); ++v) {
+    EXPECT_EQ(hot->graph.VertexType(v), job_t);
+    EXPECT_GT(hot->graph.VertexProperty(v, "CPU").ToDouble(), 50.0);
+  }
+  EXPECT_NE(plain.Name(), filtered.Name());
+}
+
+TEST(PredicateTest, EdgePredicateFiltersEdges) {
+  PropertyGraph g = SmallProv();
+  ViewDefinition recent;
+  recent.kind = ViewKind::kEdgeRemovalSummarizer;
+  recent.type_list = {};  // remove nothing by type
+  recent.predicate_property = "timestamp";
+  recent.predicate_op = PredicateOp::kGe;
+  recent.predicate_value = PropertyValue(static_cast<int64_t>(200));
+  auto view = Materialize(g, recent);
+  ASSERT_TRUE(view.ok());
+  EXPECT_LT(view->graph.NumEdges(), g.NumEdges());
+  EXPECT_GT(view->graph.NumEdges(), 0u);
+  for (graph::EdgeId e = 0; e < view->graph.NumEdges(); ++e) {
+    EXPECT_GE(view->graph.EdgeProperty(e, "timestamp").as_int(), 200);
+  }
+  // Vertices all survive (it is an edge filter).
+  EXPECT_EQ(view->graph.NumVertices(), g.NumVertices());
+}
+
+TEST(PredicateTest, CoverageRequiresMatchingConditionOnEveryNode) {
+  PropertyGraph g = SmallProv();
+  ViewDefinition view;
+  view.kind = ViewKind::kVertexInclusionSummarizer;
+  view.type_list = {"Job", "File"};
+  view.predicate_property = "CPU";
+  view.predicate_op = PredicateOp::kGt;
+  view.predicate_value = PropertyValue(50.0);
+
+  auto covered = query::ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+      "WHERE a.CPU > 50 AND f.CPU > 50 RETURN a, f");
+  auto uncovered = query::ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) WHERE a.CPU > 50 RETURN a, f");
+  auto wrong_value = query::ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+      "WHERE a.CPU > 60 AND f.CPU > 60 RETURN a, f");
+  ASSERT_TRUE(covered.ok() && uncovered.ok() && wrong_value.ok());
+  EXPECT_TRUE(core::SummarizerCoversQuery(view, *covered, g.schema()));
+  EXPECT_FALSE(core::SummarizerCoversQuery(view, *uncovered, g.schema()));
+  EXPECT_FALSE(core::SummarizerCoversQuery(view, *wrong_value, g.schema()));
+  // Variable-length segments cannot carry interior conditions.
+  auto varlen = query::ParseQueryText(
+      "MATCH (a:Job)-[r*1..4]->(b:Job) WHERE a.CPU > 50 AND b.CPU > 50 "
+      "RETURN a, b");
+  ASSERT_TRUE(varlen.ok());
+  EXPECT_FALSE(core::SummarizerCoversQuery(view, *varlen, g.schema()));
+}
+
+TEST(PredicateTest, CoveredPredicateRewriteIsExact) {
+  PropertyGraph g = SmallProv();
+  ViewDefinition view;
+  view.kind = ViewKind::kVertexInclusionSummarizer;
+  view.type_list = {"Job", "File"};
+  view.predicate_property = "CPU";
+  view.predicate_op = PredicateOp::kGt;
+  view.predicate_value = PropertyValue(50.0);
+  auto materialized = Materialize(g, view);
+  ASSERT_TRUE(materialized.ok());
+
+  // Files carry no CPU property, so this query can only return rows when
+  // run over types whose CPU passes; use a job-to-job 2-hop via typed
+  // edges where all three nodes carry the condition... files would fail,
+  // so assert both plans agree on emptiness semantics instead with a
+  // job-only pattern impossible here; use the job-file pattern with both
+  // conditions.
+  std::string text =
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+      "WHERE a.CPU > 50 AND f.CPU > 50 RETURN a, f";
+  auto q = query::ParseQueryText(text);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(core::SummarizerCoversQuery(view, *q, g.schema()));
+  query::QueryExecutor raw_exec(&g);
+  query::QueryExecutor view_exec(&materialized->graph);
+  auto raw = raw_exec.Execute(*q);
+  auto over_view = view_exec.Execute(*q);
+  ASSERT_TRUE(raw.ok() && over_view.ok());
+  // Files never satisfy CPU > 50 (property absent), so both are empty —
+  // and, critically, both agree.
+  EXPECT_EQ(raw->num_rows(), over_view->num_rows());
+}
+
+TEST(PredicateTest, MaintenanceRespectsPredicates) {
+  PropertyGraph g = SmallProv();
+  ViewDefinition view;
+  view.kind = ViewKind::kEdgeRemovalSummarizer;
+  view.type_list = {};
+  view.predicate_property = "timestamp";
+  view.predicate_op = PredicateOp::kGe;
+  view.predicate_value = PropertyValue(static_cast<int64_t>(0));
+  auto materialized = Materialize(g, view);
+  ASSERT_TRUE(materialized.ok());
+  core::ViewMaintainer maintainer(&g, &*materialized);
+
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  graph::EdgeId keep =
+      g.AddEdge(j, f, "WRITES_TO", {{"timestamp", PropertyValue(10)}})
+          .value();
+  graph::EdgeId drop =
+      g.AddEdge(j, f, "WRITES_TO", {{"timestamp", PropertyValue(-5)}})
+          .value();
+  (void)keep;
+  (void)drop;
+  auto stats = maintainer.CatchUp();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->edges_added, 1u);  // only the ts>=0 edge
+  // Invariant vs from-scratch.
+  auto scratch = Materialize(g, view);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(materialized->graph.NumEdges(), scratch->graph.NumEdges());
+  EXPECT_EQ(materialized->graph.NumVertices(), scratch->graph.NumVertices());
+}
+
+}  // namespace
+}  // namespace kaskade

@@ -1,0 +1,326 @@
+// Tests for the property-graph substrate: values, schema, storage, stats.
+
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+#include "graph/property_value.h"
+#include "graph/schema.h"
+#include "graph/stats.h"
+
+namespace kaskade::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PropertyValue
+// ---------------------------------------------------------------------------
+
+TEST(PropertyValueTest, TypePredicates) {
+  EXPECT_TRUE(PropertyValue().is_null());
+  EXPECT_TRUE(PropertyValue(true).is_bool());
+  EXPECT_TRUE(PropertyValue(42).is_int());
+  EXPECT_TRUE(PropertyValue(1.5).is_double());
+  EXPECT_TRUE(PropertyValue("x").is_string());
+  EXPECT_TRUE(PropertyValue(42).is_numeric());
+  EXPECT_TRUE(PropertyValue(1.5).is_numeric());
+  EXPECT_FALSE(PropertyValue("x").is_numeric());
+}
+
+TEST(PropertyValueTest, ToStringRendersAllKinds) {
+  EXPECT_EQ(PropertyValue().ToString(), "null");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(42).ToString(), "42");
+  EXPECT_EQ(PropertyValue("abc").ToString(), "abc");
+}
+
+TEST(PropertyValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(PropertyValue(2), PropertyValue(2.0));
+  EXPECT_NE(PropertyValue(2), PropertyValue(2.5));
+  EXPECT_EQ(PropertyValue(2), PropertyValue(2));
+  EXPECT_NE(PropertyValue(2), PropertyValue("2"));
+}
+
+TEST(PropertyValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(PropertyValue(1), PropertyValue(2));
+  EXPECT_LT(PropertyValue(1.5), PropertyValue(2));
+  EXPECT_LT(PropertyValue("a"), PropertyValue("b"));
+  // Cross-type rank: null < bool < numeric < string.
+  EXPECT_LT(PropertyValue(), PropertyValue(false));
+  EXPECT_LT(PropertyValue(true), PropertyValue(0));
+  EXPECT_LT(PropertyValue(99), PropertyValue(""));
+}
+
+TEST(PropertyValueTest, ToDoubleWidens) {
+  EXPECT_DOUBLE_EQ(PropertyValue(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(PropertyValue(2.5).ToDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(PropertyValue(true).ToDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(PropertyValue("x").ToDouble(), 0.0);
+}
+
+TEST(PropertyMapTest, SetFindOverwrite) {
+  PropertyMap map;
+  EXPECT_TRUE(map.empty());
+  map.Set("a", PropertyValue(1));
+  map.Set("b", PropertyValue("two"));
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find("a"), nullptr);
+  EXPECT_EQ(*map.Find("a"), PropertyValue(1));
+  map.Set("a", PropertyValue(10));
+  EXPECT_EQ(*map.Find("a"), PropertyValue(10));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.Find("zzz"), nullptr);
+  EXPECT_TRUE(map.GetOrNull("zzz").is_null());
+}
+
+TEST(PropertyMapTest, InitializerList) {
+  PropertyMap map{{"k", PropertyValue(5)}, {"s", PropertyValue("v")}};
+  EXPECT_EQ(map.GetOrNull("k"), PropertyValue(5));
+  EXPECT_EQ(map.GetOrNull("s"), PropertyValue("v"));
+}
+
+// ---------------------------------------------------------------------------
+// GraphSchema
+// ---------------------------------------------------------------------------
+
+GraphSchema ProvSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  EXPECT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  EXPECT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+  return schema;
+}
+
+TEST(SchemaTest, VertexTypeInterning) {
+  GraphSchema schema;
+  VertexTypeId a = schema.AddVertexType("Job");
+  VertexTypeId b = schema.AddVertexType("Job");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(schema.num_vertex_types(), 1u);
+  EXPECT_EQ(schema.FindVertexType("Job"), a);
+  EXPECT_EQ(schema.FindVertexType("Nope"), kInvalidTypeId);
+}
+
+TEST(SchemaTest, EdgeTypeValidation) {
+  GraphSchema schema = ProvSchema();
+  EXPECT_EQ(schema.num_edge_types(), 2u);
+  // Duplicate name rejected.
+  EXPECT_EQ(schema.AddEdgeType("WRITES_TO", "Job", "File").status().code(),
+            StatusCode::kAlreadyExists);
+  // Unknown endpoint types rejected.
+  EXPECT_EQ(schema.AddEdgeType("X", "Nope", "File").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.AddEdgeType("X", "Job", "Nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, EdgeTypesFromInto) {
+  GraphSchema schema = ProvSchema();
+  VertexTypeId job = schema.FindVertexType("Job");
+  VertexTypeId file = schema.FindVertexType("File");
+  EXPECT_EQ(schema.EdgeTypesFrom(job).size(), 1u);
+  EXPECT_EQ(schema.EdgeTypesInto(job).size(), 1u);
+  EXPECT_EQ(schema.edge_type(schema.EdgeTypesFrom(job)[0]).name, "WRITES_TO");
+  EXPECT_EQ(schema.edge_type(schema.EdgeTypesInto(file)[0]).name, "WRITES_TO");
+}
+
+TEST(SchemaTest, Homogeneity) {
+  GraphSchema one;
+  one.AddVertexType("V");
+  EXPECT_TRUE(one.IsHomogeneous());
+  EXPECT_FALSE(ProvSchema().IsHomogeneous());
+}
+
+TEST(SchemaTest, KHopSchemaPathParity) {
+  // Job<->File is bipartite: job-to-job paths exist only at even k.
+  GraphSchema schema = ProvSchema();
+  VertexTypeId job = schema.FindVertexType("Job");
+  VertexTypeId file = schema.FindVertexType("File");
+  EXPECT_TRUE(schema.HasKHopSchemaPath(job, job, 0));
+  EXPECT_FALSE(schema.HasKHopSchemaPath(job, job, 1));
+  EXPECT_TRUE(schema.HasKHopSchemaPath(job, job, 2));
+  EXPECT_FALSE(schema.HasKHopSchemaPath(job, job, 3));
+  EXPECT_TRUE(schema.HasKHopSchemaPath(job, job, 10));
+  EXPECT_TRUE(schema.HasKHopSchemaPath(job, file, 1));
+  EXPECT_FALSE(schema.HasKHopSchemaPath(job, file, 2));
+}
+
+// ---------------------------------------------------------------------------
+// PropertyGraph
+// ---------------------------------------------------------------------------
+
+TEST(PropertyGraphTest, AddVertexByNameValidatesType) {
+  PropertyGraph g(ProvSchema());
+  ASSERT_TRUE(g.AddVertex("Job").ok());
+  EXPECT_EQ(g.AddVertex("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.NumVertices(), 1u);
+}
+
+TEST(PropertyGraphTest, EdgeEndpointTypeEnforced) {
+  PropertyGraph g(ProvSchema());
+  VertexId job = g.AddVertex("Job").value();
+  VertexId file = g.AddVertex("File").value();
+  EXPECT_TRUE(g.AddEdge(job, file, "WRITES_TO").ok());
+  // File cannot write to a file: the schema constraint of §III-A.
+  EXPECT_EQ(g.AddEdge(file, file, "WRITES_TO").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(job, file, "IS_READ_BY").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(job, file, "NOPE").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge(job, 999, "WRITES_TO").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(PropertyGraphTest, AdjacencyAndDegrees) {
+  PropertyGraph g(ProvSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j1, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.AddEdge(f, j2, "IS_READ_BY").ok());
+  EXPECT_EQ(g.OutDegree(j1), 1u);
+  EXPECT_EQ(g.InDegree(j1), 0u);
+  EXPECT_EQ(g.OutDegree(f), 1u);
+  EXPECT_EQ(g.InDegree(f), 1u);
+  EXPECT_EQ(g.Edge(g.OutEdges(j1)[0]).target, f);
+  EXPECT_EQ(g.Edge(g.InEdges(j2)[0]).source, f);
+  EXPECT_TRUE(g.HasEdgeBetween(j1, f));
+  EXPECT_FALSE(g.HasEdgeBetween(j1, j2));
+}
+
+TEST(PropertyGraphTest, TypeCountsMaintained) {
+  PropertyGraph g(ProvSchema());
+  VertexId j = g.AddVertex("Job").value();
+  g.AddVertex("File").value();
+  g.AddVertex("File").value();
+  VertexTypeId job_t = g.schema().FindVertexType("Job");
+  VertexTypeId file_t = g.schema().FindVertexType("File");
+  EXPECT_EQ(g.NumVerticesOfType(job_t), 1u);
+  EXPECT_EQ(g.NumVerticesOfType(file_t), 2u);
+  EXPECT_EQ(g.VerticesOfType(job_t), std::vector<VertexId>{j});
+}
+
+TEST(PropertyGraphTest, PropertiesRoundTrip) {
+  PropertyGraph g(ProvSchema());
+  VertexId j = g.AddVertex("Job", {{"CPU", PropertyValue(4.5)}}).value();
+  EXPECT_EQ(g.VertexProperty(j, "CPU"), PropertyValue(4.5));
+  EXPECT_TRUE(g.VertexProperty(j, "missing").is_null());
+  ASSERT_TRUE(g.SetVertexProperty(j, "CPU", PropertyValue(9.0)).ok());
+  EXPECT_EQ(g.VertexProperty(j, "CPU"), PropertyValue(9.0));
+  EXPECT_EQ(g.SetVertexProperty(99, "x", PropertyValue(1)).code(),
+            StatusCode::kOutOfRange);
+
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e = g.AddEdge(j, f, "WRITES_TO", {{"ts", PropertyValue(7)}}).value();
+  EXPECT_EQ(g.EdgeProperty(e, "ts"), PropertyValue(7));
+  ASSERT_TRUE(g.SetEdgeProperty(e, "ts", PropertyValue(8)).ok());
+  EXPECT_EQ(g.EdgeProperty(e, "ts"), PropertyValue(8));
+}
+
+TEST(PropertyGraphTest, MultiEdgesAllowed) {
+  PropertyGraph g(ProvSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.AddEdge(j, f, "WRITES_TO").ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutDegree(j), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphStats
+// ---------------------------------------------------------------------------
+
+PropertyGraph StarGraph(size_t leaves) {
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  EXPECT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  VertexId hub = g.AddVertexOfType(0);
+  for (size_t i = 0; i < leaves; ++i) {
+    VertexId leaf = g.AddVertexOfType(0);
+    EXPECT_TRUE(g.AddEdgeOfType(hub, leaf, 0).ok());
+  }
+  return g;
+}
+
+TEST(GraphStatsTest, StarDegreePercentiles) {
+  PropertyGraph g = StarGraph(99);  // 1 hub deg 99, 99 leaves deg 0
+  GraphStats stats = GraphStats::Compute(g);
+  EXPECT_EQ(stats.num_vertices(), 100u);
+  EXPECT_EQ(stats.num_edges(), 99u);
+  const TypeDegreeSummary& s = stats.overall();
+  EXPECT_DOUBLE_EQ(s.p50, 0);
+  EXPECT_DOUBLE_EQ(s.p100, 99);
+  // p99+ nearest-rank lands on the hub only at the very top.
+  EXPECT_LE(s.p95, 99);
+}
+
+TEST(GraphStatsTest, PerTypeSummaries) {
+  PropertyGraph g(ProvSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j1, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.AddEdge(j2, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.AddEdge(f, j1, "IS_READ_BY").ok());
+  GraphStats stats = GraphStats::Compute(g);
+  VertexTypeId job_t = g.schema().FindVertexType("Job");
+  VertexTypeId file_t = g.schema().FindVertexType("File");
+  EXPECT_EQ(stats.ForType(job_t).vertex_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.ForType(job_t).p100, 1);
+  EXPECT_EQ(stats.ForType(file_t).vertex_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.ForType(file_t).p100, 1);
+}
+
+TEST(GraphStatsTest, PercentileInterpolationMonotone) {
+  TypeDegreeSummary s;
+  s.p50 = 2;
+  s.p90 = 10;
+  s.p95 = 20;
+  s.p100 = 100;
+  double prev = 0;
+  for (double alpha = 50; alpha <= 100; alpha += 5) {
+    double v = s.Percentile(alpha);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 2);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 10);
+  EXPECT_DOUBLE_EQ(s.Percentile(95), 20);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+  EXPECT_DOUBLE_EQ(s.Percentile(30), 2);   // clamps below
+  EXPECT_DOUBLE_EQ(s.Percentile(120), 100);  // clamps above
+}
+
+TEST(DegreeDistributionTest, CcdfCountsAreDecreasing) {
+  PropertyGraph g = StarGraph(9);
+  DegreeDistribution dist = ComputeOutDegreeDistribution(g);
+  ASSERT_GE(dist.ccdf.size(), 2u);
+  for (size_t i = 1; i < dist.ccdf.size(); ++i) {
+    EXPECT_GT(dist.ccdf[i].degree, dist.ccdf[i - 1].degree);
+    EXPECT_LE(dist.ccdf[i].count, dist.ccdf[i - 1].count);
+  }
+  // Last bucket: nothing has degree > max.
+  EXPECT_EQ(dist.ccdf.back().count, 0u);
+}
+
+TEST(DegreeDistributionTest, UniformDegreesFitPoorlyOrFlat) {
+  // A cycle where every vertex has out-degree 1: CCDF has a single point
+  // at degree 1 with count 0, so no meaningful power law.
+  GraphSchema schema;
+  schema.AddVertexType("V");
+  ASSERT_TRUE(schema.AddEdgeType("E", "V", "V").ok());
+  PropertyGraph g(schema);
+  for (int i = 0; i < 10; ++i) g.AddVertexOfType(0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.AddEdgeOfType(i, (i + 1) % 10, 0).ok());
+  }
+  DegreeDistribution dist = ComputeOutDegreeDistribution(g);
+  EXPECT_EQ(dist.ccdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.powerlaw_slope, 0);
+}
+
+}  // namespace
+}  // namespace kaskade::graph

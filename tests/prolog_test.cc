@@ -1,0 +1,481 @@
+// Tests for the micro-Prolog inference engine: terms, parser, solver,
+// builtins, and the engine features Kaskade's rule library depends on.
+
+#include <gtest/gtest.h>
+
+#include "prolog/knowledge_base.h"
+#include "prolog/parser.h"
+#include "prolog/solver.h"
+#include "prolog/term.h"
+
+namespace kaskade::prolog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+TEST(TermTest, FactoriesAndAccessors) {
+  TermPtr atom = Term::MakeAtom("job");
+  EXPECT_TRUE(atom->is_atom());
+  EXPECT_EQ(atom->name(), "job");
+
+  TermPtr num = Term::MakeInt(42);
+  EXPECT_TRUE(num->is_int());
+  EXPECT_EQ(num->int_value(), 42);
+
+  TermPtr flt = Term::MakeFloat(2.5);
+  EXPECT_TRUE(flt->is_float());
+  EXPECT_TRUE(flt->is_number());
+
+  TermPtr var = Term::MakeVar(3, "X");
+  EXPECT_TRUE(var->is_var());
+  EXPECT_EQ(var->var_id(), 3u);
+
+  TermPtr comp = Term::MakeCompound("edge", {atom, num});
+  EXPECT_TRUE(comp->is_compound());
+  EXPECT_EQ(comp->arity(), 2u);
+  EXPECT_EQ(comp->args()[0]->name(), "job");
+}
+
+TEST(TermTest, ZeroArityCompoundIsAtom) {
+  TermPtr t = Term::MakeCompound("foo", {});
+  EXPECT_TRUE(t->is_atom());
+}
+
+TEST(TermTest, ListConstructionAndExtraction) {
+  std::vector<TermPtr> items{Term::MakeInt(1), Term::MakeInt(2),
+                             Term::MakeInt(3)};
+  TermPtr list = Term::MakeList(items);
+  EXPECT_TRUE(list->is_list_cell());
+  std::vector<TermPtr> out;
+  EXPECT_TRUE(Term::ListItems(list, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1]->int_value(), 2);
+  EXPECT_TRUE(Term::EmptyList()->is_empty_list());
+}
+
+TEST(TermTest, ToStringRendering) {
+  EXPECT_EQ(Term::MakeAtom("job")->ToString(), "job");
+  EXPECT_EQ(Term::MakeAtom("Job")->ToString(), "'Job'");  // needs quotes
+  EXPECT_EQ(Term::MakeAtom("WRITES_TO")->ToString(), "'WRITES_TO'");
+  EXPECT_EQ(Term::MakeInt(-3)->ToString(), "-3");
+  EXPECT_EQ(Term::MakeVar(0, "X")->ToString(), "X");
+  EXPECT_EQ(Term::MakeVar(7)->ToString(), "_G7");
+  TermPtr list = Term::MakeList({Term::MakeInt(1), Term::MakeAtom("a")});
+  EXPECT_EQ(list->ToString(), "[1,a]");
+  TermPtr comp =
+      Term::MakeCompound("f", {Term::MakeInt(1), Term::MakeVar(0, "X")});
+  EXPECT_EQ(comp->ToString(), "f(1,X)");
+}
+
+TEST(TermTest, PartialListRendering) {
+  TermPtr partial = Term::MakeCompound(
+      ".", {Term::MakeInt(1), Term::MakeVar(0, "T")});
+  EXPECT_EQ(partial->ToString(), "[1|T]");
+}
+
+TEST(TermTest, StructuralEquality) {
+  TermPtr a = Term::MakeCompound("f", {Term::MakeInt(1)});
+  TermPtr b = Term::MakeCompound("f", {Term::MakeInt(1)});
+  TermPtr c = Term::MakeCompound("f", {Term::MakeInt(2)});
+  EXPECT_TRUE(Term::Equal(a, b));
+  EXPECT_FALSE(Term::Equal(a, c));
+  EXPECT_FALSE(Term::Equal(a, Term::MakeAtom("f")));
+}
+
+TEST(TermTest, StandardOrder) {
+  // Var < Number < Atom < Compound.
+  TermPtr var = Term::MakeVar(0);
+  TermPtr num = Term::MakeInt(5);
+  TermPtr atom = Term::MakeAtom("a");
+  TermPtr comp = Term::MakeCompound("f", {num});
+  EXPECT_LT(Term::Compare(var, num), 0);
+  EXPECT_LT(Term::Compare(num, atom), 0);
+  EXPECT_LT(Term::Compare(atom, comp), 0);
+  EXPECT_EQ(Term::Compare(num, Term::MakeInt(5)), 0);
+  EXPECT_LT(Term::Compare(Term::MakeInt(3), Term::MakeFloat(3.5)), 0);
+  // Compounds: arity first, then functor, then args.
+  TermPtr g1 = Term::MakeCompound("g", {num});
+  TermPtr f2 = Term::MakeCompound("f", {num, num});
+  EXPECT_LT(Term::Compare(g1, f2), 0);
+  EXPECT_LT(Term::Compare(comp, g1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ParsesFactsAndRules) {
+  auto clauses = ParseProgram(
+      "edge(a, b). edge(b, c).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Z), path(Z, Y).\n");
+  ASSERT_TRUE(clauses.ok());
+  ASSERT_EQ(clauses->size(), 4u);
+  EXPECT_EQ((*clauses)[0].head->ToString(), "edge(a,b)");
+  EXPECT_TRUE((*clauses)[0].body.empty());
+  EXPECT_EQ((*clauses)[2].body.size(), 1u);
+  EXPECT_EQ((*clauses)[3].body.size(), 2u);
+  EXPECT_EQ((*clauses)[3].num_vars, 3u);  // X, Y, Z
+}
+
+TEST(ParserTest, VariableNumberingIsClauseLocal) {
+  auto clauses = ParseProgram("p(X) :- q(X). r(Y) :- s(Y).");
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_EQ((*clauses)[0].num_vars, 1u);
+  EXPECT_EQ((*clauses)[1].num_vars, 1u);
+  EXPECT_EQ((*clauses)[1].head->args()[0]->var_id(), 0u);
+}
+
+TEST(ParserTest, QuotedAtomsAndComments) {
+  auto clauses = ParseProgram(
+      "% line comment\n"
+      "vertexType(j1, 'Job'). /* block\ncomment */ vertexType(f1, 'File').\n");
+  ASSERT_TRUE(clauses.ok());
+  ASSERT_EQ(clauses->size(), 2u);
+  EXPECT_EQ((*clauses)[0].head->args()[1]->name(), "Job");
+}
+
+TEST(ParserTest, ArithmeticOperatorPrecedence) {
+  auto q = ParseQuery("X is 1 + 2 * 3 - 4.");
+  ASSERT_TRUE(q.ok());
+  // 1 + (2*3) - 4 => -( +(1, *(2,3)), 4)
+  EXPECT_EQ(q->goals[0]->ToString(), "is(X,-(+(1,*(2,3)),4))");
+}
+
+TEST(ParserTest, ListsWithTails) {
+  auto q = ParseQuery("member(X, [a, b | T]).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->goals[0]->ToString(), "member(X,[a,b|T])");
+}
+
+TEST(ParserTest, NegationOperator) {
+  auto clauses = ParseProgram("p(X) :- q(X), \\+ r(X).");
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_EQ((*clauses)[0].body[1]->name(), "\\+");
+}
+
+TEST(ParserTest, UnderscoreVarsAreDistinct) {
+  auto q = ParseQuery("p(_, _).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vars, 2u);
+  EXPECT_NE(q->goals[0]->args()[0]->var_id(),
+            q->goals[0]->args()[1]->var_id());
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseProgram("p(a").ok());             // missing ')'
+  EXPECT_FALSE(ParseProgram("p(a) :- .").ok());       // empty body
+  EXPECT_FALSE(ParseProgram("'unterminated").ok());   // bad quote
+  EXPECT_FALSE(ParseProgram("/* unterminated").ok()); // bad comment
+  EXPECT_FALSE(ParseQuery("p(a)) .").ok());           // trailing tokens
+}
+
+TEST(ParserTest, PaperListing2ParsesVerbatim) {
+  const char* listing2 = R"PL(
+schemaKHopPath(X,Y,K) :-
+    schemaKHopPath(X,Y,K,[]).
+schemaKHopPath(X,Y,1,_) :-
+    schemaEdge(X,Y,_).
+schemaKHopPath(X,Y,K,Trail) :-
+    schemaEdge(X,Z,_), not(member(Z,Trail)),
+    schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.
+)PL";
+  auto clauses = ParseProgram(listing2);
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_EQ(clauses->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Solver: resolution basics
+// ---------------------------------------------------------------------------
+
+class SolverTest : public ::testing::Test {
+ protected:
+  void Consult(const std::string& text) { ASSERT_TRUE(kb_.Consult(text).ok()); }
+
+  std::vector<std::string> Solve(const std::string& query) {
+    Solver solver(&kb_);
+    std::vector<std::string> out;
+    auto n = solver.Query(query, [&](const Solution& s) {
+      out.push_back(s.ToString());
+      return true;
+    });
+    EXPECT_TRUE(n.ok()) << n.status();
+    return out;
+  }
+
+  bool Proves(const std::string& query) {
+    Solver solver(&kb_);
+    auto r = solver.Prove(query);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && r.value();
+  }
+
+  KnowledgeBase kb_;
+};
+
+TEST_F(SolverTest, FactsAndConjunction) {
+  Consult("edge(a, b). edge(b, c). edge(a, c).");
+  EXPECT_EQ(Solve("edge(a, X).").size(), 2u);
+  EXPECT_EQ(Solve("edge(X, Y), edge(Y, Z).").size(), 1u);  // a-b-c
+  EXPECT_TRUE(Proves("edge(a, b)."));
+  EXPECT_FALSE(Proves("edge(c, a)."));
+}
+
+TEST_F(SolverTest, RecursiveRulesWithBacktracking) {
+  Consult(
+      "edge(a, b). edge(b, c). edge(c, d).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Z), path(Z, Y).");
+  EXPECT_EQ(Solve("path(a, X).").size(), 3u);  // b, c, d
+  EXPECT_TRUE(Proves("path(a, d)."));
+  EXPECT_FALSE(Proves("path(d, a)."));
+}
+
+TEST_F(SolverTest, UnknownPredicatesFailSilently) {
+  Consult("p(1).");
+  EXPECT_FALSE(Proves("nothing_here(X)."));
+}
+
+TEST_F(SolverTest, UnificationBuiltins) {
+  EXPECT_TRUE(Proves("X = f(Y), X = f(3), Y =:= 3."));
+  EXPECT_TRUE(Proves("f(a, B) = f(A, b), A = a, B = b."));
+  EXPECT_FALSE(Proves("f(a) = g(a)."));
+  EXPECT_TRUE(Proves("a \\= b."));
+  EXPECT_FALSE(Proves("X \\= Y."));  // unbound vars unify
+  EXPECT_TRUE(Proves("f(X) == f(X)."));
+  EXPECT_TRUE(Proves("f(X) \\== f(Y)."));
+}
+
+TEST_F(SolverTest, ArithmeticEvaluation) {
+  EXPECT_TRUE(Proves("X is 2 + 3, X =:= 5."));
+  EXPECT_TRUE(Proves("X is 7 // 2, X =:= 3."));
+  EXPECT_TRUE(Proves("X is 7 mod 2, X =:= 1."));
+  EXPECT_TRUE(Proves("X is -3, Y is abs(X), Y =:= 3."));
+  EXPECT_TRUE(Proves("X is min(2, 5), X =:= 2."));
+  EXPECT_TRUE(Proves("X is max(2, 5), X =:= 5."));
+  EXPECT_TRUE(Proves("X is 10 / 4, X =:= 2.5."));
+  EXPECT_TRUE(Proves("X is 10 / 5, X =:= 2."));
+  EXPECT_TRUE(Proves("1 < 2, 2 =< 2, 3 > 2, 3 >= 3, 1 =\\= 2."));
+}
+
+TEST_F(SolverTest, ArithmeticErrorsSurface) {
+  Solver solver(&kb_);
+  auto r = solver.Query("X is Y + 1.", [](const Solution&) { return true; });
+  EXPECT_FALSE(r.ok());
+  auto r2 = solver.Query("X is 1 // 0.", [](const Solution&) { return true; });
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST_F(SolverTest, NegationAsFailure) {
+  Consult("p(1). p(2). q(1).");
+  EXPECT_EQ(Solve("p(X), not(q(X)).").size(), 1u);
+  EXPECT_EQ(Solve("p(X), \\+ q(X).").size(), 1u);
+  EXPECT_TRUE(Proves("not(q(7))."));
+  EXPECT_FALSE(Proves("not(p(1))."));
+}
+
+TEST_F(SolverTest, BetweenGeneratesAndTests) {
+  EXPECT_EQ(Solve("between(1, 5, X).").size(), 5u);
+  EXPECT_TRUE(Proves("between(1, 5, 3)."));
+  EXPECT_FALSE(Proves("between(1, 5, 9)."));
+  EXPECT_EQ(Solve("between(3, 1, X).").size(), 0u);
+}
+
+TEST_F(SolverTest, FindallCollectsAll) {
+  Consult("p(3). p(1). p(2).");
+  auto sols = Solve("findall(X, p(X), L).");
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], "L=[3,1,2]");  // assertion order
+  // findall of nothing yields [].
+  auto empty = Solve("findall(X, p(99, X), L).");
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0], "L=[]");
+}
+
+TEST_F(SolverTest, SetofSortsAndDedups) {
+  Consult("p(3). p(1). p(2). p(1).");
+  auto sols = Solve("setof(X, p(X), L).");
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], "L=[1,2,3]");
+  EXPECT_FALSE(Proves("setof(X, nothing(X), L)."));  // fails when empty
+}
+
+TEST_F(SolverTest, SortAndMsort) {
+  auto s = Solve("sort([3, 1, 2, 1], L).");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], "L=[1,2,3]");
+  auto m = Solve("msort([3, 1, 2, 1], L).");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], "L=[1,1,2,3]");
+}
+
+TEST_F(SolverTest, LengthBothModes) {
+  EXPECT_TRUE(Proves("length([a, b, c], 3)."));
+  EXPECT_FALSE(Proves("length([a], 3)."));
+  auto sols = Solve("length(L, 2).");
+  ASSERT_EQ(sols.size(), 1u);  // L = [_, _]
+}
+
+TEST_F(SolverTest, SuccBothModes) {
+  EXPECT_TRUE(Proves("succ(3, 4)."));
+  EXPECT_TRUE(Proves("succ(X, 4), X =:= 3."));
+  EXPECT_TRUE(Proves("succ(3, Y), Y =:= 4."));
+  EXPECT_FALSE(Proves("succ(X, 0)."));
+}
+
+TEST_F(SolverTest, TypeTestBuiltins) {
+  EXPECT_TRUE(Proves("var(X)."));
+  EXPECT_TRUE(Proves("X = 1, nonvar(X), integer(X), number(X), atomic(X)."));
+  EXPECT_TRUE(Proves("atom(abc), compound(f(x)), is_list([1,2])."));
+  EXPECT_FALSE(Proves("atom(1)."));
+  EXPECT_FALSE(Proves("is_list([1|_])."));
+}
+
+TEST_F(SolverTest, PreludeListLibrary) {
+  EXPECT_EQ(Solve("member(X, [a, b, c]).").size(), 3u);
+  EXPECT_TRUE(Proves("append([1, 2], [3], [1, 2, 3])."));
+  auto splits = Solve("append(A, B, [1, 2, 3]).");
+  EXPECT_EQ(splits.size(), 4u);
+  EXPECT_TRUE(Proves("reverse([1, 2, 3], [3, 2, 1])."));
+  EXPECT_TRUE(Proves("last([1, 2, 3], 3)."));
+  EXPECT_TRUE(Proves("sum_list([1, 2, 3], 6)."));
+  EXPECT_TRUE(Proves("max_list([3, 1, 2], 3)."));
+  EXPECT_TRUE(Proves("min_list([3, 1, 2], 1)."));
+  EXPECT_TRUE(Proves("nth0(1, [a, b, c], b)."));
+}
+
+TEST_F(SolverTest, HigherOrderFoldlAndConvlist) {
+  Consult("add(X, A, R) :- R is A + X.");
+  EXPECT_TRUE(Proves("foldl(add, [1, 2, 3], 0, 6)."));
+  Consult("half(X, R) :- 0 is X mod 2, R is X // 2.");
+  auto sols = Solve("convlist(half, [1, 2, 3, 4], L).");
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], "L=[1,2]");
+  EXPECT_TRUE(Proves("maplist(integer, [1, 2, 3])."));
+}
+
+TEST_F(SolverTest, CallWithExtraArgs) {
+  Consult("plus3(A, B, C, R) :- R is A + B + C.");
+  EXPECT_TRUE(Proves("G = plus3(1), call(G, 2, 3, 6)."));
+  Solver solver(&kb_);
+  auto r = solver.Query("call(X).", [](const Solution&) { return true; });
+  EXPECT_FALSE(r.ok());  // unbound call target is an error
+}
+
+TEST_F(SolverTest, MaxSolutionsStopsSearch) {
+  Consult("p(1). p(2). p(3).");
+  SolverOptions opts;
+  opts.max_solutions = 2;
+  Solver solver(&kb_, opts);
+  size_t count = 0;
+  auto n = solver.Query("p(X).", [&](const Solution&) {
+    ++count;
+    return true;
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(SolverTest, CallbackCanStopEarly) {
+  Consult("p(1). p(2). p(3).");
+  Solver solver(&kb_);
+  size_t count = 0;
+  auto n = solver.Query("p(X).", [&](const Solution&) {
+    ++count;
+    return false;
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(SolverTest, DepthLimitPrunesInfiniteRecursion) {
+  // Left-recursive loop: without the depth bound this never terminates.
+  Consult("loop(X) :- loop(X).");
+  SolverOptions opts;
+  opts.max_depth = 64;
+  Solver solver(&kb_, opts);
+  auto r = solver.Query("loop(1).", [](const Solution&) { return true; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+  EXPECT_TRUE(solver.depth_limit_hit());
+}
+
+TEST_F(SolverTest, StepBudgetSurfacesAsError) {
+  Consult("count(0). count(N) :- count(M), N is M + 1.");
+  SolverOptions opts;
+  opts.max_steps = 500;
+  opts.max_depth = 1'000'000;
+  Solver solver(&kb_, opts);
+  auto r = solver.Query("count(N), N > 100000.",
+                        [](const Solution&) { return true; });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SolverTest, SolutionBindingsAreResolved) {
+  Consult("edge(a, b).");
+  Solver solver(&kb_);
+  std::map<std::string, std::string> bindings;
+  auto n = solver.Query("edge(X, Y).", [&](const Solution& s) {
+    for (const auto& [k, v] : s.bindings) bindings[k] = v->ToString();
+    return true;
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(bindings["X"], "a");
+  EXPECT_EQ(bindings["Y"], "b");
+}
+
+TEST_F(SolverTest, AssertFactProgrammatically) {
+  ASSERT_TRUE(kb_.AssertFact("queryVertex", {Term::MakeAtom("q_j1")}).ok());
+  EXPECT_TRUE(Proves("queryVertex(q_j1)."));
+  // Non-ground facts rejected.
+  EXPECT_FALSE(kb_.AssertFact("bad", {Term::MakeVar(0, "X")}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The paper's rules running on this engine
+// ---------------------------------------------------------------------------
+
+TEST_F(SolverTest, PaperListing2FindsTypeAcyclicPaths) {
+  Consult(
+      "schemaEdge('Job', 'File', 'WRITES_TO').\n"
+      "schemaEdge('File', 'Job', 'IS_READ_BY').\n"
+      "schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).\n"
+      "schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).\n"
+      "schemaKHopPath(X,Y,K,Trail) :- schemaEdge(X,Z,_), "
+      "not(member(Z,Trail)), schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1 + 1.");
+  // Lst. 2's trail blocks type revisits: the only derivable job-to-job
+  // k is 2 (see rules.h fidelity note).
+  EXPECT_TRUE(Proves("schemaKHopPath('Job', 'Job', 2)."));
+  EXPECT_FALSE(Proves("schemaKHopPath('Job', 'Job', 3)."));
+  EXPECT_TRUE(Proves("schemaKHopPath('Job', 'File', 1)."));
+  auto all = Solve("schemaKHopPath(X, Y, K).");
+  EXPECT_EQ(all.size(), 4u);  // J-F:1, F-J:1, J-J:2, F-F:2
+}
+
+TEST_F(SolverTest, EgoNetworkAggregatorFromListing5) {
+  // kHopNborsAggregator over explicit property facts (appendix example).
+  Consult(
+      "queryVertex(j2). queryEdge(j1, j2). queryEdge(j2, j3).\n"
+      "queryKHopPath(X, Y, 1) :- queryEdge(X, Y).\n"
+      "property(P, N, V) :- propertyFact(N, P, V).\n"
+      "propertyFact(j1, bytes, 10). propertyFact(j3, bytes, 32).\n"
+      "sum(X, Y, R) :- R is X + Y.\n"
+      "queryVertexKHopNbors(K, X, LIST) :- queryVertex(X),\n"
+      "  findall(SRC, queryKHopPath(SRC, X, K), INLIST),\n"
+      "  findall(DST, queryKHopPath(X, DST, K), OUTLIST),\n"
+      "  append(INLIST, OUTLIST, TMPLIST), sort(TMPLIST, LIST).\n"
+      "kHopNborsAggregator(K, X, P, AGGR, RESULT) :-\n"
+      "  queryVertexKHopNbors(K, X, NBORS),\n"
+      "  convlist(property(P), NBORS, OUTLIST),\n"
+      "  foldl(AGGR, OUTLIST, 0, RESULT).");
+  auto sols = Solve("kHopNborsAggregator(1, j2, bytes, sum, R).");
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], "R=42");
+}
+
+}  // namespace
+}  // namespace kaskade::prolog

@@ -1,0 +1,384 @@
+// Tests for the hybrid query language: parser, executor, cost model.
+
+#include <gtest/gtest.h>
+
+#include "datasets/workloads.h"
+#include "graph/stats.h"
+#include "query/ast.h"
+#include "query/cost.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace kaskade::query {
+namespace {
+
+using graph::GraphSchema;
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(QueryParserTest, SimpleMatch) {
+  auto q = ParseQueryText(
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f AS out");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(q->is_match());
+  const MatchQuery& m = q->match();
+  ASSERT_EQ(m.nodes.size(), 2u);
+  EXPECT_EQ(m.nodes[0].name, "j");
+  EXPECT_EQ(m.nodes[0].type, "Job");
+  ASSERT_EQ(m.edges.size(), 1u);
+  EXPECT_EQ(m.edges[0].type, "WRITES_TO");
+  EXPECT_FALSE(m.edges[0].variable_length);
+  ASSERT_EQ(m.return_items.size(), 2u);
+  EXPECT_EQ(m.return_items[1].OutputName(), "out");
+}
+
+TEST(QueryParserTest, VariableLengthEdge) {
+  auto q = ParseQueryText("MATCH (a:File)-[r*0..8]->(b:File) RETURN a, b");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const EdgePattern& e = q->match().edges[0];
+  EXPECT_TRUE(e.variable_length);
+  EXPECT_EQ(e.min_hops, 0);
+  EXPECT_EQ(e.max_hops, 8);
+  EXPECT_EQ(e.var, "r");
+  EXPECT_TRUE(e.type.empty());
+}
+
+TEST(QueryParserTest, ChainedAndJuxtaposedPatterns) {
+  // Listing 1 writes pattern segments with no separators at all.
+  auto q = ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->match().nodes.size(), 3u);  // a, f, b (f deduped)
+  EXPECT_EQ(q->match().edges.size(), 2u);
+  // Comma-separated works too.
+  auto q2 = ParseQueryText(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_EQ(q2->match().edges.size(), 2u);
+}
+
+TEST(QueryParserTest, ConflictingNodeTypesRejected) {
+  auto q = ParseQueryText(
+      "MATCH (a:Job)-[:W]->(f:File) (f:Job)-[:R]->(b:Job) RETURN a");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(QueryParserTest, ListingOneParses) {
+  auto q = ParseQueryText(datasets::BlastRadiusQueryText());
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(q->is_select());
+  const SelectQuery& outer = q->select();
+  ASSERT_EQ(outer.items.size(), 2u);
+  EXPECT_EQ(outer.items[0].ref.ToString(), "A.pipelineName");
+  EXPECT_EQ(outer.items[1].agg, AggFunc::kAvg);
+  ASSERT_EQ(outer.group_by.size(), 1u);
+  ASSERT_TRUE(outer.from->is_select());
+  const SelectQuery& inner = outer.from->select();
+  EXPECT_EQ(inner.items[1].alias, "T_CPU");
+  EXPECT_EQ(inner.items[1].agg, AggFunc::kSum);
+  const MatchQuery* match = q->InnermostMatch();
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->nodes.size(), 4u);
+  EXPECT_EQ(match->edges.size(), 3u);
+  EXPECT_TRUE(match->edges[1].variable_length);
+}
+
+TEST(QueryParserTest, ListingFourConnectorEdgeTypeWithDigitsAndDash) {
+  // The paper spells the connector type "2_HOP-JOB_TO_JOB".
+  auto q = ParseQueryText(
+      "MATCH (a:Job)-[:2_HOP-JOB_TO_JOB*1..4]->(b:Job) RETURN a, b");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->match().edges[0].type, "2_HOP_JOB_TO_JOB");
+  EXPECT_EQ(q->match().edges[0].min_hops, 1);
+  EXPECT_EQ(q->match().edges[0].max_hops, 4);
+  // Underscore spelling parses identically.
+  auto q2 = ParseQueryText(
+      "MATCH (a:Job)-[:2_HOP_JOB_TO_JOB*1..4]->(b:Job) RETURN a, b");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_EQ(q2->match().edges[0].type, "2_HOP_JOB_TO_JOB");
+}
+
+TEST(QueryParserTest, WhereConditions) {
+  auto q = ParseQueryText(
+      "MATCH (j:Job)-[:W]->(f:File) WHERE j.CPU > 10 AND f.path = '/x' "
+      "RETURN j");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->match().where.size(), 2u);
+  EXPECT_EQ(q->match().where[0].op, CompareOp::kGt);
+  EXPECT_EQ(q->match().where[1].rhs, PropertyValue("/x"));
+}
+
+TEST(QueryParserTest, SelectWithWhereAndCountStar) {
+  auto q = ParseQueryText(
+      "SELECT COUNT(*) FROM (MATCH (a:Job)-[:W]->(f:File) RETURN a) "
+      "WHERE a.CPU >= 5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select().items[0].star);
+  EXPECT_EQ(q->select().items[0].agg, AggFunc::kCount);
+  EXPECT_EQ(q->select().where.size(), 1u);
+}
+
+TEST(QueryParserTest, KeywordsCaseInsensitive) {
+  auto q = ParseQueryText("match (a:Job)-[:W]->(b:File) return a as x");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->match().return_items[0].alias, "x");
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQueryText("").ok());
+  EXPECT_FALSE(ParseQueryText("FOO (a) RETURN a").ok());
+  EXPECT_FALSE(ParseQueryText("MATCH (a:Job) RETURN").ok());
+  EXPECT_FALSE(ParseQueryText("MATCH (a)-[*]->(b) RETURN a").ok());
+  EXPECT_FALSE(ParseQueryText("MATCH (a)-[*3..1]->(b) RETURN a").ok());
+  EXPECT_FALSE(ParseQueryText("SELECT FROM (MATCH (a) RETURN a)").ok());
+  EXPECT_FALSE(ParseQueryText("MATCH (a:Job) RETURN a extra").ok());
+}
+
+TEST(QueryAstTest, CloneAndToStringRoundTrip) {
+  auto q = ParseQueryText(datasets::BlastRadiusQueryText());
+  ASSERT_TRUE(q.ok());
+  Query clone = q->Clone();
+  EXPECT_EQ(clone.ToString(), q->ToString());
+  // Rendered text reparses to the same rendering (fixed point).
+  auto reparsed = ParseQueryText(q->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), q->ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Small lineage fixture: j0 -> f0 -> j1 -> f1 -> j2 and j0 -> f2.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : g_(MakeSchema()) {
+    for (int i = 0; i < 3; ++i) {
+      graph::PropertyMap props;
+      props.Set("CPU", PropertyValue(10.0 * (i + 1)));
+      props.Set("pipelineName", PropertyValue(i < 2 ? "alpha" : "beta"));
+      jobs_.push_back(g_.AddVertex("Job", std::move(props)).value());
+    }
+    for (int i = 0; i < 3; ++i) {
+      files_.push_back(g_.AddVertex("File").value());
+    }
+    Must(g_.AddEdge(jobs_[0], files_[0], "WRITES_TO"));
+    Must(g_.AddEdge(files_[0], jobs_[1], "IS_READ_BY"));
+    Must(g_.AddEdge(jobs_[1], files_[1], "WRITES_TO"));
+    Must(g_.AddEdge(files_[1], jobs_[2], "IS_READ_BY"));
+    Must(g_.AddEdge(jobs_[0], files_[2], "WRITES_TO"));
+  }
+
+  static GraphSchema MakeSchema() {
+    GraphSchema schema;
+    schema.AddVertexType("Job");
+    schema.AddVertexType("File");
+    EXPECT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+    EXPECT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+    return schema;
+  }
+
+  template <typename T>
+  static void Must(const Result<T>& r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  Table Run(const std::string& text) {
+    QueryExecutor executor(&g_);
+    auto result = executor.ExecuteText(text);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(*result) : Table();
+  }
+
+  PropertyGraph g_;
+  std::vector<VertexId> jobs_;
+  std::vector<VertexId> files_;
+};
+
+TEST_F(ExecutorTest, FixedEdgeMatch) {
+  Table t = Run("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.columns()[0].is_vertex);
+}
+
+TEST_F(ExecutorTest, TwoHopChain) {
+  Table t = Run(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b");
+  // j0->j1 and j1->j2.
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, VariableLengthParityAndBounds) {
+  // File-to-file paths have even length in this bipartite schema.
+  Table t1 = Run("MATCH (a:File)-[r*1..2]->(b:File) RETURN a, b");
+  EXPECT_EQ(t1.num_rows(), 1u);  // f0 -> f1 (2 hops); f2 is a sink
+  Table t2 = Run("MATCH (a:File)-[r*1..1]->(b:File) RETURN a, b");
+  EXPECT_EQ(t2.num_rows(), 0u);  // no odd-length file-file path
+}
+
+TEST_F(ExecutorTest, VariableLengthZeroIncludesSelf) {
+  Table t = Run("MATCH (a:File)-[r*0..2]->(b:File) RETURN a, b");
+  // 3 self pairs + f0->f1.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, SetSemanticsDeduplicatesRows) {
+  // Two parallel write edges must not duplicate the (j, f) row.
+  Must(g_.AddEdge(jobs_[0], files_[0], "WRITES_TO"));
+  Table t = Run("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, BackwardExpansionWhenTargetBoundFirst) {
+  // Planner seeds at the smaller side; here both ends typed, so exercise
+  // an edge whose source is the only free side by constraining files.
+  Table t = Run(
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.CPU > 15 RETURN j, f");
+  EXPECT_EQ(t.num_rows(), 1u);  // only j1 (CPU 20) writes f1
+}
+
+TEST_F(ExecutorTest, WhereOnStringProperty) {
+  Table t = Run(
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.pipelineName = 'alpha' "
+      "RETURN j, f");
+  EXPECT_EQ(t.num_rows(), 3u);  // j0 (2 writes) + j1 (1 write)
+}
+
+TEST_F(ExecutorTest, SelectProjectionWithVertexProperty) {
+  Table t = Run(
+      "SELECT j.CPU FROM (MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j)");
+  // MATCH returns distinct j: j0, j1. Projection keeps 2 rows.
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.columns()[0].name, "j.CPU");
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  Table t = Run(
+      "SELECT a, COUNT(*) AS n, SUM(b.CPU) AS total FROM ("
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b) GROUP BY a");
+  ASSERT_EQ(t.num_rows(), 2u);
+  int n_col = t.FindColumn("n");
+  int total_col = t.FindColumn("total");
+  ASSERT_GE(n_col, 0);
+  ASSERT_GE(total_col, 0);
+  for (const auto& row : t.rows()) {
+    EXPECT_EQ(row[n_col], PropertyValue(1));
+  }
+}
+
+TEST_F(ExecutorTest, GlobalAggregateWithoutGroupBy) {
+  Table t = Run(
+      "SELECT COUNT(*) FROM (MATCH (j:Job)-[:WRITES_TO]->(f:File) "
+      "RETURN j, f)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], PropertyValue(3));
+}
+
+TEST_F(ExecutorTest, AvgAndMinMax) {
+  Table t = Run(
+      "SELECT AVG(j.CPU), MIN(j.CPU), MAX(j.CPU) FROM ("
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], PropertyValue(15.0));  // (10+20)/2
+  EXPECT_EQ(t.rows()[0][1], PropertyValue(10.0));
+  EXPECT_EQ(t.rows()[0][2], PropertyValue(20.0));
+}
+
+TEST_F(ExecutorTest, NestedSelectLayers) {
+  Table t = Run(
+      "SELECT A.pipelineName, AVG(T_CPU) FROM ("
+      "  SELECT A, SUM(B.CPU) AS T_CPU FROM ("
+      "    MATCH (A:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(B:Job)"
+      "    RETURN A, B"
+      "  ) GROUP BY A, B"
+      ") GROUP BY A.pipelineName");
+  // j0 (alpha) -> j1: 20; j1 (alpha) -> j2: 30. AVG over jobs = 25.
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], PropertyValue("alpha"));
+  EXPECT_EQ(t.rows()[0][1], PropertyValue(25.0));
+}
+
+TEST_F(ExecutorTest, UnknownTypesAndColumnsFail) {
+  QueryExecutor executor(&g_);
+  EXPECT_FALSE(executor.ExecuteText("MATCH (x:Nope) RETURN x").ok());
+  EXPECT_FALSE(
+      executor.ExecuteText("MATCH (a:Job)-[:NOPE]->(b:File) RETURN a").ok());
+  EXPECT_FALSE(
+      executor
+          .ExecuteText(
+              "SELECT zzz FROM (MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j)")
+          .ok());
+  EXPECT_FALSE(
+      executor.ExecuteText("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN zzz")
+          .ok());
+}
+
+TEST_F(ExecutorTest, RowLimitRespected) {
+  ExecutorOptions opts;
+  opts.max_rows = 2;
+  QueryExecutor executor(&g_, opts);
+  auto result =
+      executor.ExecuteText("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecutorTest, CyclicPatternAsFilter) {
+  // Add a cycle: j2 writes f0 (f0 read by j1... making j1->f1->j2->f0->j1?).
+  Must(g_.AddEdge(jobs_[2], files_[2], "WRITES_TO"));
+  // Pattern with a closing edge: a writes f, f read by b, b writes f2,
+  // and a also writes f2 -- a diamond that needs the filter-edge path.
+  Table t = Run(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "(a:Job)-[:WRITES_TO]->(g:File) RETURN a, b, g");
+  // Every (a,b) pair combined with every file a writes.
+  EXPECT_EQ(t.num_rows(), 3u);  // (j0,j1)x{f0,f2}, (j1,j2)x{f1}
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecutorTest, CostGrowsWithHops) {
+  graph::GraphStats stats = graph::GraphStats::Compute(g_);
+  auto q2 = ParseQueryText("MATCH (a:File)-[r*1..2]->(b:File) RETURN a, b");
+  auto q8 = ParseQueryText("MATCH (a:File)-[r*1..8]->(b:File) RETURN a, b");
+  ASSERT_TRUE(q2.ok() && q8.ok());
+  EXPECT_LT(EstimateEvalCost(*q2, g_, stats), EstimateEvalCost(*q8, g_, stats));
+}
+
+TEST_F(ExecutorTest, CostPrefersSmallerGraph) {
+  graph::GraphStats stats = graph::GraphStats::Compute(g_);
+  // Same query, graph with double the vertices ~ higher cost.
+  PropertyGraph big(g_.schema());
+  for (int i = 0; i < 100; ++i) big.AddVertex("Job").value();
+  graph::GraphStats big_stats = graph::GraphStats::Compute(big);
+  auto q = ParseQueryText("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(EstimateEvalCost(*q, g_, stats),
+            EstimateEvalCost(*q, big, big_stats));
+}
+
+TEST_F(ExecutorTest, SelectLayerAddsSmallOverhead) {
+  graph::GraphStats stats = graph::GraphStats::Compute(g_);
+  auto inner = ParseQueryText("MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a");
+  auto outer = ParseQueryText(
+      "SELECT COUNT(*) FROM (MATCH (a:Job)-[:WRITES_TO]->(f:File) RETURN a)");
+  ASSERT_TRUE(inner.ok() && outer.ok());
+  double ci = EstimateEvalCost(*inner, g_, stats);
+  double co = EstimateEvalCost(*outer, g_, stats);
+  EXPECT_GT(co, ci);
+  EXPECT_LT(co, ci * 2);
+}
+
+}  // namespace
+}  // namespace kaskade::query

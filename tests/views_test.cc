@@ -1,0 +1,303 @@
+// Tests for the remaining Table I/II view kinds (same-edge-type
+// connectors, source-to-sink connectors, subgraph aggregators), the
+// facade's view-refresh path, and executor/traversal equivalence sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/enumerator.h"
+#include "core/kaskade.h"
+#include "core/materializer.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "graph/algorithms.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace kaskade::core {
+namespace {
+
+using graph::GraphSchema;
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Same-edge-type connectors (Table I row 3)
+// ---------------------------------------------------------------------------
+
+TEST(SameEdgeTypeConnectorTest, EnumeratedForTypedVarLengthQuery) {
+  PropertyGraph road = datasets::MakeRoadGraph({.width = 5, .height = 5});
+  ViewEnumerator enumerator(&road.schema());
+  auto q = query::ParseQueryText(
+      "MATCH (a:Intersection)-[:ROAD*1..5]->(b:Intersection) RETURN a, b");
+  ASSERT_TRUE(q.ok());
+  auto candidates = enumerator.Enumerate(*q);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  bool found = false;
+  for (const CandidateView& c : *candidates) {
+    if (c.definition.kind == ViewKind::kSameEdgeTypeConnector) {
+      found = true;
+      EXPECT_EQ(c.definition.path_edge_type, "ROAD");
+      EXPECT_EQ(c.definition.source_type, "Intersection");
+    }
+  }
+  EXPECT_TRUE(found);
+  // An untyped variable-length query does not produce one.
+  auto untyped = query::ParseQueryText(
+      "MATCH (a:Intersection)-[r*1..5]->(b:Intersection) RETURN a, b");
+  ASSERT_TRUE(untyped.ok());
+  auto candidates2 = enumerator.Enumerate(*untyped);
+  ASSERT_TRUE(candidates2.ok());
+  for (const CandidateView& c : *candidates2) {
+    EXPECT_NE(c.definition.kind, ViewKind::kSameEdgeTypeConnector);
+  }
+}
+
+TEST(SameEdgeTypeConnectorTest, MaterializesOnlyThatType) {
+  // Mixed-type homogeneous-ish graph: ROAD edges chain, FERRY edges too.
+  GraphSchema schema;
+  schema.AddVertexType("Place");
+  ASSERT_TRUE(schema.AddEdgeType("ROAD", "Place", "Place").ok());
+  ASSERT_TRUE(schema.AddEdgeType("FERRY", "Place", "Place").ok());
+  PropertyGraph g(schema);
+  for (int i = 0; i < 5; ++i) g.AddVertexOfType(0);
+  ASSERT_TRUE(g.AddEdge(0, 1, "ROAD").ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, "ROAD").ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, "FERRY").ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, "ROAD").ok());
+
+  ViewDefinition def;
+  def.kind = ViewKind::kSameEdgeTypeConnector;
+  def.k = 8;
+  def.path_edge_type = "ROAD";
+  def.source_type = "Place";
+  def.target_type = "Place";
+  auto view = Materialize(g, def);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // Road-only reachability pairs: 0->1, 0->2, 1->2, 3->4 (the ferry
+  // breaks the chain at 2->3).
+  EXPECT_EQ(view->graph.NumEdges(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Source-to-sink connectors (Table I row 4)
+// ---------------------------------------------------------------------------
+
+TEST(SourceToSinkTest, EnumeratedForDagShapedQuery) {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  ASSERT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  ASSERT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+  ViewEnumerator enumerator(&schema);
+  // q_j1 is a query source; q_j2 a query sink.
+  auto q = query::ParseQueryText(datasets::BlastRadiusQueryText());
+  ASSERT_TRUE(q.ok());
+  auto candidates = enumerator.Enumerate(*q);
+  ASSERT_TRUE(candidates.ok());
+  bool found = false;
+  for (const CandidateView& c : *candidates) {
+    if (c.definition.kind == ViewKind::kSourceToSinkConnector) {
+      found = true;
+      EXPECT_EQ(c.definition.source_type, "Job");
+      EXPECT_EQ(c.definition.target_type, "Job");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Subgraph aggregator (Table II row 7)
+// ---------------------------------------------------------------------------
+
+TEST(SubgraphAggregatorTest, GroupsAllTypesByProperty) {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  ASSERT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  PropertyGraph g(schema);
+  // Two "regions", each with 2 jobs and 2 files; one untagged file.
+  std::vector<VertexId> jobs, files;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        g.AddVertex("Job", {{"region", PropertyValue(i < 2 ? "east" : "west")},
+                            {"CPU", PropertyValue(10.0)}})
+            .value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(
+        g.AddVertex("File",
+                    {{"region", PropertyValue(i < 2 ? "east" : "west")}})
+            .value());
+  }
+  VertexId loose = g.AddVertex("File").value();  // no region property
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.AddEdge(jobs[i], files[i], "WRITES_TO").ok());
+  }
+  ASSERT_TRUE(g.AddEdge(jobs[0], loose, "WRITES_TO").ok());
+
+  ViewDefinition def;
+  def.kind = ViewKind::kSubgraphAggregatorSummarizer;
+  def.group_by_property = "region";
+  auto view = Materialize(g, def);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // Supervertices: Job/east, Job/west, File/east, File/west + loose file.
+  EXPECT_EQ(view->graph.NumVertices(), 5u);
+  // Edges: east job-super -> east file-super (weight 2), west pair
+  // (weight 2), east job-super -> loose (weight 1).
+  EXPECT_EQ(view->graph.NumEdges(), 3u);
+  // Numeric properties summed: each Job supervertex has CPU 20.
+  graph::VertexTypeId job_t = view->graph.schema().FindVertexType("Job");
+  for (VertexId v = 0; v < view->graph.NumVertices(); ++v) {
+    if (view->graph.VertexType(v) == job_t) {
+      EXPECT_EQ(view->graph.VertexProperty(v, "CPU"), PropertyValue(20.0));
+      EXPECT_EQ(view->graph.VertexProperty(v, "members"), PropertyValue(2));
+    }
+  }
+  EXPECT_EQ(def.Name(), "sagg[by region]");
+}
+
+TEST(SubgraphAggregatorTest, CommunityCompression) {
+  // The Q7/Q8-flavored use: detect communities, then compress each into
+  // a supervertex.
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      {.num_jobs = 60, .num_files = 120, .include_auxiliary = false});
+  auto communities = graph::LabelPropagation(g, 10);
+  PropertyGraph tagged = g;  // copy, then tag
+  for (VertexId v = 0; v < tagged.NumVertices(); ++v) {
+    ASSERT_TRUE(tagged
+                    .SetVertexProperty(
+                        v, "community",
+                        PropertyValue(static_cast<int64_t>(
+                            communities.label[v])))
+                    .ok());
+  }
+  ViewDefinition def;
+  def.kind = ViewKind::kSubgraphAggregatorSummarizer;
+  def.group_by_property = "community";
+  auto view = Materialize(tagged, def);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_LT(view->graph.NumVertices(), tagged.NumVertices());
+  EXPECT_LE(view->graph.NumEdges(), tagged.NumEdges());
+  // At most 2 supervertices per community (Job + File), and no more
+  // supervertices than 2x communities.
+  EXPECT_LE(view->graph.NumVertices(), 2 * communities.num_communities);
+}
+
+// ---------------------------------------------------------------------------
+// Facade refresh
+// ---------------------------------------------------------------------------
+
+TEST(KaskadeRefreshTest, ViewsFollowBaseGraphAppends) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 40, .num_files = 80, .include_auxiliary = false});
+  Kaskade engine(std::move(base));
+  ViewDefinition connector;
+  connector.kind = ViewKind::kKHopConnector;
+  connector.k = 2;
+  connector.source_type = "Job";
+  connector.target_type = "Job";
+  ASSERT_TRUE(engine.AddMaterializedView(connector).ok());
+  size_t edges_before = engine.catalog().front().view.graph.NumEdges();
+
+  // Append a new job consuming two existing files' outputs.
+  graph::PropertyGraph* g = engine.mutable_base_graph();
+  VertexId new_job = g->AddVertex("Job", {{"CPU", PropertyValue(5.0)}}).value();
+  graph::VertexTypeId file_t = g->schema().FindVertexType("File");
+  std::vector<VertexId> files = g->VerticesOfType(file_t);
+  size_t linked = 0;
+  for (VertexId f : files) {
+    if (g->InDegree(f) > 0 && linked < 2) {  // written by someone
+      ASSERT_TRUE(g->AddEdge(f, new_job, "IS_READ_BY").ok());
+      ++linked;
+    }
+  }
+  ASSERT_EQ(linked, 2u);
+  ASSERT_TRUE(engine.RefreshViews().ok());
+  size_t edges_after = engine.catalog().front().view.graph.NumEdges();
+  EXPECT_GT(edges_after, edges_before);
+
+  // The refreshed view equals a from-scratch materialization.
+  auto scratch = Materialize(engine.base_graph(), connector);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(edges_after, scratch->graph.NumEdges());
+
+  // And queries through the engine see the new job's ancestors.
+  auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->used_view);
+}
+
+TEST(KaskadeRefreshTest, UnsupportedKindsRematerialize) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 20, .num_files = 40, .include_auxiliary = false});
+  Kaskade engine(std::move(base));
+  ViewDefinition agg;
+  agg.kind = ViewKind::kVertexAggregatorSummarizer;
+  agg.source_type = "Job";
+  agg.group_by_property = "pipelineName";
+  ASSERT_TRUE(engine.AddMaterializedView(agg).ok());
+
+  graph::PropertyGraph* g = engine.mutable_base_graph();
+  (void)g->AddVertex("Job", {{"pipelineName", PropertyValue("brand_new")},
+                             {"CPU", PropertyValue(1.0)}});
+  ASSERT_TRUE(engine.RefreshViews().ok());
+  // The new pipeline's supervertex exists after refresh.
+  const PropertyGraph& vg = engine.catalog().front().view.graph;
+  bool found = false;
+  for (VertexId v = 0; v < vg.NumVertices(); ++v) {
+    if (vg.VertexProperty(v, "pipelineName") == PropertyValue("brand_new")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Executor vs algorithmic-BFS equivalence sweep
+// ---------------------------------------------------------------------------
+
+/// The query executor's variable-length expansion must agree with the
+/// library BFS on reachability, across datasets and hop counts.
+class TraversalEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TraversalEquivalenceTest, VarLengthMatchesBoundedBfs) {
+  auto [dataset, hops] = GetParam();
+  PropertyGraph g = dataset == 0
+                        ? datasets::MakeSocialGraph({.num_vertices = 150})
+                        : datasets::MakeRoadGraph({.width = 10, .height = 10});
+  const std::string type_name = dataset == 0 ? "Person" : "Intersection";
+  query::QueryExecutor executor(&g);
+  auto result = executor.ExecuteText(
+      "MATCH (a:" + type_name + ")-[r*1.." + std::to_string(hops) + "]->(b:" +
+      type_name + ") RETURN a, b");
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Count pairs per source from the query result. Self-pairs (a round
+  // trip back to the source, which reciprocal graphs admit) are excluded
+  // because CountReachable by definition never re-counts the source;
+  // closed-walk semantics has its own tests.
+  std::map<int64_t, size_t> query_pairs;
+  for (const auto& row : result->rows()) {
+    if (row[0] == row[1]) continue;
+    ++query_pairs[row[0].as_int()];
+  }
+  graph::TraversalOptions options;
+  options.max_hops = hops;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    size_t expected = graph::CountReachable(g, v, options);
+    auto it = query_pairs.find(static_cast<int64_t>(v));
+    size_t got = it == query_pairs.end() ? 0 : it->second;
+    ASSERT_EQ(got, expected) << "vertex " << v << " hops " << hops;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraversalEquivalenceTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace kaskade::core
