@@ -31,11 +31,17 @@ void Report(const char* name, const PropertyGraph& g) {
   std::printf("%-18s %12llu %12.3g %8.2fx %12.3g %12.3g\n", name,
               static_cast<unsigned long long>(actual), er,
               er > 0 ? static_cast<double>(actual) / er : 0.0, eq50, eq95);
+  kaskade::bench::JsonReport::Record(name, "actual",
+                                     static_cast<double>(actual));
+  kaskade::bench::JsonReport::Record(name, "eq1_er", er);
+  kaskade::bench::JsonReport::Record(name, "eq23_a50", eq50);
+  kaskade::bench::JsonReport::Record(name, "eq23_a95", eq95);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "estimator_ablation");
   std::printf(
       "Estimator ablation (§V-A): exact 2-path count vs Eq. 1 (ER) vs\n"
       "Eq. 2/3 at alpha=50/95.\n\n");
@@ -48,5 +54,5 @@ int main() {
   std::printf(
       "\nReading: act/ER >> 1 on skewed graphs (the §V-A claim); the\n"
       "road network's uniform degrees keep ER honest there.\n");
-  return 0;
+  return kaskade::bench::JsonReport::Finish();
 }

@@ -39,13 +39,22 @@ void Sweep(const char* name, const PropertyGraph& full) {
     std::printf("%10zu %14.3g %14.3g %14llu %14zu\n", prefix.NumEdges(), lo,
                 hi, static_cast<unsigned long long>(actual),
                 prefix.NumEdges());
+    std::string prefix_label = std::to_string(prefix.NumEdges());
+    kaskade::bench::JsonReport::Record(
+        std::string(name) + "/" + prefix_label, "est_a50", lo);
+    kaskade::bench::JsonReport::Record(
+        std::string(name) + "/" + prefix_label, "est_a95", hi);
+    kaskade::bench::JsonReport::Record(std::string(name) + "/" + prefix_label,
+                                       "actual",
+                                       static_cast<double>(actual));
     if (n >= full.NumEdges()) break;
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "fig5_estimation");
   std::printf(
       "Figure 5: 2-hop connector size estimates vs actual (log-log in the\n"
       "paper; printed as series here). Estimators: Eq. 2 (homogeneous),\n"
@@ -54,5 +63,5 @@ int main() {
   Sweep("dblp", kaskade::bench::BenchDblpRaw());
   Sweep("roadnet-usa", kaskade::bench::BenchRoad());
   Sweep("soc-livejournal", kaskade::bench::BenchSocial());
-  return 0;
+  return kaskade::bench::JsonReport::Finish();
 }

@@ -21,7 +21,8 @@ using kaskade::core::ViewDefinition;
 using kaskade::core::ViewKind;
 using kaskade::graph::PropertyGraph;
 
-void Report(const char* dataset, const PropertyGraph& raw,
+void Report(const char* dataset, const char* section,
+            const PropertyGraph& raw,
             const std::vector<std::string>& kept_types,
             const std::string& connector_type) {
   std::printf("\n%s\n", dataset);
@@ -57,18 +58,29 @@ void Report(const char* dataset, const PropertyGraph& raw,
               std::max<size_t>(view->graph.NumEdges(), 1);
   std::printf("reduction raw->connector: %.1fx vertices, %.1fx edges\n", vr,
               er);
+  using kaskade::bench::JsonReport;
+  JsonReport::Record(section, "raw_edges",
+                     static_cast<double>(raw.NumEdges()));
+  JsonReport::Record(section, "filter_edges",
+                     static_cast<double>(filtered->graph.NumEdges()));
+  JsonReport::Record(section, "connector_edges",
+                     static_cast<double>(view->graph.NumEdges()));
+  JsonReport::Record(section, "vertex_reduction_x", vr);
+  JsonReport::Record(section, "edge_reduction_x", er);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "fig6_reduction");
   std::printf(
       "Figure 6: effective graph size after summarizer and 2-hop connector\n"
       "views (paper plots log-scale bars; printed as rows here).\n");
   Report("prov (blast-radius workload: keep Job/File, contract job-to-job)",
-         kaskade::bench::BenchProvRaw(), {"Job", "File"}, "Job");
+         "prov", kaskade::bench::BenchProvRaw(), {"Job", "File"}, "Job");
   Report("dblp (co-authorship workload: keep Author/Article, contract "
          "author-to-author)",
-         kaskade::bench::BenchDblpRaw(), {"Author", "Article"}, "Author");
-  return 0;
+         "dblp", kaskade::bench::BenchDblpRaw(), {"Author", "Article"},
+         "Author");
+  return kaskade::bench::JsonReport::Finish();
 }

@@ -46,9 +46,18 @@ using kaskade::graph::VertexTypeId;
 constexpr int kLpPassesRaw = 25;
 constexpr int kLpPassesView = 13;
 
+/// Dataset label for JSON records emitted by PrintRow.
+std::string g_section;
+
 void PrintRow(const char* query, double base_s, double view_s) {
   std::printf("%-4s %12.4f %12.4f %9.2fx\n", query, base_s, view_s,
               view_s > 0 ? base_s / view_s : 0.0);
+  kaskade::bench::JsonReport::Record(g_section,
+                                     std::string(query) + "_base_seconds",
+                                     base_s);
+  kaskade::bench::JsonReport::Record(g_section,
+                                     std::string(query) + "_view_seconds",
+                                     view_s);
 }
 
 /// Times a textual query on a graph; returns seconds (negative on error).
@@ -129,6 +138,7 @@ Q78Times TimeCommunities(const PropertyGraph& g, int passes,
 /// graph vs its 2-hop same-type connector.
 void RunHeterogeneous(const char* name, const PropertyGraph& filtered,
                       const std::string& vertex_type, bool run_q1) {
+  g_section = name;
   std::printf("\n%s (filter vs connector; connector contracts %s-to-%s)\n",
               name, vertex_type.c_str(), vertex_type.c_str());
   kaskade::core::ViewDefinition def;
@@ -202,6 +212,7 @@ void RunHeterogeneous(const char* name, const PropertyGraph& filtered,
 /// graph — the paper's point about when not to materialize).
 void RunHomogeneous(const char* name, const PropertyGraph& raw,
                     size_t q2_sources) {
+  g_section = name;
   std::printf("\n%s (raw vs connector; vertex-to-vertex 2-hop)\n", name);
   VertexTypeId vtype = 0;
   kaskade::graph::ContractionSpec spec;
@@ -243,7 +254,8 @@ void RunHomogeneous(const char* name, const PropertyGraph& raw,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "fig7_runtimes");
   std::printf(
       "Figure 7: total query runtimes, Table IV workload. Heterogeneous\n"
       "datasets run filter-vs-connector; homogeneous run raw-vs-connector.\n"
@@ -259,5 +271,5 @@ int main() {
   // the raw graph, so per-source traversals are expensive by design
   // (that asymmetry *is* the result).
   RunHomogeneous("soc-livejournal", kaskade::bench::BenchSocial(), 100);
-  return 0;
+  return kaskade::bench::JsonReport::Finish();
 }

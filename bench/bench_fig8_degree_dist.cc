@@ -25,6 +25,9 @@ void Report(const char* name, const PropertyGraph& g) {
               dist.r_squared > 0.8 && dist.powerlaw_slope < -0.5
                   ? "  [power-law]"
                   : "  [not power-law]");
+  kaskade::bench::JsonReport::Record(name, "powerlaw_slope",
+                                     dist.powerlaw_slope);
+  kaskade::bench::JsonReport::Record(name, "r_squared", dist.r_squared);
   std::printf("  %10s %12s\n", "degree", "count(deg>x)");
   // Print up to 12 CCDF points, log-spaced.
   size_t printed = 0;
@@ -39,12 +42,13 @@ void Report(const char* name, const PropertyGraph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "fig8_degree_dist");
   std::printf(
       "Figure 8: degree-distribution CCDF (log-log) with power-law fits.\n");
   Report("prov", kaskade::bench::BenchProvRaw());
   Report("dblp", kaskade::bench::BenchDblpRaw());
   Report("roadnet-usa", kaskade::bench::BenchRoad());
   Report("soc-livejournal", kaskade::bench::BenchSocial());
-  return 0;
+  return kaskade::bench::JsonReport::Finish();
 }

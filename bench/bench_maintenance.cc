@@ -82,11 +82,20 @@ void Run(size_t num_jobs) {
               view->graph.NumEdges(), incremental_seconds / kInserts * 1e6,
               scratch_seconds * 1e6,
               scratch_seconds / (incremental_seconds / kInserts));
+  std::string section = "jobs_" + std::to_string(num_jobs);
+  kaskade::bench::JsonReport::Record(section, "us_per_insert",
+                                     incremental_seconds / kInserts * 1e6);
+  kaskade::bench::JsonReport::Record(section, "us_rematerialize",
+                                     scratch_seconds * 1e6);
+  kaskade::bench::JsonReport::Record(
+      section, "advantage_x",
+      scratch_seconds / (incremental_seconds / kInserts));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "maintenance");
   std::printf(
       "Incremental maintenance vs re-materialization (2-hop job-to-job\n"
       "connector; 200 streamed lineage edges per configuration).\n\n");
@@ -96,5 +105,5 @@ int main() {
   std::printf(
       "\nReading: per-insert cost tracks local degrees, not graph size;\n"
       "re-materialization cost grows with the graph.\n");
-  return 0;
+  return kaskade::bench::JsonReport::Finish();
 }

@@ -24,7 +24,8 @@ using kaskade::core::KnapsackResult;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "selection_ablation");
   std::printf(
       "Selection ablation (§V-B): knapsack branch-and-bound vs greedy over\n"
       "a budget sweep; candidates scored from the prov workload.\n\n");
@@ -83,6 +84,11 @@ int main() {
     std::printf("%14.3g %12.4g %12.4g %12.4g %10zu %10zu\n", budget,
                 bnb.total_value, greedy.total_value, dp.total_value,
                 bnb.selected.size(), greedy.selected.size());
+    std::string section = "budget_" + std::to_string(budget);
+    kaskade::bench::JsonReport::Record(section, "bnb_value", bnb.total_value);
+    kaskade::bench::JsonReport::Record(section, "greedy_value",
+                                       greedy.total_value);
+    kaskade::bench::JsonReport::Record(section, "dp_value", dp.total_value);
     for (size_t index : bnb.selected) {
       std::printf("%14s   + %s\n", "",
                   report->candidates[index].definition.Name().c_str());
@@ -97,5 +103,7 @@ int main() {
   });
   std::printf("\nbranch-and-bound solve time: %.1f us/solve\n",
               solve_seconds * 1e3);
-  return 0;
+  kaskade::bench::JsonReport::Record("solver", "bnb_us_per_solve",
+                                     solve_seconds * 1e3);
+  return kaskade::bench::JsonReport::Finish();
 }

@@ -14,13 +14,102 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "datasets/generators.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::bench {
+
+/// \brief Machine-readable result sink for the bench binaries.
+///
+/// Benches print their human tables as always; when launched with
+/// `--json` (or `--json=<path>`) they additionally write every recorded
+/// measurement to a JSON file — `BENCH_<name>.json` by default, one
+/// file per run (rerunning overwrites it) — for perf-trajectory
+/// tracking across commits. Usage:
+///
+/// ```cpp
+/// int main(int argc, char** argv) {
+///   kaskade::bench::JsonReport::Init(argc, argv, "fig7_runtimes");
+///   ...
+///   kaskade::bench::JsonReport::Record("prov", "q2_filter_seconds", 0.8);
+///   return kaskade::bench::JsonReport::Finish();
+/// }
+/// ```
+class JsonReport {
+ public:
+  /// Parses `--json` / `--json=<path>` out of argv. No-op (and all
+  /// subsequent Records are dropped) when the flag is absent.
+  static void Init(int argc, char** argv, const std::string& bench_name) {
+    State& s = state();
+    s.bench_name = bench_name;
+    s.path = "BENCH_" + bench_name + ".json";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        s.enabled = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        s.enabled = true;
+        s.path = argv[i] + 7;
+      }
+    }
+  }
+
+  /// Records one measurement under a section (dataset, figure panel, ...).
+  static void Record(const std::string& section, const std::string& metric,
+                     double value) {
+    State& s = state();
+    if (!s.enabled) return;
+    s.entries.push_back(Entry{section, metric, value});
+  }
+
+  /// Writes the JSON file when enabled. Returns a process exit code
+  /// (0 on success) so `return JsonReport::Finish();` ends main cleanly.
+  static int Finish() {
+    State& s = state();
+    if (!s.enabled) return 0;
+    std::FILE* out = std::fopen(s.path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", s.path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 s.bench_name.c_str());
+    for (size_t i = 0; i < s.entries.size(); ++i) {
+      const Entry& e = s.entries[i];
+      std::fprintf(out,
+                   "    {\"section\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.9g}%s\n",
+                   e.section.c_str(), e.metric.c_str(), e.value,
+                   i + 1 < s.entries.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %zu results to %s\n", s.entries.size(),
+                s.path.c_str());
+    return 0;
+  }
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string metric;
+    double value;
+  };
+  struct State {
+    bool enabled = false;
+    std::string bench_name;
+    std::string path;
+    std::vector<Entry> entries;
+  };
+  static State& state() {
+    static State s;
+    return s;
+  }
+};
 
 /// Provenance graph (heterogeneous, 5 vertex types) at bench scale. Tasks
 /// outnumber jobs 10:1 — production clusters spawn billions of tasks for

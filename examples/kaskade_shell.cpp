@@ -21,7 +21,7 @@
 #include <string>
 
 #include "common/string_util.h"
-#include "core/kaskade.h"
+#include "core/engine.h"
 #include "datasets/generators.h"
 #include "graph/serialization.h"
 #include "graph/stats.h"
@@ -30,14 +30,14 @@
 
 namespace {
 
-using kaskade::core::Kaskade;
+using kaskade::core::Engine;
 using kaskade::graph::PropertyGraph;
 
-std::unique_ptr<Kaskade> MakeEngine(PropertyGraph graph) {
+std::unique_ptr<Engine> MakeEngine(PropertyGraph graph) {
   std::printf("graph ready: %zu vertices, %zu edges, %zu vertex types\n",
               graph.NumVertices(), graph.NumEdges(),
               graph.schema().num_vertex_types());
-  return std::make_unique<Kaskade>(std::move(graph));
+  return std::make_unique<Engine>(std::move(graph));
 }
 
 void PrintHelp() {
@@ -49,6 +49,7 @@ void PrintHelp() {
       "  analyze <query>             select + materialize views for a "
       "query\n"
       "  q <query>                   execute (rewriter picks the plan)\n"
+      "  batch <q1> ; <q2> ; ...     execute queries concurrently\n"
       "  explain <query>             show the raw-graph plan\n"
       "  views                       list materialized views\n"
       "  stats                       base graph statistics\n"
@@ -58,7 +59,7 @@ void PrintHelp() {
 }  // namespace
 
 int main() {
-  std::unique_ptr<Kaskade> engine;
+  std::unique_ptr<Engine> engine;
   PrintHelp();
   std::string line;
   std::printf("kaskade> ");
@@ -136,6 +137,31 @@ int main() {
                         : "raw graph");
         std::printf("%s", result->table.ToString(10).c_str());
       }
+    } else if (command == "batch") {
+      std::vector<std::string> texts;
+      std::stringstream stream(rest);
+      std::string piece;
+      while (std::getline(stream, piece, ';')) {
+        std::string query(kaskade::TrimWhitespace(piece));
+        if (!query.empty()) texts.push_back(std::move(query));
+      }
+      if (texts.empty()) {
+        std::printf("usage: batch <q1> ; <q2> ; ...\n");
+      } else {
+        auto results = engine->ExecuteBatch(texts);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok()) {
+            std::printf("[%zu] error: %s\n", i,
+                        results[i].status().ToString().c_str());
+          } else {
+            std::printf("[%zu] plan: %s, %zu rows\n", i,
+                        results[i]->used_view
+                            ? ("view " + results[i]->view_name).c_str()
+                            : "raw graph",
+                        results[i]->table.num_rows());
+          }
+        }
+      }
     } else if (command == "explain") {
       auto query = kaskade::query::ParseQueryText(rest);
       if (!query.ok()) {
@@ -147,12 +173,14 @@ int main() {
                               .c_str());
       }
     } else if (command == "views") {
+      std::printf("catalog generation %llu\n",
+                  static_cast<unsigned long long>(
+                      engine->catalog().generation()));
       if (engine->catalog().empty()) std::printf("(no views)\n");
-      for (const auto& entry : engine->catalog()) {
-        std::printf("  %-28s |V|=%zu |E|=%zu\n",
-                    entry.view.definition.Name().c_str(),
-                    entry.view.graph.NumVertices(),
-                    entry.view.graph.NumEdges());
+      for (const auto* entry : engine->catalog().Entries()) {
+        std::printf("  %-28s |V|=%zu |E|=%zu\n", entry->name().c_str(),
+                    entry->view.graph.NumVertices(),
+                    entry->view.graph.NumEdges());
       }
     } else if (command == "stats") {
       auto stats = kaskade::graph::GraphStats::Compute(engine->base_graph());

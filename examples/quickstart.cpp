@@ -7,10 +7,10 @@
 
 #include <cstdio>
 
-#include "core/kaskade.h"
+#include "core/engine.h"
 #include "graph/property_graph.h"
 
-using kaskade::core::Kaskade;
+using kaskade::core::Engine;
 using kaskade::graph::GraphSchema;
 using kaskade::graph::PropertyGraph;
 using kaskade::graph::PropertyValue;
@@ -51,7 +51,7 @@ int main() {
   //    mines constraints, enumerates candidate views with the inference
   //    engine, scores them, solves the knapsack, and materializes the
   //    winners.
-  Kaskade engine(std::move(graph));
+  Engine engine(std::move(graph));
   const std::string workload_query =
       "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b";
   auto report = engine.AnalyzeWorkload({workload_query});
@@ -62,10 +62,10 @@ int main() {
   }
   std::printf("candidate views scored: %zu, materialized: %zu\n",
               report->candidates.size(), report->selected.size());
-  for (const auto& view : engine.catalog()) {
+  for (const auto* entry : engine.catalog().Entries()) {
     std::printf("  materialized %s: %zu vertices, %zu edges\n",
-                view.view.definition.Name().c_str(),
-                view.view.graph.NumVertices(), view.view.graph.NumEdges());
+                entry->name().c_str(), entry->view.graph.NumVertices(),
+                entry->view.graph.NumEdges());
   }
 
   // 4. Execute a query. The rewriter picks the cheapest plan: here the

@@ -1,0 +1,100 @@
+#include "core/catalog.h"
+
+#include <mutex>
+#include <utility>
+
+namespace kaskade::core {
+
+Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
+  std::unique_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name() == definition.Name()) {
+      return Status::AlreadyExists("view '" + definition.Name() +
+                                   "' already materialized");
+    }
+  }
+  Result<MaterializedView> view = Materialize(*base_, definition);
+  if (!view.ok()) return view.status();
+
+  graph::GraphStats stats = graph::GraphStats::Compute(view->graph);
+  auto entry = std::unique_ptr<CatalogEntry>(new CatalogEntry{
+      next_handle_++, std::move(*view), std::move(stats), nullptr});
+  // A null maintainer slot means RefreshAll re-materializes instead.
+  if (ViewMaintainer::SupportsKind(entry->view.definition.kind)) {
+    entry->maintainer = std::make_unique<ViewMaintainer>(base_, &entry->view);
+  }
+  ViewHandle handle = entry->handle;
+  entries_.push_back(std::move(entry));
+  BumpGeneration();
+  return handle;
+}
+
+Status ViewCatalog::Remove(const std::string& name) {
+  std::unique_lock lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->name() == name) {
+      entries_.erase(it);
+      BumpGeneration();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("view '" + name + "' is not in the catalog");
+}
+
+Status ViewCatalog::RefreshAll() {
+  std::unique_lock lock(mu_);
+  // Unconditional: even a no-op refresh may follow base-graph changes
+  // that shifted raw-plan costs.
+  BumpGeneration();
+  for (const auto& entry : entries_) {
+    if (entry->maintainer != nullptr) {
+      Result<MaintenanceStats> stats = entry->maintainer->CatchUp();
+      if (!stats.ok()) return stats.status();
+      if (stats->edges_added + stats->edges_updated + stats->vertices_added ==
+          0) {
+        continue;  // nothing changed; stats stay valid
+      }
+    } else {
+      // Only unmaintainable kinds reach here (Add never leaves a
+      // supported kind without a maintainer), so replacing the view
+      // wholesale cannot strand maintainer state.
+      Result<MaterializedView> fresh =
+          Materialize(*base_, entry->view.definition);
+      if (!fresh.ok()) return fresh.status();
+      entry->view = std::move(*fresh);
+    }
+    entry->stats = graph::GraphStats::Compute(entry->view.graph);
+  }
+  return Status::OK();
+}
+
+size_t ViewCatalog::size() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
+const CatalogEntry* ViewCatalog::Find(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name() == name) return entry.get();
+  }
+  return nullptr;
+}
+
+const CatalogEntry* ViewCatalog::Get(ViewHandle handle) const {
+  std::shared_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->handle == handle) return entry.get();
+  }
+  return nullptr;
+}
+
+std::vector<const CatalogEntry*> ViewCatalog::Entries() const {
+  std::shared_lock lock(mu_);
+  std::vector<const CatalogEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.get());
+  return out;
+}
+
+}  // namespace kaskade::core

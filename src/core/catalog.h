@@ -1,0 +1,127 @@
+/// \file catalog.h
+/// \brief `ViewCatalog`: the thread-safe registry of materialized views
+/// (the "view catalog" box of Fig. 2).
+///
+/// The catalog *owns* each materialized view together with its statistics
+/// (used for cost-based plan choice) and its incremental maintainer
+/// (where the view kind supports one). Entries live behind stable
+/// `ViewHandle` ids and never move in memory — they are held by
+/// `std::unique_ptr` — so maintainers and in-flight readers can hold
+/// pointers into them without the pointer-stability gymnastics the old
+/// monolithic facade needed (a `std::deque` that must never reallocate).
+///
+/// Every mutation — registering a view, refreshing views, dropping a
+/// view, or an announced base-graph change — bumps a monotonic
+/// *generation* counter. Consumers that cache anything derived from the
+/// catalog (notably the `Planner`'s plan cache) key their entries by
+/// generation, which makes invalidation implicit: a stale generation
+/// simply never matches again.
+///
+/// Thread-safety: all methods are safe to call concurrently. Reads take a
+/// shared lock; mutations take an exclusive lock. `CatalogEntry` pointers
+/// returned by accessors stay valid until the entry is dropped, but the
+/// *contents* they point to may only be read while the caller prevents
+/// concurrent catalog mutations (the `Engine` enforces this with its own
+/// reader/writer discipline).
+
+#ifndef KASKADE_CORE_CATALOG_H_
+#define KASKADE_CORE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/maintenance.h"
+#include "core/materializer.h"
+#include "core/view_definition.h"
+#include "graph/property_graph.h"
+#include "graph/stats.h"
+
+namespace kaskade::core {
+
+/// \brief Stable identifier of a catalog entry. Never reused, never
+/// invalidated by other entries coming or going.
+using ViewHandle = uint64_t;
+
+inline constexpr ViewHandle kInvalidViewHandle = 0;
+
+/// \brief A materialized view registered with the catalog, with the
+/// statistics used for cost-based plan choice and the maintainer that
+/// keeps it consistent with the base graph (null when the view kind only
+/// supports re-materialization).
+struct CatalogEntry {
+  ViewHandle handle = kInvalidViewHandle;
+  MaterializedView view;
+  graph::GraphStats stats;
+  std::unique_ptr<ViewMaintainer> maintainer;
+
+  std::string name() const { return view.definition.Name(); }
+};
+
+/// \brief Thread-safe registry owning all materialized views.
+class ViewCatalog {
+ public:
+  /// Binds to the base graph the views are materialized from. The graph
+  /// must outlive the catalog and must not move (maintainers hold
+  /// pointers to it).
+  explicit ViewCatalog(const graph::PropertyGraph* base) : base_(base) {}
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// Materializes `definition` over the base graph and registers it.
+  /// Attaches an incremental maintainer when the view kind supports one.
+  /// Fails with AlreadyExists when a view of the same name is registered.
+  Result<ViewHandle> Add(const ViewDefinition& definition);
+
+  /// Drops the view named `name`. Plans cached against older generations
+  /// stop matching; in-flight readers of the entry must be excluded by
+  /// the caller (the Engine's writer lock does this).
+  Status Remove(const std::string& name);
+
+  /// Brings every registered view up to date with the base graph:
+  /// incrementally where a maintainer is attached, by re-materialization
+  /// otherwise. Refreshes per-view statistics.
+  Status RefreshAll();
+
+  /// Announces an out-of-band base-graph change (e.g. appended edges)
+  /// so generation-keyed caches are invalidated before the next refresh.
+  void NoteBaseGraphChanged() { BumpGeneration(); }
+
+  /// Monotonic counter: strictly increases on every catalog mutation or
+  /// announced base-graph change. Starts at 1.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Entry lookup; null when absent. See class comment for pointer
+  /// validity rules.
+  const CatalogEntry* Find(const std::string& name) const;
+  const CatalogEntry* Get(ViewHandle handle) const;
+
+  /// Snapshot of all live entries, in registration order.
+  std::vector<const CatalogEntry*> Entries() const;
+
+ private:
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  const graph::PropertyGraph* base_;
+  mutable std::shared_mutex mu_;
+  /// unique_ptr: entries are pointer-stable and individually droppable.
+  std::vector<std::unique_ptr<CatalogEntry>> entries_;
+  ViewHandle next_handle_ = 1;
+  std::atomic<uint64_t> generation_{1};
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_CATALOG_H_

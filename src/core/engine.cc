@@ -1,0 +1,154 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace kaskade::core {
+
+namespace {
+
+PlannerOptions MakePlannerOptions(const EngineOptions& options) {
+  PlannerOptions planner = options.planner;
+  // Plan choice must cost queries exactly as view selection did, or the
+  // engine would select views it then refuses to use.
+  planner.eval_cost = options.selector.cost.eval;
+  return planner;
+}
+
+}  // namespace
+
+Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
+    : base_(std::move(base_graph)),
+      options_(options),
+      catalog_(&base_),
+      planner_(MakePlannerOptions(options)) {}
+
+Result<SelectionReport> Engine::AnalyzeWorkload(
+    const std::vector<std::string>& query_texts) {
+  std::unique_lock lock(mu_);
+  std::vector<WorkloadEntry> workload;
+  workload.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    KASKADE_ASSIGN_OR_RETURN(query::Query q, query::ParseQueryText(text));
+    workload.push_back(WorkloadEntry{std::move(q), 1.0});
+  }
+  ViewSelector selector(&base_, options_.selector);
+  KASKADE_ASSIGN_OR_RETURN(SelectionReport report, selector.Select(workload));
+  for (const ScoredView& scored : report.selected) {
+    Result<ViewHandle> handle = catalog_.Add(scored.definition);
+    if (!handle.ok()) return handle.status();
+  }
+  return report;
+}
+
+Status Engine::AddMaterializedView(const ViewDefinition& definition) {
+  std::unique_lock lock(mu_);
+  return catalog_.Add(definition).status();
+}
+
+Status Engine::RemoveView(const std::string& name) {
+  std::unique_lock lock(mu_);
+  return catalog_.Remove(name);
+}
+
+Status Engine::RefreshViews() {
+  std::unique_lock lock(mu_);
+  return catalog_.RefreshAll();
+}
+
+Status Engine::MutateBaseGraph(
+    const std::function<Status(graph::PropertyGraph*)>& mutation) {
+  std::unique_lock lock(mu_);
+  Status status = mutation(&base_);
+  // Even a failed mutation may have partially changed the graph; a
+  // spurious generation bump only costs a plan-cache miss.
+  catalog_.NoteBaseGraphChanged();
+  return status;
+}
+
+Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
+  const graph::PropertyGraph* target = &base_;
+  if (!plan.view_name.empty()) {
+    const CatalogEntry* entry = catalog_.Find(plan.view_name);
+    if (entry == nullptr) {
+      return Status::Internal("cached plan references a missing view '" +
+                              plan.view_name + "'");
+    }
+    target = &entry->view.graph;
+  }
+  query::QueryExecutor executor(target, options_.executor);
+  KASKADE_ASSIGN_OR_RETURN(query::Table table,
+                           executor.ExecuteText(plan.executed_query));
+  ExecutionResult result;
+  result.table = std::move(table);
+  result.used_view = !plan.view_name.empty();
+  result.view_name = plan.view_name;
+  result.executed_query = plan.executed_query;
+  result.estimated_cost = plan.estimated_cost;
+  return result;
+}
+
+Result<ExecutionResult> Engine::ExecuteUnderLock(
+    const std::string& query_text) {
+  KASKADE_ASSIGN_OR_RETURN(Plan plan,
+                           planner_.PlanFor(query_text, base_, catalog_));
+  return RunPlan(plan);
+}
+
+Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
+  std::shared_lock lock(mu_);
+  return ExecuteUnderLock(query_text);
+}
+
+Result<ExecutionResult> Engine::Execute(const query::Query& query) {
+  std::shared_lock lock(mu_);
+  Plan plan;
+  KASKADE_RETURN_IF_ERROR(planner_.ChoosePlan(query, base_, catalog_, &plan));
+  return RunPlan(plan);
+}
+
+std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(
+    const std::vector<std::string>& query_texts) {
+  std::vector<std::optional<Result<ExecutionResult>>> slots(
+      query_texts.size());
+  size_t workers = options_.batch_workers != 0
+                       ? options_.batch_workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, query_texts.size());
+
+  if (workers <= 1) {
+    std::shared_lock lock(mu_);
+    for (size_t i = 0; i < query_texts.size(); ++i) {
+      slots[i].emplace(ExecuteUnderLock(query_texts[i]));
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      std::shared_lock lock(mu_);
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= query_texts.size()) break;
+        slots[i].emplace(ExecuteUnderLock(query_texts[i]));
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<Result<ExecutionResult>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) {
+    results.push_back(std::move(slot).value());
+  }
+  return results;
+}
+
+}  // namespace kaskade::core

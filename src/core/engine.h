@@ -1,0 +1,143 @@
+/// \file engine.h
+/// \brief `Engine`: the end-to-end graph query optimization facade of
+/// Fig. 2, composed from the first-class subsystems it coordinates —
+/// `ViewCatalog` (registry of materialized views), `Planner` (plan
+/// enumeration + costing + plan cache), and the query executor.
+///
+/// Typical use:
+///
+/// ```cpp
+/// kaskade::core::Engine engine(std::move(graph));
+/// engine.AnalyzeWorkload({q1_text, q2_text});      // select + materialize
+/// auto result = engine.Execute(q1_text);           // rewrite + run
+/// std::cout << result->table.ToString();
+/// ```
+///
+/// Concurrency discipline: `Execute` and `ExecuteBatch` are *readers* —
+/// any number may run concurrently. `AnalyzeWorkload`, `RefreshViews`,
+/// `AddMaterializedView`, `RemoveView`, and `MutateBaseGraph` are
+/// *writers* — each runs exclusively, via a `std::shared_mutex`. The
+/// planner's plan cache is keyed by the catalog's generation counter, so
+/// every writer implicitly invalidates cached plans.
+///
+/// `ExecuteBatch` fans a batch of queries across a small worker pool and
+/// returns per-query results in input order; results are identical to
+/// calling `Execute` sequentially.
+
+#ifndef KASKADE_CORE_ENGINE_H_
+#define KASKADE_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/planner.h"
+#include "core/view_selector.h"
+#include "graph/property_graph.h"
+#include "query/executor.h"
+#include "query/table.h"
+
+namespace kaskade::core {
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  SelectorOptions selector;
+  query::ExecutorOptions executor;
+  /// Plan-cache sizing; `planner.eval_cost` is overridden by
+  /// `selector.cost.eval` so plan choice and view selection always cost
+  /// queries identically.
+  PlannerOptions planner;
+  /// Worker threads for `ExecuteBatch`; 0 = hardware concurrency.
+  size_t batch_workers = 4;
+};
+
+/// \brief Outcome of executing a query, with plan provenance.
+struct ExecutionResult {
+  query::Table table;
+  bool used_view = false;
+  std::string view_name;       ///< Set when used_view.
+  std::string executed_query;  ///< The (possibly rewritten) query text.
+  double estimated_cost = 0;
+};
+
+/// \brief The framework facade. See file comment for the concurrency
+/// contract.
+class Engine {
+ public:
+  explicit Engine(graph::PropertyGraph base_graph, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const graph::PropertyGraph& base_graph() const { return base_; }
+  const ViewCatalog& catalog() const { return catalog_; }
+  const Planner& planner() const { return planner_; }
+
+  /// Workload analyzer (§V-B): selects views for the workload under the
+  /// space budget and materializes them. Writer.
+  Result<SelectionReport> AnalyzeWorkload(
+      const std::vector<std::string>& query_texts);
+
+  /// Materializes one view directly (bypasses selection). Writer.
+  Status AddMaterializedView(const ViewDefinition& definition);
+
+  /// Drops a materialized view by name. Writer.
+  Status RemoveView(const std::string& name);
+
+  /// Brings every materialized view up to date with the base graph:
+  /// incrementally where the view kind supports it, by
+  /// re-materialization otherwise. Writer.
+  Status RefreshViews();
+
+  /// Applies `mutation` to the base graph under the writer lock and
+  /// bumps the catalog generation (invalidating cached plans). The
+  /// provenance use case is append-only: call `RefreshViews` afterwards
+  /// so the materialized views reflect the additions.
+  Status MutateBaseGraph(
+      const std::function<Status(graph::PropertyGraph*)>& mutation);
+
+  /// Query rewriter + execution (§V-C): evaluates `query_text` via the
+  /// cheapest available plan (raw graph or one materialized view),
+  /// consulting the planner's generation-keyed plan cache. Reader.
+  Result<ExecutionResult> Execute(const std::string& query_text);
+
+  /// As above for a pre-parsed query; bypasses the plan cache (there is
+  /// no canonical text key). Reader.
+  Result<ExecutionResult> Execute(const query::Query& query);
+
+  /// Executes a batch of queries across `batch_workers` threads and
+  /// returns results in input order, identical to sequential `Execute`.
+  /// Reader (all workers share the read lock).
+  std::vector<Result<ExecutionResult>> ExecuteBatch(
+      const std::vector<std::string>& query_texts);
+
+  /// \name Plan-cache telemetry, forwarded from the planner.
+  /// @{
+  size_t plan_cache_hits() const { return planner_.cache_hits(); }
+  size_t plan_cache_misses() const { return planner_.cache_misses(); }
+  /// @}
+
+ private:
+  /// Executes a previously chosen plan. Caller holds (at least) the
+  /// reader lock.
+  Result<ExecutionResult> RunPlan(const Plan& plan) const;
+
+  /// Plan + run one query text. Caller holds the reader lock.
+  Result<ExecutionResult> ExecuteUnderLock(const std::string& query_text);
+
+  graph::PropertyGraph base_;
+  EngineOptions options_;
+  ViewCatalog catalog_;
+  Planner planner_;
+  /// Readers: Execute/ExecuteBatch. Writers: everything that mutates
+  /// the catalog or the base graph.
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_ENGINE_H_

@@ -1,130 +1,31 @@
 /// \file kaskade.h
-/// \brief The Kaskade facade: the end-to-end graph query optimization
-/// framework of Fig. 2.
+/// \brief DEPRECATED compatibility shim for the old monolithic `Kaskade`
+/// facade.
 ///
-/// Typical use:
+/// The facade has been decomposed into first-class subsystems:
 ///
-/// ```cpp
-/// kaskade::core::Kaskade engine(std::move(graph));
-/// engine.AnalyzeWorkload({q1_text, q2_text});      // select + materialize
-/// auto result = engine.Execute(q1_text);           // rewrite + run
-/// std::cout << result->table.ToString();
-/// ```
+///   - `core/catalog.h`  — `ViewCatalog`: thread-safe registry owning
+///     materialized views, their statistics, and their maintainers
+///     behind stable handles, with a monotonic generation counter.
+///   - `core/planner.h`  — `Planner`: plan enumeration + costing with a
+///     sharded LRU plan cache keyed by (query text, catalog generation).
+///   - `core/engine.h`   — `Engine`: the coordinating facade, with a
+///     reader/writer concurrency discipline and batched execution.
 ///
-/// `AnalyzeWorkload` runs the workload analyzer (view enumeration,
-/// scoring, knapsack selection) and materializes the winners. `Execute`
-/// runs the query rewriter: it considers the raw graph and every
-/// materialized view, picks the cheapest plan by estimated cost, and
-/// executes it. The paper's single-view-per-rewrite restriction applies.
+/// Include those headers directly; this one only aliases the old names
+/// and will be removed.
 
 #ifndef KASKADE_CORE_KASKADE_H_
 #define KASKADE_CORE_KASKADE_H_
 
-#include <deque>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "common/result.h"
-#include "core/maintenance.h"
-#include "core/materializer.h"
-#include "core/view_selector.h"
-#include "graph/property_graph.h"
-#include "graph/stats.h"
-#include "query/executor.h"
-#include "query/table.h"
+#include "core/engine.h"
 
 namespace kaskade::core {
 
-/// \brief Engine configuration.
-struct KaskadeOptions {
-  SelectorOptions selector;
-  query::ExecutorOptions executor;
-};
+using KaskadeOptions [[deprecated("use EngineOptions (core/engine.h)")]] =
+    EngineOptions;
 
-/// \brief A materialized view registered with the engine, with statistics
-/// for cost-based plan choice.
-struct CatalogEntry {
-  MaterializedView view;
-  graph::GraphStats stats;
-};
-
-/// \brief The framework facade.
-class Kaskade {
- public:
-  explicit Kaskade(graph::PropertyGraph base_graph, KaskadeOptions options = {})
-      : base_(std::move(base_graph)),
-        options_(options) {}
-
-  const graph::PropertyGraph& base_graph() const { return base_; }
-  const std::deque<CatalogEntry>& catalog() const { return catalog_; }
-
-  /// Mutable access for appending vertices/edges (the provenance use
-  /// case is append-only). Call `RefreshViews` afterwards so the
-  /// materialized views reflect the additions.
-  graph::PropertyGraph* mutable_base_graph() { return &base_; }
-
-  /// Brings every materialized view up to date with the base graph:
-  /// incrementally where the view kind supports it (connectors, filter
-  /// summarizers), by re-materialization otherwise. Also refreshes the
-  /// per-view statistics used for plan choice.
-  Status RefreshViews();
-
-  /// Workload analyzer (§V-B): selects views for the workload under the
-  /// space budget and materializes them.
-  Result<SelectionReport> AnalyzeWorkload(
-      const std::vector<std::string>& query_texts);
-
-  /// Materializes one view directly (bypasses selection).
-  Status AddMaterializedView(const ViewDefinition& definition);
-
-  /// \brief Outcome of executing a query, with plan provenance.
-  struct ExecutionResult {
-    query::Table table;
-    bool used_view = false;
-    std::string view_name;       ///< Set when used_view.
-    std::string executed_query;  ///< The (possibly rewritten) query text.
-    double estimated_cost = 0;
-  };
-
-  /// Query rewriter + execution (§V-C): evaluates `query_text` via the
-  /// cheapest available plan (raw graph or one materialized view). Plan
-  /// choice is cached per query text — the paper amortizes constraint
-  /// extraction and view inference over repeated runs of the same query
-  /// (§VII-A); the cache is invalidated when the catalog or base graph
-  /// changes.
-  Result<ExecutionResult> Execute(const std::string& query_text);
-  Result<ExecutionResult> Execute(const query::Query& query);
-
-  /// Plan-cache telemetry (for tests and operations).
-  size_t plan_cache_hits() const { return plan_cache_hits_; }
-  size_t plan_cache_misses() const { return plan_cache_misses_; }
-
- private:
-  /// Chosen plan for one query text.
-  struct PlanCacheEntry {
-    std::string view_name;       ///< Empty = raw graph.
-    std::string executed_query;  ///< Rendered (possibly rewritten) text.
-    double estimated_cost = 0;
-  };
-
-  /// Runs the plan search (rewrite enumeration + costing); fills `entry`.
-  Status ChoosePlan(const query::Query& query, PlanCacheEntry* entry);
-
-  /// Executes a previously chosen plan.
-  Result<ExecutionResult> RunPlan(const PlanCacheEntry& entry);
-
-  graph::PropertyGraph base_;
-  KaskadeOptions options_;
-  /// deque: growth must not move entries — the maintainers hold pointers
-  /// into them.
-  std::deque<CatalogEntry> catalog_;
-  std::vector<std::unique_ptr<ViewMaintainer>> maintainers_;
-  std::map<std::string, PlanCacheEntry> plan_cache_;
-  size_t plan_cache_hits_ = 0;
-  size_t plan_cache_misses_ = 0;
-};
+using Kaskade [[deprecated("use Engine (core/engine.h)")]] = Engine;
 
 }  // namespace kaskade::core
 

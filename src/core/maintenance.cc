@@ -11,6 +11,14 @@ using graph::PropertyGraph;
 using graph::PropertyValue;
 using graph::VertexId;
 
+bool ViewMaintainer::SupportsKind(ViewKind kind) {
+  return kind == ViewKind::kKHopConnector ||
+         kind == ViewKind::kVertexInclusionSummarizer ||
+         kind == ViewKind::kVertexRemovalSummarizer ||
+         kind == ViewKind::kEdgeInclusionSummarizer ||
+         kind == ViewKind::kEdgeRemovalSummarizer;
+}
+
 ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
                                MaterializedView* view)
     : base_(base), view_(view) {

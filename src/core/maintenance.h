@@ -53,6 +53,11 @@ struct MaintenanceStats {
 /// multiplicities — as `Materialize(base, definition)` run from scratch.
 class ViewMaintainer {
  public:
+  /// True for the view kinds this maintainer supports incrementally
+  /// (k-hop connectors and the four type-filter summarizers). Other
+  /// kinds must be re-materialized on base-graph change.
+  static bool SupportsKind(ViewKind kind);
+
   /// Binds to a base graph and a view previously materialized from it.
   /// The maintainer indexes the current view; O(view size).
   ViewMaintainer(const graph::PropertyGraph* base, MaterializedView* view);

@@ -1,0 +1,98 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "core/rewriter.h"
+#include "graph/stats.h"
+#include "query/parser.h"
+
+namespace kaskade::core {
+
+Planner::Planner(PlannerOptions options)
+    : options_(options),
+      shards_(std::max<size_t>(1, options.cache_shards)) {
+  per_shard_capacity_ =
+      (options_.cache_capacity + shards_.size() - 1) / shards_.size();
+}
+
+Status Planner::ChoosePlan(const query::Query& query,
+                           const graph::PropertyGraph& base,
+                           const ViewCatalog& catalog, Plan* plan) const {
+  // Plan 0: the raw graph.
+  graph::GraphStats base_stats = graph::GraphStats::Compute(base);
+  plan->estimated_cost =
+      query::EstimateEvalCost(query, base, base_stats, options_.eval_cost);
+  plan->view_name.clear();
+  plan->executed_query = query.ToString();
+
+  // Plans 1..n: one per materialized view (single-view rewritings, §V-C).
+  for (const CatalogEntry* entry : catalog.Entries()) {
+    Result<query::Query> rewritten =
+        RewriteQueryWithView(query, entry->view.definition, base.schema());
+    if (!rewritten.ok()) continue;
+    double cost = query::EstimateEvalCost(*rewritten, entry->view.graph,
+                                          entry->stats, options_.eval_cost);
+    if (cost < plan->estimated_cost) {
+      plan->estimated_cost = cost;
+      plan->view_name = entry->name();
+      plan->executed_query = rewritten->ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Plan> Planner::PlanFor(const std::string& query_text,
+                              const graph::PropertyGraph& base,
+                              const ViewCatalog& catalog) {
+  CacheKey key{query_text, catalog.generation()};
+  const bool cache_enabled = options_.cache_capacity > 0;
+  if (cache_enabled) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  KASKADE_ASSIGN_OR_RETURN(query::Query query,
+                           query::ParseQueryText(query_text));
+  Plan plan;
+  KASKADE_RETURN_IF_ERROR(ChoosePlan(query, base, catalog, &plan));
+
+  if (cache_enabled) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(key) == shard.index.end()) {
+      shard.lru.emplace_front(key, plan);
+      shard.index.emplace(key, shard.lru.begin());
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+      }
+    }
+  }
+  return plan;
+}
+
+void Planner::ClearCache() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t Planner::cache_size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,130 @@
+/// \file planner.h
+/// \brief `Planner`: plan enumeration and costing (the "query rewriter"
+/// box of Fig. 2, §V-C), with a sharded LRU plan cache.
+///
+/// For a query, the planner considers the raw graph plus one single-view
+/// rewriting per catalog entry (the paper's single-view-per-rewrite
+/// restriction) and picks the cheapest by estimated evaluation cost.
+///
+/// Plan choice is cached per `(query text, catalog generation)` — the
+/// paper amortizes constraint extraction and view inference over
+/// repeated runs of the same query (§VII-A). Keying by the catalog's
+/// monotonic generation makes invalidation implicit: after any catalog
+/// or base-graph change the generation moves on and stale entries simply
+/// never match again (they age out of the LRU). The cache is sharded and
+/// mutex-striped so concurrent executors contend only per shard, not on
+/// one global lock.
+
+#ifndef KASKADE_CORE_PLANNER_H_
+#define KASKADE_CORE_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "graph/property_graph.h"
+#include "query/ast.h"
+#include "query/cost.h"
+
+namespace kaskade::core {
+
+/// \brief A chosen execution plan for one query.
+struct Plan {
+  std::string view_name;       ///< Empty = run on the raw graph.
+  std::string executed_query;  ///< Rendered (possibly rewritten) text.
+  double estimated_cost = 0;
+};
+
+/// \brief Planner configuration.
+struct PlannerOptions {
+  /// Cost-proxy options forwarded to `query::EstimateEvalCost`.
+  query::CostModelOptions eval_cost;
+  /// Target total cached plans; 0 disables caching. Enforced per shard
+  /// as ceil(capacity / shards), so the live total can exceed this by
+  /// up to shards-1 entries.
+  size_t cache_capacity = 4096;
+  /// Mutex stripes. Bounded lock contention under concurrent execution.
+  size_t cache_shards = 8;
+};
+
+/// \brief Plan enumeration + costing with a generation-keyed plan cache.
+///
+/// Thread-safety: all methods are safe to call concurrently; cache
+/// shards carry their own mutexes and telemetry counters are atomic.
+/// The caller must prevent concurrent mutation of `base` and `catalog`
+/// for the duration of a call (the Engine's reader lock does this).
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = {});
+
+  /// Uncached plan search: considers the raw graph and every catalog
+  /// entry, returns the cheapest plan.
+  Status ChoosePlan(const query::Query& query,
+                    const graph::PropertyGraph& base,
+                    const ViewCatalog& catalog, Plan* plan) const;
+
+  /// Cached plan lookup keyed by `(query_text, catalog.generation())`;
+  /// parses + plans on miss and inserts into the LRU.
+  Result<Plan> PlanFor(const std::string& query_text,
+                       const graph::PropertyGraph& base,
+                       const ViewCatalog& catalog);
+
+  /// Drops every cached plan (telemetry is preserved). Rarely needed —
+  /// generation keying already invalidates — but useful for tests and
+  /// for bounding memory after bursts.
+  void ClearCache();
+
+  /// \name Plan-cache telemetry (for tests and operations).
+  /// @{
+  size_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  size_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  size_t cache_size() const;
+  /// @}
+
+ private:
+  struct CacheKey {
+    std::string text;
+    uint64_t generation = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      size_t h = std::hash<std::string>{}(key.text);
+      return h ^ (std::hash<uint64_t>{}(key.generation) + 0x9e3779b97f4a7c15ULL +
+                  (h << 6) + (h >> 2));
+    }
+  };
+  /// One LRU stripe: most-recently-used at the front.
+  struct Shard {
+    std::mutex mu;
+    std::list<std::pair<CacheKey, Plan>> lru;
+    std::unordered_map<CacheKey, std::list<std::pair<CacheKey, Plan>>::iterator,
+                       CacheKeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const CacheKey& key) const {
+    return shards_[CacheKeyHash{}(key) % shards_.size()];
+  }
+
+  PlannerOptions options_;
+  size_t per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_PLANNER_H_

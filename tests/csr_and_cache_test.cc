@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/kaskade.h"
+#include "core/engine.h"
 #include "core/materializer.h"
 #include "core/rewriter.h"
 #include "datasets/generators.h"
@@ -176,7 +176,7 @@ TEST(SameTypeRewriteTest, ParityGapsPermitWiderWindows) {
 TEST(PlanCacheTest, RepeatedQueriesHitTheCache) {
   PropertyGraph base = datasets::MakeProvenanceGraph(
       {.num_jobs = 50, .num_files = 100, .include_auxiliary = false});
-  core::Kaskade engine(std::move(base));
+  core::Engine engine(std::move(base));
   core::ViewDefinition connector;
   connector.kind = core::ViewKind::kKHopConnector;
   connector.k = 2;
@@ -201,7 +201,7 @@ TEST(PlanCacheTest, RepeatedQueriesHitTheCache) {
 TEST(PlanCacheTest, CatalogChangesInvalidate) {
   PropertyGraph base = datasets::MakeProvenanceGraph(
       {.num_jobs = 50, .num_files = 100, .include_auxiliary = false});
-  core::Kaskade engine(std::move(base));
+  core::Engine engine(std::move(base));
   const std::string text = datasets::AncestorsQueryText("Job", 4);
   auto before = engine.Execute(text);
   ASSERT_TRUE(before.ok());

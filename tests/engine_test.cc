@@ -1,0 +1,363 @@
+// Tests for the decomposed Engine / ViewCatalog / Planner architecture:
+// plan-cache correctness under catalog and base-graph changes, generation
+// monotonicity, stable view handles, batched execution, and concurrent
+// reader execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/engine.h"
+#include "core/kaskade.h"  // the deprecated shim, exercised below
+#include "core/planner.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "query/parser.h"
+
+namespace kaskade::core {
+namespace {
+
+using graph::PropertyGraph;
+using graph::PropertyValue;
+using graph::VertexId;
+
+PropertyGraph SmallProv(uint64_t seed = 42) {
+  datasets::ProvOptions options;
+  options.num_jobs = 60;
+  options.num_files = 120;
+  options.include_auxiliary = false;
+  options.seed = seed;
+  return datasets::MakeProvenanceGraph(options);
+}
+
+ViewDefinition JobConnector() {
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "Job";
+  def.target_type = "Job";
+  return def;
+}
+
+ViewDefinition FileConnector() {
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "File";
+  def.target_type = "File";
+  return def;
+}
+
+/// Appends one isolated Job vertex through the writer API.
+Status AppendJob(Engine* engine) {
+  return engine->MutateBaseGraph([](PropertyGraph* g) {
+    return g->AddVertex("Job", {{"CPU", PropertyValue(1.0)}}).status();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ViewCatalog
+// ---------------------------------------------------------------------------
+
+TEST(ViewCatalogTest, HandlesAreStableAcrossMutations) {
+  PropertyGraph base = SmallProv();
+  ViewCatalog catalog(&base);
+  auto job = catalog.Add(JobConnector());
+  ASSERT_TRUE(job.ok()) << job.status();
+  auto file = catalog.Add(FileConnector());
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_NE(*job, *file);
+  EXPECT_NE(*job, kInvalidViewHandle);
+
+  const CatalogEntry* by_handle = catalog.Get(*job);
+  ASSERT_NE(by_handle, nullptr);
+  EXPECT_EQ(by_handle->name(), JobConnector().Name());
+  // Dropping one entry leaves the other handle valid.
+  ASSERT_TRUE(catalog.Remove(FileConnector().Name()).ok());
+  EXPECT_EQ(catalog.Get(*file), nullptr);
+  ASSERT_NE(catalog.Get(*job), nullptr);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(ViewCatalogTest, GenerationIsMonotonic) {
+  PropertyGraph base = SmallProv();
+  ViewCatalog catalog(&base);
+  uint64_t g0 = catalog.generation();
+  ASSERT_TRUE(catalog.Add(JobConnector()).ok());
+  uint64_t g1 = catalog.generation();
+  EXPECT_GT(g1, g0);
+  ASSERT_TRUE(catalog.RefreshAll().ok());
+  uint64_t g2 = catalog.generation();
+  EXPECT_GT(g2, g1);
+  catalog.NoteBaseGraphChanged();
+  uint64_t g3 = catalog.generation();
+  EXPECT_GT(g3, g2);
+  ASSERT_TRUE(catalog.Remove(JobConnector().Name()).ok());
+  EXPECT_GT(catalog.generation(), g3);
+}
+
+TEST(ViewCatalogTest, DuplicateAndMissingNames) {
+  PropertyGraph base = SmallProv();
+  ViewCatalog catalog(&base);
+  ASSERT_TRUE(catalog.Add(JobConnector()).ok());
+  EXPECT_EQ(catalog.Add(JobConnector()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Remove("no_such_view").code(), StatusCode::kNotFound);
+}
+
+TEST(ViewCatalogTest, MaintainerAttachedOnlyForSupportedKinds) {
+  PropertyGraph base = SmallProv();
+  ViewCatalog catalog(&base);
+  ASSERT_TRUE(catalog.Add(JobConnector()).ok());
+  ViewDefinition agg;
+  agg.kind = ViewKind::kVertexAggregatorSummarizer;
+  agg.source_type = "Job";
+  agg.group_by_property = "pipelineName";
+  ASSERT_TRUE(catalog.Add(agg).ok());
+
+  const CatalogEntry* connector = catalog.Find(JobConnector().Name());
+  ASSERT_NE(connector, nullptr);
+  EXPECT_NE(connector->maintainer, nullptr);
+  const CatalogEntry* aggregator = catalog.Find(agg.Name());
+  ASSERT_NE(aggregator, nullptr);
+  EXPECT_EQ(aggregator->maintainer, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache correctness
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, InvalidatedByAddMaterializedView) {
+  Engine engine(SmallProv());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  auto before = engine.Execute(text);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_FALSE(before->used_view);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  auto after = engine.Execute(text);
+  ASSERT_TRUE(after.ok()) << after.status();
+  // The cached raw plan must not survive the catalog change.
+  EXPECT_TRUE(after->used_view);
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+}
+
+TEST(PlanCacheTest, InvalidatedByRefreshViews) {
+  Engine engine(SmallProv());
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  ASSERT_TRUE(engine.Execute(text).ok());
+  ASSERT_TRUE(engine.Execute(text).ok());
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+
+  ASSERT_TRUE(engine.RefreshViews().ok());
+  ASSERT_TRUE(engine.Execute(text).ok());
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);  // stale generation: miss
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);    // telemetry preserved
+}
+
+TEST(PlanCacheTest, InvalidatedByBaseGraphMutation) {
+  Engine engine(SmallProv());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  ASSERT_TRUE(engine.Execute(text).ok());
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  ASSERT_TRUE(AppendJob(&engine).ok());
+  ASSERT_TRUE(engine.Execute(text).ok());
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+}
+
+TEST(PlanCacheTest, RepeatedQueriesHitWithoutIntermediateChanges) {
+  Engine engine(SmallProv());
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  auto first = engine.Execute(text);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto repeat = engine.Execute(text);
+    ASSERT_TRUE(repeat.ok());
+    EXPECT_EQ(repeat->view_name, first->view_name);
+    EXPECT_EQ(repeat->table.num_rows(), first->table.num_rows());
+  }
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  EXPECT_EQ(engine.plan_cache_hits(), 5u);
+}
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  PropertyGraph base = SmallProv();
+  PlannerOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;  // deterministic eviction order
+  Planner planner(options);
+  ViewCatalog catalog(&base);
+
+  const std::string q1 = datasets::AncestorsQueryText("Job", 4);
+  const std::string q2 = datasets::DescendantsQueryText("Job", 4);
+  const std::string q3 = "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+
+  ASSERT_TRUE(planner.PlanFor(q1, base, catalog).ok());
+  ASSERT_TRUE(planner.PlanFor(q2, base, catalog).ok());
+  EXPECT_EQ(planner.cache_size(), 2u);
+  ASSERT_TRUE(planner.PlanFor(q3, base, catalog).ok());  // evicts q1
+  EXPECT_EQ(planner.cache_size(), 2u);
+  EXPECT_EQ(planner.cache_misses(), 3u);
+
+  ASSERT_TRUE(planner.PlanFor(q2, base, catalog).ok());  // still cached
+  EXPECT_EQ(planner.cache_hits(), 1u);
+  ASSERT_TRUE(planner.PlanFor(q1, base, catalog).ok());  // was evicted
+  EXPECT_EQ(planner.cache_misses(), 4u);
+}
+
+TEST(PlanCacheTest, RemoveViewFallsBackToRawPlan) {
+  Engine engine(SmallProv());
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+  auto with_view = engine.Execute(text);
+  ASSERT_TRUE(with_view.ok());
+  EXPECT_TRUE(with_view->used_view);
+
+  ASSERT_TRUE(engine.RemoveView(JobConnector().Name()).ok());
+  auto without_view = engine.Execute(text);
+  ASSERT_TRUE(without_view.ok()) << without_view.status();
+  EXPECT_FALSE(without_view->used_view);
+  // Row counts agree: the view was an equivalent rewrite.
+  EXPECT_EQ(without_view->table.num_rows(), with_view->table.num_rows());
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution
+// ---------------------------------------------------------------------------
+
+TEST(ExecuteBatchTest, MatchesSequentialExecute) {
+  EngineOptions options;
+  options.batch_workers = 4;
+  Engine engine(SmallProv(), options);
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+
+  std::vector<std::string> batch = {
+      datasets::AncestorsQueryText("Job", 4),
+      datasets::DescendantsQueryText("Job", 4),
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+      datasets::BlastRadiusQueryText(),
+      datasets::AncestorsQueryText("Job", 4),  // repeat: cache hit path
+      "MATCH (this is not a query",            // per-query error isolation
+  };
+
+  std::vector<Result<ExecutionResult>> batched = engine.ExecuteBatch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto sequential = engine.Execute(batch[i]);
+    ASSERT_EQ(batched[i].ok(), sequential.ok()) << batch[i];
+    if (!sequential.ok()) continue;
+    EXPECT_EQ(batched[i]->used_view, sequential->used_view);
+    EXPECT_EQ(batched[i]->view_name, sequential->view_name);
+    EXPECT_EQ(batched[i]->executed_query, sequential->executed_query);
+    EXPECT_EQ(batched[i]->table.SortedRows(), sequential->table.SortedRows());
+  }
+}
+
+TEST(ExecuteBatchTest, SingleWorkerAndEmptyBatch) {
+  EngineOptions options;
+  options.batch_workers = 1;
+  Engine engine(SmallProv(), options);
+  EXPECT_TRUE(engine.ExecuteBatch({}).empty());
+  auto results = engine.ExecuteBatch({datasets::AncestorsQueryText("Job", 4)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, FourThreadExecuteSmoke) {
+  Engine engine(SmallProv());
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  const std::vector<std::string> queries = {
+      datasets::AncestorsQueryText("Job", 4),
+      datasets::DescendantsQueryText("Job", 4),
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+      datasets::BlastRadiusQueryText(),
+  };
+  // Reference results, computed single-threaded.
+  std::vector<size_t> expected_rows;
+  for (const std::string& text : queries) {
+    auto r = engine.Execute(text);
+    ASSERT_TRUE(r.ok()) << r.status();
+    expected_rows.push_back(r->table.num_rows());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        size_t qi = (t + i) % queries.size();
+        auto r = engine.Execute(queries[qi]);
+        if (!r.ok() || r->table.num_rows() != expected_rows[qi]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every execution was either a hit or a miss; nothing was lost.
+  EXPECT_EQ(engine.plan_cache_hits() + engine.plan_cache_misses(),
+            static_cast<size_t>(kThreads * kItersPerThread) + queries.size());
+}
+
+TEST(ConcurrencyTest, ReadersInterleaveWithWriters) {
+  Engine engine(SmallProv());
+  ASSERT_TRUE(engine.AddMaterializedView(JobConnector()).ok());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = engine.Execute(text);
+        if (!r.ok()) reader_failures.fetch_add(1);
+      }
+    });
+  }
+  // Writer: append vertices and refresh views while readers hammer away.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(AppendJob(&engine).ok());
+    ASSERT_TRUE(engine.RefreshViews().ok());
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0);
+  // Still consistent after the dust settles.
+  auto final_result = engine.Execute(text);
+  ASSERT_TRUE(final_result.ok());
+  EXPECT_TRUE(final_result->used_view);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shim
+// ---------------------------------------------------------------------------
+
+TEST(DeprecatedShimTest, KaskadeAliasStillCompiles) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Kaskade engine(SmallProv());
+#pragma GCC diagnostic pop
+  auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->used_view);
+}
+
+}  // namespace
+}  // namespace kaskade::core

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/kaskade.h"
+#include "core/engine.h"
 #include "core/materializer.h"
 #include "core/rewriter.h"
 #include "core/view_selector.h"
@@ -262,13 +262,13 @@ TEST(ViewSelectorTest, GreedyNeverBeatsBranchAndBound) {
 }
 
 // ---------------------------------------------------------------------------
-// Kaskade facade (Fig. 2 end to end)
+// Engine facade (Fig. 2 end to end)
 // ---------------------------------------------------------------------------
 
-TEST(KaskadeTest, AnalyzeWorkloadMaterializesAndExecuteUsesViews) {
-  KaskadeOptions options;
+TEST(EngineTest, AnalyzeWorkloadMaterializesAndExecuteUsesViews) {
+  EngineOptions options;
   options.selector.budget_edges = 1e6;
-  Kaskade engine(SmallFilteredProv(), options);
+  Engine engine(SmallFilteredProv(), options);
 
   auto report =
       engine.AnalyzeWorkload({datasets::BlastRadiusQueryText(),
@@ -293,8 +293,8 @@ TEST(KaskadeTest, AnalyzeWorkloadMaterializesAndExecuteUsesViews) {
   }
 }
 
-TEST(KaskadeTest, ExecuteFallsBackToRawWhenNoViewApplies) {
-  Kaskade engine(SmallFilteredProv());
+TEST(EngineTest, ExecuteFallsBackToRawWhenNoViewApplies) {
+  Engine engine(SmallFilteredProv());
   // No views materialized: raw execution.
   auto result =
       engine.Execute("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
@@ -303,15 +303,15 @@ TEST(KaskadeTest, ExecuteFallsBackToRawWhenNoViewApplies) {
   EXPECT_GT(result->table.num_rows(), 0u);
 }
 
-TEST(KaskadeTest, DuplicateViewRejected) {
-  Kaskade engine(SmallFilteredProv());
+TEST(EngineTest, DuplicateViewRejected) {
+  Engine engine(SmallFilteredProv());
   ASSERT_TRUE(engine.AddMaterializedView(JobToJob2Hop()).ok());
   EXPECT_EQ(engine.AddMaterializedView(JobToJob2Hop()).code(),
             StatusCode::kAlreadyExists);
 }
 
-TEST(KaskadeTest, CheaperPlanWins) {
-  Kaskade engine(SmallFilteredProv());
+TEST(EngineTest, CheaperPlanWins) {
+  Engine engine(SmallFilteredProv());
   ASSERT_TRUE(engine.AddMaterializedView(JobToJob2Hop()).ok());
   // The ancestors query benefits from the connector.
   auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4));

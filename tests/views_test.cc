@@ -7,7 +7,7 @@
 #include <set>
 
 #include "core/enumerator.h"
-#include "core/kaskade.h"
+#include "core/engine.h"
 #include "core/materializer.h"
 #include "datasets/generators.h"
 #include "datasets/workloads.h"
@@ -190,33 +190,40 @@ TEST(SubgraphAggregatorTest, CommunityCompression) {
 // Facade refresh
 // ---------------------------------------------------------------------------
 
-TEST(KaskadeRefreshTest, ViewsFollowBaseGraphAppends) {
+TEST(EngineRefreshTest, ViewsFollowBaseGraphAppends) {
   PropertyGraph base = datasets::MakeProvenanceGraph(
       {.num_jobs = 40, .num_files = 80, .include_auxiliary = false});
-  Kaskade engine(std::move(base));
+  Engine engine(std::move(base));
   ViewDefinition connector;
   connector.kind = ViewKind::kKHopConnector;
   connector.k = 2;
   connector.source_type = "Job";
   connector.target_type = "Job";
   ASSERT_TRUE(engine.AddMaterializedView(connector).ok());
-  size_t edges_before = engine.catalog().front().view.graph.NumEdges();
+  size_t edges_before =
+      engine.catalog().Entries().front()->view.graph.NumEdges();
 
   // Append a new job consuming two existing files' outputs.
-  graph::PropertyGraph* g = engine.mutable_base_graph();
-  VertexId new_job = g->AddVertex("Job", {{"CPU", PropertyValue(5.0)}}).value();
-  graph::VertexTypeId file_t = g->schema().FindVertexType("File");
-  std::vector<VertexId> files = g->VerticesOfType(file_t);
-  size_t linked = 0;
-  for (VertexId f : files) {
-    if (g->InDegree(f) > 0 && linked < 2) {  // written by someone
-      ASSERT_TRUE(g->AddEdge(f, new_job, "IS_READ_BY").ok());
-      ++linked;
+  Status mutation = engine.MutateBaseGraph([](graph::PropertyGraph* g) {
+    VertexId new_job =
+        g->AddVertex("Job", {{"CPU", PropertyValue(5.0)}}).value();
+    graph::VertexTypeId file_t = g->schema().FindVertexType("File");
+    std::vector<VertexId> files = g->VerticesOfType(file_t);
+    size_t linked = 0;
+    for (VertexId f : files) {
+      if (g->InDegree(f) > 0 && linked < 2) {  // written by someone
+        auto edge = g->AddEdge(f, new_job, "IS_READ_BY");
+        if (!edge.ok()) return edge.status();
+        ++linked;
+      }
     }
-  }
-  ASSERT_EQ(linked, 2u);
+    return linked == 2 ? Status::OK()
+                       : Status::Internal("expected two linkable files");
+  });
+  ASSERT_TRUE(mutation.ok()) << mutation;
   ASSERT_TRUE(engine.RefreshViews().ok());
-  size_t edges_after = engine.catalog().front().view.graph.NumEdges();
+  size_t edges_after =
+      engine.catalog().Entries().front()->view.graph.NumEdges();
   EXPECT_GT(edges_after, edges_before);
 
   // The refreshed view equals a from-scratch materialization.
@@ -230,22 +237,29 @@ TEST(KaskadeRefreshTest, ViewsFollowBaseGraphAppends) {
   EXPECT_TRUE(result->used_view);
 }
 
-TEST(KaskadeRefreshTest, UnsupportedKindsRematerialize) {
+TEST(EngineRefreshTest, UnsupportedKindsRematerialize) {
   PropertyGraph base = datasets::MakeProvenanceGraph(
       {.num_jobs = 20, .num_files = 40, .include_auxiliary = false});
-  Kaskade engine(std::move(base));
+  Engine engine(std::move(base));
   ViewDefinition agg;
   agg.kind = ViewKind::kVertexAggregatorSummarizer;
   agg.source_type = "Job";
   agg.group_by_property = "pipelineName";
   ASSERT_TRUE(engine.AddMaterializedView(agg).ok());
 
-  graph::PropertyGraph* g = engine.mutable_base_graph();
-  (void)g->AddVertex("Job", {{"pipelineName", PropertyValue("brand_new")},
-                             {"CPU", PropertyValue(1.0)}});
+  ASSERT_TRUE(engine
+                  .MutateBaseGraph([](graph::PropertyGraph* g) {
+                    return g
+                        ->AddVertex("Job",
+                                    {{"pipelineName",
+                                      PropertyValue("brand_new")},
+                                     {"CPU", PropertyValue(1.0)}})
+                        .status();
+                  })
+                  .ok());
   ASSERT_TRUE(engine.RefreshViews().ok());
   // The new pipeline's supervertex exists after refresh.
-  const PropertyGraph& vg = engine.catalog().front().view.graph;
+  const PropertyGraph& vg = engine.catalog().Entries().front()->view.graph;
   bool found = false;
   for (VertexId v = 0; v < vg.NumVertices(); ++v) {
     if (vg.VertexProperty(v, "pipelineName") == PropertyValue("brand_new")) {
