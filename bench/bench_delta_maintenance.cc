@@ -1,0 +1,164 @@
+// Delta-maintenance bench: per-delta incremental view maintenance
+// (ViewMaintainer::ApplyDelta) versus re-materializing the view from
+// scratch after every delta, across delete ratios. The paper defers
+// maintenance to the graph-view literature (§VIII); this quantifies why
+// the incremental path matters once the workload stops being
+// append-only: a single-edge delta touches O(k * deg^(k-1)) paths while
+// a rebuild re-enumerates every path in the graph.
+//
+// Usage: bench_delta_maintenance [--json[=path]]
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/maintenance.h"
+#include "core/materializer.h"
+#include "graph/delta.h"
+#include "graph/property_graph.h"
+
+namespace {
+
+using kaskade::core::Materialize;
+using kaskade::core::ViewDefinition;
+using kaskade::core::ViewKind;
+using kaskade::core::ViewMaintainer;
+using kaskade::graph::EdgeId;
+using kaskade::graph::GraphDelta;
+using kaskade::graph::PropertyGraph;
+using kaskade::graph::VertexId;
+
+struct RunResult {
+  double incremental_seconds = 0;
+  double rematerialize_seconds = 0;
+  size_t deltas = 0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+};
+
+/// Streams `num_deltas` single-edge deltas (deletes with probability
+/// `delete_ratio`, lineage-edge inserts otherwise) into `base`, timing
+/// the maintainer's incremental update and a from-scratch Materialize of
+/// the same post-delta state.
+RunResult RunStream(const ViewDefinition& def, double delete_ratio,
+                    size_t num_deltas, uint64_t seed) {
+  PropertyGraph base = kaskade::bench::BenchProvFiltered();
+  std::vector<VertexId> jobs =
+      base.VerticesOfType(base.schema().FindVertexType("Job"));
+  std::vector<VertexId> files =
+      base.VerticesOfType(base.schema().FindVertexType("File"));
+  std::vector<EdgeId> live;
+  live.reserve(base.NumEdges());
+  for (EdgeId e = 0; e < base.NumEdges(); ++e) live.push_back(e);
+
+  auto view = Materialize(base, def);
+  if (!view.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n",
+                 view.status().ToString().c_str());
+    std::exit(1);
+  }
+  ViewMaintainer maintainer(&base, &*view);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  RunResult result;
+  result.deltas = num_deltas;
+  for (size_t i = 0; i < num_deltas; ++i) {
+    GraphDelta delta;
+    if (coin(rng) < delete_ratio && live.size() > 8) {
+      size_t pick = rng() % live.size();
+      delta.RemoveEdge(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+      ++result.deletes;
+    } else {
+      bool writes = rng() % 2 == 0;
+      VertexId job = jobs[rng() % jobs.size()];
+      VertexId file = files[rng() % files.size()];
+      if (writes) {
+        delta.AddEdge(job, file, "WRITES_TO");
+      } else {
+        delta.AddEdge(file, job, "IS_READ_BY");
+      }
+      ++result.inserts;
+    }
+    auto applied = kaskade::graph::ApplyDeltaToGraph(&base, delta);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "delta failed: %s\n",
+                   applied.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (EdgeId e : applied->new_edges) live.push_back(e);
+
+    result.incremental_seconds += kaskade::bench::TimeSeconds([&] {
+      auto stats = maintainer.ApplyDelta(delta);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "maintain failed: %s\n",
+                     stats.status().ToString().c_str());
+        std::exit(1);
+      }
+    });
+    result.rematerialize_seconds += kaskade::bench::TimeSeconds([&] {
+      auto scratch = Materialize(base, def);
+      if (!scratch.ok()) std::exit(1);
+    });
+  }
+
+  // Sanity: the maintained view must agree with the final rebuild.
+  auto scratch = Materialize(base, def);
+  if (!scratch.ok() ||
+      scratch->graph.NumLiveEdges() != view->graph.NumLiveEdges() ||
+      scratch->graph.NumLiveVertices() != view->graph.NumLiveVertices()) {
+    std::fprintf(stderr, "maintained view diverged from scratch rebuild\n");
+    std::exit(1);
+  }
+  return result;
+}
+
+void Report(const char* section, const RunResult& r) {
+  double speedup = r.incremental_seconds > 0
+                       ? r.rematerialize_seconds / r.incremental_seconds
+                       : 0;
+  std::printf("%-14s %7zu %8zu %8zu %12.4f %12.4f %9.1fx\n", section,
+              r.deltas, r.inserts, r.deletes, r.incremental_seconds,
+              r.rematerialize_seconds, speedup);
+  kaskade::bench::JsonReport::Record(section, "incremental_seconds",
+                                     r.incremental_seconds);
+  kaskade::bench::JsonReport::Record(section, "rematerialize_seconds",
+                                     r.rematerialize_seconds);
+  kaskade::bench::JsonReport::Record(section, "speedup", speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kaskade::bench::JsonReport::Init(argc, argv, "delta_maintenance");
+  constexpr size_t kDeltas = 150;
+
+  kaskade::bench::PrintHeader(
+      "delta maintenance: incremental vs re-materialization per delta "
+      "(prov, 150 single-edge deltas)");
+  std::printf("%-14s %7s %8s %8s %12s %12s %9s\n", "view/ratio", "deltas",
+              "inserts", "deletes", "incr_s", "remat_s", "speedup");
+
+  ViewDefinition connector;
+  connector.kind = ViewKind::kKHopConnector;
+  connector.k = 2;
+  connector.source_type = "Job";
+  connector.target_type = "Job";
+  const double kRatios[] = {0.0, 0.1, 0.3, 0.5};
+  for (double ratio : kRatios) {
+    char section[32];
+    std::snprintf(section, sizeof(section), "khop2_del%.0f%%", ratio * 100);
+    Report(section, RunStream(connector, ratio, kDeltas, /*seed=*/1234));
+  }
+
+  ViewDefinition filter;
+  filter.kind = ViewKind::kEdgeInclusionSummarizer;
+  filter.type_list = {"WRITES_TO"};
+  Report("einc_del10%", RunStream(filter, 0.1, kDeltas, /*seed=*/1234));
+
+  return kaskade::bench::JsonReport::Finish();
+}

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

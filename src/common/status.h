@@ -23,6 +23,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kResourceExhausted,
+  kFailedPrecondition,
   kUnimplemented,
   kInternal,
 };
@@ -61,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -3,7 +3,48 @@
 #include <mutex>
 #include <utility>
 
+#include "core/cost_model.h"
+
 namespace kaskade::core {
+
+namespace {
+
+/// Recomputes `entry`'s statistics and records the live counts they
+/// were computed at.
+void RefreshStats(CatalogEntry* entry) {
+  entry->stats = graph::GraphStats::Compute(entry->view.graph);
+  entry->stats_live_vertices = entry->view.graph.NumLiveVertices();
+  entry->stats_live_edges = entry->view.graph.NumLiveEdges();
+}
+
+/// True when the view drifted far enough (>10%, with a small-view
+/// floor) from the state its statistics were computed at that plan
+/// costing would be misled.
+bool StatsAreStale(const CatalogEntry& entry) {
+  auto drifted = [](size_t now, size_t then) {
+    size_t diff = now > then ? now - then : then - now;
+    return diff * 10 > then + 32;
+  };
+  return drifted(entry.view.graph.NumLiveVertices(),
+                 entry.stats_live_vertices) ||
+         drifted(entry.view.graph.NumLiveEdges(), entry.stats_live_edges);
+}
+
+/// Re-materializes `entry` over `base` and re-attaches a maintainer
+/// when the kind supports one (a rebuilt view invalidates any previous
+/// maintainer's indexes).
+Status Rebuild(const graph::PropertyGraph& base, CatalogEntry* entry) {
+  Result<MaterializedView> fresh = Materialize(base, entry->view.definition);
+  if (!fresh.ok()) return fresh.status();
+  entry->view = std::move(*fresh);
+  entry->maintainer =
+      ViewMaintainer::SupportsKind(entry->view.definition.kind)
+          ? std::make_unique<ViewMaintainer>(&base, &entry->view)
+          : nullptr;
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
@@ -16,9 +57,9 @@ Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
   Result<MaterializedView> view = Materialize(*base_, definition);
   if (!view.ok()) return view.status();
 
-  graph::GraphStats stats = graph::GraphStats::Compute(view->graph);
   auto entry = std::unique_ptr<CatalogEntry>(new CatalogEntry{
-      next_handle_++, std::move(*view), std::move(stats), nullptr});
+      next_handle_++, std::move(*view), graph::GraphStats{}, nullptr});
+  RefreshStats(entry.get());
   // A null maintainer slot means RefreshAll re-materializes instead.
   if (ViewMaintainer::SupportsKind(entry->view.definition.kind)) {
     entry->maintainer = std::make_unique<ViewMaintainer>(base_, &entry->view);
@@ -49,23 +90,80 @@ Status ViewCatalog::RefreshAll() {
   for (const auto& entry : entries_) {
     if (entry->maintainer != nullptr) {
       Result<MaintenanceStats> stats = entry->maintainer->CatchUp();
-      if (!stats.ok()) return stats.status();
-      if (stats->edges_added + stats->edges_updated + stats->vertices_added ==
-          0) {
-        continue;  // nothing changed; stats stay valid
+      if (stats.ok()) {
+        if (stats->edges_added + stats->edges_removed +
+                stats->edges_updated + stats->vertices_added +
+                stats->vertices_removed ==
+                0 &&
+            !StatsAreStale(*entry)) {
+          // Nothing changed now and no drift was deferred by the
+          // delta path: stats are exact already.
+          continue;
+        }
+        RefreshStats(entry.get());
+        continue;
       }
-    } else {
-      // Only unmaintainable kinds reach here (Add never leaves a
-      // supported kind without a maintainer), so replacing the view
-      // wholesale cannot strand maintainer state.
-      Result<MaterializedView> fresh =
-          Materialize(*base_, entry->view.definition);
-      if (!fresh.ok()) return fresh.status();
-      entry->view = std::move(*fresh);
+      if (stats.status().code() != StatusCode::kFailedPrecondition) {
+        return stats.status();
+      }
+      // The base graph saw removals the maintainer never heard about
+      // (e.g. a MutateBaseGraph writer deleting edges directly): the
+      // view is unreconstructible incrementally — rebuild it rather
+      // than serve stale results.
     }
-    entry->stats = graph::GraphStats::Compute(entry->view.graph);
+    KASKADE_RETURN_IF_ERROR(Rebuild(*base_, entry.get()));
+    RefreshStats(entry.get());
   }
   return Status::OK();
+}
+
+Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
+    const graph::GraphDelta& delta) {
+  std::unique_lock lock(mu_);
+  // One generation bump covers the whole batch — plans cached against
+  // the pre-delta catalog stop matching exactly once.
+  BumpGeneration();
+  DeltaMaintenanceReport report;
+  const size_t inserts = delta.edge_inserts.size();
+  const size_t removals = delta.edge_removals.size();
+  for (const auto& entry : entries_) {
+    bool incremental =
+        entry->maintainer != nullptr &&
+        !PreferRematerialization(*base_, entry->view.definition, inserts,
+                                 removals);
+    if (incremental) {
+      Result<MaintenanceStats> stats = entry->maintainer->ApplyDelta(delta);
+      if (stats.ok()) {
+        report.stats += *stats;
+        ++report.views_incremental;
+        // Re-weighted edges (edges_updated) never move the degree
+        // profile, and small topology changes drift the statistics too
+        // little to change plan choice — only recompute (O(V log V))
+        // once the view drifted past the staleness threshold.
+        bool topology_changed = stats->edges_added + stats->edges_removed +
+                                    stats->vertices_added +
+                                    stats->vertices_removed !=
+                                0;
+        if (topology_changed && StatsAreStale(*entry)) {
+          RefreshStats(entry.get());
+        }
+        continue;
+      }
+      if (stats.status().code() != StatusCode::kFailedPrecondition) {
+        // Internal errors signal corrupt maintenance state (a bug) —
+        // propagate, as RefreshAll does, rather than masking it as a
+        // routine re-materialization.
+        return stats.status();
+      }
+      // A FailedPrecondition pass may have left the view half-updated;
+      // rebuilding restores exactness instead of stranding a stale
+      // entry behind the already-mutated base graph.
+    }
+    KASKADE_RETURN_IF_ERROR(Rebuild(*base_, entry.get()));
+    ++report.views_rematerialized;
+    RefreshStats(entry.get());
+  }
+  return report;
 }
 
 size_t ViewCatalog::size() const {

@@ -38,6 +38,7 @@
 #include "core/maintenance.h"
 #include "core/materializer.h"
 #include "core/view_definition.h"
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "graph/stats.h"
 
@@ -58,8 +59,22 @@ struct CatalogEntry {
   MaterializedView view;
   graph::GraphStats stats;
   std::unique_ptr<ViewMaintainer> maintainer;
+  /// Live view counts when `stats` was last computed. On the per-delta
+  /// path statistics may drift ~10% before the O(V log V) recompute
+  /// runs again (plan costing tolerates that); `RefreshAll` always
+  /// recomputes changed views exactly.
+  size_t stats_live_vertices = 0;
+  size_t stats_live_edges = 0;
 
   std::string name() const { return view.definition.Name(); }
+};
+
+/// \brief How `ApplyBaseDelta` brought the catalog up to date.
+struct DeltaMaintenanceReport {
+  /// Aggregated over every incrementally maintained view.
+  MaintenanceStats stats;
+  size_t views_incremental = 0;
+  size_t views_rematerialized = 0;
 };
 
 /// \brief Thread-safe registry owning all materialized views.
@@ -85,8 +100,18 @@ class ViewCatalog {
 
   /// Brings every registered view up to date with the base graph:
   /// incrementally where a maintainer is attached, by re-materialization
-  /// otherwise. Refreshes per-view statistics.
+  /// otherwise — including when the base graph saw removals the
+  /// maintainer was never told about (stale views are rebuilt, never
+  /// served). Refreshes per-view statistics.
   Status RefreshAll();
+
+  /// Routes one already-applied base-graph delta (coalesced; removals in
+  /// application order) to every registered view: incrementally via its
+  /// maintainer when attached and the cost model predicts the
+  /// incremental pass beats a from-scratch build, by re-materialization
+  /// otherwise. Refreshes per-view statistics and bumps the generation
+  /// exactly once for the whole batch.
+  Result<DeltaMaintenanceReport> ApplyBaseDelta(const graph::GraphDelta& delta);
 
   /// Announces an out-of-band base-graph change (e.g. appended edges)
   /// so generation-keyed caches are invalidated before the next refresh.

@@ -7,6 +7,24 @@ namespace kaskade::core {
 
 namespace {
 constexpr double kCostCap = 1e30;
+
+/// Mean out-degree of the live graph, floored so degree^k never
+/// collapses to zero on sparse graphs.
+double MeanDegree(const graph::PropertyGraph& base) {
+  double vertices = static_cast<double>(base.NumLiveVertices());
+  if (vertices < 1) return 0.5;
+  return std::max(static_cast<double>(base.NumLiveEdges()) / vertices, 0.5);
+}
+
+double PowClamped(double base_value, int exponent) {
+  double out = 1;
+  for (int i = 0; i < exponent; ++i) {
+    out *= base_value;
+    if (out > kCostCap) return kCostCap;
+  }
+  return out;
+}
+
 }  // namespace
 
 double CostModel::QueryCostOnCandidateView(const query::Query& rewritten,
@@ -31,7 +49,9 @@ double CostModel::QueryCostOnCandidateView(const query::Query& rewritten,
     if (dst != graph::kInvalidTypeId && dst != src) {
       vertices += static_cast<double>(base_->NumVerticesOfType(dst));
     }
-    if (vertices == 0) vertices = static_cast<double>(base_->NumVertices());
+    if (vertices == 0) {
+      vertices = static_cast<double>(base_->NumLiveVertices());
+    }
   } else {
     for (const std::string& t : view.type_list) {
       graph::VertexTypeId id = base_->schema().FindVertexType(t);
@@ -40,9 +60,11 @@ double CostModel::QueryCostOnCandidateView(const query::Query& rewritten,
       }
     }
     if (view.kind == ViewKind::kVertexRemovalSummarizer) {
-      vertices = static_cast<double>(base_->NumVertices()) - vertices;
+      vertices = static_cast<double>(base_->NumLiveVertices()) - vertices;
     }
-    if (vertices <= 0) vertices = static_cast<double>(base_->NumVertices());
+    if (vertices <= 0) {
+      vertices = static_cast<double>(base_->NumLiveVertices());
+    }
   }
   double degree = std::max(edges / std::max(vertices, 1.0), 0.1);
 
@@ -67,6 +89,55 @@ double CostModel::QueryCostOnCandidateView(const query::Query& rewritten,
     layer = layer->select().from.get();
   }
   return cost;
+}
+
+double EstimateIncrementalMaintenanceCost(const graph::PropertyGraph& base,
+                                          const ViewDefinition& view,
+                                          size_t inserts, size_t removals) {
+  // Removals pay extra for multiplicity decrements and orphan
+  // collection on top of the same path enumeration.
+  constexpr double kRemovalOverhead = 1.5;
+  switch (view.kind) {
+    case ViewKind::kKHopConnector: {
+      // Per edge, the maintainer walks every split i: backward deg^i x
+      // forward deg^(k-1-i) extensions, ~ k * deg^(k-1) total.
+      double per_edge = std::max(1.0, static_cast<double>(view.k)) *
+                        PowClamped(MeanDegree(base), view.k - 1);
+      double cost = per_edge * (static_cast<double>(inserts) +
+                                kRemovalOverhead *
+                                    static_cast<double>(removals));
+      return std::min(cost, kCostCap);
+    }
+    case ViewKind::kVertexInclusionSummarizer:
+    case ViewKind::kVertexRemovalSummarizer:
+    case ViewKind::kEdgeInclusionSummarizer:
+    case ViewKind::kEdgeRemovalSummarizer:
+      // Constant-time type/predicate checks either way.
+      return static_cast<double>(inserts) + static_cast<double>(removals);
+    default:
+      // No maintainer: incremental is not an option.
+      return kCostCap;
+  }
+}
+
+double EstimateRematerializationCost(const graph::PropertyGraph& base,
+                                     const ViewDefinition& view) {
+  double vertices = static_cast<double>(base.NumLiveVertices());
+  double edges = static_cast<double>(base.NumLiveEdges());
+  if (IsConnector(view.kind)) {
+    // Contraction enumerates up to deg^k simple paths per source vertex.
+    return std::min(vertices * PowClamped(MeanDegree(base), view.k),
+                    kCostCap);
+  }
+  // Summarizers scan every vertex and edge once.
+  return vertices + edges;
+}
+
+bool PreferRematerialization(const graph::PropertyGraph& base,
+                             const ViewDefinition& view, size_t inserts,
+                             size_t removals) {
+  return EstimateIncrementalMaintenanceCost(base, view, inserts, removals) >
+         EstimateRematerializationCost(base, view);
 }
 
 }  // namespace kaskade::core

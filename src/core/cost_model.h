@@ -75,6 +75,35 @@ class CostModel {
   CostModelOptions options_;
 };
 
+/// \name Delta-maintenance costing
+///
+/// Operation-count proxies for keeping one view consistent under a batch
+/// of `inserts` edge insertions and `removals` edge removals, versus
+/// re-materializing from scratch. They use the O(1) mean-degree profile
+/// of the *current* base graph (per-delta decisions cannot afford a full
+/// statistics pass). Removals on connectors cost more than insertions
+/// (multiplicity decrements plus orphan collection), so delete-heavy
+/// batches cross over to re-materialization earlier — the behaviour
+/// `ViewCatalog::ApplyBaseDelta` exploits.
+/// @{
+
+/// Predicted cost of maintaining `view` incrementally under the delta.
+/// Infinite for view kinds without a maintainer.
+double EstimateIncrementalMaintenanceCost(const graph::PropertyGraph& base,
+                                          const ViewDefinition& view,
+                                          size_t inserts, size_t removals);
+
+/// Predicted cost of re-materializing `view` over the (post-delta) base.
+double EstimateRematerializationCost(const graph::PropertyGraph& base,
+                                     const ViewDefinition& view);
+
+/// True when a from-scratch build is predicted cheaper than the
+/// incremental pass for this delta.
+bool PreferRematerialization(const graph::PropertyGraph& base,
+                             const ViewDefinition& view, size_t inserts,
+                             size_t removals);
+/// @}
+
 }  // namespace kaskade::core
 
 #endif  // KASKADE_CORE_COST_MODEL_H_

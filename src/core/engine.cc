@@ -72,6 +72,25 @@ Status Engine::MutateBaseGraph(
   return status;
 }
 
+Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
+  std::unique_lock lock(mu_);
+  DeltaReport report;
+  report.removals_coalesced = delta.Coalesce();
+  KASKADE_ASSIGN_OR_RETURN(graph::AppliedDelta applied,
+                           graph::ApplyDeltaToGraph(&base_, delta));
+  report.vertices_inserted = applied.new_vertices.size();
+  report.edges_inserted = applied.new_edges.size();
+  report.edges_removed = applied.removed_edges;
+  report.new_vertices = std::move(applied.new_vertices);
+  report.new_edges = std::move(applied.new_edges);
+  KASKADE_ASSIGN_OR_RETURN(DeltaMaintenanceReport maintained,
+                           catalog_.ApplyBaseDelta(delta));
+  report.views_incremental = maintained.views_incremental;
+  report.views_rematerialized = maintained.views_rematerialized;
+  report.maintenance = maintained.stats;
+  return report;
+}
+
 Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
   const graph::PropertyGraph* target = &base_;
   if (!plan.view_name.empty()) {

@@ -15,10 +15,12 @@
 ///
 /// Concurrency discipline: `Execute` and `ExecuteBatch` are *readers* —
 /// any number may run concurrently. `AnalyzeWorkload`, `RefreshViews`,
-/// `AddMaterializedView`, `RemoveView`, and `MutateBaseGraph` are
-/// *writers* — each runs exclusively, via a `std::shared_mutex`. The
-/// planner's plan cache is keyed by the catalog's generation counter, so
-/// every writer implicitly invalidates cached plans.
+/// `AddMaterializedView`, `RemoveView`, `ApplyDelta`, and
+/// `MutateBaseGraph` are *writers* — each runs exclusively, via a
+/// `std::shared_mutex`, so readers observe either the pre-delta or the
+/// post-delta catalog generation, never a torn view. The planner's plan
+/// cache is keyed by the catalog's generation counter, so every writer
+/// implicitly invalidates cached plans.
 ///
 /// `ExecuteBatch` fans a batch of queries across a small worker pool and
 /// returns per-query results in input order; results are identical to
@@ -37,6 +39,7 @@
 #include "core/catalog.h"
 #include "core/planner.h"
 #include "core/view_selector.h"
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "query/executor.h"
 #include "query/table.h"
@@ -53,6 +56,22 @@ struct EngineOptions {
   PlannerOptions planner;
   /// Worker threads for `ExecuteBatch`; 0 = hardware concurrency.
   size_t batch_workers = 4;
+};
+
+/// \brief Outcome of one `ApplyDelta` batch.
+struct DeltaReport {
+  size_t vertices_inserted = 0;
+  size_t edges_inserted = 0;
+  size_t edges_removed = 0;
+  /// Duplicate removals dropped while coalescing the batch.
+  size_t removals_coalesced = 0;
+  /// Ids the base graph allocated for the batch's inserts.
+  std::vector<graph::VertexId> new_vertices;
+  std::vector<graph::EdgeId> new_edges;
+  /// How each registered view absorbed the delta.
+  size_t views_incremental = 0;
+  size_t views_rematerialized = 0;
+  MaintenanceStats maintenance;
 };
 
 /// \brief Outcome of executing a query, with plan provenance.
@@ -93,10 +112,21 @@ class Engine {
   /// re-materialization otherwise. Writer.
   Status RefreshViews();
 
-  /// Applies `mutation` to the base graph under the writer lock and
-  /// bumps the catalog generation (invalidating cached plans). The
-  /// provenance use case is append-only: call `RefreshViews` afterwards
-  /// so the materialized views reflect the additions.
+  /// Applies one mutation batch — vertex/edge inserts plus edge
+  /// removals — to the base graph under the writer lock, then routes the
+  /// delta to every registered view (incrementally where the maintainer
+  /// and cost model allow, re-materializing otherwise). The catalog
+  /// generation is bumped exactly once per batch, so cached plans are
+  /// invalidated once, not per edge. Views are exact when this returns;
+  /// no `RefreshViews` needed. Writer.
+  Result<DeltaReport> ApplyDelta(graph::GraphDelta delta);
+
+  /// Escape hatch: applies an arbitrary `mutation` to the base graph
+  /// under the writer lock and bumps the catalog generation
+  /// (invalidating cached plans). Call `RefreshViews` afterwards; for
+  /// appended edges the views catch up incrementally, while mutations
+  /// that *remove* edges force the affected views to re-materialize
+  /// (`ApplyDelta` is the efficient path for deletions). Writer.
   Status MutateBaseGraph(
       const std::function<Status(graph::PropertyGraph*)>& mutation);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace kaskade::core {
 
@@ -10,6 +13,176 @@ using graph::EdgeRecord;
 using graph::PropertyGraph;
 using graph::PropertyValue;
 using graph::VertexId;
+
+/// \brief Which base edges one maintenance step may traverse.
+///
+/// Both directions of the delta share one rule set: only edges below an
+/// exclusive id bound participate (insertion of edge e uses bound e+1 so
+/// later insertions contribute their own paths; removal uses the
+/// insertion watermark so pending inserts stay invisible), and a batch
+/// of removals additionally exposes the not-yet-processed removals of
+/// the same batch through side adjacency lists — the base graph has
+/// already unlinked them, but the *view* still counts their paths.
+struct BatchRemovalScope {
+  const PropertyGraph* base;
+  /// Exclusive edge-id bound; edges at or above it are invisible.
+  EdgeId id_bound;
+  std::unordered_map<VertexId, std::vector<EdgeId>> extra_out;
+  std::unordered_map<VertexId, std::vector<EdgeId>> extra_in;
+  /// The subset of extra edges currently visible (later batch entries).
+  std::unordered_set<EdgeId> visible_extra;
+
+  BatchRemovalScope(const PropertyGraph* base_graph, EdgeId bound)
+      : base(base_graph), id_bound(bound) {}
+
+  /// Registers a removed-but-not-yet-processed batch edge as visible.
+  void AddPending(EdgeId e) {
+    const EdgeRecord& rec = base->Edge(e);
+    extra_out[rec.source].push_back(e);
+    extra_in[rec.target].push_back(e);
+    visible_extra.insert(e);
+  }
+
+  /// Hides a batch edge once its own removal is being processed.
+  void Hide(EdgeId e) { visible_extra.erase(e); }
+
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const {
+    for (EdgeId e : base->OutEdges(v)) {
+      if (e < id_bound) fn(e);
+    }
+    auto it = extra_out.find(v);
+    if (it == extra_out.end()) return;
+    for (EdgeId e : it->second) {
+      if (visible_extra.count(e) != 0) fn(e);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const {
+    for (EdgeId e : base->InEdges(v)) {
+      if (e < id_bound) fn(e);
+    }
+    auto it = extra_in.find(v);
+    if (it == extra_in.end()) return;
+    for (EdgeId e : it->second) {
+      if (visible_extra.count(e) != 0) fn(e);
+    }
+  }
+};
+
+namespace {
+
+/// Counts, per (path start, path end) pair, the k-paths that pass
+/// through the edge described by `rec`, using only edges visible in
+/// `scope`. Mirrors the materializer's simple-path semantics, including
+/// contracted closed paths (t == s). Every such path decomposes as:
+/// s --(i edges)--> u --rec--> v --(k-1-i edges)--> t, 0 <= i <= k-1.
+std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
+    const PropertyGraph& base, const BatchRemovalScope& scope,
+    const EdgeRecord& rec, int k, graph::VertexTypeId source_type,
+    graph::VertexTypeId target_type) {
+  const VertexId u = rec.source;
+  const VertexId v = rec.target;
+  std::map<std::pair<VertexId, VertexId>, uint64_t> pairs;
+
+  std::vector<std::vector<VertexId>> backward_paths;  // [u .. s]
+  std::vector<VertexId> current{u};
+  // Set per split: when the edge is the *last* edge of the path
+  // (forward_steps == 0), a backward extension may terminate at v itself,
+  // forming the closed path v -> ... -> u -> v.
+  bool closed_start_allowed = false;
+  std::function<void(VertexId, int)> extend_back = [&](VertexId w, int left) {
+    if (left == 0) {
+      backward_paths.push_back(current);
+      return;
+    }
+    scope.ForEachIn(w, [&](EdgeId be) {
+      VertexId prev = base.Edge(be).source;
+      if (prev == v) {
+        // v is already on the path; allowed only as the closed-path
+        // start s == v, reached at the final backward step.
+        if (closed_start_allowed && left == 1 &&
+            (source_type == graph::kInvalidTypeId ||
+             base.VertexType(v) == source_type) &&
+            (target_type == graph::kInvalidTypeId ||
+             base.VertexType(v) == target_type)) {
+          ++pairs[{v, v}];
+        }
+        return;
+      }
+      if (std::find(current.begin(), current.end(), prev) != current.end()) {
+        return;  // must stay simple
+      }
+      current.push_back(prev);
+      extend_back(prev, left - 1);
+      current.pop_back();
+    });
+  };
+
+  for (int i = 0; i <= k - 1; ++i) {
+    backward_paths.clear();
+    current.assign(1, u);
+    const int forward_steps = k - 1 - i;
+    closed_start_allowed = forward_steps == 0;
+    extend_back(u, i);
+    for (const std::vector<VertexId>& back : backward_paths) {
+      const VertexId s = back.back();  // path start
+      if (source_type != graph::kInvalidTypeId &&
+          base.VertexType(s) != source_type) {
+        continue;
+      }
+      // Forward extension from v, avoiding every vertex of the backward
+      // half and of the forward prefix; the start s is allowed only as
+      // the final vertex (closed path).
+      std::vector<VertexId> forward{v};
+      std::function<void(VertexId, int)> extend_fwd = [&](VertexId w,
+                                                          int left) {
+        if (left == 0) {
+          const VertexId t = w;
+          if (target_type == graph::kInvalidTypeId ||
+              base.VertexType(t) == target_type) {
+            ++pairs[{s, t}];
+          }
+          return;
+        }
+        scope.ForEachOut(w, [&](EdgeId fe) {
+          VertexId next = base.Edge(fe).target;
+          bool in_back =
+              std::find(back.begin(), back.end(), next) != back.end();
+          bool in_fwd = std::find(forward.begin(), forward.end(), next) !=
+                        forward.end();
+          if (in_fwd) return;
+          if (in_back) {
+            // Allowed only when it closes the full path at its very end.
+            if (next == s && left == 1) {
+              if (target_type == graph::kInvalidTypeId ||
+                  base.VertexType(s) == target_type) {
+                ++pairs[{s, s}];
+              }
+            }
+            return;
+          }
+          forward.push_back(next);
+          extend_fwd(next, left - 1);
+          forward.pop_back();
+        });
+      };
+      if (forward_steps == 0) {
+        // v itself is the endpoint.
+        if (target_type == graph::kInvalidTypeId ||
+            base.VertexType(v) == target_type) {
+          ++pairs[{s, v}];
+        }
+      } else {
+        extend_fwd(v, forward_steps);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
 
 bool ViewMaintainer::SupportsKind(ViewKind kind) {
   return kind == ViewKind::kKHopConnector ||
@@ -24,8 +197,10 @@ ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
     : base_(base), view_(view) {
   const ViewDefinition& def = view_->definition;
   const PropertyGraph& vg = view_->graph;
-  // Reverse vertex mapping.
+  // Reverse vertex mapping (live view vertices only; a rebound view may
+  // carry tombstones from earlier maintenance).
   for (VertexId v = 0; v < vg.NumVertices(); ++v) {
+    if (!vg.IsVertexLive(v)) continue;
     base_to_view_.emplace(view_->view_to_base[v], v);
   }
   if (IsConnector(def.kind)) {
@@ -33,12 +208,20 @@ ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
     source_type_ = base_->schema().FindVertexType(def.source_type);
     target_type_ = base_->schema().FindVertexType(def.target_type);
     for (EdgeId e = 0; e < vg.NumEdges(); ++e) {
+      if (!vg.IsEdgeLive(e)) continue;
       const EdgeRecord& rec = vg.Edge(e);
       connector_edges_.emplace(std::make_pair(rec.source, rec.target), e);
     }
   } else {
     // Filter summarizers: precompute keep masks (mirrors the
-    // materializer's logic).
+    // materializer's logic) and index view edges by base lineage.
+    for (EdgeId e = 0; e < vg.NumEdges(); ++e) {
+      if (!vg.IsEdgeLive(e)) continue;
+      PropertyValue orig = vg.EdgeProperty(e, "orig_eid");
+      if (orig.is_int()) {
+        summarizer_edges_.emplace(static_cast<EdgeId>(orig.as_int()), e);
+      }
+    }
     const graph::GraphSchema& schema = base_->schema();
     keep_vertex_type_.assign(schema.num_vertex_types(), true);
     keep_edge_type_.assign(schema.num_edge_types(), true);
@@ -86,6 +269,8 @@ ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
   }
   watermark_ = static_cast<EdgeId>(base_->NumEdges());
   vertex_watermark_ = static_cast<VertexId>(base_->NumVertices());
+  base_removals_seen_ = base_->num_removed_edges();
+  base_vertex_removals_seen_ = base_->num_removed_vertices();
 }
 
 VertexId ViewMaintainer::ViewVertexFor(VertexId base_vertex,
@@ -130,121 +315,87 @@ Status ViewMaintainer::UpsertConnectorEdge(VertexId base_src,
   return Status::OK();
 }
 
-Result<MaintenanceStats> ViewMaintainer::MaintainConnector(EdgeId e) {
-  const ViewDefinition& def = view_->definition;
-  const EdgeRecord& rec = base_->Edge(e);
-  const VertexId u = rec.source;
-  const VertexId v = rec.target;
-  const int k = def.k;
-  MaintenanceStats stats;
-
-  // Every new k-path decomposes as: s --(i edges)--> u --e--> v
-  // --(k-1-i edges)--> t, with all vertices distinct except possibly
-  // t == s (closed paths are contracted, matching the materializer).
-  std::map<std::pair<VertexId, VertexId>, uint64_t> new_pairs;
-  std::vector<std::vector<VertexId>> backward_paths;  // [u .. s]
-  std::vector<VertexId> current{u};
-  // Set per split: when the new edge is the *last* edge of the path
-  // (forward_steps == 0), a backward extension may terminate at v itself,
-  // forming the closed path v -> ... -> u -> v.
-  bool closed_start_allowed = false;
-  std::function<void(VertexId, int)> extend_back = [&](VertexId w, int left) {
-    if (left == 0) {
-      backward_paths.push_back(current);
-      return;
-    }
-    for (EdgeId be : base_->InEdges(w)) {
-      // Only edges inserted up to and including e may participate:
-      // paths that use a *later* insertion are that insertion's delta
-      // (prevents double counting during batch catch-up).
-      if (be > e) continue;
-      VertexId prev = base_->Edge(be).source;
-      if (prev == v) {
-        // v is already on the path; allowed only as the closed-path
-        // start s == v, reached at the final backward step.
-        if (closed_start_allowed && left == 1 &&
-            (source_type_ == graph::kInvalidTypeId ||
-             base_->VertexType(v) == source_type_) &&
-            (target_type_ == graph::kInvalidTypeId ||
-             base_->VertexType(v) == target_type_)) {
-          ++new_pairs[{v, v}];
-        }
-        continue;
-      }
-      if (std::find(current.begin(), current.end(), prev) != current.end()) {
-        continue;  // must stay simple
-      }
-      current.push_back(prev);
-      extend_back(prev, left - 1);
-      current.pop_back();
-    }
-  };
-
-  for (int i = 0; i <= k - 1; ++i) {
-    backward_paths.clear();
-    current.assign(1, u);
-    const int forward_steps = k - 1 - i;
-    closed_start_allowed = forward_steps == 0;
-    extend_back(u, i);
-    for (const std::vector<VertexId>& back : backward_paths) {
-      const VertexId s = back.back();  // path start
-      if (source_type_ != graph::kInvalidTypeId &&
-          base_->VertexType(s) != source_type_) {
-        continue;
-      }
-      // Forward extension from v, avoiding every vertex of the backward
-      // half and of the forward prefix; the start s is allowed only as
-      // the final vertex (closed path).
-      std::vector<VertexId> forward{v};
-      std::function<void(VertexId, int)> extend_fwd = [&](VertexId w,
-                                                          int left) {
-        if (left == 0) {
-          const VertexId t = w;
-          if (target_type_ == graph::kInvalidTypeId ||
-              base_->VertexType(t) == target_type_) {
-            ++new_pairs[{s, t}];
-          }
-          return;
-        }
-        for (EdgeId fe : base_->OutEdges(w)) {
-          if (fe > e) continue;  // see the backward-half comment
-          VertexId next = base_->Edge(fe).target;
-          bool in_back =
-              std::find(back.begin(), back.end(), next) != back.end();
-          bool in_fwd = std::find(forward.begin(), forward.end(), next) !=
-                        forward.end();
-          if (in_fwd) continue;
-          if (in_back) {
-            // Allowed only when it closes the full path at its very end.
-            if (next == s && left == 1) {
-              if (target_type_ == graph::kInvalidTypeId ||
-                  base_->VertexType(s) == target_type_) {
-                ++new_pairs[{s, s}];
-              }
-            }
-            continue;
-          }
-          forward.push_back(next);
-          extend_fwd(next, left - 1);
-          forward.pop_back();
-        }
-      };
-      if (forward_steps == 0) {
-        // v itself is the endpoint.
-        if (target_type_ == graph::kInvalidTypeId ||
-            base_->VertexType(v) == target_type_) {
-          ++new_pairs[{s, v}];
-        }
-      } else {
-        extend_fwd(v, forward_steps);
-      }
-    }
+Status ViewMaintainer::DecrementConnectorEdge(VertexId base_src,
+                                              VertexId base_dst,
+                                              uint64_t paths,
+                                              MaintenanceStats* stats) {
+  PropertyGraph& vg = view_->graph;
+  auto src_it = base_to_view_.find(base_src);
+  auto dst_it = base_to_view_.find(base_dst);
+  if (src_it == base_to_view_.end() || dst_it == base_to_view_.end()) {
+    return Status::Internal("view lost an endpoint of a maintained edge");
   }
+  auto it = connector_edges_.find(
+      std::make_pair(src_it->second, dst_it->second));
+  if (it == connector_edges_.end()) {
+    return Status::Internal("view lost a maintained connector edge");
+  }
+  int64_t current = vg.EdgeProperty(it->second, "paths").as_int();
+  if (current < static_cast<int64_t>(paths)) {
+    return Status::Internal("connector path multiplicity underflow");
+  }
+  stats->paths_removed += paths;
+  if (current == static_cast<int64_t>(paths)) {
+    KASKADE_RETURN_IF_ERROR(vg.RemoveEdge(it->second));
+    connector_edges_.erase(it);
+    ++stats->edges_removed;
+    MaybeCollectViewVertex(base_src, stats);
+    MaybeCollectViewVertex(base_dst, stats);
+    return Status::OK();
+  }
+  KASKADE_RETURN_IF_ERROR(vg.SetEdgeProperty(
+      it->second, "paths",
+      PropertyValue(current - static_cast<int64_t>(paths))));
+  ++stats->edges_updated;
+  return Status::OK();
+}
 
+void ViewMaintainer::MaybeCollectViewVertex(VertexId base_vertex,
+                                            MaintenanceStats* stats) {
+  auto it = base_to_view_.find(base_vertex);
+  if (it == base_to_view_.end()) return;
+  PropertyGraph& vg = view_->graph;
+  VertexId view_vertex = it->second;
+  if (vg.OutDegree(view_vertex) != 0 || vg.InDegree(view_vertex) != 0) return;
+  // From-scratch contraction only emits path endpoints, so an isolated
+  // view vertex must go (its id is tombstoned; view_to_base keeps the
+  // slot so ids stay aligned).
+  if (vg.RemoveVertex(view_vertex).ok()) {
+    base_to_view_.erase(it);
+    ++stats->vertices_removed;
+  }
+}
+
+Result<MaintenanceStats> ViewMaintainer::MaintainConnector(EdgeId e) {
+  MaintenanceStats stats;
+  // Only edges inserted up to and including e may participate: paths
+  // that use a *later* insertion are that insertion's delta (prevents
+  // double counting during batch catch-up).
+  BatchRemovalScope scope(base_, e + 1);
+  std::map<std::pair<VertexId, VertexId>, uint64_t> new_pairs =
+      CountPathsThroughEdge(*base_, scope, base_->Edge(e),
+                            view_->definition.k, source_type_, target_type_);
   for (const auto& [pair, paths] : new_pairs) {
     stats.paths_added += paths;
     KASKADE_RETURN_IF_ERROR(
         UpsertConnectorEdge(pair.first, pair.second, paths, &stats));
+  }
+  return stats;
+}
+
+Result<MaintenanceStats> ViewMaintainer::RemoveFromConnector(
+    EdgeId e, const BatchRemovalScope* batch) {
+  MaintenanceStats stats;
+  // Pending inserts (id >= watermark) are invisible: the view never
+  // counted their paths, so they must not be subtracted either.
+  BatchRemovalScope single(base_, watermark_);
+  const BatchRemovalScope& scope = batch != nullptr ? *batch : single;
+  std::map<std::pair<VertexId, VertexId>, uint64_t> dead_pairs =
+      CountPathsThroughEdge(*base_, scope, base_->Edge(e),
+                            view_->definition.k, source_type_, target_type_);
+  for (const auto& [pair, paths] : dead_pairs) {
+    KASKADE_RETURN_IF_ERROR(
+        DecrementConnectorEdge(pair.first, pair.second, paths, &stats));
   }
   return stats;
 }
@@ -279,9 +430,25 @@ Result<MaintenanceStats> ViewMaintainer::MaintainFilterSummarizer(EdgeId e) {
   if (et == graph::kInvalidTypeId) {
     return Status::Internal("summarizer view schema lost an edge type");
   }
-  KASKADE_RETURN_IF_ERROR(
-      vg.AddEdgeOfType(src, dst, et, base_->EdgeProperties(e)).status());
+  graph::PropertyMap props = base_->EdgeProperties(e);
+  props.Set("orig_eid", PropertyValue(static_cast<int64_t>(e)));
+  KASKADE_ASSIGN_OR_RETURN(
+      EdgeId view_edge, vg.AddEdgeOfType(src, dst, et, std::move(props)));
+  summarizer_edges_.emplace(e, view_edge);
   ++stats.edges_added;
+  return stats;
+}
+
+Result<MaintenanceStats> ViewMaintainer::RemoveFromFilterSummarizer(
+    EdgeId e) {
+  MaintenanceStats stats;
+  auto it = summarizer_edges_.find(e);
+  if (it == summarizer_edges_.end()) return stats;  // edge was filtered out
+  KASKADE_RETURN_IF_ERROR(view_->graph.RemoveEdge(it->second));
+  summarizer_edges_.erase(it);
+  ++stats.edges_removed;
+  // Summarizer vertices are kept by type/predicate, not by incidence —
+  // a from-scratch materialization keeps them too, so no collection.
   return stats;
 }
 
@@ -295,6 +462,10 @@ Result<MaintenanceStats> ViewMaintainer::OnEdgeAdded(EdgeId e) {
         "once, in order)");
   }
   watermark_ = e + 1;
+  if (!base_->IsEdgeLive(e)) {
+    // Inserted and removed before the view ever saw it: net zero.
+    return MaintenanceStats{};
+  }
   const ViewDefinition& def = view_->definition;
   if (def.kind == ViewKind::kKHopConnector) return MaintainConnector(e);
   if (def.kind == ViewKind::kVertexInclusionSummarizer ||
@@ -308,7 +479,101 @@ Result<MaintenanceStats> ViewMaintainer::OnEdgeAdded(EdgeId e) {
       "summarizers; re-materialize other view kinds");
 }
 
+Result<MaintenanceStats> ViewMaintainer::OnEdgeRemoved(EdgeId e) {
+  if (e >= base_->NumEdges()) {
+    return Status::OutOfRange("edge id not present in base graph");
+  }
+  if (base_->IsEdgeLive(e)) {
+    return Status::InvalidArgument(
+        "remove the edge from the base graph before reporting it");
+  }
+  const ViewDefinition& def = view_->definition;
+  if (!SupportsKind(def.kind)) {
+    return Status::Unimplemented(
+        "incremental maintenance supports k-hop connectors and filter "
+        "summarizers; re-materialize other view kinds");
+  }
+  if (base_->num_removed_edges() != base_removals_seen_ + 1) {
+    // More than one unreported removal: paths through the other dead
+    // edges would be silently missed. Use ApplyDelta for batches.
+    return Status::FailedPrecondition(
+        "multiple base removals are pending; report them as one "
+        "GraphDelta via ApplyDelta (single-edge reporting must follow "
+        "each removal immediately)");
+  }
+  ++base_removals_seen_;
+  if (e >= watermark_) {
+    // The insertion was never reflected; CatchUp will skip the tombstone.
+    return MaintenanceStats{};
+  }
+  if (def.kind == ViewKind::kKHopConnector) {
+    return RemoveFromConnector(e, nullptr);
+  }
+  return RemoveFromFilterSummarizer(e);
+}
+
+Result<MaintenanceStats> ViewMaintainer::ApplyDelta(
+    const graph::GraphDelta& delta) {
+  const ViewDefinition& def = view_->definition;
+  if (!SupportsKind(def.kind)) {
+    return Status::Unimplemented(
+        "incremental maintenance supports k-hop connectors and filter "
+        "summarizers; re-materialize other view kinds");
+  }
+  if (base_->num_removed_edges() !=
+      base_removals_seen_ + delta.edge_removals.size()) {
+    return Status::FailedPrecondition(
+        "the delta's removal list does not match the base graph's "
+        "removal count; apply exactly this delta to the base first and "
+        "report every batch");
+  }
+  MaintenanceStats total;
+  if (!delta.edge_removals.empty()) {
+    if (def.kind == ViewKind::kKHopConnector) {
+      // Removal r_i is accounted on the state where r_1..r_i are gone
+      // but r_{i+1}.. are still present: every path through multiple
+      // removed edges is subtracted exactly once.
+      BatchRemovalScope scope(base_, watermark_);
+      for (EdgeId e : delta.edge_removals) {
+        if (e < watermark_) scope.AddPending(e);
+      }
+      for (EdgeId e : delta.edge_removals) {
+        scope.Hide(e);
+        ++base_removals_seen_;
+        if (e >= watermark_) continue;
+        KASKADE_ASSIGN_OR_RETURN(MaintenanceStats stats,
+                                 RemoveFromConnector(e, &scope));
+        total += stats;
+      }
+    } else {
+      for (EdgeId e : delta.edge_removals) {
+        ++base_removals_seen_;
+        if (e >= watermark_) continue;
+        KASKADE_ASSIGN_OR_RETURN(MaintenanceStats stats,
+                                 RemoveFromFilterSummarizer(e));
+        total += stats;
+      }
+    }
+  }
+  KASKADE_ASSIGN_OR_RETURN(MaintenanceStats inserted, CatchUp());
+  total += inserted;
+  return total;
+}
+
 Result<MaintenanceStats> ViewMaintainer::CatchUp() {
+  if (base_removals_seen_ != base_->num_removed_edges()) {
+    return Status::FailedPrecondition(
+        "base graph edges were removed without notifying the maintainer; "
+        "report removals via OnEdgeRemoved/ApplyDelta or re-materialize "
+        "the view");
+  }
+  if (base_->num_removed_vertices() != base_vertex_removals_seen_) {
+    // Vertices can only be removed out of band (GraphDelta has no
+    // vertex removals); summarizer views would keep serving them.
+    return Status::FailedPrecondition(
+        "base graph vertices were removed behind the maintainer's back; "
+        "re-materialize the view");
+  }
   MaintenanceStats total;
   // Vertices first (summarizers copy kept vertices even when isolated).
   const ViewDefinition& def = view_->definition;
@@ -319,6 +584,7 @@ Result<MaintenanceStats> ViewMaintainer::CatchUp() {
          def.kind == ViewKind::kVertexRemovalSummarizer);
     for (VertexId v = vertex_watermark_;
          v < static_cast<VertexId>(base_->NumVertices()); ++v) {
+      if (!base_->IsVertexLive(v)) continue;
       if (!keep_vertex_type_[base_->VertexType(v)]) continue;
       if (vertex_predicate &&
           !EvalPredicate(base_->VertexProperty(v, def.predicate_property),
@@ -332,10 +598,7 @@ Result<MaintenanceStats> ViewMaintainer::CatchUp() {
   for (EdgeId e = watermark_; e < static_cast<EdgeId>(base_->NumEdges());
        ++e) {
     KASKADE_ASSIGN_OR_RETURN(MaintenanceStats stats, OnEdgeAdded(e));
-    total.paths_added += stats.paths_added;
-    total.edges_added += stats.edges_added;
-    total.edges_updated += stats.edges_updated;
-    total.vertices_added += stats.vertices_added;
+    total += stats;
   }
   return total;
 }

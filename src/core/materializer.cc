@@ -112,6 +112,7 @@ Result<MaterializedView> MaterializeTypeFilter(
   std::vector<VertexId> view_to_base;
   std::unordered_map<VertexId, VertexId> base_to_view;
   for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    if (!base.IsVertexLive(v)) continue;
     VertexTypeId t = base.VertexType(v);
     if (!keep_vertex_type[t]) continue;
     if (vertex_predicate &&
@@ -127,6 +128,7 @@ Result<MaterializedView> MaterializeTypeFilter(
     view_to_base.push_back(v);
   }
   for (EdgeId e = 0; e < base.NumEdges(); ++e) {
+    if (!base.IsEdgeLive(e)) continue;
     const graph::EdgeRecord& rec = base.Edge(e);
     if (!keep_edge_type[rec.type]) continue;
     if (edge_predicate &&
@@ -140,8 +142,12 @@ Result<MaterializedView> MaterializeTypeFilter(
     EdgeTypeId et =
         out.schema().FindEdgeType(schema.edge_type(rec.type).name);
     if (et == graph::kInvalidTypeId) continue;
+    // "orig_eid" records the contributing base edge (the edge-level
+    // lineage the incremental maintainer uses to undo removals).
+    PropertyMap eprops = base.EdgeProperties(e);
+    eprops.Set("orig_eid", PropertyValue(static_cast<int64_t>(e)));
     KASKADE_RETURN_IF_ERROR(out.AddEdgeOfType(src->second, dst->second, et,
-                                              base.EdgeProperties(e))
+                                              std::move(eprops))
                                 .status());
   }
   return MaterializedView{view, std::move(out), std::move(view_to_base)};
@@ -252,6 +258,7 @@ Result<MaterializedView> MaterializeVertexAggregator(
   std::map<std::string, std::map<std::string, double>> group_sums;
   std::map<std::string, int64_t> group_counts;
   for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    if (!base.IsVertexLive(v)) continue;
     PropertyValue group_value =
         base.VertexProperty(v, view.group_by_property);
     bool grouped = all_types ? !group_value.is_null()
@@ -296,6 +303,7 @@ Result<MaterializedView> MaterializeVertexAggregator(
   // Pass 2: edges, collapsing parallels between supervertices.
   std::map<std::tuple<VertexId, VertexId, EdgeTypeId>, EdgeId> dedup;
   for (EdgeId e = 0; e < base.NumEdges(); ++e) {
+    if (!base.IsEdgeLive(e)) continue;
     const graph::EdgeRecord& rec = base.Edge(e);
     VertexId src = base_to_view.at(rec.source);
     VertexId dst = base_to_view.at(rec.target);

@@ -122,7 +122,7 @@ double EstimateViewSizeEdges(const graph::PropertyGraph& graph,
       return total;
     }
     case ViewKind::kEdgeRemovalSummarizer: {
-      double total = static_cast<double>(graph.NumEdges());
+      double total = static_cast<double>(graph.NumLiveEdges());
       for (const std::string& t : view.type_list) {
         graph::EdgeTypeId id = graph.schema().FindEdgeType(t);
         if (id != graph::kInvalidTypeId) {
@@ -136,7 +136,7 @@ double EstimateViewSizeEdges(const graph::PropertyGraph& graph,
       // Supervertices collapse groups; edge count is bounded by the base
       // edge count and typically far smaller. Without group statistics we
       // use the conservative bound.
-      return static_cast<double>(graph.NumEdges());
+      return static_cast<double>(graph.NumLiveEdges());
   }
   return 0;
 }

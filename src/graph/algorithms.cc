@@ -121,6 +121,7 @@ uint64_t CountSimple2Paths(const PropertyGraph& graph) {
   // Subtract u->v->u round trips: one per (u->v, v->u) edge pair.
   uint64_t round_trips = 0;
   for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    if (!graph.IsEdgeLive(e)) continue;
     const EdgeRecord& rec = graph.Edge(e);
     for (EdgeId back : graph.OutEdges(rec.target)) {
       if (graph.Edge(back).target == rec.source) ++round_trips;
@@ -162,7 +163,11 @@ CommunityAssignment LabelPropagation(const PropertyGraph& graph, int passes) {
     result.label = std::move(next_label);
     if (!changed) break;
   }
-  std::vector<VertexId> sorted = result.label;
+  std::vector<VertexId> sorted;
+  sorted.reserve(result.label.size());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.IsVertexLive(v)) sorted.push_back(result.label[v]);
+  }
   std::sort(sorted.begin(), sorted.end());
   result.num_communities =
       std::unique(sorted.begin(), sorted.end()) - sorted.begin();
@@ -174,6 +179,7 @@ std::vector<VertexId> LargestCommunity(const PropertyGraph& graph,
                                        VertexTypeId count_type) {
   std::unordered_map<VertexId, size_t> weight;
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!graph.IsVertexLive(v)) continue;
     if (count_type == kInvalidTypeId || graph.VertexType(v) == count_type) {
       ++weight[communities.label[v]];
     }
@@ -241,6 +247,7 @@ std::pair<std::vector<uint32_t>, size_t> WeakComponents(
   std::vector<VertexId> stack;
   for (VertexId start = 0; start < graph.NumVertices(); ++start) {
     if (comp[start] != kInvalidId) continue;
+    if (!graph.IsVertexLive(start)) continue;  // tombstones are not components
     uint32_t id = static_cast<uint32_t>(count++);
     comp[start] = id;
     stack.push_back(start);

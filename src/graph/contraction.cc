@@ -157,6 +157,7 @@ Result<ConnectorView> ContractPaths(const PropertyGraph& base,
   std::vector<bool> on_path(base.NumVertices(), false);
   std::map<VertexId, EndpointHit> hits;
   for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    if (!base.IsVertexLive(v)) continue;
     if (spec.source_type != kInvalidTypeId &&
         base.VertexType(v) != spec.source_type) {
       continue;

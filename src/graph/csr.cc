@@ -8,14 +8,16 @@ namespace kaskade::graph {
 CsrGraph CsrGraph::Build(const PropertyGraph& g) {
   CsrGraph csr;
   const size_t n = g.NumVertices();
-  const size_t m = g.NumEdges();
+  const size_t m = g.NumLiveEdges();
   csr.vertex_types_.resize(n);
   for (VertexId v = 0; v < n; ++v) csr.vertex_types_[v] = g.VertexType(v);
 
-  // Counting pass.
+  // Counting pass. Dead vertices keep (empty) rows so base ids stay
+  // valid as CSR indices; dead edges are dropped.
   csr.out_offsets_.assign(n + 1, 0);
   csr.in_offsets_.assign(n + 1, 0);
-  for (EdgeId e = 0; e < m; ++e) {
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!g.IsEdgeLive(e)) continue;
     const EdgeRecord& rec = g.Edge(e);
     ++csr.out_offsets_[rec.source + 1];
     ++csr.in_offsets_[rec.target + 1];
@@ -32,7 +34,8 @@ CsrGraph CsrGraph::Build(const PropertyGraph& g) {
                                    csr.out_offsets_.end() - 1);
   std::vector<uint64_t> in_cursor(csr.in_offsets_.begin(),
                                   csr.in_offsets_.end() - 1);
-  for (EdgeId e = 0; e < m; ++e) {
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!g.IsEdgeLive(e)) continue;
     const EdgeRecord& rec = g.Edge(e);
     uint64_t out_slot = out_cursor[rec.source]++;
     csr.out_targets_[out_slot] = rec.target;

@@ -1,0 +1,126 @@
+#include "graph/delta.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace kaskade::graph {
+
+GraphDelta& GraphDelta::AddVertex(std::string type_name,
+                                  PropertyMap properties) {
+  vertex_inserts.push_back(
+      VertexInsert{std::move(type_name), std::move(properties)});
+  return *this;
+}
+
+GraphDelta& GraphDelta::AddEdge(VertexId source, VertexId target,
+                                std::string type_name,
+                                PropertyMap properties) {
+  edge_inserts.push_back(EdgeInsert{source, target, std::move(type_name),
+                                    std::move(properties)});
+  return *this;
+}
+
+GraphDelta& GraphDelta::RemoveEdge(EdgeId e) {
+  edge_removals.push_back(e);
+  return *this;
+}
+
+size_t GraphDelta::Coalesce() {
+  std::unordered_set<EdgeId> seen;
+  size_t dropped = 0;
+  std::vector<EdgeId> unique;
+  unique.reserve(edge_removals.size());
+  for (EdgeId e : edge_removals) {
+    if (seen.insert(e).second) {
+      unique.push_back(e);
+    } else {
+      ++dropped;
+    }
+  }
+  edge_removals = std::move(unique);
+  return dropped;
+}
+
+Status GraphDelta::Validate(const PropertyGraph& graph) const {
+  const GraphSchema& schema = graph.schema();
+  std::unordered_set<EdgeId> removal_set;
+  for (EdgeId e : edge_removals) {
+    if (!graph.IsEdgeLive(e)) {
+      return Status::InvalidArgument("delta removes edge " +
+                                     std::to_string(e) +
+                                     " which is not a live edge");
+    }
+    if (!removal_set.insert(e).second) {
+      return Status::InvalidArgument(
+          "delta removes edge " + std::to_string(e) +
+          " twice; Coalesce() the delta first");
+    }
+  }
+  for (const VertexInsert& vi : vertex_inserts) {
+    if (schema.FindVertexType(vi.type_name) == kInvalidTypeId) {
+      return Status::NotFound("unknown vertex type '" + vi.type_name + "'");
+    }
+  }
+  // Type of each endpoint an edge insert may legally reference: an
+  // existing live vertex, or the j-th delta vertex at id NumVertices()+j.
+  const VertexId first_new = static_cast<VertexId>(graph.NumVertices());
+  auto endpoint_type = [&](VertexId v) -> Result<VertexTypeId> {
+    if (v < first_new) {
+      if (!graph.IsVertexLive(v)) {
+        return Status::InvalidArgument("edge insert references removed "
+                                       "vertex " +
+                                       std::to_string(v));
+      }
+      return graph.VertexType(v);
+    }
+    size_t j = v - first_new;
+    if (j >= vertex_inserts.size()) {
+      return Status::OutOfRange("edge insert endpoint " + std::to_string(v) +
+                                " is out of range");
+    }
+    return schema.FindVertexType(vertex_inserts[j].type_name);
+  };
+  for (const EdgeInsert& ei : edge_inserts) {
+    EdgeTypeId type = schema.FindEdgeType(ei.type_name);
+    if (type == kInvalidTypeId) {
+      return Status::NotFound("unknown edge type '" + ei.type_name + "'");
+    }
+    const EdgeTypeDecl& decl = schema.edge_type(type);
+    KASKADE_ASSIGN_OR_RETURN(VertexTypeId source_type,
+                             endpoint_type(ei.source));
+    KASKADE_ASSIGN_OR_RETURN(VertexTypeId target_type,
+                             endpoint_type(ei.target));
+    if (source_type != decl.source_type || target_type != decl.target_type) {
+      return Status::InvalidArgument(
+          "edge insert of type '" + ei.type_name +
+          "' violates the schema's (domain, range) declaration");
+    }
+  }
+  return Status::OK();
+}
+
+Result<AppliedDelta> ApplyDeltaToGraph(PropertyGraph* graph,
+                                       const GraphDelta& delta) {
+  KASKADE_RETURN_IF_ERROR(delta.Validate(*graph));
+  AppliedDelta applied;
+  applied.new_vertices.reserve(delta.vertex_inserts.size());
+  for (const GraphDelta::VertexInsert& vi : delta.vertex_inserts) {
+    KASKADE_ASSIGN_OR_RETURN(VertexId v,
+                             graph->AddVertex(vi.type_name, vi.properties));
+    applied.new_vertices.push_back(v);
+  }
+  for (EdgeId e : delta.edge_removals) {
+    KASKADE_RETURN_IF_ERROR(graph->RemoveEdge(e));
+    ++applied.removed_edges;
+  }
+  applied.new_edges.reserve(delta.edge_inserts.size());
+  for (const GraphDelta::EdgeInsert& ei : delta.edge_inserts) {
+    KASKADE_ASSIGN_OR_RETURN(
+        EdgeId e,
+        graph->AddEdge(ei.source, ei.target, ei.type_name, ei.properties));
+    applied.new_edges.push_back(e);
+  }
+  return applied;
+}
+
+}  // namespace kaskade::graph

@@ -1,5 +1,7 @@
 #include "graph/property_graph.h"
 
+#include <algorithm>
+
 namespace kaskade::graph {
 
 Result<VertexId> PropertyGraph::AddVertex(const std::string& type_name,
@@ -18,6 +20,7 @@ VertexId PropertyGraph::AddVertexOfType(VertexTypeId type,
   vertex_props_.push_back(std::move(properties));
   out_edges_.emplace_back();
   in_edges_.emplace_back();
+  vertex_live_.push_back(true);
   if (type >= vertex_type_counts_.size()) vertex_type_counts_.resize(type + 1, 0);
   ++vertex_type_counts_[type];
   return id;
@@ -57,9 +60,44 @@ Result<EdgeId> PropertyGraph::AddEdgeOfType(VertexId source, VertexId target,
   edge_props_.push_back(std::move(properties));
   out_edges_[source].push_back(id);
   in_edges_[target].push_back(id);
+  edge_live_.push_back(true);
   if (type >= edge_type_counts_.size()) edge_type_counts_.resize(type + 1, 0);
   ++edge_type_counts_[type];
   return id;
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId e) {
+  if (e >= NumEdges()) return Status::OutOfRange("edge id out of range");
+  if (!edge_live_[e]) {
+    return Status::FailedPrecondition("edge " + std::to_string(e) +
+                                      " was already removed");
+  }
+  const EdgeRecord& rec = edges_[e];
+  auto unlink = [e](std::vector<EdgeId>* list) {
+    list->erase(std::find(list->begin(), list->end(), e));
+  };
+  unlink(&out_edges_[rec.source]);
+  unlink(&in_edges_[rec.target]);
+  edge_live_[e] = false;
+  ++num_removed_edges_;
+  --edge_type_counts_[rec.type];
+  return Status::OK();
+}
+
+Status PropertyGraph::RemoveVertex(VertexId v) {
+  if (v >= NumVertices()) return Status::OutOfRange("vertex id out of range");
+  if (!vertex_live_[v]) {
+    return Status::FailedPrecondition("vertex " + std::to_string(v) +
+                                      " was already removed");
+  }
+  if (!out_edges_[v].empty() || !in_edges_[v].empty()) {
+    return Status::FailedPrecondition(
+        "vertex " + std::to_string(v) + " still has live incident edges");
+  }
+  vertex_live_[v] = false;
+  ++num_removed_vertices_;
+  --vertex_type_counts_[vertex_types_[v]];
+  return Status::OK();
 }
 
 Status PropertyGraph::SetVertexProperty(VertexId v, const std::string& key,
@@ -80,7 +118,7 @@ std::vector<VertexId> PropertyGraph::VerticesOfType(VertexTypeId type) const {
   std::vector<VertexId> out;
   out.reserve(NumVerticesOfType(type));
   for (VertexId v = 0; v < vertex_types_.size(); ++v) {
-    if (vertex_types_[v] == type) out.push_back(v);
+    if (vertex_types_[v] == type && vertex_live_[v]) out.push_back(v);
   }
   return out;
 }

@@ -37,8 +37,15 @@ struct EdgeRecord {
 /// \brief Directed multigraph with schema-validated typed vertices/edges
 /// and per-element property maps.
 ///
-/// Mutation is append-only (vertices and edges are never deleted); views
-/// are materialized as *new* PropertyGraph instances, which matches the
+/// Ids are dense and append-only: `AddVertex`/`AddEdge` allocate the next
+/// id and ids are never reused. Removal is tombstone-based: `RemoveEdge`
+/// and `RemoveVertex` unlink the element from the adjacency lists and
+/// mark it dead, but its id (and its record/properties, for lineage
+/// consumers) stays readable. Consequently `NumVertices()`/`NumEdges()`
+/// bound the *id space* — loops indexing by id stay valid after removals
+/// but must skip dead elements via `IsVertexLive`/`IsEdgeLive`; use
+/// `NumLiveVertices()`/`NumLiveEdges()` for element *counts*. Views are
+/// materialized as *new* PropertyGraph instances, which matches the
 /// paper's design where views live beside the raw graph. Adjacency is
 /// stored as per-vertex out/in edge lists for O(degree) expansion.
 class PropertyGraph {
@@ -80,12 +87,52 @@ class PropertyGraph {
   /// Sets a property on an existing edge.
   Status SetEdgeProperty(EdgeId e, const std::string& key,
                          PropertyValue value);
+
+  /// Removes an edge: unlinks it from both adjacency lists and marks it
+  /// dead. The id is never reused; the record and properties remain
+  /// readable (maintenance code subtracts the paths a dead edge carried).
+  /// Fails with OutOfRange for an unknown id, FailedPrecondition when the
+  /// edge was already removed.
+  Status RemoveEdge(EdgeId e);
+
+  /// Removes a vertex with no live incident edges (callers remove or
+  /// re-route edges first). Fails with FailedPrecondition when live
+  /// edges still touch it or it was already removed.
+  Status RemoveVertex(VertexId v);
   /// @}
 
   /// \name Topology accessors
   /// @{
+
+  /// Id-space bounds: include removed (dead) elements so id-indexed
+  /// loops stay valid. Guard with `IsVertexLive`/`IsEdgeLive` when a
+  /// graph may have seen removals; use the `NumLive*` pair for counts.
   size_t NumVertices() const { return vertex_types_.size(); }
   size_t NumEdges() const { return edges_.size(); }
+
+  /// Live element counts (id-space size minus tombstones).
+  size_t NumLiveVertices() const {
+    return vertex_types_.size() - num_removed_vertices_;
+  }
+  size_t NumLiveEdges() const { return edges_.size() - num_removed_edges_; }
+
+  bool IsVertexLive(VertexId v) const {
+    return v < vertex_live_.size() && vertex_live_[v];
+  }
+  bool IsEdgeLive(EdgeId e) const {
+    return e < edge_live_.size() && edge_live_[e];
+  }
+
+  /// True when any element was ever removed (cheap "can dead ids exist"
+  /// check for scan paths that want to skip liveness tests entirely).
+  bool has_removals() const {
+    return num_removed_vertices_ + num_removed_edges_ != 0;
+  }
+
+  /// Total edges/vertices ever removed (monotonic; maintainers use them
+  /// to detect removals applied behind their back).
+  size_t num_removed_edges() const { return num_removed_edges_; }
+  size_t num_removed_vertices() const { return num_removed_vertices_; }
 
   VertexTypeId VertexType(VertexId v) const { return vertex_types_[v]; }
   const std::string& VertexTypeName(VertexId v) const {
@@ -105,17 +152,19 @@ class PropertyGraph {
   size_t OutDegree(VertexId v) const { return out_edges_[v].size(); }
   size_t InDegree(VertexId v) const { return in_edges_[v].size(); }
 
-  /// Number of vertices of the given type (O(1), maintained on insert).
+  /// Number of live vertices of the given type (O(1), maintained on
+  /// insert and removal).
   size_t NumVerticesOfType(VertexTypeId type) const {
     return type < vertex_type_counts_.size() ? vertex_type_counts_[type] : 0;
   }
 
-  /// Number of edges of the given type (O(1), maintained on insert).
+  /// Number of live edges of the given type (O(1), maintained on insert
+  /// and removal).
   size_t NumEdgesOfType(EdgeTypeId type) const {
     return type < edge_type_counts_.size() ? edge_type_counts_[type] : 0;
   }
 
-  /// All vertex ids of a type (O(|V|) scan).
+  /// All live vertex ids of a type (O(|V|) scan).
   std::vector<VertexId> VerticesOfType(VertexTypeId type) const;
   /// @}
 
@@ -151,6 +200,11 @@ class PropertyGraph {
   std::vector<std::vector<EdgeId>> in_edges_;
   std::vector<size_t> vertex_type_counts_;
   std::vector<size_t> edge_type_counts_;
+  /// Tombstone bitmaps, parallel to the id spaces.
+  std::vector<bool> vertex_live_;
+  std::vector<bool> edge_live_;
+  size_t num_removed_vertices_ = 0;
+  size_t num_removed_edges_ = 0;
 };
 
 }  // namespace kaskade::graph

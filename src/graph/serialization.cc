@@ -153,14 +153,21 @@ Status SaveGraph(const PropertyGraph& graph, std::ostream* out) {
          << Escape(schema.vertex_type_name(decl.source_type)) << " "
          << Escape(schema.vertex_type_name(decl.target_type)) << "\n";
   }
+  // Dead elements are dropped and vertex ids compacted (the format has
+  // no tombstone notion); loading a saved graph yields dense live ids.
+  std::vector<VertexId> remap(graph.NumVertices(), kInvalidId);
+  VertexId next_id = 0;
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!graph.IsVertexLive(v)) continue;
+    remap[v] = next_id++;
     *out << "vertex " << Escape(graph.VertexTypeName(v));
     WriteProperties(graph.VertexProperties(v), out);
     *out << "\n";
   }
   for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    if (!graph.IsEdgeLive(e)) continue;
     const EdgeRecord& rec = graph.Edge(e);
-    *out << "edge " << rec.source << " " << rec.target << " "
+    *out << "edge " << remap[rec.source] << " " << remap[rec.target] << " "
          << Escape(graph.EdgeTypeName(e));
     WriteProperties(graph.EdgeProperties(e), out);
     *out << "\n";

@@ -44,14 +44,15 @@ double TypeDegreeSummary::Percentile(double alpha) const {
 
 GraphStats GraphStats::Compute(const PropertyGraph& graph) {
   GraphStats stats;
-  stats.num_vertices_ = graph.NumVertices();
-  stats.num_edges_ = graph.NumEdges();
+  stats.num_vertices_ = graph.NumLiveVertices();
+  stats.num_edges_ = graph.NumLiveEdges();
 
   const size_t num_types = graph.schema().num_vertex_types();
   std::vector<std::vector<size_t>> degrees_by_type(num_types);
   std::vector<size_t> all_degrees;
-  all_degrees.reserve(graph.NumVertices());
+  all_degrees.reserve(graph.NumLiveVertices());
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!graph.IsVertexLive(v)) continue;
     degrees_by_type[graph.VertexType(v)].push_back(graph.OutDegree(v));
     all_degrees.push_back(graph.OutDegree(v));
   }
@@ -69,11 +70,12 @@ DegreeDistribution ComputeOutDegreeDistribution(const PropertyGraph& graph) {
   DegreeDistribution dist;
   std::map<size_t, size_t> histogram;
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!graph.IsVertexLive(v)) continue;
     ++histogram[graph.OutDegree(v)];
   }
   // CCDF: count of vertices with degree strictly greater than d, for each
   // observed degree d.
-  size_t above = graph.NumVertices();
+  size_t above = graph.NumLiveVertices();
   for (const auto& [degree, count] : histogram) {
     above -= count;
     dist.ccdf.push_back(CcdfPoint{degree, above});

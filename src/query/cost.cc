@@ -74,7 +74,7 @@ double EstimateEvalCost(const Query& query, const graph::PropertyGraph& graph,
                                    ? graph::kInvalidTypeId
                                    : graph.schema().FindVertexType(seed.type);
     seeds = type == graph::kInvalidTypeId
-                ? static_cast<double>(graph.NumVertices())
+                ? static_cast<double>(graph.NumLiveVertices())
                 : static_cast<double>(graph.NumVerticesOfType(type));
     seeds = std::max(seeds, 1.0);
   }
@@ -87,8 +87,8 @@ double EstimateEvalCost(const Query& query, const graph::PropertyGraph& graph,
     return ExpansionFactor(stats, from_type, options);
   };
   return MatchCostOnCounts(match, seeds,
-                           static_cast<double>(graph.NumVertices()),
-                           static_cast<double>(graph.NumEdges()),
+                           static_cast<double>(graph.NumLiveVertices()),
+                           static_cast<double>(graph.NumLiveEdges()),
                            fixed_expansion);
 }
 

@@ -143,7 +143,7 @@ class MatchEvaluator {
     auto candidate_count = [&](size_t slot) -> size_t {
       const ResolvedPattern::Node& n = pattern_.nodes[slot];
       return n.has_type_constraint ? graph_.NumVerticesOfType(n.type)
-                                   : graph_.NumVertices();
+                                   : graph_.NumLiveVertices();
     };
 
     size_t planned_nodes = 0;
@@ -313,6 +313,7 @@ class MatchEvaluator {
         }
       } else {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+          if (!graph_.IsVertexLive(v)) continue;
           if (!NodeAccepts(slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));

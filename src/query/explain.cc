@@ -20,7 +20,7 @@ void ExplainMatch(const MatchQuery& match, const graph::PropertyGraph& graph,
                                    ? graph::kInvalidTypeId
                                    : graph.schema().FindVertexType(seed.type);
     size_t cardinality = type == graph::kInvalidTypeId
-                             ? graph.NumVertices()
+                             ? graph.NumLiveVertices()
                              : graph.NumVerticesOfType(type);
     *out += indent + "  seed (" + seed.name;
     if (!seed.type.empty()) *out += ":" + seed.type;

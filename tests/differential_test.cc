@@ -1,0 +1,462 @@
+// Randomized differential-testing harness for full delta maintenance:
+// seeded mutation sequences (single inserts, single deletes, and mixed
+// batches; uniform and skewed operand choice) run through
+// Engine::ApplyDelta, asserting after every prefix that each registered
+// view's live edge multiset — including "paths" multiplicities and
+// view_to_base lineage — equals Materialize() run from scratch over the
+// mutated base graph. Doubles as a sanitizer fuzz driver under the CI
+// ASan/UBSan job.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/maintenance.h"
+#include "core/materializer.h"
+#include "graph/delta.h"
+#include "graph/property_graph.h"
+#include "graph/schema.h"
+
+namespace kaskade::core {
+namespace {
+
+using graph::EdgeId;
+using graph::GraphDelta;
+using graph::GraphSchema;
+using graph::PropertyGraph;
+using graph::PropertyMap;
+using graph::PropertyValue;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Fixture graph: a heterogeneous lineage schema exercising every
+// supported view kind (bipartite Job/File core for connectors, auxiliary
+// Task/User types for the summarizers to keep or prune).
+// ---------------------------------------------------------------------------
+
+GraphSchema DeltaSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  schema.AddVertexType("Task");
+  schema.AddVertexType("User");
+  EXPECT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  EXPECT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+  EXPECT_TRUE(schema.AddEdgeType("SPAWNS", "Job", "Task").ok());
+  EXPECT_TRUE(schema.AddEdgeType("SUBMITS", "User", "Job").ok());
+  return schema;
+}
+
+/// Every view kind the maintainer supports, plus predicate coverage.
+std::vector<ViewDefinition> AllMaintainableViews() {
+  std::vector<ViewDefinition> defs;
+  {
+    ViewDefinition d;
+    d.kind = ViewKind::kKHopConnector;
+    d.k = 2;
+    d.source_type = "Job";
+    d.target_type = "Job";
+    defs.push_back(d);
+    d.k = 4;  // longer paths: deeper splits, closed paths, orphan GC
+    defs.push_back(d);
+  }
+  {
+    ViewDefinition d;
+    d.kind = ViewKind::kVertexInclusionSummarizer;
+    d.type_list = {"Job", "File"};
+    defs.push_back(d);
+  }
+  {
+    ViewDefinition d;
+    d.kind = ViewKind::kVertexRemovalSummarizer;
+    d.type_list = {"Task"};
+    defs.push_back(d);
+  }
+  {
+    ViewDefinition d;
+    d.kind = ViewKind::kEdgeInclusionSummarizer;
+    d.type_list = {"WRITES_TO", "IS_READ_BY"};
+    defs.push_back(d);
+  }
+  {
+    ViewDefinition d;
+    d.kind = ViewKind::kEdgeRemovalSummarizer;
+    d.type_list = {"SUBMITS"};
+    defs.push_back(d);
+  }
+  {
+    // Footnote-5 predicate path: only hot WRITES_TO edges survive.
+    ViewDefinition d;
+    d.kind = ViewKind::kEdgeInclusionSummarizer;
+    d.type_list = {"WRITES_TO"};
+    d.predicate_property = "hot";
+    d.predicate_op = PredicateOp::kEq;
+    d.predicate_value = PropertyValue(static_cast<int64_t>(1));
+    defs.push_back(d);
+  }
+  return defs;
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization: a view graph keyed by base-graph lineage, invariant
+// under vertex/edge id assignment and insertion order.
+// ---------------------------------------------------------------------------
+
+struct CanonicalView {
+  std::multiset<std::tuple<int64_t, int64_t, std::string, int64_t>> edges;
+  std::multiset<int64_t> vertices;
+
+  bool operator==(const CanonicalView&) const = default;
+};
+
+CanonicalView Canonicalize(const MaterializedView& view) {
+  CanonicalView canon;
+  const PropertyGraph& g = view.graph;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!g.IsVertexLive(v)) continue;
+    int64_t orig = g.VertexProperty(v, "orig_id").as_int();
+    // Lineage invariant: the orig_id property and the view_to_base
+    // vector must agree for every live view vertex.
+    EXPECT_EQ(orig, static_cast<int64_t>(view.view_to_base[v]))
+        << "lineage mismatch for view vertex " << v;
+    canon.vertices.insert(orig);
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!g.IsEdgeLive(e)) continue;
+    const graph::EdgeRecord& rec = g.Edge(e);
+    PropertyValue paths = g.EdgeProperty(e, "paths");
+    canon.edges.insert({g.VertexProperty(rec.source, "orig_id").as_int(),
+                        g.VertexProperty(rec.target, "orig_id").as_int(),
+                        g.schema().edge_type(rec.type).name,
+                        paths.is_int() ? paths.as_int() : 1});
+  }
+  return canon;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-sequence generator.
+// ---------------------------------------------------------------------------
+
+struct MutationState {
+  std::mt19937_64 rng;
+  bool skewed = false;
+  std::vector<VertexId> by_type[4];  // Job, File, Task, User
+  std::vector<EdgeId> live_edges;
+
+  explicit MutationState(uint64_t seed, bool skew)
+      : rng(seed), skewed(skew) {}
+
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  }
+
+  /// Index into [0, n): uniform, or biased toward low indices (skewed
+  /// operand choice concentrates mutations on a few hub vertices).
+  size_t PickIndex(size_t n) {
+    double u = UniformReal();
+    if (skewed) u = u * u;
+    size_t i = static_cast<size_t>(u * static_cast<double>(n));
+    return i < n ? i : n - 1;
+  }
+
+  /// Live edge to delete: uniform, or biased toward recent insertions.
+  EdgeId PickLiveEdge() {
+    double u = UniformReal();
+    if (skewed) u = 1.0 - u * u;  // favour the back (newest)
+    size_t i = static_cast<size_t>(u * static_cast<double>(live_edges.size()));
+    if (i >= live_edges.size()) i = live_edges.size() - 1;
+    return live_edges[i];
+  }
+
+  void ForgetEdge(EdgeId e) {
+    for (size_t i = 0; i < live_edges.size(); ++i) {
+      if (live_edges[i] == e) {
+        live_edges.erase(live_edges.begin() + i);
+        return;
+      }
+    }
+  }
+
+  PropertyMap RandomVertexProps() {
+    PropertyMap props;
+    props.Set("hot", PropertyValue(static_cast<int64_t>(rng() % 2)));
+    return props;
+  }
+
+  /// One random edge insert (endpoints drawn per the skew mode).
+  GraphDelta::EdgeInsert RandomEdgeInsert() {
+    static const struct {
+      const char* name;
+      int src_type;
+      int dst_type;
+    } kEdgeKinds[] = {{"WRITES_TO", 0, 1},
+                      {"IS_READ_BY", 1, 0},
+                      {"SPAWNS", 0, 2},
+                      {"SUBMITS", 3, 0}};
+    const auto& kind = kEdgeKinds[rng() % 4];
+    PropertyMap props;
+    props.Set("hot", PropertyValue(static_cast<int64_t>(rng() % 2)));
+    return GraphDelta::EdgeInsert{
+        by_type[kind.src_type][PickIndex(by_type[kind.src_type].size())],
+        by_type[kind.dst_type][PickIndex(by_type[kind.dst_type].size())],
+        kind.name, std::move(props)};
+  }
+};
+
+/// Seeds `engine`'s base graph population into `state` (ids are dense,
+/// so the test can reconstruct them from counts).
+void SeedGraph(PropertyGraph* g, MutationState* state) {
+  const char* kTypes[4] = {"Job", "File", "Task", "User"};
+  const size_t kCounts[4] = {8, 10, 5, 3};
+  for (int t = 0; t < 4; ++t) {
+    for (size_t i = 0; i < kCounts[t]; ++i) {
+      state->by_type[t].push_back(
+          g->AddVertex(kTypes[t], state->RandomVertexProps()).value());
+    }
+  }
+  for (int i = 0; i < 20; ++i) {
+    GraphDelta::EdgeInsert ins = state->RandomEdgeInsert();
+    state->live_edges.push_back(
+        g->AddEdge(ins.source, ins.target, ins.type_name, ins.properties)
+            .value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The differential harness.
+// ---------------------------------------------------------------------------
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(DifferentialTest, MaintainedViewsMatchScratchAtEveryPrefix) {
+  auto [seed, skewed] = GetParam();
+  MutationState state(seed, skewed);
+  PropertyGraph base(DeltaSchema());
+  SeedGraph(&base, &state);
+
+  Engine engine(std::move(base));
+  std::vector<ViewDefinition> defs = AllMaintainableViews();
+  for (const ViewDefinition& def : defs) {
+    ASSERT_TRUE(engine.AddMaterializedView(def).ok()) << def.Name();
+  }
+
+  constexpr int kSteps = 210;
+  size_t incremental_total = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    GraphDelta delta;
+    double dice = state.UniformReal();
+    if (dice < 0.55 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+      if (state.UniformReal() < 0.03) {
+        // Occasionally grow the vertex population through the delta
+        // path, wiring the newcomer in by its future id.
+        delta.AddVertex("Job", state.RandomVertexProps());
+        delta.AddEdge(
+            static_cast<VertexId>(engine.base_graph().NumVertices()),
+            state.by_type[1][state.PickIndex(state.by_type[1].size())],
+            "WRITES_TO", state.RandomVertexProps());
+      }
+    } else if (dice < 0.85) {
+      delta.RemoveEdge(state.PickLiveEdge());
+    } else {
+      // Mixed batch: several inserts and distinct deletes in one delta.
+      size_t ops = 2 + state.rng() % 5;
+      std::set<EdgeId> doomed;
+      for (size_t i = 0; i < ops; ++i) {
+        if (state.UniformReal() < 0.6 ||
+            doomed.size() + 4 > state.live_edges.size()) {
+          delta.edge_inserts.push_back(state.RandomEdgeInsert());
+        } else {
+          doomed.insert(state.PickLiveEdge());
+        }
+      }
+      for (EdgeId e : doomed) delta.RemoveEdge(e);
+    }
+
+    auto report = engine.ApplyDelta(delta);
+    ASSERT_TRUE(report.ok()) << "step " << step << ": " << report.status();
+    incremental_total += report->views_incremental;
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : report->new_edges) state.live_edges.push_back(e);
+    for (VertexId v : report->new_vertices) state.by_type[0].push_back(v);
+
+    for (const ViewDefinition& def : defs) {
+      const CatalogEntry* entry = engine.catalog().Find(def.Name());
+      ASSERT_NE(entry, nullptr) << def.Name();
+      auto scratch = Materialize(engine.base_graph(), def);
+      ASSERT_TRUE(scratch.ok()) << scratch.status();
+      ASSERT_EQ(Canonicalize(entry->view), Canonicalize(*scratch))
+          << def.Name() << " diverged at step " << step << " (seed " << seed
+          << (skewed ? ", skewed)" : ", uniform)");
+    }
+  }
+  // The harness must actually exercise the incremental path, not pass
+  // trivially because the cost model re-materialized everything.
+  EXPECT_GT(incremental_total, static_cast<size_t>(kSteps) * defs.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sequences, DifferentialTest,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Unsupported kinds fall back to re-materialization through the same
+// ApplyDelta entry point and stay exact.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialFallbackTest, AggregatorStaysExactViaRematerialization) {
+  MutationState state(7, /*skew=*/false);
+  PropertyGraph base(DeltaSchema());
+  SeedGraph(&base, &state);
+  Engine engine(std::move(base));
+
+  ViewDefinition agg;
+  agg.kind = ViewKind::kVertexAggregatorSummarizer;
+  agg.source_type = "File";
+  agg.group_by_property = "hot";
+  ASSERT_TRUE(engine.AddMaterializedView(agg).ok());
+
+  for (int step = 0; step < 25; ++step) {
+    GraphDelta delta;
+    if (state.UniformReal() < 0.5 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+    } else {
+      delta.RemoveEdge(state.PickLiveEdge());
+    }
+    auto report = engine.ApplyDelta(delta);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->views_rematerialized, 1u);
+    EXPECT_EQ(report->views_incremental, 0u);
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : report->new_edges) state.live_edges.push_back(e);
+
+    const CatalogEntry* entry = engine.catalog().Find(agg.Name());
+    ASSERT_NE(entry, nullptr);
+    auto scratch = Materialize(engine.base_graph(), agg);
+    ASSERT_TRUE(scratch.ok());
+    EXPECT_EQ(entry->view.graph.NumLiveVertices(),
+              scratch->graph.NumLiveVertices());
+    EXPECT_EQ(entry->view.graph.NumLiveEdges(), scratch->graph.NumLiveEdges());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaintenanceStats balance: adds minus removes equals the observed view
+// delta across a full random run (the counters cannot drift).
+// ---------------------------------------------------------------------------
+
+uint64_t PathsSum(const PropertyGraph& g) {
+  uint64_t total = 0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (!g.IsEdgeLive(e)) continue;
+    PropertyValue paths = g.EdgeProperty(e, "paths");
+    total += paths.is_int() ? static_cast<uint64_t>(paths.as_int()) : 1;
+  }
+  return total;
+}
+
+TEST(MaintenanceStatsBalanceTest, ConnectorCountersBalanceAcrossRandomRun) {
+  MutationState state(99, /*skew=*/true);
+  PropertyGraph base(DeltaSchema());
+  SeedGraph(&base, &state);
+
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "Job";
+  def.target_type = "Job";
+  auto view = Materialize(base, def);
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&base, &*view);
+
+  const uint64_t v0 = view->graph.NumLiveVertices();
+  const uint64_t e0 = view->graph.NumLiveEdges();
+  const uint64_t p0 = PathsSum(view->graph);
+
+  MaintenanceStats total;
+  for (int step = 0; step < 150; ++step) {
+    GraphDelta delta;
+    if (state.UniformReal() < 0.5 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+    } else if (state.UniformReal() < 0.7) {
+      delta.RemoveEdge(state.PickLiveEdge());
+    } else {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+      EdgeId doomed = state.PickLiveEdge();
+      delta.RemoveEdge(doomed);
+    }
+    auto applied = graph::ApplyDeltaToGraph(&base, delta);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : applied->new_edges) state.live_edges.push_back(e);
+    auto stats = maintainer.ApplyDelta(delta);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    total += *stats;
+  }
+
+  // The run must end exact...
+  auto scratch = Materialize(base, def);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(Canonicalize(*view), Canonicalize(*scratch));
+  // ...and the counters must explain exactly the observed change.
+  EXPECT_EQ(v0 + total.vertices_added - total.vertices_removed,
+            view->graph.NumLiveVertices());
+  EXPECT_EQ(e0 + total.edges_added - total.edges_removed,
+            view->graph.NumLiveEdges());
+  EXPECT_EQ(p0 + total.paths_added - total.paths_removed,
+            PathsSum(view->graph));
+}
+
+TEST(MaintenanceStatsBalanceTest, SummarizerCountersBalanceAcrossRandomRun) {
+  MutationState state(123, /*skew=*/false);
+  PropertyGraph base(DeltaSchema());
+  SeedGraph(&base, &state);
+
+  ViewDefinition def;
+  def.kind = ViewKind::kVertexRemovalSummarizer;
+  def.type_list = {"Task", "User"};
+  auto view = Materialize(base, def);
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&base, &*view);
+
+  const uint64_t v0 = view->graph.NumLiveVertices();
+  const uint64_t e0 = view->graph.NumLiveEdges();
+
+  MaintenanceStats total;
+  for (int step = 0; step < 150; ++step) {
+    GraphDelta delta;
+    if (state.UniformReal() < 0.55 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+    } else {
+      delta.RemoveEdge(state.PickLiveEdge());
+    }
+    auto applied = graph::ApplyDeltaToGraph(&base, delta);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : applied->new_edges) state.live_edges.push_back(e);
+    auto stats = maintainer.ApplyDelta(delta);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    total += *stats;
+  }
+
+  auto scratch = Materialize(base, def);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(Canonicalize(*view), Canonicalize(*scratch));
+  EXPECT_EQ(v0 + total.vertices_added - total.vertices_removed,
+            view->graph.NumLiveVertices());
+  EXPECT_EQ(e0 + total.edges_added - total.edges_removed,
+            view->graph.NumLiveEdges());
+  EXPECT_EQ(total.paths_added, 0u);  // summarizers do not contract paths
+  EXPECT_EQ(total.paths_removed, 0u);
+}
+
+}  // namespace
+}  // namespace kaskade::core

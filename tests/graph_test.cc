@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "graph/property_value.h"
 #include "graph/schema.h"
+#include "graph/serialization.h"
 #include "graph/stats.h"
 
 namespace kaskade::graph {
@@ -320,6 +324,178 @@ TEST(DegreeDistributionTest, UniformDegreesFitPoorlyOrFlat) {
   DegreeDistribution dist = ComputeOutDegreeDistribution(g);
   EXPECT_EQ(dist.ccdf.size(), 1u);
   EXPECT_DOUBLE_EQ(dist.powerlaw_slope, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Removal (tombstones) and GraphDelta
+// ---------------------------------------------------------------------------
+
+GraphSchema RemovalSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Job");
+  schema.AddVertexType("File");
+  EXPECT_TRUE(schema.AddEdgeType("WRITES_TO", "Job", "File").ok());
+  EXPECT_TRUE(schema.AddEdgeType("IS_READ_BY", "File", "Job").ok());
+  return schema;
+}
+
+TEST(RemovalTest, RemoveEdgeUnlinksButKeepsRecordReadable) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId keep = g.AddEdge(j, f, "WRITES_TO").value();
+  EdgeId doomed =
+      g.AddEdge(j, f, "WRITES_TO", {{"w", PropertyValue(7)}}).value();
+
+  ASSERT_TRUE(g.RemoveEdge(doomed).ok());
+  EXPECT_FALSE(g.IsEdgeLive(doomed));
+  EXPECT_TRUE(g.IsEdgeLive(keep));
+  EXPECT_EQ(g.NumEdges(), 2u);       // id space untouched
+  EXPECT_EQ(g.NumLiveEdges(), 1u);   // live count decremented
+  EXPECT_EQ(g.OutDegree(j), 1u);     // adjacency purged
+  EXPECT_EQ(g.InDegree(f), 1u);
+  EXPECT_EQ(g.NumEdgesOfType(0), 1u);
+  EXPECT_TRUE(g.has_removals());
+  // The dead record and its properties stay readable (lineage).
+  EXPECT_EQ(g.Edge(doomed).source, j);
+  EXPECT_EQ(g.EdgeProperty(doomed, "w"), PropertyValue(7));
+
+  // Double removal and bad ids are rejected.
+  EXPECT_EQ(g.RemoveEdge(doomed).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(g.RemoveEdge(99).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RemovalTest, RemoveVertexRequiresNoLiveEdges) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e = g.AddEdge(j, f, "WRITES_TO").value();
+
+  EXPECT_EQ(g.RemoveVertex(j).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  ASSERT_TRUE(g.RemoveVertex(j).ok());
+  EXPECT_FALSE(g.IsVertexLive(j));
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumLiveVertices(), 1u);
+  EXPECT_EQ(g.NumVerticesOfType(0), 0u);
+  EXPECT_EQ(g.VerticesOfType(0).size(), 0u);  // scans skip tombstones
+  EXPECT_EQ(g.RemoveVertex(j).code(), StatusCode::kFailedPrecondition);
+  // New ids are appended after the tombstone, never reusing it.
+  VertexId j2 = g.AddVertex("Job").value();
+  EXPECT_EQ(j2, 2u);
+}
+
+TEST(RemovalTest, StatsAndCsrSkipDeadElements) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e1 = g.AddEdge(j1, f, "WRITES_TO").value();
+  ASSERT_TRUE(g.AddEdge(j2, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.RemoveEdge(e1).ok());
+
+  GraphStats stats = GraphStats::Compute(g);
+  EXPECT_EQ(stats.num_vertices(), 3u);
+  EXPECT_EQ(stats.num_edges(), 1u);
+}
+
+TEST(GraphDeltaTest, CoalesceDropsDuplicateRemovals) {
+  GraphDelta delta;
+  delta.RemoveEdge(3).RemoveEdge(1).RemoveEdge(3).RemoveEdge(1);
+  EXPECT_EQ(delta.Coalesce(), 2u);
+  EXPECT_EQ(delta.edge_removals, (std::vector<EdgeId>{3, 1}));
+  EXPECT_EQ(delta.Coalesce(), 0u);
+}
+
+TEST(GraphDeltaTest, ValidateCatchesEveryFailureMode) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e = g.AddEdge(j, f, "WRITES_TO").value();
+
+  GraphDelta ok_delta;
+  ok_delta.AddVertex("File").AddEdge(j, 2, "WRITES_TO").RemoveEdge(e);
+  EXPECT_TRUE(ok_delta.Validate(g).ok());
+
+  GraphDelta unknown_vertex_type;
+  unknown_vertex_type.AddVertex("Nope");
+  EXPECT_EQ(unknown_vertex_type.Validate(g).code(), StatusCode::kNotFound);
+
+  GraphDelta unknown_edge_type;
+  unknown_edge_type.AddEdge(j, f, "Nope");
+  EXPECT_EQ(unknown_edge_type.Validate(g).code(), StatusCode::kNotFound);
+
+  GraphDelta bad_endpoint;
+  bad_endpoint.AddEdge(j, 99, "WRITES_TO");
+  EXPECT_EQ(bad_endpoint.Validate(g).code(), StatusCode::kOutOfRange);
+
+  GraphDelta type_violation;
+  type_violation.AddEdge(f, j, "WRITES_TO");  // File cannot write
+  EXPECT_EQ(type_violation.Validate(g).code(), StatusCode::kInvalidArgument);
+
+  GraphDelta missing_removal;
+  missing_removal.RemoveEdge(42);
+  EXPECT_EQ(missing_removal.Validate(g).code(), StatusCode::kInvalidArgument);
+
+  GraphDelta duplicate_removal;
+  duplicate_removal.RemoveEdge(e).RemoveEdge(e);
+  EXPECT_EQ(duplicate_removal.Validate(g).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphDeltaTest, ApplyUsesCanonicalOrderAndReportsIds) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId old_edge = g.AddEdge(j, f, "WRITES_TO").value();
+
+  GraphDelta delta;
+  // The new edge targets the vertex this same delta creates (future id).
+  delta.AddVertex("File", {{"name", PropertyValue("out2")}});
+  delta.AddEdge(j, 2, "WRITES_TO");
+  delta.RemoveEdge(old_edge);
+
+  auto applied = ApplyDeltaToGraph(&g, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  ASSERT_EQ(applied->new_vertices.size(), 1u);
+  EXPECT_EQ(applied->new_vertices[0], 2u);
+  ASSERT_EQ(applied->new_edges.size(), 1u);
+  EXPECT_EQ(applied->removed_edges, 1u);
+  EXPECT_FALSE(g.IsEdgeLive(old_edge));
+  EXPECT_TRUE(g.IsEdgeLive(applied->new_edges[0]));
+  EXPECT_EQ(g.Edge(applied->new_edges[0]).target, 2u);
+  EXPECT_EQ(g.NumLiveEdges(), 1u);
+  EXPECT_EQ(g.VertexProperty(2, "name"), PropertyValue("out2"));
+
+  // Validation failures leave the graph untouched.
+  GraphDelta bad;
+  bad.AddEdge(j, 2, "WRITES_TO");
+  bad.RemoveEdge(old_edge);  // already dead
+  size_t live_before = g.NumLiveEdges();
+  EXPECT_FALSE(ApplyDeltaToGraph(&g, bad).ok());
+  EXPECT_EQ(g.NumLiveEdges(), live_before);
+}
+
+TEST(RemovalTest, SerializationCompactsTombstones) {
+  PropertyGraph g(RemovalSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e1 = g.AddEdge(j1, f, "WRITES_TO").value();
+  ASSERT_TRUE(g.AddEdge(j2, f, "WRITES_TO").ok());
+  ASSERT_TRUE(g.RemoveEdge(e1).ok());
+  ASSERT_TRUE(g.RemoveVertex(j1).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveGraph(g, &stream).ok());
+  auto loaded = LoadGraph(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumVertices(), 2u);  // dense again
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+  EXPECT_FALSE(loaded->has_removals());
+  // The surviving edge still connects a Job to the File.
+  EXPECT_EQ(loaded->VertexTypeName(loaded->Edge(0).source), "Job");
+  EXPECT_EQ(loaded->VertexTypeName(loaded->Edge(0).target), "File");
 }
 
 }  // namespace

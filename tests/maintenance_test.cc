@@ -10,6 +10,7 @@
 #include "core/maintenance.h"
 #include "core/materializer.h"
 #include "datasets/generators.h"
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::core {
@@ -52,9 +53,11 @@ struct CanonicalView {
 CanonicalView Canonicalize(const PropertyGraph& view) {
   CanonicalView canon;
   for (VertexId v = 0; v < view.NumVertices(); ++v) {
+    if (!view.IsVertexLive(v)) continue;
     canon.vertices.insert(view.VertexProperty(v, "orig_id").as_int());
   }
   for (EdgeId e = 0; e < view.NumEdges(); ++e) {
+    if (!view.IsEdgeLive(e)) continue;
     const graph::EdgeRecord& rec = view.Edge(e);
     PropertyValue paths = view.EdgeProperty(e, "paths");
     canon.edges.insert(
@@ -249,6 +252,215 @@ TEST(MaintenanceTest, SummarizerMaintenanceCopiesKeptElements) {
   EXPECT_EQ(stats->vertices_added, 2u);  // job + file, not the task
   EXPECT_EQ(Canonicalize(view->graph),
             Canonicalize(Materialize(g, filter)->graph));
+}
+
+// ---------------------------------------------------------------------------
+// Removal maintenance
+// ---------------------------------------------------------------------------
+
+TEST(MaintenanceTest, RemovingOneOfTwoPathsDecrementsMultiplicity) {
+  PropertyGraph g(LineageSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f1 = g.AddVertex("File").value();
+  VertexId f2 = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j1, f1, "WRITES_TO").ok());
+  ASSERT_TRUE(g.AddEdge(f1, j2, "IS_READ_BY").ok());
+  EdgeId doomed = g.AddEdge(j1, f2, "WRITES_TO").value();
+  ASSERT_TRUE(g.AddEdge(f2, j2, "IS_READ_BY").ok());
+
+  auto view = Materialize(g, JobConnector());
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->graph.NumLiveEdges(), 1u);  // one pair, multiplicity 2
+  ViewMaintainer maintainer(&g, &*view);
+
+  ASSERT_TRUE(g.RemoveEdge(doomed).ok());
+  auto stats = maintainer.OnEdgeRemoved(doomed);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_removed, 1u);
+  EXPECT_EQ(stats->edges_updated, 1u);
+  EXPECT_EQ(stats->edges_removed, 0u);
+  EXPECT_EQ(view->graph.EdgeProperty(0, "paths"), PropertyValue(1));
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, JobConnector())->graph));
+}
+
+TEST(MaintenanceTest, RemovingLastPathDropsEdgeAndCollectsOrphans) {
+  PropertyGraph g(LineageSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j1, f, "WRITES_TO").ok());
+  EdgeId doomed = g.AddEdge(f, j2, "IS_READ_BY").value();
+
+  auto view = Materialize(g, JobConnector());
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->graph.NumLiveEdges(), 1u);
+  ASSERT_EQ(view->graph.NumLiveVertices(), 2u);
+  ViewMaintainer maintainer(&g, &*view);
+
+  ASSERT_TRUE(g.RemoveEdge(doomed).ok());
+  auto stats = maintainer.OnEdgeRemoved(doomed);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_removed, 1u);
+  EXPECT_EQ(stats->edges_removed, 1u);
+  EXPECT_EQ(stats->vertices_removed, 2u);  // both endpoints orphaned
+  EXPECT_EQ(view->graph.NumLiveEdges(), 0u);
+  EXPECT_EQ(view->graph.NumLiveVertices(), 0u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, JobConnector())->graph));
+
+  // The same pair can come back after collection: ids differ, lineage
+  // matches.
+  EdgeId back = g.AddEdge(f, j2, "IS_READ_BY").value();
+  auto readd = maintainer.OnEdgeAdded(back);
+  ASSERT_TRUE(readd.ok()) << readd.status();
+  EXPECT_EQ(readd->vertices_added, 2u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, JobConnector())->graph));
+}
+
+TEST(MaintenanceTest, SummarizerRemovalIsConstantTimeLookup) {
+  datasets::ProvOptions options;
+  options.num_jobs = 20;
+  options.num_files = 40;
+  options.num_tasks = 15;
+  PropertyGraph g = datasets::MakeProvenanceGraph(options);
+  ViewDefinition filter;
+  filter.kind = ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  auto view = Materialize(g, filter);
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  // Remove one kept edge (WRITES_TO) and one filtered edge (SPAWNS):
+  // only the former changes the view.
+  EdgeId kept = graph::kInvalidId;
+  EdgeId filtered = graph::kInvalidId;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (g.EdgeTypeName(e) == "WRITES_TO" && kept == graph::kInvalidId) {
+      kept = e;
+    }
+    if (g.EdgeTypeName(e) == "SPAWNS" && filtered == graph::kInvalidId) {
+      filtered = e;
+    }
+  }
+  ASSERT_NE(kept, graph::kInvalidId);
+  ASSERT_NE(filtered, graph::kInvalidId);
+
+  ASSERT_TRUE(g.RemoveEdge(kept).ok());
+  auto kept_stats = maintainer.OnEdgeRemoved(kept);
+  ASSERT_TRUE(kept_stats.ok()) << kept_stats.status();
+  EXPECT_EQ(kept_stats->edges_removed, 1u);
+  EXPECT_EQ(kept_stats->vertices_removed, 0u);  // kept by type, not degree
+
+  ASSERT_TRUE(g.RemoveEdge(filtered).ok());
+  auto filtered_stats = maintainer.OnEdgeRemoved(filtered);
+  ASSERT_TRUE(filtered_stats.ok()) << filtered_stats.status();
+  EXPECT_EQ(filtered_stats->edges_removed, 0u);
+
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, filter)->graph));
+}
+
+TEST(MaintenanceTest, RemovalContractIsEnforced) {
+  PropertyGraph g(LineageSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId e = g.AddEdge(j, f, "WRITES_TO").value();
+  auto view = Materialize(g, JobConnector());
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  // Reporting a removal the base graph has not performed is an error.
+  EXPECT_EQ(maintainer.OnEdgeRemoved(e).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(maintainer.OnEdgeRemoved(99).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Removing behind the maintainer's back poisons CatchUp.
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  ASSERT_TRUE(g.AddEdge(j, f, "WRITES_TO").ok());
+  EXPECT_EQ(maintainer.CatchUp().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MaintenanceTest, DeferredMultiRemovalReportingIsRejected) {
+  // Two removals performed before the first report: single-edge
+  // accounting could no longer see the shared paths, so the maintainer
+  // must refuse instead of silently under-subtracting.
+  PropertyGraph g(LineageSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId first = g.AddEdge(j1, f, "WRITES_TO").value();
+  EdgeId second = g.AddEdge(f, j2, "IS_READ_BY").value();
+  auto view = Materialize(g, JobConnector());
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  ASSERT_TRUE(g.RemoveEdge(first).ok());
+  ASSERT_TRUE(g.RemoveEdge(second).ok());
+  EXPECT_EQ(maintainer.OnEdgeRemoved(first).status().code(),
+            StatusCode::kFailedPrecondition);
+  // The batch entry point handles it exactly.
+  graph::GraphDelta delta;
+  delta.RemoveEdge(first);
+  delta.RemoveEdge(second);
+  auto stats = maintainer.ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_removed, 1u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, JobConnector())->graph));
+}
+
+TEST(MaintenanceTest, OutOfBandVertexRemovalPoisonsCatchUp) {
+  PropertyGraph g(LineageSchema());
+  VertexId j = g.AddVertex("Job").value();
+  VertexId isolated = g.AddVertex("File").value();
+  VertexId f = g.AddVertex("File").value();
+  ASSERT_TRUE(g.AddEdge(j, f, "WRITES_TO").ok());
+  ViewDefinition filter;
+  filter.kind = ViewKind::kVertexInclusionSummarizer;
+  filter.type_list = {"Job", "File"};
+  auto view = Materialize(g, filter);
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  // The summarizer copied the isolated File; removing it from the base
+  // without telling the maintainer would leave the view serving it.
+  ASSERT_TRUE(g.RemoveVertex(isolated).ok());
+  EXPECT_EQ(maintainer.CatchUp().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MaintenanceTest, BatchDeltaSubtractsSharedPathsExactlyOnce) {
+  // Both edges of the only 2-path die in one batch: the path must be
+  // subtracted once, not twice (and not zero times).
+  PropertyGraph g(LineageSchema());
+  VertexId j1 = g.AddVertex("Job").value();
+  VertexId j2 = g.AddVertex("Job").value();
+  VertexId f = g.AddVertex("File").value();
+  EdgeId first = g.AddEdge(j1, f, "WRITES_TO").value();
+  EdgeId second = g.AddEdge(f, j2, "IS_READ_BY").value();
+
+  auto view = Materialize(g, JobConnector());
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->graph.NumLiveEdges(), 1u);
+  ViewMaintainer maintainer(&g, &*view);
+
+  graph::GraphDelta delta;
+  delta.RemoveEdge(first);
+  delta.RemoveEdge(second);
+  auto applied = graph::ApplyDeltaToGraph(&g, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  auto stats = maintainer.ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_removed, 1u);
+  EXPECT_EQ(stats->edges_removed, 1u);
+  EXPECT_EQ(view->graph.NumLiveEdges(), 0u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, JobConnector())->graph));
 }
 
 TEST(MaintenanceTest, SummarizerStreamMatchesScratch) {
