@@ -1,0 +1,204 @@
+// MATCH hot-path latency: CSR-backed execution vs. the legacy
+// adjacency-list backtracker, plus parallel seed-partitioned scaling.
+//
+// Measures, per (dataset, query):
+//   - legacy_seconds        adjacency-list backtracking (the old path)
+//   - csr_seconds           type-partitioned CSR snapshot, 1 thread
+//   - csr_speedup           legacy / csr (the tentpole number)
+//   - par{2,4}_seconds      CSR backend with parallelism 2 / 4
+//   - par{2,4}_scaling      csr_seconds / parN_seconds
+//   - snapshot_build_seconds  one-off CsrGraph::Build cost (amortized
+//                             across queries by the catalog cache)
+//
+// Scaling numbers are only meaningful on multi-core hosts; the
+// `hardware_threads` metric records what this run had so the perf
+// trajectory stays interpretable (a 1-core container shows ~1x).
+//
+// Usage: bench_query_latency [--json[=path]]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/csr.h"
+#include "query/executor.h"
+
+namespace {
+
+using kaskade::bench::JsonReport;
+using kaskade::bench::PrintHeader;
+using kaskade::bench::TimeSeconds;
+using kaskade::graph::CsrGraph;
+using kaskade::graph::PropertyGraph;
+using kaskade::query::ExecutorOptions;
+using kaskade::query::QueryExecutor;
+using kaskade::query::Table;
+
+struct BenchQuery {
+  const char* label;
+  const char* text;
+};
+
+/// Best-of-N wall clock for one executor configuration.
+double BestOf(int reps, QueryExecutor* executor, const std::string& text,
+              size_t* rows_out) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    size_t rows = 0;
+    double secs = TimeSeconds([&] {
+      auto result = executor->ExecuteText(text);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      rows = result->num_rows();
+    });
+    *rows_out = rows;
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
+void RunDataset(const std::string& section, const PropertyGraph& g,
+                const std::vector<BenchQuery>& queries) {
+  PrintHeader(section);
+  CsrGraph csr;
+  double build_secs = TimeSeconds([&] { csr = CsrGraph::Build(g); });
+  JsonReport::Record(section, "snapshot_build_seconds", build_secs);
+  std::printf("snapshot build: %.4fs (%zu vertices, %zu edges)\n", build_secs,
+              csr.NumVertices(), csr.NumEdges());
+  std::printf("%-28s %10s %10s %8s %10s %10s\n", "query", "legacy(s)",
+              "csr(s)", "speedup", "par2", "par4");
+
+  const int reps = 3;
+  for (const BenchQuery& q : queries) {
+    QueryExecutor legacy(&g);
+    ExecutorOptions seq_opts;
+    QueryExecutor csr_seq(&g, &csr, seq_opts);
+    ExecutorOptions par2_opts;
+    par2_opts.parallelism = 2;
+    QueryExecutor csr_par2(&g, &csr, par2_opts);
+    ExecutorOptions par4_opts;
+    par4_opts.parallelism = 4;
+    QueryExecutor csr_par4(&g, &csr, par4_opts);
+
+    size_t legacy_rows = 0, csr_rows = 0, par2_rows = 0, par4_rows = 0;
+    double legacy_s = BestOf(reps, &legacy, q.text, &legacy_rows);
+    double csr_s = BestOf(reps, &csr_seq, q.text, &csr_rows);
+    double par2_s = BestOf(reps, &csr_par2, q.text, &par2_rows);
+    double par4_s = BestOf(reps, &csr_par4, q.text, &par4_rows);
+    if (csr_rows != legacy_rows || par2_rows != legacy_rows ||
+        par4_rows != legacy_rows) {
+      std::fprintf(stderr,
+                   "row-count divergence on %s: legacy=%zu csr=%zu "
+                   "par2=%zu par4=%zu\n",
+                   q.label, legacy_rows, csr_rows, par2_rows, par4_rows);
+      std::exit(1);
+    }
+
+    const std::string metric = q.label;
+    JsonReport::Record(section, metric + "_legacy_seconds", legacy_s);
+    JsonReport::Record(section, metric + "_csr_seconds", csr_s);
+    JsonReport::Record(section, metric + "_csr_speedup", legacy_s / csr_s);
+    JsonReport::Record(section, metric + "_par2_seconds", par2_s);
+    JsonReport::Record(section, metric + "_par2_scaling", csr_s / par2_s);
+    JsonReport::Record(section, metric + "_par4_seconds", par4_s);
+    JsonReport::Record(section, metric + "_par4_scaling", csr_s / par4_s);
+    JsonReport::Record(section, metric + "_rows",
+                       static_cast<double>(legacy_rows));
+    std::printf("%-28s %10.4f %10.4f %7.2fx %9.2fx %9.2fx  (%zu rows)\n",
+                q.label, legacy_s, csr_s, legacy_s / csr_s, csr_s / par2_s,
+                csr_s / par4_s, legacy_rows);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport::Init(argc, argv, "query_latency");
+  JsonReport::Record("meta", "hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+
+  // Heterogeneous provenance graph (5 vertex / 6 edge types): typed
+  // expansion has the most to skip, the paper's primary workload. The
+  // `_proj` variants project a subset of the pattern variables — the
+  // shape of the paper's Listing 1 (MATCH feeding GROUP BY) — where
+  // enumeration, not result materialization, dominates; the full-output
+  // variants are bounded below by the shared Table-building cost both
+  // backends pay per emitted row.
+  RunDataset(
+      "prov", kaskade::bench::BenchProvRaw(),
+      {
+          {"typed_2hop",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b"},
+          {"typed_2hop_proj",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) RETURN a"},
+          {"typed_3hop",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) (b:Job)-[:WRITES_TO]->(g:File) "
+           "RETURN a, b, g"},
+          {"typed_3hop_proj",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) (b:Job)-[:WRITES_TO]->(g:File) "
+           "RETURN a, b"},
+          {"varlen_0_4",
+           "MATCH (a:File)-[r*0..4]->(b:File) RETURN a, b"},
+          {"spawn_fanout",
+           "MATCH (u:User)-[:SUBMITS]->(j:Job) (j:Job)-[:SPAWNS]->(t:Task) "
+           "RETURN u, t"},
+      });
+
+  // Pre-summarized provenance (jobs + files only): the §VII-B runtime
+  // input; fewer types, denser bipartite core.
+  RunDataset(
+      "prov_summarized", kaskade::bench::BenchProvFiltered(),
+      {
+          {"typed_2hop",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b"},
+          {"typed_3hop",
+           "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+           "(f:File)-[:IS_READ_BY]->(b:Job) (b:Job)-[:WRITES_TO]->(g:File) "
+           "RETURN a, b, g"},
+      });
+
+  // Homogeneous social graph: enumeration-heavy expansion over skewed
+  // degrees, the parallel-scaling workload. Scaled to 2000 vertices —
+  // the preferential-attachment hubs make multi-hop output quadratic,
+  // and the full bench-scale graph (4000) already takes minutes on the
+  // legacy path, too slow for a CI smoke job.
+  kaskade::datasets::SocialOptions social;
+  social.num_vertices = 2000;
+  social.edges_per_vertex = 6;
+  RunDataset(
+      "social", kaskade::datasets::MakeSocialGraph(social),
+      {
+          {"follows_2hop",
+           "MATCH (a:Person)-[:FOLLOWS]->(b:Person) "
+           "(b:Person)-[:FOLLOWS]->(c:Person) RETURN a, c"},
+          {"triangle_filter",
+           "MATCH (a:Person)-[:FOLLOWS]->(b:Person) "
+           "(b:Person)-[:FOLLOWS]->(c:Person) (a:Person)-[:FOLLOWS]->(c:Person) "
+           "RETURN a, c"},
+      });
+
+  // Road grid: sparse uniform degrees, deep traversals with bounded
+  // fan-out — the long-chain enumeration profile.
+  RunDataset(
+      "road", kaskade::bench::BenchRoad(),
+      {
+          {"road_3hop",
+           "MATCH (a:Intersection)-[:ROAD]->(b:Intersection) "
+           "(b:Intersection)-[:ROAD]->(c:Intersection) "
+           "(c:Intersection)-[:ROAD]->(d:Intersection) RETURN a, d"},
+          {"varlen_1_6",
+           "MATCH (a:Intersection)-[r*1..6]->(b:Intersection) RETURN a, b"},
+      });
+
+  return JsonReport::Finish();
+}

@@ -74,7 +74,14 @@ Status ViewCatalog::Remove(const std::string& name) {
   std::unique_lock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->name() == name) {
+      ViewHandle handle = (*it)->handle;
       entries_.erase(it);
+      {
+        // Handles are never reused, so the dropped slot can only leak —
+        // reclaim it eagerly.
+        std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+        snapshots_.erase(handle);
+      }
       BumpGeneration();
       return Status::OK();
     }
@@ -193,6 +200,47 @@ std::vector<const CatalogEntry*> ViewCatalog::Entries() const {
   out.reserve(entries_.size());
   for (const auto& entry : entries_) out.push_back(entry.get());
   return out;
+}
+
+std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotOf(
+    ViewHandle handle, const graph::PropertyGraph& g) const {
+  // The caller excludes concurrent catalog/base mutation (Engine reader
+  // discipline), so the generation cannot move during this call.
+  const uint64_t gen = generation();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    auto it = snapshots_.find(handle);
+    if (it != snapshots_.end() && it->second.csr != nullptr &&
+        it->second.generation == gen) {
+      snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.csr;
+    }
+  }
+  // Build outside the cache mutex: a miss on one handle must not stall
+  // cache hits on every other handle behind an O(|V|+|E|) build.
+  // Concurrent missers on the same (handle, generation) may race
+  // duplicate builds of identical snapshots; the first to publish wins
+  // and the losers adopt it.
+  auto built =
+      std::make_shared<const graph::CsrGraph>(graph::CsrGraph::Build(g));
+  snapshot_builds_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  CachedSnapshot& slot = snapshots_[handle];
+  if (slot.csr != nullptr && slot.generation == gen) return slot.csr;
+  slot.csr = std::move(built);
+  slot.generation = gen;
+  return slot.csr;
+}
+
+std::shared_ptr<const graph::CsrGraph> ViewCatalog::BaseSnapshot() const {
+  return SnapshotOf(kInvalidViewHandle, *base_);
+}
+
+std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotFor(
+    ViewHandle handle) const {
+  const CatalogEntry* entry = Get(handle);
+  if (entry == nullptr) return nullptr;
+  return SnapshotOf(handle, entry->view.graph);
 }
 
 }  // namespace kaskade::core

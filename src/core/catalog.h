@@ -30,14 +30,17 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/maintenance.h"
 #include "core/materializer.h"
 #include "core/view_definition.h"
+#include "graph/csr.h"
 #include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "graph/stats.h"
@@ -134,7 +137,52 @@ class ViewCatalog {
   /// Snapshot of all live entries, in registration order.
   std::vector<const CatalogEntry*> Entries() const;
 
+  /// \name CSR topology snapshots for the query hot path.
+  ///
+  /// One frozen `CsrGraph` per materialized view *and* the base graph,
+  /// built lazily on first request and cached keyed by
+  /// `(handle, generation)`. Because every catalog mutation and every
+  /// announced base-graph change bumps the generation, invalidation is
+  /// implicit: after `ApplyBaseDelta` / `MutateBaseGraph` /
+  /// `NoteBaseGraphChanged` the next request simply rebuilds. The
+  /// returned `shared_ptr` owns a self-contained copy of the topology,
+  /// so a reader may keep using a snapshot even after it has been
+  /// superseded.
+  ///
+  /// Callers must hold off concurrent mutation of the underlying graphs
+  /// for the duration of the call (the Engine's reader lock does this);
+  /// concurrent readers are safe. Builds happen outside the cache lock,
+  /// so a miss never stalls hits on other handles; concurrent missers
+  /// on the same handle may build duplicate (identical) snapshots, and
+  /// the first to publish wins.
+  /// @{
+
+  /// Snapshot of the base graph.
+  std::shared_ptr<const graph::CsrGraph> BaseSnapshot() const;
+
+  /// Snapshot of the view `handle`'s graph; null when the handle is not
+  /// registered.
+  std::shared_ptr<const graph::CsrGraph> SnapshotFor(ViewHandle handle) const;
+
+  /// \name Snapshot-cache telemetry (for tests and operations).
+  size_t snapshot_builds() const {
+    return snapshot_builds_.load(std::memory_order_relaxed);
+  }
+  size_t snapshot_hits() const {
+    return snapshot_hits_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
  private:
+  /// Cache slot for one handle (kInvalidViewHandle = the base graph).
+  struct CachedSnapshot {
+    uint64_t generation = 0;
+    std::shared_ptr<const graph::CsrGraph> csr;
+  };
+
+  std::shared_ptr<const graph::CsrGraph> SnapshotOf(
+      ViewHandle handle, const graph::PropertyGraph& g) const;
+
   void BumpGeneration() {
     generation_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -145,6 +193,13 @@ class ViewCatalog {
   std::vector<std::unique_ptr<CatalogEntry>> entries_;
   ViewHandle next_handle_ = 1;
   std::atomic<uint64_t> generation_{1};
+  /// Snapshot cache. Guarded by its own mutex: snapshot builds happen on
+  /// the reader path (under the Engine's shared lock), where `mu_` may
+  /// be held shared by many threads at once.
+  mutable std::mutex snapshot_mu_;
+  mutable std::unordered_map<ViewHandle, CachedSnapshot> snapshots_;
+  mutable std::atomic<size_t> snapshot_builds_{0};
+  mutable std::atomic<size_t> snapshot_hits_{0};
 };
 
 }  // namespace kaskade::core

@@ -93,15 +93,25 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
 
 Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
   const graph::PropertyGraph* target = &base_;
-  if (!plan.view_name.empty()) {
+  std::shared_ptr<const graph::CsrGraph> snapshot;
+  // Only attach the CSR snapshot when the catalog is still at the
+  // generation the plan was computed against (always true under the
+  // reader lock; the check is a tripwire against misuse). The local
+  // shared_ptr keeps the snapshot alive for the whole execution.
+  const bool generation_current =
+      plan.planned_generation == catalog_.generation();
+  if (plan.view_name.empty()) {
+    if (generation_current) snapshot = catalog_.BaseSnapshot();
+  } else {
     const CatalogEntry* entry = catalog_.Find(plan.view_name);
     if (entry == nullptr) {
       return Status::Internal("cached plan references a missing view '" +
                               plan.view_name + "'");
     }
     target = &entry->view.graph;
+    if (generation_current) snapshot = catalog_.SnapshotFor(entry->handle);
   }
-  query::QueryExecutor executor(target, options_.executor);
+  query::QueryExecutor executor(target, snapshot.get(), options_.executor);
   KASKADE_ASSIGN_OR_RETURN(query::Table table,
                            executor.ExecuteText(plan.executed_query));
   ExecutionResult result;

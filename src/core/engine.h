@@ -22,6 +22,12 @@
 /// cache is keyed by the catalog's generation counter, so every writer
 /// implicitly invalidates cached plans.
 ///
+/// MATCH execution runs over the catalog's CSR topology snapshots
+/// (cached per `(handle, generation)`, rebuilt lazily after any
+/// mutation); `options.executor.parallelism` additionally seed-
+/// partitions each MATCH across worker threads with output identical to
+/// the sequential run.
+///
 /// `ExecuteBatch` fans a batch of queries across a small worker pool and
 /// returns per-query results in input order; results are identical to
 /// calling `Execute` sequentially.

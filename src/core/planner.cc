@@ -24,6 +24,7 @@ Status Planner::ChoosePlan(const query::Query& query,
       query::EstimateEvalCost(query, base, base_stats, options_.eval_cost);
   plan->view_name.clear();
   plan->executed_query = query.ToString();
+  plan->planned_generation = catalog.generation();
 
   // Plans 1..n: one per materialized view (single-view rewritings, §V-C).
   for (const CatalogEntry* entry : catalog.Entries()) {

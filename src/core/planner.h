@@ -40,6 +40,11 @@ struct Plan {
   std::string view_name;       ///< Empty = run on the raw graph.
   std::string executed_query;  ///< Rendered (possibly rewritten) text.
   double estimated_cost = 0;
+  /// Catalog generation the plan (and its cache entry) was computed
+  /// against. Execution resolves the CSR topology snapshot for this
+  /// exact generation — a plan never runs over a snapshot newer or
+  /// older than the catalog state it was costed on.
+  uint64_t planned_generation = 0;
 };
 
 /// \brief Planner configuration.

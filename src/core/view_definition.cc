@@ -1,6 +1,7 @@
 #include "core/view_definition.h"
 
 #include "common/string_util.h"
+#include "query/ast.h"
 
 namespace kaskade::core {
 
@@ -62,25 +63,27 @@ const char* PredicateOpName(PredicateOp op) {
   return "";
 }
 
+// `PredicateOp` is `CompareOp` with a leading kNone slot; keep the
+// layouts in lockstep so predicate evaluation can reuse the one shared
+// comparison kernel.
+static_assert(static_cast<int>(PredicateOp::kEq) - 1 ==
+                  static_cast<int>(query::CompareOp::kEq) &&
+              static_cast<int>(PredicateOp::kNe) - 1 ==
+                  static_cast<int>(query::CompareOp::kNe) &&
+              static_cast<int>(PredicateOp::kLt) - 1 ==
+                  static_cast<int>(query::CompareOp::kLt) &&
+              static_cast<int>(PredicateOp::kLe) - 1 ==
+                  static_cast<int>(query::CompareOp::kLe) &&
+              static_cast<int>(PredicateOp::kGt) - 1 ==
+                  static_cast<int>(query::CompareOp::kGt) &&
+              static_cast<int>(PredicateOp::kGe) - 1 ==
+                  static_cast<int>(query::CompareOp::kGe));
+
 bool EvalPredicate(const graph::PropertyValue& lhs, PredicateOp op,
                    const graph::PropertyValue& rhs) {
-  switch (op) {
-    case PredicateOp::kNone:
-      return true;
-    case PredicateOp::kEq:
-      return lhs == rhs;
-    case PredicateOp::kNe:
-      return lhs != rhs;
-    case PredicateOp::kLt:
-      return lhs < rhs;
-    case PredicateOp::kLe:
-      return lhs < rhs || lhs == rhs;
-    case PredicateOp::kGt:
-      return rhs < lhs;
-    case PredicateOp::kGe:
-      return rhs < lhs || lhs == rhs;
-  }
-  return false;
+  if (op == PredicateOp::kNone) return true;
+  return query::EvaluateCompare(
+      static_cast<query::CompareOp>(static_cast<int>(op) - 1), lhs, rhs);
 }
 
 namespace {

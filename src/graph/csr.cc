@@ -1,5 +1,6 @@
 #include "graph/csr.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -26,10 +27,14 @@ CsrGraph CsrGraph::Build(const PropertyGraph& g) {
     csr.out_offsets_[v + 1] += csr.out_offsets_[v];
     csr.in_offsets_[v + 1] += csr.in_offsets_[v];
   }
-  // Placement pass.
+  // Placement pass, in edge-id order (so each vertex slice starts out in
+  // base insertion order).
   csr.out_targets_.resize(m);
   csr.out_edge_types_.resize(m);
+  csr.out_edge_ids_.resize(m);
   csr.in_sources_.resize(m);
+  csr.in_edge_ids_.resize(m);
+  std::vector<EdgeTypeId> in_edge_types(m);  // scratch for in-side grouping
   std::vector<uint64_t> out_cursor(csr.out_offsets_.begin(),
                                    csr.out_offsets_.end() - 1);
   std::vector<uint64_t> in_cursor(csr.in_offsets_.begin(),
@@ -40,8 +45,75 @@ CsrGraph CsrGraph::Build(const PropertyGraph& g) {
     uint64_t out_slot = out_cursor[rec.source]++;
     csr.out_targets_[out_slot] = rec.target;
     csr.out_edge_types_[out_slot] = rec.type;
-    csr.in_sources_[in_cursor[rec.target]++] = rec.source;
+    csr.out_edge_ids_[out_slot] = e;
+    uint64_t in_slot = in_cursor[rec.target]++;
+    csr.in_sources_[in_slot] = rec.source;
+    in_edge_types[in_slot] = rec.type;
+    csr.in_edge_ids_[in_slot] = e;
   }
+
+  // Grouping pass: stably partition each vertex's slice by
+  // (edge type, neighbor id) — grouped by type so a typed expansion is
+  // one contiguous slice, sorted by neighbor within the type so filter
+  // edges (cycle closings) resolve by binary search — and record the
+  // per-vertex type directory. Within (type, neighbor), base insertion
+  // order survives.
+  std::vector<uint32_t> perm;
+  std::vector<VertexId> tmp_vertices;
+  std::vector<EdgeTypeId> tmp_types;
+  std::vector<EdgeId> tmp_ids;
+  auto group_by_type = [&](const std::vector<uint64_t>& offsets,
+                           std::vector<VertexId>& vertices,
+                           std::vector<EdgeTypeId>& types,
+                           std::vector<EdgeId>& edge_ids,
+                           std::vector<uint64_t>& dir_offsets,
+                           std::vector<TypeDirEntry>& dirs) {
+    dir_offsets.assign(n + 1, 0);
+    for (size_t v = 0; v < n; ++v) {
+      const uint64_t begin = offsets[v];
+      const uint64_t end = offsets[v + 1];
+      const size_t deg = static_cast<size_t>(end - begin);
+      bool grouped = true;
+      for (uint64_t i = begin + 1; i < end; ++i) {
+        if (types[i] < types[i - 1] ||
+            (types[i] == types[i - 1] && vertices[i] < vertices[i - 1])) {
+          grouped = false;
+          break;
+        }
+      }
+      if (!grouped) {
+        perm.resize(deg);
+        for (size_t i = 0; i < deg; ++i) perm[i] = static_cast<uint32_t>(i);
+        std::stable_sort(perm.begin(), perm.end(),
+                         [&](uint32_t a, uint32_t b) {
+                           if (types[begin + a] != types[begin + b]) {
+                             return types[begin + a] < types[begin + b];
+                           }
+                           return vertices[begin + a] < vertices[begin + b];
+                         });
+        tmp_vertices.assign(vertices.begin() + begin, vertices.begin() + end);
+        tmp_types.assign(types.begin() + begin, types.begin() + end);
+        tmp_ids.assign(edge_ids.begin() + begin, edge_ids.begin() + end);
+        for (size_t i = 0; i < deg; ++i) {
+          vertices[begin + i] = tmp_vertices[perm[i]];
+          types[begin + i] = tmp_types[perm[i]];
+          edge_ids[begin + i] = tmp_ids[perm[i]];
+        }
+      }
+      for (uint64_t i = begin; i < end; ++i) {
+        if (i == begin || types[i] != types[i - 1]) {
+          dirs.push_back(TypeDirEntry{types[i], i});
+          ++dir_offsets[v + 1];
+        }
+      }
+    }
+    for (size_t v = 0; v < n; ++v) dir_offsets[v + 1] += dir_offsets[v];
+  };
+  group_by_type(csr.out_offsets_, csr.out_targets_, csr.out_edge_types_,
+                csr.out_edge_ids_, csr.out_type_dir_offsets_,
+                csr.out_type_dirs_);
+  group_by_type(csr.in_offsets_, csr.in_sources_, in_edge_types,
+                csr.in_edge_ids_, csr.in_type_dir_offsets_, csr.in_type_dirs_);
   return csr;
 }
 

@@ -5,9 +5,19 @@
 /// vectors); traversal-heavy analytics want contiguous neighbor arrays.
 /// `CsrGraph` is a frozen topology snapshot in the style of
 /// shared-memory graph frameworks (Ligra et al., which the paper's
-/// related work surveys): O(1) neighbor slices, cache-friendly scans, no
-/// property access (go back to the base graph by vertex id for that —
-/// ids are preserved).
+/// related work surveys): O(1) neighbor slices and cache-friendly scans.
+///
+/// The snapshot is *type-partitioned*: within each vertex's neighbor
+/// slice, edges are grouped by edge type, and a per-vertex type directory
+/// maps an `EdgeTypeId` to its contiguous sub-slice. A typed expansion —
+/// the MATCH hot path — is therefore an O(#types-at-vertex) directory
+/// probe plus a contiguous scan, instead of a filter over every incident
+/// edge. Base-graph `EdgeId` lineage arrays run parallel to the neighbor
+/// arrays, so property access on a traversed edge goes straight back to
+/// the source graph (vertex ids are shared with the source graph too).
+///
+/// Dead (tombstoned) vertices keep empty rows so base ids stay valid as
+/// CSR indices; dead edges are dropped at build time.
 
 #ifndef KASKADE_GRAPH_CSR_H_
 #define KASKADE_GRAPH_CSR_H_
@@ -30,8 +40,20 @@ struct NeighborSpan {
   bool empty() const { return size == 0; }
 };
 
+/// \brief A neighbor slice with the parallel base-graph edge-id lineage:
+/// `edge_ids[i]` is the base edge that contributed `vertices[i]`.
+struct EdgeSpan {
+  const VertexId* vertices = nullptr;
+  const EdgeId* edge_ids = nullptr;
+  size_t size = 0;
+
+  bool empty() const { return size == 0; }
+  VertexId vertex(size_t i) const { return vertices[i]; }
+  EdgeId edge_id(size_t i) const { return edge_ids[i]; }
+};
+
 /// \brief CSR topology snapshot (out- and in-adjacency), vertex ids
-/// shared with the source graph.
+/// shared with the source graph, neighbors grouped by edge type.
 class CsrGraph {
  public:
   /// Freezes the topology of `g`. O(|V| + |E|).
@@ -49,6 +71,34 @@ class CsrGraph {
             in_offsets_[v + 1] - in_offsets_[v]};
   }
 
+  /// Full out-slice of `v` with edge-id lineage (all edge types,
+  /// grouped by type).
+  EdgeSpan OutEdges(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_edge_ids_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  EdgeSpan InEdges(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_edge_ids_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Out-edges of `v` with edge type `type`, as one contiguous slice
+  /// sorted ascending by target id (so membership checks can binary
+  /// search). `kInvalidTypeId` means "any type" and returns the full
+  /// slice (type-grouped, sorted within each type group).
+  EdgeSpan TypedOutEdges(VertexId v, EdgeTypeId type) const {
+    if (type == kInvalidTypeId) return OutEdges(v);
+    return TypedSlice(out_type_dir_offsets_, out_type_dirs_, out_offsets_,
+                      out_targets_, out_edge_ids_, v, type);
+  }
+  EdgeSpan TypedInEdges(VertexId v, EdgeTypeId type) const {
+    if (type == kInvalidTypeId) return InEdges(v);
+    return TypedSlice(in_type_dir_offsets_, in_type_dirs_, in_offsets_,
+                      in_sources_, in_edge_ids_, v, type);
+  }
+
   size_t OutDegree(VertexId v) const {
     return out_offsets_[v + 1] - out_offsets_[v];
   }
@@ -63,13 +113,51 @@ class CsrGraph {
     return out_edge_types_[out_offsets_[v] + i];
   }
 
+  /// Base-graph edge id of the i-th out-edge of v (parallel to
+  /// OutNeighbors).
+  EdgeId OutEdgeId(VertexId v, size_t i) const {
+    return out_edge_ids_[out_offsets_[v] + i];
+  }
+
  private:
+  /// One entry of a vertex's type directory: edges of `type` occupy
+  /// [begin, next entry's begin or the vertex's slice end).
+  struct TypeDirEntry {
+    EdgeTypeId type;
+    uint64_t begin;  ///< Absolute index into the neighbor arrays.
+  };
+
+  static EdgeSpan TypedSlice(const std::vector<uint64_t>& dir_offsets,
+                             const std::vector<TypeDirEntry>& dirs,
+                             const std::vector<uint64_t>& offsets,
+                             const std::vector<VertexId>& vertices,
+                             const std::vector<EdgeId>& edge_ids, VertexId v,
+                             EdgeTypeId type) {
+    const uint64_t dir_end = dir_offsets[v + 1];
+    for (uint64_t d = dir_offsets[v]; d < dir_end; ++d) {
+      if (dirs[d].type != type) continue;
+      uint64_t begin = dirs[d].begin;
+      uint64_t end = d + 1 < dir_end ? dirs[d + 1].begin : offsets[v + 1];
+      return {vertices.data() + begin, edge_ids.data() + begin, end - begin};
+    }
+    return {};
+  }
+
   std::vector<uint64_t> out_offsets_;  // |V|+1
-  std::vector<VertexId> out_targets_;  // |E|
+  std::vector<VertexId> out_targets_;  // |E|, grouped by edge type
   std::vector<EdgeTypeId> out_edge_types_;
+  std::vector<EdgeId> out_edge_ids_;  // base-graph lineage, parallel
   std::vector<uint64_t> in_offsets_;
-  std::vector<VertexId> in_sources_;
+  std::vector<VertexId> in_sources_;  // |E|, grouped by edge type
+  std::vector<EdgeId> in_edge_ids_;
   std::vector<VertexTypeId> vertex_types_;
+  /// Per-vertex type directories (CSR-of-CSR): vertex v's directory is
+  /// `*_type_dirs_[*_type_dir_offsets_[v] .. *_type_dir_offsets_[v+1])`,
+  /// one entry per distinct edge type incident in that direction.
+  std::vector<uint64_t> out_type_dir_offsets_;  // |V|+1
+  std::vector<TypeDirEntry> out_type_dirs_;
+  std::vector<uint64_t> in_type_dir_offsets_;
+  std::vector<TypeDirEntry> in_type_dirs_;
 };
 
 /// Bounded BFS over a CSR snapshot: distinct vertices within `max_hops`

@@ -33,6 +33,15 @@ bool PropertyValue::operator<(const PropertyValue& other) const {
   return repr_ < other.repr_;
 }
 
+bool PropertyValue::operator<=(const PropertyValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() <= other.as_int();
+    return ToDouble() <= other.ToDouble();
+  }
+  if (TypeRank() != other.TypeRank()) return TypeRank() < other.TypeRank();
+  return repr_ <= other.repr_;
+}
+
 PropertyMap::PropertyMap(
     std::initializer_list<std::pair<std::string, PropertyValue>> init) {
   for (const auto& [k, v] : init) Set(k, v);

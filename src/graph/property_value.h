@@ -58,6 +58,10 @@ class PropertyValue {
   /// Total order: by type rank, then value (numerics compared as double
   /// within the cross-type numeric case).
   bool operator<(const PropertyValue& other) const;
+  /// First-class `<=` (single comparison, not `a < b || a == b`).
+  bool operator<=(const PropertyValue& other) const;
+  bool operator>(const PropertyValue& other) const { return other < *this; }
+  bool operator>=(const PropertyValue& other) const { return other <= *this; }
 
  private:
   int TypeRank() const { return static_cast<int>(repr_.index()); }

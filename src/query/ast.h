@@ -61,6 +61,28 @@ struct ColumnRef {
 /// \brief Comparison operator in WHERE predicates.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// Evaluates `lhs <op> rhs` under `PropertyValue`'s total order. The one
+/// shared comparison kernel — WHERE filters, MATCH node conditions, and
+/// the summarizer predicate path all route through here.
+inline bool EvaluateCompare(CompareOp op, const graph::PropertyValue& lhs,
+                            const graph::PropertyValue& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
 /// \brief One conjunct of a WHERE clause: `<ref> <op> <literal>`.
 struct Condition {
   ColumnRef lhs;

@@ -1,7 +1,11 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,7 +13,9 @@
 
 namespace kaskade::query {
 
+using graph::CsrGraph;
 using graph::EdgeId;
+using graph::EdgeSpan;
 using graph::EdgeTypeId;
 using graph::PropertyGraph;
 using graph::PropertyValue;
@@ -19,7 +25,7 @@ using graph::VertexTypeId;
 namespace {
 
 // ---------------------------------------------------------------------------
-// MATCH evaluation
+// MATCH resolution + planning (shared by both backends)
 // ---------------------------------------------------------------------------
 
 /// Resolved pattern: names mapped to dense slots, types to ids.
@@ -36,12 +42,218 @@ struct ResolvedPattern {
     bool variable_length = false;
     int min_hops = 1;
     int max_hops = 1;
+    /// Expansion across this edge needs no per-candidate NodeAccepts:
+    /// the free endpoint carries no WHERE conditions and its type
+    /// constraint (if any) is already implied — by the edge type's
+    /// schema (domain, range) declaration for fixed typed edges, which
+    /// `AddEdge` validates on every insert. Forward = `to` free,
+    /// backward = `from` free. Used by the CSR backend's hot loop.
+    bool trivial_forward = false;
+    bool trivial_backward = false;
   };
   std::vector<Node> nodes;
   std::vector<Edge> edges;
   /// Conditions indexed by the node slot they constrain.
   std::vector<std::vector<Condition>> node_conditions;
+
+  int SlotOf(const std::string& name) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
 };
+
+/// One step of the evaluation plan.
+struct Step {
+  enum Kind { kSeed, kEdge } kind;
+  int node_slot;
+  int edge_index;
+};
+
+/// Everything both backends need to evaluate one MATCH: the resolved
+/// pattern, the step plan, and the projection.
+struct ResolvedMatch {
+  ResolvedPattern pattern;
+  std::vector<Step> plan;
+  std::vector<int> return_slots;
+  std::vector<Column> columns;
+};
+
+Status ResolvePattern(const PropertyGraph& graph, const MatchQuery& match,
+                      ResolvedPattern* pattern) {
+  for (const NodePattern& n : match.nodes) {
+    ResolvedPattern::Node rn;
+    rn.name = n.name;
+    if (!n.type.empty()) {
+      rn.type = graph.schema().FindVertexType(n.type);
+      if (rn.type == graph::kInvalidTypeId) {
+        return Status::NotFound("unknown vertex type '" + n.type +
+                                "' in pattern");
+      }
+      rn.has_type_constraint = true;
+    }
+    pattern->nodes.push_back(std::move(rn));
+  }
+  for (const EdgePattern& e : match.edges) {
+    ResolvedPattern::Edge re;
+    re.from = pattern->SlotOf(e.from);
+    re.to = pattern->SlotOf(e.to);
+    if (re.from < 0 || re.to < 0) {
+      return Status::Internal("edge references unresolved node");
+    }
+    if (!e.type.empty()) {
+      re.type = graph.schema().FindEdgeType(e.type);
+      if (re.type == graph::kInvalidTypeId) {
+        return Status::NotFound("unknown edge type '" + e.type +
+                                "' in pattern");
+      }
+    }
+    re.variable_length = e.variable_length;
+    re.min_hops = e.variable_length ? e.min_hops : 1;
+    re.max_hops = e.variable_length ? e.max_hops : 1;
+    pattern->edges.push_back(re);
+  }
+  pattern->node_conditions.assign(pattern->nodes.size(), {});
+  for (const Condition& cond : match.where) {
+    int slot = pattern->SlotOf(cond.lhs.base);
+    if (slot < 0) {
+      return Status::InvalidArgument("WHERE references unknown variable '" +
+                                     cond.lhs.base + "'");
+    }
+    if (cond.lhs.property.empty()) {
+      return Status::InvalidArgument(
+          "WHERE on a pattern variable must reference a property");
+    }
+    pattern->node_conditions[slot].push_back(cond);
+  }
+  // Mark expansions whose per-candidate acceptance check is provably a
+  // no-op (see ResolvedPattern::Edge). Variable-length edges only
+  // qualify when the endpoint is fully unconstrained: interior hops can
+  // cross types, so the edge type's declaration says nothing about the
+  // final endpoint.
+  auto trivial_endpoint = [&](int slot, VertexTypeId implied_type,
+                              bool fixed_typed) {
+    const ResolvedPattern::Node& n = pattern->nodes[slot];
+    if (!pattern->node_conditions[slot].empty()) return false;
+    if (!n.has_type_constraint) return true;
+    return fixed_typed && n.type == implied_type;
+  };
+  for (ResolvedPattern::Edge& re : pattern->edges) {
+    const bool fixed_typed =
+        !re.variable_length && re.type != graph::kInvalidTypeId;
+    const graph::EdgeTypeDecl* decl =
+        fixed_typed ? &graph.schema().edge_type(re.type) : nullptr;
+    re.trivial_forward = trivial_endpoint(
+        re.to, decl != nullptr ? decl->target_type : graph::kInvalidTypeId,
+        fixed_typed);
+    re.trivial_backward = trivial_endpoint(
+        re.from, decl != nullptr ? decl->source_type : graph::kInvalidTypeId,
+        fixed_typed);
+  }
+  return Status::OK();
+}
+
+/// Chooses an evaluation order: seed at the node with the smallest
+/// candidate count, then repeatedly take an edge with a bound endpoint
+/// (connected expansion); falls back to new seeds for disconnected
+/// components. Cycle-closing edges come last, as filters.
+std::vector<Step> PlanMatchOrder(const PropertyGraph& graph,
+                                 const ResolvedPattern& pattern) {
+  const size_t num_nodes = pattern.nodes.size();
+  std::vector<bool> node_planned(num_nodes, false);
+  std::vector<bool> edge_planned(pattern.edges.size(), false);
+  std::vector<Step> plan;
+
+  auto candidate_count = [&](size_t slot) -> size_t {
+    const ResolvedPattern::Node& n = pattern.nodes[slot];
+    return n.has_type_constraint ? graph.NumVerticesOfType(n.type)
+                                 : graph.NumLiveVertices();
+  };
+
+  size_t planned_nodes = 0;
+  while (planned_nodes < num_nodes) {
+    // Seed: cheapest unplanned node.
+    size_t best = num_nodes;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      if (node_planned[i]) continue;
+      if (best == num_nodes || candidate_count(i) < candidate_count(best)) {
+        best = i;
+      }
+    }
+    plan.push_back(Step{Step::kSeed, static_cast<int>(best), -1});
+    node_planned[best] = true;
+    ++planned_nodes;
+    // Expand while an edge touches the planned set.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t e = 0; e < pattern.edges.size(); ++e) {
+        if (edge_planned[e]) continue;
+        const ResolvedPattern::Edge& edge = pattern.edges[e];
+        bool from_in = node_planned[edge.from];
+        bool to_in = node_planned[edge.to];
+        if (!from_in && !to_in) continue;
+        plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+        edge_planned[e] = true;
+        if (!from_in) {
+          node_planned[edge.from] = true;
+          ++planned_nodes;
+        }
+        if (!to_in) {
+          node_planned[edge.to] = true;
+          ++planned_nodes;
+        }
+        progress = true;
+      }
+    }
+  }
+  // Any edges left connect already-planned nodes (cycles) — append as
+  // filters.
+  for (size_t e = 0; e < pattern.edges.size(); ++e) {
+    if (!edge_planned[e]) {
+      plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+    }
+  }
+  return plan;
+}
+
+Result<ResolvedMatch> ResolveMatch(const PropertyGraph& graph,
+                                   const MatchQuery& match) {
+  ResolvedMatch rm;
+  KASKADE_RETURN_IF_ERROR(ResolvePattern(graph, match, &rm.pattern));
+  rm.plan = PlanMatchOrder(graph, rm.pattern);
+  for (const ReturnItem& item : match.return_items) {
+    int slot = rm.pattern.SlotOf(item.variable);
+    if (slot < 0) {
+      return Status::InvalidArgument("RETURN references unknown variable '" +
+                                     item.variable + "'");
+    }
+    rm.return_slots.push_back(slot);
+    rm.columns.push_back(Column{item.OutputName(), /*is_vertex=*/true});
+  }
+  return rm;
+}
+
+/// Type constraint + WHERE conditions for binding `v` to `slot`.
+bool NodeAccepts(const PropertyGraph& graph, const ResolvedPattern& pattern,
+                 size_t slot, VertexId v) {
+  const ResolvedPattern::Node& n = pattern.nodes[slot];
+  if (n.has_type_constraint && graph.VertexType(v) != n.type) return false;
+  for (const Condition& cond : pattern.node_conditions[slot]) {
+    if (!EvaluateCompare(cond.op, graph.VertexProperty(v, cond.lhs.property),
+                         cond.rhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy MATCH backend: backtracking over PropertyGraph adjacency lists.
+// Kept structurally intact as the semantic oracle (and the bench
+// baseline) for the CSR backend below.
+// ---------------------------------------------------------------------------
 
 /// \brief Backtracking pattern matcher with set-semantics projection.
 class MatchEvaluator {
@@ -50,180 +262,15 @@ class MatchEvaluator {
       : graph_(graph), options_(options) {}
 
   Result<Table> Run(const MatchQuery& match) {
-    KASKADE_RETURN_IF_ERROR(Resolve(match));
-    KASKADE_RETURN_IF_ERROR(PlanOrder());
-
-    std::vector<Column> columns;
-    return_slots_.clear();
-    for (const ReturnItem& item : match.return_items) {
-      int slot = SlotOf(item.variable);
-      if (slot < 0) {
-        return Status::InvalidArgument("RETURN references unknown variable '" +
-                                       item.variable + "'");
-      }
-      return_slots_.push_back(slot);
-      columns.push_back(Column{item.OutputName(), /*is_vertex=*/true});
-    }
-    table_ = Table(std::move(columns));
-
-    binding_.assign(pattern_.nodes.size(), graph::kInvalidId);
+    KASKADE_ASSIGN_OR_RETURN(rm_, ResolveMatch(graph_, match));
+    table_ = Table(std::move(rm_.columns));
+    binding_.assign(rm_.pattern.nodes.size(), graph::kInvalidId);
     Status st = Backtrack(0);
     if (!st.ok()) return st;
     return std::move(table_);
   }
 
  private:
-  int SlotOf(const std::string& name) const {
-    for (size_t i = 0; i < pattern_.nodes.size(); ++i) {
-      if (pattern_.nodes[i].name == name) return static_cast<int>(i);
-    }
-    return -1;
-  }
-
-  Status Resolve(const MatchQuery& match) {
-    pattern_ = ResolvedPattern();
-    for (const NodePattern& n : match.nodes) {
-      ResolvedPattern::Node rn;
-      rn.name = n.name;
-      if (!n.type.empty()) {
-        rn.type = graph_.schema().FindVertexType(n.type);
-        if (rn.type == graph::kInvalidTypeId) {
-          return Status::NotFound("unknown vertex type '" + n.type +
-                                  "' in pattern");
-        }
-        rn.has_type_constraint = true;
-      }
-      pattern_.nodes.push_back(std::move(rn));
-    }
-    for (const EdgePattern& e : match.edges) {
-      ResolvedPattern::Edge re;
-      re.from = SlotOf(e.from);
-      re.to = SlotOf(e.to);
-      if (re.from < 0 || re.to < 0) {
-        return Status::Internal("edge references unresolved node");
-      }
-      if (!e.type.empty()) {
-        re.type = graph_.schema().FindEdgeType(e.type);
-        if (re.type == graph::kInvalidTypeId) {
-          return Status::NotFound("unknown edge type '" + e.type +
-                                  "' in pattern");
-        }
-      }
-      re.variable_length = e.variable_length;
-      re.min_hops = e.variable_length ? e.min_hops : 1;
-      re.max_hops = e.variable_length ? e.max_hops : 1;
-      pattern_.edges.push_back(re);
-    }
-    pattern_.node_conditions.assign(pattern_.nodes.size(), {});
-    for (const Condition& cond : match.where) {
-      int slot = SlotOf(cond.lhs.base);
-      if (slot < 0) {
-        return Status::InvalidArgument("WHERE references unknown variable '" +
-                                       cond.lhs.base + "'");
-      }
-      if (cond.lhs.property.empty()) {
-        return Status::InvalidArgument(
-            "WHERE on a pattern variable must reference a property");
-      }
-      pattern_.node_conditions[slot].push_back(cond);
-    }
-    return Status::OK();
-  }
-
-  /// Chooses an evaluation order: seed at the node with the smallest
-  /// candidate count, then repeatedly take an edge with a bound endpoint
-  /// (connected expansion); falls back to new seeds for disconnected
-  /// components.
-  Status PlanOrder() {
-    const size_t num_nodes = pattern_.nodes.size();
-    std::vector<bool> node_planned(num_nodes, false);
-    std::vector<bool> edge_planned(pattern_.edges.size(), false);
-    plan_.clear();
-
-    auto candidate_count = [&](size_t slot) -> size_t {
-      const ResolvedPattern::Node& n = pattern_.nodes[slot];
-      return n.has_type_constraint ? graph_.NumVerticesOfType(n.type)
-                                   : graph_.NumLiveVertices();
-    };
-
-    size_t planned_nodes = 0;
-    while (planned_nodes < num_nodes) {
-      // Seed: cheapest unplanned node.
-      size_t best = num_nodes;
-      for (size_t i = 0; i < num_nodes; ++i) {
-        if (node_planned[i]) continue;
-        if (best == num_nodes || candidate_count(i) < candidate_count(best)) {
-          best = i;
-        }
-      }
-      plan_.push_back(Step{Step::kSeed, static_cast<int>(best), -1});
-      node_planned[best] = true;
-      ++planned_nodes;
-      // Expand while an edge touches the planned set.
-      bool progress = true;
-      while (progress) {
-        progress = false;
-        for (size_t e = 0; e < pattern_.edges.size(); ++e) {
-          if (edge_planned[e]) continue;
-          const ResolvedPattern::Edge& edge = pattern_.edges[e];
-          bool from_in = node_planned[edge.from];
-          bool to_in = node_planned[edge.to];
-          if (!from_in && !to_in) continue;
-          plan_.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
-          edge_planned[e] = true;
-          if (!from_in) {
-            node_planned[edge.from] = true;
-            ++planned_nodes;
-          }
-          if (!to_in) {
-            node_planned[edge.to] = true;
-            ++planned_nodes;
-          }
-          progress = true;
-        }
-      }
-    }
-    // Any edges left connect already-planned nodes (cycles) — append as
-    // filters.
-    for (size_t e = 0; e < pattern_.edges.size(); ++e) {
-      if (!edge_planned[e]) {
-        plan_.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
-      }
-    }
-    return Status::OK();
-  }
-
-  bool NodeAccepts(size_t slot, VertexId v) const {
-    const ResolvedPattern::Node& n = pattern_.nodes[slot];
-    if (n.has_type_constraint && graph_.VertexType(v) != n.type) return false;
-    for (const Condition& cond : pattern_.node_conditions[slot]) {
-      PropertyValue value = graph_.VertexProperty(v, cond.lhs.property);
-      bool pass = false;
-      switch (cond.op) {
-        case CompareOp::kEq:
-          pass = value == cond.rhs;
-          break;
-        case CompareOp::kNe:
-          pass = value != cond.rhs;
-          break;
-        case CompareOp::kLt:
-          pass = value < cond.rhs;
-          break;
-        case CompareOp::kLe:
-          pass = value < cond.rhs || value == cond.rhs;
-          break;
-        case CompareOp::kGt:
-          pass = cond.rhs < value;
-          break;
-        case CompareOp::kGe:
-          pass = cond.rhs < value || value == cond.rhs;
-          break;
-      }
-      if (!pass) return false;
-    }
-    return true;
-  }
-
   /// Vertices reachable from `start` in exactly d hops for some d in
   /// [min_hops, max_hops], following edges of `type` (reverse when
   /// `backward`). Level-synchronized BFS so all reachable depths are seen
@@ -270,18 +317,37 @@ class MatchEvaluator {
   }
 
   /// True if some path start->...->end with length in [min,max] exists.
+  /// The BFS stops the moment `end` is reached inside the hop window,
+  /// instead of materializing every target and scanning for `end`.
   bool VarLengthConnected(VertexId start, VertexId end, EdgeTypeId type,
                           int min_hops, int max_hops) const {
-    std::vector<VertexId> targets =
-        VarLengthTargets(start, type, min_hops, max_hops, false);
-    return std::find(targets.begin(), targets.end(), end) != targets.end();
+    if (min_hops == 0 && start == end) return true;
+    std::vector<VertexId> cur{start};
+    std::vector<VertexId> next;
+    std::unordered_set<VertexId> level_seen;
+    for (int depth = 1; depth <= max_hops && !cur.empty(); ++depth) {
+      next.clear();
+      level_seen.clear();
+      for (VertexId v : cur) {
+        for (EdgeId e : graph_.OutEdges(v)) {
+          const graph::EdgeRecord& rec = graph_.Edge(e);
+          if (type != graph::kInvalidTypeId && rec.type != type) continue;
+          VertexId n = rec.target;
+          if (!level_seen.insert(n).second) continue;
+          if (depth >= min_hops && n == end) return true;
+          next.push_back(n);
+        }
+      }
+      std::swap(cur, next);
+    }
+    return false;
   }
 
   Status EmitRow() {
     Table::Row row;
-    row.reserve(return_slots_.size());
+    row.reserve(rm_.return_slots.size());
     std::string key;
-    for (int slot : return_slots_) {
+    for (int slot : rm_.return_slots) {
       VertexId v = binding_[slot];
       row.emplace_back(static_cast<int64_t>(v));
       key += std::to_string(v);
@@ -296,17 +362,18 @@ class MatchEvaluator {
   }
 
   Status Backtrack(size_t step_index) {
-    if (step_index == plan_.size()) return EmitRow();
-    const Step& step = plan_[step_index];
+    if (step_index == rm_.plan.size()) return EmitRow();
+    const Step& step = rm_.plan[step_index];
+    const ResolvedPattern& pattern = rm_.pattern;
     if (step.kind == Step::kSeed) {
       size_t slot = static_cast<size_t>(step.node_slot);
       if (binding_[slot] != graph::kInvalidId) {
         return Backtrack(step_index + 1);
       }
-      const ResolvedPattern::Node& n = pattern_.nodes[slot];
+      const ResolvedPattern::Node& n = pattern.nodes[slot];
       if (n.has_type_constraint) {
         for (VertexId v : graph_.VerticesOfType(n.type)) {
-          if (!NodeAccepts(slot, v)) continue;
+          if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
           binding_[slot] = graph::kInvalidId;
@@ -314,7 +381,7 @@ class MatchEvaluator {
       } else {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
           if (!graph_.IsVertexLive(v)) continue;
-          if (!NodeAccepts(slot, v)) continue;
+          if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
           binding_[slot] = graph::kInvalidId;
@@ -323,7 +390,7 @@ class MatchEvaluator {
       return Status::OK();
     }
 
-    const ResolvedPattern::Edge& edge = pattern_.edges[step.edge_index];
+    const ResolvedPattern::Edge& edge = pattern.edges[step.edge_index];
     VertexId from = binding_[edge.from];
     VertexId to = binding_[edge.to];
     bool from_bound = from != graph::kInvalidId;
@@ -357,7 +424,7 @@ class MatchEvaluator {
     if (edge.variable_length) {
       for (VertexId v : VarLengthTargets(anchor, edge.type, edge.min_hops,
                                          edge.max_hops, !forward)) {
-        if (!NodeAccepts(free_slot, v)) continue;
+        if (!NodeAccepts(graph_, pattern, free_slot, v)) continue;
         binding_[free_slot] = v;
         KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
         binding_[free_slot] = graph::kInvalidId;
@@ -375,7 +442,7 @@ class MatchEvaluator {
       if (edge.type != graph::kInvalidTypeId && rec.type != edge.type) continue;
       VertexId next = forward ? rec.target : rec.source;
       if (!tried.insert(next).second) continue;
-      if (!NodeAccepts(free_slot, next)) continue;
+      if (!NodeAccepts(graph_, pattern, free_slot, next)) continue;
       binding_[free_slot] = next;
       KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
       binding_[free_slot] = graph::kInvalidId;
@@ -383,20 +450,520 @@ class MatchEvaluator {
     return Status::OK();
   }
 
-  struct Step {
-    enum Kind { kSeed, kEdge } kind;
-    int node_slot;
-    int edge_index;
-  };
-
   const PropertyGraph& graph_;
   ExecutorOptions options_;
-  ResolvedPattern pattern_;
-  std::vector<Step> plan_;
+  ResolvedMatch rm_;
   std::vector<VertexId> binding_;
-  std::vector<int> return_slots_;
   std::unordered_set<std::string> distinct_rows_;
   Table table_;
+};
+
+// ---------------------------------------------------------------------------
+// CSR MATCH backend
+// ---------------------------------------------------------------------------
+
+/// \brief Distinct-row sink: flat integer row storage plus an
+/// open-addressed index set keyed by row contents. No string keys, no
+/// per-row allocation (amortized).
+class RowSet {
+ public:
+  explicit RowSet(size_t width) : width_(width == 0 ? 1 : width) {}
+
+  size_t size() const { return num_rows_; }
+  const VertexId* row(size_t i) const { return data_.data() + i * width_; }
+
+  /// Inserts a row of `width` vertex ids; returns true when it is new.
+  bool Insert(const VertexId* row) {
+    if ((num_rows_ + 1) * 10 >= slots_.size() * 7) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = HashRow(row) & mask;
+    while (slots_[i] != 0) {
+      if (std::memcmp(this->row(slots_[i] - 1), row,
+                      width_ * sizeof(VertexId)) == 0) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+    data_.insert(data_.end(), row, row + width_);
+    ++num_rows_;
+    slots_[i] = num_rows_;  // row index + 1; 0 marks an empty slot
+    return true;
+  }
+
+ private:
+  uint64_t HashRow(const VertexId* row) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < width_; ++i) {
+      uint64_t x = row[i];
+      x *= 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 29;
+      h = (h ^ x) * 0x100000001b3ULL;
+    }
+    return h ^ (h >> 32);
+  }
+
+  void Grow() {
+    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<uint64_t> bigger(capacity, 0);
+    const size_t mask = capacity - 1;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      size_t i = HashRow(row(r)) & mask;
+      while (bigger[i] != 0) i = (i + 1) & mask;
+      bigger[i] = r + 1;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  size_t width_;
+  std::vector<VertexId> data_;   ///< Distinct rows, flat, emission order.
+  std::vector<uint64_t> slots_;  ///< Open-addressed row-index set.
+  size_t num_rows_ = 0;
+};
+
+/// \brief One backtracking worker over a CSR snapshot: owns the binding,
+/// the epoch-stamped visited arrays, the per-step candidate buffers, and
+/// its (partial) distinct-row table. Inner loops allocate nothing after
+/// warmup.
+class CsrMatchRunner {
+ public:
+  /// `direct_table`, when set (sequential mode), receives each new
+  /// distinct row as it is emitted, so no second pass over the row set
+  /// is needed. Parallel workers leave it null — their rows merge into
+  /// the final table in block order after the join.
+  CsrMatchRunner(const PropertyGraph& graph, const CsrGraph& csr,
+                 const ResolvedMatch& rm, size_t max_rows,
+                 const std::atomic<bool>* abort, Table* direct_table = nullptr)
+      : graph_(graph),
+        csr_(csr),
+        rm_(rm),
+        max_rows_(max_rows),
+        abort_(abort),
+        direct_table_(direct_table),
+        rows_(rm.return_slots.size()) {
+    binding_.assign(rm.pattern.nodes.size(), graph::kInvalidId);
+    mark_.assign(csr.NumVertices(), 0);
+    result_mark_.assign(csr.NumVertices(), 0);
+    scratch_.resize(rm.plan.size());
+    row_buf_.assign(std::max<size_t>(1, rm.return_slots.size()), 0);
+  }
+
+  /// Runs the plan for top-level seed candidates `seeds[begin, end)`
+  /// (the first plan step is always a seed). Emitted rows accumulate in
+  /// `rows()` in enumeration order.
+  Status RunSeedRange(const std::vector<VertexId>& seeds, size_t begin,
+                      size_t end) {
+    const size_t slot = static_cast<size_t>(rm_.plan[0].node_slot);
+    for (size_t i = begin; i < end; ++i) {
+      if (Aborted()) return Status::ResourceExhausted("MATCH row limit exceeded");
+      VertexId v = seeds[i];
+      if (!NodeAccepts(graph_, rm_.pattern, slot, v)) continue;
+      binding_[slot] = v;
+      Status st = Backtrack(1);
+      binding_[slot] = graph::kInvalidId;
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  const RowSet& rows() const { return rows_; }
+
+ private:
+  /// Per-plan-step reusable buffers: gathered candidates survive across
+  /// the recursion into deeper steps, so they cannot be shared.
+  struct StepScratch {
+    std::vector<VertexId> candidates;
+    std::vector<VertexId> cur;
+    std::vector<VertexId> next;
+  };
+
+  bool Aborted() const {
+    return abort_ != nullptr && abort_->load(std::memory_order_relaxed);
+  }
+
+  /// Fresh epoch for `mark_` (per-gather / per-BFS-level dedup). The
+  /// array is only consulted while one gather runs, and gathers finish
+  /// before the recursion descends, so one array serves every step.
+  uint32_t NextMark() {
+    if (++mark_epoch_ == 0) {
+      std::fill(mark_.begin(), mark_.end(), 0u);
+      mark_epoch_ = 1;
+    }
+    return mark_epoch_;
+  }
+
+  /// Fresh epoch for `result_mark_` (whole-BFS result dedup; lives
+  /// across the per-level epochs of one variable-length expansion).
+  uint32_t NextResultMark() {
+    if (++result_epoch_ == 0) {
+      std::fill(result_mark_.begin(), result_mark_.end(), 0u);
+      result_epoch_ = 1;
+    }
+    return result_epoch_;
+  }
+
+  /// Distinct neighbors of `anchor` over edges of `type`, into
+  /// `out` (first-occurrence order of the typed CSR slice).
+  void GatherDistinctNeighbors(VertexId anchor, EdgeTypeId type, bool forward,
+                               std::vector<VertexId>* out) {
+    out->clear();
+    const uint32_t epoch = NextMark();
+    EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, type)
+                            : csr_.TypedInEdges(anchor, type);
+    for (size_t i = 0; i < span.size; ++i) {
+      VertexId next = span.vertices[i];
+      if (mark_[next] == epoch) continue;
+      mark_[next] = epoch;
+      out->push_back(next);
+    }
+  }
+
+  /// Variable-length targets as a frontier BFS over typed CSR slices:
+  /// vertices at some depth in [min_hops, max_hops] from `start`, into
+  /// `s->candidates`. Per-level dedup on `mark_`, whole-call result
+  /// dedup on `result_mark_` — same (vertex, depth) semantics as the
+  /// legacy evaluator.
+  void VarLengthTargets(VertexId start, EdgeTypeId type, int min_hops,
+                        int max_hops, bool backward, StepScratch* s) {
+    s->candidates.clear();
+    const uint32_t result_epoch = NextResultMark();
+    if (min_hops == 0) {
+      result_mark_[start] = result_epoch;
+      s->candidates.push_back(start);
+    }
+    s->cur.clear();
+    s->cur.push_back(start);
+    for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
+      s->next.clear();
+      const uint32_t level_epoch = NextMark();
+      for (VertexId v : s->cur) {
+        EdgeSpan span = backward ? csr_.TypedInEdges(v, type)
+                                 : csr_.TypedOutEdges(v, type);
+        for (size_t i = 0; i < span.size; ++i) {
+          VertexId next = span.vertices[i];
+          if (mark_[next] == level_epoch) continue;
+          mark_[next] = level_epoch;
+          s->next.push_back(next);
+          if (depth >= min_hops && result_mark_[next] != result_epoch) {
+            result_mark_[next] = result_epoch;
+            s->candidates.push_back(next);
+          }
+        }
+      }
+      std::swap(s->cur, s->next);
+    }
+  }
+
+  /// True if some path start->...->end with length in [min,max] exists;
+  /// stops the BFS the moment `end` enters the hop window.
+  bool VarLengthConnected(VertexId start, VertexId end, EdgeTypeId type,
+                          int min_hops, int max_hops, StepScratch* s) {
+    if (min_hops == 0 && start == end) return true;
+    s->cur.clear();
+    s->cur.push_back(start);
+    for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
+      s->next.clear();
+      const uint32_t level_epoch = NextMark();
+      for (VertexId v : s->cur) {
+        EdgeSpan span = csr_.TypedOutEdges(v, type);
+        for (size_t i = 0; i < span.size; ++i) {
+          VertexId next = span.vertices[i];
+          if (mark_[next] == level_epoch) continue;
+          mark_[next] = level_epoch;
+          if (depth >= min_hops && next == end) return true;
+          s->next.push_back(next);
+        }
+      }
+      std::swap(s->cur, s->next);
+    }
+    return false;
+  }
+
+  /// Fixed filter edge: any from->to edge of `type`? Binary-searches
+  /// the smaller of the two typed slices (typed slices are sorted by
+  /// neighbor id). With a type wildcard the slices are only sorted per
+  /// type group, so fall back to a linear scan.
+  bool HasFixedEdge(VertexId from, VertexId to, EdgeTypeId type) const {
+    EdgeSpan out = csr_.TypedOutEdges(from, type);
+    EdgeSpan in = csr_.TypedInEdges(to, type);
+    const bool smaller_in = in.size < out.size;
+    const EdgeSpan& span = smaller_in ? in : out;
+    const VertexId needle = smaller_in ? from : to;
+    if (type == graph::kInvalidTypeId) {
+      for (size_t i = 0; i < span.size; ++i) {
+        if (span.vertices[i] == needle) return true;
+      }
+      return false;
+    }
+    return std::binary_search(span.vertices, span.vertices + span.size,
+                              needle);
+  }
+
+  Status EmitRow() {
+    if (Aborted()) return Status::ResourceExhausted("MATCH row limit exceeded");
+    const size_t width = rm_.return_slots.size();
+    for (size_t k = 0; k < width; ++k) {
+      row_buf_[k] = binding_[rm_.return_slots[k]];
+    }
+    if (!rows_.Insert(row_buf_.data())) return Status::OK();
+    if (rows_.size() > max_rows_) {
+      return Status::ResourceExhausted("MATCH row limit exceeded");
+    }
+    if (direct_table_ != nullptr) {
+      Table::Row out;
+      out.reserve(width);
+      for (size_t k = 0; k < width; ++k) {
+        out.emplace_back(static_cast<int64_t>(row_buf_[k]));
+      }
+      direct_table_->AddRow(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  Status Backtrack(size_t step_index) {
+    if (step_index == rm_.plan.size()) return EmitRow();
+    const Step& step = rm_.plan[step_index];
+    const ResolvedPattern& pattern = rm_.pattern;
+    if (step.kind == Step::kSeed) {
+      // Secondary seed (disconnected pattern component).
+      size_t slot = static_cast<size_t>(step.node_slot);
+      if (binding_[slot] != graph::kInvalidId) {
+        return Backtrack(step_index + 1);
+      }
+      const ResolvedPattern::Node& n = pattern.nodes[slot];
+      if (n.has_type_constraint) {
+        for (VertexId v : graph_.VerticesOfType(n.type)) {
+          if (!NodeAccepts(graph_, pattern, slot, v)) continue;
+          binding_[slot] = v;
+          KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+          binding_[slot] = graph::kInvalidId;
+        }
+      } else {
+        for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+          if (!graph_.IsVertexLive(v)) continue;
+          if (!NodeAccepts(graph_, pattern, slot, v)) continue;
+          binding_[slot] = v;
+          KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+          binding_[slot] = graph::kInvalidId;
+        }
+      }
+      return Status::OK();
+    }
+
+    const ResolvedPattern::Edge& edge = pattern.edges[step.edge_index];
+    VertexId from = binding_[edge.from];
+    VertexId to = binding_[edge.to];
+    bool from_bound = from != graph::kInvalidId;
+    bool to_bound = to != graph::kInvalidId;
+    StepScratch* scratch = &scratch_[step_index];
+
+    if (from_bound && to_bound) {
+      // Filter edge (closes a cycle).
+      bool connected =
+          edge.variable_length
+              ? VarLengthConnected(from, to, edge.type, edge.min_hops,
+                                   edge.max_hops, scratch)
+              : HasFixedEdge(from, to, edge.type);
+      if (connected) return Backtrack(step_index + 1);
+      return Status::OK();
+    }
+
+    const bool forward = from_bound;  // else expand backward from `to`
+    size_t free_slot = forward ? edge.to : edge.from;
+    VertexId anchor = forward ? from : to;
+    const bool trivial = forward ? edge.trivial_forward : edge.trivial_backward;
+
+    if (!edge.variable_length && step_index + 1 == rm_.plan.size()) {
+      // Fused final expansion: the recursion below this step is just
+      // EmitRow, and the row set already deduplicates, so duplicate
+      // neighbors (parallel edges) need no expansion-level dedup —
+      // iterate the typed slice directly, no gather, no buffers.
+      // First-occurrence emission order is unchanged.
+      EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, edge.type)
+                              : csr_.TypedInEdges(anchor, edge.type);
+      Status st = Status::OK();
+      for (size_t i = 0; i < span.size; ++i) {
+        VertexId v = span.vertices[i];
+        if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
+        binding_[free_slot] = v;
+        st = EmitRow();
+        if (!st.ok()) break;
+      }
+      binding_[free_slot] = graph::kInvalidId;
+      return st;
+    }
+
+    if (edge.variable_length) {
+      VarLengthTargets(anchor, edge.type, edge.min_hops, edge.max_hops,
+                       !forward, scratch);
+    } else {
+      // Distinct neighbors: parallel edges must not multiply rows under
+      // set semantics, NodeAccepts can be expensive, and the subtree
+      // below this step would otherwise be re-explored per duplicate.
+      GatherDistinctNeighbors(anchor, edge.type, forward,
+                              &scratch->candidates);
+    }
+    for (VertexId v : scratch->candidates) {
+      if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
+      binding_[free_slot] = v;
+      KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
+      binding_[free_slot] = graph::kInvalidId;
+    }
+    return Status::OK();
+  }
+
+  const PropertyGraph& graph_;
+  const CsrGraph& csr_;
+  const ResolvedMatch& rm_;
+  const size_t max_rows_;
+  const std::atomic<bool>* abort_;
+  Table* direct_table_;
+  RowSet rows_;
+  std::vector<VertexId> binding_;
+  std::vector<uint32_t> mark_;
+  uint32_t mark_epoch_ = 0;
+  std::vector<uint32_t> result_mark_;
+  uint32_t result_epoch_ = 0;
+  std::vector<StepScratch> scratch_;
+  std::vector<VertexId> row_buf_;
+};
+
+/// \brief CSR MATCH driver: resolves and plans once, then runs the
+/// backtracking sequentially or seed-partitioned across worker threads.
+///
+/// Parallel determinism: the top-level seed candidates are materialized
+/// once in the same order the sequential run enumerates them, split
+/// into contiguous blocks claimed off an atomic counter, and each
+/// block's rows are merged back in block order with global
+/// first-occurrence dedup. Workers claim blocks in increasing order, so
+/// a worker-local duplicate is always preceded by its first occurrence
+/// in an earlier block — the merged table is therefore identical to the
+/// sequential table, row order included.
+class CsrMatchEvaluator {
+ public:
+  CsrMatchEvaluator(const PropertyGraph& graph, const CsrGraph& csr,
+                    const ExecutorOptions& options)
+      : graph_(graph), csr_(csr), options_(options) {}
+
+  Result<Table> Run(const MatchQuery& match) {
+    KASKADE_ASSIGN_OR_RETURN(ResolvedMatch rm, ResolveMatch(graph_, match));
+    std::vector<VertexId> seeds = TopSeedCandidates(rm);
+
+    size_t workers =
+        options_.parallelism == 0
+            ? std::max(1u, std::thread::hardware_concurrency())
+            : options_.parallelism;
+    workers = std::min(workers, std::max<size_t>(1, seeds.size()));
+
+    if (workers <= 1) {
+      Table table(std::move(rm.columns));
+      CsrMatchRunner runner(graph_, csr_, rm, options_.max_rows,
+                            /*abort=*/nullptr, &table);
+      KASKADE_RETURN_IF_ERROR(runner.RunSeedRange(seeds, 0, seeds.size()));
+      return table;
+    }
+    return RunParallel(&rm, seeds, workers);
+  }
+
+ private:
+  static constexpr uint32_t kUnclaimed = ~0u;
+
+  /// Candidates for the first plan step (always a seed), in the exact
+  /// order a sequential run enumerates them.
+  std::vector<VertexId> TopSeedCandidates(const ResolvedMatch& rm) const {
+    const ResolvedPattern::Node& n =
+        rm.pattern.nodes[static_cast<size_t>(rm.plan[0].node_slot)];
+    if (n.has_type_constraint) return graph_.VerticesOfType(n.type);
+    std::vector<VertexId> all;
+    all.reserve(graph_.NumLiveVertices());
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      if (graph_.IsVertexLive(v)) all.push_back(v);
+    }
+    return all;
+  }
+
+  Result<Table> BuildTable(ResolvedMatch* rm, const RowSet& rows) const {
+    Table table(std::move(rm->columns));
+    const size_t width = rm->return_slots.size();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const VertexId* row = rows.row(r);
+      Table::Row out;
+      out.reserve(width);
+      for (size_t k = 0; k < width; ++k) {
+        out.emplace_back(static_cast<int64_t>(row[k]));
+      }
+      table.AddRow(std::move(out));
+    }
+    return table;
+  }
+
+  Result<Table> RunParallel(ResolvedMatch* rm,
+                            const std::vector<VertexId>& seeds,
+                            size_t workers) const {
+    // Small blocks for load balance; contiguous so block order equals
+    // sequential seed order.
+    const size_t block = std::max<size_t>(1, seeds.size() / (workers * 8));
+    const size_t num_blocks = (seeds.size() + block - 1) / block;
+
+    struct BlockRange {
+      uint32_t worker = kUnclaimed;
+      size_t begin_row = 0;
+      size_t end_row = 0;
+    };
+    std::vector<BlockRange> blocks(num_blocks);
+    std::vector<std::unique_ptr<CsrMatchRunner>> runners(workers);
+    std::vector<Status> statuses(workers, Status::OK());
+    std::atomic<size_t> next_block{0};
+    std::atomic<bool> abort{false};
+
+    auto work = [&](size_t w) {
+      runners[w] = std::make_unique<CsrMatchRunner>(
+          graph_, csr_, *rm, options_.max_rows, &abort);
+      while (!abort.load(std::memory_order_relaxed)) {
+        size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+        if (b >= num_blocks) break;
+        size_t begin = b * block;
+        size_t end = std::min(seeds.size(), begin + block);
+        size_t begin_row = runners[w]->rows().size();
+        Status st = runners[w]->RunSeedRange(seeds, begin, end);
+        blocks[b] =
+            BlockRange{static_cast<uint32_t>(w), begin_row,
+                       runners[w]->rows().size()};
+        if (!st.ok()) {
+          statuses[w] = st;
+          abort.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (std::thread& t : pool) t.join();
+
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+
+    // Deterministic merge: block order + global first-occurrence dedup.
+    RowSet merged(rm->return_slots.size());
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const BlockRange& br = blocks[b];
+      if (br.worker == kUnclaimed) {
+        return Status::Internal("unprocessed seed block without an error");
+      }
+      const RowSet& rows = runners[br.worker]->rows();
+      for (size_t r = br.begin_row; r < br.end_row; ++r) {
+        if (merged.Insert(rows.row(r)) && merged.size() > options_.max_rows) {
+          return Status::ResourceExhausted("MATCH row limit exceeded");
+        }
+      }
+    }
+    return BuildTable(rm, merged);
+  }
+
+  const PropertyGraph& graph_;
+  const CsrGraph& csr_;
+  ExecutorOptions options_;
 };
 
 // ---------------------------------------------------------------------------
@@ -427,21 +994,7 @@ Result<PropertyValue> EvalRef(const PropertyGraph& graph, const Table& input,
 }
 
 bool ConditionPasses(const Condition& cond, const PropertyValue& value) {
-  switch (cond.op) {
-    case CompareOp::kEq:
-      return value == cond.rhs;
-    case CompareOp::kNe:
-      return value != cond.rhs;
-    case CompareOp::kLt:
-      return value < cond.rhs;
-    case CompareOp::kLe:
-      return value < cond.rhs || value == cond.rhs;
-    case CompareOp::kGt:
-      return cond.rhs < value;
-    case CompareOp::kGe:
-      return cond.rhs < value || value == cond.rhs;
-  }
-  return false;
+  return EvaluateCompare(cond.op, value, cond.rhs);
 }
 
 /// Streaming aggregate accumulator.
@@ -492,6 +1045,17 @@ struct Accumulator {
 }  // namespace
 
 Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match) {
+  if (csr_ != nullptr) {
+    // Cheap staleness tripwires; generation keying at the engine layer
+    // is the real guarantee.
+    if (csr_->NumVertices() != graph_->NumVertices() ||
+        csr_->NumEdges() != graph_->NumLiveEdges()) {
+      return Status::Internal(
+          "CSR snapshot is stale relative to its property graph");
+    }
+    CsrMatchEvaluator evaluator(*graph_, *csr_, options_);
+    return evaluator.Run(match);
+  }
   MatchEvaluator evaluator(*graph_, options_);
   return evaluator.Run(match);
 }

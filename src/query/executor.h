@@ -11,6 +11,23 @@
 /// rows of the returned variables. This is the semantics under which the
 /// paper's raw-vs-connector rewrites return identical results (§VII-C
 /// "These rewritings are equivalent and produce the same results").
+///
+/// Two MATCH backends share one resolver and planner:
+///
+/// - The *legacy* backtracker walks `PropertyGraph`'s per-vertex edge-id
+///   vectors with an `EdgeRecord` lookup per edge. It is the semantic
+///   oracle the differential tests trust, and the baseline the latency
+///   bench measures against.
+/// - The *CSR* backtracker (selected by constructing the executor with a
+///   `CsrGraph` snapshot) expands over type-partitioned contiguous
+///   neighbor slices with allocation-free inner loops: epoch-stamped
+///   visited arrays instead of per-call hash sets, reusable per-step
+///   candidate buffers, and integer row deduplication in place of string
+///   keys. It returns exactly the same row set (row *order* may differ,
+///   as set semantics permit). With `ExecutorOptions::parallelism > 1`
+///   the CSR backend seed-partitions the top-level backtracking across
+///   worker threads; the merged output is byte-identical to the
+///   sequential CSR run, which therefore remains the oracle.
 
 #ifndef KASKADE_QUERY_EXECUTOR_H_
 #define KASKADE_QUERY_EXECUTOR_H_
@@ -19,17 +36,23 @@
 #include <string>
 
 #include "common/result.h"
+#include "graph/csr.h"
 #include "graph/property_graph.h"
 #include "query/ast.h"
 #include "query/table.h"
 
 namespace kaskade::query {
 
-/// \brief Executor resource limits.
+/// \brief Executor resource limits and execution knobs.
 struct ExecutorOptions {
   /// Abort with ResourceExhausted when a MATCH produces more distinct
   /// rows than this.
   size_t max_rows = 50'000'000;
+  /// Worker threads for the top-level MATCH backtracking (CSR backend
+  /// only). 1 = sequential — the differential-test oracle; 0 = hardware
+  /// concurrency. Parallel output is identical to sequential output,
+  /// including row order.
+  size_t parallelism = 1;
 };
 
 /// \brief Executes parsed or textual queries against one graph.
@@ -38,6 +61,13 @@ class QueryExecutor {
   explicit QueryExecutor(const graph::PropertyGraph* graph,
                          ExecutorOptions options = {})
       : graph_(graph), options_(options) {}
+
+  /// CSR-backed executor: `csr` must be a topology snapshot of `*graph`
+  /// (vertex ids shared). MATCH expansion then runs over the snapshot's
+  /// typed slices; schema and property access still go to `graph`.
+  QueryExecutor(const graph::PropertyGraph* graph, const graph::CsrGraph* csr,
+                ExecutorOptions options = {})
+      : graph_(graph), csr_(csr), options_(options) {}
 
   /// Runs a parsed query.
   Result<Table> Execute(const Query& query);
@@ -50,6 +80,7 @@ class QueryExecutor {
   Result<Table> ExecuteSelect(const SelectQuery& select);
 
   const graph::PropertyGraph* graph_;
+  const graph::CsrGraph* csr_ = nullptr;
   ExecutorOptions options_;
 };
 

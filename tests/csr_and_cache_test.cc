@@ -54,6 +54,78 @@ TEST(CsrTest, EmptyGraph) {
   EXPECT_EQ(csr.NumEdges(), 0u);
 }
 
+TEST(CsrTest, TypedSlicesMatchFilteredAdjacency) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      {.num_jobs = 30, .num_files = 60, .num_tasks = 20});
+  CsrGraph csr = CsrGraph::Build(g);
+  const size_t num_types = g.schema().num_edge_types();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    size_t typed_total = 0;
+    for (graph::EdgeTypeId t = 0; t < num_types; ++t) {
+      // Expected: the (target, edge id) multiset of v's out-edges of
+      // type t, straight from the adjacency lists.
+      std::multiset<std::pair<VertexId, graph::EdgeId>> expected;
+      for (graph::EdgeId e : g.OutEdges(v)) {
+        if (g.Edge(e).type == t) expected.insert({g.Edge(e).target, e});
+      }
+      graph::EdgeSpan span = csr.TypedOutEdges(v, t);
+      std::multiset<std::pair<VertexId, graph::EdgeId>> got;
+      for (size_t i = 0; i < span.size; ++i) {
+        got.insert({span.vertex(i), span.edge_id(i)});
+      }
+      EXPECT_EQ(got, expected) << "vertex " << v << " type " << t;
+      typed_total += span.size;
+      // In-side symmetry.
+      std::multiset<std::pair<VertexId, graph::EdgeId>> expected_in;
+      for (graph::EdgeId e : g.InEdges(v)) {
+        if (g.Edge(e).type == t) expected_in.insert({g.Edge(e).source, e});
+      }
+      graph::EdgeSpan in_span = csr.TypedInEdges(v, t);
+      std::multiset<std::pair<VertexId, graph::EdgeId>> got_in;
+      for (size_t i = 0; i < in_span.size; ++i) {
+        got_in.insert({in_span.vertex(i), in_span.edge_id(i)});
+      }
+      EXPECT_EQ(got_in, expected_in) << "vertex " << v << " type " << t;
+    }
+    // Typed slices tile the full slice exactly.
+    EXPECT_EQ(typed_total, csr.OutDegree(v));
+    // The untyped slice is the whole thing.
+    EXPECT_EQ(csr.TypedOutEdges(v, graph::kInvalidTypeId).size,
+              csr.OutDegree(v));
+    // Lineage arrays agree with the per-position accessors.
+    graph::EdgeSpan all = csr.OutEdges(v);
+    for (size_t i = 0; i < all.size; ++i) {
+      EXPECT_EQ(all.edge_id(i), csr.OutEdgeId(v, i));
+      EXPECT_EQ(g.Edge(all.edge_id(i)).target, all.vertex(i));
+      EXPECT_EQ(g.Edge(all.edge_id(i)).type, csr.OutEdgeType(v, i));
+    }
+  }
+}
+
+TEST(CsrTest, TombstonedEdgesDroppedFromTypedSlices) {
+  PropertyGraph g = datasets::MakeProvenanceGraph(
+      {.num_jobs = 20, .num_files = 40, .num_tasks = 10});
+  // Remove every third live edge.
+  size_t removed = 0;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); e += 3) {
+    if (g.RemoveEdge(e).ok()) ++removed;
+  }
+  ASSERT_GT(removed, 0u);
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.NumEdges(), g.NumLiveEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    graph::EdgeSpan all = csr.OutEdges(v);
+    for (size_t i = 0; i < all.size; ++i) {
+      EXPECT_TRUE(g.IsEdgeLive(all.edge_id(i)));
+    }
+    EXPECT_EQ(all.size, [&] {
+      size_t live = 0;
+      for (graph::EdgeId e : g.OutEdges(v)) live += g.IsEdgeLive(e) ? 1 : 0;
+      return live;
+    }());
+  }
+}
+
 /// CSR traversals must agree with the adjacency-list implementations.
 class CsrEquivalenceTest : public ::testing::TestWithParam<int> {};
 
@@ -167,6 +239,109 @@ TEST(SameTypeRewriteTest, ParityGapsPermitWiderWindows) {
   ASSERT_TRUE(q.ok());
   auto rewritten = core::RewriteQueryWithView(*q, def, g.schema());
   EXPECT_TRUE(rewritten.ok()) << rewritten.status();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot cache: one CSR snapshot per (handle, generation), lazy build,
+// implicit invalidation via the catalog generation.
+// ---------------------------------------------------------------------------
+
+core::ViewDefinition JobConnector(int k) {
+  core::ViewDefinition def;
+  def.kind = core::ViewKind::kKHopConnector;
+  def.k = k;
+  def.source_type = "Job";
+  def.target_type = "Job";
+  return def;
+}
+
+TEST(SnapshotCacheTest, BaseSnapshotCachedPerGeneration) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 30, .num_files = 60, .include_auxiliary = false});
+  core::Engine engine(std::move(base));
+  const core::ViewCatalog& catalog = engine.catalog();
+
+  auto first = catalog.BaseSnapshot();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(catalog.snapshot_builds(), 1u);
+  auto second = catalog.BaseSnapshot();
+  EXPECT_EQ(second.get(), first.get());  // same generation -> same snapshot
+  EXPECT_EQ(catalog.snapshot_builds(), 1u);
+  EXPECT_EQ(catalog.snapshot_hits(), 1u);
+  EXPECT_EQ(first->NumEdges(), engine.base_graph().NumLiveEdges());
+}
+
+TEST(SnapshotCacheTest, MutationsInvalidateAndRebuildLazily) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 30, .num_files = 60, .include_auxiliary = false});
+  core::Engine engine(std::move(base));
+  const core::ViewCatalog& catalog = engine.catalog();
+
+  auto before = catalog.BaseSnapshot();
+  const size_t builds_before = catalog.snapshot_builds();
+  const size_t edges_before = before->NumEdges();
+
+  // ApplyDelta bumps the generation; the old snapshot must not be
+  // served again, and the reader that still holds it keeps a valid,
+  // self-contained copy of the pre-delta topology.
+  graph::GraphDelta delta;
+  delta.AddEdge(0, static_cast<graph::VertexId>(30), "WRITES_TO", {});
+  ASSERT_TRUE(engine.ApplyDelta(std::move(delta)).ok());
+  EXPECT_EQ(catalog.snapshot_builds(), builds_before);  // lazy: no rebuild yet
+  auto after = catalog.BaseSnapshot();
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(catalog.snapshot_builds(), builds_before + 1);
+  EXPECT_EQ(after->NumEdges(), edges_before + 1);
+  EXPECT_EQ(before->NumEdges(), edges_before);  // old snapshot untouched
+
+  // MutateBaseGraph invalidates through the same generation mechanism.
+  auto held = catalog.BaseSnapshot();
+  ASSERT_TRUE(engine
+                  .MutateBaseGraph([](PropertyGraph* g) {
+                    return g->AddEdge(1, 31, "WRITES_TO").status();
+                  })
+                  .ok());
+  EXPECT_NE(catalog.BaseSnapshot().get(), held.get());
+}
+
+TEST(SnapshotCacheTest, PerViewSnapshotsKeyedByHandle) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 30, .num_files = 60, .include_auxiliary = false});
+  core::ViewCatalog catalog(&base);
+  auto h2 = catalog.Add(JobConnector(2));
+  ASSERT_TRUE(h2.ok());
+  auto h4 = catalog.Add(JobConnector(4));
+  ASSERT_TRUE(h4.ok());
+
+  auto snap2 = catalog.SnapshotFor(*h2);
+  auto snap4 = catalog.SnapshotFor(*h4);
+  ASSERT_NE(snap2, nullptr);
+  ASSERT_NE(snap4, nullptr);
+  EXPECT_NE(snap2.get(), snap4.get());
+  EXPECT_EQ(snap2->NumEdges(),
+            catalog.Get(*h2)->view.graph.NumLiveEdges());
+  // Cached per handle: repeated requests hit.
+  EXPECT_EQ(catalog.SnapshotFor(*h2).get(), snap2.get());
+  // Unknown handles resolve to null, and dropped views stop resolving.
+  EXPECT_EQ(catalog.SnapshotFor(9999), nullptr);
+  ASSERT_TRUE(catalog.Remove(catalog.Get(*h2)->name()).ok());
+  EXPECT_EQ(catalog.SnapshotFor(*h2), nullptr);
+}
+
+TEST(SnapshotCacheTest, EngineMatchRunsOverSnapshots) {
+  PropertyGraph base = datasets::MakeProvenanceGraph(
+      {.num_jobs = 40, .num_files = 80, .include_auxiliary = false});
+  core::Engine engine(std::move(base));
+  const std::string text =
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "RETURN a, b";
+  auto first = engine.Execute(text);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_GE(engine.catalog().snapshot_builds(), 1u);
+  auto second = engine.Execute(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(engine.catalog().snapshot_hits(), 1u);
+  EXPECT_EQ(first->table.num_rows(), second->table.num_rows());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,18 @@
-// Randomized differential-testing harness for full delta maintenance:
-// seeded mutation sequences (single inserts, single deletes, and mixed
-// batches; uniform and skewed operand choice) run through
-// Engine::ApplyDelta, asserting after every prefix that each registered
-// view's live edge multiset — including "paths" multiplicities and
-// view_to_base lineage — equals Materialize() run from scratch over the
-// mutated base graph. Doubles as a sanitizer fuzz driver under the CI
-// ASan/UBSan job.
+// Randomized differential-testing harness for full delta maintenance
+// and for the CSR-backed query executor:
+//
+// - seeded mutation sequences (single inserts, single deletes, and mixed
+//   batches; uniform and skewed operand choice) run through
+//   Engine::ApplyDelta, asserting after every prefix that each
+//   registered view's live edge multiset — including "paths"
+//   multiplicities and view_to_base lineage — equals Materialize() run
+//   from scratch over the mutated base graph;
+// - the same mutation generator drives the executor differential: after
+//   every delta batch the CSR snapshot is rebuilt and a query suite must
+//   return the legacy evaluator's exact row set, with parallel CSR
+//   execution byte-identical to sequential CSR execution.
+//
+// Doubles as a sanitizer fuzz driver under the CI ASan/UBSan job.
 
 #include <gtest/gtest.h>
 
@@ -19,9 +26,12 @@
 #include "core/engine.h"
 #include "core/maintenance.h"
 #include "core/materializer.h"
+#include "graph/csr.h"
 #include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "graph/schema.h"
+#include "query/executor.h"
+#include "table_test_util.h"
 
 namespace kaskade::core {
 namespace {
@@ -306,6 +316,92 @@ INSTANTIATE_TEST_SUITE_P(
     Sequences, DifferentialTest,
     ::testing::Combine(::testing::Values(11u, 22u, 33u),
                        ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Executor differential: the CSR-backed MATCH backend must return the
+// legacy evaluator's exact row set across randomized mutation sequences
+// (snapshot rebuilt after each delta batch), and parallel execution must
+// be byte-identical to sequential execution for every query.
+// ---------------------------------------------------------------------------
+
+/// Query suite over the DeltaSchema: typed chains, untyped nodes,
+/// variable-length expansions incl. min_hops == 0, WHERE filters, a
+/// cycle-closing filter edge, and a variable-length filter edge.
+const char* const kExecutorQueries[] = {
+    "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+    "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+    "RETURN a, b",
+    "MATCH (x)-[:SUBMITS]->(j:Job) RETURN x, j",
+    "MATCH (a:File)-[r*0..4]->(b:File) RETURN a, b",
+    "MATCH (a:Job)-[r*1..3]->(b:Task) RETURN a, b",
+    "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 1 RETURN j, f",
+    "MATCH (a:Job)-[:WRITES_TO]->(f:File) (a:Job)-[:SPAWNS]->(t:Task) "
+    "(a:Job)-[:WRITES_TO]->(g:File) RETURN f, t, g",
+    "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+    "(a:Job)-[r*2..2]->(b:Job) RETURN a, b",
+};
+
+using testutil::CanonicalRows;
+
+TEST_P(DifferentialTest, CsrExecutorMatchesLegacyAcrossMutations) {
+  auto [seed, skewed] = GetParam();
+  MutationState state(seed + 5000, skewed);
+  PropertyGraph g(DeltaSchema());
+  SeedGraph(&g, &state);
+
+  constexpr int kSteps = 40;
+  for (int step = 0; step < kSteps; ++step) {
+    GraphDelta delta;
+    double dice = state.UniformReal();
+    if (dice < 0.55 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+    } else if (dice < 0.8) {
+      delta.RemoveEdge(state.PickLiveEdge());
+    } else {
+      size_t ops = 2 + state.rng() % 4;
+      std::set<EdgeId> doomed;
+      for (size_t i = 0; i < ops; ++i) {
+        if (state.UniformReal() < 0.6 ||
+            doomed.size() + 4 > state.live_edges.size()) {
+          delta.edge_inserts.push_back(state.RandomEdgeInsert());
+        } else {
+          doomed.insert(state.PickLiveEdge());
+        }
+      }
+      for (EdgeId e : doomed) delta.RemoveEdge(e);
+    }
+    auto applied = graph::ApplyDeltaToGraph(&g, delta);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : applied->new_edges) state.live_edges.push_back(e);
+
+    // Snapshot rebuilt after each delta batch, exactly as the catalog's
+    // generation-keyed cache would.
+    graph::CsrGraph csr = graph::CsrGraph::Build(g);
+    query::QueryExecutor legacy(&g);
+    query::QueryExecutor csr_seq(&g, &csr);
+    query::ExecutorOptions parallel_opts;
+    parallel_opts.parallelism = 4;
+    query::QueryExecutor csr_par(&g, &csr, parallel_opts);
+    for (const char* text : kExecutorQueries) {
+      auto expected = legacy.ExecuteText(text);
+      ASSERT_TRUE(expected.ok()) << text << ": " << expected.status();
+      auto sequential = csr_seq.ExecuteText(text);
+      ASSERT_TRUE(sequential.ok()) << text << ": " << sequential.status();
+      EXPECT_EQ(CanonicalRows(*expected), CanonicalRows(*sequential))
+          << text << " diverged from legacy at step " << step << " (seed "
+          << seed << (skewed ? ", skewed)" : ", uniform)");
+      auto parallel = csr_par.ExecuteText(text);
+      ASSERT_TRUE(parallel.ok()) << text << ": " << parallel.status();
+      ASSERT_EQ(sequential->num_rows(), parallel->num_rows()) << text;
+      for (size_t r = 0; r < sequential->num_rows(); ++r) {
+        ASSERT_EQ(sequential->rows()[r], parallel->rows()[r])
+            << text << " row " << r << " differs between sequential and "
+            << "parallel at step " << step;
+      }
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Unsupported kinds fall back to re-materialization through the same

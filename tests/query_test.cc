@@ -1,17 +1,24 @@
-// Tests for the hybrid query language: parser, executor, cost model.
+// Tests for the hybrid query language: parser, executor (legacy, CSR,
+// and parallel-CSR backends), cost model.
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "datasets/workloads.h"
+#include "graph/csr.h"
 #include "graph/stats.h"
 #include "query/ast.h"
 #include "query/cost.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "table_test_util.h"
 
 namespace kaskade::query {
 namespace {
 
+using graph::CsrGraph;
 using graph::GraphSchema;
 using graph::PropertyGraph;
 using graph::PropertyValue;
@@ -197,6 +204,36 @@ class ExecutorTest : public ::testing::Test {
     return result.ok() ? std::move(*result) : Table();
   }
 
+  Table RunCsr(const std::string& text, size_t parallelism = 1) {
+    CsrGraph csr = CsrGraph::Build(g_);
+    ExecutorOptions opts;
+    opts.parallelism = parallelism;
+    QueryExecutor executor(&g_, &csr, opts);
+    auto result = executor.ExecuteText(text);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(*result) : Table();
+  }
+
+  /// Runs `text` on the legacy backend (the oracle), then requires the
+  /// CSR backend to return the same row set and the parallel CSR run to
+  /// be byte-identical to the sequential CSR run.
+  Table RunOnAllBackends(const std::string& text) {
+    using testutil::CanonicalRows;
+    Table legacy = Run(text);
+    Table csr_seq = RunCsr(text, /*parallelism=*/1);
+    Table csr_par = RunCsr(text, /*parallelism=*/4);
+    EXPECT_EQ(CanonicalRows(legacy), CanonicalRows(csr_seq)) << text;
+    EXPECT_EQ(csr_seq.num_rows(), csr_par.num_rows()) << text;
+    if (csr_seq.num_rows() == csr_par.num_rows()) {
+      for (size_t r = 0; r < csr_seq.num_rows(); ++r) {
+        EXPECT_EQ(csr_seq.rows()[r], csr_par.rows()[r])
+            << text << " row " << r << " differs between sequential and "
+            << "parallel CSR execution";
+      }
+    }
+    return legacy;
+  }
+
   PropertyGraph g_;
   std::vector<VertexId> jobs_;
   std::vector<VertexId> files_;
@@ -342,6 +379,109 @@ TEST_F(ExecutorTest, CyclicPatternAsFilter) {
       "(a:Job)-[:WRITES_TO]->(g:File) RETURN a, b, g");
   // Every (a,b) pair combined with every file a writes.
   EXPECT_EQ(t.num_rows(), 3u);  // (j0,j1)x{f0,f2}, (j1,j2)x{f1}
+}
+
+// ---------------------------------------------------------------------------
+// Executor edge cases the CSR rewrite must preserve. Each expectation is
+// pinned against the legacy path, then RunOnAllBackends requires the
+// CSR and parallel-CSR paths to return the identical row set.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecutorTest, MinHopsZeroVariableLengthOnAllBackends) {
+  Table t = RunOnAllBackends("MATCH (a:File)-[r*0..2]->(b:File) RETURN a, b");
+  // 3 self pairs (min_hops == 0 includes each seed itself) + f0 -> f1.
+  EXPECT_EQ(t.num_rows(), 4u);
+  // Self pair must also appear when the zero-hop edge closes a cycle
+  // (both endpoints bound to the same vertex).
+  Table closed = RunOnAllBackends(
+      "MATCH (a:File)-[r*0..2]->(b:File) (a:File)-[s*0..0]->(b:File) "
+      "RETURN a, b");
+  EXPECT_EQ(closed.num_rows(), 3u);  // only the self pairs survive *0..0
+}
+
+TEST_F(ExecutorTest, CycleClosingFilterEdgeOnAllBackends) {
+  Must(g_.AddEdge(jobs_[2], files_[2], "WRITES_TO"));
+  // Diamond pattern: the second (a)-[:WRITES_TO]->(g) edge closes a
+  // cycle once a, b, g are bound, so it runs as a filter edge.
+  Table t = RunOnAllBackends(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "(a:Job)-[:WRITES_TO]->(g:File) RETURN a, b, g");
+  EXPECT_EQ(t.num_rows(), 3u);  // (j0,j1)x{f0,f2}, (j1,j2)x{f1}
+}
+
+TEST_F(ExecutorTest, VariableLengthCycleClosingFilterEdgeOnAllBackends) {
+  // Both endpoints of the *2..2 edge are bound by the chain, so the
+  // variable-length reachability check runs in filter position (the
+  // early-exit BFS path).
+  Table t = RunOnAllBackends(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "(a:Job)-[r*2..2]->(b:Job) RETURN a, b");
+  EXPECT_EQ(t.num_rows(), 2u);  // j0->j1 and j1->j2, each via a 2-hop path
+  Table none = RunOnAllBackends(
+      "MATCH (a:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(b:Job) "
+      "(a:Job)-[r*3..3]->(b:Job) RETURN a, b");
+  EXPECT_EQ(none.num_rows(), 0u);  // no odd-length Job->Job path
+}
+
+TEST_F(ExecutorTest, ParallelEdgesSetSemanticsOnAllBackends) {
+  // Triple parallel write edges must not multiply rows under set
+  // semantics, on any backend.
+  Must(g_.AddEdge(jobs_[0], files_[0], "WRITES_TO"));
+  Must(g_.AddEdge(jobs_[0], files_[0], "WRITES_TO"));
+  Table t = RunOnAllBackends("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+  EXPECT_EQ(t.num_rows(), 3u);
+  // Same through a variable-length expansion.
+  Table vl = RunOnAllBackends("MATCH (a:Job)-[r*1..2]->(b:Job) RETURN a, b");
+  EXPECT_EQ(vl.num_rows(), 2u);  // j0->j1, j1->j2 (2 hops each)
+}
+
+TEST_F(ExecutorTest, RowLimitResourceExhaustedOnAllBackends) {
+  const std::string query =
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+  CsrGraph csr = CsrGraph::Build(g_);
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    ExecutorOptions opts;
+    opts.max_rows = 2;
+    opts.parallelism = parallelism;
+    QueryExecutor legacy(&g_, opts);
+    auto legacy_result = legacy.ExecuteText(query);
+    EXPECT_FALSE(legacy_result.ok());
+    EXPECT_EQ(legacy_result.status().code(), StatusCode::kResourceExhausted);
+    QueryExecutor over_csr(&g_, &csr, opts);
+    auto csr_result = over_csr.ExecuteText(query);
+    EXPECT_FALSE(csr_result.ok()) << "parallelism " << parallelism;
+    EXPECT_EQ(csr_result.status().code(), StatusCode::kResourceExhausted);
+  }
+  // At exactly the row count, every backend succeeds.
+  ExecutorOptions exact;
+  exact.max_rows = 3;
+  QueryExecutor ok_exec(&g_, &csr, exact);
+  EXPECT_TRUE(ok_exec.ExecuteText(query).ok());
+}
+
+TEST_F(ExecutorTest, StaleCsrSnapshotRejected) {
+  CsrGraph csr = CsrGraph::Build(g_);
+  Must(g_.AddEdge(jobs_[2], files_[2], "WRITES_TO"));  // snapshot now stale
+  QueryExecutor executor(&g_, &csr);
+  auto result =
+      executor.ExecuteText("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ExecutorTest, NestedSelectOverCsrBackendMatchesLegacy) {
+  const std::string query =
+      "SELECT A.pipelineName, AVG(T_CPU) FROM ("
+      "  SELECT A, SUM(B.CPU) AS T_CPU FROM ("
+      "    MATCH (A:Job)-[:WRITES_TO]->(f:File) (f:File)-[:IS_READ_BY]->(B:Job)"
+      "    RETURN A, B"
+      "  ) GROUP BY A, B"
+      ") GROUP BY A.pipelineName";
+  Table legacy = Run(query);
+  Table over_csr = RunCsr(query, /*parallelism=*/4);
+  ASSERT_EQ(legacy.num_rows(), over_csr.num_rows());
+  ASSERT_EQ(legacy.num_rows(), 1u);
+  EXPECT_EQ(legacy.rows()[0], over_csr.rows()[0]);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+/// \file table_test_util.h
+/// \brief Shared result-table helpers for the executor test suites.
+
+#ifndef KASKADE_TESTS_TABLE_TEST_UTIL_H_
+#define KASKADE_TESTS_TABLE_TEST_UTIL_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "query/table.h"
+
+namespace kaskade::testutil {
+
+/// Rows of an all-vertex-column table as a canonical multiset: backends
+/// may emit distinct rows in different orders (set semantics permits
+/// that), contents must agree exactly.
+inline std::multiset<std::vector<int64_t>> CanonicalRows(
+    const query::Table& t) {
+  std::multiset<std::vector<int64_t>> rows;
+  for (const query::Table::Row& row : t.rows()) {
+    std::vector<int64_t> r;
+    r.reserve(row.size());
+    for (const graph::PropertyValue& v : row) r.push_back(v.as_int());
+    rows.insert(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace kaskade::testutil
+
+#endif  // KASKADE_TESTS_TABLE_TEST_UTIL_H_
