@@ -1,0 +1,221 @@
+// Adaptive view lifecycle: what readers experience while a view is
+// being materialized, blocking-writer path vs the background builder,
+// plus the advisor's round cost.
+//
+// Measures:
+//   - build_seconds                 one heavy connector materialization
+//                                   (social graph: a 2-hop FOLLOWS
+//                                   connector, ~1s of path contraction)
+//   - blocking_reader_p{50,99}_us   Execute latency while the build runs
+//                                   under the writer lock
+//                                   (AddMaterializedView: every reader
+//                                   stalls for the whole build)
+//   - background_reader_p{50,99}_us Execute latency while the same build
+//                                   runs on the background worker
+//                                   (ApplyAdvice: readers share the lock
+//                                   with the builder)
+//   - p99_improvement               blocking p99 / background p99 — the
+//                                   tentpole number; the build no longer
+//                                   shows up in the reader tail
+//   - advise_round_seconds          one Advise() pass over the observed
+//                                   workload (enumerate/score/knapsack),
+//                                   on the prov workload
+//
+// Single-core note: with one hardware thread the background builder and
+// the readers timeslice, so background latencies include scheduler
+// quanta (milliseconds); the blocking path stalls readers for entire
+// builds (hundreds of milliseconds), so the improvement factor is
+// robustly large either way.
+//
+// Usage: bench_advisor [--json[=path]]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "datasets/generators.h"
+
+namespace {
+
+using kaskade::bench::JsonReport;
+using kaskade::bench::PrintHeader;
+using kaskade::bench::TimeSeconds;
+using kaskade::core::AdvicePlan;
+using kaskade::core::Engine;
+using kaskade::core::ViewDefinition;
+using kaskade::core::ViewKind;
+
+/// Preferential-attachment social graph: the 2-hop FOLLOWS connector
+/// contracts every a->b->c path through the hubs, which makes its
+/// materialization genuinely heavy (~1s) at this scale.
+kaskade::graph::PropertyGraph BuildPhaseGraph() {
+  kaskade::datasets::SocialOptions options;
+  options.num_vertices = 1200;
+  options.edges_per_vertex = 6;
+  return kaskade::datasets::MakeSocialGraph(options);
+}
+
+ViewDefinition HeavyConnector() {
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "Person";
+  def.target_type = "Person";
+  return def;
+}
+
+/// The query readers hammer while builds run: a cheap typed 1-hop with
+/// projection, the "interactive traffic" a build must not stall.
+const char* kReaderQuery = "MATCH (a:Person)-[:FOLLOWS]->(b:Person) RETURN a";
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(p * double(samples.size() - 1));
+  return samples[index];
+}
+
+/// Runs `cycles` build+drop rounds through `build_and_drop` while one
+/// reader thread hammers `kReaderQuery`, collecting per-call latencies
+/// (in microseconds) for the whole phase.
+std::vector<double> ReaderLatenciesDuring(
+    Engine* engine, int cycles,
+    const std::function<void(Engine*)>& build_and_drop) {
+  std::vector<double> latencies;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      double secs = TimeSeconds([&] {
+        auto result = engine->Execute(kReaderQuery);
+        if (!result.ok()) {
+          std::fprintf(stderr, "reader query failed: %s\n",
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+      latencies.push_back(secs * 1e6);
+    }
+  });
+  for (int c = 0; c < cycles; ++c) build_and_drop(engine);
+  stop.store(true);
+  reader.join();
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport::Init(argc, argv, "advisor");
+  JsonReport::Record("meta", "hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  const ViewDefinition heavy = HeavyConnector();
+  constexpr int kCycles = 3;
+
+  PrintHeader("build cost");
+  double build_secs;
+  {
+    Engine engine(BuildPhaseGraph());
+    build_secs = TimeSeconds([&] {
+      if (!engine.AddMaterializedView(heavy).ok()) std::exit(1);
+    });
+  }
+  JsonReport::Record("social", "build_seconds", build_secs);
+  std::printf("one %s materialization: %.3fs\n", heavy.Name().c_str(),
+              build_secs);
+
+  // --- Blocking-writer path: AddMaterializedView holds the writer lock
+  // for the whole materialization; every reader queues behind it.
+  PrintHeader("blocking-writer path");
+  std::vector<double> blocking;
+  {
+    Engine engine(BuildPhaseGraph());
+    blocking = ReaderLatenciesDuring(&engine, kCycles, [&](Engine* e) {
+      if (!e->AddMaterializedView(heavy).ok()) std::exit(1);
+      if (!e->RemoveView(heavy.Name()).ok()) std::exit(1);
+    });
+  }
+  double blocking_p50 = Percentile(blocking, 0.50);
+  double blocking_p99 = Percentile(blocking, 0.99);
+  JsonReport::Record("social", "blocking_reader_p50_us", blocking_p50);
+  JsonReport::Record("social", "blocking_reader_p99_us", blocking_p99);
+  JsonReport::Record("social", "blocking_reader_samples",
+                     static_cast<double>(blocking.size()));
+  std::printf("%zu reader samples over %d builds: p50=%.0fus p99=%.0fus\n",
+              blocking.size(), kCycles, blocking_p50, blocking_p99);
+
+  // --- Background path: ApplyAdvice materializes on the build worker
+  // under the *reader* lock; publish is one short writer section.
+  PrintHeader("background-build path");
+  std::vector<double> background;
+  size_t builds_completed = 0;
+  {
+    Engine engine(BuildPhaseGraph());
+    background = ReaderLatenciesDuring(&engine, kCycles, [&](Engine* e) {
+      AdvicePlan create;
+      create.create.push_back(heavy);
+      if (!e->ApplyAdvice(create).ok()) std::exit(1);
+      e->WaitForBuilds();
+      if (!e->TakeBuildError().ok()) std::exit(1);
+      if (!e->RemoveView(heavy.Name()).ok()) std::exit(1);
+    });
+    builds_completed = engine.builds_completed();
+  }
+  if (builds_completed != static_cast<size_t>(kCycles)) {
+    std::fprintf(stderr, "expected %d background builds, saw %zu\n", kCycles,
+                 builds_completed);
+    return 1;
+  }
+  double background_p50 = Percentile(background, 0.50);
+  double background_p99 = Percentile(background, 0.99);
+  JsonReport::Record("social", "background_reader_p50_us", background_p50);
+  JsonReport::Record("social", "background_reader_p99_us", background_p99);
+  JsonReport::Record("social", "background_reader_samples",
+                     static_cast<double>(background.size()));
+  std::printf("%zu reader samples over %d builds: p50=%.0fus p99=%.0fus\n",
+              background.size(), kCycles, background_p50, background_p99);
+
+  double p50_improvement = background_p50 > 0 ? blocking_p50 / background_p50
+                                              : 0;
+  double p99_improvement = background_p99 > 0 ? blocking_p99 / background_p99
+                                              : 0;
+  JsonReport::Record("social", "p50_improvement", p50_improvement);
+  JsonReport::Record("social", "p99_improvement", p99_improvement);
+  std::printf("reader improvement, background vs blocking: p50 %.1fx, "
+              "p99 %.1fx\n",
+              p50_improvement, p99_improvement);
+
+  // --- Advisor round: observe a workload, then time one Advise() pass.
+  PrintHeader("advisor round (prov workload)");
+  {
+    Engine engine(kaskade::bench::BenchProvFiltered());
+    const std::vector<std::string> workload = {
+        "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j",
+        "MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+        "(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+        "MATCH (a:Job)-[r*1..4]->(b:Job) RETURN a, b",
+    };
+    for (int round = 0; round < 3; ++round) {
+      for (const std::string& text : workload) {
+        if (!engine.Execute(text).ok()) return 1;
+      }
+    }
+    double advise_secs = TimeSeconds([&] {
+      auto plan = engine.Advise();
+      if (!plan.ok()) std::exit(1);
+      std::printf("advice: %zu creations, %zu drops over %zu observed "
+                  "queries\n",
+                  plan->create.size(), plan->drop.size(),
+                  plan->observed_queries);
+    });
+    JsonReport::Record("prov", "advise_round_seconds", advise_secs);
+    std::printf("one Advise() round: %.4fs\n", advise_secs);
+  }
+
+  return JsonReport::Finish();
+}

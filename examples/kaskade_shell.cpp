@@ -10,7 +10,10 @@
 ///   analyze <query>               workload analyzer: select+materialize
 ///   q <query>                     execute through the rewriter
 ///   explain <query>               show the raw-graph plan
-///   views                         list the view catalog
+///   views                         list the view catalog (with state)
+///   workload                      observed-workload tracker snapshot
+///   advise                        dry-run advice from the observed workload
+///   adapt                         apply advice (background builds) + wait
 ///   stats                         base-graph statistics
 ///   help / quit
 
@@ -51,7 +54,12 @@ void PrintHelp() {
       "  q <query>                   execute (rewriter picks the plan)\n"
       "  batch <q1> ; <q2> ; ...     execute queries concurrently\n"
       "  explain <query>             show the raw-graph plan\n"
-      "  views                       list materialized views\n"
+      "  views                       list materialized views (with state)\n"
+      "  workload                    observed queries (the tracker)\n"
+      "  advise                      dry-run view advice for the observed "
+      "workload\n"
+      "  adapt                       apply advice: drop now, build in "
+      "background\n"
       "  stats                       base graph statistics\n"
       "  help | quit\n");
 }
@@ -178,9 +186,58 @@ int main() {
                       engine->catalog().generation()));
       if (engine->catalog().empty()) std::printf("(no views)\n");
       for (const auto* entry : engine->catalog().Entries()) {
-        std::printf("  %-28s |V|=%zu |E|=%zu\n", entry->name().c_str(),
+        std::printf("  %-28s [%s] |V|=%zu |E|=%zu\n", entry->name().c_str(),
+                    kaskade::core::ViewStateName(entry->state),
                     entry->view.graph.NumVertices(),
                     entry->view.graph.NumEdges());
+      }
+    } else if (command == "workload") {
+      auto snapshot = engine->workload().Snapshot();
+      std::printf("%zu distinct queries, %llu executions observed\n",
+                  snapshot.entries.size(),
+                  static_cast<unsigned long long>(snapshot.total_executions));
+      for (const auto& obs : snapshot.entries) {
+        std::printf("  %5llu x  %8.0fus avg  %5llu view hits  %s\n",
+                    static_cast<unsigned long long>(obs.executions),
+                    obs.mean_latency_us(),
+                    static_cast<unsigned long long>(obs.view_hits),
+                    obs.query_text.c_str());
+      }
+    } else if (command == "advise" || command == "adapt") {
+      auto plan = engine->Advise();
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("advice over %zu observed queries: %zu creations, "
+                    "%zu drops\n",
+                    plan->observed_queries, plan->create.size(),
+                    plan->drop.size());
+        for (const auto& def : plan->create) {
+          std::printf("  + %s\n", def.Name().c_str());
+        }
+        for (const auto& name : plan->drop) {
+          std::printf("  - %s\n", name.c_str());
+        }
+        if (command == "adapt") {
+          auto report = engine->ApplyAdvice(*plan);
+          if (!report.ok()) {
+            std::printf("error: %s\n", report.status().ToString().c_str());
+          } else {
+            engine->WaitForBuilds();
+            // Drain every failure, not just the oldest, so stale
+            // errors never bleed into the next round's report.
+            bool failed = false;
+            for (auto error = engine->TakeBuildError(); !error.ok();
+                 error = engine->TakeBuildError()) {
+              std::printf("build failed: %s\n", error.ToString().c_str());
+              failed = true;
+            }
+            if (!failed) {
+              std::printf("applied: %zu dropped, %zu built in background\n",
+                          report->views_dropped, report->builds_scheduled);
+            }
+          }
+        }
       }
     } else if (command == "stats") {
       auto stats = kaskade::graph::GraphStats::Compute(engine->base_graph());

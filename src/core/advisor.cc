@@ -1,0 +1,87 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace kaskade::core {
+
+Result<AdvicePlan> Advisor::Advise(const WorkloadSnapshot& workload,
+                                   const ViewCatalog& catalog) const {
+  std::vector<WorkloadEntry> entries;
+  entries.reserve(workload.entries.size());
+  size_t observed = 0;
+  uint64_t executions = 0;
+  for (const QueryObservation& obs : workload.entries) {
+    if (obs.executions < options_.min_executions) continue;
+    Result<query::Query> parsed = query::ParseQueryText(obs.query_text);
+    if (!parsed.ok()) continue;  // never executed successfully; stale text
+    entries.push_back(
+        WorkloadEntry{std::move(*parsed), double(obs.executions)});
+    ++observed;
+    executions += obs.executions;
+  }
+  KASKADE_ASSIGN_OR_RETURN(AdvicePlan plan, AdviseWorkload(entries, catalog));
+  plan.observed_queries = observed;
+  plan.observed_executions = executions;
+  return plan;
+}
+
+Result<AdvicePlan> Advisor::AdviseWorkload(
+    const std::vector<WorkloadEntry>& workload,
+    const ViewCatalog& catalog) const {
+  SelectionContext context;
+  context.keep_boost = options_.keep_boost;
+  for (const CatalogEntry* entry : catalog.Entries()) {
+    // Entries mid-build count as incumbents too: re-advising while a
+    // build is in flight must not schedule the same view twice.
+    if (entry->state == ViewState::kDropping) continue;
+    context.materialized.push_back(entry->view.definition);
+  }
+
+  ViewSelector selector(base_, options_.selector);
+  AdvicePlan plan;
+  KASKADE_ASSIGN_OR_RETURN(plan.selection,
+                           selector.Select(workload, context));
+  plan.observed_queries = workload.size();
+
+  // Drops: exactly the incumbents no observed query can use;
+  // incumbents that merely lost the knapsack stay (hysteresis — a
+  // transiently quiet-but-used view must not thrash). An *empty*
+  // observed workload is absence of signal, not evidence the views are
+  // useless — proposing drops from it would nuke the catalog every
+  // time an advice round fires before traffic (or right after a
+  // tracker reset).
+  if (!workload.empty()) {
+    for (const ScoredView& scored : plan.selection.candidates) {
+      if (scored.currently_materialized && scored.applicable_queries == 0) {
+        plan.drop.push_back(scored.definition.Name());
+      }
+    }
+  }
+  // The knapsack may admit zero-value items when capacity is spare;
+  // they pay for no observed query and are not worth materializing (or
+  // keeping — a zero-applicable incumbent is in `drop` above). Filter
+  // them from the selection itself, not just from `create`, so
+  // "selected" always means "is, or is about to be, queryable".
+  auto& selected = plan.selection.selected;
+  selected.erase(
+      std::remove_if(selected.begin(), selected.end(),
+                     [&](const ScoredView& scored) {
+                       return scored.applicable_queries == 0 &&
+                              (!scored.currently_materialized ||
+                               !workload.empty());
+                     }),
+      selected.end());
+  plan.selection.selected_size_edges = 0;
+  for (const ScoredView& scored : selected) {
+    plan.selection.selected_size_edges += scored.estimated_size_edges;
+    if (!scored.currently_materialized) {
+      plan.create.push_back(scored.definition);
+    }
+  }
+  return plan;
+}
+
+}  // namespace kaskade::core

@@ -1,0 +1,97 @@
+/// \file advisor.h
+/// \brief `Advisor`: online view advice from the observed workload.
+///
+/// The paper's workload analyzer (§V-B) is a one-shot, offline call: you
+/// hand it the workload, it selects and materializes views. The advisor
+/// turns the same enumerate → score → knapsack pipeline (`ViewSelector`)
+/// into an *online* loop: it consumes a `WorkloadSnapshot` from the
+/// `WorkloadTracker` — what the engine actually executed, weighted by
+/// frequency — and emits an `AdvicePlan` of view *creations and drops*
+/// relative to what the catalog currently holds.
+///
+/// Two asymmetries versus the offline analyzer:
+///
+///  - **Drops.** Currently-materialized views re-enter the candidate set
+///    even when no observed query enumerates them; a materialized view
+///    with zero applicable observed queries is proposed for dropping
+///    (its space buys nothing for this workload).
+///  - **Hysteresis.** Materialized candidates carry a keep boost
+///    (`SelectionContext::keep_boost`) in the knapsack, so a challenger
+///    must beat an incumbent by a margin before the advisor proposes a
+///    swap — on an unchanged workload two adjacent advice rounds are
+///    identical and propose nothing.
+///
+/// The advisor only *plans*; `Engine::ApplyAdvice` carries the plan out
+/// (drops immediately, creations on a background builder).
+
+#ifndef KASKADE_CORE_ADVISOR_H_
+#define KASKADE_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/view_selector.h"
+#include "core/workload_tracker.h"
+
+namespace kaskade::core {
+
+/// \brief Advisor configuration.
+struct AdvisorOptions {
+  /// The selection pipeline configuration (budget, enumerator, cost).
+  SelectorOptions selector;
+  /// Hysteresis boost for currently-materialized views (> 1 means an
+  /// incumbent survives against marginally better challengers).
+  double keep_boost = 1.25;
+  /// Ignore observed queries executed fewer times than this (noise
+  /// floor for one-off exploratory queries).
+  uint64_t min_executions = 1;
+};
+
+/// \brief One advice round: what to build, what to drop, and the scored
+/// selection it came from.
+struct AdvicePlan {
+  /// Views the knapsack selected that are not materialized yet.
+  std::vector<ViewDefinition> create;
+  /// Names of materialized views with zero applicable observed queries.
+  std::vector<std::string> drop;
+  /// The underlying scored selection (includes incumbents).
+  SelectionReport selection;
+  /// Distinct observed queries that fed the round.
+  size_t observed_queries = 0;
+  /// Total executions across them.
+  uint64_t observed_executions = 0;
+
+  bool empty() const { return create.empty() && drop.empty(); }
+};
+
+/// \brief Online view advice over one base graph.
+class Advisor {
+ public:
+  explicit Advisor(const graph::PropertyGraph* base,
+                   AdvisorOptions options = {})
+      : base_(base), options_(options) {}
+
+  /// Advice from a tracker snapshot: each observed query becomes a
+  /// workload entry weighted by its execution count (the paper's
+  /// frequency weighting), so a query mix observed by the tracker
+  /// reproduces the offline analyzer's selections for the same mix.
+  /// Unparseable observations are skipped (they never executed
+  /// successfully anyway).
+  Result<AdvicePlan> Advise(const WorkloadSnapshot& workload,
+                            const ViewCatalog& catalog) const;
+
+  /// Advice from an explicit workload (the offline `AnalyzeWorkload`
+  /// path re-expressed): same pipeline, caller-provided entries.
+  Result<AdvicePlan> AdviseWorkload(const std::vector<WorkloadEntry>& workload,
+                                    const ViewCatalog& catalog) const;
+
+ private:
+  const graph::PropertyGraph* base_;
+  AdvisorOptions options_;
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_ADVISOR_H_

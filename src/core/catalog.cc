@@ -46,6 +46,18 @@ Status Rebuild(const graph::PropertyGraph& base, CatalogEntry* entry) {
 
 }  // namespace
 
+const char* ViewStateName(ViewState state) {
+  switch (state) {
+    case ViewState::kBuilding:
+      return "building";
+    case ViewState::kReady:
+      return "ready";
+    case ViewState::kDropping:
+      return "dropping";
+  }
+  return "unknown";
+}
+
 Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
   for (const auto& entry : entries_) {
@@ -70,10 +82,75 @@ Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
   return handle;
 }
 
+Result<ViewHandle> ViewCatalog::BeginBuild(const ViewDefinition& definition) {
+  std::unique_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name() == definition.Name()) {
+      return Status::AlreadyExists(
+          "view '" + definition.Name() + "' already registered (" +
+          ViewStateName(entry->state) + ")");
+    }
+  }
+  auto entry = std::unique_ptr<CatalogEntry>(new CatalogEntry{
+      next_handle_++,
+      MaterializedView{definition, graph::PropertyGraph(graph::GraphSchema{}),
+                       {}},
+      graph::GraphStats{}, nullptr});
+  entry->state = ViewState::kBuilding;
+  ViewHandle handle = entry->handle;
+  entries_.push_back(std::move(entry));
+  // No generation bump: nothing planner-visible changed, so cached plans
+  // stay exactly as valid as they were.
+  return handle;
+}
+
+Status ViewCatalog::Publish(ViewHandle handle, MaterializedView built) {
+  std::unique_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->handle != handle) continue;
+    if (entry->state != ViewState::kBuilding) {
+      return Status::FailedPrecondition("view '" + entry->name() +
+                                        "' is not in the building state");
+    }
+    entry->view = std::move(built);
+    entry->maintainer =
+        ViewMaintainer::SupportsKind(entry->view.definition.kind)
+            ? std::make_unique<ViewMaintainer>(base_, &entry->view)
+            : nullptr;
+    RefreshStats(entry.get());
+    entry->state = ViewState::kReady;
+    BumpGeneration();
+    return Status::OK();
+  }
+  return Status::NotFound("no catalog entry for the published handle");
+}
+
+Status ViewCatalog::AbortBuild(ViewHandle handle) {
+  std::unique_lock lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->handle != handle) continue;
+    if ((*it)->state != ViewState::kBuilding) {
+      return Status::FailedPrecondition("view '" + (*it)->name() +
+                                        "' is not in the building state");
+    }
+    entries_.erase(it);
+    // No generation bump: the placeholder was never planner-visible.
+    return Status::OK();
+  }
+  return Status::NotFound("no catalog entry for the aborted handle");
+}
+
 Status ViewCatalog::Remove(const std::string& name) {
   std::unique_lock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->name() == name) {
+      if ((*it)->state == ViewState::kBuilding) {
+        return Status::FailedPrecondition(
+            "view '" + name +
+            "' is still building; wait for the build to publish "
+            "(Engine::WaitForBuilds) and retry the removal");
+      }
+      (*it)->state = ViewState::kDropping;
       ViewHandle handle = (*it)->handle;
       entries_.erase(it);
       {
@@ -95,6 +172,9 @@ Status ViewCatalog::RefreshAll() {
   // that shifted raw-plan costs.
   BumpGeneration();
   for (const auto& entry : entries_) {
+    // In-flight builds catch up at publish time; there is no view graph
+    // to refresh yet.
+    if (entry->state != ViewState::kReady) continue;
     if (entry->maintainer != nullptr) {
       Result<MaintenanceStats> stats = entry->maintainer->CatchUp();
       if (stats.ok()) {
@@ -134,6 +214,9 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
   const size_t inserts = delta.edge_inserts.size();
   const size_t removals = delta.edge_removals.size();
   for (const auto& entry : entries_) {
+    // kBuilding placeholders are invisible to maintenance; the engine's
+    // pending-delta log replays this batch onto them at publish time.
+    if (entry->state != ViewState::kReady) continue;
     bool incremental =
         entry->maintainer != nullptr &&
         !PreferRematerialization(*base_, entry->view.definition, inserts,
@@ -176,6 +259,15 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
 size_t ViewCatalog::size() const {
   std::shared_lock lock(mu_);
   return entries_.size();
+}
+
+size_t ViewCatalog::num_ready() const {
+  std::shared_lock lock(mu_);
+  size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (entry->state == ViewState::kReady) ++count;
+  }
+  return count;
 }
 
 const CatalogEntry* ViewCatalog::Find(const std::string& name) const {

@@ -22,7 +22,12 @@
 /// returned by accessors stay valid until the entry is dropped, but the
 /// *contents* they point to may only be read while the caller prevents
 /// concurrent catalog mutations (the `Engine` enforces this with its own
-/// reader/writer discipline).
+/// reader/writer discipline). Note that with background builds the
+/// engine itself is such a mutator: `Publish`/`AbortBuild` land
+/// asynchronously, so external introspection (`Entries`/`Find`/`Get`
+/// dereferences) while builds are pending must be gated — e.g. by
+/// `Engine::WaitForBuilds()` — or externally synchronized against the
+/// scheduling thread.
 
 #ifndef KASKADE_CORE_CATALOG_H_
 #define KASKADE_CORE_CATALOG_H_
@@ -53,6 +58,25 @@ using ViewHandle = uint64_t;
 
 inline constexpr ViewHandle kInvalidViewHandle = 0;
 
+/// \brief Lifecycle of a catalog entry.
+///
+/// `kReady` views are the only ones the planner considers, the only
+/// ones maintenance touches, and the only ones queries ever run on.
+/// `kBuilding` entries are placeholders registered by `BeginBuild`:
+/// they reserve the name (so a duplicate build cannot start) while the
+/// actual materialization runs on a background worker *outside* the
+/// engine's writer lock; `Publish` swaps the built view in and flips
+/// the entry to `kReady` in one short writer critical section.
+/// `kDropping` is the transient exit arc of the lifecycle: `Remove`
+/// sets it under the writer lock immediately before erasing the entry,
+/// so no concurrent reader can observe it — it exists to make the
+/// lifecycle explicit (an entry leaves through exactly one arc), not as
+/// an observable phase.
+enum class ViewState { kBuilding, kReady, kDropping };
+
+/// Human-readable state name ("building" / "ready" / "dropping").
+const char* ViewStateName(ViewState state);
+
 /// \brief A materialized view registered with the catalog, with the
 /// statistics used for cost-based plan choice and the maintainer that
 /// keeps it consistent with the base graph (null when the view kind only
@@ -68,6 +92,10 @@ struct CatalogEntry {
   /// recomputes changed views exactly.
   size_t stats_live_vertices = 0;
   size_t stats_live_edges = 0;
+  /// Lifecycle state; only `kReady` entries are planner-visible. For a
+  /// `kBuilding` placeholder `view.graph` is empty and `maintainer` is
+  /// null until `Publish`.
+  ViewState state = ViewState::kReady;
 
   std::string name() const { return view.definition.Name(); }
 };
@@ -91,29 +119,52 @@ class ViewCatalog {
   ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
-  /// Materializes `definition` over the base graph and registers it.
-  /// Attaches an incremental maintainer when the view kind supports one.
-  /// Fails with AlreadyExists when a view of the same name is registered.
+  /// Materializes `definition` over the base graph and registers it
+  /// ready. Attaches an incremental maintainer when the view kind
+  /// supports one. Fails with AlreadyExists when a view of the same name
+  /// is registered (in any state).
   Result<ViewHandle> Add(const ViewDefinition& definition);
 
-  /// Drops the view named `name`. Plans cached against older generations
-  /// stop matching; in-flight readers of the entry must be excluded by
-  /// the caller (the Engine's writer lock does this).
+  /// \name Non-blocking registration (background materialization).
+  ///
+  /// `BeginBuild` registers a `kBuilding` placeholder — reserving the
+  /// name, returning the handle the builder will publish under — without
+  /// materializing anything and *without* bumping the generation
+  /// (nothing planner-visible changed). The builder materializes off the
+  /// writer lock, then calls `Publish` to swap the finished view in,
+  /// attach its maintainer, refresh statistics, flip the entry to
+  /// `kReady`, and bump the generation — one short writer critical
+  /// section regardless of how long the build took. `AbortBuild`
+  /// discards the placeholder when the build fails.
+  /// @{
+  Result<ViewHandle> BeginBuild(const ViewDefinition& definition);
+  Status Publish(ViewHandle handle, MaterializedView built);
+  Status AbortBuild(ViewHandle handle);
+  /// @}
+
+  /// Drops the view named `name` (marking it `kDropping` on the way
+  /// out). Plans cached against older generations stop matching;
+  /// in-flight readers of the entry must be excluded by the caller (the
+  /// Engine's writer lock does this). Dropping a `kBuilding` entry is
+  /// refused (abort the build instead).
   Status Remove(const std::string& name);
 
-  /// Brings every registered view up to date with the base graph:
+  /// Brings every `kReady` view up to date with the base graph:
   /// incrementally where a maintainer is attached, by re-materialization
   /// otherwise — including when the base graph saw removals the
   /// maintainer was never told about (stale views are rebuilt, never
-  /// served). Refreshes per-view statistics.
+  /// served). Refreshes per-view statistics. `kBuilding` placeholders
+  /// are skipped — their builder catches up at publish time.
   Status RefreshAll();
 
   /// Routes one already-applied base-graph delta (coalesced; removals in
-  /// application order) to every registered view: incrementally via its
+  /// application order) to every `kReady` view: incrementally via its
   /// maintainer when attached and the cost model predicts the
   /// incremental pass beats a from-scratch build, by re-materialization
-  /// otherwise. Refreshes per-view statistics and bumps the generation
-  /// exactly once for the whole batch.
+  /// otherwise. `kBuilding` placeholders are skipped (the engine's
+  /// pending-delta log replays the batch onto them at publish time).
+  /// Refreshes per-view statistics and bumps the generation exactly once
+  /// for the whole batch.
   Result<DeltaMaintenanceReport> ApplyBaseDelta(const graph::GraphDelta& delta);
 
   /// Announces an out-of-band base-graph change (e.g. appended edges)
@@ -126,15 +177,20 @@ class ViewCatalog {
     return generation_.load(std::memory_order_acquire);
   }
 
+  /// Number of registered entries, in any state.
   size_t size() const;
   bool empty() const { return size() == 0; }
+  /// Number of `kReady` (planner-visible) entries.
+  size_t num_ready() const;
 
-  /// Entry lookup; null when absent. See class comment for pointer
+  /// Entry lookup; null when absent. Returns entries in any state — the
+  /// planner must skip non-`kReady` ones. See class comment for pointer
   /// validity rules.
   const CatalogEntry* Find(const std::string& name) const;
   const CatalogEntry* Get(ViewHandle handle) const;
 
-  /// Snapshot of all live entries, in registration order.
+  /// Snapshot of all registered entries (any state), in registration
+  /// order.
   std::vector<const CatalogEntry*> Entries() const;
 
   /// \name CSR topology snapshots for the query hot path.

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 
+#include "core/cost_model.h"
 #include "query/parser.h"
 
 namespace kaskade::core {
@@ -21,6 +20,14 @@ PlannerOptions MakePlannerOptions(const EngineOptions& options) {
   return planner;
 }
 
+AdvisorOptions MakeAdvisorOptions(const EngineOptions& options) {
+  AdvisorOptions advisor = options.advisor;
+  // Advice must select views under the same budget and cost model as
+  // offline analysis and plan choice.
+  advisor.selector = options.selector;
+  return advisor;
+}
+
 }  // namespace
 
 Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
@@ -29,23 +36,319 @@ Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
       catalog_(&base_),
       planner_(MakePlannerOptions(options)) {}
 
+Engine::~Engine() {
+  std::vector<BuildJob> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    build_stop_ = true;
+    // Queued-but-unstarted builds are abandoned; their placeholders are
+    // aborted below so the catalog is not left with dangling entries.
+    orphaned.assign(std::make_move_iterator(build_queue_.begin()),
+                    std::make_move_iterator(build_queue_.end()));
+    build_queue_.clear();
+  }
+  build_cv_.notify_all();
+  for (std::thread& worker : build_workers_) worker.join();
+  for (const BuildJob& job : orphaned) {
+    (void)catalog_.AbortBuild(job.handle);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Offline analysis + online advice
+// ---------------------------------------------------------------------------
+
 Result<SelectionReport> Engine::AnalyzeWorkload(
     const std::vector<std::string>& query_texts) {
-  std::unique_lock lock(mu_);
   std::vector<WorkloadEntry> workload;
   workload.reserve(query_texts.size());
   for (const std::string& text : query_texts) {
     KASKADE_ASSIGN_OR_RETURN(query::Query q, query::ParseQueryText(text));
     workload.push_back(WorkloadEntry{std::move(q), 1.0});
   }
-  ViewSelector selector(&base_, options_.selector);
-  KASKADE_ASSIGN_OR_RETURN(SelectionReport report, selector.Select(workload));
-  for (const ScoredView& scored : report.selected) {
-    Result<ViewHandle> handle = catalog_.Add(scored.definition);
-    if (!handle.ok()) return handle.status();
+  AdvicePlan plan;
+  {
+    std::shared_lock lock(mu_);
+    Advisor advisor(&base_, MakeAdvisorOptions(options_));
+    KASKADE_ASSIGN_OR_RETURN(plan, advisor.AdviseWorkload(workload, catalog_));
+  }
+  // The offline analyzer only ever adds views; drops are the online
+  // advisor's job.
+  plan.drop.clear();
+  // Blocking semantics: callers expect the selected views to be
+  // queryable on return. Only failures of the builds scheduled *here*
+  // are this analysis failing; the handles are reserved before the
+  // builds become runnable, so a concurrent TakeBuildError drain can
+  // never steal them, and concurrent rounds' errors stay in the slot
+  // for their own callers.
+  KASKADE_ASSIGN_OR_RETURN(AdviceReport applied,
+                           ApplyAdviceImpl(plan, /*reserve_errors=*/true));
+  WaitForBuilds();
+  Status build_error = TakeBuildErrorForHandles(applied.scheduled_handles);
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    for (ViewHandle handle : applied.scheduled_handles) {
+      reserved_error_handles_.erase(handle);
+    }
+  }
+  KASKADE_RETURN_IF_ERROR(build_error);
+  return plan.selection;
+}
+
+Result<AdvicePlan> Engine::Advise() {
+  WorkloadSnapshot snapshot = tracker_.Snapshot();
+  std::shared_lock lock(mu_);
+  Advisor advisor(&base_, MakeAdvisorOptions(options_));
+  return advisor.Advise(snapshot, catalog_);
+}
+
+Result<AdviceReport> Engine::ApplyAdvice(const AdvicePlan& plan) {
+  return ApplyAdviceImpl(plan, /*reserve_errors=*/false);
+}
+
+Result<AdviceReport> Engine::ApplyAdviceImpl(const AdvicePlan& plan,
+                                             bool reserve_errors) {
+  AdviceReport report;
+  std::unique_lock lock(mu_);
+  for (const std::string& name : plan.drop) {
+    Status status = catalog_.Remove(name);
+    if (status.ok()) {
+      ++report.views_dropped;
+    } else if (status.code() != StatusCode::kNotFound &&
+               status.code() != StatusCode::kFailedPrecondition) {
+      return status;
+    }
+    // NotFound (already gone) and FailedPrecondition (still building —
+    // the next advice round will re-evaluate it) keep advice idempotent.
+  }
+  for (const ViewDefinition& definition : plan.create) {
+    Result<ViewHandle> handle = catalog_.BeginBuild(definition);
+    if (!handle.ok()) {
+      if (handle.status().code() == StatusCode::kAlreadyExists) continue;
+      return handle.status();
+    }
+    EnqueueBuildLocked(BuildJob{*handle, definition}, reserve_errors);
+    ++report.builds_scheduled;
+    report.scheduled_handles.push_back(*handle);
   }
   return report;
 }
+
+Result<AdviceReport> Engine::AutoAdvise() {
+  KASKADE_ASSIGN_OR_RETURN(AdvicePlan plan, Advise());
+  return ApplyAdvice(plan);
+}
+
+// ---------------------------------------------------------------------------
+// Background build pool
+// ---------------------------------------------------------------------------
+
+void Engine::EnqueueBuildLocked(BuildJob job, bool reserve_errors) {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  // Reserve in the same critical section that makes the job runnable:
+  // no worker can fail the build before the reservation exists.
+  if (reserve_errors) reserved_error_handles_.insert(job.handle);
+  build_queue_.push_back(std::move(job));
+  if (build_workers_.empty()) {
+    size_t workers = std::max<size_t>(1, options_.build_workers);
+    build_workers_.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      build_workers_.emplace_back([this] { BuildWorkerLoop(); });
+    }
+  }
+  build_cv_.notify_one();
+}
+
+void Engine::BuildWorkerLoop() {
+  while (true) {
+    BuildJob job;
+    {
+      std::unique_lock<std::mutex> lock(build_mu_);
+      build_cv_.wait(lock,
+                     [&] { return build_stop_ || !build_queue_.empty(); });
+      if (build_stop_) return;  // destructor aborts what is still queued
+      job = std::move(build_queue_.front());
+      build_queue_.pop_front();
+      ++builds_running_;
+    }
+    RunBuildJob(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      --builds_running_;
+    }
+    // The stale pending-delta log (bounded at kMaxPendingDeltas) is
+    // reclaimed by the next writer's NoteBaseChangedLocked; taking the
+    // exclusive lock here just to clear it early would stall readers.
+    build_idle_cv_.notify_all();
+  }
+}
+
+void Engine::RunBuildJob(BuildJob job) {
+  // A build that keeps losing the race against writers must still
+  // terminate: the final attempt publishes (or rebuilds) while *holding*
+  // the writer lock, trading one blocking build for guaranteed progress.
+  constexpr int kMaxAttempts = 3;
+  const ViewDefinition& definition = job.definition;
+  for (int attempt = 0;; ++attempt) {
+    uint64_t pinned_version = 0;
+    ViewMaintainer::BasePin pin;
+    std::optional<graph::PropertyGraph> pinned_base;
+    {
+      // Pin the base under the reader lock just long enough to copy it:
+      // readers run concurrently throughout, and writers only wait out
+      // the O(|V|+|E|) copy, never the materialization itself.
+      std::shared_lock lock(mu_);
+      pinned_version = base_version_;
+      pin = ViewMaintainer::PinOf(base_);
+      if (options_.build_hooks.during_build) options_.build_hooks.during_build();
+      pinned_base.emplace(base_);
+    }
+    // The expensive part runs with no engine lock held at all; deltas
+    // landing meanwhile are replayed at publish below.
+    Result<MaterializedView> built = Materialize(*pinned_base, definition);
+    pinned_base.reset();
+    if (!built.ok()) {
+      FailBuild(job, built.status());
+      return;
+    }
+    if (options_.build_hooks.before_publish) options_.build_hooks.before_publish();
+
+    std::unique_lock lock(mu_);
+    if (base_version_ == pinned_version) {
+      Status status = catalog_.Publish(job.handle, std::move(*built));
+      if (!status.ok()) {
+        lock.unlock();
+        FailBuild(job, status);
+        return;
+      }
+      builds_completed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // The base moved while we were building. Gather what landed after
+    // the pin: if every change is a logged ApplyDelta batch, the view
+    // can catch up through the incremental-maintenance path instead of
+    // being rebuilt.
+    std::vector<graph::EdgeId> removals;
+    size_t inserts = 0;
+    uint64_t logged = 0;
+    for (const PendingDelta& pending : delta_log_) {
+      if (pending.base_version <= pinned_version) continue;
+      ++logged;
+      inserts += pending.edge_inserts;
+      removals.insert(removals.end(), pending.removals.begin(),
+                      pending.removals.end());
+    }
+    const bool fully_logged = logged == base_version_ - pinned_version;
+    if (fully_logged && ViewMaintainer::SupportsKind(definition.kind) &&
+        !PreferRematerialization(base_, definition, inserts,
+                                 removals.size())) {
+      // Replay: a maintainer pinned at the build position subtracts the
+      // removed paths and catches up on inserted edges via its
+      // watermark, exactly as if the batches had been reported live.
+      ViewMaintainer replayer(&base_, &*built, pin);
+      graph::GraphDelta catchup;
+      catchup.edge_removals = std::move(removals);
+      Result<MaintenanceStats> replayed = replayer.ApplyDelta(catchup);
+      if (replayed.ok()) {
+        Status status = catalog_.Publish(job.handle, std::move(*built));
+        if (!status.ok()) {
+          lock.unlock();
+          FailBuild(job, status);
+          return;
+        }
+        builds_completed_.fetch_add(1, std::memory_order_relaxed);
+        builds_replayed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Replay failures (out-of-band state the log missed) fall through
+      // to a rebuild.
+    }
+    build_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt + 1 >= kMaxAttempts) {
+      Result<MaterializedView> fresh = Materialize(base_, definition);
+      Status status = fresh.ok()
+                          ? catalog_.Publish(job.handle, std::move(*fresh))
+                          : fresh.status();
+      if (!status.ok()) {
+        lock.unlock();
+        FailBuild(job, status);
+        return;
+      }
+      builds_completed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Retry in the background against the newer base.
+  }
+}
+
+void Engine::FailBuild(const BuildJob& job, const Status& status) {
+  {
+    std::unique_lock lock(mu_);
+    (void)catalog_.AbortBuild(job.handle);
+  }
+  std::lock_guard<std::mutex> lock(build_mu_);
+  // Bound the slot: a fire-and-forget advice loop whose view fails
+  // persistently would otherwise grow it one entry per round forever.
+  // Evict the oldest *unreserved* entry — a reserved one belongs to a
+  // blocking round that is about to collect it (at worst the slot
+  // temporarily exceeds the cap by the handful of reserved failures).
+  constexpr size_t kMaxBuildErrors = 64;
+  if (build_errors_.size() >= kMaxBuildErrors) {
+    auto victim = std::find_if(
+        build_errors_.begin(), build_errors_.end(), [&](const auto& tagged) {
+          return reserved_error_handles_.count(tagged.first) == 0;
+        });
+    if (victim != build_errors_.end()) build_errors_.erase(victim);
+  }
+  build_errors_.emplace_back(job.handle, status);
+}
+
+Status Engine::TakeBuildErrorForHandles(
+    const std::vector<ViewHandle>& handles) {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  Status first = Status::OK();
+  auto removed = std::remove_if(
+      build_errors_.begin(), build_errors_.end(), [&](const auto& tagged) {
+        if (std::find(handles.begin(), handles.end(), tagged.first) ==
+            handles.end()) {
+          return false;
+        }
+        if (first.ok()) first = tagged.second;
+        return true;
+      });
+  build_errors_.erase(removed, build_errors_.end());
+  return first;
+}
+
+void Engine::WaitForBuilds() {
+  std::unique_lock<std::mutex> lock(build_mu_);
+  build_idle_cv_.wait(
+      lock, [&] { return build_queue_.empty() && builds_running_ == 0; });
+}
+
+size_t Engine::builds_pending() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  return build_queue_.size() + builds_running_;
+}
+
+Status Engine::TakeBuildError() {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  // Pop only the oldest unreserved entry: wholesale clearing (or taking
+  // a reserved one) would steal a failure a concurrent blocking round
+  // is about to collect for its own builds.
+  for (auto it = build_errors_.begin(); it != build_errors_.end(); ++it) {
+    if (reserved_error_handles_.count(it->first) != 0) continue;
+    Status oldest = it->second;
+    build_errors_.erase(it);
+    return oldest;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
 
 Status Engine::AddMaterializedView(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
@@ -62,6 +365,30 @@ Status Engine::RefreshViews() {
   return catalog_.RefreshAll();
 }
 
+void Engine::NoteBaseChangedLocked(const graph::GraphDelta* delta) {
+  // Bound the log under a continuous delta stream: past the cap,
+  // dropping entries merely leaves version gaps, which the publish
+  // path's fully-logged check turns into a (correct) rebuild.
+  constexpr size_t kMaxPendingDeltas = 1024;
+  ++base_version_;
+  bool builds_in_flight;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    builds_in_flight = !build_queue_.empty() || builds_running_ > 0;
+  }
+  if (!builds_in_flight || delta_log_.size() >= kMaxPendingDeltas) {
+    delta_log_.clear();
+    if (!builds_in_flight) return;
+  }
+  if (delta != nullptr) {
+    delta_log_.push_back(PendingDelta{base_version_, delta->edge_removals,
+                                      delta->edge_inserts.size()});
+  }
+  // A null delta (MutateBaseGraph) leaves a version gap no log entry
+  // covers, which is exactly how in-flight builds learn they must
+  // re-materialize rather than replay.
+}
+
 Status Engine::MutateBaseGraph(
     const std::function<Status(graph::PropertyGraph*)>& mutation) {
   std::unique_lock lock(mu_);
@@ -69,6 +396,7 @@ Status Engine::MutateBaseGraph(
   // Even a failed mutation may have partially changed the graph; a
   // spurious generation bump only costs a plan-cache miss.
   catalog_.NoteBaseGraphChanged();
+  NoteBaseChangedLocked(nullptr);
   return status;
 }
 
@@ -83,6 +411,9 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
   report.edges_removed = applied.removed_edges;
   report.new_vertices = std::move(applied.new_vertices);
   report.new_edges = std::move(applied.new_edges);
+  // The graph has changed even if maintenance fails below — in-flight
+  // builds must see the new version either way.
+  NoteBaseChangedLocked(&delta);
   KASKADE_ASSIGN_OR_RETURN(DeltaMaintenanceReport maintained,
                            catalog_.ApplyBaseDelta(delta));
   report.views_incremental = maintained.views_incremental;
@@ -90,6 +421,10 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
   report.maintenance = maintained.stats;
   return report;
 }
+
+// ---------------------------------------------------------------------------
+// Readers
+// ---------------------------------------------------------------------------
 
 Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
   const graph::PropertyGraph* target = &base_;
@@ -104,7 +439,10 @@ Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
     if (generation_current) snapshot = catalog_.BaseSnapshot();
   } else {
     const CatalogEntry* entry = catalog_.Find(plan.view_name);
-    if (entry == nullptr) {
+    // A non-ready entry is as unusable as a missing one: a stale plan
+    // must not silently run against a kBuilding placeholder's empty
+    // graph.
+    if (entry == nullptr || entry->state != ViewState::kReady) {
       return Status::Internal("cached plan references a missing view '" +
                               plan.view_name + "'");
     }
@@ -112,14 +450,16 @@ Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
     if (generation_current) snapshot = catalog_.SnapshotFor(entry->handle);
   }
   query::QueryExecutor executor(target, snapshot.get(), options_.executor);
-  KASKADE_ASSIGN_OR_RETURN(query::Table table,
-                           executor.ExecuteText(plan.executed_query));
+  query::ExecutionTiming timing;
+  KASKADE_ASSIGN_OR_RETURN(
+      query::Table table, executor.ExecuteText(plan.executed_query, &timing));
   ExecutionResult result;
   result.table = std::move(table);
   result.used_view = !plan.view_name.empty();
   result.view_name = plan.view_name;
   result.executed_query = plan.executed_query;
   result.estimated_cost = plan.estimated_cost;
+  result.latency_us = timing.elapsed_us;
   return result;
 }
 
@@ -127,7 +467,13 @@ Result<ExecutionResult> Engine::ExecuteUnderLock(
     const std::string& query_text) {
   KASKADE_ASSIGN_OR_RETURN(Plan plan,
                            planner_.PlanFor(query_text, base_, catalog_));
-  return RunPlan(plan);
+  Result<ExecutionResult> result = RunPlan(plan);
+  if (result.ok()) {
+    tracker_.Record(plan.canonical_query, result->latency_us,
+                    plan.estimated_cost, result->used_view,
+                    result->view_name);
+  }
+  return result;
 }
 
 Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
@@ -136,10 +482,9 @@ Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
 }
 
 Result<ExecutionResult> Engine::Execute(const query::Query& query) {
-  std::shared_lock lock(mu_);
-  Plan plan;
-  KASKADE_RETURN_IF_ERROR(planner_.ChoosePlan(query, base_, catalog_, &plan));
-  return RunPlan(plan);
+  // Render to canonical text so both overloads share one plan-cache
+  // path and one workload-tracker entry.
+  return Execute(query.ToString());
 }
 
 std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(

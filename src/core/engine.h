@@ -2,7 +2,9 @@
 /// \brief `Engine`: the end-to-end graph query optimization facade of
 /// Fig. 2, composed from the first-class subsystems it coordinates —
 /// `ViewCatalog` (registry of materialized views), `Planner` (plan
-/// enumeration + costing + plan cache), and the query executor.
+/// enumeration + costing + plan cache), `WorkloadTracker` (observed
+/// workload telemetry), `Advisor` (online view advice), and the query
+/// executor.
 ///
 /// Typical use:
 ///
@@ -11,16 +13,31 @@
 /// engine.AnalyzeWorkload({q1_text, q2_text});      // select + materialize
 /// auto result = engine.Execute(q1_text);           // rewrite + run
 /// std::cout << result->table.ToString();
+///
+/// // ... after serving traffic for a while (the tracker observed it):
+/// auto plan = engine.Advise();          // create/drop advice
+/// engine.ApplyAdvice(*plan);            // drops now, builds in background
 /// ```
 ///
 /// Concurrency discipline: `Execute` and `ExecuteBatch` are *readers* —
 /// any number may run concurrently. `AnalyzeWorkload`, `RefreshViews`,
-/// `AddMaterializedView`, `RemoveView`, `ApplyDelta`, and
-/// `MutateBaseGraph` are *writers* — each runs exclusively, via a
-/// `std::shared_mutex`, so readers observe either the pre-delta or the
-/// post-delta catalog generation, never a torn view. The planner's plan
-/// cache is keyed by the catalog's generation counter, so every writer
-/// implicitly invalidates cached plans.
+/// `AddMaterializedView`, `RemoveView`, `ApplyDelta`, `ApplyAdvice`
+/// (the drop/schedule step), and `MutateBaseGraph` are *writers* — each
+/// runs exclusively, via a `std::shared_mutex`, so readers observe
+/// either the pre-delta or the post-delta catalog generation, never a
+/// torn view. The planner's plan cache is keyed by the catalog's
+/// generation counter, so every writer implicitly invalidates cached
+/// plans.
+///
+/// View materializations scheduled by `ApplyAdvice` do **not** run under
+/// the writer lock: a background worker pins the base under a brief
+/// reader lock (one O(|V|+|E|) graph copy), materializes against the
+/// pinned copy with *no engine lock held at all* — readers and writers
+/// both keep flowing — then takes one short writer critical section to
+/// publish, replaying any `ApplyDelta` batches that landed during the
+/// build through the incremental-maintenance path, or re-materializing
+/// when the cost model prefers it. The planner only ever sees `kReady`
+/// views, so a half-built view is never planned against.
 ///
 /// MATCH execution runs over the catalog's CSR topology snapshots
 /// (cached per `(handle, generation)`, rebuilt lazily after any
@@ -35,22 +52,46 @@
 #ifndef KASKADE_CORE_ENGINE_H_
 #define KASKADE_CORE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "core/advisor.h"
 #include "core/catalog.h"
 #include "core/planner.h"
 #include "core/view_selector.h"
+#include "core/workload_tracker.h"
 #include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "query/executor.h"
 #include "query/table.h"
 
 namespace kaskade::core {
+
+/// \brief Instrumentation points on the background build path (used by
+/// the concurrency tests to make inherently-racy windows deterministic).
+struct BuildHooks {
+  /// Runs on the builder thread while it holds the *reader* lock,
+  /// immediately before the pinned base-graph copy is taken. Readers
+  /// provably progress while this blocks; taking the writer lock from
+  /// here deadlocks.
+  std::function<void()> during_build;
+  /// Runs on the builder thread with no engine lock held, after the
+  /// build finished and before the publish critical section. Mutations
+  /// applied from here land "during the build" and exercise the
+  /// pending-delta replay (or rebuild) path.
+  std::function<void()> before_publish;
+};
 
 /// \brief Engine configuration.
 struct EngineOptions {
@@ -60,8 +101,16 @@ struct EngineOptions {
   /// `selector.cost.eval` so plan choice and view selection always cost
   /// queries identically.
   PlannerOptions planner;
+  /// Advisor knobs; `advisor.selector` is overridden by `selector` so
+  /// offline analysis, online advice, and plan choice share one budget
+  /// and cost model.
+  AdvisorOptions advisor;
   /// Worker threads for `ExecuteBatch`; 0 = hardware concurrency.
   size_t batch_workers = 4;
+  /// Background view-build workers (started lazily on first
+  /// `ApplyAdvice` with creations).
+  size_t build_workers = 1;
+  BuildHooks build_hooks;
 };
 
 /// \brief Outcome of one `ApplyDelta` batch.
@@ -80,6 +129,16 @@ struct DeltaReport {
   MaintenanceStats maintenance;
 };
 
+/// \brief Outcome of one `ApplyAdvice` call.
+struct AdviceReport {
+  size_t views_dropped = 0;
+  /// Builds handed to the background pool (await with `WaitForBuilds`).
+  size_t builds_scheduled = 0;
+  /// Catalog handles of the scheduled builds, so a caller can collect
+  /// exactly *its* builds' outcomes.
+  std::vector<ViewHandle> scheduled_handles;
+};
+
 /// \brief Outcome of executing a query, with plan provenance.
 struct ExecutionResult {
   query::Table table;
@@ -87,6 +146,9 @@ struct ExecutionResult {
   std::string view_name;       ///< Set when used_view.
   std::string executed_query;  ///< The (possibly rewritten) query text.
   double estimated_cost = 0;
+  /// Measured evaluation wall clock (microseconds) — what the workload
+  /// tracker records.
+  double latency_us = 0;
 };
 
 /// \brief The framework facade. See file comment for the concurrency
@@ -98,16 +160,90 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Joins the background build pool (queued builds are aborted; the
+  /// in-flight one finishes first).
+  ~Engine();
+
   const graph::PropertyGraph& base_graph() const { return base_; }
+  /// Catalog introspection. Entry *contents* reached through it are
+  /// mutated by writers and by asynchronous background publishes:
+  /// dereference entries only while no builds are pending
+  /// (`WaitForBuilds`) or from the thread that schedules all writers.
   const ViewCatalog& catalog() const { return catalog_; }
   const Planner& planner() const { return planner_; }
+  const WorkloadTracker& workload() const { return tracker_; }
+
+  /// Drops all tracked observations (the lifetime `total_recorded`
+  /// counter survives). Observations otherwise accumulate forever, so
+  /// an epoch-based deployment calls this after each advice round —
+  /// advice then follows what ran *since the last round*, letting the
+  /// advisor notice (and eventually drop views for) queries that
+  /// stopped arriving. Safe to call concurrently with readers.
+  void ResetWorkload() { tracker_.Clear(); }
 
   /// Workload analyzer (§V-B): selects views for the workload under the
-  /// space budget and materializes them. Writer.
+  /// space budget and materializes them. Runs on the advisor path
+  /// (creations only — the offline analyzer never drops); blocks until
+  /// every scheduled build has published, so views are queryable on
+  /// return. Writer (briefly, per drop/schedule and per publish).
   Result<SelectionReport> AnalyzeWorkload(
       const std::vector<std::string>& query_texts);
 
-  /// Materializes one view directly (bypasses selection). Writer.
+  /// \name Online advice (adaptive view lifecycle).
+  /// @{
+
+  /// Runs the enumerate → score → knapsack pipeline against the
+  /// *observed* workload (the tracker's snapshot) and the current
+  /// catalog: proposes creations the budget justifies and drops for
+  /// materialized views no observed query can use. Does not change
+  /// anything. Reader.
+  Result<AdvicePlan> Advise();
+
+  /// Carries an advice plan out: drops immediately (short writer
+  /// section), schedules each creation on the background build pool and
+  /// returns without waiting. Re-applying an already-applied plan is a
+  /// no-op (AlreadyExists builds and NotFound drops are skipped).
+  Result<AdviceReport> ApplyAdvice(const AdvicePlan& plan);
+
+  /// `Advise` + `ApplyAdvice` in one call — the self-tuning loop a
+  /// deployment invokes periodically.
+  Result<AdviceReport> AutoAdvise();
+
+  /// Blocks until the background build queue is empty and no build is
+  /// in flight.
+  void WaitForBuilds();
+
+  /// Queued + running background builds (telemetry).
+  size_t builds_pending() const;
+
+  /// Removes and returns the oldest recorded background-build failure,
+  /// OK when none (call repeatedly to drain). Failures belonging to a
+  /// blocking round that reserved them (`AnalyzeWorkload` in flight)
+  /// are skipped, never stolen. Builds that fail abort their catalog
+  /// placeholder.
+  Status TakeBuildError();
+
+  /// \name Background-build telemetry.
+  /// @{
+  /// Builds published (clean, replayed, or rebuilt).
+  size_t builds_completed() const {
+    return builds_completed_.load(std::memory_order_relaxed);
+  }
+  /// Builds that caught up on mid-build `ApplyDelta` batches through the
+  /// incremental-maintenance replay before publishing.
+  size_t builds_replayed() const {
+    return builds_replayed_.load(std::memory_order_relaxed);
+  }
+  /// Extra materialization attempts after losing the publish race to a
+  /// non-replayable base change.
+  size_t build_retries() const {
+    return build_retries_.load(std::memory_order_relaxed);
+  }
+  /// @}
+  /// @}
+
+  /// Materializes one view directly (bypasses selection). Writer for
+  /// the whole build — `ApplyAdvice` is the non-blocking path.
   Status AddMaterializedView(const ViewDefinition& definition);
 
   /// Drops a materialized view by name. Writer.
@@ -124,7 +260,9 @@ class Engine {
   /// and cost model allow, re-materializing otherwise). The catalog
   /// generation is bumped exactly once per batch, so cached plans are
   /// invalidated once, not per edge. Views are exact when this returns;
-  /// no `RefreshViews` needed. Writer.
+  /// no `RefreshViews` needed. While background builds are in flight the
+  /// batch is also logged so just-built views can replay it at publish
+  /// time. Writer.
   Result<DeltaReport> ApplyDelta(graph::GraphDelta delta);
 
   /// Escape hatch: applies an arbitrary `mutation` to the base graph
@@ -132,17 +270,22 @@ class Engine {
   /// (invalidating cached plans). Call `RefreshViews` afterwards; for
   /// appended edges the views catch up incrementally, while mutations
   /// that *remove* edges force the affected views to re-materialize
-  /// (`ApplyDelta` is the efficient path for deletions). Writer.
+  /// (`ApplyDelta` is the efficient path for deletions). In-flight
+  /// background builds cannot replay an arbitrary mutation and will
+  /// re-materialize before publishing. Writer.
   Status MutateBaseGraph(
       const std::function<Status(graph::PropertyGraph*)>& mutation);
 
   /// Query rewriter + execution (§V-C): evaluates `query_text` via the
   /// cheapest available plan (raw graph or one materialized view),
-  /// consulting the planner's generation-keyed plan cache. Reader.
+  /// consulting the planner's generation-keyed plan cache. Successful
+  /// executions are recorded with the workload tracker under the
+  /// query's canonical text. Reader.
   Result<ExecutionResult> Execute(const std::string& query_text);
 
-  /// As above for a pre-parsed query; bypasses the plan cache (there is
-  /// no canonical text key). Reader.
+  /// As above for a pre-parsed query: the query is rendered to its
+  /// canonical text so both overloads share one plan-cache path and one
+  /// tracker entry. Reader.
   Result<ExecutionResult> Execute(const query::Query& query);
 
   /// Executes a batch of queries across `batch_workers` threads and
@@ -158,20 +301,102 @@ class Engine {
   /// @}
 
  private:
+  /// One scheduled background materialization.
+  struct BuildJob {
+    ViewHandle handle = kInvalidViewHandle;
+    ViewDefinition definition;
+  };
+
+  /// One `ApplyDelta` batch retained while builds are in flight, so a
+  /// build pinned before it can replay it at publish time.
+  struct PendingDelta {
+    /// `base_version_` immediately after the batch applied.
+    uint64_t base_version = 0;
+    /// The batch's removals in application order (inserts replay via
+    /// the maintainer's watermark catch-up and need no list).
+    std::vector<graph::EdgeId> removals;
+    size_t edge_inserts = 0;
+  };
+
   /// Executes a previously chosen plan. Caller holds (at least) the
   /// reader lock.
   Result<ExecutionResult> RunPlan(const Plan& plan) const;
 
-  /// Plan + run one query text. Caller holds the reader lock.
+  /// Plan + run one query text, recording the observation on success.
+  /// Caller holds the reader lock.
   Result<ExecutionResult> ExecuteUnderLock(const std::string& query_text);
+
+  /// Caller holds the writer lock. Notes a base-graph change for
+  /// in-flight builds: bumps `base_version_` and either logs the batch
+  /// (replayable) or just invalidates (out-of-band mutation).
+  void NoteBaseChangedLocked(const graph::GraphDelta* delta);
+
+  /// `ApplyAdvice` with optional error reservation: when
+  /// `reserve_errors` is set, each scheduled handle is reserved (under
+  /// `build_mu_`, before the job is runnable) so a concurrent
+  /// `TakeBuildError` drain can never steal this round's failures.
+  Result<AdviceReport> ApplyAdviceImpl(const AdvicePlan& plan,
+                                       bool reserve_errors);
+
+  /// Schedules `job` on the build pool, reserving its error handle
+  /// first when asked. Caller holds the writer lock.
+  void EnqueueBuildLocked(BuildJob job, bool reserve_errors);
+
+  /// Build-pool worker: drains the queue until stopped.
+  void BuildWorkerLoop();
+
+  /// Runs one build to completion: copy the base under the reader lock,
+  /// materialize with no lock held, publish under the writer lock,
+  /// replaying or rebuilding when the base moved mid-build.
+  void RunBuildJob(BuildJob job);
+
+  /// Records a failed build and aborts its placeholder.
+  void FailBuild(const BuildJob& job, const Status& status);
+
+  /// Removes and returns the first failure belonging to one of
+  /// `handles` (OK when none); other rounds' failures stay in the slot
+  /// for their own callers.
+  Status TakeBuildErrorForHandles(const std::vector<ViewHandle>& handles);
 
   graph::PropertyGraph base_;
   EngineOptions options_;
   ViewCatalog catalog_;
   Planner planner_;
-  /// Readers: Execute/ExecuteBatch. Writers: everything that mutates
-  /// the catalog or the base graph.
+  WorkloadTracker tracker_;
+  /// Readers: Execute/ExecuteBatch and background materializations.
+  /// Writers: everything that mutates the catalog or the base graph.
   mutable std::shared_mutex mu_;
+
+  /// Monotonic count of base-graph changes (unlike the catalog
+  /// generation, catalog-only changes do not move it). Guarded by `mu_`:
+  /// written under the writer lock, read under either lock.
+  uint64_t base_version_ = 0;
+  /// Delta batches applied while builds were in flight, tagged with the
+  /// base version they produced. Guarded by `mu_`.
+  std::vector<PendingDelta> delta_log_;
+
+  /// \name Background build pool (guarded by `build_mu_`).
+  /// @{
+  mutable std::mutex build_mu_;
+  std::condition_variable build_cv_;       ///< Workers: queue non-empty/stop.
+  std::condition_variable build_idle_cv_;  ///< Waiters: pool drained.
+  std::deque<BuildJob> build_queue_;
+  size_t builds_running_ = 0;
+  bool build_stop_ = false;
+  std::vector<std::thread> build_workers_;
+  /// Failures tagged with the failed build's handle, so a blocking
+  /// caller collects exactly the failures of the builds *it* scheduled
+  /// without stealing (or being confused by) a concurrent round's.
+  std::vector<std::pair<ViewHandle, Status>> build_errors_;
+  /// Handles whose failures a blocking round will collect itself;
+  /// `TakeBuildError` skips them so a concurrent drain cannot steal a
+  /// failure `AnalyzeWorkload` is about to report.
+  std::set<ViewHandle> reserved_error_handles_;
+  /// @}
+
+  std::atomic<size_t> builds_completed_{0};
+  std::atomic<size_t> builds_replayed_{0};
+  std::atomic<size_t> build_retries_{0};
 };
 
 }  // namespace kaskade::core

@@ -273,6 +273,23 @@ ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
   base_vertex_removals_seen_ = base_->num_removed_vertices();
 }
 
+ViewMaintainer::BasePin ViewMaintainer::PinOf(const PropertyGraph& base) {
+  return BasePin{static_cast<EdgeId>(base.NumEdges()),
+                 static_cast<VertexId>(base.NumVertices()),
+                 base.num_removed_edges(), base.num_removed_vertices()};
+}
+
+ViewMaintainer::ViewMaintainer(const PropertyGraph* base,
+                               MaterializedView* view, const BasePin& pin)
+    : ViewMaintainer(base, view) {
+  // The view reflects the pinned base position, not the current one:
+  // rewind the watermarks so the replay covers everything after the pin.
+  watermark_ = pin.num_edges;
+  vertex_watermark_ = pin.num_vertices;
+  base_removals_seen_ = pin.removed_edges;
+  base_vertex_removals_seen_ = pin.removed_vertices;
+}
+
 VertexId ViewMaintainer::ViewVertexFor(VertexId base_vertex,
                                        MaintenanceStats* stats) {
   auto it = base_to_view_.find(base_vertex);

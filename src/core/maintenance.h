@@ -92,6 +92,26 @@ struct MaintenanceStats {
 /// `Materialize(base, definition)` run from scratch.
 class ViewMaintainer {
  public:
+  /// \brief The base-graph position a view was materialized at: the
+  /// watermarks a maintainer must start from to replay everything that
+  /// happened *after* that position.
+  ///
+  /// The plain constructor assumes the view reflects the base graph *as
+  /// it is now*. A view built in the background is published later, onto
+  /// a base that may have moved on; capture `PinOf(base)` at build time
+  /// and construct the replay maintainer with it so the catch-up starts
+  /// at the pinned edge/vertex/removal counts rather than skipping the
+  /// deltas that landed during the build.
+  struct BasePin {
+    graph::EdgeId num_edges = 0;
+    graph::VertexId num_vertices = 0;
+    size_t removed_edges = 0;
+    size_t removed_vertices = 0;
+  };
+
+  /// Captures the current base-graph position.
+  static BasePin PinOf(const graph::PropertyGraph& base);
+
   /// True for the view kinds this maintainer supports incrementally
   /// (k-hop connectors and the four type-filter summarizers). Other
   /// kinds must be re-materialized on base-graph change.
@@ -100,6 +120,13 @@ class ViewMaintainer {
   /// Binds to a base graph and a view previously materialized from it.
   /// The maintainer indexes the current view; O(view size).
   ViewMaintainer(const graph::PropertyGraph* base, MaterializedView* view);
+
+  /// As above for a view materialized when the base graph was at `pin`:
+  /// the maintainer's watermarks start at the pinned position, so
+  /// `ApplyDelta`/`CatchUp` replay exactly the mutations that landed
+  /// after the pin.
+  ViewMaintainer(const graph::PropertyGraph* base, MaterializedView* view,
+                 const BasePin& pin);
 
   /// Applies the consequences of base edge `e` (which must already be in
   /// the base graph) to the view. Edges must be reported exactly once,

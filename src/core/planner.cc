@@ -24,10 +24,14 @@ Status Planner::ChoosePlan(const query::Query& query,
       query::EstimateEvalCost(query, base, base_stats, options_.eval_cost);
   plan->view_name.clear();
   plan->executed_query = query.ToString();
+  plan->canonical_query = plan->executed_query;
   plan->planned_generation = catalog.generation();
 
-  // Plans 1..n: one per materialized view (single-view rewritings, §V-C).
+  // Plans 1..n: one per *ready* materialized view (single-view
+  // rewritings, §V-C). Entries mid-build or mid-drop are never planned
+  // against.
   for (const CatalogEntry* entry : catalog.Entries()) {
+    if (entry->state != ViewState::kReady) continue;
     Result<query::Query> rewritten =
         RewriteQueryWithView(query, entry->view.definition, base.schema());
     if (!rewritten.ok()) continue;

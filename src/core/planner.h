@@ -39,6 +39,10 @@ namespace kaskade::core {
 struct Plan {
   std::string view_name;       ///< Empty = run on the raw graph.
   std::string executed_query;  ///< Rendered (possibly rewritten) text.
+  /// Canonical (parsed-and-rendered) text of the *original* query — the
+  /// workload tracker's aggregation key, shared by the textual and
+  /// pre-parsed Execute overloads.
+  std::string canonical_query;
   double estimated_cost = 0;
   /// Catalog generation the plan (and its cache entry) was computed
   /// against. Execution resolves the CSR topology snapshot for this

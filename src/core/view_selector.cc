@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "core/rewriter.h"
 
@@ -9,6 +10,12 @@ namespace kaskade::core {
 
 Result<SelectionReport> ViewSelector::Select(
     const std::vector<WorkloadEntry>& workload) {
+  return Select(workload, SelectionContext{});
+}
+
+Result<SelectionReport> ViewSelector::Select(
+    const std::vector<WorkloadEntry>& workload,
+    const SelectionContext& context) {
   ViewEnumerator enumerator(&base_->schema(), options_.enumerator);
 
   // Enumerate candidates across the workload, deduplicating by name.
@@ -21,6 +28,14 @@ Result<SelectionReport> ViewSelector::Select(
                              std::move(cand.definition));
     }
   }
+  // Incumbent re-entry: a materialized view competes even when the
+  // observed workload no longer enumerates it — scoring it at zero
+  // applicable queries is how it becomes a drop candidate.
+  std::set<std::string> materialized_names;
+  for (const ViewDefinition& def : context.materialized) {
+    materialized_names.insert(def.Name());
+    candidates.try_emplace(def.Name(), def);
+  }
 
   // Score each candidate against the whole workload.
   SelectionReport report;
@@ -28,6 +43,7 @@ Result<SelectionReport> ViewSelector::Select(
   for (auto& [name, def] : candidates) {
     ScoredView scored;
     scored.definition = def;
+    scored.currently_materialized = materialized_names.count(name) != 0;
     scored.estimated_size_edges = cost_model_.ViewSizeEdges(def);
     scored.creation_cost = cost_model_.ViewCreationCost(def);
     for (const WorkloadEntry& entry : workload) {
@@ -44,6 +60,7 @@ Result<SelectionReport> ViewSelector::Select(
     scored.value = scored.creation_cost > 0
                        ? scored.improvement / scored.creation_cost
                        : scored.improvement;
+    if (scored.currently_materialized) scored.value *= context.keep_boost;
     report.candidates.push_back(std::move(scored));
   }
 

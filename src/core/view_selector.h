@@ -40,10 +40,16 @@ struct ScoredView {
   double creation_cost = 0;
   /// Sum over workload queries of weighted cost ratios.
   double improvement = 0;
-  /// Knapsack value: improvement / creation cost.
+  /// Knapsack value: improvement / creation cost, multiplied by the
+  /// hysteresis boost for views that are already materialized.
   double value = 0;
   /// Number of workload queries this view can serve.
   size_t applicable_queries = 0;
+  /// True when the view was already materialized when selection ran
+  /// (see `SelectionContext`): its value carries the hysteresis boost
+  /// and dropping it (rather than not creating it) is what
+  /// non-selection means.
+  bool currently_materialized = false;
 };
 
 /// \brief Output of view selection.
@@ -65,6 +71,25 @@ struct SelectorOptions {
   bool use_greedy = false;
 };
 
+/// \brief What is already materialized when a selection round runs.
+///
+/// Online advice re-runs selection against an evolving observed
+/// workload, so currently-materialized views re-enter the candidate set
+/// even when the present workload would not have enumerated them (their
+/// queries may have stopped arriving — that is exactly the drop signal).
+/// Their knapsack value is multiplied by `keep_boost` (> 1), a
+/// hysteresis margin: a challenger must beat an incumbent by the boost
+/// factor before the advisor will swap them, so marginal views do not
+/// thrash between adjacent advice rounds. On an unchanged workload the
+/// boost scales every member of the previous optimal selection
+/// uniformly, so that selection stays optimal and advice is stable.
+struct SelectionContext {
+  std::vector<ViewDefinition> materialized;
+  /// Neutral by default; the advisor supplies its hysteresis margin
+  /// (`AdvisorOptions::keep_boost` is the one home of that constant).
+  double keep_boost = 1.0;
+};
+
 /// \brief The workload analyzer.
 class ViewSelector {
  public:
@@ -73,6 +98,12 @@ class ViewSelector {
 
   /// Enumerates, scores, and selects views for `workload`.
   Result<SelectionReport> Select(const std::vector<WorkloadEntry>& workload);
+
+  /// As above, with hysteresis against the currently-materialized views
+  /// in `context` (each re-enters the candidate set and carries the
+  /// keep boost).
+  Result<SelectionReport> Select(const std::vector<WorkloadEntry>& workload,
+                                 const SelectionContext& context);
 
   const CostModel& cost_model() const { return cost_model_; }
 

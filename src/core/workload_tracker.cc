@@ -1,0 +1,73 @@
+#include "core/workload_tracker.h"
+
+#include <algorithm>
+
+namespace kaskade::core {
+
+WorkloadTracker::WorkloadTracker(size_t stripes)
+    : stripes_(std::max<size_t>(1, stripes)) {}
+
+void WorkloadTracker::Record(const std::string& canonical_text,
+                             double latency_us, double estimated_cost,
+                             bool used_view, const std::string& view_name) {
+  // Bound distinct texts per stripe (workloads with per-request literals
+  // would otherwise grow the maps toward OOM and slow every advice
+  // round). New texts past the cap are not tracked — the established
+  // hot set, which is what advice is about, keeps aggregating.
+  constexpr size_t kMaxDistinctPerStripe = 4096;
+  Stripe& stripe = StripeFor(canonical_text);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.entries.size() >= kMaxDistinctPerStripe &&
+        stripe.entries.find(canonical_text) == stripe.entries.end()) {
+      return;
+    }
+    QueryObservation& obs = stripe.entries[canonical_text];
+    if (obs.executions == 0) obs.query_text = canonical_text;
+    ++obs.executions;
+    obs.total_latency_us += latency_us;
+    obs.total_estimated_cost += estimated_cost;
+    if (used_view) {
+      ++obs.view_hits;
+      obs.last_view = view_name;
+    }
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+WorkloadSnapshot WorkloadTracker::Snapshot() const {
+  WorkloadSnapshot snapshot;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [text, obs] : stripe.entries) {
+      snapshot.entries.push_back(obs);
+      snapshot.total_executions += obs.executions;
+    }
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const QueryObservation& a, const QueryObservation& b) {
+              if (a.executions != b.executions) {
+                return a.executions > b.executions;
+              }
+              return a.query_text < b.query_text;
+            });
+  return snapshot;
+}
+
+void WorkloadTracker::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.entries.clear();
+  }
+}
+
+size_t WorkloadTracker::distinct_queries() const {
+  size_t count = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    count += stripe.entries.size();
+  }
+  return count;
+}
+
+}  // namespace kaskade::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -1170,14 +1171,24 @@ Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select) {
   return out;
 }
 
-Result<Table> QueryExecutor::Execute(const Query& query) {
-  if (query.is_match()) return ExecuteMatch(query.match());
-  return ExecuteSelect(query.select());
+Result<Table> QueryExecutor::Execute(const Query& query,
+                                     ExecutionTiming* timing) {
+  const auto started = std::chrono::steady_clock::now();
+  Result<Table> result = query.is_match() ? ExecuteMatch(query.match())
+                                          : ExecuteSelect(query.select());
+  if (timing != nullptr) {
+    timing->elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+  }
+  return result;
 }
 
-Result<Table> QueryExecutor::ExecuteText(const std::string& text) {
+Result<Table> QueryExecutor::ExecuteText(const std::string& text,
+                                         ExecutionTiming* timing) {
   KASKADE_ASSIGN_OR_RETURN(Query query, ParseQueryText(text));
-  return Execute(query);
+  return Execute(query, timing);
 }
 
 }  // namespace kaskade::query

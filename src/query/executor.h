@@ -55,6 +55,13 @@ struct ExecutorOptions {
   size_t parallelism = 1;
 };
 
+/// \brief Measured timing of one execution, filled in by the executor so
+/// callers (the engine's workload tracker) see the evaluation cost, not
+/// their own lock-acquisition overhead.
+struct ExecutionTiming {
+  double elapsed_us = 0;  ///< Wall-clock microseconds of evaluation.
+};
+
 /// \brief Executes parsed or textual queries against one graph.
 class QueryExecutor {
  public:
@@ -69,11 +76,14 @@ class QueryExecutor {
                 ExecutorOptions options = {})
       : graph_(graph), csr_(csr), options_(options) {}
 
-  /// Runs a parsed query.
-  Result<Table> Execute(const Query& query);
+  /// Runs a parsed query. When `timing` is non-null it receives the
+  /// measured evaluation wall clock (set on success and on failure).
+  Result<Table> Execute(const Query& query, ExecutionTiming* timing = nullptr);
 
-  /// Parses and runs `text`.
-  Result<Table> ExecuteText(const std::string& text);
+  /// Parses and runs `text`; `timing` covers evaluation only, not the
+  /// parse.
+  Result<Table> ExecuteText(const std::string& text,
+                            ExecutionTiming* timing = nullptr);
 
  private:
   Result<Table> ExecuteMatch(const MatchQuery& match);

@@ -13,7 +13,6 @@
 
 #include "core/catalog.h"
 #include "core/engine.h"
-#include "core/kaskade.h"  // the deprecated shim, exercised below
 #include "core/materializer.h"
 #include "core/planner.h"
 #include "datasets/generators.h"
@@ -528,20 +527,6 @@ TEST(ConcurrencyTest, ApplyDeltaRacingReadersSeesOnlyDeltaBoundaries) {
   ASSERT_TRUE(final_result.ok());
   EXPECT_TRUE(final_result->used_view);
   EXPECT_EQ(final_result->table.num_rows(), final_rows);
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated shim
-// ---------------------------------------------------------------------------
-
-TEST(DeprecatedShimTest, KaskadeAliasStillCompiles) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Kaskade engine(SmallProv());
-#pragma GCC diagnostic pop
-  auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4));
-  ASSERT_TRUE(result.ok());
-  EXPECT_FALSE(result->used_view);
 }
 
 }  // namespace
