@@ -13,14 +13,50 @@ Result<AdvicePlan> Advisor::Advise(const WorkloadSnapshot& workload,
   entries.reserve(workload.entries.size());
   size_t observed = 0;
   uint64_t executions = 0;
+  // Admit observations first (noise floor + parseability), then weight:
+  // expected-execution-time weighting imputes the *admitted* workload's
+  // execution-weighted mean latency for observations that carry none (a
+  // caller-built snapshot, say), so every weight stays in the same unit
+  // — raw counts would be negligible next to microsecond-scale weights,
+  // and latencies of rejected (stale/below-floor) observations must not
+  // skew the mean.
+  std::vector<const QueryObservation*> admitted;
   for (const QueryObservation& obs : workload.entries) {
     if (obs.executions < options_.min_executions) continue;
     Result<query::Query> parsed = query::ParseQueryText(obs.query_text);
     if (!parsed.ok()) continue;  // never executed successfully; stale text
-    entries.push_back(
-        WorkloadEntry{std::move(*parsed), double(obs.executions)});
+    entries.push_back(WorkloadEntry{std::move(*parsed), 0.0});
+    admitted.push_back(&obs);
     ++observed;
     executions += obs.executions;
+  }
+  double imputed_latency_us = 0;
+  if (options_.weighting == AdviceWeighting::kExpectedExecutionTime) {
+    double measured_us = 0;
+    uint64_t measured_execs = 0;
+    for (const QueryObservation* obs : admitted) {
+      if (obs->total_latency_us <= 0) continue;
+      measured_us += obs->total_latency_us;
+      measured_execs += obs->executions;
+    }
+    if (measured_execs > 0) imputed_latency_us = measured_us / measured_execs;
+  }
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    const QueryObservation& obs = *admitted[i];
+    double weight = static_cast<double>(obs.executions);
+    if (options_.weighting == AdviceWeighting::kExpectedExecutionTime) {
+      // Frequency x measured mean latency: the query's total observed
+      // execution time. Scale is irrelevant to the knapsack (values are
+      // compared against each other), so raw microseconds are fine.
+      // When nothing admitted carries a latency, imputation yields 0
+      // and the round degrades to frequency weighting.
+      if (obs.total_latency_us > 0) {
+        weight = obs.total_latency_us;
+      } else if (imputed_latency_us > 0) {
+        weight = static_cast<double>(obs.executions) * imputed_latency_us;
+      }
+    }
+    entries[i].weight = weight;
   }
   KASKADE_ASSIGN_OR_RETURN(AdvicePlan plan, AdviseWorkload(entries, catalog));
   plan.observed_queries = observed;

@@ -37,6 +37,23 @@
 
 namespace kaskade::core {
 
+/// \brief How an observed query's importance weight is derived (§V-B
+/// offers both: "frequency or expected execution time").
+enum class AdviceWeighting {
+  /// Weight = execution count. Treats every query as equally expensive,
+  /// so high-traffic cheap queries dominate selection.
+  kFrequency,
+  /// Weight = frequency x measured mean latency (i.e. the query's total
+  /// measured execution time) — the tracker already records latencies,
+  /// so a slow-but-rare analytical query can out-weigh a fast-but-
+  /// frequent point lookup when its aggregate cost is larger.
+  /// Observations with no recorded latency are imputed the workload's
+  /// execution-weighted mean latency (same unit as everyone else); when
+  /// no observation carries a latency at all, the round degrades to
+  /// frequency weighting.
+  kExpectedExecutionTime,
+};
+
 /// \brief Advisor configuration.
 struct AdvisorOptions {
   /// The selection pipeline configuration (budget, enumerator, cost).
@@ -47,6 +64,8 @@ struct AdvisorOptions {
   /// Ignore observed queries executed fewer times than this (noise
   /// floor for one-off exploratory queries).
   uint64_t min_executions = 1;
+  /// How observed queries are weighted when scoring candidate views.
+  AdviceWeighting weighting = AdviceWeighting::kFrequency;
 };
 
 /// \brief One advice round: what to build, what to drop, and the scored

@@ -44,7 +44,106 @@ Status Rebuild(const graph::PropertyGraph& base, CatalogEntry* entry) {
   return Status::OK();
 }
 
+/// Trail bounds: past either cap a snapshot patch would walk a delta
+/// history approaching the size of the graph, so the slot falls back to
+/// one full rebuild (which resets the trail) instead of growing without
+/// bound under a stream of mutations that nobody queries between.
+constexpr size_t kMaxTrailBatches = 64;
+constexpr size_t kMaxTrailRemovals = 8192;
+
 }  // namespace
+
+void ViewCatalog::BumpGeneration() {
+  const uint64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (auto& [handle, slot] : snapshots_) {
+    if (slot.patchable) slot.head_generation = gen;
+  }
+}
+
+bool ViewCatalog::WantsBaseDeltaTrail() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = snapshots_.find(kInvalidViewHandle);
+  return it != snapshots_.end() && it->second.patchable &&
+         it->second.csr != nullptr;
+}
+
+void ViewCatalog::NoteBaseDelta(const graph::DeltaFootprintPtr& delta) {
+  if (delta == nullptr) {
+    // The caller chose not to materialize a footprint; if a patchable
+    // base snapshot exists after all, it must not survive with a trail
+    // that misses this batch.
+    InvalidateSnapshot(kInvalidViewHandle);
+    return;
+  }
+  if (delta->edge_removals.empty()) {
+    // Insert-only batches need no log: the patch path discovers
+    // appended vertices/edges from id-space growth.
+    return;
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = snapshots_.find(kInvalidViewHandle);
+  if (it == snapshots_.end()) return;  // nothing cached; nothing to patch
+  SnapshotSlot& slot = it->second;
+  if (!slot.patchable) return;
+  // Heuristic early cut: a batch whose touched-vertex bound alone
+  // dwarfs the dirty budget will almost certainly hit PatchedFrom's
+  // dirty-fraction fallback — don't grow the trail for it. The bound
+  // overcounts repeated endpoints, so the 2x slack keeps skewed (hubby)
+  // batches on the patch path; a false cut only costs one correct full
+  // rebuild.
+  // (A patchable slot implies patching is enabled — SnapshotOf only
+  // publishes patchable slots when it is.)
+  const double dirty_budget =
+      patch_options_.max_dirty_fraction *
+      static_cast<double>(base_->NumVertices());
+  if (slot.trail_batches >= kMaxTrailBatches ||
+      slot.trail_removals + delta->edge_removals.size() > kMaxTrailRemovals ||
+      static_cast<double>(delta->TouchedVertexBound()) > 2.0 * dirty_budget) {
+    slot.patchable = false;
+    slot.csr.reset();
+    slot.base_trail.clear();
+    slot.trail_batches = slot.trail_removals = 0;
+    return;
+  }
+  slot.base_trail.push_back(delta);
+  ++slot.trail_batches;
+  slot.trail_removals += delta->edge_removals.size();
+}
+
+void ViewCatalog::NoteViewDelta(ViewHandle handle,
+                                std::vector<graph::EdgeId> removed) {
+  if (removed.empty()) return;  // insert-only: id-space growth covers it
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = snapshots_.find(handle);
+  if (it == snapshots_.end()) return;
+  SnapshotSlot& slot = it->second;
+  if (!slot.patchable) return;
+  if (slot.trail_batches >= kMaxTrailBatches ||
+      slot.trail_removals + removed.size() > kMaxTrailRemovals) {
+    slot.patchable = false;
+    slot.csr.reset();
+    slot.view_removals.clear();
+    slot.trail_batches = slot.trail_removals = 0;
+    return;
+  }
+  slot.view_removals.insert(slot.view_removals.end(), removed.begin(),
+                            removed.end());
+  ++slot.trail_batches;
+  slot.trail_removals += removed.size();
+}
+
+void ViewCatalog::InvalidateSnapshot(ViewHandle handle) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  auto it = snapshots_.find(handle);
+  if (it == snapshots_.end()) return;
+  SnapshotSlot& slot = it->second;
+  slot.patchable = false;
+  slot.csr.reset();
+  slot.base_trail.clear();
+  slot.view_removals.clear();
+  slot.trail_batches = slot.trail_removals = 0;
+}
 
 const char* ViewStateName(ViewState state) {
   switch (state) {
@@ -120,6 +219,9 @@ Status ViewCatalog::Publish(ViewHandle handle, MaterializedView built) {
     RefreshStats(entry.get());
     entry->state = ViewState::kReady;
     BumpGeneration();
+    // Defensive: a placeholder has no snapshot to patch from, and the
+    // published graph shares no lineage with anything cached.
+    InvalidateSnapshot(handle);
     return Status::OK();
   }
   return Status::NotFound("no catalog entry for the published handle");
@@ -176,6 +278,9 @@ Status ViewCatalog::RefreshAll() {
     // to refresh yet.
     if (entry->state != ViewState::kReady) continue;
     if (entry->maintainer != nullptr) {
+      // CatchUp only ever *appends* to the view (it replays insertions
+      // past the watermark), which the snapshot patch path discovers
+      // from id-space growth — the view's snapshot trail stays valid.
       Result<MaintenanceStats> stats = entry->maintainer->CatchUp();
       if (stats.ok()) {
         if (stats->edges_added + stats->edges_removed +
@@ -198,6 +303,9 @@ Status ViewCatalog::RefreshAll() {
       // view is unreconstructible incrementally — rebuild it rather
       // than serve stale results.
     }
+    // Invalidate before rebuilding so a Rebuild failure cannot leave a
+    // patchable slot pointing at a replaced (or half-replaced) graph.
+    InvalidateSnapshot(entry->handle);
     KASKADE_RETURN_IF_ERROR(Rebuild(*base_, entry.get()));
     RefreshStats(entry.get());
   }
@@ -206,13 +314,24 @@ Status ViewCatalog::RefreshAll() {
 
 Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
     const graph::GraphDelta& delta) {
+  return ApplyBaseDelta(delta,
+                        std::make_shared<const graph::DeltaFootprint>(delta));
+}
+
+Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
+    const graph::GraphDelta& delta, graph::DeltaFootprintPtr footprint) {
   std::unique_lock lock(mu_);
   // One generation bump covers the whole batch — plans cached against
   // the pre-delta catalog stop matching exactly once.
   BumpGeneration();
+  // The footprint describes exactly how the base graph moved: record it
+  // on the base snapshot's delta trail so the next BaseSnapshot patches
+  // instead of rebuilding.
+  NoteBaseDelta(footprint);
   DeltaMaintenanceReport report;
   const size_t inserts = delta.edge_inserts.size();
   const size_t removals = delta.edge_removals.size();
+  std::vector<graph::EdgeId> removed_view_edges;
   for (const auto& entry : entries_) {
     // kBuilding placeholders are invisible to maintenance; the engine's
     // pending-delta log replays this batch onto them at publish time.
@@ -222,8 +341,13 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
         !PreferRematerialization(*base_, entry->view.definition, inserts,
                                  removals);
     if (incremental) {
+      removed_view_edges.clear();
+      entry->maintainer->set_removed_edge_sink(&removed_view_edges);
       Result<MaintenanceStats> stats = entry->maintainer->ApplyDelta(delta);
+      entry->maintainer->set_removed_edge_sink(nullptr);
       if (stats.ok()) {
+        NoteViewDelta(entry->handle, std::move(removed_view_edges));
+        removed_view_edges = {};
         report.stats += *stats;
         ++report.views_incremental;
         // Re-weighted edges (edges_updated) never move the degree
@@ -242,13 +366,20 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
       if (stats.status().code() != StatusCode::kFailedPrecondition) {
         // Internal errors signal corrupt maintenance state (a bug) —
         // propagate, as RefreshAll does, rather than masking it as a
-        // routine re-materialization.
+        // routine re-materialization. The failed pass may have mutated
+        // the view in ways the trail never saw.
+        InvalidateSnapshot(entry->handle);
         return stats.status();
       }
       // A FailedPrecondition pass may have left the view half-updated;
       // rebuilding restores exactness instead of stranding a stale
       // entry behind the already-mutated base graph.
     }
+    // Invalidate before rebuilding: the failed pass above may already
+    // have tombstoned view edges the trail never recorded, and the
+    // rebuild replaces the graph wholesale — either way the old
+    // snapshot cannot be patched forward, even if Rebuild errors out.
+    InvalidateSnapshot(entry->handle);
     KASKADE_RETURN_IF_ERROR(Rebuild(*base_, entry.get()));
     ++report.views_rematerialized;
     RefreshStats(entry.get());
@@ -299,28 +430,78 @@ std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotOf(
   // The caller excludes concurrent catalog/base mutation (Engine reader
   // discipline), so the generation cannot move during this call.
   const uint64_t gen = generation();
+  std::shared_ptr<const graph::CsrGraph> prev;
+  std::vector<graph::EdgeId> removals;
+  bool patch = false;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
-    auto it = snapshots_.find(handle);
-    if (it != snapshots_.end() && it->second.csr != nullptr &&
-        it->second.generation == gen) {
+    SnapshotSlot& slot = snapshots_[handle];
+    if (slot.csr != nullptr && slot.csr_generation == gen) {
       snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second.csr;
+      return slot.csr;
+    }
+    if (slot.csr != nullptr && slot.patchable &&
+        slot.head_generation == gen) {
+      // The trail covers everything between the cached snapshot and the
+      // current generation. When nothing actually changed for this
+      // handle (the generation moved for unrelated reasons — another
+      // view registered, say), the old snapshot is still exact:
+      // re-stamp it instead of producing anything.
+      const bool unchanged =
+          slot.trail_batches == 0 &&
+          slot.csr->edge_id_space() == g.NumEdges() &&
+          slot.csr->NumVertices() == g.NumVertices() &&
+          slot.csr->NumEdges() == g.NumLiveEdges();
+      if (unchanged) {
+        slot.csr_generation = gen;
+        snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+        return slot.csr;
+      }
+      patch = true;
+      prev = slot.csr;
+      if (handle == kInvalidViewHandle) {
+        removals.reserve(slot.trail_removals);
+        for (const graph::DeltaFootprintPtr& batch : slot.base_trail) {
+          removals.insert(removals.end(), batch->edge_removals.begin(),
+                          batch->edge_removals.end());
+        }
+      } else {
+        removals = slot.view_removals;
+      }
     }
   }
-  // Build outside the cache mutex: a miss on one handle must not stall
-  // cache hits on every other handle behind an O(|V|+|E|) build.
-  // Concurrent missers on the same (handle, generation) may race
-  // duplicate builds of identical snapshots; the first to publish wins
-  // and the losers adopt it.
-  auto built =
-      std::make_shared<const graph::CsrGraph>(graph::CsrGraph::Build(g));
+  // Produce outside the cache mutex: a miss on one handle must not
+  // stall cache hits on every other handle behind the build. Concurrent
+  // missers on the same (handle, generation) may race duplicate
+  // (identical) snapshots; the first to publish wins and the losers
+  // adopt it.
+  std::shared_ptr<const graph::CsrGraph> built;
+  bool patched = false;
+  if (patch) {
+    // O(|delta|) path: derive the next snapshot from the previous one
+    // through the merged trail (falls back internally past the dirty
+    // threshold).
+    graph::CsrPatchStats patch_stats;
+    built = std::make_shared<const graph::CsrGraph>(graph::CsrGraph::PatchedFrom(
+        *prev, g, removals, patch_options_, &patch_stats));
+    patched = !patch_stats.full_rebuild;
+  } else {
+    built =
+        std::make_shared<const graph::CsrGraph>(graph::CsrGraph::Build(g));
+  }
   snapshot_builds_.fetch_add(1, std::memory_order_relaxed);
+  (patched ? snapshot_patches_ : snapshot_full_builds_)
+      .fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  CachedSnapshot& slot = snapshots_[handle];
-  if (slot.csr != nullptr && slot.generation == gen) return slot.csr;
+  SnapshotSlot& slot = snapshots_[handle];
+  if (slot.csr != nullptr && slot.csr_generation == gen) return slot.csr;
   slot.csr = std::move(built);
-  slot.generation = gen;
+  slot.csr_generation = gen;
+  slot.head_generation = gen;
+  slot.patchable = patch_options_.enabled();
+  slot.trail_batches = slot.trail_removals = 0;
+  slot.base_trail.clear();
+  slot.view_removals.clear();
   return slot.csr;
 }
 

@@ -113,8 +113,12 @@ class ViewCatalog {
  public:
   /// Binds to the base graph the views are materialized from. The graph
   /// must outlive the catalog and must not move (maintainers hold
-  /// pointers to it).
-  explicit ViewCatalog(const graph::PropertyGraph* base) : base_(base) {}
+  /// pointers to it). `patch_options` tunes incremental CSR snapshot
+  /// production (`max_dirty_fraction = 0` disables patching: every
+  /// snapshot miss is a full rebuild).
+  explicit ViewCatalog(const graph::PropertyGraph* base,
+                       graph::CsrPatchOptions patch_options = {})
+      : base_(base), patch_options_(patch_options) {}
 
   ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
@@ -165,11 +169,29 @@ class ViewCatalog {
   /// pending-delta log replays the batch onto them at publish time).
   /// Refreshes per-view statistics and bumps the generation exactly once
   /// for the whole batch.
+  ///
+  /// The batch's *footprint* (removal ids + insert counts; never the
+  /// insert payloads) is recorded on the base graph's snapshot delta
+  /// trail, and each incrementally-maintained view's removed view edges
+  /// on that view's trail, so the next `BaseSnapshot`/`SnapshotFor`
+  /// patches the previous CSR snapshot forward in O(|delta|) instead of
+  /// rebuilding in O(|V| + |E|). Rematerialized views fall off the
+  /// patch path (their snapshot is rebuilt from scratch). Pass the
+  /// footprint the engine already shares with its pending-delta log so
+  /// the batch is materialized once; the single-argument overload
+  /// captures a fresh one.
+  Result<DeltaMaintenanceReport> ApplyBaseDelta(
+      const graph::GraphDelta& delta, graph::DeltaFootprintPtr footprint);
   Result<DeltaMaintenanceReport> ApplyBaseDelta(const graph::GraphDelta& delta);
 
   /// Announces an out-of-band base-graph change (e.g. appended edges)
   /// so generation-keyed caches are invalidated before the next refresh.
-  void NoteBaseGraphChanged() { BumpGeneration(); }
+  /// The base graph's snapshot trail cannot describe an arbitrary
+  /// mutation, so the next `BaseSnapshot` is a full rebuild.
+  void NoteBaseGraphChanged() {
+    BumpGeneration();
+    InvalidateSnapshot(kInvalidViewHandle);
+  }
 
   /// Monotonic counter: strictly increases on every catalog mutation or
   /// announced base-graph change. Starts at 1.
@@ -200,10 +222,21 @@ class ViewCatalog {
   /// `(handle, generation)`. Because every catalog mutation and every
   /// announced base-graph change bumps the generation, invalidation is
   /// implicit: after `ApplyBaseDelta` / `MutateBaseGraph` /
-  /// `NoteBaseGraphChanged` the next request simply rebuilds. The
-  /// returned `shared_ptr` owns a self-contained copy of the topology,
-  /// so a reader may keep using a snapshot even after it has been
-  /// superseded.
+  /// `NoteBaseGraphChanged` the next request simply produces a fresh
+  /// snapshot. The returned `shared_ptr` owns a self-contained copy of
+  /// the topology, so a reader may keep using a snapshot even after it
+  /// has been superseded.
+  ///
+  /// A generation miss does **not** imply an O(|V| + |E|) rebuild: each
+  /// handle keeps its last published snapshot plus a bounded *delta
+  /// trail* of what changed since (`ApplyBaseDelta` records it), and the
+  /// next request patches the old snapshot forward in O(|delta|) via
+  /// `CsrGraph::PatchedFrom`. The patch path falls back to a full
+  /// rebuild when the trail was truncated or bypassed (out-of-band
+  /// mutation, view rematerialization, generation moved without trail
+  /// coverage) or when the dirty fraction exceeds
+  /// `CsrPatchOptions::max_dirty_fraction`. Telemetry splits the two:
+  /// `snapshot_builds() == snapshot_patches() + snapshot_full_builds()`.
   ///
   /// Callers must hold off concurrent mutation of the underlying graphs
   /// for the duration of the call (the Engine's reader lock does this);
@@ -221,29 +254,89 @@ class ViewCatalog {
   std::shared_ptr<const graph::CsrGraph> SnapshotFor(ViewHandle handle) const;
 
   /// \name Snapshot-cache telemetry (for tests and operations).
+  /// Snapshots produced on a cache miss, by either path.
   size_t snapshot_builds() const {
     return snapshot_builds_.load(std::memory_order_relaxed);
   }
   size_t snapshot_hits() const {
     return snapshot_hits_.load(std::memory_order_relaxed);
   }
+  /// Snapshots derived from the previous snapshot in O(|delta|).
+  size_t snapshot_patches() const {
+    return snapshot_patches_.load(std::memory_order_relaxed);
+  }
+  /// Snapshots built from scratch (first build, truncated trail,
+  /// rematerialized view, or dirty-fraction fallback).
+  size_t snapshot_full_builds() const {
+    return snapshot_full_builds_.load(std::memory_order_relaxed);
+  }
   /// @}
 
+  const graph::CsrPatchOptions& patch_options() const {
+    return patch_options_;
+  }
+
+  /// True when the base graph's snapshot slot would actually retain a
+  /// delta footprint (a patchable snapshot exists). Lets `ApplyDelta`
+  /// skip materializing the footprint during write-only phases where no
+  /// log would keep it. Passing a null footprint to `ApplyBaseDelta`
+  /// conservatively invalidates the base slot instead of recording.
+  bool WantsBaseDeltaTrail() const;
+
  private:
-  /// Cache slot for one handle (kInvalidViewHandle = the base graph).
-  struct CachedSnapshot {
-    uint64_t generation = 0;
+  /// Snapshot state for one handle (kInvalidViewHandle = the base
+  /// graph): the last published snapshot plus the delta trail that
+  /// carries it forward to `head_generation`. Guarded by `snapshot_mu_`.
+  ///
+  /// Invariant while `patchable`: the handle's graph changed between
+  /// `csr_generation` and `head_generation` only by (a) appending
+  /// vertices/edges — discovered from id-space growth, no log needed —
+  /// and (b) tombstoning exactly the edges recorded on the trail.
+  /// Mutations the trail cannot describe (rematerialization, arbitrary
+  /// `MutateBaseGraph`, maintenance failures) clear `patchable`, which
+  /// makes the next snapshot request a full rebuild.
+  struct SnapshotSlot {
     std::shared_ptr<const graph::CsrGraph> csr;
+    uint64_t csr_generation = 0;
+    bool patchable = false;
+    uint64_t head_generation = 0;
+    /// Removal batches recorded since `csr_generation` (bounded; see
+    /// kMaxTrailBatches/kMaxTrailRemovals in catalog.cc).
+    size_t trail_batches = 0;
+    size_t trail_removals = 0;
+    /// Base-graph slot: the applied batches' footprints, shared with
+    /// the engine's pending-delta log (one allocation per batch,
+    /// repo-wide; insert payloads are never pinned).
+    std::vector<graph::DeltaFootprintPtr> base_trail;
+    /// View slots: flattened removed view-edge ids (view inserts are
+    /// discovered from id-space growth and need no log).
+    std::vector<graph::EdgeId> view_removals;
   };
 
   std::shared_ptr<const graph::CsrGraph> SnapshotOf(
       ViewHandle handle, const graph::PropertyGraph& g) const;
 
-  void BumpGeneration() {
-    generation_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  /// Bumps the generation and advances every patchable slot's trail
+  /// head: a bump whose graph changes are recorded on (or irrelevant
+  /// to) a slot's trail keeps that slot patchable across it.
+  void BumpGeneration();
+
+  /// Records one applied base batch on the base slot's trail (or cuts
+  /// the trail when the batch alone exceeds the patch budget).
+  void NoteBaseDelta(const graph::DeltaFootprintPtr& footprint);
+
+  /// Records the view edges `handle`'s maintainer tombstoned for one
+  /// batch on that view's trail.
+  void NoteViewDelta(ViewHandle handle,
+                     std::vector<graph::EdgeId> removed_view_edges);
+
+  /// Marks `handle`'s graph as changed in a way the trail cannot
+  /// describe: drops the cached snapshot and trail, forcing the next
+  /// request onto the full-rebuild path.
+  void InvalidateSnapshot(ViewHandle handle);
 
   const graph::PropertyGraph* base_;
+  graph::CsrPatchOptions patch_options_;
   mutable std::shared_mutex mu_;
   /// unique_ptr: entries are pointer-stable and individually droppable.
   std::vector<std::unique_ptr<CatalogEntry>> entries_;
@@ -253,9 +346,11 @@ class ViewCatalog {
   /// the reader path (under the Engine's shared lock), where `mu_` may
   /// be held shared by many threads at once.
   mutable std::mutex snapshot_mu_;
-  mutable std::unordered_map<ViewHandle, CachedSnapshot> snapshots_;
+  mutable std::unordered_map<ViewHandle, SnapshotSlot> snapshots_;
   mutable std::atomic<size_t> snapshot_builds_{0};
   mutable std::atomic<size_t> snapshot_hits_{0};
+  mutable std::atomic<size_t> snapshot_patches_{0};
+  mutable std::atomic<size_t> snapshot_full_builds_{0};
 };
 
 }  // namespace kaskade::core

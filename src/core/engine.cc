@@ -33,7 +33,7 @@ AdvisorOptions MakeAdvisorOptions(const EngineOptions& options) {
 Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
     : base_(std::move(base_graph)),
       options_(options),
-      catalog_(&base_),
+      catalog_(&base_, options.snapshot_patch),
       planner_(MakePlannerOptions(options)) {}
 
 Engine::~Engine() {
@@ -235,9 +235,9 @@ void Engine::RunBuildJob(BuildJob job) {
     for (const PendingDelta& pending : delta_log_) {
       if (pending.base_version <= pinned_version) continue;
       ++logged;
-      inserts += pending.edge_inserts;
-      removals.insert(removals.end(), pending.removals.begin(),
-                      pending.removals.end());
+      inserts += pending.delta->edge_inserts;
+      removals.insert(removals.end(), pending.delta->edge_removals.begin(),
+                      pending.delta->edge_removals.end());
     }
     const bool fully_logged = logged == base_version_ - pinned_version;
     if (fully_logged && ViewMaintainer::SupportsKind(definition.kind) &&
@@ -365,10 +365,13 @@ Status Engine::RefreshViews() {
   return catalog_.RefreshAll();
 }
 
-void Engine::NoteBaseChangedLocked(const graph::GraphDelta* delta) {
+void Engine::NoteBaseChangedLocked(graph::DeltaFootprintPtr delta) {
   // Bound the log under a continuous delta stream: past the cap,
   // dropping entries merely leaves version gaps, which the publish
-  // path's fully-logged check turns into a (correct) rebuild.
+  // path's fully-logged check turns into a (correct) rebuild. Entries
+  // are shared pointers to the applied batches' footprints (also held
+  // by the catalog's snapshot trail), so the log's own cost is one
+  // pointer per batch.
   constexpr size_t kMaxPendingDeltas = 1024;
   ++base_version_;
   bool builds_in_flight;
@@ -381,8 +384,7 @@ void Engine::NoteBaseChangedLocked(const graph::GraphDelta* delta) {
     if (!builds_in_flight) return;
   }
   if (delta != nullptr) {
-    delta_log_.push_back(PendingDelta{base_version_, delta->edge_removals,
-                                      delta->edge_inserts.size()});
+    delta_log_.push_back(PendingDelta{base_version_, std::move(delta)});
   }
   // A null delta (MutateBaseGraph) leaves a version gap no log entry
   // covers, which is exactly how in-flight builds learn they must
@@ -411,11 +413,24 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
   report.edges_removed = applied.removed_edges;
   report.new_vertices = std::move(applied.new_vertices);
   report.new_edges = std::move(applied.new_edges);
+  // One immutable footprint of the applied batch (removal ids + insert
+  // counts; insert payloads were consumed by the application above and
+  // must not be pinned), shared by every log that outlives this call:
+  // the pending-delta log (replay-at-publish for in-flight builds) and
+  // the catalog's snapshot delta trail. Skip materializing it when no
+  // log would keep it (write-only phases: no builds in flight, no
+  // patchable base snapshot) — both consumers treat null safely, the
+  // catalog by conservatively invalidating.
+  graph::DeltaFootprintPtr footprint;
+  if (builds_pending() > 0 || catalog_.WantsBaseDeltaTrail()) {
+    footprint = std::make_shared<const graph::DeltaFootprint>(delta);
+  }
   // The graph has changed even if maintenance fails below — in-flight
   // builds must see the new version either way.
-  NoteBaseChangedLocked(&delta);
-  KASKADE_ASSIGN_OR_RETURN(DeltaMaintenanceReport maintained,
-                           catalog_.ApplyBaseDelta(delta));
+  NoteBaseChangedLocked(footprint);
+  KASKADE_ASSIGN_OR_RETURN(
+      DeltaMaintenanceReport maintained,
+      catalog_.ApplyBaseDelta(delta, std::move(footprint)));
   report.views_incremental = maintained.views_incremental;
   report.views_rematerialized = maintained.views_rematerialized;
   report.maintenance = maintained.stats;

@@ -105,6 +105,11 @@ struct EngineOptions {
   /// offline analysis, online advice, and plan choice share one budget
   /// and cost model.
   AdvisorOptions advisor;
+  /// Incremental CSR snapshot production (forwarded to the catalog):
+  /// after `ApplyDelta`, the next query patches the previous topology
+  /// snapshot forward in O(|delta|) instead of rebuilding it in
+  /// O(|V| + |E|). `max_dirty_fraction = 0` disables patching.
+  graph::CsrPatchOptions snapshot_patch;
   /// Worker threads for `ExecuteBatch`; 0 = hardware concurrency.
   size_t batch_workers = 4;
   /// Background view-build workers (started lazily on first
@@ -308,14 +313,16 @@ class Engine {
   };
 
   /// One `ApplyDelta` batch retained while builds are in flight, so a
-  /// build pinned before it can replay it at publish time.
+  /// build pinned before it can replay it at publish time. Holds the
+  /// *same* immutable footprint (removal ids + insert counts — insert
+  /// payloads are never pinned) the catalog's snapshot delta trail
+  /// holds: one allocation per applied batch, however many consumers
+  /// log it (previously each entry copied the batch's full removal
+  /// list).
   struct PendingDelta {
     /// `base_version_` immediately after the batch applied.
     uint64_t base_version = 0;
-    /// The batch's removals in application order (inserts replay via
-    /// the maintainer's watermark catch-up and need no list).
-    std::vector<graph::EdgeId> removals;
-    size_t edge_inserts = 0;
+    graph::DeltaFootprintPtr delta;
   };
 
   /// Executes a previously chosen plan. Caller holds (at least) the
@@ -328,8 +335,9 @@ class Engine {
 
   /// Caller holds the writer lock. Notes a base-graph change for
   /// in-flight builds: bumps `base_version_` and either logs the batch
-  /// (replayable) or just invalidates (out-of-band mutation).
-  void NoteBaseChangedLocked(const graph::GraphDelta* delta);
+  /// (replayable) or just invalidates (out-of-band mutation, passed as
+  /// null).
+  void NoteBaseChangedLocked(graph::DeltaFootprintPtr delta);
 
   /// `ApplyAdvice` with optional error reservation: when
   /// `reserve_errors` is set, each scheduled handle is reserved (under

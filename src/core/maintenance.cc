@@ -73,18 +73,80 @@ struct BatchRemovalScope {
 
 namespace {
 
+/// \brief Open-addressed (src, dst) -> count map keyed on one packed
+/// 64-bit vertex pair, iterated in first-insertion order (the `RowSet`
+/// idiom from `query/executor.cc`). This sits on the hot path of every
+/// incremental connector maintenance call — one lookup per enumerated
+/// k-path — where the `std::map` it replaces paid a node allocation and
+/// a pointer chase per path.
+class PairCountMap {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    VertexId src() const { return static_cast<VertexId>(key >> 32); }
+    VertexId dst() const { return static_cast<VertexId>(key & 0xffffffffu); }
+  };
+
+  void Increment(VertexId src, VertexId dst, uint64_t amount = 1) {
+    const uint64_t key =
+        (static_cast<uint64_t>(src) << 32) | static_cast<uint64_t>(dst);
+    if ((entries_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (slots_[i] != 0) {
+      Entry& entry = entries_[slots_[i] - 1];
+      if (entry.key == key) {
+        entry.count += amount;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    entries_.push_back(Entry{key, amount});
+    slots_[i] = entries_.size();  // entry index + 1; 0 marks an empty slot
+  }
+
+  /// Distinct (src, dst) pairs in first-insertion order (deterministic
+  /// for a given enumeration; consumers' upsert/decrement results are
+  /// order-invariant anyway).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  static uint64_t Hash(uint64_t x) {
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    x *= 0x100000001b3ULL;
+    return x ^ (x >> 32);
+  }
+
+  void Grow() {
+    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<uint64_t> bigger(capacity, 0);
+    const size_t mask = capacity - 1;
+    for (size_t r = 0; r < entries_.size(); ++r) {
+      size_t i = Hash(entries_[r].key) & mask;
+      while (bigger[i] != 0) i = (i + 1) & mask;
+      bigger[i] = r + 1;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint64_t> slots_;
+};
+
 /// Counts, per (path start, path end) pair, the k-paths that pass
 /// through the edge described by `rec`, using only edges visible in
 /// `scope`. Mirrors the materializer's simple-path semantics, including
 /// contracted closed paths (t == s). Every such path decomposes as:
 /// s --(i edges)--> u --rec--> v --(k-1-i edges)--> t, 0 <= i <= k-1.
-std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
+PairCountMap CountPathsThroughEdge(
     const PropertyGraph& base, const BatchRemovalScope& scope,
     const EdgeRecord& rec, int k, graph::VertexTypeId source_type,
     graph::VertexTypeId target_type) {
   const VertexId u = rec.source;
   const VertexId v = rec.target;
-  std::map<std::pair<VertexId, VertexId>, uint64_t> pairs;
+  PairCountMap pairs;
 
   std::vector<std::vector<VertexId>> backward_paths;  // [u .. s]
   std::vector<VertexId> current{u};
@@ -107,7 +169,7 @@ std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
              base.VertexType(v) == source_type) &&
             (target_type == graph::kInvalidTypeId ||
              base.VertexType(v) == target_type)) {
-          ++pairs[{v, v}];
+          pairs.Increment(v, v);
         }
         return;
       }
@@ -142,7 +204,7 @@ std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
           const VertexId t = w;
           if (target_type == graph::kInvalidTypeId ||
               base.VertexType(t) == target_type) {
-            ++pairs[{s, t}];
+            pairs.Increment(s, t);
           }
           return;
         }
@@ -158,7 +220,7 @@ std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
             if (next == s && left == 1) {
               if (target_type == graph::kInvalidTypeId ||
                   base.VertexType(s) == target_type) {
-                ++pairs[{s, s}];
+                pairs.Increment(s, s);
               }
             }
             return;
@@ -172,7 +234,7 @@ std::map<std::pair<VertexId, VertexId>, uint64_t> CountPathsThroughEdge(
         // v itself is the endpoint.
         if (target_type == graph::kInvalidTypeId ||
             base.VertexType(v) == target_type) {
-          ++pairs[{s, v}];
+          pairs.Increment(s, v);
         }
       } else {
         extend_fwd(v, forward_steps);
@@ -354,6 +416,7 @@ Status ViewMaintainer::DecrementConnectorEdge(VertexId base_src,
   stats->paths_removed += paths;
   if (current == static_cast<int64_t>(paths)) {
     KASKADE_RETURN_IF_ERROR(vg.RemoveEdge(it->second));
+    if (removed_sink_ != nullptr) removed_sink_->push_back(it->second);
     connector_edges_.erase(it);
     ++stats->edges_removed;
     MaybeCollectViewVertex(base_src, stats);
@@ -389,13 +452,13 @@ Result<MaintenanceStats> ViewMaintainer::MaintainConnector(EdgeId e) {
   // that use a *later* insertion are that insertion's delta (prevents
   // double counting during batch catch-up).
   BatchRemovalScope scope(base_, e + 1);
-  std::map<std::pair<VertexId, VertexId>, uint64_t> new_pairs =
+  PairCountMap new_pairs =
       CountPathsThroughEdge(*base_, scope, base_->Edge(e),
                             view_->definition.k, source_type_, target_type_);
-  for (const auto& [pair, paths] : new_pairs) {
-    stats.paths_added += paths;
+  for (const PairCountMap::Entry& entry : new_pairs.entries()) {
+    stats.paths_added += entry.count;
     KASKADE_RETURN_IF_ERROR(
-        UpsertConnectorEdge(pair.first, pair.second, paths, &stats));
+        UpsertConnectorEdge(entry.src(), entry.dst(), entry.count, &stats));
   }
   return stats;
 }
@@ -407,12 +470,12 @@ Result<MaintenanceStats> ViewMaintainer::RemoveFromConnector(
   // counted their paths, so they must not be subtracted either.
   BatchRemovalScope single(base_, watermark_);
   const BatchRemovalScope& scope = batch != nullptr ? *batch : single;
-  std::map<std::pair<VertexId, VertexId>, uint64_t> dead_pairs =
+  PairCountMap dead_pairs =
       CountPathsThroughEdge(*base_, scope, base_->Edge(e),
                             view_->definition.k, source_type_, target_type_);
-  for (const auto& [pair, paths] : dead_pairs) {
+  for (const PairCountMap::Entry& entry : dead_pairs.entries()) {
     KASKADE_RETURN_IF_ERROR(
-        DecrementConnectorEdge(pair.first, pair.second, paths, &stats));
+        DecrementConnectorEdge(entry.src(), entry.dst(), entry.count, &stats));
   }
   return stats;
 }
@@ -462,6 +525,7 @@ Result<MaintenanceStats> ViewMaintainer::RemoveFromFilterSummarizer(
   auto it = summarizer_edges_.find(e);
   if (it == summarizer_edges_.end()) return stats;  // edge was filtered out
   KASKADE_RETURN_IF_ERROR(view_->graph.RemoveEdge(it->second));
+  if (removed_sink_ != nullptr) removed_sink_->push_back(it->second);
   summarizer_edges_.erase(it);
   ++stats.edges_removed;
   // Summarizer vertices are kept by type/predicate, not by incidence —

@@ -152,6 +152,16 @@ class ViewMaintainer {
   /// re-materialize).
   Result<MaintenanceStats> CatchUp();
 
+  /// While set, every *view-graph* edge this maintainer tombstones is
+  /// appended to `*sink` (view insertions need no log — view edge ids
+  /// are append-only, so consumers discover them from id-space growth).
+  /// The catalog records these as the view's CSR-snapshot delta trail,
+  /// letting `SnapshotFor` patch the previous snapshot forward instead
+  /// of rebuilding it. Null (the default) disables recording.
+  void set_removed_edge_sink(std::vector<graph::EdgeId>* sink) {
+    removed_sink_ = sink;
+  }
+
  private:
   Result<MaintenanceStats> MaintainConnector(graph::EdgeId e);
   Result<MaintenanceStats> MaintainFilterSummarizer(graph::EdgeId e);
@@ -198,6 +208,8 @@ class ViewMaintainer {
   /// Edge types preserved by a filter summarizer.
   std::vector<bool> keep_edge_type_;
   std::vector<bool> keep_vertex_type_;
+  /// When non-null, removed view-graph edge ids are appended here.
+  std::vector<graph::EdgeId>* removed_sink_ = nullptr;
   /// First base edge id not yet processed.
   graph::EdgeId watermark_ = 0;
   /// First base vertex id not yet processed (summarizers copy kept

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <tuple>
 #include <unordered_map>
 
 namespace kaskade::graph {
@@ -10,6 +11,7 @@ CsrGraph CsrGraph::Build(const PropertyGraph& g) {
   CsrGraph csr;
   const size_t n = g.NumVertices();
   const size_t m = g.NumLiveEdges();
+  csr.edge_id_space_ = static_cast<EdgeId>(g.NumEdges());
   csr.vertex_types_.resize(n);
   for (VertexId v = 0; v < n; ++v) csr.vertex_types_[v] = g.VertexType(v);
 
@@ -114,6 +116,248 @@ CsrGraph CsrGraph::Build(const PropertyGraph& g) {
                 csr.out_type_dirs_);
   group_by_type(csr.in_offsets_, csr.in_sources_, in_edge_types,
                 csr.in_edge_ids_, csr.in_type_dir_offsets_, csr.in_type_dirs_);
+  return csr;
+}
+
+CsrGraph CsrGraph::PatchedFrom(const CsrGraph& prev, const PropertyGraph& g,
+                               const std::vector<EdgeId>& removed_edges,
+                               const CsrPatchOptions& options,
+                               CsrPatchStats* stats_out) {
+  CsrPatchStats local_stats;
+  CsrPatchStats& stats = stats_out != nullptr ? *stats_out : local_stats;
+  stats = CsrPatchStats{};
+  const size_t n_prev = prev.NumVertices();
+  const size_t n = g.NumVertices();
+  const EdgeId first_new = prev.edge_id_space_;
+
+  // Dirty pass: a vertex's out-slice must be re-derived when an edge
+  // left or entered it since `prev` (in-slices symmetric). Vertices
+  // appended since `prev` are built fresh regardless, so they need no
+  // mark. Tombstoned records stay readable, which is all this needs —
+  // an edge inserted *and* removed within the window (id >= first_new,
+  // now dead) never reached `prev` and is simply absent from the
+  // re-derived slices.
+  std::vector<uint8_t> dirty(n_prev, 0);  // bit 1: out side, bit 2: in side
+  size_t dirty_old = 0;
+  auto mark = [&](VertexId v, uint8_t bit) {
+    if (static_cast<size_t>(v) >= n_prev) return;
+    if (dirty[v] == 0) ++dirty_old;
+    dirty[v] |= bit;
+  };
+  for (EdgeId e : removed_edges) {
+    if (e >= first_new) continue;  // never made it into `prev`
+    const EdgeRecord& rec = g.Edge(e);
+    mark(rec.source, 1);
+    mark(rec.target, 2);
+  }
+  for (EdgeId e = first_new; e < static_cast<EdgeId>(g.NumEdges()); ++e) {
+    const EdgeRecord& rec = g.Edge(e);
+    mark(rec.source, 1);
+    mark(rec.target, 2);
+  }
+  stats.dirty_vertices = dirty_old + (n - n_prev);
+  if (n == 0 || static_cast<double>(stats.dirty_vertices) >
+                    options.max_dirty_fraction * static_cast<double>(n)) {
+    stats.full_rebuild = true;
+    return Build(g);
+  }
+
+  CsrGraph csr;
+  csr.edge_id_space_ = static_cast<EdgeId>(g.NumEdges());
+  csr.vertex_types_.resize(n);
+  std::copy(prev.vertex_types_.begin(), prev.vertex_types_.end(),
+            csr.vertex_types_.begin());
+  for (size_t v = n_prev; v < n; ++v) {
+    csr.vertex_types_[v] = g.VertexType(static_cast<VertexId>(v));
+  }
+
+  // Edges appended since `prev`, grouped per endpoint and pre-sorted in
+  // each dirty vertex's slice order. Gathered only after the threshold
+  // check so the fallback path never pays for it.
+  struct InsertedEdge {
+    VertexId v;        ///< Slice owner (source for out, target for in).
+    EdgeTypeId type;
+    VertexId nbr;
+    EdgeId id;
+  };
+  std::vector<InsertedEdge> out_inserts;
+  std::vector<InsertedEdge> in_inserts;
+  for (EdgeId e = first_new; e < static_cast<EdgeId>(g.NumEdges()); ++e) {
+    if (!g.IsEdgeLive(e)) continue;
+    const EdgeRecord& rec = g.Edge(e);
+    out_inserts.push_back(InsertedEdge{rec.source, rec.type, rec.target, e});
+    in_inserts.push_back(InsertedEdge{rec.target, rec.type, rec.source, e});
+  }
+  auto slice_order = [](const InsertedEdge& a, const InsertedEdge& b) {
+    if (a.v != b.v) return a.v < b.v;
+    if (a.type != b.type) return a.type < b.type;
+    if (a.nbr != b.nbr) return a.nbr < b.nbr;
+    return a.id < b.id;
+  };
+  std::sort(out_inserts.begin(), out_inserts.end(), slice_order);
+  std::sort(in_inserts.begin(), in_inserts.end(), slice_order);
+
+  // One side (out or in) of the patched snapshot. Clean vertices are
+  // block-copied from `prev` in maximal runs (their slices shift by a
+  // per-run constant, so type-directory entries rebase with one add).
+  // Dirty and appended vertices *merge* their slice in linear time: the
+  // previous slice is already in (type, neighbor, edge id) order — walk
+  // it dropping entries whose edge died (exactly the recorded removals)
+  // while interleaving the window's pre-sorted insertions; no per-slice
+  // sort, so even a hub's slice costs O(degree). Every inserted edge id
+  // exceeds every previous id, so ties within (type, neighbor) keep
+  // base insertion order — the order `Build`'s stable grouping pass
+  // produces.
+  auto patch_side = [&](uint8_t bit, bool out_side,
+                        const std::vector<InsertedEdge>& inserts,
+                        const std::vector<uint64_t>& prev_offsets,
+                        const std::vector<VertexId>& prev_neighbors,
+                        const std::vector<EdgeTypeId>* prev_types,
+                        const std::vector<EdgeId>& prev_edge_ids,
+                        const std::vector<uint64_t>& prev_dir_offsets,
+                        const std::vector<TypeDirEntry>& prev_dirs,
+                        std::vector<uint64_t>& offsets,
+                        std::vector<VertexId>& neighbors,
+                        std::vector<EdgeTypeId>* types,
+                        std::vector<EdgeId>& edge_ids,
+                        std::vector<uint64_t>& dir_offsets,
+                        std::vector<TypeDirEntry>& dirs) {
+    auto fresh = [&](size_t v) {
+      return v >= n_prev || (dirty[v] & bit) != 0;
+    };
+    auto adjacency = [&](size_t v) -> const std::vector<EdgeId>& {
+      return out_side ? g.OutEdges(static_cast<VertexId>(v))
+                      : g.InEdges(static_cast<VertexId>(v));
+    };
+    offsets.assign(n + 1, 0);
+    for (size_t v = 0; v < n; ++v) {
+      offsets[v + 1] =
+          offsets[v] + (fresh(v) ? adjacency(v).size()
+                                 : prev_offsets[v + 1] - prev_offsets[v]);
+    }
+    const size_t m = offsets[n];
+    neighbors.resize(m);
+    edge_ids.resize(m);
+    if (types != nullptr) types->resize(m);
+    dir_offsets.assign(n + 1, 0);
+    dirs.clear();
+    dirs.reserve(prev_dirs.size() + 8);
+
+    size_t ins = 0;  // cursor into `inserts` (sorted by owner vertex)
+    size_t v = 0;
+    while (v < n) {
+      if (!fresh(v)) {
+        size_t run_end = v;
+        while (run_end < n && !fresh(run_end)) ++run_end;
+        const uint64_t src_begin = prev_offsets[v];
+        const uint64_t src_end = prev_offsets[run_end];
+        const uint64_t dst = offsets[v];
+        std::copy(prev_neighbors.begin() + src_begin,
+                  prev_neighbors.begin() + src_end, neighbors.begin() + dst);
+        std::copy(prev_edge_ids.begin() + src_begin,
+                  prev_edge_ids.begin() + src_end, edge_ids.begin() + dst);
+        if (types != nullptr) {
+          std::copy(prev_types->begin() + src_begin,
+                    prev_types->begin() + src_end, types->begin() + dst);
+        }
+        const uint64_t shift = dst - src_begin;  // may wrap; adds back exactly
+        for (size_t w = v; w < run_end; ++w) {
+          const uint64_t d0 = prev_dir_offsets[w];
+          const uint64_t d1 = prev_dir_offsets[w + 1];
+          for (uint64_t d = d0; d < d1; ++d) {
+            dirs.push_back(
+                TypeDirEntry{prev_dirs[d].type, prev_dirs[d].begin + shift});
+          }
+          dir_offsets[w + 1] = d1 - d0;
+        }
+        v = run_end;
+        continue;
+      }
+      // Merge: surviving previous entries x this vertex's insertions.
+      uint64_t d = 0, dend = 0, p = 0, pend = 0;
+      if (v < n_prev) {
+        d = prev_dir_offsets[v];
+        dend = prev_dir_offsets[v + 1];
+        p = prev_offsets[v];
+        pend = prev_offsets[v + 1];
+      }
+      // Next surviving previous entry (type from the directory segment
+      // containing it), or false when the previous slice is exhausted.
+      EdgeTypeId ptype = kInvalidTypeId;
+      VertexId pnbr = 0;
+      EdgeId pid = 0;
+      auto prev_next_live = [&]() {
+        while (p < pend) {
+          EdgeId id = prev_edge_ids[p];
+          if (!g.IsEdgeLive(id)) {
+            ++p;
+            continue;
+          }
+          while (d + 1 < dend && p >= prev_dirs[d + 1].begin) ++d;
+          ptype = prev_dirs[d].type;
+          pnbr = prev_neighbors[p];
+          pid = id;
+          return true;
+        }
+        return false;
+      };
+      while (ins < inserts.size() &&
+             inserts[ins].v < static_cast<VertexId>(v)) {
+        ++ins;  // owners below v were consumed when v was processed
+      }
+      uint64_t w = offsets[v];
+      uint64_t ndirs = 0;
+      EdgeTypeId last_type = kInvalidTypeId;
+      bool first_entry = true;
+      auto emit = [&](EdgeTypeId type, VertexId nbr, EdgeId id) {
+        neighbors[w] = nbr;
+        edge_ids[w] = id;
+        if (types != nullptr) (*types)[w] = type;
+        if (first_entry || type != last_type) {
+          dirs.push_back(TypeDirEntry{type, w});
+          ++ndirs;
+          first_entry = false;
+          last_type = type;
+        }
+        ++w;
+      };
+      bool have_prev = prev_next_live();
+      while (have_prev || (ins < inserts.size() &&
+                           inserts[ins].v == static_cast<VertexId>(v))) {
+        const bool have_ins = ins < inserts.size() &&
+                              inserts[ins].v == static_cast<VertexId>(v);
+        bool take_prev = have_prev;
+        if (have_prev && have_ins) {
+          const InsertedEdge& cand = inserts[ins];
+          take_prev = std::tie(ptype, pnbr, pid) <
+                      std::tie(cand.type, cand.nbr, cand.id);
+        }
+        if (take_prev) {
+          emit(ptype, pnbr, pid);
+          ++p;
+          have_prev = prev_next_live();
+        } else {
+          emit(inserts[ins].type, inserts[ins].nbr, inserts[ins].id);
+          ++ins;
+        }
+      }
+      dir_offsets[v + 1] = ndirs;
+      ++v;
+    }
+    for (size_t w = 0; w < n; ++w) dir_offsets[w + 1] += dir_offsets[w];
+  };
+
+  patch_side(1, /*out_side=*/true, out_inserts, prev.out_offsets_,
+             prev.out_targets_, &prev.out_edge_types_, prev.out_edge_ids_,
+             prev.out_type_dir_offsets_, prev.out_type_dirs_,
+             csr.out_offsets_, csr.out_targets_, &csr.out_edge_types_,
+             csr.out_edge_ids_, csr.out_type_dir_offsets_,
+             csr.out_type_dirs_);
+  patch_side(2, /*out_side=*/false, in_inserts, prev.in_offsets_,
+             prev.in_sources_, nullptr, prev.in_edge_ids_,
+             prev.in_type_dir_offsets_, prev.in_type_dirs_, csr.in_offsets_,
+             csr.in_sources_, nullptr, csr.in_edge_ids_,
+             csr.in_type_dir_offsets_, csr.in_type_dirs_);
   return csr;
 }
 

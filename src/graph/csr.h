@@ -25,9 +25,32 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::graph {
+
+/// \brief Tuning for incremental snapshot patching (`CsrGraph::PatchedFrom`).
+struct CsrPatchOptions {
+  /// Patch only while (vertices incident to the delta) / |V| stays at or
+  /// below this fraction; above it re-deriving dirty slices approaches
+  /// the cost of a full rebuild (which also has better locality), so
+  /// `PatchedFrom` falls back to `Build`. Set to 0 to disable patching
+  /// entirely (every snapshot is a full rebuild — the PR-3 behavior).
+  double max_dirty_fraction = 0.20;
+
+  bool enabled() const { return max_dirty_fraction > 0.0; }
+};
+
+/// \brief What one `PatchedFrom` call did (telemetry for benches/tests).
+struct CsrPatchStats {
+  /// Pre-existing vertices whose out- or in-slice had to be re-derived,
+  /// plus vertices appended since the previous snapshot.
+  size_t dirty_vertices = 0;
+  /// True when the dirty fraction exceeded the threshold and the result
+  /// came from a full `Build` instead of the patch path.
+  bool full_rebuild = false;
+};
 
 /// \brief A contiguous, read-only neighbor slice.
 struct NeighborSpan {
@@ -59,8 +82,47 @@ class CsrGraph {
   /// Freezes the topology of `g`. O(|V| + |E|).
   static CsrGraph Build(const PropertyGraph& g);
 
+  /// Derives the snapshot of `g` from `prev`, a snapshot of an earlier
+  /// state of the same graph, re-deriving only the slices of vertices
+  /// incident to what changed (the *dirty set*): `removed_edges` must
+  /// list exactly the edge ids tombstoned in `g` since `prev` was built
+  /// (their records stay readable), and every edge id appended since is
+  /// discovered from the id space (`prev.edge_id_space()` up to
+  /// `g.NumEdges()`), so insertions need no explicit list. Untouched
+  /// vertices' neighbor slices, lineage arrays, and type directories are
+  /// block-copied from `prev`; dirty vertices are re-derived from `g`'s
+  /// adjacency, preserving the type-partitioned, sorted-by-neighbor
+  /// invariants `Build` guarantees — the result is indistinguishable
+  /// from `Build(g)`. O(|V| + |delta| + sum of dirty degrees) instead of
+  /// O(|V| + |E| log deg).
+  ///
+  /// Falls back to `Build(g)` automatically when the dirty fraction
+  /// exceeds `options.max_dirty_fraction` (reported via
+  /// `stats->full_rebuild`).
+  static CsrGraph PatchedFrom(const CsrGraph& prev, const PropertyGraph& g,
+                              const std::vector<EdgeId>& removed_edges,
+                              const CsrPatchOptions& options = {},
+                              CsrPatchStats* stats = nullptr);
+
+  /// As above with the removals taken from one applied `GraphDelta`
+  /// batch (`g` must be the post-delta graph).
+  static CsrGraph PatchedFrom(const CsrGraph& prev, const PropertyGraph& g,
+                              const GraphDelta& delta,
+                              const CsrPatchOptions& options = {},
+                              CsrPatchStats* stats = nullptr) {
+    return PatchedFrom(prev, g, delta.edge_removals, options, stats);
+  }
+
   size_t NumVertices() const { return vertex_types_.size(); }
   size_t NumEdges() const { return out_targets_.size(); }
+
+  /// The source graph's edge *id space* (`PropertyGraph::NumEdges()`,
+  /// dead ids included) when this snapshot was taken. Edge ids at or
+  /// beyond it were inserted after the snapshot — which is how
+  /// `PatchedFrom` discovers insertions, and how the executor's
+  /// staleness tripwire catches balanced insert+remove churn that leaves
+  /// the live count unchanged.
+  EdgeId edge_id_space() const { return edge_id_space_; }
 
   NeighborSpan OutNeighbors(VertexId v) const {
     return {out_targets_.data() + out_offsets_[v],
@@ -158,6 +220,7 @@ class CsrGraph {
   std::vector<TypeDirEntry> out_type_dirs_;
   std::vector<uint64_t> in_type_dir_offsets_;
   std::vector<TypeDirEntry> in_type_dirs_;
+  EdgeId edge_id_space_ = 0;  ///< Source NumEdges() at snapshot time.
 };
 
 /// Bounded BFS over a CSR snapshot: distinct vertices within `max_hops`

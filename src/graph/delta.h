@@ -13,6 +13,7 @@
 #ifndef KASKADE_GRAPH_DELTA_H_
 #define KASKADE_GRAPH_DELTA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,42 @@ struct GraphDelta {
   /// declaration. A valid delta applies without partial failure.
   Status Validate(const PropertyGraph& graph) const;
 };
+
+/// \brief What an applied batch leaves behind for the logs that outlive
+/// it: the removal ids (in application order) plus insert *counts*.
+/// Insert payloads are consumed at application time and never read
+/// again — appended elements are rediscovered from id-space growth —
+/// so the logs must not pin them.
+///
+/// One shared, immutable footprint per applied batch is held by both
+/// the engine's pending-delta log (replay-at-publish for in-flight
+/// builds) and the catalog's CSR-snapshot delta trail: the removal
+/// list is materialized once, however many consumers log the batch.
+struct DeltaFootprint {
+  std::vector<EdgeId> edge_removals;
+  size_t edge_inserts = 0;
+  size_t vertex_inserts = 0;
+
+  DeltaFootprint() = default;
+  /// Captures `delta`'s footprint (copies the removal list — the one
+  /// copy every log then shares).
+  explicit DeltaFootprint(const GraphDelta& delta)
+      : edge_removals(delta.edge_removals),
+        edge_inserts(delta.edge_inserts.size()),
+        vertex_inserts(delta.vertex_inserts.size()) {}
+
+  /// Upper bound on the vertices whose adjacency this batch touches
+  /// (each edge mutation dirties at most its two endpoints). Consumers
+  /// that patch per-vertex state forward (the catalog's CSR snapshot
+  /// trail) use it to skip logging batches that already guarantee a
+  /// full rebuild.
+  size_t TouchedVertexBound() const {
+    return 2 * (edge_inserts + edge_removals.size());
+  }
+};
+
+/// \brief Shared ownership of one applied batch's footprint.
+using DeltaFootprintPtr = std::shared_ptr<const DeltaFootprint>;
 
 /// \brief Ids allocated while applying a delta.
 struct AppliedDelta {

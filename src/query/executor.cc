@@ -1048,9 +1048,13 @@ struct Accumulator {
 Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match) {
   if (csr_ != nullptr) {
     // Cheap staleness tripwires; generation keying at the engine layer
-    // is the real guarantee.
+    // is the real guarantee. The id-space check additionally catches
+    // balanced insert+remove churn that leaves both counts unchanged —
+    // which matters now that snapshots are patched forward rather than
+    // always rebuilt.
     if (csr_->NumVertices() != graph_->NumVertices() ||
-        csr_->NumEdges() != graph_->NumLiveEdges()) {
+        csr_->NumEdges() != graph_->NumLiveEdges() ||
+        csr_->edge_id_space() != graph_->NumEdges()) {
       return Status::Internal(
           "CSR snapshot is stale relative to its property graph");
     }

@@ -268,6 +268,64 @@ TEST(AdvisorTest, ResetWorkloadLetsQuietViewsBecomeDropCandidates) {
             1);
 }
 
+TEST(AdvisorTest, LatencyWeightingLetsSlowRareQueryWinTheView) {
+  // §V-B weights workload queries by "frequency or expected execution
+  // time". Frequency-only weighting lets a fast query that runs often
+  // out-vote a slow analytical query that runs rarely; weighting by
+  // frequency x measured latency (the tracker records it) flips that
+  // when the rare query's aggregate cost dominates.
+  PropertyGraph base = SmallProv();
+
+  const std::string frequent = datasets::AncestorsQueryText("Job", 4);
+  const std::string rare = datasets::AncestorsQueryText("File", 4);
+  WorkloadSnapshot snapshot;
+  QueryObservation frequent_obs;
+  frequent_obs.query_text = frequent;
+  frequent_obs.executions = 50;
+  frequent_obs.total_latency_us = 50 * 40.0;  // fast: 40us each
+  QueryObservation rare_obs;
+  rare_obs.query_text = rare;
+  rare_obs.executions = 2;
+  rare_obs.total_latency_us = 2 * 400000.0;  // slow: 400ms each
+  snapshot.entries = {frequent_obs, rare_obs};
+  snapshot.total_executions = 52;
+
+  // Budget that fits either query's best view but not both, so the
+  // weighting decides which one wins the knapsack.
+  AdvisorOptions options;
+  {
+    ViewSelector sizer(&base);
+    ViewDefinition job = JobConnector();
+    ViewDefinition file = FileConnector();
+    options.selector.budget_edges =
+        std::max(sizer.cost_model().ViewSizeEdges(job),
+                 sizer.cost_model().ViewSizeEdges(file));
+  }
+
+  ViewCatalog catalog(&base);
+  auto advised_names = [&](const AdvisorOptions& opts) {
+    Advisor advisor(&base, opts);
+    auto plan = advisor.Advise(snapshot, catalog);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    std::set<std::string> names;
+    if (plan.ok()) {
+      for (const ViewDefinition& def : plan->create) names.insert(def.Name());
+    }
+    return names;
+  };
+
+  std::set<std::string> by_frequency = advised_names(options);
+  options.weighting = AdviceWeighting::kExpectedExecutionTime;
+  std::set<std::string> by_latency = advised_names(options);
+
+  // Frequency weighting follows the popular Job query...
+  EXPECT_EQ(by_frequency.count(JobConnector().Name()), 1u) << "freq";
+  EXPECT_EQ(by_frequency.count(FileConnector().Name()), 0u) << "freq";
+  // ...expected-execution-time weighting follows the expensive File one.
+  EXPECT_EQ(by_latency.count(FileConnector().Name()), 1u) << "latency";
+  EXPECT_EQ(by_latency.count(JobConnector().Name()), 0u) << "latency";
+}
+
 TEST(AdvisorTest, HysteresisKeepsAdviceStableAcrossAdjacentRounds) {
   Engine engine(SmallProv());
   const std::vector<std::string> workload = {

@@ -26,6 +26,7 @@
 #include "core/engine.h"
 #include "core/maintenance.h"
 #include "core/materializer.h"
+#include "csr_test_util.h"
 #include "graph/csr.h"
 #include "graph/delta.h"
 #include "graph/property_graph.h"
@@ -401,6 +402,108 @@ TEST_P(DifferentialTest, CsrExecutorMatchesLegacyAcrossMutations) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-patching differential: a chain of CsrGraph::PatchedFrom calls
+// following the same randomized mutation sequences must be structurally
+// identical to a from-scratch CsrGraph::Build at every prefix — typed
+// slices, lineage edge ids, type directories, and sortedness included.
+// The threshold is forced to 1.0 so every step takes the patch path
+// (never the internal Build fallback); a parallel default-threshold
+// chain checks that fallbacks interleave transparently.
+// ---------------------------------------------------------------------------
+
+TEST_P(DifferentialTest, PatchedSnapshotsMatchFreshBuildsAtEveryPrefix) {
+  auto [seed, skewed] = GetParam();
+  MutationState state(seed + 9000, skewed);
+  PropertyGraph g(DeltaSchema());
+  SeedGraph(&g, &state);
+
+  graph::CsrPatchOptions always_patch;
+  always_patch.max_dirty_fraction = 1.0;
+
+  graph::CsrGraph patched = graph::CsrGraph::Build(g);
+  graph::CsrGraph adaptive = graph::CsrGraph::Build(g);
+
+  constexpr int kSteps = 60;
+  for (int step = 0; step < kSteps; ++step) {
+    GraphDelta delta;
+    double dice = state.UniformReal();
+    if (dice < 0.5 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+      if (state.UniformReal() < 0.05) {
+        delta.AddVertex("Job", state.RandomVertexProps());
+        delta.AddEdge(static_cast<VertexId>(g.NumVertices()),
+                      state.by_type[1][state.PickIndex(state.by_type[1].size())],
+                      "WRITES_TO", state.RandomVertexProps());
+      }
+    } else if (dice < 0.8) {
+      delta.RemoveEdge(state.PickLiveEdge());
+    } else {
+      size_t ops = 2 + state.rng() % 5;
+      std::set<EdgeId> doomed;
+      for (size_t i = 0; i < ops; ++i) {
+        if (state.UniformReal() < 0.5 ||
+            doomed.size() + 4 > state.live_edges.size()) {
+          delta.edge_inserts.push_back(state.RandomEdgeInsert());
+        } else {
+          doomed.insert(state.PickLiveEdge());
+        }
+      }
+      for (EdgeId e : doomed) delta.RemoveEdge(e);
+    }
+    auto applied = graph::ApplyDeltaToGraph(&g, delta);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+    for (EdgeId e : applied->new_edges) state.live_edges.push_back(e);
+    for (VertexId v : applied->new_vertices) state.by_type[0].push_back(v);
+
+    const std::string context = "step " + std::to_string(step) + " (seed " +
+                                std::to_string(seed) +
+                                (skewed ? ", skewed)" : ", uniform)");
+    graph::CsrPatchStats stats;
+    patched =
+        graph::CsrGraph::PatchedFrom(patched, g, delta, always_patch, &stats);
+    ASSERT_FALSE(stats.full_rebuild) << context;
+    const graph::CsrGraph fresh = graph::CsrGraph::Build(g);
+    testutil::ExpectCsrEqual(patched, fresh, g, "patched " + context);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    adaptive = graph::CsrGraph::PatchedFrom(adaptive, g, delta, {}, &stats);
+    testutil::ExpectCsrEqual(adaptive, fresh, g, "adaptive " + context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SnapshotPatchFallbackTest, DirtyFractionThresholdForcesFullRebuild) {
+  MutationState state(17, /*skew=*/false);
+  PropertyGraph g(DeltaSchema());
+  SeedGraph(&g, &state);
+  graph::CsrGraph prev = graph::CsrGraph::Build(g);
+
+  // A delta touching most of the graph: dirty fraction is far above any
+  // reasonable threshold, so the patch must fall back (and still be
+  // exact, because the fallback *is* Build).
+  GraphDelta big;
+  for (int i = 0; i < 12; ++i) big.edge_inserts.push_back(state.RandomEdgeInsert());
+  auto applied = graph::ApplyDeltaToGraph(&g, big);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+
+  graph::CsrPatchOptions tight;
+  tight.max_dirty_fraction = 0.01;  // 26 vertices: budget < 1 dirty vertex
+  graph::CsrPatchStats stats;
+  graph::CsrGraph result = graph::CsrGraph::PatchedFrom(prev, g, big, tight, &stats);
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_GT(stats.dirty_vertices, 0u);
+  testutil::ExpectCsrEqual(result, graph::CsrGraph::Build(g), g, "fallback");
+
+  // The same delta patches fine with headroom.
+  graph::CsrPatchStats relaxed_stats;
+  graph::CsrGraph patched = graph::CsrGraph::PatchedFrom(
+      prev, g, big, graph::CsrPatchOptions{1.0}, &relaxed_stats);
+  EXPECT_FALSE(relaxed_stats.full_rebuild);
+  testutil::ExpectCsrEqual(patched, graph::CsrGraph::Build(g), g, "patched");
 }
 
 // ---------------------------------------------------------------------------
