@@ -44,6 +44,7 @@
 namespace {
 
 using kaskade::bench::JsonReport;
+using kaskade::bench::OrDie;
 using kaskade::bench::PrintHeader;
 using kaskade::bench::TimeSeconds;
 using kaskade::core::AdvicePlan;
@@ -92,12 +93,8 @@ std::vector<double> ReaderLatenciesDuring(
   std::thread reader([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       double secs = TimeSeconds([&] {
-        auto result = engine->Execute(kReaderQuery);
-        if (!result.ok()) {
-          std::fprintf(stderr, "reader query failed: %s\n",
-                       result.status().ToString().c_str());
-          std::exit(1);
-        }
+        kaskade::bench::OrDie(engine->Execute(kReaderQuery).status(),
+                              "reader query");
       });
       latencies.push_back(secs * 1e6);
     }
@@ -122,7 +119,7 @@ int main(int argc, char** argv) {
   {
     Engine engine(BuildPhaseGraph());
     build_secs = TimeSeconds([&] {
-      if (!engine.AddMaterializedView(heavy).ok()) std::exit(1);
+      OrDie(engine.AddMaterializedView(heavy), "materialize heavy connector");
     });
   }
   JsonReport::Record("social", "build_seconds", build_secs);
@@ -136,8 +133,8 @@ int main(int argc, char** argv) {
   {
     Engine engine(BuildPhaseGraph());
     blocking = ReaderLatenciesDuring(&engine, kCycles, [&](Engine* e) {
-      if (!e->AddMaterializedView(heavy).ok()) std::exit(1);
-      if (!e->RemoveView(heavy.Name()).ok()) std::exit(1);
+      OrDie(e->AddMaterializedView(heavy), "blocking build");
+      OrDie(e->RemoveView(heavy.Name()), "drop after blocking build");
     });
   }
   double blocking_p50 = Percentile(blocking, 0.50);
@@ -159,17 +156,18 @@ int main(int argc, char** argv) {
     background = ReaderLatenciesDuring(&engine, kCycles, [&](Engine* e) {
       AdvicePlan create;
       create.create.push_back(heavy);
-      if (!e->ApplyAdvice(create).ok()) std::exit(1);
+      OrDie(e->ApplyAdvice(create).status(), "schedule background build");
       e->WaitForBuilds();
-      if (!e->TakeBuildError().ok()) std::exit(1);
-      if (!e->RemoveView(heavy.Name()).ok()) std::exit(1);
+      OrDie(e->TakeBuildError(), "background build");
+      OrDie(e->RemoveView(heavy.Name()), "drop after background build");
     });
     builds_completed = engine.builds_completed();
   }
   if (builds_completed != static_cast<size_t>(kCycles)) {
-    std::fprintf(stderr, "expected %d background builds, saw %zu\n", kCycles,
-                 builds_completed);
-    return 1;
+    kaskade::bench::Die("background path",
+                        "expected " + std::to_string(kCycles) +
+                            " background builds, saw " +
+                            std::to_string(builds_completed));
   }
   double background_p50 = Percentile(background, 0.50);
   double background_p99 = Percentile(background, 0.99);
@@ -202,16 +200,15 @@ int main(int argc, char** argv) {
     };
     for (int round = 0; round < 3; ++round) {
       for (const std::string& text : workload) {
-        if (!engine.Execute(text).ok()) return 1;
+        OrDie(engine.Execute(text).status(), "prov workload query");
       }
     }
     double advise_secs = TimeSeconds([&] {
-      auto plan = engine.Advise();
-      if (!plan.ok()) std::exit(1);
+      AdvicePlan plan = OrDie(engine.Advise(), "advise round");
       std::printf("advice: %zu creations, %zu drops over %zu observed "
                   "queries\n",
-                  plan->create.size(), plan->drop.size(),
-                  plan->observed_queries);
+                  plan.create.size(), plan.drop.size(),
+                  plan.observed_queries);
     });
     JsonReport::Record("prov", "advise_round_seconds", advise_secs);
     std::printf("one Advise() round: %.4fs\n", advise_secs);

@@ -34,6 +34,7 @@
 namespace {
 
 using kaskade::bench::JsonReport;
+using kaskade::bench::OrDie;
 using kaskade::bench::PrintHeader;
 using kaskade::bench::TimeSeconds;
 using kaskade::core::Engine;
@@ -64,7 +65,6 @@ const char* kFirstQuery =
     "WHERE a.handle = 'person_4242' RETURN a, b";
 
 struct ModeResult {
-  bool ok = false;  ///< False when any warm/mutate/query step failed.
   double snapshot_seconds = 0;      // min over iterations (noise floor)
   double snapshot_seconds_mean = 0;
   double mutation_to_first_query = 0;  // mean ApplyDelta + snapshot + query
@@ -74,6 +74,8 @@ struct ModeResult {
 
 /// Runs `iterations` mutate-then-query rounds of `delta_edges` edge
 /// mutations (half removals, half inserts) against a fresh engine.
+/// Exits non-zero on any warm/mutate/query failure (never lets CI
+/// record an all-zero "trajectory" as a green run).
 ModeResult RunMode(const PropertyGraph& graph, bool patching,
                    size_t delta_edges, int iterations) {
   EngineOptions options;
@@ -88,12 +90,7 @@ ModeResult RunMode(const PropertyGraph& graph, bool patching,
 
   // Warm: steady-state serving has a current snapshot before the
   // mutation arrives.
-  auto warm = engine.Execute(kFirstQuery);
-  if (!warm.ok()) {
-    std::fprintf(stderr, "warm query failed: %s\n",
-                 warm.status().ToString().c_str());
-    return {};
-  }
+  OrDie(engine.Execute(kFirstQuery).status(), "warm query");
   const size_t patches_before = engine.catalog().snapshot_patches();
   const size_t full_before = engine.catalog().snapshot_full_builds();
 
@@ -115,34 +112,19 @@ ModeResult RunMode(const PropertyGraph& graph, bool patching,
       delta.AddEdge(src, dst, "FOLLOWS", {});
     }
 
-    bool iteration_ok = true;
-    double apply_seconds = 0;
     double snapshot_seconds = 0;
     double query_seconds = 0;
-    apply_seconds = TimeSeconds([&] {
-      auto report = engine.ApplyDelta(std::move(delta));
-      if (report.ok()) {
-        for (EdgeId e : report->new_edges) live.push_back(e);
-      } else {
-        std::fprintf(stderr, "ApplyDelta failed: %s\n",
-                     report.status().ToString().c_str());
-        iteration_ok = false;
-      }
+    double apply_seconds = TimeSeconds([&] {
+      auto report = OrDie(engine.ApplyDelta(std::move(delta)), "ApplyDelta");
+      for (EdgeId e : report.new_edges) live.push_back(e);
     });
-    if (!iteration_ok) return {};  // never record timings of failures
     // First snapshot acquisition after the mutation: the patched vs
     // full-rebuild cost under measurement.
     snapshot_seconds =
         TimeSeconds([&] { (void)engine.catalog().BaseSnapshot(); });
     query_seconds = TimeSeconds([&] {
-      auto result = engine.Execute(kFirstQuery);
-      if (!result.ok()) {
-        std::fprintf(stderr, "query failed: %s\n",
-                     result.status().ToString().c_str());
-        iteration_ok = false;
-      }
+      OrDie(engine.Execute(kFirstQuery).status(), "first query");
     });
-    if (!iteration_ok) return {};
     result.snapshot_seconds_mean += snapshot_seconds;
     result.snapshot_seconds = it == 0
                                   ? snapshot_seconds
@@ -155,7 +137,6 @@ ModeResult RunMode(const PropertyGraph& graph, bool patching,
   result.mutation_to_first_query /= iterations;
   result.patches = engine.catalog().snapshot_patches() - patches_before;
   result.full_builds = engine.catalog().snapshot_full_builds() - full_before;
-  result.ok = true;
   return result;
 }
 
@@ -192,11 +173,6 @@ int main(int argc, char** argv) {
         RunMode(graph, /*patching=*/true, size.edges, kIterations);
     ModeResult full =
         RunMode(graph, /*patching=*/false, size.edges, kIterations);
-    if (!patched.ok || !full.ok) {
-      // Never let CI record an all-zero "trajectory" as a green run.
-      std::fprintf(stderr, "bench failed at %s; aborting\n", size.label);
-      return 1;
-    }
     const double speedup = patched.snapshot_seconds > 0
                                ? full.snapshot_seconds / patched.snapshot_seconds
                                : 0;

@@ -14,15 +14,49 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "datasets/generators.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::bench {
+
+/// \name Run-or-die plumbing.
+///
+/// Bench binaries have no caller to propagate a `Status` to: any
+/// engine-setup failure is a bug in the bench itself, and the only
+/// honest reaction is to print the status and exit non-zero (so CI's
+/// bench-smoke job turns red instead of uploading an empty report).
+/// Every bench previously open-coded this; these helpers are the one
+/// shared spelling.
+/// @{
+
+/// Prints `context: message` to stderr and exits with code 1.
+[[noreturn]] inline void Die(const std::string& context,
+                             const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", context.c_str(), message.c_str());
+  std::exit(1);
+}
+
+/// Exits via `Die` when `status` is not OK.
+inline void OrDie(const Status& status, const std::string& context) {
+  if (!status.ok()) Die(context, status.ToString());
+}
+
+/// Returns the value or exits via `Die`.
+template <typename T>
+T OrDie(Result<T> result, const std::string& context) {
+  if (!result.ok()) Die(context, result.status().ToString());
+  return std::move(result).value();
+}
+
+/// @}
 
 /// \brief Machine-readable result sink for the bench binaries.
 ///

@@ -34,7 +34,10 @@ Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
     : base_(std::move(base_graph)),
       options_(options),
       catalog_(&base_, options.snapshot_patch),
-      planner_(MakePlannerOptions(options)) {}
+      planner_(MakePlannerOptions(options)) {
+  next_auto_advise_at_.store(options_.auto_advise_every_n_ops,
+                             std::memory_order_relaxed);
+}
 
 Engine::~Engine() {
   std::vector<BuildJob> orphaned;
@@ -136,7 +139,56 @@ Result<AdviceReport> Engine::ApplyAdviceImpl(const AdvicePlan& plan,
 
 Result<AdviceReport> Engine::AutoAdvise() {
   KASKADE_ASSIGN_OR_RETURN(AdvicePlan plan, Advise());
-  return ApplyAdvice(plan);
+  Result<AdviceReport> report = ApplyAdvice(plan);
+  // Epoch decay: after every self-tuning round, fade what has been seen
+  // so the next round weights recent traffic over history. Decaying
+  // even when the round proposed nothing is deliberate — a workload
+  // that went quiet must still lose weight.
+  if (report.ok() && options_.workload_decay < 1.0) {
+    tracker_.Decay(options_.workload_decay);
+  }
+  return report;
+}
+
+void Engine::MaybeAutoAdvise() {
+  if (options_.auto_advise_every_n_ops == 0) return;
+  uint64_t total = tracker_.total_recorded();
+  uint64_t threshold = next_auto_advise_at_.load(std::memory_order_relaxed);
+  if (total < threshold) return;
+  // One winner per crossing: losers see the advanced threshold and
+  // return to their queries.
+  if (!next_auto_advise_at_.compare_exchange_strong(
+          threshold, total + options_.auto_advise_every_n_ops,
+          std::memory_order_relaxed)) {
+    return;
+  }
+  Result<AdviceReport> report = AutoAdvise();
+  auto_advises_.fetch_add(1, std::memory_order_relaxed);
+  if (!report.ok()) {
+    // Never surface an advice failure through the query that happened
+    // to cross the threshold; monitors read the error counter.
+    auto_advise_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EngineTelemetry Engine::TelemetrySnapshot() const {
+  EngineTelemetry t;
+  t.catalog_generation = catalog_.generation();
+  t.views_ready = catalog_.num_ready();
+  t.plan_cache_hits = planner_.cache_hits();
+  t.plan_cache_misses = planner_.cache_misses();
+  t.snapshot_hits = catalog_.snapshot_hits();
+  t.snapshot_patches = catalog_.snapshot_patches();
+  t.snapshot_full_builds = catalog_.snapshot_full_builds();
+  t.builds_completed = builds_completed_.load(std::memory_order_relaxed);
+  t.builds_replayed = builds_replayed_.load(std::memory_order_relaxed);
+  t.build_retries = build_retries_.load(std::memory_order_relaxed);
+  t.builds_pending = builds_pending();
+  t.auto_advises = auto_advises_.load(std::memory_order_relaxed);
+  t.auto_advise_errors = auto_advise_errors_.load(std::memory_order_relaxed);
+  t.queries_recorded = tracker_.total_recorded();
+  t.distinct_queries = tracker_.distinct_queries();
+  return t;
 }
 
 // ---------------------------------------------------------------------------
@@ -492,8 +544,15 @@ Result<ExecutionResult> Engine::ExecuteUnderLock(
 }
 
 Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
-  std::shared_lock lock(mu_);
-  return ExecuteUnderLock(query_text);
+  Result<ExecutionResult> result = Status::Internal("unreachable");
+  {
+    std::shared_lock lock(mu_);
+    result = ExecuteUnderLock(query_text);
+  }
+  // Outside the reader lock: a triggered advice round takes the writer
+  // lock for its drop/schedule step and would self-deadlock under it.
+  MaybeAutoAdvise();
+  return result;
 }
 
 Result<ExecutionResult> Engine::Execute(const query::Query& query) {
@@ -537,6 +596,10 @@ std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(
   for (auto& slot : slots) {
     results.push_back(std::move(slot).value());
   }
+  // After the workers joined (and released their reader locks): batch
+  // workers hold the shared lock across their whole loop, so the
+  // trigger check must not run inside them.
+  MaybeAutoAdvise();
   return results;
 }
 

@@ -115,7 +115,46 @@ struct EngineOptions {
   /// Background view-build workers (started lazily on first
   /// `ApplyAdvice` with creations).
   size_t build_workers = 1;
+  /// Opt-in self-tuning trigger: when non-zero, the engine runs one
+  /// `AutoAdvise` round after every N successful query executions
+  /// (tracker-recorded), so deployments adapt without an external
+  /// advice loop. The round runs on the query thread that crossed the
+  /// threshold, after it released the reader lock; at most one thread
+  /// wins each threshold crossing. 0 disables the trigger.
+  size_t auto_advise_every_n_ops = 0;
+  /// Exponential decay applied to the workload tracker after each
+  /// `AutoAdvise` round (triggered or manual): every observation's
+  /// counts and latency/cost aggregates are scaled by this factor, so
+  /// advice follows workload shifts — a query that stops arriving loses
+  /// its weight round over round and its view eventually becomes a drop
+  /// candidate, while entries decayed to zero executions are evicted
+  /// (freeing stripe capacity for new hot texts). 1.0 (default)
+  /// disables decay; must be in [0, 1].
+  double workload_decay = 1.0;
   BuildHooks build_hooks;
+};
+
+/// \brief Point-in-time copy of every cheap engine counter, for
+/// monitors and the serving workload harness (which diffs two snapshots
+/// around a traffic phase). All fields are gathered from atomics or
+/// short internal critical sections — taking a snapshot never blocks
+/// behind the engine's writer lock.
+struct EngineTelemetry {
+  uint64_t catalog_generation = 0;
+  size_t views_ready = 0;
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
+  size_t snapshot_hits = 0;
+  size_t snapshot_patches = 0;
+  size_t snapshot_full_builds = 0;
+  size_t builds_completed = 0;
+  size_t builds_replayed = 0;
+  size_t build_retries = 0;
+  size_t builds_pending = 0;
+  size_t auto_advises = 0;
+  size_t auto_advise_errors = 0;
+  uint64_t queries_recorded = 0;
+  size_t distinct_queries = 0;
 };
 
 /// \brief Outcome of one `ApplyDelta` batch.
@@ -211,8 +250,29 @@ class Engine {
   Result<AdviceReport> ApplyAdvice(const AdvicePlan& plan);
 
   /// `Advise` + `ApplyAdvice` in one call — the self-tuning loop a
-  /// deployment invokes periodically.
+  /// deployment invokes periodically (or lets
+  /// `EngineOptions::auto_advise_every_n_ops` invoke for it). When
+  /// `EngineOptions::workload_decay < 1`, the tracker is decayed after
+  /// the round so stale observations lose weight epoch over epoch.
   Result<AdviceReport> AutoAdvise();
+
+  /// \name Auto-advise trigger telemetry.
+  /// @{
+  /// Rounds fired by the `auto_advise_every_n_ops` trigger.
+  size_t auto_advises_triggered() const {
+    return auto_advises_.load(std::memory_order_relaxed);
+  }
+  /// Triggered rounds that returned an error (counted, never thrown
+  /// onto the query path that happened to cross the threshold).
+  size_t auto_advise_errors() const {
+    return auto_advise_errors_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// One consistent-enough snapshot of every cheap counter (each field
+  /// individually atomic; no cross-field atomicity). Safe to call
+  /// concurrently with readers, writers, and background builds.
+  EngineTelemetry TelemetrySnapshot() const;
 
   /// Blocks until the background build queue is empty and no build is
   /// in flight.
@@ -333,6 +393,13 @@ class Engine {
   /// Caller holds the reader lock.
   Result<ExecutionResult> ExecuteUnderLock(const std::string& query_text);
 
+  /// Fires one `AutoAdvise` round when the recorded-execution count
+  /// crossed the `auto_advise_every_n_ops` threshold. MUST be called
+  /// with no engine lock held (the round takes both lock modes); at
+  /// most one caller wins each crossing via CAS on
+  /// `next_auto_advise_at_`.
+  void MaybeAutoAdvise();
+
   /// Caller holds the writer lock. Notes a base-graph change for
   /// in-flight builds: bumps `base_version_` and either logs the batch
   /// (replayable) or just invalidates (out-of-band mutation, passed as
@@ -405,6 +472,15 @@ class Engine {
   std::atomic<size_t> builds_completed_{0};
   std::atomic<size_t> builds_replayed_{0};
   std::atomic<size_t> build_retries_{0};
+
+  /// \name Periodic auto-advise trigger state.
+  /// @{
+  /// Recorded-execution count at which the next triggered round fires
+  /// (0 = trigger disabled). CAS-advanced by the winning thread.
+  std::atomic<uint64_t> next_auto_advise_at_{0};
+  std::atomic<size_t> auto_advises_{0};
+  std::atomic<size_t> auto_advise_errors_{0};
+  /// @}
 };
 
 }  // namespace kaskade::core

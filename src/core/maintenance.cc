@@ -148,6 +148,16 @@ PairCountMap CountPathsThroughEdge(
   const VertexId v = rec.target;
   PairCountMap pairs;
 
+  // A self-loop can appear in a simple path only as the *entire* path
+  // (k == 1, the contracted closed path v -> v, handled by the i == 0
+  // split below). For k > 1 the backward/forward decomposition would
+  // treat u and v as distinct path slots and count walks that visit
+  // the vertex twice — walks the from-scratch contraction (simple-path
+  // semantics, see CollectEndpoints in graph/contraction.cc) never
+  // emits. Subtracting such phantom pairs on removal underflows
+  // connector multiplicities that were never incremented.
+  if (u == v && k > 1) return pairs;
+
   std::vector<std::vector<VertexId>> backward_paths;  // [u .. s]
   std::vector<VertexId> current{u};
   // Set per split: when the edge is the *last* edge of the path

@@ -61,6 +61,27 @@ void WorkloadTracker::Clear() {
   }
 }
 
+void WorkloadTracker::Decay(double factor) {
+  factor = std::clamp(factor, 0.0, 1.0);
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
+      QueryObservation& obs = it->second;
+      // Truncating keeps counts integral and guarantees progress: any
+      // factor < 1 eventually drives an un-refreshed count to zero.
+      obs.executions = uint64_t(double(obs.executions) * factor);
+      obs.view_hits = uint64_t(double(obs.view_hits) * factor);
+      obs.total_latency_us *= factor;
+      obs.total_estimated_cost *= factor;
+      if (obs.executions == 0) {
+        it = stripe.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 size_t WorkloadTracker::distinct_queries() const {
   size_t count = 0;
   for (const Stripe& stripe : stripes_) {

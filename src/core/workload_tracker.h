@@ -82,6 +82,16 @@ class WorkloadTracker {
   /// Drops all recorded observations.
   void Clear();
 
+  /// Exponentially decays every observation: execution and view-hit
+  /// counts and the latency/cost aggregates are scaled by `factor` (in
+  /// [0, 1]), and entries whose execution count reaches zero are erased
+  /// — cold texts lose weight round over round and eventually free
+  /// their stripe capacity for new hot texts. Softer than `Clear`: the
+  /// hot set keeps (faded) history across advice epochs instead of
+  /// starting from nothing. Stripes are decayed one at a time, so
+  /// concurrent `Record` calls keep making progress.
+  void Decay(double factor);
+
   /// Total successful executions recorded since construction (not reset
   /// by `Clear`); cheap, for triggers and telemetry.
   uint64_t total_recorded() const {

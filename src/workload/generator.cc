@@ -1,0 +1,237 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "graph/schema.h"
+
+namespace kaskade::workload {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  h = FnvU64(h, s.size());
+  return FnvBytes(h, s.data(), s.size());
+}
+
+/// SplitMix64 finalizer: decorrelates the (seed, phase, thread) triple
+/// into one well-mixed mt19937_64 seed.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<graph::VertexId> LiveVerticesOfType(const graph::PropertyGraph& g,
+                                                const std::string& type_name) {
+  graph::VertexTypeId type = g.schema().FindVertexType(type_name);
+  if (type == graph::kInvalidTypeId) return {};
+  std::vector<graph::VertexId> ids = g.VerticesOfType(type);
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [&](graph::VertexId v) { return !g.IsVertexLive(v); }),
+            ids.end());
+  return ids;
+}
+
+}  // namespace
+
+uint64_t OpDigest(const Op& op, uint64_t seed_digest) {
+  uint64_t h = seed_digest == 0 ? kFnvOffset : seed_digest;
+  h = FnvU64(h, uint64_t(op.kind));
+  switch (op.kind) {
+    case OpKind::kExecute:
+      h = FnvString(h, op.query.text);
+      break;
+    case OpKind::kExecuteBatch:
+      h = FnvU64(h, op.batch.size());
+      for (const GeneratedQuery& q : op.batch) h = FnvString(h, q.text);
+      break;
+    case OpKind::kApplyDelta:
+      h = FnvU64(h, op.delta.inserts.size());
+      for (const auto& [src, dst] : op.delta.inserts) {
+        h = FnvU64(h, (uint64_t(src) << 32) | dst);
+      }
+      h = FnvU64(h, op.delta.removal_slots.size());
+      for (uint64_t slot : op.delta.removal_slots) h = FnvU64(h, slot);
+      break;
+    case OpKind::kMutateBase:
+      h = FnvU64(h,
+                 (uint64_t(op.mutate_slots.first) << 32) | op.mutate_slots.second);
+      break;
+    case OpKind::kAutoAdvise:
+      break;
+  }
+  return h;
+}
+
+Result<GeneratorProfile> GeneratorProfile::ForDataset(
+    const std::string& dataset, const graph::PropertyGraph& g) {
+  GeneratorProfile profile;
+  profile.dataset = dataset;
+  if (dataset == "social") {
+    profile.delta_sources = LiveVerticesOfType(g, "Person");
+    profile.delta_targets = profile.delta_sources;
+    profile.insert_edge_type = "FOLLOWS";
+    if (profile.delta_sources.empty()) {
+      return Status::InvalidArgument(
+          "social generator profile: graph has no live Person vertices");
+    }
+  } else if (dataset == "prov") {
+    profile.delta_sources = LiveVerticesOfType(g, "Job");
+    profile.delta_targets = LiveVerticesOfType(g, "File");
+    profile.insert_edge_type = "WRITES_TO";
+    if (profile.delta_sources.empty() || profile.delta_targets.empty()) {
+      return Status::InvalidArgument(
+          "prov generator profile: graph needs live Job and File vertices");
+    }
+  } else {
+    return Status::InvalidArgument("unknown generator dataset '" + dataset +
+                                   "' (want social | prov)");
+  }
+  return profile;
+}
+
+OpGenerator::OpGenerator(const GeneratorProfile* profile,
+                         const PhaseSpec* phase, uint64_t workload_seed,
+                         size_t phase_index, size_t thread_index)
+    : profile_(profile),
+      phase_(phase),
+      rng_(Mix(Mix(workload_seed) ^ Mix(0x9e03u + phase_index * 0x10001ull) ^
+               Mix(0x7f11u + thread_index * 0x100000001ull))) {}
+
+uint32_t OpGenerator::ZipfSlot(size_t pool_size) {
+  size_t params = std::min(profile_->distinct_params, pool_size);
+  if (params == 0) return 0;
+  int rank = datasets::SampleZipf(NextUnit(), profile_->param_zipf_alpha,
+                                  int(params));
+  // Scatter ranks multiplicatively so hot parameters are spread across
+  // the id space instead of clustered at low ids.
+  return uint32_t((uint64_t(rank) * 2654435761ull) % pool_size);
+}
+
+GeneratedQuery OpGenerator::SocialQuery() {
+  // Template family weights: point lookups dominate (interactive
+  // traffic), scans are the rare heavy analytical tail.
+  double u = NextUnit() * 100.0;
+  const auto& pool = profile_->delta_sources;
+  const auto handle = [&](uint32_t slot) {
+    return "person_" + std::to_string(pool[slot]);
+  };
+  if (u < 40) {
+    // Point 1-hop.
+    return {"MATCH (a:Person)-[:FOLLOWS]->(b:Person) WHERE a.handle = '" +
+                handle(ZipfSlot(pool.size())) + "' RETURN a, b",
+            2};
+  }
+  if (u < 65) {
+    // Point 2-hop chain — the shape a khop2 connector view serves.
+    return {"MATCH (a:Person)-[:FOLLOWS]->(b:Person) "
+            "(b:Person)-[:FOLLOWS]->(c:Person) WHERE a.handle = '" +
+                handle(ZipfSlot(pool.size())) + "' RETURN a, c",
+            2};
+  }
+  if (u < 90) {
+    // Point variable-length traversal.
+    return {"MATCH (a:Person)-[r*1..2]->(b:Person) WHERE a.handle = '" +
+                handle(ZipfSlot(pool.size())) + "' RETURN b",
+            1};
+  }
+  if (u < 95) {
+    // Full 1-hop scan.
+    return {"MATCH (a:Person)-[:FOLLOWS]->(b:Person) RETURN a, b", 2};
+  }
+  // Full variable-length scan: the heavy analytical query that makes
+  // the advisor want a connector view.
+  return {"MATCH (a:Person)-[r*1..2]->(b:Person) RETURN a, b", 2};
+}
+
+GeneratedQuery OpGenerator::ProvQuery() {
+  double u = NextUnit() * 100.0;
+  if (u < 35) {
+    return {"MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f", 2};
+  }
+  if (u < 65) {
+    return {"MATCH (a:Job)-[:WRITES_TO]->(f:File) "
+            "(f:File)-[:IS_READ_BY]->(b:Job) RETURN a, b",
+            2};
+  }
+  if (u < 90) {
+    // Variable-length ancestors, Zipf-skewed over hop depth 2..4.
+    int hops = 1 + datasets::SampleZipf(NextUnit(), 1.3, 3);
+    return {datasets::AncestorsQueryText("Job", hops), 2};
+  }
+  return {"MATCH (f:File)-[:IS_READ_BY]->(j:Job) RETURN f", 1};
+}
+
+GeneratedQuery OpGenerator::NextQuery() {
+  return profile_->dataset == "prov" ? ProvQuery() : SocialQuery();
+}
+
+Op OpGenerator::Next() {
+  Op op;
+  // Weighted op-kind choice over the phase mix.
+  double total = 0;
+  for (double w : phase_->mix) total += w;
+  double pick = NextUnit() * total;
+  size_t kind = 0;
+  for (; kind + 1 < kNumOpKinds; ++kind) {
+    pick -= phase_->mix[kind];
+    if (pick < 0) break;
+  }
+  op.kind = OpKind(kind);
+
+  switch (op.kind) {
+    case OpKind::kExecute:
+      op.query = NextQuery();
+      break;
+    case OpKind::kExecuteBatch:
+      op.batch.reserve(phase_->batch_size);
+      for (size_t i = 0; i < phase_->batch_size; ++i) {
+        op.batch.push_back(NextQuery());
+      }
+      break;
+    case OpKind::kApplyDelta: {
+      // ~1/4 removals of this thread's previously inserted edges, the
+      // rest fresh inserts between pool endpoints.
+      size_t removals = phase_->delta_edges / 4;
+      size_t inserts = phase_->delta_edges - removals;
+      op.delta.inserts.reserve(inserts);
+      for (size_t i = 0; i < inserts; ++i) {
+        uint32_t src = uint32_t(NextU64() % profile_->delta_sources.size());
+        uint32_t dst = uint32_t(NextU64() % profile_->delta_targets.size());
+        op.delta.inserts.emplace_back(src, dst);
+      }
+      op.delta.removal_slots.reserve(removals);
+      for (size_t i = 0; i < removals; ++i) {
+        op.delta.removal_slots.push_back(NextU64());
+      }
+      break;
+    }
+    case OpKind::kMutateBase:
+      op.mutate_slots = {
+          uint32_t(NextU64() % profile_->delta_sources.size()),
+          uint32_t(NextU64() % profile_->delta_targets.size())};
+      break;
+    case OpKind::kAutoAdvise:
+      break;
+  }
+  return op;
+}
+
+}  // namespace kaskade::workload

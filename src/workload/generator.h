@@ -1,0 +1,130 @@
+/// \file generator.h
+/// \brief Deterministic per-thread op streams for the serving harness.
+///
+/// Each client thread of a phase owns one `OpGenerator`, seeded from
+/// `(spec seed, phase index, thread index)` — the genny discipline: the
+/// whole run's generated op sequence is a pure function of the spec, so
+/// two runs with the same seed issue byte-identical traffic regardless
+/// of scheduling (the engine's *responses* may differ; the offered load
+/// never does). The generator deliberately avoids `std::*_distribution`
+/// (whose mappings are implementation-defined) in favor of explicit
+/// arithmetic on `std::mt19937_64` output, which the standard pins down
+/// bit-for-bit.
+///
+/// Queries are drawn from parameterized template pools per dataset —
+/// k-hop chains, variable-length traversals, and predicate point
+/// lookups — with Zipf-skewed parameter choice over a bounded pool of
+/// distinct texts, so the engine's workload tracker observes the
+/// hot-pattern skew real serving traffic has (and the advisor has
+/// something to act on).
+///
+/// Mutations are planned symbolically: a delta plan names *slots* into
+/// the profile's endpoint pools (inserts) and into the issuing thread's
+/// list of previously-inserted edges (removals). Slot choice is part of
+/// the deterministic stream; only the final id resolution (slot modulo
+/// the thread's current owned-edge count) depends on runtime history.
+/// Threads only ever remove edges they themselves inserted, so
+/// concurrent delta ops never race on the same edge id.
+
+#ifndef KASKADE_WORKLOAD_GENERATOR_H_
+#define KASKADE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "workload/spec.h"
+
+namespace kaskade::workload {
+
+/// \brief One generated query: text plus the shape the result must
+/// have (used by the harness's torn-read check).
+struct GeneratedQuery {
+  std::string text;
+  size_t columns = 0;
+};
+
+/// \brief Symbolic plan for one `ApplyDelta` batch.
+struct DeltaPlan {
+  /// (source-pool slot, target-pool slot) per inserted edge.
+  std::vector<std::pair<uint32_t, uint32_t>> inserts;
+  /// Per removal: resolved at issue time as `slot % owned_edges.size()`
+  /// against the issuing thread's inserted-edge list (skipped while the
+  /// thread owns nothing).
+  std::vector<uint64_t> removal_slots;
+};
+
+/// \brief One generated op.
+struct Op {
+  OpKind kind = OpKind::kExecute;
+  GeneratedQuery query;               ///< kExecute
+  std::vector<GeneratedQuery> batch;  ///< kExecuteBatch
+  DeltaPlan delta;                    ///< kApplyDelta
+  /// kMutateBase: endpoint pool slots of the one appended edge.
+  std::pair<uint32_t, uint32_t> mutate_slots{0, 0};
+};
+
+/// Order-sensitive FNV-1a digest of one op's full symbolic content.
+/// Equal digests across runs are the reproducibility proof the bench
+/// emits per phase.
+uint64_t OpDigest(const Op& op, uint64_t seed_digest);
+
+/// \brief Immutable, thread-shared description of how to generate
+/// traffic for one dataset: query template pools and mutation endpoint
+/// pools.
+struct GeneratorProfile {
+  std::string dataset;
+  /// Live vertex ids usable as insert sources / targets (equal for
+  /// homogeneous datasets).
+  std::vector<graph::VertexId> delta_sources;
+  std::vector<graph::VertexId> delta_targets;
+  std::string insert_edge_type;
+  /// Distinct parameter values per point-lookup template family; Zipf
+  /// rank selection over this pool produces the hot-text skew.
+  size_t distinct_params = 64;
+  double param_zipf_alpha = 1.1;
+
+  /// Builds the profile for `dataset` ("social" | "prov") from the
+  /// graph the engine serves. Fails when the graph lacks the dataset's
+  /// expected vertex types.
+  static Result<GeneratorProfile> ForDataset(const std::string& dataset,
+                                             const graph::PropertyGraph& g);
+};
+
+/// \brief Deterministic op stream for one (phase, thread) pair.
+class OpGenerator {
+ public:
+  OpGenerator(const GeneratorProfile* profile, const PhaseSpec* phase,
+              uint64_t workload_seed, size_t phase_index, size_t thread_index);
+
+  /// Next op of the stream. Pure function of construction parameters
+  /// and call count.
+  Op Next();
+
+  /// Next generated query (what kExecute issues; kExecuteBatch draws
+  /// `batch_size` of these). Exposed for tests.
+  GeneratedQuery NextQuery();
+
+ private:
+  uint64_t NextU64() { return rng_(); }
+  /// Uniform double in [0, 1) from the top 53 bits.
+  double NextUnit() { return double(rng_() >> 11) * 0x1.0p-53; }
+  /// Zipf-ranked slot in [0, pool_size) with multiplicative scatter, so
+  /// hot ranks map to spread-out pool entries.
+  uint32_t ZipfSlot(size_t pool_size);
+
+  GeneratedQuery SocialQuery();
+  GeneratedQuery ProvQuery();
+
+  const GeneratorProfile* profile_;
+  const PhaseSpec* phase_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace kaskade::workload
+
+#endif  // KASKADE_WORKLOAD_GENERATOR_H_

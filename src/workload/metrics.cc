@@ -1,0 +1,73 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace kaskade::workload {
+
+size_t LatencyHistogram::BucketFor(uint64_t v) {
+  // Values below kSubBuckets are exact: bucket index == value.
+  if (v < kSubBuckets) return size_t(v);
+  int h = std::bit_width(v) - 1;  // v in [2^h, 2^(h+1))
+  if (h >= kMaxExponent) {
+    return kNumBuckets - 1;  // saturate
+  }
+  // 32 linear sub-buckets across the octave: (v >> (h - kSubBits)) is in
+  // [kSubBuckets, 2*kSubBuckets).
+  uint64_t sub = (v >> (h - kSubBits)) - kSubBuckets;
+  return kSubBuckets + size_t(h - kSubBits) * kSubBuckets + size_t(sub);
+}
+
+uint64_t LatencyHistogram::BucketUpper(size_t index) {
+  if (index < kSubBuckets) return uint64_t(index);
+  size_t octave = (index - kSubBuckets) / kSubBuckets;  // == h - kSubBits
+  uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+  uint64_t lower = (kSubBuckets + sub) << octave;
+  return lower + ((uint64_t(1) << octave) - 1);
+}
+
+void LatencyHistogram::Record(double us) {
+  uint64_t v = us <= 1 ? 1 : uint64_t(us);
+  ++counts_[BucketFor(v)];
+  if (count_ == 0) {
+    min_us_ = us;
+    max_us_ = us;
+  } else {
+    min_us_ = std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+  }
+  ++count_;
+  sum_us_ += us;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_us_ = other.min_us_;
+    max_us_ = other.max_us_;
+  } else {
+    min_us_ = std::min(min_us_, other.min_us_);
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = uint64_t(std::ceil(q * double(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return std::min(double(BucketUpper(i)), max_us_);
+    }
+  }
+  return max_us_;  // unreachable when counts are consistent
+}
+
+}  // namespace kaskade::workload

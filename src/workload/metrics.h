@@ -1,0 +1,122 @@
+/// \file metrics.h
+/// \brief Latency histograms and per-phase op metrics for the serving
+/// workload harness.
+///
+/// `LatencyHistogram` is a fixed-bucket, log-scale (HDR-style) counter
+/// array over microsecond values: 32 sub-buckets per power of two, so
+/// every recorded value lands in a bucket whose width is at most ~3.2%
+/// of its magnitude — percentile queries (p50/p90/p99/p999) are off by
+/// at most that relative error, with no per-record allocation and O(1)
+/// `Record`. Worker threads each own private histograms and the
+/// orchestrator merges them at phase end, so the metrics layer adds no
+/// cross-thread contention to the measured path.
+///
+/// Coordinated-omission discipline: the harness records *two* latencies
+/// per op. `latency` is measured from the op's **intended** start (the
+/// open-loop schedule slot computed from the phase arrival rate) to its
+/// completion — when the engine stalls, every queued-behind op's wait
+/// counts against it, the correction Gil Tene's HdrHistogram writeups
+/// argue for. `service` is measured from the actual issue time, i.e.
+/// what the engine did once the op got through. Under a closed-loop
+/// phase (rate 0) the two coincide by construction.
+
+#ifndef KASKADE_WORKLOAD_METRICS_H_
+#define KASKADE_WORKLOAD_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "workload/spec.h"
+
+namespace kaskade::workload {
+
+/// \brief Fixed-bucket log-scale latency histogram (microseconds).
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+  /// Values are clamped to [1, 2^kMaxExponent) microseconds (~73000s).
+  static constexpr int kMaxExponent = 46;
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + size_t(kMaxExponent - kSubBits) * kSubBuckets;
+
+  /// Records one latency (values < 1us count as 1us; values past the
+  /// clamp saturate into the top bucket). Not thread-safe: one recorder
+  /// per thread, merge at the end.
+  void Record(double us);
+
+  /// Adds every count of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean_us() const { return count_ == 0 ? 0 : sum_us_ / double(count_); }
+  /// Exact extremes (not bucketized).
+  double min_us() const { return count_ == 0 ? 0 : min_us_; }
+  double max_us() const { return count_ == 0 ? 0 : max_us_; }
+
+  /// Value at quantile `q` in [0, 1]: the upper edge of the bucket
+  /// holding the ceil(q * count)-th recorded value, clamped to the exact
+  /// recorded maximum — an upper bound within ~3.2% of the true
+  /// quantile. Returns 0 on an empty histogram.
+  double Percentile(double q) const;
+
+ private:
+  /// Bucket index of microsecond value `v` (>= 1).
+  static size_t BucketFor(uint64_t v);
+  /// Largest value (inclusive) mapping to bucket `index`.
+  static uint64_t BucketUpper(size_t index);
+
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double min_us_ = 0;
+  double max_us_ = 0;
+};
+
+/// \brief Everything measured for one op type within one phase.
+struct OpMetrics {
+  /// Coordinated-omission-corrected latency: completion minus the op's
+  /// intended (scheduled) start.
+  LatencyHistogram latency;
+  /// Service time: completion minus actual issue.
+  LatencyHistogram service;
+  uint64_t attempted = 0;
+  uint64_t failed = 0;
+
+  void Merge(const OpMetrics& other) {
+    latency.Merge(other.latency);
+    service.Merge(other.service);
+    attempted += other.attempted;
+    failed += other.failed;
+  }
+};
+
+/// \brief Per-phase metrics: one `OpMetrics` per op kind.
+struct PhaseMetrics {
+  std::array<OpMetrics, kNumOpKinds> ops{};
+
+  OpMetrics& of(OpKind kind) { return ops[size_t(kind)]; }
+  const OpMetrics& of(OpKind kind) const { return ops[size_t(kind)]; }
+
+  void Merge(const PhaseMetrics& other) {
+    for (size_t i = 0; i < kNumOpKinds; ++i) ops[i].Merge(other.ops[i]);
+  }
+
+  uint64_t total_attempted() const {
+    uint64_t total = 0;
+    for (const OpMetrics& op : ops) total += op.attempted;
+    return total;
+  }
+  uint64_t total_failed() const {
+    uint64_t total = 0;
+    for (const OpMetrics& op : ops) total += op.failed;
+    return total;
+  }
+};
+
+}  // namespace kaskade::workload
+
+#endif  // KASKADE_WORKLOAD_METRICS_H_

@@ -1,0 +1,225 @@
+#include "workload/orchestrator.h"
+
+#include <atomic>
+#include <thread>
+
+namespace kaskade::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::chrono::steady_clock::time_point WorkloadRunner::StartGate::Await() {
+  std::unique_lock<std::mutex> lock(mu);
+  ++arrived;
+  cv.notify_all();
+  cv.wait(lock, [&] { return open; });
+  return start;
+}
+
+std::chrono::steady_clock::time_point WorkloadRunner::StartGate::Release(
+    size_t expected) {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return arrived >= expected; });
+  start = Clock::now();
+  open = true;
+  cv.notify_all();
+  return start;
+}
+
+WorkloadRunner::WorkloadRunner(core::Engine* engine, GeneratorProfile profile,
+                               RunnerOptions options)
+    : engine_(engine), profile_(std::move(profile)), options_(options) {}
+
+Status WorkloadRunner::IssueOp(const Op& op,
+                               std::vector<graph::EdgeId>* owned_edges) {
+  switch (op.kind) {
+    case OpKind::kExecute: {
+      Result<core::ExecutionResult> result = engine_->Execute(op.query.text);
+      if (!result.ok()) return result.status();
+      if (options_.check_result_shape &&
+          result->table.num_columns() != op.query.columns) {
+        return Status::Internal(
+            "torn read: query '" + op.query.text + "' returned " +
+            std::to_string(result->table.num_columns()) + " columns, want " +
+            std::to_string(op.query.columns));
+      }
+      return Status::OK();
+    }
+    case OpKind::kExecuteBatch: {
+      std::vector<std::string> texts;
+      texts.reserve(op.batch.size());
+      for (const GeneratedQuery& q : op.batch) texts.push_back(q.text);
+      std::vector<Result<core::ExecutionResult>> results =
+          engine_->ExecuteBatch(texts);
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) return results[i].status();
+        if (options_.check_result_shape &&
+            results[i]->table.num_columns() != op.batch[i].columns) {
+          return Status::Internal(
+              "torn read: batch query '" + op.batch[i].text + "' returned " +
+              std::to_string(results[i]->table.num_columns()) +
+              " columns, want " + std::to_string(op.batch[i].columns));
+        }
+      }
+      return Status::OK();
+    }
+    case OpKind::kApplyDelta: {
+      graph::GraphDelta delta;
+      for (const auto& [src_slot, dst_slot] : op.delta.inserts) {
+        delta.AddEdge(profile_.delta_sources[src_slot],
+                      profile_.delta_targets[dst_slot],
+                      profile_.insert_edge_type);
+      }
+      // Removals draw only from this thread's own past inserts, so two
+      // threads never contend for the same edge id. Slots are resolved
+      // against the current owned list and the chosen edge leaves it
+      // (no double removal). While the thread owns nothing the removal
+      // part of the plan is skipped.
+      for (uint64_t slot : op.delta.removal_slots) {
+        if (owned_edges->empty()) break;
+        size_t pick = size_t(slot % owned_edges->size());
+        delta.RemoveEdge((*owned_edges)[pick]);
+        (*owned_edges)[pick] = owned_edges->back();
+        owned_edges->pop_back();
+      }
+      if (delta.empty()) return Status::OK();
+      Result<core::DeltaReport> report = engine_->ApplyDelta(std::move(delta));
+      if (!report.ok()) return report.status();
+      owned_edges->insert(owned_edges->end(), report->new_edges.begin(),
+                          report->new_edges.end());
+      return Status::OK();
+    }
+    case OpKind::kMutateBase: {
+      graph::VertexId src = profile_.delta_sources[op.mutate_slots.first];
+      graph::VertexId dst = profile_.delta_targets[op.mutate_slots.second];
+      return engine_->MutateBaseGraph([&](graph::PropertyGraph* g) {
+        return g->AddEdge(src, dst, profile_.insert_edge_type, {}).status();
+      });
+    }
+    case OpKind::kAutoAdvise:
+      return engine_->AutoAdvise().status();
+  }
+  return Status::Internal("unreachable op kind");
+}
+
+void WorkloadRunner::RunThread(const PhaseSpec& phase, size_t phase_index,
+                               size_t thread_index, uint64_t workload_seed,
+                               StartGate* gate, ThreadOutcome* out) {
+  OpGenerator gen(&profile_, &phase, workload_seed, phase_index, thread_index);
+  std::vector<graph::EdgeId> owned_edges;
+
+  // Open loop: this thread's share of the phase arrival rate.
+  const bool open_loop = phase.rate_ops_per_sec > 0;
+  const double interval_us =
+      open_loop ? 1e6 / (phase.rate_ops_per_sec / double(phase.threads)) : 0;
+
+  const Clock::time_point start = gate->Await();
+  const Clock::time_point deadline =
+      phase.duration_ms > 0
+          ? start + std::chrono::milliseconds(phase.duration_ms)
+          : Clock::time_point::max();
+
+  for (uint64_t i = 0;; ++i) {
+    if (phase.ops_per_thread > 0 && i >= phase.ops_per_thread) break;
+    if (phase.duration_ms > 0 && Clock::now() >= deadline) break;
+
+    Op op = gen.Next();
+    out->digest = OpDigest(op, out->digest);
+
+    // The op's schedule slot. Under open loop we sleep until it; if the
+    // engine fell behind, the slot is already past and we issue
+    // immediately — the wait the op accrued still counts against its
+    // corrected latency below (coordinated-omission correction).
+    Clock::time_point intended = start;
+    if (open_loop) {
+      intended += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::micro>(double(i) * interval_us));
+      std::this_thread::sleep_until(intended);
+    }
+    const Clock::time_point issued = Clock::now();
+    if (!open_loop) intended = issued;
+
+    Status status = IssueOp(op, &owned_edges);
+
+    const Clock::time_point done = Clock::now();
+    OpMetrics& metrics = out->metrics.of(op.kind);
+    ++metrics.attempted;
+    if (!status.ok()) {
+      ++metrics.failed;
+      if (out->first_error.ok()) out->first_error = status;
+    }
+    metrics.latency.Record(MicrosBetween(intended, done));
+    metrics.service.Record(MicrosBetween(issued, done));
+  }
+}
+
+Result<RunResult> WorkloadRunner::Run(const WorkloadSpec& spec) {
+  KASKADE_RETURN_IF_ERROR(ValidateWorkloadSpec(spec));
+  if (spec.dataset != profile_.dataset) {
+    return Status::InvalidArgument("workload dataset '" + spec.dataset +
+                                   "' does not match generator profile '" +
+                                   profile_.dataset + "'");
+  }
+
+  RunResult run;
+  run.workload_name = spec.name;
+  run.seed = spec.seed;
+  run.dataset = spec.dataset;
+  run.phases.reserve(spec.phases.size());
+
+  for (size_t p = 0; p < spec.phases.size(); ++p) {
+    const PhaseSpec& phase = spec.phases[p];
+    PhaseResult result;
+    result.name = phase.name;
+    result.before = engine_->TelemetrySnapshot();
+
+    StartGate gate;
+    std::vector<ThreadOutcome> outcomes(phase.threads);
+    std::vector<std::thread> threads;
+    threads.reserve(phase.threads);
+    for (size_t t = 0; t < phase.threads; ++t) {
+      threads.emplace_back([this, &phase, p, t, &spec, &gate, &outcomes] {
+        RunThread(phase, p, t, spec.seed, &gate, &outcomes[t]);
+      });
+    }
+    const Clock::time_point start = gate.Release(phase.threads);
+    for (std::thread& t : threads) t.join();
+    result.wall_seconds = SecondsBetween(start, Clock::now());
+
+    for (const ThreadOutcome& outcome : outcomes) {
+      result.metrics.Merge(outcome.metrics);
+      result.op_digest ^= outcome.digest;
+      if (result.first_error.ok() && !outcome.first_error.ok()) {
+        result.first_error = outcome.first_error;
+      }
+    }
+
+    // Out-of-band mutations leave views stale by contract; bring them
+    // back to exact before the next phase measures anything.
+    if (result.metrics.of(OpKind::kMutateBase).attempted > 0) {
+      const Clock::time_point refresh_start = Clock::now();
+      Status refreshed = engine_->RefreshViews();
+      result.refresh_seconds = SecondsBetween(refresh_start, Clock::now());
+      if (result.first_error.ok() && !refreshed.ok()) {
+        result.first_error = refreshed;
+      }
+    }
+
+    result.after = engine_->TelemetrySnapshot();
+    run.phases.push_back(std::move(result));
+  }
+  return run;
+}
+
+}  // namespace kaskade::workload

@@ -1,0 +1,161 @@
+/// \file orchestrator.h
+/// \brief `WorkloadRunner`: drives a declarative `WorkloadSpec` against
+/// one `Engine` — the serving-scale mixed-traffic harness.
+///
+/// Execution model (genny-style): phases run strictly in order. Within a
+/// phase, `threads` client threads are spawned, each parks on a start
+/// barrier, and the phase clock starts only when every thread has
+/// arrived — thread N never gets a head start because thread 0 was still
+/// being constructed. Each thread owns a deterministic `OpGenerator`
+/// stream (seeded from the spec seed, the phase index, and the thread
+/// index) and issues ops against the engine until the phase's stopping
+/// rule fires.
+///
+/// Pacing: a phase with `rate_ops_per_sec > 0` is **open loop** — each
+/// thread computes its op's *intended* start from the phase start and
+/// the per-thread arrival interval, sleeps until that slot, then issues.
+/// When the engine stalls, subsequent slots fall due immediately and the
+/// backlog drains as fast as the engine allows, with every queued op's
+/// wait charged to its corrected latency (see `workload/metrics.h` on
+/// coordinated omission). `rate_ops_per_sec == 0` is closed loop.
+///
+/// Safety checks on the measured path are deliberately cheap: each
+/// `Execute` result is verified against the generated query's expected
+/// column count (a torn catalog or snapshot would surface as a
+/// wrong-shape table), and mutation ops only ever remove edges the
+/// issuing thread itself inserted, so concurrent removals cannot race.
+///
+/// After any phase that issued out-of-band `MutateBaseGraph` ops the
+/// runner calls `RefreshViews()` (timed separately in the phase result)
+/// so the next phase starts from exact views — mirroring how an
+/// operator runs out-of-band surgery.
+
+#ifndef KASKADE_WORKLOAD_ORCHESTRATOR_H_
+#define KASKADE_WORKLOAD_ORCHESTRATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+#include "workload/spec.h"
+
+namespace kaskade::workload {
+
+/// \brief Outcome of one phase.
+struct PhaseResult {
+  std::string name;
+  /// Barrier release to last thread finished.
+  double wall_seconds = 0;
+  /// `RefreshViews` wall clock when the phase ran `mutate_base` ops
+  /// (0 otherwise).
+  double refresh_seconds = 0;
+  PhaseMetrics metrics;
+  /// Engine counters straddling the phase; `after - before` is the
+  /// phase's engine-side story (plan-cache hits, snapshot patches,
+  /// builds, auto-advise rounds...).
+  core::EngineTelemetry before;
+  core::EngineTelemetry after;
+  /// XOR of the per-thread op-stream digests: equal across two runs of
+  /// the same spec+seed iff both runs generated identical traffic.
+  uint64_t op_digest = 0;
+  /// First op failure observed (OK when `metrics` shows zero failures).
+  Status first_error;
+
+  double throughput_ops_per_sec() const {
+    return wall_seconds <= 0 ? 0
+                             : double(metrics.total_attempted()) / wall_seconds;
+  }
+};
+
+/// \brief Outcome of one full workload run.
+struct RunResult {
+  std::string workload_name;
+  uint64_t seed = 0;
+  std::string dataset;
+  std::vector<PhaseResult> phases;
+
+  uint64_t total_attempted() const {
+    uint64_t total = 0;
+    for (const PhaseResult& p : phases) total += p.metrics.total_attempted();
+    return total;
+  }
+  uint64_t total_failed() const {
+    uint64_t total = 0;
+    for (const PhaseResult& p : phases) total += p.metrics.total_failed();
+    return total;
+  }
+};
+
+/// \brief Harness configuration.
+struct RunnerOptions {
+  /// Verify each `Execute`/`ExecuteBatch` result table against the
+  /// generated query's expected column count; a mismatch counts as an op
+  /// failure ("torn read"). Costs one comparison per op.
+  bool check_result_shape = true;
+};
+
+/// \brief Drives `WorkloadSpec`s against one engine. The runner itself
+/// holds no traffic state between runs; it may be reused.
+class WorkloadRunner {
+ public:
+  /// `engine` must outlive the runner. `profile` is the dataset template
+  /// pool every generated op draws from (see
+  /// `GeneratorProfile::ForDataset`).
+  WorkloadRunner(core::Engine* engine, GeneratorProfile profile,
+                 RunnerOptions options = {});
+
+  /// Runs every phase of `spec` in order. Fails fast on an invalid spec
+  /// or a spec/profile dataset mismatch; individual op failures do NOT
+  /// abort the run — they are counted per op type and surfaced via
+  /// `PhaseResult::first_error`.
+  Result<RunResult> Run(const WorkloadSpec& spec);
+
+ private:
+  /// Everything one client thread brings back from a phase.
+  struct ThreadOutcome {
+    PhaseMetrics metrics;
+    uint64_t digest = 0;
+    Status first_error;
+  };
+
+  /// Start barrier: threads park in `Await` until the orchestrator has
+  /// seen all of them arrive and published the phase-clock origin.
+  struct StartGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t arrived = 0;
+    bool open = false;
+    std::chrono::steady_clock::time_point start;
+
+    /// Called by each client thread; blocks until release, then returns
+    /// the shared phase start time.
+    std::chrono::steady_clock::time_point Await();
+    /// Called by the orchestrator: blocks until `expected` threads
+    /// arrived, stamps the start time, releases everyone.
+    std::chrono::steady_clock::time_point Release(size_t expected);
+  };
+
+  /// Body of one client thread.
+  void RunThread(const PhaseSpec& phase, size_t phase_index,
+                 size_t thread_index, uint64_t workload_seed, StartGate* gate,
+                 ThreadOutcome* out);
+
+  /// Issues one op; returns its status. `owned_edges` is the thread's
+  /// private list of edge ids it inserted (removal pool).
+  Status IssueOp(const Op& op, std::vector<graph::EdgeId>* owned_edges);
+
+  core::Engine* engine_;
+  GeneratorProfile profile_;
+  RunnerOptions options_;
+};
+
+}  // namespace kaskade::workload
+
+#endif  // KASKADE_WORKLOAD_ORCHESTRATOR_H_

@@ -1,0 +1,301 @@
+#include "workload/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace kaskade::workload {
+
+namespace {
+
+constexpr const char* kOpNames[kNumOpKinds] = {
+    "execute", "execute_batch", "apply_delta", "mutate_base", "auto_advise"};
+
+/// Index of `name` in kOpNames, or kNumOpKinds when unknown.
+size_t OpIndexOf(const std::string& name) {
+  for (size_t i = 0; i < kNumOpKinds; ++i) {
+    if (name == kOpNames[i]) return i;
+  }
+  return kNumOpKinds;
+}
+
+Status ParseError(size_t line, const std::string& message) {
+  return Status::InvalidArgument("workload spec line " + std::to_string(line) +
+                                 ": " + message);
+}
+
+/// Splits `line` into whitespace-separated tokens, dropping `#` comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Result<uint64_t> ParseU64(const std::string& token, size_t line,
+                          const std::string& key) {
+  uint64_t value = 0;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseError(line, "'" + key + "' expects a non-negative integer, "
+                                          "got '" + token + "'");
+    }
+    value = value * 10 + uint64_t(c - '0');
+  }
+  if (token.empty()) return ParseError(line, "'" + key + "' expects a value");
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& token, size_t line,
+                           const std::string& key) {
+  try {
+    size_t consumed = 0;
+    double value = std::stod(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    return ParseError(line, "'" + key + "' expects a number, got '" + token +
+                                "'");
+  }
+}
+
+/// Renders a double without trailing zeros ("5000", "2.5") so ToText is
+/// stable under parse/render cycles.
+std::string RenderDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) { return kOpNames[size_t(kind)]; }
+
+Status ValidateWorkloadSpec(const WorkloadSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("workload spec: empty workload name");
+  }
+  if (spec.dataset != "social" && spec.dataset != "prov") {
+    return Status::InvalidArgument("workload spec: unknown dataset '" +
+                                   spec.dataset + "' (want social | prov)");
+  }
+  if (spec.phases.empty()) {
+    return Status::InvalidArgument("workload spec: at least one phase");
+  }
+  for (const PhaseSpec& phase : spec.phases) {
+    const std::string where = "phase '" + phase.name + "': ";
+    if (phase.name.empty()) {
+      return Status::InvalidArgument("workload spec: phase with empty name");
+    }
+    if (phase.threads == 0) {
+      return Status::InvalidArgument(where + "threads must be >= 1");
+    }
+    if (!(phase.rate_ops_per_sec >= 0) ||
+        !std::isfinite(phase.rate_ops_per_sec)) {
+      return Status::InvalidArgument(where +
+                                     "rate must be finite and non-negative");
+    }
+    if ((phase.ops_per_thread == 0) == (phase.duration_ms == 0)) {
+      return Status::InvalidArgument(
+          where + "exactly one of ops_per_thread / duration_ms must be set");
+    }
+    double weight_sum = 0;
+    for (size_t i = 0; i < kNumOpKinds; ++i) {
+      if (!(phase.mix[i] >= 0) || !std::isfinite(phase.mix[i])) {
+        return Status::InvalidArgument(where + "mix weight for '" +
+                                       kOpNames[i] + "' must be >= 0");
+      }
+      weight_sum += phase.mix[i];
+    }
+    if (weight_sum <= 0) {
+      return Status::InvalidArgument(where + "mix needs a positive weight");
+    }
+    if (phase.weight(OpKind::kExecuteBatch) > 0 && phase.batch_size == 0) {
+      return Status::InvalidArgument(where + "batch_size must be >= 1");
+    }
+    if (phase.weight(OpKind::kApplyDelta) > 0 && phase.delta_edges == 0) {
+      return Status::InvalidArgument(where + "delta_edges must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
+  WorkloadSpec spec;
+  spec.name.clear();  // must be set explicitly by the `workload` line
+  PhaseSpec phase;
+  bool in_phase = false;
+  bool saw_workload = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    if (!in_phase) {
+      if (key == "workload") {
+        if (tokens.size() != 2) {
+          return ParseError(line_number, "'workload' expects one name");
+        }
+        spec.name = tokens[1];
+        saw_workload = true;
+      } else if (key == "seed") {
+        if (tokens.size() != 2) {
+          return ParseError(line_number, "'seed' expects one value");
+        }
+        KASKADE_ASSIGN_OR_RETURN(spec.seed,
+                                 ParseU64(tokens[1], line_number, "seed"));
+      } else if (key == "dataset") {
+        if (tokens.size() != 2) {
+          return ParseError(line_number, "'dataset' expects one value");
+        }
+        spec.dataset = tokens[1];
+      } else if (key == "phase") {
+        if (tokens.size() != 2) {
+          return ParseError(line_number, "'phase' expects one name");
+        }
+        phase = PhaseSpec{};
+        phase.name = tokens[1];
+        in_phase = true;
+      } else {
+        return ParseError(line_number,
+                          "unknown top-level key '" + key +
+                              "' (want workload | seed | dataset | phase)");
+      }
+      continue;
+    }
+
+    // Inside a `phase ... end` block.
+    if (key == "end") {
+      if (tokens.size() != 1) {
+        return ParseError(line_number, "'end' takes no arguments");
+      }
+      spec.phases.push_back(std::move(phase));
+      in_phase = false;
+    } else if (key == "threads") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'threads' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(phase.threads,
+                               ParseU64(tokens[1], line_number, "threads"));
+    } else if (key == "rate") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'rate' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(phase.rate_ops_per_sec,
+                               ParseDouble(tokens[1], line_number, "rate"));
+    } else if (key == "ops_per_thread") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'ops_per_thread' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(
+          phase.ops_per_thread,
+          ParseU64(tokens[1], line_number, "ops_per_thread"));
+    } else if (key == "duration_ms") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'duration_ms' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(phase.duration_ms,
+                               ParseU64(tokens[1], line_number, "duration_ms"));
+    } else if (key == "batch_size") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'batch_size' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(phase.batch_size,
+                               ParseU64(tokens[1], line_number, "batch_size"));
+    } else if (key == "delta_edges") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'delta_edges' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(
+          phase.delta_edges, ParseU64(tokens[1], line_number, "delta_edges"));
+    } else if (key == "mix") {
+      if (tokens.size() < 2) {
+        return ParseError(line_number,
+                          "'mix' expects op=weight pairs, e.g. execute=90");
+      }
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        const std::string& pair = tokens[t];
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+          return ParseError(line_number, "mix entry '" + pair +
+                                             "' is not of the form op=weight");
+        }
+        const std::string op_name = pair.substr(0, eq);
+        size_t op = OpIndexOf(op_name);
+        if (op == kNumOpKinds) {
+          return ParseError(line_number, "unknown op '" + op_name +
+                                             "' in mix (want execute | "
+                                             "execute_batch | apply_delta | "
+                                             "mutate_base | auto_advise)");
+        }
+        KASKADE_ASSIGN_OR_RETURN(
+            phase.mix[op], ParseDouble(pair.substr(eq + 1), line_number,
+                                       "mix " + op_name));
+      }
+    } else {
+      return ParseError(
+          line_number,
+          "unknown phase key '" + key +
+              "' (want threads | rate | ops_per_thread | duration_ms | mix | "
+              "batch_size | delta_edges | end)");
+    }
+  }
+
+  if (in_phase) {
+    return ParseError(line_number, "phase '" + phase.name +
+                                       "' is missing its 'end'");
+  }
+  if (!saw_workload) {
+    return Status::InvalidArgument(
+        "workload spec: missing the 'workload <name>' line");
+  }
+  KASKADE_RETURN_IF_ERROR(ValidateWorkloadSpec(spec));
+  return spec;
+}
+
+std::string WorkloadSpec::ToText() const {
+  std::ostringstream out;
+  out << "workload " << name << "\n";
+  out << "seed " << seed << "\n";
+  out << "dataset " << dataset << "\n";
+  for (const PhaseSpec& phase : phases) {
+    out << "phase " << phase.name << "\n";
+    out << "  threads " << phase.threads << "\n";
+    out << "  rate " << RenderDouble(phase.rate_ops_per_sec) << "\n";
+    if (phase.ops_per_thread != 0) {
+      out << "  ops_per_thread " << phase.ops_per_thread << "\n";
+    }
+    if (phase.duration_ms != 0) {
+      out << "  duration_ms " << phase.duration_ms << "\n";
+    }
+    out << "  mix";
+    for (size_t i = 0; i < kNumOpKinds; ++i) {
+      if (phase.mix[i] > 0) {
+        out << " " << kOpNames[i] << "=" << RenderDouble(phase.mix[i]);
+      }
+    }
+    out << "\n";
+    out << "  batch_size " << phase.batch_size << "\n";
+    out << "  delta_edges " << phase.delta_edges << "\n";
+    out << "end\n";
+  }
+  return out.str();
+}
+
+}  // namespace kaskade::workload

@@ -1,0 +1,127 @@
+/// \file spec.h
+/// \brief Declarative serving-workload specifications.
+///
+/// A `WorkloadSpec` describes a multi-phase mixed-traffic run against
+/// one `Engine` the way genny describes a workload against a mongo
+/// cluster: ordered **phases**, each with a client thread count, a
+/// target open-loop arrival rate, a stopping rule (per-thread op count
+/// or wall-clock duration), and a weighted op mix over the engine's
+/// public surface (`Execute` / `ExecuteBatch` / `ApplyDelta` /
+/// `MutateBaseGraph` / `AutoAdvise`). Specs are plain text, so a CI job
+/// or an operator can describe a new traffic shape without recompiling:
+///
+/// ```text
+/// # comments run to end of line
+/// workload serving_mixed
+/// seed 42
+/// dataset social            # template pool: social | prov
+/// phase warmup
+///   threads 4
+///   rate 0                  # ops/sec across all threads; 0 = closed loop
+///   ops_per_thread 2000     # XOR duration_ms
+///   mix execute=90 execute_batch=10
+/// end
+/// phase churn
+///   threads 4
+///   rate 5000
+///   duration_ms 1500
+///   mix execute=70 apply_delta=20 mutate_base=5 auto_advise=5
+///   batch_size 8
+///   delta_edges 16
+/// end
+/// ```
+///
+/// `ParseWorkloadSpec` rejects malformed input with a line-numbered
+/// error; `WorkloadSpec::ToText()` renders the canonical form, and
+/// parse(render(spec)) == spec, so specs round-trip losslessly.
+/// Reproducibility contract: a spec whose phases all use
+/// `ops_per_thread` generates a byte-identical op sequence for a given
+/// `seed` (see `workload/generator.h`); `duration_ms` phases trade that
+/// for wall-clock control.
+
+#ifndef KASKADE_WORKLOAD_SPEC_H_
+#define KASKADE_WORKLOAD_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace kaskade::workload {
+
+/// \brief The op types a phase mixes. Values index `PhaseSpec::mix`.
+enum class OpKind {
+  kExecute = 0,      ///< One `Engine::Execute` of a generated query.
+  kExecuteBatch,     ///< One `Engine::ExecuteBatch` of `batch_size` queries.
+  kApplyDelta,       ///< One `Engine::ApplyDelta` mutation batch.
+  kMutateBase,       ///< One out-of-band `Engine::MutateBaseGraph` append.
+  kAutoAdvise,       ///< One explicit `Engine::AutoAdvise` round.
+};
+
+inline constexpr size_t kNumOpKinds = 5;
+
+/// Stable spec-facing name ("execute", "execute_batch", "apply_delta",
+/// "mutate_base", "auto_advise").
+const char* OpKindName(OpKind kind);
+
+/// \brief One phase of a workload: a thread count, an arrival process,
+/// a stopping rule, and an op mix.
+struct PhaseSpec {
+  std::string name;
+  /// Client threads; all enter the phase together (barrier).
+  size_t threads = 1;
+  /// Target open-loop arrival rate in ops/sec across all threads, paced
+  /// per thread at `rate / threads`. 0 = closed loop (each thread issues
+  /// its next op as soon as the previous completes).
+  double rate_ops_per_sec = 0;
+  /// Stopping rule: exactly one of these is non-zero.
+  uint64_t ops_per_thread = 0;
+  uint64_t duration_ms = 0;
+  /// Non-negative weights per `OpKind`; at least one must be positive.
+  /// Ops are drawn per-thread from the normalized distribution.
+  std::array<double, kNumOpKinds> mix{};
+  /// Queries per `kExecuteBatch` op.
+  size_t batch_size = 8;
+  /// Edge mutations per `kApplyDelta` op (~3/4 inserts, ~1/4 removals of
+  /// edges the issuing thread previously inserted).
+  size_t delta_edges = 16;
+
+  double weight(OpKind kind) const { return mix[size_t(kind)]; }
+  bool operator==(const PhaseSpec&) const = default;
+};
+
+/// \brief A full declarative workload: named, seeded, over one dataset's
+/// template pool, as an ordered phase list.
+struct WorkloadSpec {
+  std::string name = "workload";
+  /// Master seed; thread t of phase p derives its private RNG stream
+  /// from (seed, p, t), so runs are reproducible at any thread count.
+  uint64_t seed = 1;
+  /// Template pool selector: "social" or "prov".
+  std::string dataset = "social";
+  std::vector<PhaseSpec> phases;
+
+  /// Canonical text form; `ParseWorkloadSpec(ToText())` reproduces the
+  /// spec exactly.
+  std::string ToText() const;
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
+/// Parses the text form. Errors carry the offending line number and are
+/// exhaustive about what the parser expected; a returned spec always
+/// passes `ValidateWorkloadSpec`.
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text);
+
+/// Structural validation shared by the parser and by callers that build
+/// specs programmatically: at least one phase; per phase non-empty name,
+/// threads >= 1, finite non-negative rate, exactly one stopping rule,
+/// non-negative weights with a positive sum, batch_size/delta_edges >= 1
+/// where their op has weight.
+Status ValidateWorkloadSpec(const WorkloadSpec& spec);
+
+}  // namespace kaskade::workload
+
+#endif  // KASKADE_WORKLOAD_SPEC_H_

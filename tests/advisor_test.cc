@@ -669,5 +669,129 @@ TEST(CanonicalTextTest, ExecutionResultCarriesMeasuredLatency) {
   EXPECT_GT(result->latency_us, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Workload decay
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTrackerTest, DecayFadesAndEventuallyEvictsColdEntries) {
+  WorkloadTracker tracker;
+  for (int i = 0; i < 8; ++i) tracker.Record("cold", 100.0, 4.0, true, "v");
+  tracker.Record("colder", 50.0, 2.0, false, "");
+
+  tracker.Decay(0.5);
+  WorkloadSnapshot snapshot = tracker.Snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 1u);  // 1 * 0.5 truncates to 0: evicted
+  EXPECT_EQ(snapshot.entries[0].query_text, "cold");
+  EXPECT_EQ(snapshot.entries[0].executions, 4u);
+  EXPECT_EQ(snapshot.entries[0].view_hits, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.entries[0].total_latency_us, 400.0);
+  EXPECT_DOUBLE_EQ(snapshot.entries[0].total_estimated_cost, 16.0);
+
+  // Un-refreshed entries die under repeated decay; a refreshed one
+  // keeps its (faded) weight.
+  tracker.Decay(0.5);
+  tracker.Record("cold", 100.0, 4.0, false, "");
+  tracker.Decay(0.5);
+  tracker.Decay(0.5);
+  tracker.Decay(0.5);
+  EXPECT_EQ(tracker.distinct_queries(), 0u);
+  // The lifetime counter is untouched by decay.
+  EXPECT_EQ(tracker.total_recorded(), 10u);
+}
+
+TEST(WorkloadTrackerTest, DecayFreesStripeCapacityAtTheCap) {
+  // A single-stripe tracker fills to the distinct-text cap; new texts
+  // are then dropped. Decaying everything to zero evicts the stale set
+  // and the stripe accepts new texts again.
+  constexpr size_t kCap = 4096;
+  WorkloadTracker tracker(/*stripes=*/1);
+  for (size_t i = 0; i < kCap; ++i) {
+    tracker.Record("old_" + std::to_string(i), 1.0, 1.0, false, "");
+  }
+  EXPECT_EQ(tracker.distinct_queries(), kCap);
+  tracker.Record("new_hot", 1.0, 1.0, false, "");
+  EXPECT_EQ(tracker.distinct_queries(), kCap);  // dropped: stripe full
+
+  tracker.Decay(0.0);
+  EXPECT_EQ(tracker.distinct_queries(), 0u);
+  tracker.Record("new_hot", 1.0, 1.0, false, "");
+  EXPECT_EQ(tracker.distinct_queries(), 1u);
+  EXPECT_EQ(tracker.Snapshot().entries[0].query_text, "new_hot");
+}
+
+TEST(AdvisorTest, DecayedColdQueryLosesItsView) {
+  // Same story as ResetWorkloadLetsQuietViewsBecomeDropCandidates, but
+  // driven by EngineOptions::workload_decay instead of an explicit
+  // reset: each AutoAdvise round halves history, so a phase-1-hot query
+  // that goes silent in phase 2 fades until its view is proposed as a
+  // drop — while phase 2's own traffic keeps its full weight.
+  EngineOptions options;
+  options.workload_decay = 0.5;
+  Engine engine(SmallProv(), options);
+
+  // Phase 1: the ancestors query is hot; the trigger-free AutoAdvise
+  // round materializes its connector view.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Execute(datasets::AncestorsQueryText("Job", 4)).ok());
+  }
+  ASSERT_TRUE(engine.AutoAdvise().ok());
+  engine.WaitForBuilds();
+  ASSERT_TRUE(engine.TakeBuildError().ok());
+  ASSERT_NE(engine.catalog().Find(JobConnector().Name()), nullptr);
+
+  // Phase 2: only an unrelated query arrives. Each advice round decays
+  // the old observations by half; within a few rounds the hot query's
+  // count truncates to zero and its view has no observed supporter.
+  const std::string unrelated =
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f";
+  bool dropped = false;
+  for (int round = 0; round < 6 && !dropped; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.Execute(unrelated).ok());
+    auto plan = engine.Advise();
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    dropped = std::count(plan->drop.begin(), plan->drop.end(),
+                         JobConnector().Name()) == 1;
+    ASSERT_TRUE(engine.ApplyAdvice(*plan).ok());
+    engine.WaitForBuilds();
+    ASSERT_TRUE(engine.TakeBuildError().ok());
+    // ApplyAdvice alone never decays; run the decaying round explicitly.
+    ASSERT_TRUE(engine.AutoAdvise().ok());
+    engine.WaitForBuilds();
+    ASSERT_TRUE(engine.TakeBuildError().ok());
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(engine.catalog().Find(JobConnector().Name()), nullptr);
+}
+
+TEST(AdvisorTest, PeriodicTriggerFiresAutoAdviseMidTraffic) {
+  // The opt-in counter trigger: with auto_advise_every_n_ops = 5 the
+  // fifth recorded execution runs an advice round on the query thread
+  // itself — no external advice loop — and materializes the view for
+  // the traffic the tracker observed.
+  EngineOptions options;
+  options.auto_advise_every_n_ops = 5;
+  Engine engine(SmallProv(), options);
+  EXPECT_EQ(engine.auto_advises_triggered(), 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Execute(datasets::AncestorsQueryText("Job", 4)).ok());
+  }
+  EXPECT_EQ(engine.auto_advises_triggered(), 1u);
+  EXPECT_EQ(engine.auto_advise_errors(), 0u);
+  engine.WaitForBuilds();
+  ASSERT_TRUE(engine.TakeBuildError().ok());
+  EXPECT_NE(engine.catalog().Find(JobConnector().Name()), nullptr);
+
+  // The threshold advanced: the next few queries don't re-fire...
+  ASSERT_TRUE(engine.Execute(datasets::AncestorsQueryText("Job", 4)).ok());
+  EXPECT_EQ(engine.auto_advises_triggered(), 1u);
+  // ...until another N executions recorded (batch queries count too).
+  std::vector<std::string> batch(4, datasets::AncestorsQueryText("Job", 4));
+  for (const auto& result : engine.ExecuteBatch(batch)) {
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_EQ(engine.auto_advises_triggered(), 2u);
+}
+
 }  // namespace
 }  // namespace kaskade::core

@@ -227,6 +227,89 @@ TEST(MaintenanceTest, BatchCatchUpAvoidsDoubleCounting) {
             Canonicalize(Materialize(g, JobConnector())->graph));
 }
 
+GraphSchema SocialSchema() {
+  GraphSchema schema;
+  schema.AddVertexType("Person");
+  EXPECT_TRUE(schema.AddEdgeType("FOLLOWS", "Person", "Person").ok());
+  return schema;
+}
+
+ViewDefinition PersonConnector(int k = 2) {
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = k;
+  def.source_type = "Person";
+  def.target_type = "Person";
+  return def;
+}
+
+TEST(MaintenanceTest, SelfLoopInsertAddsNoPathsForK2) {
+  PropertyGraph g(SocialSchema());
+  VertexId a = g.AddVertex("Person").value();
+  VertexId b = g.AddVertex("Person").value();
+  VertexId c = g.AddVertex("Person").value();
+  ASSERT_TRUE(g.AddEdge(a, b, "FOLLOWS").ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "FOLLOWS").ok());
+  auto view = Materialize(g, PersonConnector());
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  // No simple 2-path can traverse a self-loop, so the view must not
+  // move; a from-scratch contraction agrees.
+  EdgeId loop = g.AddEdge(b, b, "FOLLOWS").value();
+  auto stats = maintainer.OnEdgeAdded(loop);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_added, 0u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, PersonConnector())->graph));
+}
+
+TEST(MaintenanceTest, SelfLoopRemovalAfterLaterInsertStaysExact) {
+  PropertyGraph g(SocialSchema());
+  VertexId a = g.AddVertex("Person").value();
+  VertexId b = g.AddVertex("Person").value();
+  auto view = Materialize(g, PersonConnector());
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  // The serving-workload failure shape: a self-loop lands, an ordinary
+  // edge follows, then the self-loop is retracted. The retraction used
+  // to count the phantom walk a -> a -> b through the newer edge and
+  // subtract a pair no insertion ever added ("view lost a maintained
+  // connector edge").
+  EdgeId loop = g.AddEdge(a, a, "FOLLOWS").value();
+  ASSERT_TRUE(maintainer.OnEdgeAdded(loop).ok());
+  EdgeId ab = g.AddEdge(a, b, "FOLLOWS").value();
+  ASSERT_TRUE(maintainer.OnEdgeAdded(ab).ok());
+  ASSERT_TRUE(g.RemoveEdge(loop).ok());
+  auto stats = maintainer.OnEdgeRemoved(loop);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, PersonConnector())->graph));
+}
+
+TEST(MaintenanceTest, SelfLoopIsTheWholePathForK1) {
+  // For k == 1 the self-loop *is* a contracted closed path (v -> v);
+  // the guard against phantom walks must not suppress it.
+  PropertyGraph g(SocialSchema());
+  VertexId a = g.AddVertex("Person").value();
+  auto view = Materialize(g, PersonConnector(1));
+  ASSERT_TRUE(view.ok());
+  ViewMaintainer maintainer(&g, &*view);
+
+  EdgeId loop = g.AddEdge(a, a, "FOLLOWS").value();
+  auto stats = maintainer.OnEdgeAdded(loop);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->paths_added, 1u);
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, PersonConnector(1))->graph));
+
+  ASSERT_TRUE(g.RemoveEdge(loop).ok());
+  ASSERT_TRUE(maintainer.OnEdgeRemoved(loop).ok());
+  EXPECT_EQ(Canonicalize(view->graph),
+            Canonicalize(Materialize(g, PersonConnector(1))->graph));
+}
+
 TEST(MaintenanceTest, SummarizerMaintenanceCopiesKeptElements) {
   datasets::ProvOptions options;
   options.num_jobs = 30;

@@ -1,0 +1,409 @@
+// Tests for the serving workload harness (src/workload/): spec text
+// round-trips and malformed-spec rejection, byte-reproducible op
+// generation, HDR-style histogram percentile accuracy, and a short
+// multi-threaded mixed-traffic integration run against a live engine
+// checking result integrity and telemetry counter balance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/generators.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+#include "workload/orchestrator.h"
+#include "workload/spec.h"
+
+namespace kaskade::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+WorkloadSpec TwoPhaseSpec() {
+  WorkloadSpec spec;
+  spec.name = "roundtrip";
+  spec.seed = 99;
+  spec.dataset = "prov";
+  PhaseSpec warm;
+  warm.name = "warm";
+  warm.threads = 4;
+  warm.rate_ops_per_sec = 0;
+  warm.ops_per_thread = 2000;
+  warm.mix[size_t(OpKind::kExecute)] = 90;
+  warm.mix[size_t(OpKind::kExecuteBatch)] = 10;
+  PhaseSpec churn;
+  churn.name = "churn";
+  churn.threads = 2;
+  churn.rate_ops_per_sec = 1250.5;
+  churn.duration_ms = 1500;
+  churn.mix[size_t(OpKind::kExecute)] = 70;
+  churn.mix[size_t(OpKind::kApplyDelta)] = 20;
+  churn.mix[size_t(OpKind::kMutateBase)] = 5;
+  churn.mix[size_t(OpKind::kAutoAdvise)] = 5;
+  churn.batch_size = 4;
+  churn.delta_edges = 32;
+  spec.phases = {warm, churn};
+  return spec;
+}
+
+TEST(WorkloadSpecTest, RoundTripsThroughText) {
+  const WorkloadSpec spec = TwoPhaseSpec();
+  auto reparsed = ParseWorkloadSpec(spec.ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, spec);
+  // Canonical text is a fixed point.
+  EXPECT_EQ(reparsed->ToText(), spec.ToText());
+}
+
+TEST(WorkloadSpecTest, ParsesDocExample) {
+  auto spec = ParseWorkloadSpec(R"(
+# comments run to end of line
+workload serving_mixed
+seed 42
+dataset social
+phase warmup
+  threads 4
+  rate 0
+  ops_per_thread 2000   # closed loop
+  mix execute=90 execute_batch=10
+end
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "serving_mixed");
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->dataset, "social");
+  ASSERT_EQ(spec->phases.size(), 1u);
+  const PhaseSpec& phase = spec->phases[0];
+  EXPECT_EQ(phase.name, "warmup");
+  EXPECT_EQ(phase.threads, 4u);
+  EXPECT_EQ(phase.rate_ops_per_sec, 0);
+  EXPECT_EQ(phase.ops_per_thread, 2000u);
+  EXPECT_EQ(phase.weight(OpKind::kExecute), 90);
+  EXPECT_EQ(phase.weight(OpKind::kExecuteBatch), 10);
+  EXPECT_EQ(phase.weight(OpKind::kApplyDelta), 0);
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedSpecs) {
+  const struct {
+    const char* label;
+    const char* text;
+  } kCases[] = {
+      {"no phases", "workload w\nseed 1\ndataset social\n"},
+      {"unknown dataset",
+       "dataset road\nphase p\n ops_per_thread 1\n mix execute=1\nend\n"},
+      {"both stopping rules",
+       "phase p\n ops_per_thread 5\n duration_ms 5\n mix execute=1\nend\n"},
+      {"no stopping rule", "phase p\n mix execute=1\nend\n"},
+      {"zero threads",
+       "phase p\n threads 0\n ops_per_thread 1\n mix execute=1\nend\n"},
+      {"unknown phase key",
+       "phase p\n ops_per_thread 1\n warmth 9\n mix execute=1\nend\n"},
+      {"unknown op in mix",
+       "phase p\n ops_per_thread 1\n mix analyze=1\nend\n"},
+      {"negative weight",
+       "phase p\n ops_per_thread 1\n mix execute=-2\nend\n"},
+      {"all-zero mix", "phase p\n ops_per_thread 1\n mix execute=0\nend\n"},
+      {"unterminated phase", "phase p\n ops_per_thread 1\n mix execute=1\n"},
+      {"end outside phase", "end\n"},
+      {"garbage number", "seed banana\n"},
+  };
+  for (const auto& test_case : kCases) {
+    auto spec = ParseWorkloadSpec(test_case.text);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << test_case.label;
+  }
+}
+
+TEST(WorkloadSpecTest, ParseErrorsCarryLineNumbers) {
+  auto spec = ParseWorkloadSpec("workload w\nseed banana\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 2"), std::string::npos)
+      << spec.status();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic generation
+// ---------------------------------------------------------------------------
+
+GeneratorProfile TestProfile() {
+  GeneratorProfile profile;
+  profile.dataset = "social";
+  for (graph::VertexId v = 0; v < 50; ++v) {
+    profile.delta_sources.push_back(v);
+  }
+  profile.delta_targets = profile.delta_sources;
+  profile.insert_edge_type = "FOLLOWS";
+  return profile;
+}
+
+PhaseSpec MixedPhase() {
+  PhaseSpec phase;
+  phase.name = "mixed";
+  phase.threads = 2;
+  phase.ops_per_thread = 300;
+  phase.mix[size_t(OpKind::kExecute)] = 60;
+  phase.mix[size_t(OpKind::kExecuteBatch)] = 10;
+  phase.mix[size_t(OpKind::kApplyDelta)] = 20;
+  phase.mix[size_t(OpKind::kMutateBase)] = 10;
+  phase.batch_size = 4;
+  phase.delta_edges = 8;
+  return phase;
+}
+
+uint64_t DigestOfStream(const GeneratorProfile& profile,
+                        const PhaseSpec& phase, uint64_t seed,
+                        size_t phase_index, size_t thread_index, int ops) {
+  OpGenerator gen(&profile, &phase, seed, phase_index, thread_index);
+  uint64_t digest = 0;
+  for (int i = 0; i < ops; ++i) digest = OpDigest(gen.Next(), digest);
+  return digest;
+}
+
+TEST(OpGeneratorTest, SameSeedSameStream) {
+  const GeneratorProfile profile = TestProfile();
+  const PhaseSpec phase = MixedPhase();
+
+  // Two generators with identical coordinates produce identical op
+  // sequences — compared op by op, not just by digest.
+  OpGenerator a(&profile, &phase, 7, 1, 0);
+  OpGenerator b(&profile, &phase, 7, 1, 0);
+  uint64_t digest_a = 0;
+  uint64_t digest_b = 0;
+  for (int i = 0; i < 200; ++i) {
+    Op op_a = a.Next();
+    Op op_b = b.Next();
+    ASSERT_EQ(op_a.kind, op_b.kind) << "op " << i;
+    ASSERT_EQ(op_a.query.text, op_b.query.text) << "op " << i;
+    digest_a = OpDigest(op_a, digest_a);
+    digest_b = OpDigest(op_b, digest_b);
+  }
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_NE(digest_a, 0u);
+}
+
+TEST(OpGeneratorTest, StreamsDifferAcrossSeedPhaseAndThread) {
+  const GeneratorProfile profile = TestProfile();
+  const PhaseSpec phase = MixedPhase();
+  const uint64_t base = DigestOfStream(profile, phase, 7, 1, 0, 200);
+  EXPECT_NE(DigestOfStream(profile, phase, 8, 1, 0, 200), base);
+  EXPECT_NE(DigestOfStream(profile, phase, 7, 2, 0, 200), base);
+  EXPECT_NE(DigestOfStream(profile, phase, 7, 1, 1, 200), base);
+}
+
+TEST(OpGeneratorTest, QueriesAreSkewedTowardHotParameters) {
+  // Zipf parameter choice must actually concentrate traffic: the most
+  // frequent generated point-lookup text should appear far more often
+  // than a uniform draw over the distinct pool would allow.
+  const GeneratorProfile profile = TestProfile();
+  PhaseSpec phase = MixedPhase();
+  OpGenerator gen(&profile, &phase, 3, 0, 0);
+  std::map<std::string, int> counts;
+  const int kQueries = 2000;
+  for (int i = 0; i < kQueries; ++i) ++counts[gen.NextQuery().text];
+  int hottest = 0;
+  for (const auto& [text, count] : counts) hottest = std::max(hottest, count);
+  // Uniform over >= 50 distinct point-lookup params would put ~2% on
+  // each text; Zipf(1.1) puts a large multiple of that on rank 1.
+  EXPECT_GT(hottest, kQueries / 20);
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesOfUniformDistribution) {
+  LatencyHistogram hist;
+  const int kMax = 100000;
+  for (int v = 1; v <= kMax; ++v) hist.Record(double(v));
+  EXPECT_EQ(hist.count(), uint64_t(kMax));
+  EXPECT_EQ(hist.min_us(), 1.0);
+  EXPECT_EQ(hist.max_us(), double(kMax));
+  EXPECT_NEAR(hist.mean_us(), double(kMax + 1) / 2, 1.0);
+  // Bucket width is <= ~3.2% of magnitude; the percentile returns the
+  // bucket's upper edge, so it is an upper bound within 4%.
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = q * kMax;
+    const double got = hist.Percentile(q);
+    EXPECT_GE(got, exact - 1) << "q=" << q;
+    EXPECT_LE(got, exact * 1.04) << "q=" << q;
+  }
+  // Extremes are exact.
+  EXPECT_EQ(hist.Percentile(1.0), double(kMax));
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogram) {
+  LatencyHistogram all;
+  LatencyHistogram low;
+  LatencyHistogram high;
+  for (int v = 1; v <= 5000; ++v) {
+    all.Record(double(v));
+    (v <= 2500 ? low : high).Record(double(v));
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), all.count());
+  EXPECT_EQ(low.min_us(), all.min_us());
+  EXPECT_EQ(low.max_us(), all.max_us());
+  for (double q : {0.25, 0.50, 0.75, 0.99}) {
+    EXPECT_EQ(low.Percentile(q), all.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, EdgeCases) {
+  LatencyHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  // Sub-microsecond values clamp to 1us; enormous values saturate.
+  hist.Record(0.2);
+  hist.Record(1e18);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.min_us(), 0.2);
+  EXPECT_EQ(hist.max_us(), 1e18);
+  EXPECT_EQ(hist.Percentile(0.25), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: mixed traffic against a live engine
+// ---------------------------------------------------------------------------
+
+graph::PropertyGraph SmallSocial() {
+  datasets::SocialOptions options;
+  options.num_vertices = 300;
+  options.edges_per_vertex = 3;
+  return datasets::MakeSocialGraph(options);
+}
+
+TEST(WorkloadRunnerTest, MixedTrafficRunIsCleanAndBalanced) {
+  core::Engine engine(SmallSocial());
+  auto profile = GeneratorProfile::ForDataset("social", engine.base_graph());
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  WorkloadRunner runner(&engine, *profile);
+
+  auto spec = ParseWorkloadSpec(R"(
+workload integration
+seed 11
+dataset social
+phase mixed
+  threads 4
+  rate 0
+  ops_per_thread 40
+  mix execute=55 execute_batch=10 apply_delta=25 mutate_base=10
+  batch_size 3
+  delta_edges 8
+end
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  const core::EngineTelemetry before = engine.TelemetrySnapshot();
+  auto run = runner.Run(*spec);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->phases.size(), 1u);
+  const PhaseResult& phase = run->phases[0];
+
+  // Every op succeeded and passed the torn-read shape check.
+  EXPECT_TRUE(phase.first_error.ok()) << phase.first_error;
+  EXPECT_EQ(phase.metrics.total_failed(), 0u);
+  EXPECT_EQ(phase.metrics.total_attempted(), 4u * 40u);
+  EXPECT_NE(phase.op_digest, 0u);
+
+  // Histogram counts agree with the attempt counters, op type by op
+  // type, for both the corrected and the service histograms.
+  for (size_t k = 0; k < kNumOpKinds; ++k) {
+    const OpMetrics& op = phase.metrics.ops[k];
+    EXPECT_EQ(op.latency.count(), op.attempted) << OpKindName(OpKind(k));
+    EXPECT_EQ(op.service.count(), op.attempted) << OpKindName(OpKind(k));
+  }
+  // A 640-op mixed draw leaves every weighted op kind represented.
+  EXPECT_GT(phase.metrics.of(OpKind::kExecute).attempted, 0u);
+  EXPECT_GT(phase.metrics.of(OpKind::kExecuteBatch).attempted, 0u);
+  EXPECT_GT(phase.metrics.of(OpKind::kApplyDelta).attempted, 0u);
+  EXPECT_GT(phase.metrics.of(OpKind::kMutateBase).attempted, 0u);
+
+  // Telemetry balance: the tracker recorded exactly one observation per
+  // successful query — every Execute op plus batch_size queries per
+  // ExecuteBatch op.
+  const core::EngineTelemetry after = engine.TelemetrySnapshot();
+  const uint64_t expected_queries =
+      phase.metrics.of(OpKind::kExecute).attempted +
+      3 * phase.metrics.of(OpKind::kExecuteBatch).attempted;
+  EXPECT_EQ(after.queries_recorded - before.queries_recorded,
+            expected_queries);
+  // Catalog snapshot production balances: every production was either a
+  // patch or a full build.
+  EXPECT_EQ(engine.catalog().snapshot_builds(),
+            engine.catalog().snapshot_patches() +
+                engine.catalog().snapshot_full_builds());
+  // Out-of-band mutations ran, so the runner refreshed views afterwards.
+  EXPECT_GT(phase.refresh_seconds, 0.0);
+}
+
+TEST(WorkloadRunnerTest, SameSeedRunsProduceIdenticalTrafficDigests) {
+  auto spec = ParseWorkloadSpec(R"(
+workload repro
+seed 5
+dataset social
+phase p1
+  threads 3
+  rate 0
+  ops_per_thread 30
+  mix execute=70 apply_delta=30
+  delta_edges 6
+end
+phase p2
+  threads 2
+  rate 0
+  ops_per_thread 20
+  mix execute=100
+end
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  auto run_once = [&]() -> std::vector<uint64_t> {
+    core::Engine engine(SmallSocial());
+    auto profile =
+        GeneratorProfile::ForDataset("social", engine.base_graph());
+    EXPECT_TRUE(profile.ok()) << profile.status();
+    WorkloadRunner runner(&engine, *profile);
+    auto run = runner.Run(*spec);
+    EXPECT_TRUE(run.ok()) << run.status();
+    std::vector<uint64_t> digests;
+    for (const PhaseResult& phase : run->phases) {
+      EXPECT_EQ(phase.metrics.total_failed(), 0u);
+      digests.push_back(phase.op_digest);
+    }
+    return digests;
+  };
+
+  const std::vector<uint64_t> first = run_once();
+  const std::vector<uint64_t> second = run_once();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+
+  // A different seed changes the traffic.
+  spec->seed = 6;
+  EXPECT_NE(run_once(), first);
+}
+
+TEST(WorkloadRunnerTest, RejectsDatasetMismatch) {
+  core::Engine engine(SmallSocial());
+  auto profile = GeneratorProfile::ForDataset("social", engine.base_graph());
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  WorkloadRunner runner(&engine, *profile);
+
+  WorkloadSpec spec;
+  spec.dataset = "prov";
+  PhaseSpec phase;
+  phase.name = "p";
+  phase.ops_per_thread = 1;
+  phase.mix[size_t(OpKind::kExecute)] = 1;
+  spec.phases = {phase};
+  EXPECT_FALSE(runner.Run(spec).ok());
+}
+
+}  // namespace
+}  // namespace kaskade::workload
