@@ -14,6 +14,10 @@
 // `hardware_threads` metric records what this run had so the perf
 // trajectory stays interpretable (a 1-core container shows ~1x).
 //
+// A final `fusion` section pushes a 100-query same-shape batch through
+// `Engine::ExecuteBatch` with cross-query fusion on vs off and records
+// the shared-traversal expansion ratio (enforced >= 10x).
+//
 // Usage: bench_query_latency [--json[=path]]
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/engine.h"
 #include "graph/csr.h"
 #include "query/executor.h"
 
@@ -115,6 +120,89 @@ void RunDataset(const std::string& section, const PropertyGraph& g,
   }
 }
 
+/// Cross-query fusion: a 100-query batch of one plan shape (constants
+/// differ) through two engines, fusion on vs off. The fused engine runs
+/// one shared traversal per shape group where the unfused engine pays
+/// the full traversal per member, so the expansion ratio should sit
+/// near the batch size; the bench enforces a conservative 10x floor.
+void RunFusionSection() {
+  PrintHeader("fusion");
+  kaskade::core::EngineOptions unfused_opts;
+  unfused_opts.executor.fusion.enabled = false;
+  kaskade::core::Engine fused(kaskade::bench::BenchProvRaw());
+  kaskade::core::Engine unfused(kaskade::bench::BenchProvRaw(), unfused_opts);
+
+  constexpr int kBatchSize = 100;
+  std::vector<std::string> batch;
+  batch.reserve(kBatchSize);
+  for (int i = 0; i < kBatchSize; ++i) {
+    // 20 distinct pipelines exist; every constant (matching or not)
+    // keeps the same shape key, which is all fusion grouping needs.
+    batch.push_back(
+        "MATCH (a:Job)-[:WRITES_TO]->(f:File) WHERE a.pipelineName = "
+        "'pipeline_" +
+        std::to_string(i % 25) + "' RETURN a, f");
+  }
+
+  const int reps = 3;
+  double fused_s = 1e100, unfused_s = 1e100;
+  size_t fused_rows = 0, unfused_rows = 0;
+  for (int r = 0; r < reps; ++r) {
+    size_t rows = 0;
+    double secs = TimeSeconds([&] {
+      for (const auto& result : fused.ExecuteBatch(batch)) {
+        if (!result.ok()) {
+          std::fprintf(stderr, "fused batch failed: %s\n",
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+        rows += result->table.num_rows();
+      }
+    });
+    fused_rows = rows;
+    if (secs < fused_s) fused_s = secs;
+    rows = 0;
+    secs = TimeSeconds([&] {
+      for (const auto& result : unfused.ExecuteBatch(batch)) {
+        if (!result.ok()) {
+          std::fprintf(stderr, "unfused batch failed: %s\n",
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+        rows += result->table.num_rows();
+      }
+    });
+    unfused_rows = rows;
+    if (secs < unfused_s) unfused_s = secs;
+  }
+  if (fused_rows != unfused_rows) {
+    std::fprintf(stderr, "fusion row divergence: fused=%zu unfused=%zu\n",
+                 fused_rows, unfused_rows);
+    std::exit(1);
+  }
+
+  const double fused_exp = double(fused.traversal_expansions()) / reps;
+  const double unfused_exp = double(unfused.traversal_expansions()) / reps;
+  const double ratio = fused_exp > 0 ? unfused_exp / fused_exp : 0;
+  JsonReport::Record("fusion", "batch_size", double(kBatchSize));
+  JsonReport::Record("fusion", "rows", double(fused_rows));
+  JsonReport::Record("fusion", "fused_seconds", fused_s);
+  JsonReport::Record("fusion", "unfused_seconds", unfused_s);
+  JsonReport::Record("fusion", "batch_speedup", unfused_s / fused_s);
+  JsonReport::Record("fusion", "fused_expansions_per_batch", fused_exp);
+  JsonReport::Record("fusion", "unfused_expansions_per_batch", unfused_exp);
+  JsonReport::Record("fusion", "expansion_ratio", ratio);
+  std::printf("batch of %d same-shape queries: %.4fs fused vs %.4fs solo "
+              "(%.2fx), expansions %.0f vs %.0f (%.1fx fewer)\n",
+              kBatchSize, fused_s, unfused_s, unfused_s / fused_s, fused_exp,
+              unfused_exp, ratio);
+  if (ratio < 10.0) {
+    std::fprintf(stderr,
+                 "fusion expansion ratio %.1fx below the 10x floor\n", ratio);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +287,8 @@ int main(int argc, char** argv) {
           {"varlen_1_6",
            "MATCH (a:Intersection)-[r*1..6]->(b:Intersection) RETURN a, b"},
       });
+
+  RunFusionSection();
 
   return JsonReport::Finish();
 }

@@ -118,6 +118,13 @@ phase smoke_read
   ops_per_thread 150
   mix execute=90 execute_batch=10
 end
+phase smoke_batch
+  threads 2
+  rate 0
+  ops_per_thread 60
+  mix execute=10 execute_batch=90
+  batch_size 16
+end
 phase smoke_mixed
   threads 2
   rate 200
@@ -188,6 +195,11 @@ void PrintPhaseTable(const PhaseResult& phase) {
               b.snapshot_full_builds - a.snapshot_full_builds,
               b.builds_completed - a.builds_completed,
               b.auto_advises - a.auto_advises, b.views_ready);
+  if (b.fused_groups > a.fused_groups) {
+    std::printf("  fusion: +%zu groups, +%zu members fused\n",
+                b.fused_groups - a.fused_groups,
+                b.fused_members - a.fused_members);
+  }
 }
 
 void RecordPhase(const PhaseResult& phase) {
@@ -235,6 +247,12 @@ void RecordPhase(const PhaseResult& phase) {
   JsonReport::Record(s, "views_ready_end", double(b.views_ready));
   JsonReport::Record(s, "queries_recorded_delta",
                      double(b.queries_recorded - a.queries_recorded));
+  JsonReport::Record(s, "fused_groups_delta",
+                     double(b.fused_groups - a.fused_groups));
+  JsonReport::Record(s, "fused_members_delta",
+                     double(b.fused_members - a.fused_members));
+  JsonReport::Record(s, "traversal_expansions_delta",
+                     double(b.traversal_expansions - a.traversal_expansions));
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -304,6 +322,21 @@ int main(int argc, char** argv) {
       failed = true;
     }
   }
+  // The smoke spec's batch-heavy phase must exercise cross-query
+  // fusion: generated batches repeat query templates with different
+  // constants, so shape groups are guaranteed at batch_size 16. A zero
+  // here means the fusion path silently stopped engaging.
+  if (smoke) {
+    size_t fused_groups = 0;
+    for (const PhaseResult& phase : run.phases) {
+      fused_groups += phase.after.fused_groups - phase.before.fused_groups;
+    }
+    if (fused_groups == 0) {
+      std::fprintf(stderr, "smoke run fused no batch groups\n");
+      failed = true;
+    }
+  }
+
   std::printf("\ntotal: %" PRIu64 " ops, %" PRIu64 " failed\n",
               run.total_attempted(), run.total_failed());
   JsonReport::Record("total", "ops_attempted", double(run.total_attempted()));

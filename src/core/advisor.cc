@@ -117,6 +117,47 @@ Result<AdvicePlan> Advisor::AdviseWorkload(
       plan.create.push_back(scored.definition);
     }
   }
+  // Budget enforcement across rounds: hysteresis keeps unselected
+  // incumbents that still serve queries, and their re-estimated sizes
+  // grow with the base graph — so the surviving set (selected + kept)
+  // can creep past the budget round over round even though each round's
+  // *selection* respects it. Evict the lowest-value kept incumbents
+  // until the survivors fit again. The selected set alone always fits
+  // (the knapsack guarantees it), so eviction never has to touch a
+  // selected view. Skipped for an empty workload for the same reason as
+  // the zero-applicable drops above: no signal is not a mandate to
+  // shrink the catalog.
+  if (!workload.empty()) {
+    auto is_selected = [&](const std::string& name) {
+      for (const ScoredView& scored : selected) {
+        if (scored.definition.Name() == name) return true;
+      }
+      return false;
+    };
+    auto is_dropped = [&](const std::string& name) {
+      return std::find(plan.drop.begin(), plan.drop.end(), name) !=
+             plan.drop.end();
+    };
+    std::vector<const ScoredView*> kept;
+    double survivor_size = plan.selection.selected_size_edges;
+    for (const ScoredView& scored : plan.selection.candidates) {
+      if (!scored.currently_materialized) continue;
+      const std::string name = scored.definition.Name();
+      if (is_selected(name) || is_dropped(name)) continue;
+      kept.push_back(&scored);
+      survivor_size += scored.estimated_size_edges;
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const ScoredView* a, const ScoredView* b) {
+                if (a->value != b->value) return a->value < b->value;
+                return a->definition.Name() < b->definition.Name();
+              });
+    for (const ScoredView* victim : kept) {
+      if (survivor_size <= options_.selector.budget_edges) break;
+      plan.drop.push_back(victim->definition.Name());
+      survivor_size -= victim->estimated_size_edges;
+    }
+  }
   return plan;
 }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "core/cost_model.h"
+#include "query/fused_runner.h"
 #include "query/parser.h"
 
 namespace kaskade::core {
@@ -40,6 +42,15 @@ Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
 }
 
 Engine::~Engine() {
+  // Drain the batch pool first: by the caller contract no ExecuteBatch
+  // is in flight, so the queue is empty and workers are parked.
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_stop_ = true;
+  }
+  batch_cv_.notify_all();
+  for (std::thread& worker : batch_workers_) worker.join();
+
   std::vector<BuildJob> orphaned;
   {
     std::lock_guard<std::mutex> lock(build_mu_);
@@ -188,6 +199,10 @@ EngineTelemetry Engine::TelemetrySnapshot() const {
   t.auto_advise_errors = auto_advise_errors_.load(std::memory_order_relaxed);
   t.queries_recorded = tracker_.total_recorded();
   t.distinct_queries = tracker_.distinct_queries();
+  t.fused_groups = fused_groups_.load(std::memory_order_relaxed);
+  t.fused_members = fused_members_.load(std::memory_order_relaxed);
+  t.traversal_expansions =
+      traversal_expansions_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -527,6 +542,19 @@ Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
   result.executed_query = plan.executed_query;
   result.estimated_cost = plan.estimated_cost;
   result.latency_us = timing.elapsed_us;
+  result.expansions = timing.expansions;
+  return result;
+}
+
+Result<ExecutionResult> Engine::ExecutePlannedLocked(const Plan& plan) {
+  Result<ExecutionResult> result = RunPlan(plan);
+  if (result.ok()) {
+    traversal_expansions_.fetch_add(result->expansions,
+                                    std::memory_order_relaxed);
+    tracker_.Record(plan.canonical_query, result->latency_us,
+                    plan.estimated_cost, result->used_view, result->view_name,
+                    /*fused=*/false);
+  }
   return result;
 }
 
@@ -534,13 +562,7 @@ Result<ExecutionResult> Engine::ExecuteUnderLock(
     const std::string& query_text) {
   KASKADE_ASSIGN_OR_RETURN(Plan plan,
                            planner_.PlanFor(query_text, base_, catalog_));
-  Result<ExecutionResult> result = RunPlan(plan);
-  if (result.ok()) {
-    tracker_.Record(plan.canonical_query, result->latency_us,
-                    plan.estimated_cost, result->used_view,
-                    result->view_name);
-  }
-  return result;
+  return ExecutePlannedLocked(plan);
 }
 
 Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
@@ -561,45 +583,221 @@ Result<ExecutionResult> Engine::Execute(const query::Query& query) {
   return Execute(query.ToString());
 }
 
+void Engine::RunFusedGroupLocked(
+    const std::vector<std::optional<Plan>>& plans,
+    const std::vector<size_t>& indices,
+    std::vector<std::optional<Result<ExecutionResult>>>* slots) {
+  const Plan& lead = *plans[indices.front()];
+  auto run_solo = [&] {
+    for (size_t i : indices) {
+      (*slots)[i].emplace(ExecutePlannedLocked(*plans[i]));
+    }
+  };
+  // Grouping happened under the same reader hold that planned the
+  // batch, so the generation cannot have moved; the check is a tripwire
+  // against misuse, exactly as in RunPlan.
+  if (lead.planned_generation != catalog_.generation()) {
+    run_solo();
+    return;
+  }
+  const graph::PropertyGraph* target = &base_;
+  std::shared_ptr<const graph::CsrGraph> snapshot;
+  if (lead.view_name.empty()) {
+    snapshot = catalog_.BaseSnapshot();
+  } else {
+    const CatalogEntry* entry = catalog_.Find(lead.view_name);
+    if (entry == nullptr || entry->state != ViewState::kReady) {
+      Status missing = Status::Internal(
+          "cached plan references a missing view '" + lead.view_name + "'");
+      for (size_t i : indices) (*slots)[i].emplace(missing);
+      return;
+    }
+    target = &entry->view.graph;
+    snapshot = catalog_.SnapshotFor(entry->handle);
+  }
+  if (snapshot == nullptr) {
+    // Fusion shares a CSR traversal; without a snapshot there is
+    // nothing to share.
+    run_solo();
+    return;
+  }
+
+  std::vector<const query::MatchQuery*> members;
+  members.reserve(indices.size());
+  for (size_t i : indices) members.push_back(plans[i]->match_ast.get());
+  query::FusedGroupStats stats;
+  std::vector<Result<query::Table>> tables = query::ExecuteFusedMatch(
+      *target, *snapshot, members, options_.executor, &stats);
+
+  fused_groups_.fetch_add(1, std::memory_order_relaxed);
+  fused_members_.fetch_add(indices.size(), std::memory_order_relaxed);
+  traversal_expansions_.fetch_add(stats.expansions,
+                                  std::memory_order_relaxed);
+  const double per_member_us =
+      stats.elapsed_us / static_cast<double>(indices.size());
+  for (size_t j = 0; j < indices.size(); ++j) {
+    const size_t slot = indices[j];
+    const Plan& plan = *plans[slot];
+    if (!tables[j].ok()) {
+      (*slots)[slot].emplace(tables[j].status());
+      continue;
+    }
+    ExecutionResult result;
+    result.table = std::move(*tables[j]);
+    result.used_view = !plan.view_name.empty();
+    result.view_name = plan.view_name;
+    result.executed_query = plan.executed_query;
+    result.estimated_cost = plan.estimated_cost;
+    result.latency_us = per_member_us;
+    result.expansions = stats.expansions;
+    result.fused = true;
+    tracker_.Record(plan.canonical_query, per_member_us, plan.estimated_cost,
+                    result.used_view, result.view_name, /*fused=*/true);
+    (*slots)[slot].emplace(std::move(result));
+  }
+}
+
+void Engine::DrainBatchJob(BatchJob* job) {
+  const size_t total = job->tasks.size();
+  while (true) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total) return;
+    job->tasks[i]();
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      // Lock-then-notify so the owner cannot check the predicate and
+      // block between our increment and the notification.
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      batch_done_cv_.notify_all();
+    }
+  }
+}
+
+void Engine::BatchWorkerLoop() {
+  while (true) {
+    std::shared_ptr<BatchJob> job;
+    {
+      std::unique_lock<std::mutex> lock(batch_mu_);
+      batch_cv_.wait(lock, [&] {
+        if (batch_stop_) return true;
+        for (const std::shared_ptr<BatchJob>& queued : batch_queue_) {
+          if (queued->next.load(std::memory_order_relaxed) <
+              queued->tasks.size()) {
+            return true;
+          }
+        }
+        return false;
+      });
+      if (batch_stop_) return;
+      for (const std::shared_ptr<BatchJob>& queued : batch_queue_) {
+        if (queued->next.load(std::memory_order_relaxed) <
+            queued->tasks.size()) {
+          job = queued;
+          break;
+        }
+      }
+    }
+    if (job != nullptr) DrainBatchJob(job.get());
+  }
+}
+
+void Engine::RunBatchTasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  size_t workers = options_.batch_workers != 0
+                       ? options_.batch_workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, tasks.size());
+  if (workers <= 1) {
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+  auto job = std::make_shared<BatchJob>();
+  job->tasks = std::move(tasks);
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_queue_.push_back(job);
+    // Lazy, persistent pool (same idiom as the build pool): the caller
+    // is always one worker, so the pool holds at most workers - 1
+    // threads. Grown monotonically; joined by the destructor.
+    while (batch_workers_.size() < workers - 1) {
+      batch_workers_.emplace_back([this] { BatchWorkerLoop(); });
+    }
+  }
+  batch_cv_.notify_all();
+  DrainBatchJob(job.get());
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  batch_done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->tasks.size();
+  });
+  batch_queue_.erase(
+      std::find(batch_queue_.begin(), batch_queue_.end(), job));
+}
+
+size_t Engine::batch_pool_size() const {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_workers_.size();
+}
+
 std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(
     const std::vector<std::string>& query_texts) {
   std::vector<std::optional<Result<ExecutionResult>>> slots(
       query_texts.size());
-  size_t workers = options_.batch_workers != 0
-                       ? options_.batch_workers
-                       : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, query_texts.size());
-
-  if (workers <= 1) {
+  {
     std::shared_lock lock(mu_);
+    // Phase 1 — plan every text (plan cache + parse). Failures settle
+    // their slots here; everything else becomes work below.
+    std::vector<std::optional<Plan>> plans(query_texts.size());
     for (size_t i = 0; i < query_texts.size(); ++i) {
-      slots[i].emplace(ExecuteUnderLock(query_texts[i]));
-    }
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-      std::shared_lock lock(mu_);
-      while (true) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= query_texts.size()) break;
-        slots[i].emplace(ExecuteUnderLock(query_texts[i]));
+      Result<Plan> plan = planner_.PlanFor(query_texts[i], base_, catalog_);
+      if (plan.ok()) {
+        plans[i].emplace(std::move(*plan));
+      } else {
+        slots[i].emplace(plan.status());
       }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    }
+    // Phase 2 — group fusable plans by (view, shape). All plans were
+    // computed under this reader hold, so they share one generation.
+    const query::FusionOptions& fusion = options_.executor.fusion;
+    std::vector<bool> in_group(query_texts.size(), false);
+    std::vector<std::function<void()>> tasks;
+    if (fusion.enabled) {
+      std::unordered_map<std::string, std::vector<size_t>> shape_groups;
+      for (size_t i = 0; i < plans.size(); ++i) {
+        if (!plans[i].has_value() || plans[i]->shape_key.empty() ||
+            plans[i]->match_ast == nullptr) {
+          continue;
+        }
+        std::string key = plans[i]->view_name;
+        key += '\x1f';
+        key += plans[i]->shape_key;
+        shape_groups[key].push_back(i);
+      }
+      const size_t min_group = std::max<size_t>(2, fusion.min_group_size);
+      for (auto& [key, indices] : shape_groups) {
+        if (indices.size() < min_group) continue;
+        for (size_t i : indices) in_group[i] = true;
+        tasks.push_back(
+            [this, &plans, &slots, group = std::move(indices)] {
+              RunFusedGroupLocked(plans, group, &slots);
+            });
+      }
+    }
+    // Phase 3 — everything not fused runs solo, one task per query.
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (slots[i].has_value() || in_group[i]) continue;
+      tasks.push_back([this, &plans, &slots, i] {
+        slots[i].emplace(ExecutePlannedLocked(*plans[i]));
+      });
+    }
+    RunBatchTasks(std::move(tasks));
   }
+  // Outside the reader lock (the advice round takes the writer lock).
+  MaybeAutoAdvise();
 
   std::vector<Result<ExecutionResult>> results;
   results.reserve(slots.size());
-  for (auto& slot : slots) {
+  for (std::optional<Result<ExecutionResult>>& slot : slots) {
     results.push_back(std::move(slot).value());
   }
-  // After the workers joined (and released their reader locks): batch
-  // workers hold the shared lock across their whole loop, so the
-  // trigger check must not run inside them.
-  MaybeAutoAdvise();
   return results;
 }
 

@@ -45,9 +45,19 @@
 /// partitions each MATCH across worker threads with output identical to
 /// the sequential run.
 ///
-/// `ExecuteBatch` fans a batch of queries across a small worker pool and
-/// returns per-query results in input order; results are identical to
-/// calling `Execute` sequentially.
+/// `ExecuteBatch` fans a batch of queries across a small persistent
+/// worker pool (started lazily on the first multi-task batch, drained on
+/// shutdown — no per-call thread churn) and returns per-query results in
+/// input order; results are identical to calling `Execute` sequentially.
+/// Before execution the batch is grouped by *plan shape*: queries whose
+/// chosen plans share a canonical MATCH shape (`Plan::shape_key` —
+/// identical topology, types, plan order, and WHERE structure; only
+/// predicate constants differ) and target (same view, same generation)
+/// run as one fused traversal (`query/fused_runner.h`) that pays the
+/// shared seed/expansion work once for the whole group.
+/// `ExecutorOptions::fusion` gates this; singletons and non-MATCH
+/// queries keep the solo path. Fused output is byte-identical to the
+/// solo run, per query.
 
 #ifndef KASKADE_CORE_ENGINE_H_
 #define KASKADE_CORE_ENGINE_H_
@@ -58,6 +68,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -155,6 +166,17 @@ struct EngineTelemetry {
   size_t auto_advise_errors = 0;
   uint64_t queries_recorded = 0;
   size_t distinct_queries = 0;
+  /// \name Batch cross-query fusion (ExecuteBatch shape groups).
+  /// @{
+  size_t fused_groups = 0;   ///< Shape groups run as one shared traversal.
+  size_t fused_members = 0;  ///< Queries those groups served.
+  /// CSR traversal expansions across all executions (solo + fused):
+  /// candidate vertices enumerated at seed/expansion steps plus
+  /// filter-edge probes. A fused group pays its expansions once where N
+  /// solo runs pay them N times, so diffing this around a batch phase
+  /// measures what fusion saved.
+  uint64_t traversal_expansions = 0;
+  /// @}
 };
 
 /// \brief Outcome of one `ApplyDelta` batch.
@@ -191,8 +213,15 @@ struct ExecutionResult {
   std::string executed_query;  ///< The (possibly rewritten) query text.
   double estimated_cost = 0;
   /// Measured evaluation wall clock (microseconds) — what the workload
-  /// tracker records.
+  /// tracker records. For a fused batch member this is the group's wall
+  /// clock split evenly across members.
   double latency_us = 0;
+  /// CSR traversal expansions this execution performed (0 for the
+  /// legacy backend); a fused member reports its group's shared count.
+  uint64_t expansions = 0;
+  /// True when this result came from a fused batch shape group rather
+  /// than a solo run. The table itself is identical either way.
+  bool fused = false;
 };
 
 /// \brief The framework facade. See file comment for the concurrency
@@ -205,7 +234,7 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Joins the background build pool (queued builds are aborted; the
-  /// in-flight one finishes first).
+  /// in-flight one finishes first) and the persistent batch pool.
   ~Engine();
 
   const graph::PropertyGraph& base_graph() const { return base_; }
@@ -353,9 +382,14 @@ class Engine {
   /// tracker entry. Reader.
   Result<ExecutionResult> Execute(const query::Query& query);
 
-  /// Executes a batch of queries across `batch_workers` threads and
-  /// returns results in input order, identical to sequential `Execute`.
-  /// Reader (all workers share the read lock).
+  /// Executes a batch of queries and returns results in input order,
+  /// identical to sequential `Execute`. The batch is planned up front,
+  /// grouped by plan shape (same-shape groups of at least
+  /// `ExecutorOptions::fusion.min_group_size` run as one fused
+  /// traversal; everything else runs solo), and the resulting tasks are
+  /// spread across the persistent batch pool (`batch_workers` wide) with
+  /// the calling thread participating. Reader — the caller holds the
+  /// shared lock for the whole batch; pool workers run under its hold.
   std::vector<Result<ExecutionResult>> ExecuteBatch(
       const std::vector<std::string>& query_texts);
 
@@ -364,6 +398,26 @@ class Engine {
   size_t plan_cache_hits() const { return planner_.cache_hits(); }
   size_t plan_cache_misses() const { return planner_.cache_misses(); }
   /// @}
+
+  /// \name Batch-fusion telemetry.
+  /// @{
+  /// Shape groups `ExecuteBatch` ran as one shared traversal.
+  size_t fused_groups() const {
+    return fused_groups_.load(std::memory_order_relaxed);
+  }
+  /// Batch queries served by those groups.
+  size_t fused_members() const {
+    return fused_members_.load(std::memory_order_relaxed);
+  }
+  /// CSR traversal expansions across all executions (solo and fused).
+  uint64_t traversal_expansions() const {
+    return traversal_expansions_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// Threads currently in the persistent batch pool (telemetry; the
+  /// pool starts lazily and persists across batches).
+  size_t batch_pool_size() const;
 
  private:
   /// One scheduled background materialization.
@@ -385,13 +439,51 @@ class Engine {
     graph::DeltaFootprintPtr delta;
   };
 
+  /// One `ExecuteBatch` call's work queue: independent tasks (fused
+  /// groups and singletons) claimed by pool workers and the calling
+  /// thread alike. Lives on the queue as a shared_ptr so a worker can
+  /// outlast the caller's erase.
+  struct BatchJob {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};  ///< Next unclaimed task index.
+    std::atomic<size_t> done{0};  ///< Completed tasks.
+  };
+
   /// Executes a previously chosen plan. Caller holds (at least) the
   /// reader lock.
   Result<ExecutionResult> RunPlan(const Plan& plan) const;
 
+  /// Runs an already-planned query solo and records the observation on
+  /// success. Caller (or the `ExecuteBatch` invocation that spawned this
+  /// task) holds the reader lock.
+  Result<ExecutionResult> ExecutePlannedLocked(const Plan& plan);
+
   /// Plan + run one query text, recording the observation on success.
   /// Caller holds the reader lock.
   Result<ExecutionResult> ExecuteUnderLock(const std::string& query_text);
+
+  /// Runs one fused shape group (all plans share `shape_key`, view and
+  /// generation) and fills each member's slot; falls back to solo
+  /// execution when no CSR snapshot is attachable. Reader lock held by
+  /// the owning `ExecuteBatch` caller.
+  void RunFusedGroupLocked(
+      const std::vector<std::optional<Plan>>& plans,
+      const std::vector<size_t>& indices,
+      std::vector<std::optional<Result<ExecutionResult>>>* slots);
+
+  /// Spreads `tasks` across the persistent batch pool and the calling
+  /// thread; returns when all tasks ran. Starts pool threads lazily (at
+  /// most `batch_workers - 1`: the caller is always one worker). The
+  /// caller must hold the reader lock — pool workers take no engine
+  /// lock and run under the caller's hold.
+  void RunBatchTasks(std::vector<std::function<void()>> tasks);
+
+  /// Batch-pool worker: claims tasks from queued jobs until stopped.
+  void BatchWorkerLoop();
+
+  /// Claims and runs `job`'s tasks until none remain; notifies
+  /// `batch_done_cv_` when the last task of the job completes.
+  void DrainBatchJob(BatchJob* job);
 
   /// Fires one `AutoAdvise` round when the recorded-execution count
   /// crossed the `auto_advise_every_n_ops` threshold. MUST be called
@@ -469,9 +561,29 @@ class Engine {
   std::set<ViewHandle> reserved_error_handles_;
   /// @}
 
+  /// \name Persistent batch-execution pool (guarded by `batch_mu_`).
+  /// Started lazily by the first `ExecuteBatch` with more tasks than
+  /// one thread should run; threads persist across batches (the old
+  /// implementation spawned and joined a fresh pool per call) and are
+  /// joined by the destructor. Workers never take the engine lock — the
+  /// `ExecuteBatch` caller holds the reader lock for the whole batch,
+  /// which covers every task the pool runs for it.
+  /// @{
+  mutable std::mutex batch_mu_;
+  std::condition_variable batch_cv_;       ///< Workers: tasks queued/stop.
+  std::condition_variable batch_done_cv_;  ///< Callers: their job drained.
+  std::deque<std::shared_ptr<BatchJob>> batch_queue_;
+  bool batch_stop_ = false;
+  std::vector<std::thread> batch_workers_;
+  /// @}
+
   std::atomic<size_t> builds_completed_{0};
   std::atomic<size_t> builds_replayed_{0};
   std::atomic<size_t> build_retries_{0};
+
+  std::atomic<size_t> fused_groups_{0};
+  std::atomic<size_t> fused_members_{0};
+  std::atomic<uint64_t> traversal_expansions_{0};
 
   /// \name Periodic auto-advise trigger state.
   /// @{

@@ -7,6 +7,60 @@
 #include "query/parser.h"
 
 namespace kaskade::core {
+namespace {
+
+/// Serializes everything of a MATCH except its predicate constants.
+/// Variable names are part of the shape: the fused runner resolves every
+/// member's WHERE and RETURN against one shared pattern, and output
+/// column names must match each member's solo run.
+std::string MatchShapeKey(const query::MatchQuery& match) {
+  std::string key;
+  key.reserve(64);
+  for (const query::NodePattern& n : match.nodes) {
+    key += "n|";
+    key += n.name;
+    key += '|';
+    key += n.type;
+    key += ';';
+  }
+  for (const query::EdgePattern& e : match.edges) {
+    key += "e|";
+    key += e.from;
+    key += '|';
+    key += e.to;
+    key += '|';
+    key += e.type;
+    key += '|';
+    if (e.variable_length) {
+      key += 'v';
+      key += std::to_string(e.min_hops);
+      key += "..";
+      key += std::to_string(e.max_hops);
+    } else {
+      key += 'f';
+    }
+    key += ';';
+  }
+  for (const query::Condition& c : match.where) {
+    key += "w|";
+    key += c.lhs.base;
+    key += '|';
+    key += c.lhs.property;
+    key += '|';
+    key += std::to_string(static_cast<int>(c.op));
+    key += ';';
+  }
+  for (const query::ReturnItem& r : match.return_items) {
+    key += "r|";
+    key += r.variable;
+    key += '|';
+    key += r.alias;
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
 
 Planner::Planner(PlannerOptions options)
     : options_(options),
@@ -26,6 +80,11 @@ Status Planner::ChoosePlan(const query::Query& query,
   plan->executed_query = query.ToString();
   plan->canonical_query = plan->executed_query;
   plan->planned_generation = catalog.generation();
+  plan->shape_key.clear();
+  plan->match_ast.reset();
+  if (query.is_match()) {
+    plan->match_ast = std::make_shared<query::MatchQuery>(query.match());
+  }
 
   // Plans 1..n: one per *ready* materialized view (single-view
   // rewritings, §V-C). Entries mid-build or mid-drop are never planned
@@ -41,7 +100,16 @@ Status Planner::ChoosePlan(const query::Query& query,
       plan->estimated_cost = cost;
       plan->view_name = entry->name();
       plan->executed_query = rewritten->ToString();
+      // The winning AST must be captured here: `rewritten` dies with
+      // this loop iteration.
+      plan->match_ast =
+          rewritten->is_match()
+              ? std::make_shared<query::MatchQuery>(rewritten->match())
+              : nullptr;
     }
+  }
+  if (plan->match_ast != nullptr) {
+    plan->shape_key = MatchShapeKey(*plan->match_ast);
   }
   return Status::OK();
 }

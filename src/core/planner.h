@@ -49,6 +49,19 @@ struct Plan {
   /// exact generation — a plan never runs over a snapshot newer or
   /// older than the catalog state it was costed on.
   uint64_t planned_generation = 0;
+  /// Canonical shape of the *executed* query when it is a bare MATCH:
+  /// node names/types, edge topology/types/hop bounds, WHERE structure
+  /// (variable, property, operator — the constants are lifted out), and
+  /// RETURN items. Two plans with equal shape keys (and equal view /
+  /// generation) differ at most in predicate constants, so the batch
+  /// executor can run them as one fused traversal
+  /// (query/fused_runner.h). Empty = not fusable (SELECT shell, parse
+  /// shapes fusion does not cover).
+  std::string shape_key;
+  /// Parsed AST of `executed_query` when `shape_key` is set — what the
+  /// fused runner consumes, saving a per-member re-parse. Shared (and
+  /// immutable) so `Plan` stays cheaply copyable through the LRU cache.
+  std::shared_ptr<const query::MatchQuery> match_ast;
 };
 
 /// \brief Planner configuration.

@@ -9,7 +9,8 @@ WorkloadTracker::WorkloadTracker(size_t stripes)
 
 void WorkloadTracker::Record(const std::string& canonical_text,
                              double latency_us, double estimated_cost,
-                             bool used_view, const std::string& view_name) {
+                             bool used_view, const std::string& view_name,
+                             bool fused) {
   // Bound distinct texts per stripe (workloads with per-request literals
   // would otherwise grow the maps toward OOM and slow every advice
   // round). New texts past the cap are not tracked — the established
@@ -31,6 +32,7 @@ void WorkloadTracker::Record(const std::string& canonical_text,
       ++obs.view_hits;
       obs.last_view = view_name;
     }
+    if (fused) ++obs.fused_hits;
   }
   total_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -71,6 +73,7 @@ void WorkloadTracker::Decay(double factor) {
       // factor < 1 eventually drives an un-refreshed count to zero.
       obs.executions = uint64_t(double(obs.executions) * factor);
       obs.view_hits = uint64_t(double(obs.view_hits) * factor);
+      obs.fused_hits = uint64_t(double(obs.fused_hits) * factor);
       obs.total_latency_us *= factor;
       obs.total_estimated_cost *= factor;
       if (obs.executions == 0) {

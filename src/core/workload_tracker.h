@@ -42,6 +42,10 @@ struct QueryObservation {
   double total_estimated_cost = 0;  ///< Sum of planner cost estimates.
   uint64_t view_hits = 0;        ///< Executions served by a view rewrite.
   std::string last_view;         ///< View that served the last view hit.
+  /// Executions served as members of a fused batch group (one shared
+  /// traversal per plan shape, query/fused_runner.h) rather than a solo
+  /// run — how much of this query's traffic cross-query fusion absorbs.
+  uint64_t fused_hits = 0;
 
   double mean_latency_us() const {
     return executions == 0 ? 0 : total_latency_us / double(executions);
@@ -70,9 +74,12 @@ class WorkloadTracker {
   /// texts it has never seen are dropped (the established hot set keeps
   /// aggregating), so literal-heavy workloads cannot grow the tracker
   /// without bound.
+  /// `fused` marks an execution that ran as a member of a fused batch
+  /// group (its latency is the group's wall clock split evenly across
+  /// members).
   void Record(const std::string& canonical_text, double latency_us,
               double estimated_cost, bool used_view,
-              const std::string& view_name);
+              const std::string& view_name, bool fused = false);
 
   /// Merges every stripe into a deterministic snapshot. Concurrent
   /// `Record` calls are never blocked for the whole merge (stripes are

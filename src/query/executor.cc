@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstring>
 #include <memory>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "query/match_common.h"
 #include "query/parser.h"
 
 namespace kaskade::query {
@@ -23,232 +23,16 @@ using graph::PropertyValue;
 using graph::VertexId;
 using graph::VertexTypeId;
 
+using internal::CsrTraversal;
+using internal::NodeAccepts;
+using internal::ResolvedMatch;
+using internal::ResolvedPattern;
+using internal::ResolveMatch;
+using internal::RowSet;
+using internal::Step;
+using internal::StepScratch;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// MATCH resolution + planning (shared by both backends)
-// ---------------------------------------------------------------------------
-
-/// Resolved pattern: names mapped to dense slots, types to ids.
-struct ResolvedPattern {
-  struct Node {
-    std::string name;
-    VertexTypeId type = graph::kInvalidTypeId;  // kInvalidTypeId = any
-    bool has_type_constraint = false;
-  };
-  struct Edge {
-    int from = -1;
-    int to = -1;
-    EdgeTypeId type = graph::kInvalidTypeId;  // kInvalidTypeId = any
-    bool variable_length = false;
-    int min_hops = 1;
-    int max_hops = 1;
-    /// Expansion across this edge needs no per-candidate NodeAccepts:
-    /// the free endpoint carries no WHERE conditions and its type
-    /// constraint (if any) is already implied — by the edge type's
-    /// schema (domain, range) declaration for fixed typed edges, which
-    /// `AddEdge` validates on every insert. Forward = `to` free,
-    /// backward = `from` free. Used by the CSR backend's hot loop.
-    bool trivial_forward = false;
-    bool trivial_backward = false;
-  };
-  std::vector<Node> nodes;
-  std::vector<Edge> edges;
-  /// Conditions indexed by the node slot they constrain.
-  std::vector<std::vector<Condition>> node_conditions;
-
-  int SlotOf(const std::string& name) const {
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i].name == name) return static_cast<int>(i);
-    }
-    return -1;
-  }
-};
-
-/// One step of the evaluation plan.
-struct Step {
-  enum Kind { kSeed, kEdge } kind;
-  int node_slot;
-  int edge_index;
-};
-
-/// Everything both backends need to evaluate one MATCH: the resolved
-/// pattern, the step plan, and the projection.
-struct ResolvedMatch {
-  ResolvedPattern pattern;
-  std::vector<Step> plan;
-  std::vector<int> return_slots;
-  std::vector<Column> columns;
-};
-
-Status ResolvePattern(const PropertyGraph& graph, const MatchQuery& match,
-                      ResolvedPattern* pattern) {
-  for (const NodePattern& n : match.nodes) {
-    ResolvedPattern::Node rn;
-    rn.name = n.name;
-    if (!n.type.empty()) {
-      rn.type = graph.schema().FindVertexType(n.type);
-      if (rn.type == graph::kInvalidTypeId) {
-        return Status::NotFound("unknown vertex type '" + n.type +
-                                "' in pattern");
-      }
-      rn.has_type_constraint = true;
-    }
-    pattern->nodes.push_back(std::move(rn));
-  }
-  for (const EdgePattern& e : match.edges) {
-    ResolvedPattern::Edge re;
-    re.from = pattern->SlotOf(e.from);
-    re.to = pattern->SlotOf(e.to);
-    if (re.from < 0 || re.to < 0) {
-      return Status::Internal("edge references unresolved node");
-    }
-    if (!e.type.empty()) {
-      re.type = graph.schema().FindEdgeType(e.type);
-      if (re.type == graph::kInvalidTypeId) {
-        return Status::NotFound("unknown edge type '" + e.type +
-                                "' in pattern");
-      }
-    }
-    re.variable_length = e.variable_length;
-    re.min_hops = e.variable_length ? e.min_hops : 1;
-    re.max_hops = e.variable_length ? e.max_hops : 1;
-    pattern->edges.push_back(re);
-  }
-  pattern->node_conditions.assign(pattern->nodes.size(), {});
-  for (const Condition& cond : match.where) {
-    int slot = pattern->SlotOf(cond.lhs.base);
-    if (slot < 0) {
-      return Status::InvalidArgument("WHERE references unknown variable '" +
-                                     cond.lhs.base + "'");
-    }
-    if (cond.lhs.property.empty()) {
-      return Status::InvalidArgument(
-          "WHERE on a pattern variable must reference a property");
-    }
-    pattern->node_conditions[slot].push_back(cond);
-  }
-  // Mark expansions whose per-candidate acceptance check is provably a
-  // no-op (see ResolvedPattern::Edge). Variable-length edges only
-  // qualify when the endpoint is fully unconstrained: interior hops can
-  // cross types, so the edge type's declaration says nothing about the
-  // final endpoint.
-  auto trivial_endpoint = [&](int slot, VertexTypeId implied_type,
-                              bool fixed_typed) {
-    const ResolvedPattern::Node& n = pattern->nodes[slot];
-    if (!pattern->node_conditions[slot].empty()) return false;
-    if (!n.has_type_constraint) return true;
-    return fixed_typed && n.type == implied_type;
-  };
-  for (ResolvedPattern::Edge& re : pattern->edges) {
-    const bool fixed_typed =
-        !re.variable_length && re.type != graph::kInvalidTypeId;
-    const graph::EdgeTypeDecl* decl =
-        fixed_typed ? &graph.schema().edge_type(re.type) : nullptr;
-    re.trivial_forward = trivial_endpoint(
-        re.to, decl != nullptr ? decl->target_type : graph::kInvalidTypeId,
-        fixed_typed);
-    re.trivial_backward = trivial_endpoint(
-        re.from, decl != nullptr ? decl->source_type : graph::kInvalidTypeId,
-        fixed_typed);
-  }
-  return Status::OK();
-}
-
-/// Chooses an evaluation order: seed at the node with the smallest
-/// candidate count, then repeatedly take an edge with a bound endpoint
-/// (connected expansion); falls back to new seeds for disconnected
-/// components. Cycle-closing edges come last, as filters.
-std::vector<Step> PlanMatchOrder(const PropertyGraph& graph,
-                                 const ResolvedPattern& pattern) {
-  const size_t num_nodes = pattern.nodes.size();
-  std::vector<bool> node_planned(num_nodes, false);
-  std::vector<bool> edge_planned(pattern.edges.size(), false);
-  std::vector<Step> plan;
-
-  auto candidate_count = [&](size_t slot) -> size_t {
-    const ResolvedPattern::Node& n = pattern.nodes[slot];
-    return n.has_type_constraint ? graph.NumVerticesOfType(n.type)
-                                 : graph.NumLiveVertices();
-  };
-
-  size_t planned_nodes = 0;
-  while (planned_nodes < num_nodes) {
-    // Seed: cheapest unplanned node.
-    size_t best = num_nodes;
-    for (size_t i = 0; i < num_nodes; ++i) {
-      if (node_planned[i]) continue;
-      if (best == num_nodes || candidate_count(i) < candidate_count(best)) {
-        best = i;
-      }
-    }
-    plan.push_back(Step{Step::kSeed, static_cast<int>(best), -1});
-    node_planned[best] = true;
-    ++planned_nodes;
-    // Expand while an edge touches the planned set.
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (size_t e = 0; e < pattern.edges.size(); ++e) {
-        if (edge_planned[e]) continue;
-        const ResolvedPattern::Edge& edge = pattern.edges[e];
-        bool from_in = node_planned[edge.from];
-        bool to_in = node_planned[edge.to];
-        if (!from_in && !to_in) continue;
-        plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
-        edge_planned[e] = true;
-        if (!from_in) {
-          node_planned[edge.from] = true;
-          ++planned_nodes;
-        }
-        if (!to_in) {
-          node_planned[edge.to] = true;
-          ++planned_nodes;
-        }
-        progress = true;
-      }
-    }
-  }
-  // Any edges left connect already-planned nodes (cycles) — append as
-  // filters.
-  for (size_t e = 0; e < pattern.edges.size(); ++e) {
-    if (!edge_planned[e]) {
-      plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
-    }
-  }
-  return plan;
-}
-
-Result<ResolvedMatch> ResolveMatch(const PropertyGraph& graph,
-                                   const MatchQuery& match) {
-  ResolvedMatch rm;
-  KASKADE_RETURN_IF_ERROR(ResolvePattern(graph, match, &rm.pattern));
-  rm.plan = PlanMatchOrder(graph, rm.pattern);
-  for (const ReturnItem& item : match.return_items) {
-    int slot = rm.pattern.SlotOf(item.variable);
-    if (slot < 0) {
-      return Status::InvalidArgument("RETURN references unknown variable '" +
-                                     item.variable + "'");
-    }
-    rm.return_slots.push_back(slot);
-    rm.columns.push_back(Column{item.OutputName(), /*is_vertex=*/true});
-  }
-  return rm;
-}
-
-/// Type constraint + WHERE conditions for binding `v` to `slot`.
-bool NodeAccepts(const PropertyGraph& graph, const ResolvedPattern& pattern,
-                 size_t slot, VertexId v) {
-  const ResolvedPattern::Node& n = pattern.nodes[slot];
-  if (n.has_type_constraint && graph.VertexType(v) != n.type) return false;
-  for (const Condition& cond : pattern.node_conditions[slot]) {
-    if (!EvaluateCompare(cond.op, graph.VertexProperty(v, cond.lhs.property),
-                         cond.rhs)) {
-      return false;
-    }
-  }
-  return true;
-}
 
 // ---------------------------------------------------------------------------
 // Legacy MATCH backend: backtracking over PropertyGraph adjacency lists.
@@ -463,68 +247,10 @@ class MatchEvaluator {
 // CSR MATCH backend
 // ---------------------------------------------------------------------------
 
-/// \brief Distinct-row sink: flat integer row storage plus an
-/// open-addressed index set keyed by row contents. No string keys, no
-/// per-row allocation (amortized).
-class RowSet {
- public:
-  explicit RowSet(size_t width) : width_(width == 0 ? 1 : width) {}
-
-  size_t size() const { return num_rows_; }
-  const VertexId* row(size_t i) const { return data_.data() + i * width_; }
-
-  /// Inserts a row of `width` vertex ids; returns true when it is new.
-  bool Insert(const VertexId* row) {
-    if ((num_rows_ + 1) * 10 >= slots_.size() * 7) Grow();
-    const size_t mask = slots_.size() - 1;
-    size_t i = HashRow(row) & mask;
-    while (slots_[i] != 0) {
-      if (std::memcmp(this->row(slots_[i] - 1), row,
-                      width_ * sizeof(VertexId)) == 0) {
-        return false;
-      }
-      i = (i + 1) & mask;
-    }
-    data_.insert(data_.end(), row, row + width_);
-    ++num_rows_;
-    slots_[i] = num_rows_;  // row index + 1; 0 marks an empty slot
-    return true;
-  }
-
- private:
-  uint64_t HashRow(const VertexId* row) const {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (size_t i = 0; i < width_; ++i) {
-      uint64_t x = row[i];
-      x *= 0x9e3779b97f4a7c15ULL;
-      x ^= x >> 29;
-      h = (h ^ x) * 0x100000001b3ULL;
-    }
-    return h ^ (h >> 32);
-  }
-
-  void Grow() {
-    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
-    std::vector<uint64_t> bigger(capacity, 0);
-    const size_t mask = capacity - 1;
-    for (size_t r = 0; r < num_rows_; ++r) {
-      size_t i = HashRow(row(r)) & mask;
-      while (bigger[i] != 0) i = (i + 1) & mask;
-      bigger[i] = r + 1;
-    }
-    slots_ = std::move(bigger);
-  }
-
-  size_t width_;
-  std::vector<VertexId> data_;   ///< Distinct rows, flat, emission order.
-  std::vector<uint64_t> slots_;  ///< Open-addressed row-index set.
-  size_t num_rows_ = 0;
-};
-
 /// \brief One backtracking worker over a CSR snapshot: owns the binding,
-/// the epoch-stamped visited arrays, the per-step candidate buffers, and
-/// its (partial) distinct-row table. Inner loops allocate nothing after
-/// warmup.
+/// the traversal primitives (epoch-stamped visited arrays), the per-step
+/// candidate buffers, and its (partial) distinct-row table. Inner loops
+/// allocate nothing after warmup.
 class CsrMatchRunner {
  public:
   /// `direct_table`, when set (sequential mode), receives each new
@@ -540,10 +266,9 @@ class CsrMatchRunner {
         max_rows_(max_rows),
         abort_(abort),
         direct_table_(direct_table),
+        traversal_(csr),
         rows_(rm.return_slots.size()) {
     binding_.assign(rm.pattern.nodes.size(), graph::kInvalidId);
-    mark_.assign(csr.NumVertices(), 0);
-    result_mark_.assign(csr.NumVertices(), 0);
     scratch_.resize(rm.plan.size());
     row_buf_.assign(std::max<size_t>(1, rm.return_slots.size()), 0);
   }
@@ -557,6 +282,7 @@ class CsrMatchRunner {
     for (size_t i = begin; i < end; ++i) {
       if (Aborted()) return Status::ResourceExhausted("MATCH row limit exceeded");
       VertexId v = seeds[i];
+      ++expansions_;
       if (!NodeAccepts(graph_, rm_.pattern, slot, v)) continue;
       binding_[slot] = v;
       Status st = Backtrack(1);
@@ -567,136 +293,13 @@ class CsrMatchRunner {
   }
 
   const RowSet& rows() const { return rows_; }
+  /// Candidates enumerated + filter-edge probes (see
+  /// `ExecutionTiming::expansions`).
+  uint64_t expansions() const { return expansions_; }
 
  private:
-  /// Per-plan-step reusable buffers: gathered candidates survive across
-  /// the recursion into deeper steps, so they cannot be shared.
-  struct StepScratch {
-    std::vector<VertexId> candidates;
-    std::vector<VertexId> cur;
-    std::vector<VertexId> next;
-  };
-
   bool Aborted() const {
     return abort_ != nullptr && abort_->load(std::memory_order_relaxed);
-  }
-
-  /// Fresh epoch for `mark_` (per-gather / per-BFS-level dedup). The
-  /// array is only consulted while one gather runs, and gathers finish
-  /// before the recursion descends, so one array serves every step.
-  uint32_t NextMark() {
-    if (++mark_epoch_ == 0) {
-      std::fill(mark_.begin(), mark_.end(), 0u);
-      mark_epoch_ = 1;
-    }
-    return mark_epoch_;
-  }
-
-  /// Fresh epoch for `result_mark_` (whole-BFS result dedup; lives
-  /// across the per-level epochs of one variable-length expansion).
-  uint32_t NextResultMark() {
-    if (++result_epoch_ == 0) {
-      std::fill(result_mark_.begin(), result_mark_.end(), 0u);
-      result_epoch_ = 1;
-    }
-    return result_epoch_;
-  }
-
-  /// Distinct neighbors of `anchor` over edges of `type`, into
-  /// `out` (first-occurrence order of the typed CSR slice).
-  void GatherDistinctNeighbors(VertexId anchor, EdgeTypeId type, bool forward,
-                               std::vector<VertexId>* out) {
-    out->clear();
-    const uint32_t epoch = NextMark();
-    EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, type)
-                            : csr_.TypedInEdges(anchor, type);
-    for (size_t i = 0; i < span.size; ++i) {
-      VertexId next = span.vertices[i];
-      if (mark_[next] == epoch) continue;
-      mark_[next] = epoch;
-      out->push_back(next);
-    }
-  }
-
-  /// Variable-length targets as a frontier BFS over typed CSR slices:
-  /// vertices at some depth in [min_hops, max_hops] from `start`, into
-  /// `s->candidates`. Per-level dedup on `mark_`, whole-call result
-  /// dedup on `result_mark_` — same (vertex, depth) semantics as the
-  /// legacy evaluator.
-  void VarLengthTargets(VertexId start, EdgeTypeId type, int min_hops,
-                        int max_hops, bool backward, StepScratch* s) {
-    s->candidates.clear();
-    const uint32_t result_epoch = NextResultMark();
-    if (min_hops == 0) {
-      result_mark_[start] = result_epoch;
-      s->candidates.push_back(start);
-    }
-    s->cur.clear();
-    s->cur.push_back(start);
-    for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
-      s->next.clear();
-      const uint32_t level_epoch = NextMark();
-      for (VertexId v : s->cur) {
-        EdgeSpan span = backward ? csr_.TypedInEdges(v, type)
-                                 : csr_.TypedOutEdges(v, type);
-        for (size_t i = 0; i < span.size; ++i) {
-          VertexId next = span.vertices[i];
-          if (mark_[next] == level_epoch) continue;
-          mark_[next] = level_epoch;
-          s->next.push_back(next);
-          if (depth >= min_hops && result_mark_[next] != result_epoch) {
-            result_mark_[next] = result_epoch;
-            s->candidates.push_back(next);
-          }
-        }
-      }
-      std::swap(s->cur, s->next);
-    }
-  }
-
-  /// True if some path start->...->end with length in [min,max] exists;
-  /// stops the BFS the moment `end` enters the hop window.
-  bool VarLengthConnected(VertexId start, VertexId end, EdgeTypeId type,
-                          int min_hops, int max_hops, StepScratch* s) {
-    if (min_hops == 0 && start == end) return true;
-    s->cur.clear();
-    s->cur.push_back(start);
-    for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
-      s->next.clear();
-      const uint32_t level_epoch = NextMark();
-      for (VertexId v : s->cur) {
-        EdgeSpan span = csr_.TypedOutEdges(v, type);
-        for (size_t i = 0; i < span.size; ++i) {
-          VertexId next = span.vertices[i];
-          if (mark_[next] == level_epoch) continue;
-          mark_[next] = level_epoch;
-          if (depth >= min_hops && next == end) return true;
-          s->next.push_back(next);
-        }
-      }
-      std::swap(s->cur, s->next);
-    }
-    return false;
-  }
-
-  /// Fixed filter edge: any from->to edge of `type`? Binary-searches
-  /// the smaller of the two typed slices (typed slices are sorted by
-  /// neighbor id). With a type wildcard the slices are only sorted per
-  /// type group, so fall back to a linear scan.
-  bool HasFixedEdge(VertexId from, VertexId to, EdgeTypeId type) const {
-    EdgeSpan out = csr_.TypedOutEdges(from, type);
-    EdgeSpan in = csr_.TypedInEdges(to, type);
-    const bool smaller_in = in.size < out.size;
-    const EdgeSpan& span = smaller_in ? in : out;
-    const VertexId needle = smaller_in ? from : to;
-    if (type == graph::kInvalidTypeId) {
-      for (size_t i = 0; i < span.size; ++i) {
-        if (span.vertices[i] == needle) return true;
-      }
-      return false;
-    }
-    return std::binary_search(span.vertices, span.vertices + span.size,
-                              needle);
   }
 
   Status EmitRow() {
@@ -733,6 +336,7 @@ class CsrMatchRunner {
       const ResolvedPattern::Node& n = pattern.nodes[slot];
       if (n.has_type_constraint) {
         for (VertexId v : graph_.VerticesOfType(n.type)) {
+          ++expansions_;
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -741,6 +345,7 @@ class CsrMatchRunner {
       } else {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
           if (!graph_.IsVertexLive(v)) continue;
+          ++expansions_;
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -759,11 +364,13 @@ class CsrMatchRunner {
 
     if (from_bound && to_bound) {
       // Filter edge (closes a cycle).
+      ++expansions_;
       bool connected =
           edge.variable_length
-              ? VarLengthConnected(from, to, edge.type, edge.min_hops,
-                                   edge.max_hops, scratch)
-              : HasFixedEdge(from, to, edge.type);
+              ? traversal_.VarLengthConnected(from, to, edge.type,
+                                              edge.min_hops, edge.max_hops,
+                                              scratch)
+              : traversal_.HasFixedEdge(from, to, edge.type);
       if (connected) return Backtrack(step_index + 1);
       return Status::OK();
     }
@@ -782,6 +389,7 @@ class CsrMatchRunner {
       EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, edge.type)
                               : csr_.TypedInEdges(anchor, edge.type);
       Status st = Status::OK();
+      expansions_ += span.size;
       for (size_t i = 0; i < span.size; ++i) {
         VertexId v = span.vertices[i];
         if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
@@ -794,15 +402,16 @@ class CsrMatchRunner {
     }
 
     if (edge.variable_length) {
-      VarLengthTargets(anchor, edge.type, edge.min_hops, edge.max_hops,
-                       !forward, scratch);
+      traversal_.VarLengthTargets(anchor, edge.type, edge.min_hops,
+                                  edge.max_hops, !forward, scratch);
     } else {
       // Distinct neighbors: parallel edges must not multiply rows under
       // set semantics, NodeAccepts can be expensive, and the subtree
       // below this step would otherwise be re-explored per duplicate.
-      GatherDistinctNeighbors(anchor, edge.type, forward,
-                              &scratch->candidates);
+      traversal_.GatherDistinctNeighbors(anchor, edge.type, forward,
+                                         &scratch->candidates);
     }
+    expansions_ += scratch->candidates.size();
     for (VertexId v : scratch->candidates) {
       if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
       binding_[free_slot] = v;
@@ -818,14 +427,12 @@ class CsrMatchRunner {
   const size_t max_rows_;
   const std::atomic<bool>* abort_;
   Table* direct_table_;
+  CsrTraversal traversal_;
   RowSet rows_;
   std::vector<VertexId> binding_;
-  std::vector<uint32_t> mark_;
-  uint32_t mark_epoch_ = 0;
-  std::vector<uint32_t> result_mark_;
-  uint32_t result_epoch_ = 0;
   std::vector<StepScratch> scratch_;
   std::vector<VertexId> row_buf_;
+  uint64_t expansions_ = 0;
 };
 
 /// \brief CSR MATCH driver: resolves and plans once, then runs the
@@ -845,7 +452,7 @@ class CsrMatchEvaluator {
                     const ExecutorOptions& options)
       : graph_(graph), csr_(csr), options_(options) {}
 
-  Result<Table> Run(const MatchQuery& match) {
+  Result<Table> Run(const MatchQuery& match, uint64_t* expansions) {
     KASKADE_ASSIGN_OR_RETURN(ResolvedMatch rm, ResolveMatch(graph_, match));
     std::vector<VertexId> seeds = TopSeedCandidates(rm);
 
@@ -859,10 +466,12 @@ class CsrMatchEvaluator {
       Table table(std::move(rm.columns));
       CsrMatchRunner runner(graph_, csr_, rm, options_.max_rows,
                             /*abort=*/nullptr, &table);
-      KASKADE_RETURN_IF_ERROR(runner.RunSeedRange(seeds, 0, seeds.size()));
+      Status st = runner.RunSeedRange(seeds, 0, seeds.size());
+      if (expansions != nullptr) *expansions += runner.expansions();
+      KASKADE_RETURN_IF_ERROR(st);
       return table;
     }
-    return RunParallel(&rm, seeds, workers);
+    return RunParallel(&rm, seeds, workers, expansions);
   }
 
  private:
@@ -898,8 +507,8 @@ class CsrMatchEvaluator {
   }
 
   Result<Table> RunParallel(ResolvedMatch* rm,
-                            const std::vector<VertexId>& seeds,
-                            size_t workers) const {
+                            const std::vector<VertexId>& seeds, size_t workers,
+                            uint64_t* expansions) const {
     // Small blocks for load balance; contiguous so block order equals
     // sequential seed order.
     const size_t block = std::max<size_t>(1, seeds.size() / (workers * 8));
@@ -941,6 +550,11 @@ class CsrMatchEvaluator {
     for (size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
     for (std::thread& t : pool) t.join();
 
+    if (expansions != nullptr) {
+      for (const auto& runner : runners) {
+        if (runner != nullptr) *expansions += runner->expansions();
+      }
+    }
     for (const Status& st : statuses) {
       if (!st.ok()) return st;
     }
@@ -1045,28 +659,30 @@ struct Accumulator {
 
 }  // namespace
 
-Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match) {
+Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match,
+                                          uint64_t* expansions) {
   if (csr_ != nullptr) {
     // Cheap staleness tripwires; generation keying at the engine layer
     // is the real guarantee. The id-space check additionally catches
     // balanced insert+remove churn that leaves both counts unchanged —
     // which matters now that snapshots are patched forward rather than
     // always rebuilt.
-    if (csr_->NumVertices() != graph_->NumVertices() ||
-        csr_->NumEdges() != graph_->NumLiveEdges() ||
-        csr_->edge_id_space() != graph_->NumEdges()) {
-      return Status::Internal(
-          "CSR snapshot is stale relative to its property graph");
+    if (internal::CsrSnapshotIsStale(*graph_, *csr_)) {
+      return internal::StaleSnapshotError();
     }
     CsrMatchEvaluator evaluator(*graph_, *csr_, options_);
-    return evaluator.Run(match);
+    return evaluator.Run(match, expansions);
   }
   MatchEvaluator evaluator(*graph_, options_);
   return evaluator.Run(match);
 }
 
-Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select) {
-  KASKADE_ASSIGN_OR_RETURN(Table input, Execute(*select.from));
+Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select,
+                                           uint64_t* expansions) {
+  KASKADE_ASSIGN_OR_RETURN(
+      Table input, select.from->is_match()
+                       ? ExecuteMatch(select.from->match(), expansions)
+                       : ExecuteSelect(select.from->select(), expansions));
 
   // WHERE filter.
   std::vector<const Table::Row*> rows;
@@ -1178,13 +794,16 @@ Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select) {
 Result<Table> QueryExecutor::Execute(const Query& query,
                                      ExecutionTiming* timing) {
   const auto started = std::chrono::steady_clock::now();
-  Result<Table> result = query.is_match() ? ExecuteMatch(query.match())
-                                          : ExecuteSelect(query.select());
+  uint64_t expansions = 0;
+  Result<Table> result = query.is_match()
+                             ? ExecuteMatch(query.match(), &expansions)
+                             : ExecuteSelect(query.select(), &expansions);
   if (timing != nullptr) {
     timing->elapsed_us =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - started)
             .count();
+    timing->expansions = expansions;
   }
   return result;
 }

@@ -43,6 +43,22 @@
 
 namespace kaskade::query {
 
+/// \brief Cross-query fusion knobs for the engine's batch path: queries
+/// in one `ExecuteBatch` whose plans share a canonical shape (identical
+/// MATCH topology, edge types, plan order, and WHERE structure — only
+/// predicate constants may differ) are run as one shared CSR traversal
+/// by `ExecuteFusedMatch` (query/fused_runner.h) instead of N
+/// independent ones. Fused output is byte-identical to per-query
+/// sequential execution.
+struct FusionOptions {
+  /// Master switch; off reverts every batch member to the solo path.
+  bool enabled = true;
+  /// Shape groups smaller than this run as singletons (sharing one
+  /// traversal between fewer members than this is not worth the masked
+  /// predicate evaluation). Minimum meaningful value is 2.
+  size_t min_group_size = 2;
+};
+
 /// \brief Executor resource limits and execution knobs.
 struct ExecutorOptions {
   /// Abort with ResourceExhausted when a MATCH produces more distinct
@@ -53,6 +69,8 @@ struct ExecutorOptions {
   /// concurrency. Parallel output is identical to sequential output,
   /// including row order.
   size_t parallelism = 1;
+  /// Cross-query fusion on the engine's batch path.
+  FusionOptions fusion;
 };
 
 /// \brief Measured timing of one execution, filled in by the executor so
@@ -60,6 +78,12 @@ struct ExecutorOptions {
 /// their own lock-acquisition overhead.
 struct ExecutionTiming {
   double elapsed_us = 0;  ///< Wall-clock microseconds of evaluation.
+  /// Traversal expansions performed by the CSR MATCH backend: candidate
+  /// vertices enumerated at seed and expansion steps plus filter-edge
+  /// probes. The unit the fusion telemetry compares — a fused group
+  /// pays these once where N solo runs pay them N times. 0 for the
+  /// legacy (non-CSR) backend and for SELECT shells.
+  uint64_t expansions = 0;
 };
 
 /// \brief Executes parsed or textual queries against one graph.
@@ -86,8 +110,8 @@ class QueryExecutor {
                             ExecutionTiming* timing = nullptr);
 
  private:
-  Result<Table> ExecuteMatch(const MatchQuery& match);
-  Result<Table> ExecuteSelect(const SelectQuery& select);
+  Result<Table> ExecuteMatch(const MatchQuery& match, uint64_t* expansions);
+  Result<Table> ExecuteSelect(const SelectQuery& select, uint64_t* expansions);
 
   const graph::PropertyGraph* graph_;
   const graph::CsrGraph* csr_ = nullptr;

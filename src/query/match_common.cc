@@ -1,0 +1,265 @@
+#include "query/match_common.h"
+
+#include <algorithm>
+
+namespace kaskade::query::internal {
+
+using graph::CsrGraph;
+using graph::EdgeSpan;
+using graph::EdgeTypeId;
+using graph::PropertyGraph;
+using graph::VertexId;
+using graph::VertexTypeId;
+
+Status ResolvePattern(const PropertyGraph& graph, const MatchQuery& match,
+                      ResolvedPattern* pattern) {
+  for (const NodePattern& n : match.nodes) {
+    ResolvedPattern::Node rn;
+    rn.name = n.name;
+    if (!n.type.empty()) {
+      rn.type = graph.schema().FindVertexType(n.type);
+      if (rn.type == graph::kInvalidTypeId) {
+        return Status::NotFound("unknown vertex type '" + n.type +
+                                "' in pattern");
+      }
+      rn.has_type_constraint = true;
+    }
+    pattern->nodes.push_back(std::move(rn));
+  }
+  for (const EdgePattern& e : match.edges) {
+    ResolvedPattern::Edge re;
+    re.from = pattern->SlotOf(e.from);
+    re.to = pattern->SlotOf(e.to);
+    if (re.from < 0 || re.to < 0) {
+      return Status::Internal("edge references unresolved node");
+    }
+    if (!e.type.empty()) {
+      re.type = graph.schema().FindEdgeType(e.type);
+      if (re.type == graph::kInvalidTypeId) {
+        return Status::NotFound("unknown edge type '" + e.type +
+                                "' in pattern");
+      }
+    }
+    re.variable_length = e.variable_length;
+    re.min_hops = e.variable_length ? e.min_hops : 1;
+    re.max_hops = e.variable_length ? e.max_hops : 1;
+    pattern->edges.push_back(re);
+  }
+  pattern->node_conditions.assign(pattern->nodes.size(), {});
+  for (const Condition& cond : match.where) {
+    int slot = pattern->SlotOf(cond.lhs.base);
+    if (slot < 0) {
+      return Status::InvalidArgument("WHERE references unknown variable '" +
+                                     cond.lhs.base + "'");
+    }
+    if (cond.lhs.property.empty()) {
+      return Status::InvalidArgument(
+          "WHERE on a pattern variable must reference a property");
+    }
+    pattern->node_conditions[slot].push_back(cond);
+  }
+  // Mark expansions whose per-candidate acceptance check is provably a
+  // no-op (see ResolvedPattern::Edge). Variable-length edges only
+  // qualify when the endpoint is fully unconstrained: interior hops can
+  // cross types, so the edge type's declaration says nothing about the
+  // final endpoint.
+  auto trivial_endpoint = [&](int slot, VertexTypeId implied_type,
+                              bool fixed_typed) {
+    const ResolvedPattern::Node& n = pattern->nodes[slot];
+    if (!pattern->node_conditions[slot].empty()) return false;
+    if (!n.has_type_constraint) return true;
+    return fixed_typed && n.type == implied_type;
+  };
+  for (ResolvedPattern::Edge& re : pattern->edges) {
+    const bool fixed_typed =
+        !re.variable_length && re.type != graph::kInvalidTypeId;
+    const graph::EdgeTypeDecl* decl =
+        fixed_typed ? &graph.schema().edge_type(re.type) : nullptr;
+    re.trivial_forward = trivial_endpoint(
+        re.to, decl != nullptr ? decl->target_type : graph::kInvalidTypeId,
+        fixed_typed);
+    re.trivial_backward = trivial_endpoint(
+        re.from, decl != nullptr ? decl->source_type : graph::kInvalidTypeId,
+        fixed_typed);
+  }
+  return Status::OK();
+}
+
+std::vector<Step> PlanMatchOrder(const PropertyGraph& graph,
+                                 const ResolvedPattern& pattern) {
+  const size_t num_nodes = pattern.nodes.size();
+  std::vector<bool> node_planned(num_nodes, false);
+  std::vector<bool> edge_planned(pattern.edges.size(), false);
+  std::vector<Step> plan;
+
+  auto candidate_count = [&](size_t slot) -> size_t {
+    const ResolvedPattern::Node& n = pattern.nodes[slot];
+    return n.has_type_constraint ? graph.NumVerticesOfType(n.type)
+                                 : graph.NumLiveVertices();
+  };
+
+  size_t planned_nodes = 0;
+  while (planned_nodes < num_nodes) {
+    // Seed: cheapest unplanned node.
+    size_t best = num_nodes;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      if (node_planned[i]) continue;
+      if (best == num_nodes || candidate_count(i) < candidate_count(best)) {
+        best = i;
+      }
+    }
+    plan.push_back(Step{Step::kSeed, static_cast<int>(best), -1});
+    node_planned[best] = true;
+    ++planned_nodes;
+    // Expand while an edge touches the planned set.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t e = 0; e < pattern.edges.size(); ++e) {
+        if (edge_planned[e]) continue;
+        const ResolvedPattern::Edge& edge = pattern.edges[e];
+        bool from_in = node_planned[edge.from];
+        bool to_in = node_planned[edge.to];
+        if (!from_in && !to_in) continue;
+        plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+        edge_planned[e] = true;
+        if (!from_in) {
+          node_planned[edge.from] = true;
+          ++planned_nodes;
+        }
+        if (!to_in) {
+          node_planned[edge.to] = true;
+          ++planned_nodes;
+        }
+        progress = true;
+      }
+    }
+  }
+  // Any edges left connect already-planned nodes (cycles) — append as
+  // filters.
+  for (size_t e = 0; e < pattern.edges.size(); ++e) {
+    if (!edge_planned[e]) {
+      plan.push_back(Step{Step::kEdge, -1, static_cast<int>(e)});
+    }
+  }
+  return plan;
+}
+
+Result<ResolvedMatch> ResolveMatch(const PropertyGraph& graph,
+                                   const MatchQuery& match) {
+  ResolvedMatch rm;
+  KASKADE_RETURN_IF_ERROR(ResolvePattern(graph, match, &rm.pattern));
+  rm.plan = PlanMatchOrder(graph, rm.pattern);
+  for (const ReturnItem& item : match.return_items) {
+    int slot = rm.pattern.SlotOf(item.variable);
+    if (slot < 0) {
+      return Status::InvalidArgument("RETURN references unknown variable '" +
+                                     item.variable + "'");
+    }
+    rm.return_slots.push_back(slot);
+    rm.columns.push_back(Column{item.OutputName(), /*is_vertex=*/true});
+  }
+  return rm;
+}
+
+bool NodeAccepts(const PropertyGraph& graph, const ResolvedPattern& pattern,
+                 size_t slot, VertexId v) {
+  const ResolvedPattern::Node& n = pattern.nodes[slot];
+  if (n.has_type_constraint && graph.VertexType(v) != n.type) return false;
+  for (const Condition& cond : pattern.node_conditions[slot]) {
+    if (!EvaluateCompare(cond.op, graph.VertexProperty(v, cond.lhs.property),
+                         cond.rhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CsrTraversal::GatherDistinctNeighbors(VertexId anchor, EdgeTypeId type,
+                                           bool forward,
+                                           std::vector<VertexId>* out) {
+  out->clear();
+  const uint32_t epoch = NextMark();
+  EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, type)
+                          : csr_.TypedInEdges(anchor, type);
+  for (size_t i = 0; i < span.size; ++i) {
+    VertexId next = span.vertices[i];
+    if (mark_[next] == epoch) continue;
+    mark_[next] = epoch;
+    out->push_back(next);
+  }
+}
+
+void CsrTraversal::VarLengthTargets(VertexId start, EdgeTypeId type,
+                                    int min_hops, int max_hops, bool backward,
+                                    StepScratch* s) {
+  s->candidates.clear();
+  const uint32_t result_epoch = NextResultMark();
+  if (min_hops == 0) {
+    result_mark_[start] = result_epoch;
+    s->candidates.push_back(start);
+  }
+  s->cur.clear();
+  s->cur.push_back(start);
+  for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
+    s->next.clear();
+    const uint32_t level_epoch = NextMark();
+    for (VertexId v : s->cur) {
+      EdgeSpan span = backward ? csr_.TypedInEdges(v, type)
+                               : csr_.TypedOutEdges(v, type);
+      for (size_t i = 0; i < span.size; ++i) {
+        VertexId next = span.vertices[i];
+        if (mark_[next] == level_epoch) continue;
+        mark_[next] = level_epoch;
+        s->next.push_back(next);
+        if (depth >= min_hops && result_mark_[next] != result_epoch) {
+          result_mark_[next] = result_epoch;
+          s->candidates.push_back(next);
+        }
+      }
+    }
+    std::swap(s->cur, s->next);
+  }
+}
+
+bool CsrTraversal::VarLengthConnected(VertexId start, VertexId end,
+                                      EdgeTypeId type, int min_hops,
+                                      int max_hops, StepScratch* s) {
+  if (min_hops == 0 && start == end) return true;
+  s->cur.clear();
+  s->cur.push_back(start);
+  for (int depth = 1; depth <= max_hops && !s->cur.empty(); ++depth) {
+    s->next.clear();
+    const uint32_t level_epoch = NextMark();
+    for (VertexId v : s->cur) {
+      EdgeSpan span = csr_.TypedOutEdges(v, type);
+      for (size_t i = 0; i < span.size; ++i) {
+        VertexId next = span.vertices[i];
+        if (mark_[next] == level_epoch) continue;
+        mark_[next] = level_epoch;
+        if (depth >= min_hops && next == end) return true;
+        s->next.push_back(next);
+      }
+    }
+    std::swap(s->cur, s->next);
+  }
+  return false;
+}
+
+bool CsrTraversal::HasFixedEdge(VertexId from, VertexId to,
+                                EdgeTypeId type) const {
+  EdgeSpan out = csr_.TypedOutEdges(from, type);
+  EdgeSpan in = csr_.TypedInEdges(to, type);
+  const bool smaller_in = in.size < out.size;
+  const EdgeSpan& span = smaller_in ? in : out;
+  const VertexId needle = smaller_in ? from : to;
+  if (type == graph::kInvalidTypeId) {
+    for (size_t i = 0; i < span.size; ++i) {
+      if (span.vertices[i] == needle) return true;
+    }
+    return false;
+  }
+  return std::binary_search(span.vertices, span.vertices + span.size, needle);
+}
+
+}  // namespace kaskade::query::internal

@@ -28,7 +28,17 @@ uint64_t LatencyHistogram::BucketUpper(size_t index) {
 }
 
 void LatencyHistogram::Record(double us) {
-  uint64_t v = us <= 1 ? 1 : uint64_t(us);
+  // Normalize before the integer cast: NaN and anything at or past
+  // 2^63 would make `uint64_t(us)` undefined (UBSan trips on both).
+  // NaN clocks read as the 1us floor; huge values saturate below the
+  // clamp ceiling so BucketFor's top-bucket path handles them, and the
+  // exact-extreme fields keep the raw (finite) value.
+  if (std::isnan(us)) us = 1;
+  constexpr double kCeiling = double(uint64_t(1) << kMaxExponent);
+  uint64_t v = us <= 1 ? 1
+               : us >= kCeiling
+                   ? (uint64_t(1) << kMaxExponent)
+                   : uint64_t(us);
   ++counts_[BucketFor(v)];
   if (count_ == 0) {
     min_us_ = us;
@@ -57,9 +67,15 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 double LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly — answering q = 0 from the first
+  // occupied bucket's *upper* edge would overshoot the minimum, and
+  // answering q = 1 from the top bucket's edge would *undershoot* a
+  // maximum that saturated past the clamp ceiling.
+  if (q <= 0) return min_us_;
+  if (q >= 1) return max_us_;
   uint64_t rank = uint64_t(std::ceil(q * double(count_)));
   if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;  // float round-up past the top
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += counts_[i];

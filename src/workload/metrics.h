@@ -42,9 +42,10 @@ class LatencyHistogram {
   static constexpr size_t kNumBuckets =
       kSubBuckets + size_t(kMaxExponent - kSubBits) * kSubBuckets;
 
-  /// Records one latency (values < 1us count as 1us; values past the
-  /// clamp saturate into the top bucket). Not thread-safe: one recorder
-  /// per thread, merge at the end.
+  /// Records one latency (values < 1us and NaN count as 1us; values
+  /// past the clamp saturate into the top bucket without overflowing
+  /// the integer cast). Not thread-safe: one recorder per thread, merge
+  /// at the end.
   void Record(double us);
 
   /// Adds every count of `other` into this histogram.
@@ -60,7 +61,8 @@ class LatencyHistogram {
   /// Value at quantile `q` in [0, 1]: the upper edge of the bucket
   /// holding the ceil(q * count)-th recorded value, clamped to the exact
   /// recorded maximum — an upper bound within ~3.2% of the true
-  /// quantile. Returns 0 on an empty histogram.
+  /// quantile. The extremes are exact: q <= 0 returns `min_us()` and
+  /// q = 1 is clamped to `max_us()`. Returns 0 on an empty histogram.
   double Percentile(double q) const;
 
  private:

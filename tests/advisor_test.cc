@@ -372,6 +372,87 @@ TEST(AdvisorTest, HysteresisKeepsAdviceStableAcrossAdjacentRounds) {
   EXPECT_EQ(engine.catalog().generation(), generation_after_round1);
 }
 
+/// Total estimated size of the views that survive `plan`: the selected
+/// set plus every kept incumbent (materialized, not selected, not
+/// dropped) — exactly the set the catalog holds after applying the plan.
+double SurvivorSizeEdges(const AdvicePlan& plan) {
+  auto is_dropped = [&](const std::string& name) {
+    return std::count(plan.drop.begin(), plan.drop.end(), name) > 0;
+  };
+  auto is_selected = [&](const std::string& name) {
+    for (const ScoredView& scored : plan.selection.selected) {
+      if (scored.definition.Name() == name) return true;
+    }
+    return false;
+  };
+  double size = plan.selection.selected_size_edges;
+  for (const ScoredView& scored : plan.selection.candidates) {
+    if (!scored.currently_materialized) continue;
+    const std::string name = scored.definition.Name();
+    if (!is_selected(name) && !is_dropped(name)) {
+      size += scored.estimated_size_edges;
+    }
+  }
+  return size;
+}
+
+TEST(AdvisorTest, BudgetHoldsAcrossRoundsDespiteKeptIncumbents) {
+  // Creep regression: each round's *selection* respects the budget, but
+  // hysteresis also keeps unselected incumbents that still serve
+  // queries — so selected + kept can exceed the budget round over round
+  // unless the advisor evicts kept incumbents back under it.
+  PropertyGraph base = SmallProv();
+  AdvisorOptions options;
+  {
+    // Budget fits either connector alone, never both.
+    ViewSelector sizer(&base);
+    ViewDefinition job = JobConnector();
+    ViewDefinition file = FileConnector();
+    options.selector.budget_edges =
+        std::max(sizer.cost_model().ViewSizeEdges(job),
+                 sizer.cost_model().ViewSizeEdges(file));
+  }
+
+  // Incumbent: the Job connector is already materialized.
+  ViewCatalog catalog(&base);
+  ASSERT_TRUE(catalog.Add(JobConnector()).ok());
+
+  // The Job query keeps flowing (so the incumbent is applicable and the
+  // zero-applicable drop rule never fires), but the File query now
+  // dominates and wins the knapsack for the File connector.
+  WorkloadSnapshot snapshot;
+  QueryObservation rare;
+  rare.query_text = datasets::AncestorsQueryText("Job", 4);
+  rare.executions = 5;
+  QueryObservation frequent;
+  frequent.query_text = datasets::AncestorsQueryText("File", 4);
+  frequent.executions = 50;
+  snapshot.entries = {rare, frequent};
+  snapshot.total_executions = 55;
+
+  Advisor advisor(&base, options);
+  for (int round = 0; round < 3; ++round) {
+    auto plan = advisor.Advise(snapshot, catalog);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_LE(SurvivorSizeEdges(*plan), options.selector.budget_edges)
+        << "round " << round << " leaves the catalog over budget";
+    if (round == 0) {
+      // The fix is the eviction: the still-applicable Job incumbent lost
+      // the knapsack to the File view and no longer fits beside it.
+      EXPECT_EQ(std::count(plan->drop.begin(), plan->drop.end(),
+                           JobConnector().Name()),
+                1)
+          << "kept incumbent was not evicted to restore the budget";
+    }
+    for (const std::string& name : plan->drop) {
+      ASSERT_TRUE(catalog.Remove(name).ok());
+    }
+    for (const ViewDefinition& def : plan->create) {
+      ASSERT_TRUE(catalog.Add(def).ok());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Background materialization
 // ---------------------------------------------------------------------------

@@ -32,6 +32,8 @@
 #include "graph/property_graph.h"
 #include "graph/schema.h"
 #include "query/executor.h"
+#include "query/fused_runner.h"
+#include "query/parser.h"
 #include "table_test_util.h"
 
 namespace kaskade::core {
@@ -401,6 +403,213 @@ TEST_P(DifferentialTest, CsrExecutorMatchesLegacyAcrossMutations) {
             << "parallel at step " << step;
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-fusion differential: ExecuteBatch with cross-query fusion on,
+// off, and at a raised min-group-size must all return tables
+// byte-identical (rows *in order*) to sequential Execute of the same
+// texts, across randomized mutation sequences. The batch deliberately
+// mixes shapes: a 3-member constant-variant group, a 2-member group
+// (below engine C's min_group_size), duplicate texts, the full
+// mixed-shape suite as singletons, and non-fusable SELECT shells.
+// ---------------------------------------------------------------------------
+
+/// The batch the fusion differential executes: same-shape groups arise
+/// from constant variants (hot = 0 vs 1) and duplicate texts.
+std::vector<std::string> FusionBatch() {
+  std::vector<std::string> batch = {
+      // Shape group of 3: identical structure, constants differ.
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 0 RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 1 RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 1 RETURN j, f",
+      // Shape group of 2 (stays solo when min_group_size = 3).
+      "MATCH (x:User)-[:SUBMITS]->(j:Job) WHERE j.hot = 0 RETURN x, j",
+      "MATCH (x:User)-[:SUBMITS]->(j:Job) WHERE j.hot = 1 RETURN x, j",
+      // Variable-length shape group of 2 via duplicate text.
+      "MATCH (a:File)-[r*0..4]->(b:File) RETURN a, b",
+      "MATCH (a:File)-[r*0..4]->(b:File) RETURN a, b",
+      // A SELECT shell: never fusable, must still batch correctly.
+      "SELECT COUNT(*) FROM (MATCH (j:Job)-[:WRITES_TO]->(f:File) "
+      "RETURN j, f)",
+  };
+  for (const char* text : kExecutorQueries) batch.emplace_back(text);
+  return batch;
+}
+
+void ExpectTablesIdentical(const query::Table& expected,
+                           const query::Table& actual,
+                           const std::string& context) {
+  ASSERT_EQ(expected.num_columns(), actual.num_columns()) << context;
+  for (size_t c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(expected.columns()[c].name, actual.columns()[c].name)
+        << context << " column " << c;
+  }
+  ASSERT_EQ(expected.num_rows(), actual.num_rows()) << context;
+  for (size_t r = 0; r < expected.num_rows(); ++r) {
+    ASSERT_EQ(expected.rows()[r], actual.rows()[r])
+        << context << " row " << r << " differs";
+  }
+}
+
+TEST_P(DifferentialTest, FusedBatchMatchesSequentialAcrossMutations) {
+  auto [seed, skewed] = GetParam();
+  MutationState state(seed + 13000, skewed);
+  PropertyGraph base(DeltaSchema());
+  SeedGraph(&base, &state);
+
+  // Three engines over identical graphs and identical delta streams:
+  // fusion on (default), fusion off, and min_group_size = 3 (pair
+  // groups run solo, the trio still fuses).
+  EngineOptions fused_opts;
+  EngineOptions unfused_opts;
+  unfused_opts.executor.fusion.enabled = false;
+  EngineOptions trio_opts;
+  trio_opts.executor.fusion.min_group_size = 3;
+  Engine fused(PropertyGraph(base), fused_opts);
+  Engine unfused(PropertyGraph(base), unfused_opts);
+  Engine trio(std::move(base), trio_opts);
+  Engine* engines[] = {&fused, &unfused, &trio};
+
+  const std::vector<std::string> batch = FusionBatch();
+  // Batch-only expansion work per engine: the solo oracle runs below
+  // also bump the fused engine's lifetime counter, so the fused-vs-
+  // unfused comparison must difference around each ExecuteBatch call.
+  uint64_t batch_expansions[3] = {0, 0, 0};
+  constexpr int kSteps = 12;
+  for (int step = 0; step < kSteps; ++step) {
+    // Sequential solo runs are the oracle; the engines' graphs are
+    // identical, so one engine's solo tables must equal every engine's
+    // batch tables.
+    std::vector<query::Table> expected;
+    for (const std::string& text : batch) {
+      auto solo = fused.Execute(text);
+      ASSERT_TRUE(solo.ok()) << text << ": " << solo.status();
+      expected.push_back(std::move(solo->table));
+    }
+    for (size_t e = 0; e < 3; ++e) {
+      Engine* engine = engines[e];
+      const uint64_t before = engine->traversal_expansions();
+      auto results = engine->ExecuteBatch(batch);
+      batch_expansions[e] += engine->traversal_expansions() - before;
+      ASSERT_EQ(results.size(), batch.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        const std::string context =
+            batch[i] + " at step " + std::to_string(step) + " (seed " +
+            std::to_string(seed) + (skewed ? ", skewed)" : ", uniform)");
+        ASSERT_TRUE(results[i].ok()) << context << ": "
+                                     << results[i].status();
+        ExpectTablesIdentical(expected[i], results[i]->table, context);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+
+    // Same mutation for every engine; ids stay aligned because the
+    // graphs evolve in lockstep.
+    GraphDelta delta;
+    double dice = state.UniformReal();
+    if (dice < 0.6 || state.live_edges.size() < 4) {
+      delta.edge_inserts.push_back(state.RandomEdgeInsert());
+    } else {
+      delta.RemoveEdge(state.PickLiveEdge());
+    }
+    bool tracked = false;
+    for (Engine* engine : engines) {
+      auto report = engine->ApplyDelta(delta);
+      ASSERT_TRUE(report.ok()) << "step " << step << ": " << report.status();
+      if (!tracked) {
+        for (EdgeId e : delta.edge_removals) state.ForgetEdge(e);
+        for (EdgeId e : report->new_edges) state.live_edges.push_back(e);
+        tracked = true;
+      }
+    }
+  }
+
+  // The run must have exercised fusion where configured, and only
+  // there.
+  EngineTelemetry on = fused.TelemetrySnapshot();
+  EngineTelemetry off = unfused.TelemetrySnapshot();
+  EngineTelemetry mid = trio.TelemetrySnapshot();
+  EXPECT_GT(on.fused_groups, 0u);
+  EXPECT_GT(on.fused_members, 0u);
+  EXPECT_EQ(off.fused_groups, 0u);
+  EXPECT_EQ(off.fused_members, 0u);
+  EXPECT_GT(mid.fused_groups, 0u);
+  // Pair groups ran solo under min_group_size = 3.
+  EXPECT_LT(mid.fused_members, on.fused_members);
+  // Fusion pays each group's traversal once where the unfused engine
+  // pays per member; the batches the two engines ran are identical.
+  EXPECT_LT(batch_expansions[0], batch_expansions[1]);
+}
+
+// A fused group handed a snapshot that no longer matches its property
+// graph must trip the staleness check for every member instead of
+// silently traversing a stale topology.
+TEST(FusedRunnerTest, StaleSnapshotFailsEveryMember) {
+  MutationState state(41, /*skew=*/false);
+  PropertyGraph g(DeltaSchema());
+  SeedGraph(&g, &state);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+
+  // Mutate the graph after the snapshot was taken.
+  GraphDelta::EdgeInsert ins = state.RandomEdgeInsert();
+  ASSERT_TRUE(g.AddEdge(ins.source, ins.target, ins.type_name,
+                        ins.properties)
+                  .ok());
+
+  auto q0 = query::ParseQueryText(
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 0 RETURN j, f");
+  auto q1 = query::ParseQueryText(
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 1 RETURN j, f");
+  ASSERT_TRUE(q0.ok() && q1.ok());
+  std::vector<const query::MatchQuery*> members = {&q0->match(), &q1->match()};
+  auto results =
+      query::ExecuteFusedMatch(g, csr, members, query::ExecutorOptions{});
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  }
+}
+
+// The fused runner against a *current* snapshot must agree with solo
+// CSR execution member by member, including members whose predicates
+// select nothing.
+TEST(FusedRunnerTest, GroupMatchesSoloMemberByMember) {
+  MutationState state(43, /*skew=*/true);
+  PropertyGraph g(DeltaSchema());
+  SeedGraph(&g, &state);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+
+  const char* kTexts[] = {
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 0 RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 1 RETURN j, f",
+      // A constant no vertex carries: this member's table is empty while
+      // the others' are not.
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.hot = 7 RETURN j, f",
+  };
+  std::vector<query::Query> parsed;
+  std::vector<const query::MatchQuery*> members;
+  for (const char* text : kTexts) {
+    auto q = query::ParseQueryText(text);
+    ASSERT_TRUE(q.ok()) << text;
+    parsed.push_back(std::move(*q));
+  }
+  for (const query::Query& q : parsed) members.push_back(&q.match());
+
+  query::FusedGroupStats stats;
+  auto fused_results = query::ExecuteFusedMatch(
+      g, csr, members, query::ExecutorOptions{}, &stats);
+  ASSERT_EQ(fused_results.size(), members.size());
+  EXPECT_GT(stats.expansions, 0u);
+
+  query::QueryExecutor solo(&g, &csr);
+  for (size_t m = 0; m < members.size(); ++m) {
+    auto expected = solo.ExecuteText(kTexts[m]);
+    ASSERT_TRUE(expected.ok()) << kTexts[m];
+    ASSERT_TRUE(fused_results[m].ok()) << kTexts[m];
+    ExpectTablesIdentical(*expected, *fused_results[m], kTexts[m]);
   }
 }
 

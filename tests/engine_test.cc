@@ -275,6 +275,98 @@ TEST(ExecuteBatchTest, SingleWorkerAndEmptyBatch) {
   EXPECT_TRUE(results[0].ok());
 }
 
+TEST(ExecuteBatchTest, PersistentPoolIsReusedAcrossBatches) {
+  EngineOptions options;
+  options.batch_workers = 4;
+  Engine engine(SmallProv(), options);
+  // Distinct shapes, so each query is its own task and the batch needs
+  // multiple workers.
+  std::vector<std::string> batch = {
+      datasets::AncestorsQueryText("Job", 4),
+      datasets::DescendantsQueryText("Job", 4),
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+      datasets::BlastRadiusQueryText(),
+  };
+  EXPECT_EQ(engine.batch_pool_size(), 0u);  // lazy: nothing started yet
+  for (int round = 0; round < 5; ++round) {
+    auto results = engine.ExecuteBatch(batch);
+    for (const auto& result : results) ASSERT_TRUE(result.ok());
+    // The caller is one of the 4 workers, so the pool holds 3 threads —
+    // started by the first batch and reused (not respawned) afterwards.
+    EXPECT_EQ(engine.batch_pool_size(), 3u) << "round " << round;
+  }
+}
+
+TEST(ExecuteBatchTest, ShapeGroupsFuseAndMatchSolo) {
+  Engine engine(SmallProv());
+  // Same shape, different constants: one fused group of 3. The
+  // no-WHERE query is a different shape and runs solo.
+  std::vector<std::string> batch = {
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'job_0' "
+      "RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'job_1' "
+      "RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'job_2' "
+      "RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+  };
+  auto results = engine.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << batch[i] << ": " << results[i].status();
+    auto solo = engine.Execute(batch[i]);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(results[i]->table.rows(), solo->table.rows()) << batch[i];
+  }
+  EXPECT_TRUE(results[0]->fused);
+  EXPECT_TRUE(results[1]->fused);
+  EXPECT_TRUE(results[2]->fused);
+  EXPECT_FALSE(results[3]->fused);
+
+  EngineTelemetry t = engine.TelemetrySnapshot();
+  EXPECT_EQ(t.fused_groups, 1u);
+  EXPECT_EQ(t.fused_members, 3u);
+  EXPECT_GT(t.traversal_expansions, 0u);
+  // The tracker saw the fused members as fused executions.
+  size_t fused_hits = 0;
+  for (const QueryObservation& obs : engine.workload().Snapshot().entries) {
+    fused_hits += obs.fused_hits;
+  }
+  EXPECT_EQ(fused_hits, 3u);
+}
+
+TEST(ExecuteBatchTest, FusionRespectsGateAndMinGroupSize) {
+  std::vector<std::string> batch = {
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'job_0' "
+      "RETURN j, f",
+      "MATCH (j:Job)-[:WRITES_TO]->(f:File) WHERE j.name = 'job_1' "
+      "RETURN j, f",
+  };
+  {
+    EngineOptions options;
+    options.executor.fusion.enabled = false;
+    Engine engine(SmallProv(), options);
+    auto results = engine.ExecuteBatch(batch);
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok());
+      EXPECT_FALSE(result->fused);
+    }
+    EXPECT_EQ(engine.TelemetrySnapshot().fused_groups, 0u);
+  }
+  {
+    // A pair is below min_group_size = 3: solo path, no fusion.
+    EngineOptions options;
+    options.executor.fusion.min_group_size = 3;
+    Engine engine(SmallProv(), options);
+    auto results = engine.ExecuteBatch(batch);
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok());
+      EXPECT_FALSE(result->fused);
+    }
+    EXPECT_EQ(engine.TelemetrySnapshot().fused_members, 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Concurrency
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -265,6 +266,117 @@ TEST(LatencyHistogramTest, EdgeCases) {
   EXPECT_EQ(hist.min_us(), 0.2);
   EXPECT_EQ(hist.max_us(), 1e18);
   EXPECT_EQ(hist.Percentile(0.25), 1.0);
+}
+
+TEST(LatencyHistogramTest, ExtremeQuantilesAreExact) {
+  LatencyHistogram hist;
+  hist.Record(37.5);
+  hist.Record(999.25);
+  hist.Record(12345.0);
+  // q <= 0 answers from the exact tracked minimum, not a bucket's upper
+  // edge (which would overshoot 37.5 to the edge of its bucket); q >= 1
+  // is clamped to the exact maximum.
+  EXPECT_EQ(hist.Percentile(0.0), 37.5);
+  EXPECT_EQ(hist.Percentile(-1.0), 37.5);
+  EXPECT_EQ(hist.Percentile(1.0), 12345.0);
+  EXPECT_EQ(hist.Percentile(2.0), 12345.0);
+  // Empty histogram: every quantile is 0, including the extremes.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_EQ(empty.Percentile(1.0), 0.0);
+  // One sample: every quantile is that sample.
+  LatencyHistogram one;
+  one.Record(42.0);
+  for (double q : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(one.Percentile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, HostileRecordValuesStayInRange) {
+  // NaN (a broken clock read) and values at or past 2^63 would make the
+  // raw double->uint64 cast undefined; Record must normalize first.
+  LatencyHistogram hist;
+  hist.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.min_us(), 1.0);  // NaN reads as the 1us floor
+  EXPECT_EQ(hist.max_us(), 1.0);
+  EXPECT_EQ(hist.Percentile(0.5), 1.0);
+
+  hist.Record(9.3e18);  // just past 2^63
+  hist.Record(std::numeric_limits<double>::max());
+  EXPECT_EQ(hist.count(), 3u);
+  // The exact extremes keep the raw finite values; percentiles clamp to
+  // them, so the saturated top bucket never leaks a bogus edge value.
+  EXPECT_EQ(hist.max_us(), std::numeric_limits<double>::max());
+  EXPECT_EQ(hist.Percentile(1.0), std::numeric_limits<double>::max());
+  // Interior quantiles of saturated values report the clamp ceiling
+  // (~2^46 us), never garbage from an undefined cast.
+  const double p90 = hist.Percentile(0.9);
+  EXPECT_GE(p90, 6.9e13);
+  EXPECT_LE(p90, 7.1e13);
+}
+
+TEST(LatencyHistogramTest, MergePreservesExactExtremes) {
+  LatencyHistogram a;
+  a.Record(100.0);
+  LatencyHistogram b;
+  b.Record(3.25);
+  b.Record(77777.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min_us(), 3.25);
+  EXPECT_EQ(a.max_us(), 77777.0);
+  EXPECT_EQ(a.Percentile(0.0), 3.25);
+  EXPECT_EQ(a.Percentile(1.0), 77777.0);
+  // Merging an empty histogram is a no-op in both directions: it must
+  // not smuggle a fake 0 minimum into the target's extremes.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min_us(), 3.25);
+  empty.Merge(a);
+  EXPECT_EQ(empty.min_us(), 3.25);
+  EXPECT_EQ(empty.max_us(), 77777.0);
+}
+
+TEST(WorkloadSpecTest, ValidationRejectsDegenerateNumericPhases) {
+  // Degenerate values that only a programmatic caller (not the text
+  // parser) can produce must still be rejected before a run starts: a
+  // NaN rate or weight would poison pacing and mix selection silently.
+  WorkloadSpec base;
+  base.name = "w";
+  base.dataset = "social";
+  PhaseSpec phase;
+  phase.name = "p";
+  phase.ops_per_thread = 1;
+  phase.mix[size_t(OpKind::kExecute)] = 1;
+  base.phases = {phase};
+  ASSERT_TRUE(ValidateWorkloadSpec(base).ok());
+
+  WorkloadSpec nan_rate = base;
+  nan_rate.phases[0].rate_ops_per_sec =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateWorkloadSpec(nan_rate).ok());
+
+  WorkloadSpec inf_rate = base;
+  inf_rate.phases[0].rate_ops_per_sec =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ValidateWorkloadSpec(inf_rate).ok());
+
+  WorkloadSpec nan_weight = base;
+  nan_weight.phases[0].mix[size_t(OpKind::kExecute)] =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateWorkloadSpec(nan_weight).ok());
+
+  WorkloadSpec inf_weight = base;
+  inf_weight.phases[0].mix[size_t(OpKind::kApplyDelta)] =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ValidateWorkloadSpec(inf_weight).ok());
+
+  // All-zero mix with every other field sane: absence of any op to run.
+  WorkloadSpec zero_mix = base;
+  zero_mix.phases[0].mix[size_t(OpKind::kExecute)] = 0;
+  EXPECT_FALSE(ValidateWorkloadSpec(zero_mix).ok());
 }
 
 // ---------------------------------------------------------------------------
