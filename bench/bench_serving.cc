@@ -18,6 +18,14 @@
 ///                      (`auto_advise_every_n_ops` + `workload_decay`):
 ///                      the engine materializes views for the observed
 ///                      hot set by itself, mid-traffic.
+///   5. `overload`    — open-loop arrivals far above single-core
+///                      capacity with a tight per-op `deadline_ms` and
+///                      more client threads than the engine's admission
+///                      gate admits (`max_concurrent_queries`): the
+///                      graceful-degradation story. Excess load is shed
+///                      (`kUnavailable`) or expires (`kDeadlineExceeded`)
+///                      — by design neither counts as an op failure, and
+///                      the phase must finish with zero genuine errors.
 ///
 /// Per phase, the report carries coordinated-omission-corrected latency
 /// percentiles (p50/p90/p99/p999) and service-time percentiles per op
@@ -34,6 +42,7 @@
 ///
 /// Exits non-zero on any phase error, op failure, or empty histogram.
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -105,6 +114,13 @@ phase recovery
   ops_per_thread 1000
   mix execute=95 execute_batch=5
 end
+phase overload
+  threads 8
+  rate 500
+  ops_per_thread 150
+  mix execute=100
+  deadline_ms 100
+end
 )";
 
 /// CI smoke spec: same shape, seconds of wall clock.
@@ -132,6 +148,13 @@ phase smoke_mixed
   mix execute=70 apply_delta=25 mutate_base=5
   delta_edges 8
 end
+phase smoke_overload
+  threads 6
+  rate 400
+  ops_per_thread 40
+  mix execute=100
+  deadline_ms 50
+end
 )";
 
 /// The recovery phase relies on the engine's own trigger: one advise
@@ -141,6 +164,12 @@ EngineOptions ServingEngineOptions() {
   EngineOptions options;
   options.auto_advise_every_n_ops = 2000;
   options.workload_decay = 0.5;
+  // Admission gate: every non-overload phase runs <= 4 client threads,
+  // so the gate only engages in the overload phases (8 resp. 6 threads)
+  // — there the short wait budget makes contention shed visibly instead
+  // of queueing invisibly.
+  options.max_concurrent_queries = 4;
+  options.admission_wait_budget = std::chrono::microseconds(500);
   return options;
 }
 
@@ -173,16 +202,18 @@ void PrintPhaseTable(const PhaseResult& phase) {
     std::printf("  view refresh after out-of-band mutations: %.3fs\n",
                 phase.refresh_seconds);
   }
-  std::printf("  %-14s %9s %7s %9s %9s %9s %9s\n", "op", "count", "fail",
-              "p50_us", "p90_us", "p99_us", "p999_us");
+  std::printf("  %-14s %9s %7s %7s %7s %9s %9s %9s %9s\n", "op", "count",
+              "fail", "shed", "t_out", "p50_us", "p90_us", "p99_us",
+              "p999_us");
   for (size_t k = 0; k < kNumOpKinds; ++k) {
     const OpMetrics& op = phase.metrics.ops[k];
     if (op.attempted == 0) continue;
-    std::printf("  %-14s %9" PRIu64 " %7" PRIu64
+    std::printf("  %-14s %9" PRIu64 " %7" PRIu64 " %7" PRIu64 " %7" PRIu64
                 " %9.0f %9.0f %9.0f %9.0f\n",
-                OpKindName(OpKind(k)), op.attempted, op.failed,
-                op.latency.Percentile(0.50), op.latency.Percentile(0.90),
-                op.latency.Percentile(0.99), op.latency.Percentile(0.999));
+                OpKindName(OpKind(k)), op.attempted, op.failed, op.shed,
+                op.timed_out, op.latency.Percentile(0.50),
+                op.latency.Percentile(0.90), op.latency.Percentile(0.99),
+                op.latency.Percentile(0.999));
   }
   const EngineTelemetry& a = phase.before;
   const EngineTelemetry& b = phase.after;
@@ -200,6 +231,18 @@ void PrintPhaseTable(const PhaseResult& phase) {
                 b.fused_groups - a.fused_groups,
                 b.fused_members - a.fused_members);
   }
+  if (b.queries_shed > a.queries_shed ||
+      b.queries_timed_out > a.queries_timed_out ||
+      b.quarantine_events > a.quarantine_events) {
+    std::printf("  overload: +%zu shed, +%zu timed out, +%" PRIu64
+                " deadline checks, +%zu quarantine events (%zu views "
+                "quarantined)\n",
+                b.queries_shed - a.queries_shed,
+                b.queries_timed_out - a.queries_timed_out,
+                uint64_t(b.deadline_checks - a.deadline_checks),
+                b.quarantine_events - a.quarantine_events,
+                b.views_quarantined);
+  }
 }
 
 void RecordPhase(const PhaseResult& phase) {
@@ -212,6 +255,9 @@ void RecordPhase(const PhaseResult& phase) {
   JsonReport::Record(s, "ops_attempted",
                      double(phase.metrics.total_attempted()));
   JsonReport::Record(s, "ops_failed", double(phase.metrics.total_failed()));
+  JsonReport::Record(s, "ops_shed", double(phase.metrics.total_shed()));
+  JsonReport::Record(s, "ops_timed_out",
+                     double(phase.metrics.total_timed_out()));
   for (size_t k = 0; k < kNumOpKinds; ++k) {
     const OpMetrics& op = phase.metrics.ops[k];
     if (op.attempted == 0) continue;
@@ -253,6 +299,16 @@ void RecordPhase(const PhaseResult& phase) {
                      double(b.fused_members - a.fused_members));
   JsonReport::Record(s, "traversal_expansions_delta",
                      double(b.traversal_expansions - a.traversal_expansions));
+  JsonReport::Record(s, "queries_shed_delta",
+                     double(b.queries_shed - a.queries_shed));
+  JsonReport::Record(s, "queries_timed_out_delta",
+                     double(b.queries_timed_out - a.queries_timed_out));
+  JsonReport::Record(s, "deadline_checks_delta",
+                     double(b.deadline_checks - a.deadline_checks));
+  JsonReport::Record(s, "quarantine_events_delta",
+                     double(b.quarantine_events - a.quarantine_events));
+  JsonReport::Record(s, "views_quarantined_end",
+                     double(b.views_quarantined));
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -335,12 +391,27 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "smoke run fused no batch groups\n");
       failed = true;
     }
+    // The overload phase runs more client threads than the admission
+    // gate admits at an arrival rate far past capacity, so degradation
+    // MUST engage: zero shed + zero timeouts means the gate or the
+    // deadline path silently stopped working. Genuine errors are still
+    // forbidden — degradation is shed/timeout, never a failure.
+    if (run.total_shed() + run.total_timed_out() == 0) {
+      std::fprintf(stderr,
+                   "smoke overload phase neither shed nor timed out any op — "
+                   "the admission gate / deadline path did not engage\n");
+      failed = true;
+    }
   }
 
-  std::printf("\ntotal: %" PRIu64 " ops, %" PRIu64 " failed\n",
-              run.total_attempted(), run.total_failed());
+  std::printf("\ntotal: %" PRIu64 " ops, %" PRIu64 " failed, %" PRIu64
+              " shed, %" PRIu64 " timed out\n",
+              run.total_attempted(), run.total_failed(), run.total_shed(),
+              run.total_timed_out());
   JsonReport::Record("total", "ops_attempted", double(run.total_attempted()));
   JsonReport::Record("total", "ops_failed", double(run.total_failed()));
+  JsonReport::Record("total", "ops_shed", double(run.total_shed()));
+  JsonReport::Record("total", "ops_timed_out", double(run.total_timed_out()));
 
   int json_exit = JsonReport::Finish();
   if (failed || run.total_failed() > 0) return 1;

@@ -10,13 +10,17 @@
 ///   analyze <query>               workload analyzer: select+materialize
 ///   q <query>                     execute through the rewriter
 ///   explain <query>               show the raw-graph plan
+///   deadline <ms>|off             deadline for subsequent q/batch calls
 ///   views                         list the view catalog (with state)
 ///   workload                      observed-workload tracker snapshot
+///   telemetry                     engine counters (incl. overload)
 ///   advise                        dry-run advice from the observed workload
 ///   adapt                         apply advice (background builds) + wait
 ///   stats                         base-graph statistics
 ///   help / quit
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -54,8 +58,12 @@ void PrintHelp() {
       "  q <query>                   execute (rewriter picks the plan)\n"
       "  batch <q1> ; <q2> ; ...     execute queries concurrently\n"
       "  explain <query>             show the raw-graph plan\n"
+      "  deadline <ms>|off           set/clear the deadline for q and "
+      "batch\n"
       "  views                       list materialized views (with state)\n"
       "  workload                    observed queries (the tracker)\n"
+      "  telemetry                   engine counters (cache, overload, "
+      "faults)\n"
       "  advise                      dry-run view advice for the observed "
       "workload\n"
       "  adapt                       apply advice: drop now, build in "
@@ -68,6 +76,16 @@ void PrintHelp() {
 
 int main() {
   std::unique_ptr<Engine> engine;
+  // Deadline budget for q/batch; zero means no deadline. Each call
+  // anchors a fresh absolute deadline at its own arrival.
+  std::chrono::milliseconds deadline_budget{0};
+  auto call_options = [&deadline_budget] {
+    kaskade::core::CallOptions call;
+    if (deadline_budget.count() > 0) {
+      call.deadline = std::chrono::steady_clock::now() + deadline_budget;
+    }
+    return call;
+  };
   PrintHelp();
   std::string line;
   std::printf("kaskade> ");
@@ -111,6 +129,27 @@ int main() {
           engine = MakeEngine(std::move(*graph));
         }
       }
+    } else if (command == "deadline") {
+      if (rest == "off" || rest == "0") {
+        deadline_budget = std::chrono::milliseconds{0};
+        std::printf("deadline off\n");
+      } else if (rest.empty()) {
+        if (deadline_budget.count() > 0) {
+          std::printf("deadline %lld ms\n",
+                      static_cast<long long>(deadline_budget.count()));
+        } else {
+          std::printf("deadline off\n");
+        }
+      } else {
+        char* end = nullptr;
+        long value = std::strtol(rest.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || value <= 0) {
+          std::printf("usage: deadline <ms>|off\n");
+        } else {
+          deadline_budget = std::chrono::milliseconds{value};
+          std::printf("deadline %ld ms (applies to q and batch)\n", value);
+        }
+      }
     } else if (engine == nullptr) {
       std::printf("no graph loaded; use 'gen' or 'load' first\n");
     } else if (command == "save") {
@@ -135,7 +174,7 @@ int main() {
         }
       }
     } else if (command == "q") {
-      auto result = engine->Execute(rest);
+      auto result = engine->Execute(rest, call_options());
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
       } else {
@@ -156,7 +195,7 @@ int main() {
       if (texts.empty()) {
         std::printf("usage: batch <q1> ; <q2> ; ...\n");
       } else {
-        auto results = engine->ExecuteBatch(texts);
+        auto results = engine->ExecuteBatch(texts, call_options());
         for (size_t i = 0; i < results.size(); ++i) {
           if (!results[i].ok()) {
             std::printf("[%zu] error: %s\n", i,
@@ -190,7 +229,39 @@ int main() {
                     kaskade::core::ViewStateName(entry->state),
                     entry->view.graph.NumVertices(),
                     entry->view.graph.NumEdges());
+        if (!entry->health.ok()) {
+          std::printf("    quarantined: %s\n",
+                      entry->health.ToString().c_str());
+        }
       }
+      auto telemetry = engine->TelemetrySnapshot();
+      if (telemetry.views_quarantined > 0 ||
+          telemetry.quarantine_events > 0) {
+        std::printf("%zu quarantined now, %zu quarantine events total "
+                    "(re-add the definition to reclaim)\n",
+                    telemetry.views_quarantined,
+                    telemetry.quarantine_events);
+      }
+    } else if (command == "telemetry") {
+      auto t = engine->TelemetrySnapshot();
+      std::printf("catalog generation %llu, %zu views ready, "
+                  "%zu quarantined\n",
+                  static_cast<unsigned long long>(t.catalog_generation),
+                  t.views_ready, t.views_quarantined);
+      std::printf("plan cache: %zu hits, %zu misses\n", t.plan_cache_hits,
+                  t.plan_cache_misses);
+      std::printf("snapshots: %zu hits, %zu patches, %zu full builds, "
+                  "%zu build failures\n",
+                  t.snapshot_hits, t.snapshot_patches,
+                  t.snapshot_full_builds, t.snapshot_build_failures);
+      std::printf("builds: %zu completed, %zu replayed, %zu pending\n",
+                  t.builds_completed, t.builds_replayed, t.builds_pending);
+      std::printf("overload: %zu shed, %zu timed out, %llu deadline "
+                  "checks, %zu quarantine events, %zu batch-worker "
+                  "faults\n",
+                  t.queries_shed, t.queries_timed_out,
+                  static_cast<unsigned long long>(t.deadline_checks),
+                  t.quarantine_events, t.batch_worker_faults);
     } else if (command == "workload") {
       auto snapshot = engine->workload().Snapshot();
       std::printf("%zu distinct queries, %llu executions observed\n",

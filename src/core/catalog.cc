@@ -153,20 +153,42 @@ const char* ViewStateName(ViewState state) {
       return "ready";
     case ViewState::kDropping:
       return "dropping";
+    case ViewState::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
 
 Result<ViewHandle> ViewCatalog::Add(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
+  CatalogEntry* reclaim = nullptr;
   for (const auto& entry : entries_) {
     if (entry->name() == definition.Name()) {
+      // A quarantined entry holds a name whose view failed: re-adding it
+      // is the repair path, rebuilding in place under the same handle.
+      if (entry->state == ViewState::kQuarantined) {
+        reclaim = entry.get();
+        break;
+      }
       return Status::AlreadyExists("view '" + definition.Name() +
                                    "' already materialized");
     }
   }
   Result<MaterializedView> view = Materialize(*base_, definition);
   if (!view.ok()) return view.status();
+  if (reclaim != nullptr) {
+    reclaim->view = std::move(*view);
+    reclaim->maintainer =
+        ViewMaintainer::SupportsKind(reclaim->view.definition.kind)
+            ? std::make_unique<ViewMaintainer>(base_, &reclaim->view)
+            : nullptr;
+    RefreshStats(reclaim);
+    reclaim->state = ViewState::kReady;
+    reclaim->health = Status::OK();
+    InvalidateSnapshot(reclaim->handle);
+    BumpGeneration();
+    return reclaim->handle;
+  }
 
   auto entry = std::unique_ptr<CatalogEntry>(new CatalogEntry{
       next_handle_++, std::move(*view), graph::GraphStats{}, nullptr});
@@ -185,6 +207,19 @@ Result<ViewHandle> ViewCatalog::BeginBuild(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
   for (const auto& entry : entries_) {
     if (entry->name() == definition.Name()) {
+      if (entry->state == ViewState::kQuarantined) {
+        // Reclaim the broken entry as the build's placeholder: same
+        // handle, back to `kBuilding`, so the builder's eventual
+        // `Publish` repairs the view in place. No generation bump —
+        // a quarantined entry was already planner-invisible.
+        entry->view = MaterializedView{
+            definition, graph::PropertyGraph(graph::GraphSchema{}), {}};
+        entry->maintainer.reset();
+        entry->state = ViewState::kBuilding;
+        entry->health = Status::OK();
+        InvalidateSnapshot(entry->handle);
+        return entry->handle;
+      }
       return Status::AlreadyExists(
           "view '" + definition.Name() + "' already registered (" +
           ViewStateName(entry->state) + ")");
@@ -240,6 +275,29 @@ Status ViewCatalog::AbortBuild(ViewHandle handle) {
     return Status::OK();
   }
   return Status::NotFound("no catalog entry for the aborted handle");
+}
+
+void ViewCatalog::QuarantineLocked(CatalogEntry* entry, Status reason) {
+  entry->state = ViewState::kQuarantined;
+  entry->health = std::move(reason);
+  // The maintainer's indexes describe a view that can no longer be kept
+  // exact; a reclaim rebuilds both from scratch.
+  entry->maintainer.reset();
+  quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+  InvalidateSnapshot(entry->handle);
+  // Cached plans that routed queries to this view must stop matching.
+  BumpGeneration();
+}
+
+Status ViewCatalog::Quarantine(ViewHandle handle, Status reason) {
+  std::unique_lock lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->handle != handle) continue;
+    if (entry->state == ViewState::kQuarantined) return Status::OK();
+    QuarantineLocked(entry.get(), std::move(reason));
+    return Status::OK();
+  }
+  return Status::NotFound("no catalog entry for the quarantined handle");
 }
 
 Status ViewCatalog::Remove(const std::string& name) {
@@ -333,9 +391,22 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
   const size_t removals = delta.edge_removals.size();
   std::vector<graph::EdgeId> removed_view_edges;
   for (const auto& entry : entries_) {
-    // kBuilding placeholders are invisible to maintenance; the engine's
-    // pending-delta log replays this batch onto them at publish time.
+    // kBuilding placeholders are invisible to maintenance (the engine's
+    // pending-delta log replays this batch onto them at publish time),
+    // and kQuarantined entries are out of service entirely.
     if (entry->state != ViewState::kReady) continue;
+    if (fault_hooks_.enabled()) {
+      Status injected =
+          fault_hooks_.Fire(FaultSite::kMaintainerApply, entry->name());
+      if (!injected.ok()) {
+        // The injected failure stands in for a maintenance pass that
+        // left the view unreconstructible: quarantine it and keep
+        // maintaining the rest of the batch.
+        QuarantineLocked(entry.get(), std::move(injected));
+        ++report.views_quarantined;
+        continue;
+      }
+    }
     bool incremental =
         entry->maintainer != nullptr &&
         !PreferRematerialization(*base_, entry->view.definition, inserts,
@@ -364,12 +435,15 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
         continue;
       }
       if (stats.status().code() != StatusCode::kFailedPrecondition) {
-        // Internal errors signal corrupt maintenance state (a bug) —
-        // propagate, as RefreshAll does, rather than masking it as a
-        // routine re-materialization. The failed pass may have mutated
-        // the view in ways the trail never saw.
-        InvalidateSnapshot(entry->handle);
-        return stats.status();
+        // Internal errors signal corrupt maintenance state: the failed
+        // pass may have mutated the view in ways neither the trail nor
+        // a maintainer rebuild can describe. Quarantine the view rather
+        // than failing the whole write — the base graph and every other
+        // view are already exact, and queries that would have used this
+        // view fall back to the base graph.
+        QuarantineLocked(entry.get(), stats.status());
+        ++report.views_quarantined;
+        continue;
       }
       // A FailedPrecondition pass may have left the view half-updated;
       // rebuilding restores exactness instead of stranding a stale
@@ -380,7 +454,16 @@ Result<DeltaMaintenanceReport> ViewCatalog::ApplyBaseDelta(
     // rebuild replaces the graph wholesale — either way the old
     // snapshot cannot be patched forward, even if Rebuild errors out.
     InvalidateSnapshot(entry->handle);
-    KASKADE_RETURN_IF_ERROR(Rebuild(*base_, entry.get()));
+    Status rebuilt = Rebuild(*base_, entry.get());
+    if (!rebuilt.ok()) {
+      // The half-updated view could not be restored to exactness:
+      // quarantine it so it is never served, and keep going — failing
+      // the write here would strand every *other* view behind an
+      // already-mutated base graph.
+      QuarantineLocked(entry.get(), std::move(rebuilt));
+      ++report.views_quarantined;
+      continue;
+    }
     ++report.views_rematerialized;
     RefreshStats(entry.get());
   }
@@ -397,6 +480,15 @@ size_t ViewCatalog::num_ready() const {
   size_t count = 0;
   for (const auto& entry : entries_) {
     if (entry->state == ViewState::kReady) ++count;
+  }
+  return count;
+}
+
+size_t ViewCatalog::num_quarantined() const {
+  std::shared_lock lock(mu_);
+  size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (entry->state == ViewState::kQuarantined) ++count;
   }
   return count;
 }
@@ -468,6 +560,19 @@ std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotOf(
       } else {
         removals = slot.view_removals;
       }
+    }
+  }
+  if (fault_hooks_.enabled()) {
+    Status injected = fault_hooks_.Fire(
+        FaultSite::kSnapshotBuild,
+        handle == kInvalidViewHandle ? "base" : "view snapshot");
+    if (!injected.ok()) {
+      // A failed snapshot production is fully recoverable: the caller
+      // sees no CSR and the query layer degrades to the legacy
+      // (non-CSR) MATCH backend — slower, still exact. Nothing was
+      // cached, so the next request retries the build.
+      snapshot_build_failures_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
     }
   }
   // Produce outside the cache mutex: a miss on one handle must not

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/fault.h"
 #include "core/maintenance.h"
 #include "core/materializer.h"
 #include "core/view_definition.h"
@@ -71,10 +72,17 @@ inline constexpr ViewHandle kInvalidViewHandle = 0;
 /// sets it under the writer lock immediately before erasing the entry,
 /// so no concurrent reader can observe it — it exists to make the
 /// lifecycle explicit (an entry leaves through exactly one arc), not as
-/// an observable phase.
-enum class ViewState { kBuilding, kReady, kDropping };
+/// an observable phase. `kQuarantined` entries are views taken out of
+/// service after a failed build or a maintenance pass that could not
+/// keep them exact: the name stays reserved (so monitors can see *why*
+/// via `CatalogEntry::health` and a later advice round can rebuild it
+/// through `BeginBuild`), but the planner never considers the entry, so
+/// queries transparently fall back to the base graph or another view —
+/// degraded cost, never degraded correctness.
+enum class ViewState { kBuilding, kReady, kDropping, kQuarantined };
 
-/// Human-readable state name ("building" / "ready" / "dropping").
+/// Human-readable state name ("building" / "ready" / "dropping" /
+/// "quarantined").
 const char* ViewStateName(ViewState state);
 
 /// \brief A materialized view registered with the catalog, with the
@@ -96,6 +104,10 @@ struct CatalogEntry {
   /// `kBuilding` placeholder `view.graph` is empty and `maintainer` is
   /// null until `Publish`.
   ViewState state = ViewState::kReady;
+  /// Why the entry is out of service: OK unless `state` is
+  /// `kQuarantined`, in which case it holds the failure that forced the
+  /// quarantine (build error, maintenance fault).
+  Status health = Status::OK();
 
   std::string name() const { return view.definition.Name(); }
 };
@@ -106,6 +118,11 @@ struct DeltaMaintenanceReport {
   MaintenanceStats stats;
   size_t views_incremental = 0;
   size_t views_rematerialized = 0;
+  /// Views whose maintenance failed in a way that could not be repaired
+  /// by a rebuild: they were quarantined (taken out of planning) and the
+  /// rest of the batch proceeded. The base graph and every other view
+  /// stay exact.
+  size_t views_quarantined = 0;
 };
 
 /// \brief Thread-safe registry owning all materialized views.
@@ -146,11 +163,22 @@ class ViewCatalog {
   Status AbortBuild(ViewHandle handle);
   /// @}
 
+  /// Takes the entry out of service after a failure that left it unable
+  /// to serve exact results: flips it to `kQuarantined`, records
+  /// `reason` in `CatalogEntry::health`, detaches its maintainer, drops
+  /// its cached snapshot, and bumps the generation so cached plans that
+  /// referenced the view stop matching. The name stays reserved;
+  /// `BeginBuild`/`Add` with the same name reclaim the entry (rebuild),
+  /// and `Remove` drops it. Accepts `kReady` and `kBuilding` entries;
+  /// NotFound when the handle is not registered.
+  Status Quarantine(ViewHandle handle, Status reason);
+
   /// Drops the view named `name` (marking it `kDropping` on the way
   /// out). Plans cached against older generations stop matching;
   /// in-flight readers of the entry must be excluded by the caller (the
   /// Engine's writer lock does this). Dropping a `kBuilding` entry is
-  /// refused (abort the build instead).
+  /// refused (abort the build instead); dropping a `kQuarantined` entry
+  /// is allowed — that is how an operator retires a broken view.
   Status Remove(const std::string& name);
 
   /// Brings every `kReady` view up to date with the base graph:
@@ -204,6 +232,13 @@ class ViewCatalog {
   bool empty() const { return size() == 0; }
   /// Number of `kReady` (planner-visible) entries.
   size_t num_ready() const;
+  /// Number of `kQuarantined` (out-of-service) entries.
+  size_t num_quarantined() const;
+  /// Total quarantine transitions since construction (monotonic — a
+  /// reclaimed-and-requarantined view counts each time).
+  size_t quarantine_events() const {
+    return quarantine_events_.load(std::memory_order_relaxed);
+  }
 
   /// Entry lookup; null when absent. Returns entries in any state — the
   /// planner must skip non-`kReady` ones. See class comment for pointer
@@ -276,6 +311,18 @@ class ViewCatalog {
     return patch_options_;
   }
 
+  /// Installs the fault-injection hook for the sites the catalog owns
+  /// (`kSnapshotBuild`, `kMaintainerApply`). The engine wires its
+  /// `EngineOptions::fault_hooks` through here at construction; call
+  /// before concurrent use begins.
+  void SetFaultHook(FaultHook hook) { fault_hooks_.hook = std::move(hook); }
+
+  /// Snapshot productions that failed via an injected `kSnapshotBuild`
+  /// fault (each one degraded that query to the legacy backend).
+  size_t snapshot_build_failures() const {
+    return snapshot_build_failures_.load(std::memory_order_relaxed);
+  }
+
   /// True when the base graph's snapshot slot would actually retain a
   /// delta footprint (a patchable snapshot exists). Lets `ApplyDelta`
   /// skip materializing the footprint during write-only phases where no
@@ -335,6 +382,9 @@ class ViewCatalog {
   /// request onto the full-rebuild path.
   void InvalidateSnapshot(ViewHandle handle);
 
+  /// Quarantine with `mu_` already held exclusively.
+  void QuarantineLocked(CatalogEntry* entry, Status reason);
+
   const graph::PropertyGraph* base_;
   graph::CsrPatchOptions patch_options_;
   mutable std::shared_mutex mu_;
@@ -351,6 +401,10 @@ class ViewCatalog {
   mutable std::atomic<size_t> snapshot_hits_{0};
   mutable std::atomic<size_t> snapshot_patches_{0};
   mutable std::atomic<size_t> snapshot_full_builds_{0};
+  mutable std::atomic<size_t> snapshot_build_failures_{0};
+  std::atomic<size_t> quarantine_events_{0};
+  /// Fault sites owned by the catalog; no-op unless a hook is installed.
+  FaultHooks fault_hooks_;
 };
 
 }  // namespace kaskade::core

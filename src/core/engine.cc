@@ -39,6 +39,11 @@ Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
       planner_(MakePlannerOptions(options)) {
   next_auto_advise_at_.store(options_.auto_advise_every_n_ops,
                              std::memory_order_relaxed);
+  if (options_.fault_hooks.enabled()) {
+    // The catalog owns the snapshot-build and maintainer-apply sites;
+    // share the one hook so a test sees every site through one lens.
+    catalog_.SetFaultHook(options_.fault_hooks.hook);
+  }
 }
 
 Engine::~Engine() {
@@ -203,6 +208,14 @@ EngineTelemetry Engine::TelemetrySnapshot() const {
   t.fused_members = fused_members_.load(std::memory_order_relaxed);
   t.traversal_expansions =
       traversal_expansions_.load(std::memory_order_relaxed);
+  t.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  t.queries_timed_out = queries_timed_out_.load(std::memory_order_relaxed);
+  t.deadline_checks = deadline_checks_.load(std::memory_order_relaxed);
+  t.views_quarantined = catalog_.num_quarantined();
+  t.quarantine_events = catalog_.quarantine_events();
+  t.snapshot_build_failures = catalog_.snapshot_build_failures();
+  t.batch_worker_faults =
+      batch_worker_faults_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -272,7 +285,11 @@ void Engine::RunBuildJob(BuildJob job) {
     }
     // The expensive part runs with no engine lock held at all; deltas
     // landing meanwhile are replayed at publish below.
-    Result<MaterializedView> built = Materialize(*pinned_base, definition);
+    Status materialize_fault =
+        options_.fault_hooks.Fire(FaultSite::kMaterialize, definition.Name());
+    Result<MaterializedView> built =
+        materialize_fault.ok() ? Materialize(*pinned_base, definition)
+                               : Result<MaterializedView>(materialize_fault);
     pinned_base.reset();
     if (!built.ok()) {
       FailBuild(job, built.status());
@@ -281,6 +298,13 @@ void Engine::RunBuildJob(BuildJob job) {
     if (options_.build_hooks.before_publish) options_.build_hooks.before_publish();
 
     std::unique_lock lock(mu_);
+    Status publish_fault =
+        options_.fault_hooks.Fire(FaultSite::kPublish, definition.Name());
+    if (!publish_fault.ok()) {
+      lock.unlock();
+      FailBuild(job, publish_fault);
+      return;
+    }
     if (base_version_ == pinned_version) {
       Status status = catalog_.Publish(job.handle, std::move(*built));
       if (!status.ok()) {
@@ -351,8 +375,12 @@ void Engine::RunBuildJob(BuildJob job) {
 
 void Engine::FailBuild(const BuildJob& job, const Status& status) {
   {
+    // Quarantine, not abort: the name stays reserved with the failure
+    // recorded in the entry's health, so monitors can see what broke
+    // and a later advice round can reclaim the entry by rebuilding.
+    // Queries meanwhile fall back to the base graph.
     std::unique_lock lock(mu_);
-    (void)catalog_.AbortBuild(job.handle);
+    (void)catalog_.Quarantine(job.handle, status);
   }
   std::lock_guard<std::mutex> lock(build_mu_);
   // Bound the slot: a fire-and-forget advice loop whose view fails
@@ -392,6 +420,17 @@ void Engine::WaitForBuilds() {
   std::unique_lock<std::mutex> lock(build_mu_);
   build_idle_cv_.wait(
       lock, [&] { return build_queue_.empty() && builds_running_ == 0; });
+}
+
+Status Engine::WaitForBuilds(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(build_mu_);
+  const bool idle = build_idle_cv_.wait_for(lock, timeout, [&] {
+    return build_queue_.empty() && builds_running_ == 0;
+  });
+  if (idle) return Status::OK();
+  return Status::DeadlineExceeded(
+      "background builds still pending after the wait budget (builds "
+      "continue; re-wait or poll builds_pending())");
 }
 
 size_t Engine::builds_pending() const {
@@ -508,7 +547,43 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
 // Readers
 // ---------------------------------------------------------------------------
 
-Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
+std::chrono::steady_clock::time_point Engine::EffectiveDeadline(
+    const CallOptions& call) const {
+  if (call.deadline != std::chrono::steady_clock::time_point{}) {
+    return call.deadline;
+  }
+  if (options_.default_query_deadline.count() > 0) {
+    return std::chrono::steady_clock::now() + options_.default_query_deadline;
+  }
+  return {};
+}
+
+Status Engine::AdmitQuery() {
+  if (options_.max_concurrent_queries == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  auto slot_free = [&] { return in_flight_ < options_.max_concurrent_queries; };
+  if (!slot_free() &&
+      (options_.admission_wait_budget.count() <= 0 ||
+       !admission_cv_.wait_for(lock, options_.admission_wait_budget,
+                               slot_free))) {
+    return Status::Unavailable(
+        "engine overloaded: admission gate full past the wait budget");
+  }
+  ++in_flight_;
+  return Status::OK();
+}
+
+void Engine::ReleaseQuery() {
+  if (options_.max_concurrent_queries == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
+Result<ExecutionResult> Engine::RunPlan(
+    const Plan& plan, std::chrono::steady_clock::time_point deadline) const {
   const graph::PropertyGraph* target = &base_;
   std::shared_ptr<const graph::CsrGraph> snapshot;
   // Only attach the CSR snapshot when the catalog is still at the
@@ -531,12 +606,21 @@ Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
     target = &entry->view.graph;
     if (generation_current) snapshot = catalog_.SnapshotFor(entry->handle);
   }
-  query::QueryExecutor executor(target, snapshot.get(), options_.executor);
+  query::ExecutorOptions exec_options = options_.executor;
+  exec_options.deadline = deadline;
+  // A null snapshot (cold cache with an injected snapshot-build fault)
+  // degrades this execution to the legacy backend — slower, still exact.
+  query::QueryExecutor executor(target, snapshot.get(), exec_options);
   query::ExecutionTiming timing;
-  KASKADE_ASSIGN_OR_RETURN(
-      query::Table table, executor.ExecuteText(plan.executed_query, &timing));
+  Result<query::Table> table =
+      executor.ExecuteText(plan.executed_query, &timing);
+  // Count clock tests even for failed (expired) executions — those are
+  // exactly the ones the overload telemetry is about.
+  deadline_checks_.fetch_add(timing.deadline_checks,
+                             std::memory_order_relaxed);
+  if (!table.ok()) return table.status();
   ExecutionResult result;
-  result.table = std::move(table);
+  result.table = std::move(*table);
   result.used_view = !plan.view_name.empty();
   result.view_name = plan.view_name;
   result.executed_query = plan.executed_query;
@@ -546,8 +630,9 @@ Result<ExecutionResult> Engine::RunPlan(const Plan& plan) const {
   return result;
 }
 
-Result<ExecutionResult> Engine::ExecutePlannedLocked(const Plan& plan) {
-  Result<ExecutionResult> result = RunPlan(plan);
+Result<ExecutionResult> Engine::ExecutePlannedLocked(
+    const Plan& plan, std::chrono::steady_clock::time_point deadline) {
+  Result<ExecutionResult> result = RunPlan(plan, deadline);
   if (result.ok()) {
     traversal_expansions_.fetch_add(result->expansions,
                                     std::memory_order_relaxed);
@@ -559,17 +644,29 @@ Result<ExecutionResult> Engine::ExecutePlannedLocked(const Plan& plan) {
 }
 
 Result<ExecutionResult> Engine::ExecuteUnderLock(
-    const std::string& query_text) {
+    const std::string& query_text,
+    std::chrono::steady_clock::time_point deadline) {
   KASKADE_ASSIGN_OR_RETURN(Plan plan,
                            planner_.PlanFor(query_text, base_, catalog_));
-  return ExecutePlannedLocked(plan);
+  return ExecutePlannedLocked(plan, deadline);
 }
 
-Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
+Result<ExecutionResult> Engine::Execute(const std::string& query_text,
+                                        const CallOptions& call) {
+  Status admitted = AdmitQuery();
+  if (!admitted.ok()) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
   Result<ExecutionResult> result = Status::Internal("unreachable");
   {
     std::shared_lock lock(mu_);
-    result = ExecuteUnderLock(query_text);
+    result = ExecuteUnderLock(query_text, EffectiveDeadline(call));
+  }
+  ReleaseQuery();
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    queries_timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
   // Outside the reader lock: a triggered advice round takes the writer
   // lock for its drop/schedule step and would self-deadlock under it.
@@ -577,20 +674,22 @@ Result<ExecutionResult> Engine::Execute(const std::string& query_text) {
   return result;
 }
 
-Result<ExecutionResult> Engine::Execute(const query::Query& query) {
+Result<ExecutionResult> Engine::Execute(const query::Query& query,
+                                        const CallOptions& call) {
   // Render to canonical text so both overloads share one plan-cache
   // path and one workload-tracker entry.
-  return Execute(query.ToString());
+  return Execute(query.ToString(), call);
 }
 
 void Engine::RunFusedGroupLocked(
     const std::vector<std::optional<Plan>>& plans,
     const std::vector<size_t>& indices,
+    std::chrono::steady_clock::time_point deadline,
     std::vector<std::optional<Result<ExecutionResult>>>* slots) {
   const Plan& lead = *plans[indices.front()];
   auto run_solo = [&] {
     for (size_t i : indices) {
-      (*slots)[i].emplace(ExecutePlannedLocked(*plans[i]));
+      (*slots)[i].emplace(ExecutePlannedLocked(*plans[i], deadline));
     }
   };
   // Grouping happened under the same reader hold that planned the
@@ -625,9 +724,13 @@ void Engine::RunFusedGroupLocked(
   std::vector<const query::MatchQuery*> members;
   members.reserve(indices.size());
   for (size_t i : indices) members.push_back(plans[i]->match_ast.get());
+  query::ExecutorOptions exec_options = options_.executor;
+  exec_options.deadline = deadline;
   query::FusedGroupStats stats;
   std::vector<Result<query::Table>> tables = query::ExecuteFusedMatch(
-      *target, *snapshot, members, options_.executor, &stats);
+      *target, *snapshot, members, exec_options, &stats);
+  deadline_checks_.fetch_add(stats.deadline_checks,
+                             std::memory_order_relaxed);
 
   fused_groups_.fetch_add(1, std::memory_order_relaxed);
   fused_members_.fetch_add(indices.size(), std::memory_order_relaxed);
@@ -696,7 +799,19 @@ void Engine::BatchWorkerLoop() {
         }
       }
     }
-    if (job != nullptr) DrainBatchJob(job.get());
+    if (job == nullptr) continue;
+    Status fault =
+        options_.fault_hooks.Fire(FaultSite::kBatchWorker, "batch worker");
+    if (!fault.ok()) {
+      // Abandon the round: the calling thread always drains its own job
+      // (`RunBatchTasks` participates), so every task still completes —
+      // the batch just loses this worker's parallelism. Yield so a
+      // persistently-failing hook cannot starve the caller of the core.
+      batch_worker_faults_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      continue;
+    }
+    DrainBatchJob(job.get());
   }
 }
 
@@ -738,9 +853,25 @@ size_t Engine::batch_pool_size() const {
 }
 
 std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(
-    const std::vector<std::string>& query_texts) {
+    const std::vector<std::string>& query_texts,
+    const CallOptions& call) {
   std::vector<std::optional<Result<ExecutionResult>>> slots(
       query_texts.size());
+  // The batch is one admission unit (its members share one traversal
+  // budget and one reader hold; gating members individually could
+  // deadlock a batch against its own siblings).
+  Status admitted = AdmitQuery();
+  if (!admitted.ok()) {
+    queries_shed_.fetch_add(query_texts.size(), std::memory_order_relaxed);
+    std::vector<Result<ExecutionResult>> rejected;
+    rejected.reserve(query_texts.size());
+    for (size_t i = 0; i < query_texts.size(); ++i) {
+      rejected.push_back(admitted);
+    }
+    return rejected;
+  }
+  const std::chrono::steady_clock::time_point deadline =
+      EffectiveDeadline(call);
   {
     std::shared_lock lock(mu_);
     // Phase 1 — plan every text (plan cache + parse). Failures settle
@@ -776,26 +907,31 @@ std::vector<Result<ExecutionResult>> Engine::ExecuteBatch(
         if (indices.size() < min_group) continue;
         for (size_t i : indices) in_group[i] = true;
         tasks.push_back(
-            [this, &plans, &slots, group = std::move(indices)] {
-              RunFusedGroupLocked(plans, group, &slots);
+            [this, &plans, &slots, deadline, group = std::move(indices)] {
+              RunFusedGroupLocked(plans, group, deadline, &slots);
             });
       }
     }
     // Phase 3 — everything not fused runs solo, one task per query.
     for (size_t i = 0; i < plans.size(); ++i) {
       if (slots[i].has_value() || in_group[i]) continue;
-      tasks.push_back([this, &plans, &slots, i] {
-        slots[i].emplace(ExecutePlannedLocked(*plans[i]));
+      tasks.push_back([this, &plans, &slots, deadline, i] {
+        slots[i].emplace(ExecutePlannedLocked(*plans[i], deadline));
       });
     }
     RunBatchTasks(std::move(tasks));
   }
+  ReleaseQuery();
   // Outside the reader lock (the advice round takes the writer lock).
   MaybeAutoAdvise();
 
   std::vector<Result<ExecutionResult>> results;
   results.reserve(slots.size());
   for (std::optional<Result<ExecutionResult>>& slot : slots) {
+    if (!slot->ok() &&
+        slot->status().code() == StatusCode::kDeadlineExceeded) {
+      queries_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    }
     results.push_back(std::move(slot).value());
   }
   return results;

@@ -63,6 +63,7 @@
 #define KASKADE_CORE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -79,6 +80,7 @@
 #include "common/result.h"
 #include "core/advisor.h"
 #include "core/catalog.h"
+#include "core/fault.h"
 #include "core/planner.h"
 #include "core/view_selector.h"
 #include "core/workload_tracker.h"
@@ -143,6 +145,38 @@ struct EngineOptions {
   /// disables decay; must be in [0, 1].
   double workload_decay = 1.0;
   BuildHooks build_hooks;
+  /// Default per-query evaluation deadline applied by `Execute` /
+  /// `ExecuteBatch` when the call passes none (`CallOptions::deadline`
+  /// unset). Measured from call entry. Zero (default) disables — a
+  /// query then runs to completion however long it takes. Expiry
+  /// surfaces as `kDeadlineExceeded`; see
+  /// `query::ExecutorOptions::deadline` for the cancellation contract.
+  std::chrono::microseconds default_query_deadline{0};
+  /// Admission gate: maximum Execute/ExecuteBatch calls admitted at
+  /// once (one ExecuteBatch counts as one unit regardless of batch
+  /// size). 0 (default) disables the gate. Arrivals past the limit wait
+  /// up to `admission_wait_budget` for a slot, then are shed with
+  /// `kUnavailable` — the load-shedding backstop that keeps in-deadline
+  /// latency bounded when offered load exceeds capacity.
+  size_t max_concurrent_queries = 0;
+  /// How long an arrival may wait for an admission slot before being
+  /// shed. Zero = shed immediately whenever the gate is full.
+  std::chrono::microseconds admission_wait_budget{0};
+  /// Fault injection (see core/fault.h): a hook here is fired at every
+  /// named site — snapshot build, maintainer apply, materialize,
+  /// publish, batch worker — and its failures exercise the graceful-
+  /// degradation paths. Default-constructed (no hook) costs one branch
+  /// per site.
+  FaultHooks fault_hooks;
+};
+
+/// \brief Per-call options for `Execute` / `ExecuteBatch`.
+struct CallOptions {
+  /// Absolute evaluation deadline for this call. The unset default
+  /// means "apply `EngineOptions::default_query_deadline`"; an explicit
+  /// value overrides it. For `ExecuteBatch` the deadline covers every
+  /// member (they share the arrival time).
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// \brief Point-in-time copy of every cheap engine counter, for
@@ -176,6 +210,27 @@ struct EngineTelemetry {
   /// solo runs pay them N times, so diffing this around a batch phase
   /// measures what fusion saved.
   uint64_t traversal_expansions = 0;
+  /// @}
+  /// \name Overload & degradation (deadlines, shedding, quarantine).
+  /// @{
+  /// Calls rejected by the admission gate with `kUnavailable`
+  /// (ExecuteBatch rejections count one per member).
+  size_t queries_shed = 0;
+  /// Executions that failed with `kDeadlineExceeded`.
+  size_t queries_timed_out = 0;
+  /// Cooperative deadline clock tests performed inside MATCH
+  /// evaluation (epoch-counted; see `ExecutionTiming::deadline_checks`).
+  uint64_t deadline_checks = 0;
+  /// Views currently out of service (`ViewState::kQuarantined`).
+  size_t views_quarantined = 0;
+  /// Quarantine transitions since engine construction (monotonic).
+  size_t quarantine_events = 0;
+  /// CSR snapshot productions failed by an injected fault; each one
+  /// degraded that query to the legacy (non-CSR) backend.
+  size_t snapshot_build_failures = 0;
+  /// Batch-pool workers that abandoned a round via an injected fault
+  /// (the calling thread drained the remaining tasks itself).
+  size_t batch_worker_faults = 0;
   /// @}
 };
 
@@ -307,14 +362,23 @@ class Engine {
   /// in flight.
   void WaitForBuilds();
 
+  /// Bounded overload: waits up to `timeout` for the build pool to go
+  /// idle. Returns OK when it did, `kDeadlineExceeded` when builds were
+  /// still queued or running at expiry (the builds themselves keep
+  /// going — only the wait gives up).
+  Status WaitForBuilds(std::chrono::microseconds timeout);
+
   /// Queued + running background builds (telemetry).
   size_t builds_pending() const;
 
   /// Removes and returns the oldest recorded background-build failure,
   /// OK when none (call repeatedly to drain). Failures belonging to a
   /// blocking round that reserved them (`AnalyzeWorkload` in flight)
-  /// are skipped, never stolen. Builds that fail abort their catalog
-  /// placeholder.
+  /// are skipped, never stolen. Builds that fail *quarantine* their
+  /// catalog entry: the name stays reserved with the failure recorded
+  /// in `CatalogEntry::health`, queries fall back to the base graph,
+  /// and a later advice round (or `AddMaterializedView`) reclaims the
+  /// entry by rebuilding it.
   Status TakeBuildError();
 
   /// \name Background-build telemetry.
@@ -374,13 +438,22 @@ class Engine {
   /// cheapest available plan (raw graph or one materialized view),
   /// consulting the planner's generation-keyed plan cache. Successful
   /// executions are recorded with the workload tracker under the
-  /// query's canonical text. Reader.
-  Result<ExecutionResult> Execute(const std::string& query_text);
+  /// query's canonical text. Subject to the admission gate (rejections
+  /// return `kUnavailable` without touching the graph) and to the
+  /// effective deadline (`call.deadline`, else
+  /// `default_query_deadline`), which fails the execution with
+  /// `kDeadlineExceeded`. Reader.
+  Result<ExecutionResult> Execute(const std::string& query_text,
+                                  const CallOptions& call);
+  Result<ExecutionResult> Execute(const std::string& query_text) {
+    return Execute(query_text, CallOptions{});
+  }
 
   /// As above for a pre-parsed query: the query is rendered to its
   /// canonical text so both overloads share one plan-cache path and one
   /// tracker entry. Reader.
-  Result<ExecutionResult> Execute(const query::Query& query);
+  Result<ExecutionResult> Execute(const query::Query& query,
+                                  const CallOptions& call = {});
 
   /// Executes a batch of queries and returns results in input order,
   /// identical to sequential `Execute`. The batch is planned up front,
@@ -390,8 +463,13 @@ class Engine {
   /// spread across the persistent batch pool (`batch_workers` wide) with
   /// the calling thread participating. Reader — the caller holds the
   /// shared lock for the whole batch; pool workers run under its hold.
+  /// The batch is one admission unit: a gate rejection fills every slot
+  /// with `kUnavailable`. The effective deadline covers every member;
+  /// members that miss it fail individually with `kDeadlineExceeded`
+  /// (never a torn table) while finished members keep their results.
   std::vector<Result<ExecutionResult>> ExecuteBatch(
-      const std::vector<std::string>& query_texts);
+      const std::vector<std::string>& query_texts,
+      const CallOptions& call = {});
 
   /// \name Plan-cache telemetry, forwarded from the planner.
   /// @{
@@ -412,6 +490,22 @@ class Engine {
   /// CSR traversal expansions across all executions (solo and fused).
   uint64_t traversal_expansions() const {
     return traversal_expansions_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name Overload telemetry.
+  /// @{
+  /// Calls the admission gate rejected with `kUnavailable`.
+  size_t queries_shed() const {
+    return queries_shed_.load(std::memory_order_relaxed);
+  }
+  /// Executions that failed with `kDeadlineExceeded`.
+  size_t queries_timed_out() const {
+    return queries_timed_out_.load(std::memory_order_relaxed);
+  }
+  /// Cooperative deadline clock tests inside MATCH evaluation.
+  uint64_t deadline_checks() const {
+    return deadline_checks_.load(std::memory_order_relaxed);
   }
   /// @}
 
@@ -449,18 +543,22 @@ class Engine {
     std::atomic<size_t> done{0};  ///< Completed tasks.
   };
 
-  /// Executes a previously chosen plan. Caller holds (at least) the
-  /// reader lock.
-  Result<ExecutionResult> RunPlan(const Plan& plan) const;
+  /// Executes a previously chosen plan under `deadline` (time_point{} =
+  /// none). Caller holds (at least) the reader lock.
+  Result<ExecutionResult> RunPlan(
+      const Plan& plan, std::chrono::steady_clock::time_point deadline) const;
 
   /// Runs an already-planned query solo and records the observation on
   /// success. Caller (or the `ExecuteBatch` invocation that spawned this
   /// task) holds the reader lock.
-  Result<ExecutionResult> ExecutePlannedLocked(const Plan& plan);
+  Result<ExecutionResult> ExecutePlannedLocked(
+      const Plan& plan, std::chrono::steady_clock::time_point deadline);
 
   /// Plan + run one query text, recording the observation on success.
   /// Caller holds the reader lock.
-  Result<ExecutionResult> ExecuteUnderLock(const std::string& query_text);
+  Result<ExecutionResult> ExecuteUnderLock(
+      const std::string& query_text,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Runs one fused shape group (all plans share `shape_key`, view and
   /// generation) and fills each member's slot; falls back to solo
@@ -469,7 +567,20 @@ class Engine {
   void RunFusedGroupLocked(
       const std::vector<std::optional<Plan>>& plans,
       const std::vector<size_t>& indices,
+      std::chrono::steady_clock::time_point deadline,
       std::vector<std::optional<Result<ExecutionResult>>>* slots);
+
+  /// Resolves the call's effective deadline: explicit per-call value,
+  /// else entry time + `default_query_deadline`, else none.
+  std::chrono::steady_clock::time_point EffectiveDeadline(
+      const CallOptions& call) const;
+
+  /// Admission gate: claims an in-flight slot, waiting up to
+  /// `admission_wait_budget` when the gate is full. `kUnavailable` on
+  /// shed; always OK when the gate is disabled. Every OK claim must be
+  /// paired with `ReleaseQuery`.
+  Status AdmitQuery();
+  void ReleaseQuery();
 
   /// Spreads `tasks` across the persistent batch pool and the calling
   /// thread; returns when all tasks ran. Starts pool threads lazily (at
@@ -517,7 +628,8 @@ class Engine {
   /// replaying or rebuilding when the base moved mid-build.
   void RunBuildJob(BuildJob job);
 
-  /// Records a failed build and aborts its placeholder.
+  /// Records a failed build and quarantines its catalog entry (the
+  /// name stays reserved, with the failure in `CatalogEntry::health`).
   void FailBuild(const BuildJob& job, const Status& status);
 
   /// Removes and returns the first failure belonging to one of
@@ -584,6 +696,20 @@ class Engine {
   std::atomic<size_t> fused_groups_{0};
   std::atomic<size_t> fused_members_{0};
   std::atomic<uint64_t> traversal_expansions_{0};
+
+  /// \name Admission gate (guarded by `admission_mu_`). Kept apart from
+  /// `mu_` so a shed decision never waits behind a long writer.
+  /// @{
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ = 0;
+  /// @}
+
+  std::atomic<size_t> queries_shed_{0};
+  std::atomic<size_t> queries_timed_out_{0};
+  /// mutable: accumulated by the const `RunPlan` on the reader path.
+  mutable std::atomic<uint64_t> deadline_checks_{0};
+  std::atomic<size_t> batch_worker_faults_{0};
 
   /// \name Periodic auto-advise trigger state.
   /// @{

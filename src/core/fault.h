@@ -1,0 +1,89 @@
+/// \file fault.h
+/// \brief Named fault-injection sites for overload and partial-failure
+/// testing.
+///
+/// Production code never branches on "is testing": each site
+/// unconditionally fires `FaultHooks::Fire`, which is a no-op unless a
+/// hook is installed via `EngineOptions::fault_hooks`. The fault suite
+/// (`tests/fault_injection_test.cc`) installs hooks that fail or delay
+/// specific sites and then proves the degradation contract: no crash,
+/// no stale or torn query result, failed view builds quarantine the
+/// view and queries transparently fall back to the base graph.
+///
+/// This header is shared by the engine and the catalog (the catalog
+/// owns the snapshot-build and maintainer-apply sites) and depends only
+/// on `common/status.h`, so it introduces no include cycle between the
+/// two.
+
+#ifndef KASKADE_CORE_FAULT_H_
+#define KASKADE_CORE_FAULT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace kaskade::core {
+
+/// \brief Where a fault can be injected.
+enum class FaultSite {
+  /// Catalog CSR snapshot production (cache-miss path, patch or full
+  /// build). On failure the snapshot request returns null and the query
+  /// layer falls back to the legacy (non-CSR) MATCH backend — slower,
+  /// still exact.
+  kSnapshotBuild,
+  /// A view maintainer absorbing one base delta (`ApplyBaseDelta`). On
+  /// failure the view is quarantined (it can no longer be kept exact)
+  /// and the rest of the batch proceeds; the base graph and the other
+  /// views stay consistent.
+  kMaintainerApply,
+  /// Background build: materializing the view with no engine lock held.
+  kMaterialize,
+  /// Background build: the publish critical section, immediately before
+  /// the catalog swap.
+  kPublish,
+  /// A batch-pool worker claiming work: on failure the worker abandons
+  /// the round and the calling thread drains the remaining tasks itself
+  /// — every batch member still completes.
+  kBatchWorker,
+};
+
+inline const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSnapshotBuild:
+      return "snapshot_build";
+    case FaultSite::kMaintainerApply:
+      return "maintainer_apply";
+    case FaultSite::kMaterialize:
+      return "materialize";
+    case FaultSite::kPublish:
+      return "publish";
+    case FaultSite::kBatchWorker:
+      return "batch_worker";
+  }
+  return "unknown";
+}
+
+/// \brief Injector callback: receives the site and a detail string (the
+/// view name or job description). Returning non-OK makes the site fail
+/// with that status; sleeping inside the hook injects delay. Must be
+/// thread-safe — sites fire concurrently from background build workers,
+/// batch workers, and query threads.
+using FaultHook = std::function<Status(FaultSite, const std::string&)>;
+
+/// \brief Hook container with a cheap no-hook fast path.
+struct FaultHooks {
+  FaultHook hook;
+
+  bool enabled() const { return static_cast<bool>(hook); }
+
+  /// Fires the hook at `site`; OK when no hook is installed.
+  Status Fire(FaultSite site, const std::string& detail) const {
+    if (!hook) return Status::OK();
+    return hook(site, detail);
+  }
+};
+
+}  // namespace kaskade::core
+
+#endif  // KASKADE_CORE_FAULT_H_

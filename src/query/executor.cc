@@ -23,6 +23,7 @@ using graph::PropertyValue;
 using graph::VertexId;
 using graph::VertexTypeId;
 
+using internal::CancelGuard;
 using internal::CsrTraversal;
 using internal::NodeAccepts;
 using internal::ResolvedMatch;
@@ -44,7 +45,9 @@ namespace {
 class MatchEvaluator {
  public:
   MatchEvaluator(const PropertyGraph& graph, const ExecutorOptions& options)
-      : graph_(graph), options_(options) {}
+      : graph_(graph),
+        options_(options),
+        guard_(options.deadline, /*cancel=*/nullptr) {}
 
   Result<Table> Run(const MatchQuery& match) {
     KASKADE_ASSIGN_OR_RETURN(rm_, ResolveMatch(graph_, match));
@@ -55,6 +58,8 @@ class MatchEvaluator {
     return std::move(table_);
   }
 
+  uint64_t deadline_checks() const { return guard_.checks(); }
+
  private:
   /// Vertices reachable from `start` in exactly d hops for some d in
   /// [min_hops, max_hops], following edges of `type` (reverse when
@@ -62,7 +67,7 @@ class MatchEvaluator {
   /// (bipartite graphs reach vertices at several parities).
   std::vector<VertexId> VarLengthTargets(VertexId start, EdgeTypeId type,
                                          int min_hops, int max_hops,
-                                         bool backward) const {
+                                         bool backward) {
     std::vector<VertexId> result;
     std::unordered_set<VertexId> result_set;
     if (min_hops == 0) {
@@ -84,6 +89,7 @@ class MatchEvaluator {
       for (VertexId v : prev) {
         const std::vector<EdgeId>& incident =
             backward ? graph_.InEdges(v) : graph_.OutEdges(v);
+        if (guard_.Charge(incident.size() + 1)) return result;
         for (EdgeId e : incident) {
           const graph::EdgeRecord& rec = graph_.Edge(e);
           if (type != graph::kInvalidTypeId && rec.type != type) continue;
@@ -105,7 +111,7 @@ class MatchEvaluator {
   /// The BFS stops the moment `end` is reached inside the hop window,
   /// instead of materializing every target and scanning for `end`.
   bool VarLengthConnected(VertexId start, VertexId end, EdgeTypeId type,
-                          int min_hops, int max_hops) const {
+                          int min_hops, int max_hops) {
     if (min_hops == 0 && start == end) return true;
     std::vector<VertexId> cur{start};
     std::vector<VertexId> next;
@@ -114,6 +120,7 @@ class MatchEvaluator {
       next.clear();
       level_seen.clear();
       for (VertexId v : cur) {
+        if (guard_.Charge(graph_.OutEdges(v).size() + 1)) return false;
         for (EdgeId e : graph_.OutEdges(v)) {
           const graph::EdgeRecord& rec = graph_.Edge(e);
           if (type != graph::kInvalidTypeId && rec.type != type) continue;
@@ -129,6 +136,7 @@ class MatchEvaluator {
   }
 
   Status EmitRow() {
+    if (guard_.Charge(1)) return internal::DeadlineExceededError();
     Table::Row row;
     row.reserve(rm_.return_slots.size());
     std::string key;
@@ -158,6 +166,7 @@ class MatchEvaluator {
       const ResolvedPattern::Node& n = pattern.nodes[slot];
       if (n.has_type_constraint) {
         for (VertexId v : graph_.VerticesOfType(n.type)) {
+          if (guard_.Charge(1)) return internal::DeadlineExceededError();
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -166,6 +175,7 @@ class MatchEvaluator {
       } else {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
           if (!graph_.IsVertexLive(v)) continue;
+          if (guard_.Charge(1)) return internal::DeadlineExceededError();
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -198,6 +208,7 @@ class MatchEvaluator {
                   }
                   return false;
                 }();
+      if (guard_.stopped()) return internal::DeadlineExceededError();
       if (connected) return Backtrack(step_index + 1);
       return Status::OK();
     }
@@ -207,8 +218,10 @@ class MatchEvaluator {
     VertexId anchor = forward ? from : to;
 
     if (edge.variable_length) {
-      for (VertexId v : VarLengthTargets(anchor, edge.type, edge.min_hops,
-                                         edge.max_hops, !forward)) {
+      std::vector<VertexId> targets = VarLengthTargets(
+          anchor, edge.type, edge.min_hops, edge.max_hops, !forward);
+      if (guard_.stopped()) return internal::DeadlineExceededError();
+      for (VertexId v : targets) {
         if (!NodeAccepts(graph_, pattern, free_slot, v)) continue;
         binding_[free_slot] = v;
         KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -223,6 +236,7 @@ class MatchEvaluator {
     // set semantics, and NodeAccepts can be expensive.
     std::unordered_set<VertexId> tried;
     for (EdgeId e : incident) {
+      if (guard_.Charge(1)) return internal::DeadlineExceededError();
       const graph::EdgeRecord& rec = graph_.Edge(e);
       if (edge.type != graph::kInvalidTypeId && rec.type != edge.type) continue;
       VertexId next = forward ? rec.target : rec.source;
@@ -237,6 +251,7 @@ class MatchEvaluator {
 
   const PropertyGraph& graph_;
   ExecutorOptions options_;
+  CancelGuard guard_;
   ResolvedMatch rm_;
   std::vector<VertexId> binding_;
   std::unordered_set<std::string> distinct_rows_;
@@ -257,20 +272,26 @@ class CsrMatchRunner {
   /// distinct row as it is emitted, so no second pass over the row set
   /// is needed. Parallel workers leave it null — their rows merge into
   /// the final table in block order after the join.
+  ///
+  /// `deadline` (time_point{} = none) and `abort` feed the runner's
+  /// CancelGuard: a parallel worker shares `abort` with its siblings so
+  /// the first stop reason (row limit, deadline) cancels the whole run.
   CsrMatchRunner(const PropertyGraph& graph, const CsrGraph& csr,
                  const ResolvedMatch& rm, size_t max_rows,
-                 const std::atomic<bool>* abort, Table* direct_table = nullptr)
+                 CancelGuard::Clock::time_point deadline,
+                 std::atomic<bool>* abort, Table* direct_table = nullptr)
       : graph_(graph),
         csr_(csr),
         rm_(rm),
         max_rows_(max_rows),
-        abort_(abort),
+        guard_(deadline, abort),
         direct_table_(direct_table),
         traversal_(csr),
         rows_(rm.return_slots.size()) {
     binding_.assign(rm.pattern.nodes.size(), graph::kInvalidId);
     scratch_.resize(rm.plan.size());
     row_buf_.assign(std::max<size_t>(1, rm.return_slots.size()), 0);
+    traversal_.set_guard(&guard_);
   }
 
   /// Runs the plan for top-level seed candidates `seeds[begin, end)`
@@ -280,7 +301,7 @@ class CsrMatchRunner {
                       size_t end) {
     const size_t slot = static_cast<size_t>(rm_.plan[0].node_slot);
     for (size_t i = begin; i < end; ++i) {
-      if (Aborted()) return Status::ResourceExhausted("MATCH row limit exceeded");
+      if (guard_.Charge(1)) return StopStatus();
       VertexId v = seeds[i];
       ++expansions_;
       if (!NodeAccepts(graph_, rm_.pattern, slot, v)) continue;
@@ -296,14 +317,20 @@ class CsrMatchRunner {
   /// Candidates enumerated + filter-edge probes (see
   /// `ExecutionTiming::expansions`).
   uint64_t expansions() const { return expansions_; }
+  /// Clock/flag tests this runner's guard performed.
+  uint64_t deadline_checks() const { return guard_.checks(); }
 
  private:
-  bool Aborted() const {
-    return abort_ != nullptr && abort_->load(std::memory_order_relaxed);
+  /// Error to surface once the guard fires. A peer-cancelled worker
+  /// returns the sibling sentinel, which the parallel driver swaps for
+  /// the originating worker's real error.
+  Status StopStatus() const {
+    return guard_.expired() ? internal::DeadlineExceededError()
+                            : internal::CancelledBySiblingError();
   }
 
   Status EmitRow() {
-    if (Aborted()) return Status::ResourceExhausted("MATCH row limit exceeded");
+    if (guard_.Charge(1)) return StopStatus();
     const size_t width = rm_.return_slots.size();
     for (size_t k = 0; k < width; ++k) {
       row_buf_[k] = binding_[rm_.return_slots[k]];
@@ -337,6 +364,7 @@ class CsrMatchRunner {
       if (n.has_type_constraint) {
         for (VertexId v : graph_.VerticesOfType(n.type)) {
           ++expansions_;
+          if (guard_.Charge(1)) return StopStatus();
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -346,6 +374,7 @@ class CsrMatchRunner {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
           if (!graph_.IsVertexLive(v)) continue;
           ++expansions_;
+          if (guard_.Charge(1)) return StopStatus();
           if (!NodeAccepts(graph_, pattern, slot, v)) continue;
           binding_[slot] = v;
           KASKADE_RETURN_IF_ERROR(Backtrack(step_index + 1));
@@ -365,12 +394,14 @@ class CsrMatchRunner {
     if (from_bound && to_bound) {
       // Filter edge (closes a cycle).
       ++expansions_;
+      if (guard_.Charge(1)) return StopStatus();
       bool connected =
           edge.variable_length
               ? traversal_.VarLengthConnected(from, to, edge.type,
                                               edge.min_hops, edge.max_hops,
                                               scratch)
               : traversal_.HasFixedEdge(from, to, edge.type);
+      if (guard_.stopped()) return StopStatus();
       if (connected) return Backtrack(step_index + 1);
       return Status::OK();
     }
@@ -390,6 +421,7 @@ class CsrMatchRunner {
                               : csr_.TypedInEdges(anchor, edge.type);
       Status st = Status::OK();
       expansions_ += span.size;
+      if (guard_.Charge(span.size)) return StopStatus();
       for (size_t i = 0; i < span.size; ++i) {
         VertexId v = span.vertices[i];
         if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
@@ -412,6 +444,9 @@ class CsrMatchRunner {
                                          &scratch->candidates);
     }
     expansions_ += scratch->candidates.size();
+    if (guard_.Charge(scratch->candidates.size()) || guard_.stopped()) {
+      return StopStatus();
+    }
     for (VertexId v : scratch->candidates) {
       if (!trivial && !NodeAccepts(graph_, pattern, free_slot, v)) continue;
       binding_[free_slot] = v;
@@ -425,7 +460,7 @@ class CsrMatchRunner {
   const CsrGraph& csr_;
   const ResolvedMatch& rm_;
   const size_t max_rows_;
-  const std::atomic<bool>* abort_;
+  CancelGuard guard_;
   Table* direct_table_;
   CsrTraversal traversal_;
   RowSet rows_;
@@ -452,7 +487,7 @@ class CsrMatchEvaluator {
                     const ExecutorOptions& options)
       : graph_(graph), csr_(csr), options_(options) {}
 
-  Result<Table> Run(const MatchQuery& match, uint64_t* expansions) {
+  Result<Table> Run(const MatchQuery& match, ExecutionTiming* stats) {
     KASKADE_ASSIGN_OR_RETURN(ResolvedMatch rm, ResolveMatch(graph_, match));
     std::vector<VertexId> seeds = TopSeedCandidates(rm);
 
@@ -465,13 +500,14 @@ class CsrMatchEvaluator {
     if (workers <= 1) {
       Table table(std::move(rm.columns));
       CsrMatchRunner runner(graph_, csr_, rm, options_.max_rows,
-                            /*abort=*/nullptr, &table);
+                            options_.deadline, /*abort=*/nullptr, &table);
       Status st = runner.RunSeedRange(seeds, 0, seeds.size());
-      if (expansions != nullptr) *expansions += runner.expansions();
+      stats->expansions += runner.expansions();
+      stats->deadline_checks += runner.deadline_checks();
       KASKADE_RETURN_IF_ERROR(st);
       return table;
     }
-    return RunParallel(&rm, seeds, workers, expansions);
+    return RunParallel(&rm, seeds, workers, stats);
   }
 
  private:
@@ -508,7 +544,7 @@ class CsrMatchEvaluator {
 
   Result<Table> RunParallel(ResolvedMatch* rm,
                             const std::vector<VertexId>& seeds, size_t workers,
-                            uint64_t* expansions) const {
+                            ExecutionTiming* stats) const {
     // Small blocks for load balance; contiguous so block order equals
     // sequential seed order.
     const size_t block = std::max<size_t>(1, seeds.size() / (workers * 8));
@@ -527,7 +563,7 @@ class CsrMatchEvaluator {
 
     auto work = [&](size_t w) {
       runners[w] = std::make_unique<CsrMatchRunner>(
-          graph_, csr_, *rm, options_.max_rows, &abort);
+          graph_, csr_, *rm, options_.max_rows, options_.deadline, &abort);
       while (!abort.load(std::memory_order_relaxed)) {
         size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
         if (b >= num_blocks) break;
@@ -550,10 +586,18 @@ class CsrMatchEvaluator {
     for (size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
     for (std::thread& t : pool) t.join();
 
-    if (expansions != nullptr) {
-      for (const auto& runner : runners) {
-        if (runner != nullptr) *expansions += runner->expansions();
+    for (const auto& runner : runners) {
+      if (runner != nullptr) {
+        stats->expansions += runner->expansions();
+        stats->deadline_checks += runner->deadline_checks();
       }
+    }
+    // A worker that stopped because a sibling raised the abort flag
+    // carries the sentinel, not the real stop reason — prefer the first
+    // originating error in worker order so row-limit stays row-limit and
+    // deadline stays deadline regardless of which worker noticed first.
+    for (const Status& st : statuses) {
+      if (!st.ok() && !internal::IsCancelledBySibling(st)) return st;
     }
     for (const Status& st : statuses) {
       if (!st.ok()) return st;
@@ -660,7 +704,7 @@ struct Accumulator {
 }  // namespace
 
 Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match,
-                                          uint64_t* expansions) {
+                                          ExecutionTiming* stats) {
   if (csr_ != nullptr) {
     // Cheap staleness tripwires; generation keying at the engine layer
     // is the real guarantee. The id-space check additionally catches
@@ -671,18 +715,20 @@ Result<Table> QueryExecutor::ExecuteMatch(const MatchQuery& match,
       return internal::StaleSnapshotError();
     }
     CsrMatchEvaluator evaluator(*graph_, *csr_, options_);
-    return evaluator.Run(match, expansions);
+    return evaluator.Run(match, stats);
   }
   MatchEvaluator evaluator(*graph_, options_);
-  return evaluator.Run(match);
+  Result<Table> result = evaluator.Run(match);
+  stats->deadline_checks += evaluator.deadline_checks();
+  return result;
 }
 
 Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select,
-                                           uint64_t* expansions) {
+                                           ExecutionTiming* stats) {
   KASKADE_ASSIGN_OR_RETURN(
       Table input, select.from->is_match()
-                       ? ExecuteMatch(select.from->match(), expansions)
-                       : ExecuteSelect(select.from->select(), expansions));
+                       ? ExecuteMatch(select.from->match(), stats)
+                       : ExecuteSelect(select.from->select(), stats));
 
   // WHERE filter.
   std::vector<const Table::Row*> rows;
@@ -794,16 +840,25 @@ Result<Table> QueryExecutor::ExecuteSelect(const SelectQuery& select,
 Result<Table> QueryExecutor::Execute(const Query& query,
                                      ExecutionTiming* timing) {
   const auto started = std::chrono::steady_clock::now();
-  uint64_t expansions = 0;
-  Result<Table> result = query.is_match()
-                             ? ExecuteMatch(query.match(), &expansions)
-                             : ExecuteSelect(query.select(), &expansions);
+  ExecutionTiming stats;
+  Result<Table> result = [&]() -> Result<Table> {
+    if (options_.deadline != std::chrono::steady_clock::time_point{} &&
+        started >= options_.deadline) {
+      // Already past the deadline at entry (e.g. the op queued behind a
+      // stall): fail deterministically without touching the graph.
+      stats.deadline_checks = 1;
+      return internal::DeadlineExceededError();
+    }
+    return query.is_match() ? ExecuteMatch(query.match(), &stats)
+                            : ExecuteSelect(query.select(), &stats);
+  }();
   if (timing != nullptr) {
     timing->elapsed_us =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - started)
             .count();
-    timing->expansions = expansions;
+    timing->expansions = stats.expansions;
+    timing->deadline_checks = stats.deadline_checks;
   }
   return result;
 }

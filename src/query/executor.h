@@ -32,6 +32,7 @@
 #ifndef KASKADE_QUERY_EXECUTOR_H_
 #define KASKADE_QUERY_EXECUTOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -71,6 +72,17 @@ struct ExecutorOptions {
   size_t parallelism = 1;
   /// Cross-query fusion on the engine's batch path.
   FusionOptions fusion;
+  /// Cooperative evaluation deadline. `time_point{}` (the default)
+  /// disables it. MATCH backends test the clock roughly once per
+  /// `internal::CancelGuard::kCheckInterval` traversal expansions —
+  /// including inside variable-length BFS levels — and fail with
+  /// `kDeadlineExceeded`; parallel workers and fused-group members
+  /// cancel their siblings promptly and never publish a torn table. A
+  /// query that finishes in time is byte-identical to one run with no
+  /// deadline. The relational SELECT shell is only covered by the
+  /// entry check and its MATCH input; its own loops are bounded by the
+  /// (already row-capped) match output.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// \brief Measured timing of one execution, filled in by the executor so
@@ -84,6 +96,10 @@ struct ExecutionTiming {
   /// pays these once where N solo runs pay them N times. 0 for the
   /// legacy (non-CSR) backend and for SELECT shells.
   uint64_t expansions = 0;
+  /// Deadline/cancellation clock tests actually performed (epoch-counted,
+  /// so orders of magnitude below `expansions`). 0 when no deadline and
+  /// no sibling-cancel flag was installed.
+  uint64_t deadline_checks = 0;
 };
 
 /// \brief Executes parsed or textual queries against one graph.
@@ -110,8 +126,10 @@ class QueryExecutor {
                             ExecutionTiming* timing = nullptr);
 
  private:
-  Result<Table> ExecuteMatch(const MatchQuery& match, uint64_t* expansions);
-  Result<Table> ExecuteSelect(const SelectQuery& select, uint64_t* expansions);
+  /// `stats` accumulates expansions + deadline checks (never null).
+  Result<Table> ExecuteMatch(const MatchQuery& match, ExecutionTiming* stats);
+  Result<Table> ExecuteSelect(const SelectQuery& select,
+                              ExecutionTiming* stats);
 
   const graph::PropertyGraph* graph_;
   const graph::CsrGraph* csr_ = nullptr;

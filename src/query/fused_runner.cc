@@ -16,6 +16,7 @@ using graph::PropertyGraph;
 using graph::PropertyValue;
 using graph::VertexId;
 
+using internal::CancelGuard;
 using internal::CsrTraversal;
 using internal::ResolvedMatch;
 using internal::ResolvedPattern;
@@ -48,7 +49,8 @@ class FusedMatchRunner {
   FusedMatchRunner(const PropertyGraph& graph, const CsrGraph& csr,
                    const ResolvedMatch& rm,
                    std::vector<std::vector<FusedCondition>> slot_conditions,
-                   size_t num_members, size_t max_rows)
+                   size_t num_members, size_t max_rows,
+                   CancelGuard::Clock::time_point deadline)
       : graph_(graph),
         csr_(csr),
         rm_(rm),
@@ -56,7 +58,9 @@ class FusedMatchRunner {
         num_members_(num_members),
         words_((num_members + 63) / 64),
         max_rows_(max_rows),
+        guard_(deadline, /*cancel=*/nullptr),
         traversal_(csr) {
+    traversal_.set_guard(&guard_);
     binding_.assign(rm.pattern.nodes.size(), graph::kInvalidId);
     scratch_.resize(rm.plan.size());
     row_buf_.assign(std::max<size_t>(1, rm.return_slots.size()), 0);
@@ -80,6 +84,11 @@ class FusedMatchRunner {
     return member_errors_[member];
   }
   uint64_t expansions() const { return expansions_; }
+  uint64_t deadline_checks() const { return guard_.checks(); }
+  /// The group's deadline fired and the shared walk stopped early: every
+  /// member without its own error holds a *partial* row set and must be
+  /// failed by the caller, never materialized.
+  bool deadline_expired() const { return guard_.expired(); }
 
  private:
   bool AnyAlive(const uint64_t* mask) const {
@@ -158,6 +167,7 @@ class FusedMatchRunner {
   }
 
   void Backtrack(size_t step_index, const uint64_t* mask) {
+    if (guard_.stopped()) return;  // prompt unwind of the whole walk
     if (!AnyAlive(mask)) return;
     if (step_index == rm_.plan.size()) {
       EmitRows(mask);
@@ -176,6 +186,7 @@ class FusedMatchRunner {
       const ResolvedPattern::Node& n = pattern.nodes[slot];
       auto try_seed = [&](VertexId v) {
         ++expansions_;
+        if (guard_.Charge(1)) return;
         if (!FusedAccept(slot, v, mask, narrowed)) return;
         binding_[slot] = v;
         Backtrack(step_index + 1, narrowed);
@@ -183,13 +194,13 @@ class FusedMatchRunner {
       };
       if (n.has_type_constraint) {
         for (VertexId v : graph_.VerticesOfType(n.type)) {
-          if (AllFailed()) return;
+          if (AllFailed() || guard_.stopped()) return;
           try_seed(v);
         }
       } else {
         for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
           if (!graph_.IsVertexLive(v)) continue;
-          if (AllFailed()) return;
+          if (AllFailed() || guard_.stopped()) return;
           try_seed(v);
         }
       }
@@ -206,12 +217,14 @@ class FusedMatchRunner {
     if (from_bound && to_bound) {
       // Filter edge (closes a cycle): purely structural, so shared.
       ++expansions_;
+      if (guard_.Charge(1)) return;
       bool connected =
           edge.variable_length
               ? traversal_.VarLengthConnected(from, to, edge.type,
                                               edge.min_hops, edge.max_hops,
                                               scratch)
               : traversal_.HasFixedEdge(from, to, edge.type);
+      if (guard_.stopped()) return;
       if (connected) Backtrack(step_index + 1, mask);
       return;
     }
@@ -229,6 +242,7 @@ class FusedMatchRunner {
       EdgeSpan span = forward ? csr_.TypedOutEdges(anchor, edge.type)
                               : csr_.TypedInEdges(anchor, edge.type);
       expansions_ += span.size;
+      if (guard_.Charge(span.size)) return;
       for (size_t i = 0; i < span.size; ++i) {
         VertexId v = span.vertices[i];
         if (trivial) {
@@ -251,6 +265,7 @@ class FusedMatchRunner {
                                          &scratch->candidates);
     }
     expansions_ += scratch->candidates.size();
+    if (guard_.Charge(scratch->candidates.size()) || guard_.stopped()) return;
     for (VertexId v : scratch->candidates) {
       if (trivial) {
         binding_[free_slot] = v;
@@ -271,6 +286,7 @@ class FusedMatchRunner {
   const size_t num_members_;
   const size_t words_;
   const size_t max_rows_;
+  CancelGuard guard_;
   CsrTraversal traversal_;
   std::vector<VertexId> binding_;
   std::vector<StepScratch> scratch_;
@@ -360,6 +376,13 @@ std::vector<Result<Table>> ExecuteFusedMatch(
     finish_timing();
     return results;
   }
+  if (options.deadline != CancelGuard::Clock::time_point{} &&
+      started >= options.deadline) {
+    // Already past the deadline at entry: every member's solo run would
+    // fail the same way, so fail the group without touching the graph.
+    if (stats != nullptr) stats->deadline_checks = 1;
+    return fail_all(internal::DeadlineExceededError());
+  }
   // Group-level failures are shape-determined: every member's solo run
   // would raise the identical error, so filling each slot with it keeps
   // the fused path indistinguishable from the sequential one.
@@ -374,14 +397,23 @@ std::vector<Result<Table>> ExecuteFusedMatch(
   if (!lifted.ok()) return fail_all(lifted);
 
   FusedMatchRunner runner(graph, csr, *rm, std::move(slot_conditions),
-                          members.size(), options.max_rows);
+                          members.size(), options.max_rows,
+                          options.deadline);
   runner.Run();
-  if (stats != nullptr) stats->expansions = runner.expansions();
+  if (stats != nullptr) {
+    stats->expansions = runner.expansions();
+    stats->deadline_checks = runner.deadline_checks();
+  }
 
   const size_t width = rm->return_slots.size();
   for (size_t m = 0; m < members.size(); ++m) {
     if (!runner.error_of(m).ok()) {
       results.push_back(runner.error_of(m));
+      continue;
+    }
+    if (runner.deadline_expired()) {
+      // The shared walk stopped early; this member's row set is partial.
+      results.push_back(internal::DeadlineExceededError());
       continue;
     }
     Table table(std::vector<Column>(rm->columns));

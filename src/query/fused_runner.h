@@ -49,6 +49,9 @@ struct FusedGroupStats {
   uint64_t expansions = 0;
   /// Wall clock of the whole group (microseconds).
   double elapsed_us = 0;
+  /// Deadline clock tests the shared traversal performed (see
+  /// `ExecutionTiming::deadline_checks`).
+  uint64_t deadline_checks = 0;
 };
 
 /// Runs `members` — same-shape MATCH queries — as one shared traversal
@@ -57,8 +60,11 @@ struct FusedGroupStats {
 /// exceeding `options.max_rows`) are per-slot errors and do not abort
 /// the other members; group-level failures (stale snapshot, resolution
 /// errors — shape-determined, so every solo run would hit them too)
-/// fill every slot with the same error. Sequential; the caller decides
-/// how groups are spread across batch workers.
+/// fill every slot with the same error. When `options.deadline` fires
+/// mid-traversal the shared walk stops at the next check and every
+/// member that has not already produced a complete result fails with
+/// `kDeadlineExceeded` — a partial table is never returned. Sequential;
+/// the caller decides how groups are spread across batch workers.
 std::vector<Result<Table>> ExecuteFusedMatch(
     const graph::PropertyGraph& graph, const graph::CsrGraph& csr,
     const std::vector<const MatchQuery*>& members,

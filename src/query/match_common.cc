@@ -207,6 +207,7 @@ void CsrTraversal::VarLengthTargets(VertexId start, EdgeTypeId type,
     for (VertexId v : s->cur) {
       EdgeSpan span = backward ? csr_.TypedInEdges(v, type)
                                : csr_.TypedOutEdges(v, type);
+      if (guard_ != nullptr && guard_->Charge(span.size + 1)) return;
       for (size_t i = 0; i < span.size; ++i) {
         VertexId next = span.vertices[i];
         if (mark_[next] == level_epoch) continue;
@@ -233,6 +234,7 @@ bool CsrTraversal::VarLengthConnected(VertexId start, VertexId end,
     const uint32_t level_epoch = NextMark();
     for (VertexId v : s->cur) {
       EdgeSpan span = csr_.TypedOutEdges(v, type);
+      if (guard_ != nullptr && guard_->Charge(span.size + 1)) return false;
       for (size_t i = 0; i < span.size; ++i) {
         VertexId next = span.vertices[i];
         if (mark_[next] == level_epoch) continue;

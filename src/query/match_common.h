@@ -21,6 +21,8 @@
 #ifndef KASKADE_QUERY_MATCH_COMMON_H_
 #define KASKADE_QUERY_MATCH_COMMON_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -33,6 +35,109 @@
 #include "query/table.h"
 
 namespace kaskade::query::internal {
+
+/// \brief Cooperative deadline / sibling-cancellation guard shared by
+/// every MATCH backend (legacy backtracker, solo CSR runner, parallel
+/// CSR workers, fused group runner).
+///
+/// Reading the clock per expansion would dominate the traversal inner
+/// loops, so the guard is *epoch-counted*: `Charge(work)` accumulates
+/// traversal progress and only tests the clock (and the shared cancel
+/// flag) once at least `kCheckInterval` units have accrued since the
+/// last test. A parallel worker whose deadline fires broadcasts through
+/// the shared flag so every sibling stops within one check interval.
+///
+/// The guard never alters enumeration order — it only decides *when* to
+/// unwind — so a run that finishes before its deadline is byte-identical
+/// to a run with no deadline at all.
+class CancelGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Work units between clock tests. Expansion counting charges one
+  /// unit per candidate, so this bounds both the clock-read overhead
+  /// (<1% of traversal work) and the cancellation latency.
+  static constexpr uint64_t kCheckInterval = 256;
+
+  CancelGuard() = default;
+  /// `deadline` of time_point{} means "no deadline"; `cancel` may be
+  /// null (sequential execution) or shared between sibling workers.
+  CancelGuard(Clock::time_point deadline, std::atomic<bool>* cancel)
+      : deadline_(deadline),
+        has_deadline_(deadline != Clock::time_point{}),
+        cancel_(cancel) {}
+
+  bool active() const { return has_deadline_ || cancel_ != nullptr; }
+
+  /// Charges `work` traversal units; tests the stop conditions once per
+  /// `kCheckInterval` accrued units. Returns true when the caller must
+  /// unwind.
+  bool Charge(uint64_t work) {
+    if (stopped_) return true;
+    if (!active()) return false;
+    pending_ += work;
+    if (pending_ < kCheckInterval) return false;
+    pending_ = 0;
+    return CheckNow();
+  }
+
+  /// Unconditional stop-condition test (coarse boundaries: query entry,
+  /// post-BFS). Cheap when inactive.
+  bool CheckNow() {
+    if (stopped_) return true;
+    if (!active()) return false;
+    ++checks_;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      stopped_ = true;
+      cancelled_ = true;
+      return true;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      stopped_ = true;
+      expired_ = true;
+      // Broadcast so sibling workers stop promptly too.
+      if (cancel_ != nullptr) cancel_->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool stopped() const { return stopped_; }
+  /// This guard's own deadline fired.
+  bool expired() const { return expired_; }
+  /// Stopped because a sibling raised the shared flag, not because this
+  /// guard's deadline fired — the sibling carries the real error.
+  bool cancelled_by_peer() const { return cancelled_ && !expired_; }
+  /// Number of actual clock/flag tests performed (telemetry).
+  uint64_t checks() const { return checks_; }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool>* cancel_ = nullptr;
+  uint64_t pending_ = 0;
+  uint64_t checks_ = 0;
+  bool stopped_ = false;
+  bool expired_ = false;
+  bool cancelled_ = false;
+};
+
+inline Status DeadlineExceededError() {
+  return Status::DeadlineExceeded("query deadline exceeded");
+}
+
+/// Sentinel a parallel worker returns when it stopped because a sibling
+/// raised the shared abort flag. The parallel driver replaces it with
+/// the originating sibling's real error; it must never escape to a
+/// caller.
+inline Status CancelledBySiblingError() {
+  return Status::Internal("cancelled by sibling worker");
+}
+
+inline bool IsCancelledBySibling(const Status& st) {
+  return st.code() == StatusCode::kInternal &&
+         st.message() == "cancelled by sibling worker";
+}
 
 /// Resolved pattern: names mapped to dense slots, types to ids.
 struct ResolvedPattern {
@@ -187,6 +292,12 @@ class CsrTraversal {
     result_mark_.assign(csr.NumVertices(), 0);
   }
 
+  /// Installs a cancellation guard: the variable-length BFS loops charge
+  /// traversal work against it and bail out early when it fires. Results
+  /// are then partial — the caller must test `guard->stopped()` after
+  /// any BFS call before using them. Null disables the checks.
+  void set_guard(CancelGuard* guard) { guard_ = guard; }
+
   /// Distinct neighbors of `anchor` over edges of `type`, into `out`
   /// (first-occurrence order of the typed CSR slice).
   void GatherDistinctNeighbors(graph::VertexId anchor, graph::EdgeTypeId type,
@@ -237,6 +348,7 @@ class CsrTraversal {
   }
 
   const graph::CsrGraph& csr_;
+  CancelGuard* guard_ = nullptr;
   std::vector<uint32_t> mark_;
   uint32_t mark_epoch_ = 0;
   std::vector<uint32_t> result_mark_;

@@ -86,13 +86,22 @@ struct OpMetrics {
   /// Service time: completion minus actual issue.
   LatencyHistogram service;
   uint64_t attempted = 0;
+  /// Genuine errors only — shed and timed-out ops are the overload
+  /// behaving as designed and are counted separately below.
   uint64_t failed = 0;
+  /// Ops the admission gate rejected with `kUnavailable`.
+  uint64_t shed = 0;
+  /// Ops that expired with `kDeadlineExceeded` under the phase's
+  /// `deadline_ms` (for a batch op: batches with >= 1 expired member).
+  uint64_t timed_out = 0;
 
   void Merge(const OpMetrics& other) {
     latency.Merge(other.latency);
     service.Merge(other.service);
     attempted += other.attempted;
     failed += other.failed;
+    shed += other.shed;
+    timed_out += other.timed_out;
   }
 };
 
@@ -115,6 +124,16 @@ struct PhaseMetrics {
   uint64_t total_failed() const {
     uint64_t total = 0;
     for (const OpMetrics& op : ops) total += op.failed;
+    return total;
+  }
+  uint64_t total_shed() const {
+    uint64_t total = 0;
+    for (const OpMetrics& op : ops) total += op.shed;
+    return total;
+  }
+  uint64_t total_timed_out() const {
+    uint64_t total = 0;
+    for (const OpMetrics& op : ops) total += op.timed_out;
     return total;
   }
 };

@@ -41,11 +41,12 @@ WorkloadRunner::WorkloadRunner(core::Engine* engine, GeneratorProfile profile,
                                RunnerOptions options)
     : engine_(engine), profile_(std::move(profile)), options_(options) {}
 
-Status WorkloadRunner::IssueOp(const Op& op,
+Status WorkloadRunner::IssueOp(const Op& op, const core::CallOptions& call,
                                std::vector<graph::EdgeId>* owned_edges) {
   switch (op.kind) {
     case OpKind::kExecute: {
-      Result<core::ExecutionResult> result = engine_->Execute(op.query.text);
+      Result<core::ExecutionResult> result =
+          engine_->Execute(op.query.text, call);
       if (!result.ok()) return result.status();
       if (options_.check_result_shape &&
           result->table.num_columns() != op.query.columns) {
@@ -61,7 +62,7 @@ Status WorkloadRunner::IssueOp(const Op& op,
       texts.reserve(op.batch.size());
       for (const GeneratedQuery& q : op.batch) texts.push_back(q.text);
       std::vector<Result<core::ExecutionResult>> results =
-          engine_->ExecuteBatch(texts);
+          engine_->ExecuteBatch(texts, call);
       for (size_t i = 0; i < results.size(); ++i) {
         if (!results[i].ok()) return results[i].status();
         if (options_.check_result_shape &&
@@ -150,14 +151,33 @@ void WorkloadRunner::RunThread(const PhaseSpec& phase, size_t phase_index,
     const Clock::time_point issued = Clock::now();
     if (!open_loop) intended = issued;
 
-    Status status = IssueOp(op, &owned_edges);
+    // The op's SLA is anchored at its *intended* start: an op that got
+    // to issue late because the engine is saturated has already spent
+    // part of its budget — under overload the backlog's tail arrives
+    // pre-expired, exactly as a deadline-bound client would see it.
+    core::CallOptions call;
+    if (phase.deadline_ms > 0 &&
+        (op.kind == OpKind::kExecute || op.kind == OpKind::kExecuteBatch)) {
+      call.deadline = intended + std::chrono::milliseconds(phase.deadline_ms);
+    }
+
+    Status status = IssueOp(op, call, &owned_edges);
 
     const Clock::time_point done = Clock::now();
     OpMetrics& metrics = out->metrics.of(op.kind);
     ++metrics.attempted;
     if (!status.ok()) {
-      ++metrics.failed;
-      if (out->first_error.ok()) out->first_error = status;
+      // Shed and timed-out ops are overload behaving as designed, not
+      // errors: they never gate a run's pass/fail and keep their own
+      // counters.
+      if (status.code() == StatusCode::kUnavailable) {
+        ++metrics.shed;
+      } else if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++metrics.timed_out;
+      } else {
+        ++metrics.failed;
+        if (out->first_error.ok()) out->first_error = status;
+      }
     }
     metrics.latency.Record(MicrosBetween(intended, done));
     metrics.service.Record(MicrosBetween(issued, done));

@@ -91,6 +91,16 @@ struct RunResult {
     for (const PhaseResult& p : phases) total += p.metrics.total_failed();
     return total;
   }
+  uint64_t total_shed() const {
+    uint64_t total = 0;
+    for (const PhaseResult& p : phases) total += p.metrics.total_shed();
+    return total;
+  }
+  uint64_t total_timed_out() const {
+    uint64_t total = 0;
+    for (const PhaseResult& p : phases) total += p.metrics.total_timed_out();
+    return total;
+  }
 };
 
 /// \brief Harness configuration.
@@ -147,9 +157,12 @@ class WorkloadRunner {
                  size_t thread_index, uint64_t workload_seed, StartGate* gate,
                  ThreadOutcome* out);
 
-  /// Issues one op; returns its status. `owned_edges` is the thread's
-  /// private list of edge ids it inserted (removal pool).
-  Status IssueOp(const Op& op, std::vector<graph::EdgeId>* owned_edges);
+  /// Issues one op; returns its status. `call` carries the op's
+  /// deadline (anchored at its intended start; see
+  /// `PhaseSpec::deadline_ms`); `owned_edges` is the thread's private
+  /// list of edge ids it inserted (removal pool).
+  Status IssueOp(const Op& op, const core::CallOptions& call,
+                 std::vector<graph::EdgeId>* owned_edges);
 
   core::Engine* engine_;
   GeneratorProfile profile_;

@@ -94,7 +94,7 @@ Status ValidateWorkloadSpec(const WorkloadSpec& spec) {
     return Status::InvalidArgument("workload spec: at least one phase");
   }
   for (const PhaseSpec& phase : spec.phases) {
-    const std::string where = "phase '" + phase.name + "': ";
+    const std::string where = "workload spec: phase '" + phase.name + "': ";
     if (phase.name.empty()) {
       return Status::InvalidArgument("workload spec: phase with empty name");
     }
@@ -224,6 +224,12 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       }
       KASKADE_ASSIGN_OR_RETURN(
           phase.delta_edges, ParseU64(tokens[1], line_number, "delta_edges"));
+    } else if (key == "deadline_ms") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "'deadline_ms' expects one value");
+      }
+      KASKADE_ASSIGN_OR_RETURN(
+          phase.deadline_ms, ParseU64(tokens[1], line_number, "deadline_ms"));
     } else if (key == "mix") {
       if (tokens.size() < 2) {
         return ParseError(line_number,
@@ -253,7 +259,7 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
           line_number,
           "unknown phase key '" + key +
               "' (want threads | rate | ops_per_thread | duration_ms | mix | "
-              "batch_size | delta_edges | end)");
+              "batch_size | delta_edges | deadline_ms | end)");
     }
   }
 
@@ -293,6 +299,9 @@ std::string WorkloadSpec::ToText() const {
     out << "\n";
     out << "  batch_size " << phase.batch_size << "\n";
     out << "  delta_edges " << phase.delta_edges << "\n";
+    if (phase.deadline_ms != 0) {
+      out << "  deadline_ms " << phase.deadline_ms << "\n";
+    }
     out << "end\n";
   }
   return out.str();

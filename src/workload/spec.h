@@ -87,6 +87,13 @@ struct PhaseSpec {
   /// Edge mutations per `kApplyDelta` op (~3/4 inserts, ~1/4 removals of
   /// edges the issuing thread previously inserted).
   size_t delta_edges = 16;
+  /// Per-op query deadline in milliseconds, anchored at the op's
+  /// *intended* (scheduled) start — an op that begins late because the
+  /// engine is saturated has already spent part of its budget, exactly
+  /// as an SLA-bound client would experience it. Applies to `kExecute`
+  /// and `kExecuteBatch`; expiries are counted as `timed_out`, not
+  /// `failed`. 0 (default) = no deadline.
+  uint64_t deadline_ms = 0;
 
   double weight(OpKind kind) const { return mix[size_t(kind)]; }
   bool operator==(const PhaseSpec&) const = default;

@@ -635,7 +635,7 @@ TEST(BackgroundBuildTest, OutOfBandMutationForcesRebuild) {
   ExpectViewExact(engine, JobConnector());
 }
 
-TEST(BackgroundBuildTest, FailedBuildAbortsPlaceholderAndReportsError) {
+TEST(BackgroundBuildTest, FailedBuildQuarantinesEntryAndReportsError) {
   Engine engine(SmallProv());
   ViewDefinition bogus;
   bogus.kind = ViewKind::kKHopConnector;
@@ -650,10 +650,23 @@ TEST(BackgroundBuildTest, FailedBuildAbortsPlaceholderAndReportsError) {
   EXPECT_EQ(report->builds_scheduled, 1u);
   engine.WaitForBuilds();
   EXPECT_FALSE(engine.TakeBuildError().ok());
-  EXPECT_EQ(engine.catalog().Find(bogus.Name()), nullptr);
+  // The failed build quarantines its entry: the name stays reserved
+  // with the failure recorded in health, out of the planner's sight.
+  const CatalogEntry* entry = engine.catalog().Find(bogus.Name());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, ViewState::kQuarantined);
+  EXPECT_FALSE(entry->health.ok());
+  EXPECT_EQ(engine.catalog().num_quarantined(), 1u);
+  EXPECT_EQ(engine.catalog().num_ready(), 0u);
   EXPECT_EQ(engine.builds_completed(), 0u);
+  EXPECT_EQ(engine.TelemetrySnapshot().quarantine_events, 1u);
   // The error slot is one-shot.
   EXPECT_TRUE(engine.TakeBuildError().ok());
+  // Queries still run (against the base graph).
+  EXPECT_TRUE(engine.Execute(datasets::AncestorsQueryText("Job", 4)).ok());
+  // Dropping the quarantined entry retires the name.
+  EXPECT_TRUE(engine.RemoveView(bogus.Name()).ok());
+  EXPECT_EQ(engine.catalog().Find(bogus.Name()), nullptr);
 }
 
 TEST(BackgroundBuildTest, AnalyzeWorkloadDoesNotStealOtherRoundsBuildErrors) {

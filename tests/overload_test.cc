@@ -1,0 +1,368 @@
+// Overload-behavior tests: deadline-aware cooperative cancellation
+// (solo, parallel, batch, fused) and the admission gate. The contract
+// under test: a query that finishes within its deadline is byte-identical
+// to a run with no deadline at all; an expired deadline fails only the
+// affected executions with kDeadlineExceeded (never a torn table, never
+// the internal sibling-cancel sentinel); the admission gate sheds excess
+// arrivals with kUnavailable without touching the graph.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fault.h"
+#include "datasets/generators.h"
+#include "datasets/workloads.h"
+#include "query/executor.h"
+
+namespace kaskade::core {
+namespace {
+
+using graph::PropertyGraph;
+using std::chrono::steady_clock;
+
+PropertyGraph MediumProv(uint64_t seed = 42) {
+  datasets::ProvOptions options;
+  options.num_jobs = 80;
+  options.num_files = 160;
+  options.include_auxiliary = false;
+  options.seed = seed;
+  return datasets::MakeProvenanceGraph(options);
+}
+
+/// Order-preserving row image (determinism checks compare these, so row
+/// *order* counts, not just content).
+std::vector<std::vector<int64_t>> RowsOf(const query::Table& t) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(t.num_rows());
+  for (const query::Table::Row& row : t.rows()) {
+    std::vector<int64_t> r;
+    r.reserve(row.size());
+    for (const graph::PropertyValue& v : row) r.push_back(v.as_int());
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+steady_clock::time_point Generous() {
+  return steady_clock::now() + std::chrono::minutes(10);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline correctness: generous deadline == no deadline
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, GenerousDeadlineIsByteIdenticalToNoDeadline) {
+  Engine engine(MediumProv());
+  const std::string text = datasets::AncestorsQueryText("Job", 4);
+
+  auto plain = engine.Execute(text);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  CallOptions call;
+  call.deadline = Generous();
+  auto bounded = engine.Execute(text, call);
+  ASSERT_TRUE(bounded.ok()) << bounded.status();
+
+  EXPECT_EQ(RowsOf(plain->table), RowsOf(bounded->table));
+  // The guard actually ran: epoch-counted clock tests were performed
+  // and surfaced through telemetry.
+  EXPECT_GT(engine.deadline_checks(), 0u);
+  EXPECT_EQ(engine.queries_timed_out(), 0u);
+}
+
+TEST(DeadlineTest, ParallelRunWithDeadlineMatchesSequentialWithout) {
+  EngineOptions parallel_options;
+  parallel_options.executor.parallelism = 4;
+  Engine parallel_engine(MediumProv(), parallel_options);
+  Engine sequential_engine(MediumProv());
+  const std::string text = datasets::AncestorsQueryText("File", 4);
+
+  auto sequential = sequential_engine.Execute(text);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+
+  CallOptions call;
+  call.deadline = Generous();
+  auto parallel = parallel_engine.Execute(text, call);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  EXPECT_EQ(RowsOf(sequential->table), RowsOf(parallel->table));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline expiry: clean kDeadlineExceeded, counted, no sentinel leak
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, PreExpiredDeadlineFailsWithDeadlineExceeded) {
+  Engine engine(MediumProv());
+  CallOptions call;
+  call.deadline = steady_clock::now() - std::chrono::milliseconds(1);
+  auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4), call);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.queries_timed_out(), 1u);
+  EXPECT_EQ(engine.queries_shed(), 0u);
+}
+
+TEST(DeadlineTest, TightDeadlineExpiresMidParallelEvaluationCleanly) {
+  EngineOptions options;
+  options.executor.parallelism = 4;
+  Engine engine(MediumProv(), options);
+  const std::string text = datasets::AncestorsQueryText("File", 8);
+  // Warm the plan cache so the deadline burns inside evaluation, not
+  // planning.
+  ASSERT_TRUE(engine.Execute(text).ok());
+
+  CallOptions call;
+  call.deadline = steady_clock::now() + std::chrono::microseconds(200);
+  auto result = engine.Execute(text, call);
+  ASSERT_FALSE(result.ok());
+  // The public failure is always kDeadlineExceeded: the sibling-cancel
+  // sentinel workers use to stop each other must never escape.
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  EXPECT_EQ(engine.queries_timed_out(), 1u);
+}
+
+TEST(DeadlineTest, DefaultQueryDeadlineAppliesWhenCallPassesNone) {
+  EngineOptions options;
+  options.default_query_deadline = std::chrono::microseconds(1);
+  Engine engine(MediumProv(), options);
+  auto result = engine.Execute(datasets::AncestorsQueryText("Job", 4));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Batch + fused deadlines: per-member failure, finished members keep rows
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, BatchGenerousDeadlineMatchesNoDeadline) {
+  Engine engine(MediumProv());
+  std::vector<std::string> texts = {
+      datasets::AncestorsQueryText("Job", 3),
+      datasets::DescendantsQueryText("Job", 3),
+      datasets::AncestorsQueryText("File", 3),
+      datasets::AncestorsQueryText("Job", 3),
+  };
+  auto plain = engine.ExecuteBatch(texts);
+  CallOptions call;
+  call.deadline = Generous();
+  auto bounded = engine.ExecuteBatch(texts, call);
+  ASSERT_EQ(plain.size(), bounded.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    ASSERT_TRUE(plain[i].ok()) << plain[i].status();
+    ASSERT_TRUE(bounded[i].ok()) << bounded[i].status();
+    EXPECT_EQ(RowsOf(plain[i]->table), RowsOf(bounded[i]->table));
+  }
+  EXPECT_EQ(engine.queries_timed_out(), 0u);
+}
+
+TEST(DeadlineTest, ExpiredBatchFailsEveryMemberIndividually) {
+  Engine engine(MediumProv());
+  std::vector<std::string> texts = {
+      datasets::AncestorsQueryText("Job", 3),
+      datasets::DescendantsQueryText("Job", 3),
+      datasets::AncestorsQueryText("File", 3),
+  };
+  CallOptions call;
+  call.deadline = steady_clock::now() - std::chrono::milliseconds(1);
+  auto results = engine.ExecuteBatch(texts, call);
+  ASSERT_EQ(results.size(), texts.size());
+  for (const auto& slot : results) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kDeadlineExceeded)
+        << slot.status();
+  }
+  EXPECT_EQ(engine.queries_timed_out(), texts.size());
+}
+
+TEST(DeadlineTest, FusedGroupHonorsDeadlinesWithoutTornTables) {
+  Engine engine(MediumProv());
+  // Eight same-shape queries: the batch runs them as one fused
+  // traversal (min_group_size is 2 and fusion defaults on).
+  std::vector<std::string> texts(8, datasets::AncestorsQueryText("Job", 3));
+
+  CallOptions generous;
+  generous.deadline = Generous();
+  auto fused = engine.ExecuteBatch(texts, generous);
+  ASSERT_EQ(fused.size(), texts.size());
+  auto solo = engine.Execute(texts[0]);
+  ASSERT_TRUE(solo.ok()) << solo.status();
+  for (const auto& slot : fused) {
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    EXPECT_EQ(RowsOf(slot->table), RowsOf(solo->table));
+  }
+  EXPECT_GT(engine.fused_groups(), 0u) << "batch did not take the fused path";
+
+  // An already-expired deadline fails every fused member with the
+  // public code — no partial tables, no sentinel leak.
+  CallOptions expired;
+  expired.deadline = steady_clock::now() - std::chrono::milliseconds(1);
+  auto failed = engine.ExecuteBatch(texts, expired);
+  for (const auto& slot : failed) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kDeadlineExceeded)
+        << slot.status();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission gate
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, GateShedsArrivalsPastTheLimitWithUnavailable) {
+  // Deterministic occupancy: a fault hook *blocks* (without failing)
+  // the first snapshot build, so the query holding the single admission
+  // slot provably sits inside the engine while the probe arrives.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+  };
+  auto gate = std::make_shared<Gate>();
+
+  EngineOptions options;
+  options.max_concurrent_queries = 1;
+  options.admission_wait_budget = std::chrono::microseconds(0);
+  options.fault_hooks.hook = [gate](FaultSite site, const std::string&) {
+    if (site != FaultSite::kSnapshotBuild) return Status::OK();
+    std::unique_lock<std::mutex> lock(gate->mu);
+    if (!gate->entered) {
+      gate->entered = true;
+      gate->cv.notify_all();
+      gate->cv.wait(lock, [&] { return gate->release; });
+    }
+    return Status::OK();
+  };
+  Engine engine(MediumProv(), options);
+  const std::string text = datasets::AncestorsQueryText("Job", 3);
+
+  std::thread occupant([&] {
+    auto result = engine.Execute(text);
+    EXPECT_TRUE(result.ok()) << result.status();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->entered; });
+  }
+
+  auto shed = engine.Execute(text);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(engine.queries_shed(), 1u);
+
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->release = true;
+    gate->cv.notify_all();
+  }
+  occupant.join();
+
+  // Slot released: the same call now succeeds.
+  auto after = engine.Execute(text);
+  EXPECT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(engine.queries_shed(), 1u);
+}
+
+TEST(AdmissionTest, ShedBatchFillsEverySlotAndCountsEveryMember) {
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+  };
+  auto gate = std::make_shared<Gate>();
+
+  EngineOptions options;
+  options.max_concurrent_queries = 1;
+  options.fault_hooks.hook = [gate](FaultSite site, const std::string&) {
+    if (site != FaultSite::kSnapshotBuild) return Status::OK();
+    std::unique_lock<std::mutex> lock(gate->mu);
+    if (!gate->entered) {
+      gate->entered = true;
+      gate->cv.notify_all();
+      gate->cv.wait(lock, [&] { return gate->release; });
+    }
+    return Status::OK();
+  };
+  Engine engine(MediumProv(), options);
+  const std::string text = datasets::AncestorsQueryText("Job", 3);
+
+  std::thread occupant([&] { (void)engine.Execute(text); });
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->entered; });
+  }
+
+  std::vector<std::string> texts(3, text);
+  auto results = engine.ExecuteBatch(texts);
+  ASSERT_EQ(results.size(), texts.size());
+  for (const auto& slot : results) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kUnavailable);
+  }
+  // One rejected batch counts one shed per member.
+  EXPECT_EQ(engine.queries_shed(), texts.size());
+
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->release = true;
+    gate->cv.notify_all();
+  }
+  occupant.join();
+}
+
+// ---------------------------------------------------------------------------
+// WaitForBuilds with a timeout
+// ---------------------------------------------------------------------------
+
+TEST(WaitForBuildsTest, BoundedWaitReportsDeadlineExceededWhileBusy) {
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+  };
+  auto gate = std::make_shared<Gate>();
+
+  EngineOptions options;
+  options.build_hooks.during_build = [gate] {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->release; });
+  };
+  Engine engine(MediumProv(), options);
+
+  ViewDefinition def;
+  def.kind = ViewKind::kKHopConnector;
+  def.k = 2;
+  def.source_type = "Job";
+  def.target_type = "Job";
+  AdvicePlan plan;
+  plan.create.push_back(def);
+  auto report = engine.ApplyAdvice(plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->builds_scheduled, 1u);
+
+  Status bounded = engine.WaitForBuilds(std::chrono::milliseconds(10));
+  EXPECT_EQ(bounded.code(), StatusCode::kDeadlineExceeded) << bounded;
+
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->release = true;
+    gate->cv.notify_all();
+  }
+  // Unblocked: the bounded wait now succeeds and the build published.
+  EXPECT_TRUE(engine.WaitForBuilds(std::chrono::seconds(30)).ok());
+  EXPECT_TRUE(engine.TakeBuildError().ok());
+  EXPECT_EQ(engine.builds_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace kaskade::core

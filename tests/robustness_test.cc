@@ -16,6 +16,7 @@
 #include "query/executor.h"
 #include "query/explain.h"
 #include "query/parser.h"
+#include "workload/spec.h"
 
 namespace kaskade {
 namespace {
@@ -99,6 +100,49 @@ TEST_P(SerializationFuzzTest, MutatedGraphFilesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzzTest, ::testing::Range(0, 5));
+
+class WorkloadSpecFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSpecFuzzTest, MutatedSpecsNeverCrash) {
+  const std::string base =
+      "workload fuzz_target\n"
+      "seed 42\n"
+      "dataset social\n"
+      "phase warm  # comment survives mutation too\n"
+      "  threads 4\n"
+      "  rate 120.5\n"
+      "  ops_per_thread 500\n"
+      "  mix execute=70 execute_batch=10 apply_delta=20\n"
+      "  batch_size 8\n"
+      "  delta_edges 16\n"
+      "  deadline_ms 250\n"
+      "end\n"
+      "phase drain\n"
+      "  threads 2\n"
+      "  rate 0\n"
+      "  duration_ms 1500\n"
+      "  mix execute=95 auto_advise=5\n"
+      "end\n";
+  for (int i = 0; i < 100; ++i) {
+    std::string text = Mutate(base, GetParam() * 4099 + i);
+    auto spec = workload::ParseWorkloadSpec(text);
+    if (spec.ok()) {
+      // A parsed mutant passed validation, so it must round-trip: its
+      // canonical rendering reparses to the same spec.
+      auto again = workload::ParseWorkloadSpec(spec->ToText());
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_EQ(*again, *spec);
+    } else {
+      // Rejections must carry a line number or the missing-header text —
+      // a fuzzed operator typo gets an actionable message, not a crash.
+      EXPECT_NE(spec.status().message().find("workload spec"),
+                std::string::npos)
+          << spec.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSpecFuzzTest, ::testing::Range(0, 5));
 
 // ---------------------------------------------------------------------------
 // Degenerate inputs
