@@ -35,10 +35,12 @@
 /// equal across runs with the same seed (the reproducibility proof).
 ///
 /// Usage: bench_serving [--smoke] [--spec=<path>] [--seed=<n>]
-///                      [--json[=path]]
+///                      [--shards=<k>] [--json[=path]]
 ///   --smoke   seconds-scale 2-phase spec for the CI bench-smoke job
 ///   --spec    run a spec file instead of the built-in one
 ///   --seed    override the spec seed (reproducibility experiments)
+///   --shards  vertex shards for the snapshot/patch pipeline and the
+///             MATCH scatter-gather backends (default 1 = unsharded)
 ///
 /// Exits non-zero on any phase error, op failure, or empty histogram.
 
@@ -160,8 +162,9 @@ end
 /// The recovery phase relies on the engine's own trigger: one advise
 /// round every N recorded executions, with epoch decay so the advice
 /// tracks the current phase's traffic, not the whole run's history.
-EngineOptions ServingEngineOptions() {
+EngineOptions ServingEngineOptions(size_t shards) {
   EngineOptions options;
+  options.shards = shards;
   options.auto_advise_every_n_ops = 2000;
   options.workload_decay = 0.5;
   // Admission gate: every non-overload phase runs <= 4 client threads,
@@ -328,6 +331,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   uint64_t seed_override = 0;
   bool seed_set = false;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -336,6 +340,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed_override = std::strtoull(argv[i] + 7, nullptr, 10);
       seed_set = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::strtoull(argv[i] + 9, nullptr, 10);
+      if (shards == 0) shards = 1;
     }
   }
 
@@ -354,7 +361,8 @@ int main(int argc, char** argv) {
   JsonReport::Record("meta", "seed", double(spec.seed));
   JsonReport::Record("meta", "phases", double(spec.phases.size()));
 
-  Engine engine(std::move(graph), ServingEngineOptions());
+  JsonReport::Record("meta", "shards", double(shards));
+  Engine engine(std::move(graph), ServingEngineOptions(shards));
   GeneratorProfile profile = OrDie(
       GeneratorProfile::ForDataset(spec.dataset, engine.base_graph()),
       "generator profile");
@@ -412,6 +420,23 @@ int main(int argc, char** argv) {
   JsonReport::Record("total", "ops_failed", double(run.total_failed()));
   JsonReport::Record("total", "ops_shed", double(run.total_shed()));
   JsonReport::Record("total", "ops_timed_out", double(run.total_timed_out()));
+  if (shards > 1) {
+    // Sharded-run proof: per-shard snapshot writers actually engaged,
+    // and how much of the patch work the segment store shared vs copied.
+    const auto telemetry = engine.TelemetrySnapshot();
+    uint64_t writer_acqs = 0;
+    for (uint64_t a : telemetry.shard_writer_acquisitions) writer_acqs += a;
+    std::printf("shards: %zu, writer acquisitions %" PRIu64
+                ", segments copied %" PRIu64 " / shared %" PRIu64 "\n",
+                shards, writer_acqs, telemetry.patch_segments_copied,
+                telemetry.patch_segments_shared);
+    JsonReport::Record("sharding", "writer_acquisitions",
+                       double(writer_acqs));
+    JsonReport::Record("sharding", "patch_segments_copied",
+                       double(telemetry.patch_segments_copied));
+    JsonReport::Record("sharding", "patch_segments_shared",
+                       double(telemetry.patch_segments_shared));
+  }
 
   int json_exit = JsonReport::Finish();
   if (failed || run.total_failed() > 0) return 1;

@@ -1,5 +1,6 @@
 #include "core/catalog.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -62,6 +63,9 @@ void ViewCatalog::BumpGeneration() {
 }
 
 bool ViewCatalog::WantsBaseDeltaTrail() const {
+  // The sharded store always consumes footprints: removal ids are how
+  // it finds the segments a batch dirtied.
+  if (store_ != nullptr) return true;
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   auto it = snapshots_.find(kInvalidViewHandle);
   return it != snapshots_.end() && it->second.patchable &&
@@ -74,6 +78,12 @@ void ViewCatalog::NoteBaseDelta(const graph::DeltaFootprintPtr& delta) {
     // base snapshot exists after all, it must not survive with a trail
     // that misses this batch.
     InvalidateSnapshot(kInvalidViewHandle);
+    return;
+  }
+  if (store_ != nullptr) {
+    // Sharded base pipeline: O(|delta|) per-shard dirty marking instead
+    // of the single-slot trail.
+    store_->NoteDelta(delta);
     return;
   }
   if (delta->edge_removals.empty()) {
@@ -95,7 +105,7 @@ void ViewCatalog::NoteBaseDelta(const graph::DeltaFootprintPtr& delta) {
   // (A patchable slot implies patching is enabled — SnapshotOf only
   // publishes patchable slots when it is.)
   const double dirty_budget =
-      patch_options_.max_dirty_fraction *
+      effective_max_dirty_fraction() *
       static_cast<double>(base_->NumVertices());
   if (slot.trail_batches >= kMaxTrailBatches ||
       slot.trail_removals + delta->edge_removals.size() > kMaxTrailRemovals ||
@@ -134,6 +144,11 @@ void ViewCatalog::NoteViewDelta(ViewHandle handle,
 }
 
 void ViewCatalog::InvalidateSnapshot(ViewHandle handle) {
+  if (handle == kInvalidViewHandle && store_ != nullptr) {
+    // Out-of-band base change: every shard rebuilds its segments on
+    // the next refresh.
+    store_->NoteChanged();
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   auto it = snapshots_.find(handle);
   if (it == snapshots_.end()) return;
@@ -517,11 +532,68 @@ std::vector<const CatalogEntry*> ViewCatalog::Entries() const {
   return out;
 }
 
+void ViewCatalog::ObservePatch(const graph::CsrPatchStats& stats) const {
+  patch_segments_copied_.fetch_add(stats.segments_copied,
+                                   std::memory_order_relaxed);
+  patch_segments_shared_.fetch_add(stats.segments_shared,
+                                   std::memory_order_relaxed);
+  patch_bytes_copied_.fetch_add(stats.bytes_copied,
+                                std::memory_order_relaxed);
+  if (!patch_options_.enabled()) return;
+  // Auto-tune the effective dirty-fraction threshold from what patches
+  // actually cost — segments copied, not vertices dirtied. While the
+  // copy-fraction EWMA stays low, patches are cheap even well past the
+  // configured vertex budget (clean segments are refcount shares), so
+  // the threshold climbs; when patches approach copying the whole
+  // segment set they are no cheaper than rebuilds and it falls back
+  // toward the configured floor. The configured value is a floor, not
+  // a setting the tuner can undercut, so tightly-tuned callers only
+  // ever see patching become *more* willing.
+  const double ratio =
+      stats.total_segments > 0
+          ? static_cast<double>(stats.segments_copied) /
+                static_cast<double>(stats.total_segments)
+          : 1.0;
+  std::lock_guard<std::mutex> lock(tune_mu_);
+  copy_ratio_ewma_ = 0.8 * copy_ratio_ewma_ + 0.2 * ratio;
+  const double floor = patch_options_.max_dirty_fraction;
+  if (!stats.full_rebuild && copy_ratio_ewma_ < 0.5) {
+    effective_dirty_fraction_ =
+        std::min(0.95, std::max(effective_dirty_fraction_ * 1.25, floor));
+  } else if (copy_ratio_ewma_ > 0.9) {
+    effective_dirty_fraction_ =
+        std::max(floor, effective_dirty_fraction_ * 0.8);
+  }
+}
+
 std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotOf(
     ViewHandle handle, const graph::PropertyGraph& g) const {
   // The caller excludes concurrent catalog/base mutation (Engine reader
   // discipline), so the generation cannot move during this call.
   const uint64_t gen = generation();
+  if (handle == kInvalidViewHandle && store_ != nullptr) {
+    // Sharded base pipeline: stale shards refresh under their own
+    // writer locks (disjoint shards concurrently), dirty segments
+    // rebuild, clean ones share by refcount. Views keep the
+    // single-slot path below.
+    SegmentStore::Outcome outcome;
+    std::shared_ptr<const graph::CsrGraph> snap =
+        store_->Snapshot(gen, &outcome);
+    switch (outcome) {
+      case SegmentStore::Outcome::kHit:
+        snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SegmentStore::Outcome::kPatch:
+        snapshot_builds_.fetch_add(1, std::memory_order_relaxed);
+        snapshot_patches_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SegmentStore::Outcome::kFullBuild:
+        snapshot_builds_.fetch_add(1, std::memory_order_relaxed);
+        snapshot_full_builds_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return snap;
+  }
   std::shared_ptr<const graph::CsrGraph> prev;
   std::vector<graph::EdgeId> removals;
   bool patch = false;
@@ -587,9 +659,12 @@ std::shared_ptr<const graph::CsrGraph> ViewCatalog::SnapshotOf(
     // through the merged trail (falls back internally past the dirty
     // threshold).
     graph::CsrPatchStats patch_stats;
+    graph::CsrPatchOptions effective = patch_options_;
+    effective.max_dirty_fraction = effective_max_dirty_fraction();
     built = std::make_shared<const graph::CsrGraph>(graph::CsrGraph::PatchedFrom(
-        *prev, g, removals, patch_options_, &patch_stats));
+        *prev, g, removals, effective, &patch_stats));
     patched = !patch_stats.full_rebuild;
+    ObservePatch(patch_stats);
   } else {
     built =
         std::make_shared<const graph::CsrGraph>(graph::CsrGraph::Build(g));

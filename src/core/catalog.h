@@ -45,6 +45,7 @@
 #include "core/fault.h"
 #include "core/maintenance.h"
 #include "core/materializer.h"
+#include "core/segment_store.h"
 #include "core/view_definition.h"
 #include "graph/csr.h"
 #include "graph/delta.h"
@@ -132,10 +133,18 @@ class ViewCatalog {
   /// must outlive the catalog and must not move (maintainers hold
   /// pointers to it). `patch_options` tunes incremental CSR snapshot
   /// production (`max_dirty_fraction = 0` disables patching: every
-  /// snapshot miss is a full rebuild).
+  /// snapshot miss is a full rebuild). `shards >= 2` routes base-graph
+  /// snapshot production through a per-shard `SegmentStore` pipeline
+  /// (see segment_store.h); 1 keeps the single-slot path, byte-identical
+  /// to previous behavior.
   explicit ViewCatalog(const graph::PropertyGraph* base,
-                       graph::CsrPatchOptions patch_options = {})
-      : base_(base), patch_options_(patch_options) {}
+                       graph::CsrPatchOptions patch_options = {},
+                       size_t shards = 1)
+      : base_(base),
+        patch_options_(patch_options),
+        effective_dirty_fraction_(patch_options.max_dirty_fraction),
+        store_(shards >= 2 ? std::make_unique<SegmentStore>(base, shards)
+                           : nullptr) {}
 
   ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
@@ -311,6 +320,57 @@ class ViewCatalog {
     return patch_options_;
   }
 
+  /// \name Segment-level patch telemetry.
+  ///
+  /// Totals over every snapshot production on either path (the
+  /// single-slot `PatchedFrom` path and, when sharded, the
+  /// `SegmentStore` refreshes): immutable CSR segments rebuilt vs
+  /// shared by refcount with the previous generation, and the bytes
+  /// the rebuilt ones cost. `patch_bytes_copied` growing with the
+  /// delta size while `patch_segments_shared` tracks |V|/segment_size
+  /// is the O(delta) patching claim, measurable in production.
+  /// @{
+  uint64_t patch_segments_copied() const {
+    uint64_t v = patch_segments_copied_.load(std::memory_order_relaxed);
+    if (store_ != nullptr) v += store_->segments_copied();
+    return v;
+  }
+  uint64_t patch_segments_shared() const {
+    uint64_t v = patch_segments_shared_.load(std::memory_order_relaxed);
+    if (store_ != nullptr) v += store_->segments_shared();
+    return v;
+  }
+  uint64_t patch_bytes_copied() const {
+    uint64_t v = patch_bytes_copied_.load(std::memory_order_relaxed);
+    if (store_ != nullptr) v += store_->bytes_copied();
+    return v;
+  }
+  /// @}
+
+  /// Configured shard count (1 = unsharded).
+  size_t shards() const { return store_ != nullptr ? store_->shards() : 1; }
+
+  /// Per-shard writer-lock acquisitions (empty when unsharded).
+  std::vector<uint64_t> shard_writer_acquisitions() const {
+    return store_ != nullptr ? store_->writer_acquisitions()
+                             : std::vector<uint64_t>{};
+  }
+
+  /// The dirty-fraction threshold the patch path currently runs with.
+  /// Starts at `patch_options().max_dirty_fraction` (the configured
+  /// floor) and is auto-tuned upward — never below the floor, never
+  /// above 0.95 — from observed patch cost: segments make the cost
+  /// model sharp, so the tuner raises the threshold while patches keep
+  /// copying well under the full segment set (a "dirty" patch is then
+  /// still cheap — dirty segments rebuild through the same
+  /// `BuildSegment` code a full rebuild would run, clean ones are
+  /// free), and backs off toward the floor when patches approach
+  /// full-rebuild cost.
+  double effective_max_dirty_fraction() const {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    return effective_dirty_fraction_;
+  }
+
   /// Installs the fault-injection hook for the sites the catalog owns
   /// (`kSnapshotBuild`, `kMaintainerApply`). The engine wires its
   /// `EngineOptions::fault_hooks` through here at construction; call
@@ -385,6 +445,10 @@ class ViewCatalog {
   /// Quarantine with `mu_` already held exclusively.
   void QuarantineLocked(CatalogEntry* entry, Status reason);
 
+  /// Feeds one `PatchedFrom` outcome into the segment telemetry totals
+  /// and the dirty-fraction auto-tuner.
+  void ObservePatch(const graph::CsrPatchStats& stats) const;
+
   const graph::PropertyGraph* base_;
   graph::CsrPatchOptions patch_options_;
   mutable std::shared_mutex mu_;
@@ -402,6 +466,17 @@ class ViewCatalog {
   mutable std::atomic<size_t> snapshot_patches_{0};
   mutable std::atomic<size_t> snapshot_full_builds_{0};
   mutable std::atomic<size_t> snapshot_build_failures_{0};
+  mutable std::atomic<uint64_t> patch_segments_copied_{0};
+  mutable std::atomic<uint64_t> patch_segments_shared_{0};
+  mutable std::atomic<uint64_t> patch_bytes_copied_{0};
+  /// Auto-tuner state (see `effective_max_dirty_fraction`). Guarded by
+  /// its own mutex: updated on the reader path after each patch.
+  mutable std::mutex tune_mu_;
+  mutable double effective_dirty_fraction_;
+  /// EWMA of the per-patch copied-segment fraction, seeded pessimistic.
+  mutable double copy_ratio_ewma_ = 1.0;
+  /// Per-shard base-snapshot pipeline; null when `shards == 1`.
+  std::unique_ptr<SegmentStore> store_;
   std::atomic<size_t> quarantine_events_{0};
   /// Fault sites owned by the catalog; no-op unless a hook is installed.
   FaultHooks fault_hooks_;

@@ -30,13 +30,43 @@ AdvisorOptions MakeAdvisorOptions(const EngineOptions& options) {
   return advisor;
 }
 
+// Rewritten plans execute against the view's own graph, whose vertex
+// ids are view-local (allocated first-touch during materialization).
+// The engine's contract is that a rewritten plan is equivalent to the
+// raw plan on the base graph, so every vertex-reference cell must be
+// mapped back through the view's lineage before the table is returned.
+// Mapping happens strictly after execution: property reads inside the
+// executor need the view-local ids.
+query::Table MapViewTableToBase(const MaterializedView& view,
+                                query::Table table) {
+  bool any_vertex = false;
+  for (const query::Column& c : table.columns()) any_vertex |= c.is_vertex;
+  if (!any_vertex) return table;
+  query::Table mapped{std::vector<query::Column>(table.columns())};
+  for (const query::Table::Row& row : table.rows()) {
+    query::Table::Row out = row;
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      if (!table.columns()[c].is_vertex || !out[c].is_int()) continue;
+      const auto v = static_cast<size_t>(out[c].as_int());
+      if (v < view.view_to_base.size()) {
+        out[c] = static_cast<int64_t>(view.view_to_base[v]);
+      }
+    }
+    mapped.AddRow(std::move(out));
+  }
+  return mapped;
+}
+
 }  // namespace
 
 Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
     : base_(std::move(base_graph)),
       options_(options),
-      catalog_(&base_, options.snapshot_patch),
+      catalog_(&base_, options.snapshot_patch, options.shards),
       planner_(MakePlannerOptions(options)) {
+  // The MATCH backends shard their seed scatter on the same boundaries
+  // the snapshot pipeline shards on; one knob drives both layers.
+  options_.executor.shards = std::max<size_t>(1, options_.shards);
   next_auto_advise_at_.store(options_.auto_advise_every_n_ops,
                              std::memory_order_relaxed);
   if (options_.fault_hooks.enabled()) {
@@ -216,6 +246,11 @@ EngineTelemetry Engine::TelemetrySnapshot() const {
   t.snapshot_build_failures = catalog_.snapshot_build_failures();
   t.batch_worker_faults =
       batch_worker_faults_.load(std::memory_order_relaxed);
+  t.patch_segments_copied = catalog_.patch_segments_copied();
+  t.patch_segments_shared = catalog_.patch_segments_shared();
+  t.patch_bytes_copied = catalog_.patch_bytes_copied();
+  t.effective_dirty_fraction = catalog_.effective_max_dirty_fraction();
+  t.shard_writer_acquisitions = catalog_.shard_writer_acquisitions();
   return t;
 }
 
@@ -585,6 +620,7 @@ void Engine::ReleaseQuery() {
 Result<ExecutionResult> Engine::RunPlan(
     const Plan& plan, std::chrono::steady_clock::time_point deadline) const {
   const graph::PropertyGraph* target = &base_;
+  const CatalogEntry* entry = nullptr;
   std::shared_ptr<const graph::CsrGraph> snapshot;
   // Only attach the CSR snapshot when the catalog is still at the
   // generation the plan was computed against (always true under the
@@ -595,7 +631,7 @@ Result<ExecutionResult> Engine::RunPlan(
   if (plan.view_name.empty()) {
     if (generation_current) snapshot = catalog_.BaseSnapshot();
   } else {
-    const CatalogEntry* entry = catalog_.Find(plan.view_name);
+    entry = catalog_.Find(plan.view_name);
     // A non-ready entry is as unusable as a missing one: a stale plan
     // must not silently run against a kBuilding placeholder's empty
     // graph.
@@ -619,6 +655,7 @@ Result<ExecutionResult> Engine::RunPlan(
   deadline_checks_.fetch_add(timing.deadline_checks,
                              std::memory_order_relaxed);
   if (!table.ok()) return table.status();
+  if (entry != nullptr) *table = MapViewTableToBase(entry->view, std::move(*table));
   ExecutionResult result;
   result.table = std::move(*table);
   result.used_view = !plan.view_name.empty();
@@ -700,11 +737,12 @@ void Engine::RunFusedGroupLocked(
     return;
   }
   const graph::PropertyGraph* target = &base_;
+  const CatalogEntry* entry = nullptr;
   std::shared_ptr<const graph::CsrGraph> snapshot;
   if (lead.view_name.empty()) {
     snapshot = catalog_.BaseSnapshot();
   } else {
-    const CatalogEntry* entry = catalog_.Find(lead.view_name);
+    entry = catalog_.Find(lead.view_name);
     if (entry == nullptr || entry->state != ViewState::kReady) {
       Status missing = Status::Internal(
           "cached plan references a missing view '" + lead.view_name + "'");
@@ -746,7 +784,9 @@ void Engine::RunFusedGroupLocked(
       continue;
     }
     ExecutionResult result;
-    result.table = std::move(*tables[j]);
+    result.table = entry != nullptr
+                       ? MapViewTableToBase(entry->view, std::move(*tables[j]))
+                       : std::move(*tables[j]);
     result.used_view = !plan.view_name.empty();
     result.view_name = plan.view_name;
     result.executed_query = plan.executed_query;

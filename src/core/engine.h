@@ -123,6 +123,17 @@ struct EngineOptions {
   /// snapshot forward in O(|delta|) instead of rebuilding it in
   /// O(|V| + |E|). `max_dirty_fraction = 0` disables patching.
   graph::CsrPatchOptions snapshot_patch;
+  /// Shard count for the base graph's snapshot pipeline and the MATCH
+  /// scatter-gather layer. Vertices hash-partition across shards on
+  /// immutable-segment boundaries (`graph::ShardOfVertex`); with
+  /// `shards >= 2` each shard owns its own snapshot/patch pipeline and
+  /// writer lock (core/segment_store.h), so concurrent snapshot
+  /// refreshes touching disjoint shards no longer serialize, and the
+  /// CSR MATCH backends scatter seeds across shards and gather results
+  /// byte-identically to the unsharded table (row order included;
+  /// forwarded to `executor.shards`). 1 (default) keeps today's
+  /// single-slot behavior byte-identical.
+  size_t shards = 1;
   /// Worker threads for `ExecuteBatch`; 0 = hardware concurrency.
   size_t batch_workers = 4;
   /// Background view-build workers (started lazily on first
@@ -231,6 +242,24 @@ struct EngineTelemetry {
   /// Batch-pool workers that abandoned a round via an injected fault
   /// (the calling thread drained the remaining tasks itself).
   size_t batch_worker_faults = 0;
+  /// @}
+  /// \name Segmented snapshot patching (immutable-segment CSR).
+  /// @{
+  /// Immutable CSR segments rebuilt across all snapshot productions
+  /// (the cost a patch actually paid) vs shared by refcount with the
+  /// previous generation (the cost it avoided). `patch_bytes_copied`
+  /// tracking the delta size while shared segments track |V| is the
+  /// O(delta) patching claim, observable in production.
+  uint64_t patch_segments_copied = 0;
+  uint64_t patch_segments_shared = 0;
+  uint64_t patch_bytes_copied = 0;
+  /// The dirty-fraction threshold the patch path currently runs with
+  /// (auto-tuned upward from the configured floor; see
+  /// `ViewCatalog::effective_max_dirty_fraction`).
+  double effective_dirty_fraction = 0.0;
+  /// Per-shard snapshot writer-lock acquisitions; empty when
+  /// `EngineOptions::shards == 1`.
+  std::vector<uint64_t> shard_writer_acquisitions;
   /// @}
 };
 

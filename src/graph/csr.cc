@@ -7,115 +7,133 @@
 
 namespace kaskade::graph {
 
-CsrGraph CsrGraph::Build(const PropertyGraph& g) {
-  CsrGraph csr;
+namespace {
+
+template <typename V>
+size_t VectorBytes(const V& v) {
+  return v.size() * sizeof(typename V::value_type);
+}
+
+}  // namespace
+
+size_t CsrSegment::ByteSize() const {
+  return VectorBytes(out_offsets) + VectorBytes(out_targets) +
+         VectorBytes(out_edge_types) + VectorBytes(out_edge_ids) +
+         VectorBytes(in_offsets) + VectorBytes(in_sources) +
+         VectorBytes(in_edge_ids) + VectorBytes(vertex_types) +
+         VectorBytes(out_type_dir_offsets) + VectorBytes(out_type_dirs) +
+         VectorBytes(in_type_dir_offsets) + VectorBytes(in_type_dirs);
+}
+
+CsrSegmentPtr CsrGraph::BuildSegment(const PropertyGraph& g, size_t seg_index) {
+  auto owned = std::make_shared<CsrSegment>();
+  CsrSegment& seg = *owned;
   const size_t n = g.NumVertices();
-  const size_t m = g.NumLiveEdges();
-  csr.edge_id_space_ = static_cast<EdgeId>(g.NumEdges());
-  csr.vertex_types_.resize(n);
-  for (VertexId v = 0; v < n; ++v) csr.vertex_types_[v] = g.VertexType(v);
-
-  // Counting pass. Dead vertices keep (empty) rows so base ids stay
-  // valid as CSR indices; dead edges are dropped.
-  csr.out_offsets_.assign(n + 1, 0);
-  csr.in_offsets_.assign(n + 1, 0);
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    if (!g.IsEdgeLive(e)) continue;
-    const EdgeRecord& rec = g.Edge(e);
-    ++csr.out_offsets_[rec.source + 1];
-    ++csr.in_offsets_[rec.target + 1];
-  }
-  for (size_t v = 0; v < n; ++v) {
-    csr.out_offsets_[v + 1] += csr.out_offsets_[v];
-    csr.in_offsets_[v + 1] += csr.in_offsets_[v];
-  }
-  // Placement pass, in edge-id order (so each vertex slice starts out in
-  // base insertion order).
-  csr.out_targets_.resize(m);
-  csr.out_edge_types_.resize(m);
-  csr.out_edge_ids_.resize(m);
-  csr.in_sources_.resize(m);
-  csr.in_edge_ids_.resize(m);
-  std::vector<EdgeTypeId> in_edge_types(m);  // scratch for in-side grouping
-  std::vector<uint64_t> out_cursor(csr.out_offsets_.begin(),
-                                   csr.out_offsets_.end() - 1);
-  std::vector<uint64_t> in_cursor(csr.in_offsets_.begin(),
-                                  csr.in_offsets_.end() - 1);
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    if (!g.IsEdgeLive(e)) continue;
-    const EdgeRecord& rec = g.Edge(e);
-    uint64_t out_slot = out_cursor[rec.source]++;
-    csr.out_targets_[out_slot] = rec.target;
-    csr.out_edge_types_[out_slot] = rec.type;
-    csr.out_edge_ids_[out_slot] = e;
-    uint64_t in_slot = in_cursor[rec.target]++;
-    csr.in_sources_[in_slot] = rec.source;
-    in_edge_types[in_slot] = rec.type;
-    csr.in_edge_ids_[in_slot] = e;
+  const VertexId first =
+      static_cast<VertexId>(seg_index << kCsrSegmentShift);
+  const uint32_t count = static_cast<uint32_t>(
+      std::min<size_t>(n - first, kCsrSegmentVertices));
+  seg.first_vertex = first;
+  seg.num_vertices = count;
+  seg.vertex_types.resize(count);
+  for (uint32_t l = 0; l < count; ++l) {
+    seg.vertex_types[l] = g.VertexType(first + l);
   }
 
-  // Grouping pass: stably partition each vertex's slice by
-  // (edge type, neighbor id) — grouped by type so a typed expansion is
-  // one contiguous slice, sorted by neighbor within the type so filter
-  // edges (cycle closings) resolve by binary search — and record the
-  // per-vertex type directory. Within (type, neighbor), base insertion
-  // order survives.
-  std::vector<uint32_t> perm;
-  std::vector<VertexId> tmp_vertices;
-  std::vector<EdgeTypeId> tmp_types;
-  std::vector<EdgeId> tmp_ids;
-  auto group_by_type = [&](const std::vector<uint64_t>& offsets,
-                           std::vector<VertexId>& vertices,
-                           std::vector<EdgeTypeId>& types,
-                           std::vector<EdgeId>& edge_ids,
-                           std::vector<uint64_t>& dir_offsets,
-                           std::vector<TypeDirEntry>& dirs) {
-    dir_offsets.assign(n + 1, 0);
-    for (size_t v = 0; v < n; ++v) {
-      const uint64_t begin = offsets[v];
-      const uint64_t end = offsets[v + 1];
-      const size_t deg = static_cast<size_t>(end - begin);
-      bool grouped = true;
-      for (uint64_t i = begin + 1; i < end; ++i) {
-        if (types[i] < types[i - 1] ||
-            (types[i] == types[i - 1] && vertices[i] < vertices[i - 1])) {
-          grouped = false;
+  // One slice entry: the canonical per-vertex order is
+  // (edge type, neighbor, edge id) — grouped by type so a typed
+  // expansion is one contiguous slice, sorted by neighbor within the
+  // type so filter edges (cycle closings) resolve by binary search,
+  // base insertion order surviving within (type, neighbor) because edge
+  // ids are distinct and ascend in insertion order.
+  struct Entry {
+    EdgeTypeId type;
+    VertexId nbr;
+    EdgeId id;
+  };
+  std::vector<Entry> entries;
+  auto build_side = [&](bool out_side, std::vector<uint64_t>& offsets,
+                        std::vector<VertexId>& neighbors,
+                        std::vector<EdgeTypeId>* types,
+                        std::vector<EdgeId>& edge_ids,
+                        std::vector<uint64_t>& dir_offsets,
+                        std::vector<CsrSegment::TypeDirEntry>& dirs) {
+    offsets.assign(count + 1, 0);
+    dir_offsets.assign(count + 1, 0);
+    for (uint32_t l = 0; l < count; ++l) {
+      const VertexId v = first + l;
+      // Live edges only; dead vertices have empty adjacency, so they
+      // keep (empty) rows and base ids stay valid as CSR indices.
+      const std::vector<EdgeId>& ids = out_side ? g.OutEdges(v) : g.InEdges(v);
+      entries.clear();
+      entries.reserve(ids.size());
+      for (EdgeId e : ids) {
+        const EdgeRecord& rec = g.Edge(e);
+        entries.push_back(Entry{rec.type, out_side ? rec.target : rec.source,
+                                e});
+      }
+      bool sorted = true;
+      for (size_t i = 1; i < entries.size(); ++i) {
+        if (std::tie(entries[i].type, entries[i].nbr, entries[i].id) <
+            std::tie(entries[i - 1].type, entries[i - 1].nbr,
+                     entries[i - 1].id)) {
+          sorted = false;
           break;
         }
       }
-      if (!grouped) {
-        perm.resize(deg);
-        for (size_t i = 0; i < deg; ++i) perm[i] = static_cast<uint32_t>(i);
-        std::stable_sort(perm.begin(), perm.end(),
-                         [&](uint32_t a, uint32_t b) {
-                           if (types[begin + a] != types[begin + b]) {
-                             return types[begin + a] < types[begin + b];
-                           }
-                           return vertices[begin + a] < vertices[begin + b];
-                         });
-        tmp_vertices.assign(vertices.begin() + begin, vertices.begin() + end);
-        tmp_types.assign(types.begin() + begin, types.begin() + end);
-        tmp_ids.assign(edge_ids.begin() + begin, edge_ids.begin() + end);
-        for (size_t i = 0; i < deg; ++i) {
-          vertices[begin + i] = tmp_vertices[perm[i]];
-          types[begin + i] = tmp_types[perm[i]];
-          edge_ids[begin + i] = tmp_ids[perm[i]];
-        }
+      if (!sorted) {
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry& a, const Entry& b) {
+                    return std::tie(a.type, a.nbr, a.id) <
+                           std::tie(b.type, b.nbr, b.id);
+                  });
       }
-      for (uint64_t i = begin; i < end; ++i) {
-        if (i == begin || types[i] != types[i - 1]) {
-          dirs.push_back(TypeDirEntry{types[i], i});
-          ++dir_offsets[v + 1];
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry& ent = entries[i];
+        if (i == 0 || ent.type != entries[i - 1].type) {
+          dirs.push_back(CsrSegment::TypeDirEntry{
+              ent.type, static_cast<uint64_t>(neighbors.size())});
+          ++dir_offsets[l + 1];
         }
+        neighbors.push_back(ent.nbr);
+        if (types != nullptr) types->push_back(ent.type);
+        edge_ids.push_back(ent.id);
       }
+      offsets[l + 1] = neighbors.size();
     }
-    for (size_t v = 0; v < n; ++v) dir_offsets[v + 1] += dir_offsets[v];
+    for (uint32_t l = 0; l < count; ++l) dir_offsets[l + 1] += dir_offsets[l];
   };
-  group_by_type(csr.out_offsets_, csr.out_targets_, csr.out_edge_types_,
-                csr.out_edge_ids_, csr.out_type_dir_offsets_,
-                csr.out_type_dirs_);
-  group_by_type(csr.in_offsets_, csr.in_sources_, in_edge_types,
-                csr.in_edge_ids_, csr.in_type_dir_offsets_, csr.in_type_dirs_);
+  build_side(/*out_side=*/true, seg.out_offsets, seg.out_targets,
+             &seg.out_edge_types, seg.out_edge_ids, seg.out_type_dir_offsets,
+             seg.out_type_dirs);
+  build_side(/*out_side=*/false, seg.in_offsets, seg.in_sources, nullptr,
+             seg.in_edge_ids, seg.in_type_dir_offsets, seg.in_type_dirs);
+  return owned;
+}
+
+CsrGraph CsrGraph::Build(const PropertyGraph& g) {
+  CsrGraph csr;
+  const size_t n = g.NumVertices();
+  csr.num_vertices_ = n;
+  csr.edge_id_space_ = static_cast<EdgeId>(g.NumEdges());
+  const size_t num_segs = CsrSegmentCount(n);
+  csr.segments_.reserve(num_segs);
+  for (size_t s = 0; s < num_segs; ++s) {
+    csr.segments_.push_back(BuildSegment(g, s));
+    csr.num_edges_ += csr.segments_.back()->out_targets.size();
+  }
+  return csr;
+}
+
+CsrGraph CsrGraph::FromSegments(std::vector<CsrSegmentPtr> segments,
+                                size_t num_vertices, EdgeId edge_id_space) {
+  CsrGraph csr;
+  csr.segments_ = std::move(segments);
+  csr.num_vertices_ = num_vertices;
+  csr.edge_id_space_ = edge_id_space;
+  for (const CsrSegmentPtr& s : csr.segments_) {
+    csr.num_edges_ += s->out_targets.size();
+  }
   return csr;
 }
 
@@ -129,235 +147,81 @@ CsrGraph CsrGraph::PatchedFrom(const CsrGraph& prev, const PropertyGraph& g,
   const size_t n_prev = prev.NumVertices();
   const size_t n = g.NumVertices();
   const EdgeId first_new = prev.edge_id_space_;
+  const size_t num_segs = CsrSegmentCount(n);
 
-  // Dirty pass: a vertex's out-slice must be re-derived when an edge
-  // left or entered it since `prev` (in-slices symmetric). Vertices
-  // appended since `prev` are built fresh regardless, so they need no
-  // mark. Tombstoned records stay readable, which is all this needs —
-  // an edge inserted *and* removed within the window (id >= first_new,
-  // now dead) never reached `prev` and is simply absent from the
-  // re-derived slices.
-  std::vector<uint8_t> dirty(n_prev, 0);  // bit 1: out side, bit 2: in side
+  auto full_rebuild = [&]() {
+    stats.full_rebuild = true;
+    CsrGraph built = Build(g);
+    stats.total_segments = built.num_segments();
+    stats.segments_copied = built.num_segments();
+    for (const CsrSegmentPtr& s : built.segments_) {
+      stats.bytes_copied += s->ByteSize();
+    }
+    return built;
+  };
+
+  // Dirty pass: a vertex's slice must be re-derived (and therefore its
+  // whole segment rebuilt) when an edge left or entered it since
+  // `prev`. Vertices appended since `prev` live in segments at or past
+  // the old tail, which rebuild regardless. Tombstoned records stay
+  // readable, which is all this needs — an edge inserted *and* removed
+  // within the window (id >= first_new, now dead) never reached `prev`
+  // and is simply absent from the re-derived segments.
+  std::vector<uint8_t> dirty(n_prev, 0);
+  std::vector<uint8_t> seg_dirty(num_segs, 0);
   size_t dirty_old = 0;
-  auto mark = [&](VertexId v, uint8_t bit) {
-    if (static_cast<size_t>(v) >= n_prev) return;
-    if (dirty[v] == 0) ++dirty_old;
-    dirty[v] |= bit;
+  auto mark = [&](VertexId v) {
+    if (static_cast<size_t>(v) < n_prev && dirty[v] == 0) {
+      dirty[v] = 1;
+      ++dirty_old;
+    }
+    const size_t s = CsrSegmentOf(v);
+    if (s < num_segs) seg_dirty[s] = 1;
   };
   for (EdgeId e : removed_edges) {
     if (e >= first_new) continue;  // never made it into `prev`
     const EdgeRecord& rec = g.Edge(e);
-    mark(rec.source, 1);
-    mark(rec.target, 2);
+    mark(rec.source);
+    mark(rec.target);
   }
   for (EdgeId e = first_new; e < static_cast<EdgeId>(g.NumEdges()); ++e) {
     const EdgeRecord& rec = g.Edge(e);
-    mark(rec.source, 1);
-    mark(rec.target, 2);
+    mark(rec.source);
+    mark(rec.target);
   }
   stats.dirty_vertices = dirty_old + (n - n_prev);
-  if (n == 0 || static_cast<double>(stats.dirty_vertices) >
-                    options.max_dirty_fraction * static_cast<double>(n)) {
-    stats.full_rebuild = true;
-    return Build(g);
+  // The fallback guard stays on the *vertex* dirty fraction — the
+  // long-standing contract callers tune — while the segment counts
+  // below report what a patch actually cost so the catalog's auto-tuner
+  // can move the effective threshold from observed behavior.
+  if (n == 0 || n < n_prev ||
+      static_cast<double>(stats.dirty_vertices) >
+          options.max_dirty_fraction * static_cast<double>(n)) {
+    return full_rebuild();
+  }
+  // The segment straddling the old vertex-count boundary changes shape
+  // when vertices were appended; segments wholly past it are new.
+  if (n != n_prev && (n_prev >> kCsrSegmentShift) < num_segs) {
+    seg_dirty[n_prev >> kCsrSegmentShift] = 1;
   }
 
   CsrGraph csr;
+  csr.num_vertices_ = n;
   csr.edge_id_space_ = static_cast<EdgeId>(g.NumEdges());
-  csr.vertex_types_.resize(n);
-  std::copy(prev.vertex_types_.begin(), prev.vertex_types_.end(),
-            csr.vertex_types_.begin());
-  for (size_t v = n_prev; v < n; ++v) {
-    csr.vertex_types_[v] = g.VertexType(static_cast<VertexId>(v));
-  }
-
-  // Edges appended since `prev`, grouped per endpoint and pre-sorted in
-  // each dirty vertex's slice order. Gathered only after the threshold
-  // check so the fallback path never pays for it.
-  struct InsertedEdge {
-    VertexId v;        ///< Slice owner (source for out, target for in).
-    EdgeTypeId type;
-    VertexId nbr;
-    EdgeId id;
-  };
-  std::vector<InsertedEdge> out_inserts;
-  std::vector<InsertedEdge> in_inserts;
-  for (EdgeId e = first_new; e < static_cast<EdgeId>(g.NumEdges()); ++e) {
-    if (!g.IsEdgeLive(e)) continue;
-    const EdgeRecord& rec = g.Edge(e);
-    out_inserts.push_back(InsertedEdge{rec.source, rec.type, rec.target, e});
-    in_inserts.push_back(InsertedEdge{rec.target, rec.type, rec.source, e});
-  }
-  auto slice_order = [](const InsertedEdge& a, const InsertedEdge& b) {
-    if (a.v != b.v) return a.v < b.v;
-    if (a.type != b.type) return a.type < b.type;
-    if (a.nbr != b.nbr) return a.nbr < b.nbr;
-    return a.id < b.id;
-  };
-  std::sort(out_inserts.begin(), out_inserts.end(), slice_order);
-  std::sort(in_inserts.begin(), in_inserts.end(), slice_order);
-
-  // One side (out or in) of the patched snapshot. Clean vertices are
-  // block-copied from `prev` in maximal runs (their slices shift by a
-  // per-run constant, so type-directory entries rebase with one add).
-  // Dirty and appended vertices *merge* their slice in linear time: the
-  // previous slice is already in (type, neighbor, edge id) order — walk
-  // it dropping entries whose edge died (exactly the recorded removals)
-  // while interleaving the window's pre-sorted insertions; no per-slice
-  // sort, so even a hub's slice costs O(degree). Every inserted edge id
-  // exceeds every previous id, so ties within (type, neighbor) keep
-  // base insertion order — the order `Build`'s stable grouping pass
-  // produces.
-  auto patch_side = [&](uint8_t bit, bool out_side,
-                        const std::vector<InsertedEdge>& inserts,
-                        const std::vector<uint64_t>& prev_offsets,
-                        const std::vector<VertexId>& prev_neighbors,
-                        const std::vector<EdgeTypeId>* prev_types,
-                        const std::vector<EdgeId>& prev_edge_ids,
-                        const std::vector<uint64_t>& prev_dir_offsets,
-                        const std::vector<TypeDirEntry>& prev_dirs,
-                        std::vector<uint64_t>& offsets,
-                        std::vector<VertexId>& neighbors,
-                        std::vector<EdgeTypeId>* types,
-                        std::vector<EdgeId>& edge_ids,
-                        std::vector<uint64_t>& dir_offsets,
-                        std::vector<TypeDirEntry>& dirs) {
-    auto fresh = [&](size_t v) {
-      return v >= n_prev || (dirty[v] & bit) != 0;
-    };
-    auto adjacency = [&](size_t v) -> const std::vector<EdgeId>& {
-      return out_side ? g.OutEdges(static_cast<VertexId>(v))
-                      : g.InEdges(static_cast<VertexId>(v));
-    };
-    offsets.assign(n + 1, 0);
-    for (size_t v = 0; v < n; ++v) {
-      offsets[v + 1] =
-          offsets[v] + (fresh(v) ? adjacency(v).size()
-                                 : prev_offsets[v + 1] - prev_offsets[v]);
+  csr.segments_.reserve(num_segs);
+  stats.total_segments = num_segs;
+  for (size_t s = 0; s < num_segs; ++s) {
+    if (s < prev.segments_.size() && seg_dirty[s] == 0) {
+      // Clean: share the previous generation's segment by refcount.
+      csr.segments_.push_back(prev.segments_[s]);
+      ++stats.segments_shared;
+    } else {
+      csr.segments_.push_back(BuildSegment(g, s));
+      ++stats.segments_copied;
+      stats.bytes_copied += csr.segments_.back()->ByteSize();
     }
-    const size_t m = offsets[n];
-    neighbors.resize(m);
-    edge_ids.resize(m);
-    if (types != nullptr) types->resize(m);
-    dir_offsets.assign(n + 1, 0);
-    dirs.clear();
-    dirs.reserve(prev_dirs.size() + 8);
-
-    size_t ins = 0;  // cursor into `inserts` (sorted by owner vertex)
-    size_t v = 0;
-    while (v < n) {
-      if (!fresh(v)) {
-        size_t run_end = v;
-        while (run_end < n && !fresh(run_end)) ++run_end;
-        const uint64_t src_begin = prev_offsets[v];
-        const uint64_t src_end = prev_offsets[run_end];
-        const uint64_t dst = offsets[v];
-        std::copy(prev_neighbors.begin() + src_begin,
-                  prev_neighbors.begin() + src_end, neighbors.begin() + dst);
-        std::copy(prev_edge_ids.begin() + src_begin,
-                  prev_edge_ids.begin() + src_end, edge_ids.begin() + dst);
-        if (types != nullptr) {
-          std::copy(prev_types->begin() + src_begin,
-                    prev_types->begin() + src_end, types->begin() + dst);
-        }
-        const uint64_t shift = dst - src_begin;  // may wrap; adds back exactly
-        for (size_t w = v; w < run_end; ++w) {
-          const uint64_t d0 = prev_dir_offsets[w];
-          const uint64_t d1 = prev_dir_offsets[w + 1];
-          for (uint64_t d = d0; d < d1; ++d) {
-            dirs.push_back(
-                TypeDirEntry{prev_dirs[d].type, prev_dirs[d].begin + shift});
-          }
-          dir_offsets[w + 1] = d1 - d0;
-        }
-        v = run_end;
-        continue;
-      }
-      // Merge: surviving previous entries x this vertex's insertions.
-      uint64_t d = 0, dend = 0, p = 0, pend = 0;
-      if (v < n_prev) {
-        d = prev_dir_offsets[v];
-        dend = prev_dir_offsets[v + 1];
-        p = prev_offsets[v];
-        pend = prev_offsets[v + 1];
-      }
-      // Next surviving previous entry (type from the directory segment
-      // containing it), or false when the previous slice is exhausted.
-      EdgeTypeId ptype = kInvalidTypeId;
-      VertexId pnbr = 0;
-      EdgeId pid = 0;
-      auto prev_next_live = [&]() {
-        while (p < pend) {
-          EdgeId id = prev_edge_ids[p];
-          if (!g.IsEdgeLive(id)) {
-            ++p;
-            continue;
-          }
-          while (d + 1 < dend && p >= prev_dirs[d + 1].begin) ++d;
-          ptype = prev_dirs[d].type;
-          pnbr = prev_neighbors[p];
-          pid = id;
-          return true;
-        }
-        return false;
-      };
-      while (ins < inserts.size() &&
-             inserts[ins].v < static_cast<VertexId>(v)) {
-        ++ins;  // owners below v were consumed when v was processed
-      }
-      uint64_t w = offsets[v];
-      uint64_t ndirs = 0;
-      EdgeTypeId last_type = kInvalidTypeId;
-      bool first_entry = true;
-      auto emit = [&](EdgeTypeId type, VertexId nbr, EdgeId id) {
-        neighbors[w] = nbr;
-        edge_ids[w] = id;
-        if (types != nullptr) (*types)[w] = type;
-        if (first_entry || type != last_type) {
-          dirs.push_back(TypeDirEntry{type, w});
-          ++ndirs;
-          first_entry = false;
-          last_type = type;
-        }
-        ++w;
-      };
-      bool have_prev = prev_next_live();
-      while (have_prev || (ins < inserts.size() &&
-                           inserts[ins].v == static_cast<VertexId>(v))) {
-        const bool have_ins = ins < inserts.size() &&
-                              inserts[ins].v == static_cast<VertexId>(v);
-        bool take_prev = have_prev;
-        if (have_prev && have_ins) {
-          const InsertedEdge& cand = inserts[ins];
-          take_prev = std::tie(ptype, pnbr, pid) <
-                      std::tie(cand.type, cand.nbr, cand.id);
-        }
-        if (take_prev) {
-          emit(ptype, pnbr, pid);
-          ++p;
-          have_prev = prev_next_live();
-        } else {
-          emit(inserts[ins].type, inserts[ins].nbr, inserts[ins].id);
-          ++ins;
-        }
-      }
-      dir_offsets[v + 1] = ndirs;
-      ++v;
-    }
-    for (size_t w = 0; w < n; ++w) dir_offsets[w + 1] += dir_offsets[w];
-  };
-
-  patch_side(1, /*out_side=*/true, out_inserts, prev.out_offsets_,
-             prev.out_targets_, &prev.out_edge_types_, prev.out_edge_ids_,
-             prev.out_type_dir_offsets_, prev.out_type_dirs_,
-             csr.out_offsets_, csr.out_targets_, &csr.out_edge_types_,
-             csr.out_edge_ids_, csr.out_type_dir_offsets_,
-             csr.out_type_dirs_);
-  patch_side(2, /*out_side=*/false, in_inserts, prev.in_offsets_,
-             prev.in_sources_, nullptr, prev.in_edge_ids_,
-             prev.in_type_dir_offsets_, prev.in_type_dirs_, csr.in_offsets_,
-             csr.in_sources_, nullptr, csr.in_edge_ids_,
-             csr.in_type_dir_offsets_, csr.in_type_dirs_);
+    csr.num_edges_ += csr.segments_.back()->out_targets.size();
+  }
   return csr;
 }
 

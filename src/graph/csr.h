@@ -1,5 +1,6 @@
 /// \file csr.h
-/// \brief Immutable compressed-sparse-row snapshot of a property graph.
+/// \brief Immutable compressed-sparse-row snapshot of a property graph,
+/// stored as fixed-size immutable segments shared between generations.
 ///
 /// `PropertyGraph` optimizes for append-only mutation (per-vertex edge-id
 /// vectors); traversal-heavy analytics want contiguous neighbor arrays.
@@ -18,17 +19,57 @@
 ///
 /// Dead (tombstoned) vertices keep empty rows so base ids stay valid as
 /// CSR indices; dead edges are dropped at build time.
+///
+/// **Segmented storage.** The vertex id space is cut into fixed-size
+/// ranges of `kCsrSegmentVertices` ids; each range's slices, lineage and
+/// type directories live in one immutable `CsrSegment` held by
+/// `shared_ptr`. `PatchedFrom` rebuilds only the segments containing
+/// vertices incident to the delta and *shares* every clean segment with
+/// the previous generation by refcount — patch cost is O(dirty
+/// segments), independent of |E|, where the former monolithic layout
+/// memcpy'd ~|E| bytes of clean runs per patch. Both `Build` and
+/// `PatchedFrom` produce each segment through the same `BuildSegment`
+/// routine, so a patched snapshot is bit-identical to a fresh build by
+/// construction. The segment boundaries double as the engine's shard
+/// boundaries (`ShardOfVertex`).
 
 #ifndef KASKADE_GRAPH_CSR_H_
 #define KASKADE_GRAPH_CSR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/delta.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::graph {
+
+/// Log2 of the segment width: each `CsrSegment` covers
+/// `kCsrSegmentVertices` consecutive vertex ids. Power of two so the
+/// hot-path accessors are a shift and a mask.
+inline constexpr uint32_t kCsrSegmentShift = 10;
+inline constexpr uint32_t kCsrSegmentVertices = 1u << kCsrSegmentShift;
+inline constexpr uint32_t kCsrSegmentMask = kCsrSegmentVertices - 1;
+
+/// Segment index of the segment containing vertex `v`.
+inline size_t CsrSegmentOf(VertexId v) { return v >> kCsrSegmentShift; }
+
+/// Number of segments covering a vertex id space of size `n`.
+inline size_t CsrSegmentCount(size_t n) {
+  return (n + kCsrSegmentVertices - 1) >> kCsrSegmentShift;
+}
+
+/// \brief Shard router: vertices map to shards by segment, so one
+/// segment (and everything a patch rebuilds) lives in exactly one
+/// shard. Used by the engine's per-shard snapshot pipelines and the
+/// MATCH scatter-gather layer; `shards == 1` maps everything to 0.
+inline uint32_t ShardOfVertex(VertexId v, size_t shards) {
+  return static_cast<uint32_t>(CsrSegmentOf(v) % shards);
+}
+inline uint32_t ShardOfSegment(size_t segment, size_t shards) {
+  return static_cast<uint32_t>(segment % shards);
+}
 
 /// \brief Tuning for incremental snapshot patching (`CsrGraph::PatchedFrom`).
 struct CsrPatchOptions {
@@ -37,6 +78,8 @@ struct CsrPatchOptions {
   /// the cost of a full rebuild (which also has better locality), so
   /// `PatchedFrom` falls back to `Build`. Set to 0 to disable patching
   /// entirely (every snapshot is a full rebuild — the PR-3 behavior).
+  /// The catalog can auto-tune its effective value at runtime from the
+  /// observed segments-copied telemetry (`ViewCatalog`).
   double max_dirty_fraction = 0.20;
 
   bool enabled() const { return max_dirty_fraction > 0.0; }
@@ -47,6 +90,18 @@ struct CsrPatchStats {
   /// Pre-existing vertices whose out- or in-slice had to be re-derived,
   /// plus vertices appended since the previous snapshot.
   size_t dirty_vertices = 0;
+  /// Segments re-derived from the graph (they contained dirty or
+  /// appended vertices). On the full-rebuild path this counts every
+  /// segment — a rebuild copies everything.
+  size_t segments_copied = 0;
+  /// Segments shared with the previous snapshot by refcount (zero bytes
+  /// copied for them).
+  size_t segments_shared = 0;
+  /// Total segments in the produced snapshot.
+  size_t total_segments = 0;
+  /// Heap bytes of the re-derived segments (the actual copy cost of the
+  /// patch; shared segments contribute nothing).
+  size_t bytes_copied = 0;
   /// True when the dirty fraction exceeded the threshold and the result
   /// came from a full `Build` instead of the patch path.
   bool full_rebuild = false;
@@ -75,30 +130,82 @@ struct EdgeSpan {
   EdgeId edge_id(size_t i) const { return edge_ids[i]; }
 };
 
+/// \brief One immutable segment: the CSR rows of vertices
+/// `[first_vertex, first_vertex + num_vertices)`. All offsets are local
+/// to the segment's own arrays. Built once, never mutated afterwards —
+/// generations share clean segments by `shared_ptr`.
+struct CsrSegment {
+  /// One entry of a vertex's type directory: edges of `type` occupy
+  /// [begin, next entry's begin or the vertex's slice end).
+  struct TypeDirEntry {
+    EdgeTypeId type;
+    uint64_t begin;  ///< Index into this segment's neighbor arrays.
+  };
+
+  VertexId first_vertex = 0;
+  uint32_t num_vertices = 0;  ///< ≤ kCsrSegmentVertices (tail may be short).
+
+  std::vector<uint64_t> out_offsets;  // num_vertices + 1
+  std::vector<VertexId> out_targets;  // grouped by edge type per vertex
+  std::vector<EdgeTypeId> out_edge_types;
+  std::vector<EdgeId> out_edge_ids;  // base-graph lineage, parallel
+  std::vector<uint64_t> in_offsets;
+  std::vector<VertexId> in_sources;
+  std::vector<EdgeId> in_edge_ids;
+  std::vector<VertexTypeId> vertex_types;  // num_vertices
+  /// Per-vertex type directories (CSR-of-CSR): local vertex l's
+  /// directory is `*_type_dirs[*_type_dir_offsets[l] ..
+  /// *_type_dir_offsets[l+1])`, one entry per distinct incident type.
+  std::vector<uint64_t> out_type_dir_offsets;  // num_vertices + 1
+  std::vector<TypeDirEntry> out_type_dirs;
+  std::vector<uint64_t> in_type_dir_offsets;
+  std::vector<TypeDirEntry> in_type_dirs;
+
+  /// Heap bytes held by this segment's arrays (copy-cost telemetry).
+  size_t ByteSize() const;
+};
+
+using CsrSegmentPtr = std::shared_ptr<const CsrSegment>;
+
 /// \brief CSR topology snapshot (out- and in-adjacency), vertex ids
-/// shared with the source graph, neighbors grouped by edge type.
+/// shared with the source graph, neighbors grouped by edge type,
+/// storage segmented and structurally shared between generations.
 class CsrGraph {
  public:
   /// Freezes the topology of `g`. O(|V| + |E|).
   static CsrGraph Build(const PropertyGraph& g);
 
+  /// Builds the single segment `seg` (vertex ids
+  /// `[seg << kCsrSegmentShift, ...)`) from `g`'s current adjacency.
+  /// `Build` and `PatchedFrom` both produce segments through this
+  /// routine, so patched snapshots equal fresh builds bit-for-bit; the
+  /// per-shard segment store uses it to rebuild exactly the segments a
+  /// shard dirtied.
+  static CsrSegmentPtr BuildSegment(const PropertyGraph& g, size_t seg);
+
+  /// Assembles a snapshot from already-built segments (the per-shard
+  /// segment store's publish path). `segments[i]` must cover vertex ids
+  /// `[i << kCsrSegmentShift, ...)` of a graph with `num_vertices`
+  /// vertices and edge id space `edge_id_space`.
+  static CsrGraph FromSegments(std::vector<CsrSegmentPtr> segments,
+                               size_t num_vertices, EdgeId edge_id_space);
+
   /// Derives the snapshot of `g` from `prev`, a snapshot of an earlier
-  /// state of the same graph, re-deriving only the slices of vertices
-  /// incident to what changed (the *dirty set*): `removed_edges` must
-  /// list exactly the edge ids tombstoned in `g` since `prev` was built
+  /// state of the same graph, rebuilding only the *segments* containing
+  /// vertices incident to what changed: `removed_edges` must list
+  /// exactly the edge ids tombstoned in `g` since `prev` was built
   /// (their records stay readable), and every edge id appended since is
   /// discovered from the id space (`prev.edge_id_space()` up to
-  /// `g.NumEdges()`), so insertions need no explicit list. Untouched
-  /// vertices' neighbor slices, lineage arrays, and type directories are
-  /// block-copied from `prev`; dirty vertices are re-derived from `g`'s
-  /// adjacency, preserving the type-partitioned, sorted-by-neighbor
-  /// invariants `Build` guarantees — the result is indistinguishable
-  /// from `Build(g)`. O(|V| + |delta| + sum of dirty degrees) instead of
-  /// O(|V| + |E| log deg).
+  /// `g.NumEdges()`), so insertions need no explicit list. Clean
+  /// segments are shared with `prev` by refcount (zero copy); dirty
+  /// segments are re-derived from `g`'s adjacency via `BuildSegment`,
+  /// so the result is indistinguishable from `Build(g)`. Copy cost is
+  /// O(dirty segments), independent of |E|.
   ///
-  /// Falls back to `Build(g)` automatically when the dirty fraction
-  /// exceeds `options.max_dirty_fraction` (reported via
-  /// `stats->full_rebuild`).
+  /// Falls back to `Build(g)` automatically when the dirty *vertex*
+  /// fraction exceeds `options.max_dirty_fraction` (reported via
+  /// `stats->full_rebuild`); the segment-level copy/share counts in
+  /// `stats` let callers tune that threshold from observed behavior.
   static CsrGraph PatchedFrom(const CsrGraph& prev, const PropertyGraph& g,
                               const std::vector<EdgeId>& removed_edges,
                               const CsrPatchOptions& options = {},
@@ -113,8 +220,8 @@ class CsrGraph {
     return PatchedFrom(prev, g, delta.edge_removals, options, stats);
   }
 
-  size_t NumVertices() const { return vertex_types_.size(); }
-  size_t NumEdges() const { return out_targets_.size(); }
+  size_t NumVertices() const { return num_vertices_; }
+  size_t NumEdges() const { return num_edges_; }
 
   /// The source graph's edge *id space* (`PropertyGraph::NumEdges()`,
   /// dead ids included) when this snapshot was taken. Edge ids at or
@@ -124,26 +231,39 @@ class CsrGraph {
   /// the live count unchanged.
   EdgeId edge_id_space() const { return edge_id_space_; }
 
+  /// Segment store introspection (sharing tests, the per-shard store,
+  /// and copy-cost accounting).
+  size_t num_segments() const { return segments_.size(); }
+  const CsrSegmentPtr& segment(size_t i) const { return segments_[i]; }
+
   NeighborSpan OutNeighbors(VertexId v) const {
-    return {out_targets_.data() + out_offsets_[v],
-            out_offsets_[v + 1] - out_offsets_[v]};
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return {s.out_targets.data() + s.out_offsets[l],
+            s.out_offsets[l + 1] - s.out_offsets[l]};
   }
   NeighborSpan InNeighbors(VertexId v) const {
-    return {in_sources_.data() + in_offsets_[v],
-            in_offsets_[v + 1] - in_offsets_[v]};
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return {s.in_sources.data() + s.in_offsets[l],
+            s.in_offsets[l + 1] - s.in_offsets[l]};
   }
 
   /// Full out-slice of `v` with edge-id lineage (all edge types,
   /// grouped by type).
   EdgeSpan OutEdges(VertexId v) const {
-    return {out_targets_.data() + out_offsets_[v],
-            out_edge_ids_.data() + out_offsets_[v],
-            out_offsets_[v + 1] - out_offsets_[v]};
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return {s.out_targets.data() + s.out_offsets[l],
+            s.out_edge_ids.data() + s.out_offsets[l],
+            s.out_offsets[l + 1] - s.out_offsets[l]};
   }
   EdgeSpan InEdges(VertexId v) const {
-    return {in_sources_.data() + in_offsets_[v],
-            in_edge_ids_.data() + in_offsets_[v],
-            in_offsets_[v + 1] - in_offsets_[v]};
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return {s.in_sources.data() + s.in_offsets[l],
+            s.in_edge_ids.data() + s.in_offsets[l],
+            s.in_offsets[l + 1] - s.in_offsets[l]};
   }
 
   /// Out-edges of `v` with edge type `type`, as one contiguous slice
@@ -152,74 +272,70 @@ class CsrGraph {
   /// slice (type-grouped, sorted within each type group).
   EdgeSpan TypedOutEdges(VertexId v, EdgeTypeId type) const {
     if (type == kInvalidTypeId) return OutEdges(v);
-    return TypedSlice(out_type_dir_offsets_, out_type_dirs_, out_offsets_,
-                      out_targets_, out_edge_ids_, v, type);
+    const CsrSegment& s = Seg(v);
+    return TypedSlice(s.out_type_dir_offsets, s.out_type_dirs, s.out_offsets,
+                      s.out_targets, s.out_edge_ids, v & kCsrSegmentMask,
+                      type);
   }
   EdgeSpan TypedInEdges(VertexId v, EdgeTypeId type) const {
     if (type == kInvalidTypeId) return InEdges(v);
-    return TypedSlice(in_type_dir_offsets_, in_type_dirs_, in_offsets_,
-                      in_sources_, in_edge_ids_, v, type);
+    const CsrSegment& s = Seg(v);
+    return TypedSlice(s.in_type_dir_offsets, s.in_type_dirs, s.in_offsets,
+                      s.in_sources, s.in_edge_ids, v & kCsrSegmentMask, type);
   }
 
   size_t OutDegree(VertexId v) const {
-    return out_offsets_[v + 1] - out_offsets_[v];
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return s.out_offsets[l + 1] - s.out_offsets[l];
   }
   size_t InDegree(VertexId v) const {
-    return in_offsets_[v + 1] - in_offsets_[v];
+    const CsrSegment& s = Seg(v);
+    const uint32_t l = v & kCsrSegmentMask;
+    return s.in_offsets[l + 1] - s.in_offsets[l];
   }
 
-  VertexTypeId VertexType(VertexId v) const { return vertex_types_[v]; }
+  VertexTypeId VertexType(VertexId v) const {
+    return Seg(v).vertex_types[v & kCsrSegmentMask];
+  }
 
   /// Edge type of the i-th out-edge of v (parallel to OutNeighbors).
   EdgeTypeId OutEdgeType(VertexId v, size_t i) const {
-    return out_edge_types_[out_offsets_[v] + i];
+    const CsrSegment& s = Seg(v);
+    return s.out_edge_types[s.out_offsets[v & kCsrSegmentMask] + i];
   }
 
   /// Base-graph edge id of the i-th out-edge of v (parallel to
   /// OutNeighbors).
   EdgeId OutEdgeId(VertexId v, size_t i) const {
-    return out_edge_ids_[out_offsets_[v] + i];
+    const CsrSegment& s = Seg(v);
+    return s.out_edge_ids[s.out_offsets[v & kCsrSegmentMask] + i];
   }
 
  private:
-  /// One entry of a vertex's type directory: edges of `type` occupy
-  /// [begin, next entry's begin or the vertex's slice end).
-  struct TypeDirEntry {
-    EdgeTypeId type;
-    uint64_t begin;  ///< Absolute index into the neighbor arrays.
-  };
+  const CsrSegment& Seg(VertexId v) const {
+    return *segments_[v >> kCsrSegmentShift];
+  }
 
   static EdgeSpan TypedSlice(const std::vector<uint64_t>& dir_offsets,
-                             const std::vector<TypeDirEntry>& dirs,
+                             const std::vector<CsrSegment::TypeDirEntry>& dirs,
                              const std::vector<uint64_t>& offsets,
                              const std::vector<VertexId>& vertices,
-                             const std::vector<EdgeId>& edge_ids, VertexId v,
+                             const std::vector<EdgeId>& edge_ids, uint32_t l,
                              EdgeTypeId type) {
-    const uint64_t dir_end = dir_offsets[v + 1];
-    for (uint64_t d = dir_offsets[v]; d < dir_end; ++d) {
+    const uint64_t dir_end = dir_offsets[l + 1];
+    for (uint64_t d = dir_offsets[l]; d < dir_end; ++d) {
       if (dirs[d].type != type) continue;
       uint64_t begin = dirs[d].begin;
-      uint64_t end = d + 1 < dir_end ? dirs[d + 1].begin : offsets[v + 1];
+      uint64_t end = d + 1 < dir_end ? dirs[d + 1].begin : offsets[l + 1];
       return {vertices.data() + begin, edge_ids.data() + begin, end - begin};
     }
     return {};
   }
 
-  std::vector<uint64_t> out_offsets_;  // |V|+1
-  std::vector<VertexId> out_targets_;  // |E|, grouped by edge type
-  std::vector<EdgeTypeId> out_edge_types_;
-  std::vector<EdgeId> out_edge_ids_;  // base-graph lineage, parallel
-  std::vector<uint64_t> in_offsets_;
-  std::vector<VertexId> in_sources_;  // |E|, grouped by edge type
-  std::vector<EdgeId> in_edge_ids_;
-  std::vector<VertexTypeId> vertex_types_;
-  /// Per-vertex type directories (CSR-of-CSR): vertex v's directory is
-  /// `*_type_dirs_[*_type_dir_offsets_[v] .. *_type_dir_offsets_[v+1])`,
-  /// one entry per distinct edge type incident in that direction.
-  std::vector<uint64_t> out_type_dir_offsets_;  // |V|+1
-  std::vector<TypeDirEntry> out_type_dirs_;
-  std::vector<uint64_t> in_type_dir_offsets_;
-  std::vector<TypeDirEntry> in_type_dirs_;
+  std::vector<CsrSegmentPtr> segments_;  // segments_[i] covers ids i<<shift..
+  size_t num_vertices_ = 0;
+  size_t num_edges_ = 0;      ///< Live edges in the snapshot.
   EdgeId edge_id_space_ = 0;  ///< Source NumEdges() at snapshot time.
 };
 

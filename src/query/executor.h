@@ -70,6 +70,14 @@ struct ExecutorOptions {
   /// concurrency. Parallel output is identical to sequential output,
   /// including row order.
   size_t parallelism = 1;
+  /// Engine shard count (`EngineOptions::shards`). When > 1 the CSR
+  /// MATCH backends scatter the top-level seeds across shards by
+  /// `graph::ShardOfVertex` — one traversal per shard, workers claiming
+  /// shards — and gather the per-seed row spans back in the original
+  /// seed order with global first-occurrence dedup, so the merged table
+  /// is byte-identical to the unsharded run, row order included. 1 =
+  /// today's unsharded paths, byte-identical by construction.
+  size_t shards = 1;
   /// Cross-query fusion on the engine's batch path.
   FusionOptions fusion;
   /// Cooperative evaluation deadline. `time_point{}` (the default)
