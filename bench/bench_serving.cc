@@ -35,19 +35,25 @@
 /// equal across runs with the same seed (the reproducibility proof).
 ///
 /// Usage: bench_serving [--smoke] [--spec=<path>] [--seed=<n>]
-///                      [--shards=<k>] [--json[=path]]
-///   --smoke   seconds-scale 2-phase spec for the CI bench-smoke job
-///   --spec    run a spec file instead of the built-in one
-///   --seed    override the spec seed (reproducibility experiments)
-///   --shards  vertex shards for the snapshot/patch pipeline and the
-///             MATCH scatter-gather backends (default 1 = unsharded)
+///                      [--shards=<k>] [--durability=<policy>] [--json[=path]]
+///   --smoke       seconds-scale 2-phase spec for the CI bench-smoke job
+///   --spec        run a spec file instead of the built-in one
+///   --seed        override the spec seed (reproducibility experiments)
+///   --shards      vertex shards for the snapshot/patch pipeline and the
+///                 MATCH scatter-gather backends (default 1 = unsharded)
+///   --durability  none|batch|every_write: run the engine durable (WAL in
+///                 a throwaway dir, given fsync policy) and report the
+///                 write-path overhead in the JSON durability section
 ///
 /// Exits non-zero on any phase error, op failure, or empty histogram.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -55,6 +61,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "durability/wal.h"
 #include "workload/generator.h"
 #include "workload/orchestrator.h"
 #include "workload/spec.h"
@@ -332,6 +339,7 @@ int main(int argc, char** argv) {
   uint64_t seed_override = 0;
   bool seed_set = false;
   size_t shards = 1;
+  std::string durability_policy;  // empty or "off" = volatile engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -343,6 +351,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::strtoull(argv[i] + 9, nullptr, 10);
       if (shards == 0) shards = 1;
+    } else if (std::strncmp(argv[i], "--durability=", 13) == 0) {
+      durability_policy = argv[i] + 13;
     }
   }
 
@@ -362,7 +372,25 @@ int main(int argc, char** argv) {
   JsonReport::Record("meta", "phases", double(spec.phases.size()));
 
   JsonReport::Record("meta", "shards", double(shards));
-  Engine engine(std::move(graph), ServingEngineOptions(shards));
+  EngineOptions engine_options = ServingEngineOptions(shards);
+  std::filesystem::path wal_dir;
+  if (!durability_policy.empty() && durability_policy != "off") {
+    auto policy = kaskade::durability::ParseFsyncPolicy(durability_policy);
+    if (!policy.ok()) Die("--durability", policy.status().ToString());
+    wal_dir = std::filesystem::temp_directory_path() /
+              ("bench_serving_wal_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(wal_dir);
+    engine_options.durability.dir = wal_dir.string();
+    engine_options.durability.fsync_policy = policy.value();
+    std::printf("durability on: policy %s, WAL dir %s\n",
+                kaskade::durability::FsyncPolicyName(policy.value()),
+                wal_dir.string().c_str());
+  }
+  Engine engine(std::move(graph), engine_options);
+  if (engine_options.durability.enabled() &&
+      !engine.durability_error().ok()) {
+    Die("durability init", engine.durability_error().ToString());
+  }
   GeneratorProfile profile = OrDie(
       GeneratorProfile::ForDataset(spec.dataset, engine.base_graph()),
       "generator profile");
@@ -438,7 +466,37 @@ int main(int argc, char** argv) {
                        double(telemetry.patch_segments_shared));
   }
 
+  if (engine_options.durability.enabled()) {
+    // WAL overhead of the whole run: how many records and fsyncs the
+    // mutation traffic cost under this policy. Policy is encoded as its
+    // enum index (0=none, 1=batch, 2=every_write) — the JSON schema is
+    // numbers-only.
+    const auto telemetry = engine.TelemetrySnapshot();
+    std::printf("durability: %" PRIu64 " WAL appends, %" PRIu64 " bytes, "
+                "%" PRIu64 " fsyncs, %" PRIu64 " group-commit batches, "
+                "%zu checkpoints\n",
+                telemetry.wal_appends, telemetry.wal_bytes,
+                telemetry.wal_fsyncs, telemetry.group_commit_batches,
+                telemetry.checkpoints_written);
+    JsonReport::Record(
+        "durability", "fsync_policy",
+        double(static_cast<int>(engine_options.durability.fsync_policy)));
+    JsonReport::Record("durability", "wal_appends",
+                       double(telemetry.wal_appends));
+    JsonReport::Record("durability", "wal_bytes", double(telemetry.wal_bytes));
+    JsonReport::Record("durability", "wal_fsyncs",
+                       double(telemetry.wal_fsyncs));
+    JsonReport::Record("durability", "group_commit_batches",
+                       double(telemetry.group_commit_batches));
+    JsonReport::Record("durability", "checkpoints_written",
+                       double(telemetry.checkpoints_written));
+  }
+
   int json_exit = JsonReport::Finish();
+  if (!wal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(wal_dir, ec);
+  }
   if (failed || run.total_failed() > 0) return 1;
   return json_exit;
 }

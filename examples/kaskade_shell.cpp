@@ -7,6 +7,10 @@
 /// Commands (also: pipe a script into stdin):
 ///   gen prov|dblp|social|road     build a synthetic dataset
 ///   load <path> / save <path>     graph serialization
+///   open <dir>                    durable engine: recover, or persist the
+///                                 loaded graph into <dir>
+///   checkpoint                    write a checkpoint + truncate the WAL
+///   wal                           durability telemetry (WAL, checkpoints)
 ///   analyze <query>               workload analyzer: select+materialize
 ///   q <query>                     execute through the rewriter
 ///   explain <query>               show the raw-graph plan
@@ -30,6 +34,8 @@
 #include "common/string_util.h"
 #include "core/engine.h"
 #include "datasets/generators.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "graph/serialization.h"
 #include "graph/stats.h"
 #include "query/explain.h"
@@ -53,6 +59,11 @@ void PrintHelp() {
       "  gen prov|dblp|social|road   build a synthetic dataset\n"
       "  load <path>                 load a serialized graph\n"
       "  save <path>                 save the base graph\n"
+      "  open <dir>                  durable engine: recover from <dir>, or\n"
+      "                              persist the loaded graph into it\n"
+      "  checkpoint                  checkpoint now + truncate the WAL\n"
+      "  wal                         durability telemetry (WAL, "
+      "checkpoints)\n"
       "  analyze <query>             select + materialize views for a "
       "query\n"
       "  q <query>                   execute (rewriter picks the plan)\n"
@@ -127,6 +138,53 @@ int main() {
           std::printf("load failed: %s\n", graph.status().ToString().c_str());
         } else {
           engine = MakeEngine(std::move(*graph));
+        }
+      }
+    } else if (command == "open") {
+      if (rest.empty()) {
+        std::printf("usage: open <dir>\n");
+      } else if (!kaskade::durability::ListCheckpoints(rest).empty()) {
+        // The directory holds durable state: recover it.
+        kaskade::core::RecoveryReport recovery;
+        auto opened = Engine::Open(rest, {}, &recovery);
+        if (!opened.ok()) {
+          std::printf("recovery failed: %s\n",
+                      opened.status().ToString().c_str());
+        } else {
+          engine = std::move(opened).value();
+          std::printf(
+              "recovered from %s: checkpoint lsn %llu, %llu WAL records "
+              "replayed (last lsn %llu), %zu views rematerialized\n",
+              rest.c_str(),
+              static_cast<unsigned long long>(recovery.checkpoint_lsn),
+              static_cast<unsigned long long>(recovery.records_replayed),
+              static_cast<unsigned long long>(recovery.last_lsn),
+              recovery.views_rematerialized);
+          for (const auto& note : recovery.notes) {
+            std::printf("  note: %s\n", note.c_str());
+          }
+          std::printf("graph: %zu vertices, %zu edges\n",
+                      engine->base_graph().NumVertices(),
+                      engine->base_graph().NumEdges());
+        }
+      } else if (engine == nullptr) {
+        std::printf("no durable state in '%s' and no graph loaded; "
+                    "gen/load first, then 'open <dir>' to persist it\n",
+                    rest.c_str());
+      } else {
+        // Fresh durable directory seeded from the current base graph.
+        kaskade::core::EngineOptions options;
+        options.durability.dir = rest;
+        auto durable =
+            std::make_unique<Engine>(engine->base_graph(), options);
+        if (!durable->durability_error().ok()) {
+          std::printf("cannot persist into '%s': %s\n", rest.c_str(),
+                      durable->durability_error().ToString().c_str());
+        } else {
+          engine = std::move(durable);
+          std::printf("engine now durable in %s (policy %s)\n", rest.c_str(),
+                      kaskade::durability::FsyncPolicyName(
+                          options.durability.fsync_policy));
         }
       }
     } else if (command == "deadline") {
@@ -308,6 +366,38 @@ int main() {
                           report->views_dropped, report->builds_scheduled);
             }
           }
+        }
+      }
+    } else if (command == "checkpoint") {
+      auto lsn = engine->Checkpoint();
+      if (!lsn.ok()) {
+        std::printf("checkpoint failed: %s\n", lsn.status().ToString().c_str());
+      } else {
+        std::printf("checkpoint written at lsn %llu; WAL truncated below it\n",
+                    static_cast<unsigned long long>(lsn.value()));
+      }
+    } else if (command == "wal") {
+      if (engine->wal() == nullptr) {
+        std::printf("durability off (use 'open <dir>')\n");
+      } else {
+        auto t = engine->TelemetrySnapshot();
+        std::printf("wal: %llu appends, %llu bytes, %llu fsyncs, "
+                    "%llu group-commit batches\n",
+                    static_cast<unsigned long long>(t.wal_appends),
+                    static_cast<unsigned long long>(t.wal_bytes),
+                    static_cast<unsigned long long>(t.wal_fsyncs),
+                    static_cast<unsigned long long>(t.group_commit_batches));
+        std::printf("checkpoints: %zu written, %zu failed\n",
+                    t.checkpoints_written, t.checkpoint_failures);
+        std::printf("segment %s: %llu bytes appended, %llu durable\n",
+                    engine->wal()->current_segment_path().c_str(),
+                    static_cast<unsigned long long>(
+                        engine->wal()->end_offset()),
+                    static_cast<unsigned long long>(
+                        engine->wal()->durable_offset()));
+        if (!engine->durability_error().ok()) {
+          std::printf("DURABILITY ERROR (engine read-only): %s\n",
+                      engine->durability_error().ToString().c_str());
         }
       }
     } else if (command == "stats") {

@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace kaskade {
+
+namespace {
+
+// Reflected CRC-32C: process bytes LSB-first against the reversed
+// polynomial 0x82F63B78. The table is built once at startup; the
+// computation is the standard one-byte-per-step Sarwate loop.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPolyReflected = 0x82F63B78u;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kaskade

@@ -28,6 +28,11 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnavailable,
+  /// Durable state is missing, truncated, or fails its checksum: the
+  /// bytes on disk cannot be trusted to reconstruct what was written.
+  /// Recovery paths treat a kDataLoss tail as "stop here, never
+  /// propagate garbage".
+  kDataLoss,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -79,6 +84,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   /// @}
 

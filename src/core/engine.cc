@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/cost_model.h"
+#include "durability/checkpoint.h"
+#include "graph/serialization.h"
 #include "query/fused_runner.h"
 #include "query/parser.h"
 
@@ -60,6 +62,10 @@ query::Table MapViewTableToBase(const MaterializedView& view,
 }  // namespace
 
 Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
+    : Engine(std::move(base_graph), std::move(options), std::nullopt) {}
+
+Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options,
+               std::optional<DurableBootstrap> bootstrap)
     : base_(std::move(base_graph)),
       options_(options),
       catalog_(&base_, options.snapshot_patch, options.shards),
@@ -74,9 +80,38 @@ Engine::Engine(graph::PropertyGraph base_graph, EngineOptions options)
     // share the one hook so a test sees every site through one lens.
     catalog_.SetFaultHook(options_.fault_hooks.hook);
   }
+  if (options_.durability.enabled()) {
+    durability_error_ = InitDurability(bootstrap);
+    if (durability_error_.ok() &&
+        options_.durability.checkpoint_wal_bytes > 0) {
+      checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+    }
+  }
+  if (options_.self_heal.enabled) {
+    repair_thread_ = std::thread([this] { RepairLoop(); });
+  }
 }
 
 Engine::~Engine() {
+  // Stop the durability/self-heal threads before anything else: both
+  // take the engine locks and walk the catalog, so they must be gone
+  // before the pools (and the catalog) start tearing down.
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      checkpoint_stop_ = true;
+    }
+    checkpoint_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+  if (repair_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(repair_mu_);
+      repair_stop_ = true;
+    }
+    repair_cv_.notify_all();
+    repair_thread_.join();
+  }
   // Drain the batch pool first: by the caller contract no ExecuteBatch
   // is in flight, so the queue is empty and workers are parked.
   {
@@ -100,6 +135,362 @@ Engine::~Engine() {
   for (std::thread& worker : build_workers_) worker.join();
   for (const BuildJob& job : orphaned) {
     (void)catalog_.AbortBuild(job.handle);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL wiring, checkpoints, recovery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// WAL payload tags: 'D' + serialized GraphDelta (ApplyDelta batches),
+/// 'R' + serialized full graph (MutateBaseGraph rebaselines — an
+/// arbitrary mutation has no delta form, so the post-mutation graph is
+/// logged whole).
+constexpr char kWalDelta = 'D';
+constexpr char kWalRebaseline = 'R';
+
+Status ApplyWalPayload(graph::PropertyGraph* graph,
+                       const std::string& payload) {
+  if (payload.empty()) {
+    return Status::DataLoss("empty WAL payload");
+  }
+  switch (payload[0]) {
+    case kWalDelta: {
+      KASKADE_ASSIGN_OR_RETURN(graph::GraphDelta delta,
+                               graph::ParseDelta(payload.substr(1)));
+      return graph::ApplyDeltaToGraph(graph, delta).status();
+    }
+    case kWalRebaseline: {
+      KASKADE_ASSIGN_OR_RETURN(*graph,
+                               graph::GraphFromString(payload.substr(1)));
+      return Status::OK();
+    }
+    default:
+      return Status::DataLoss(std::string("unknown WAL payload tag '") +
+                              payload[0] + "'");
+  }
+}
+
+}  // namespace
+
+Status Engine::InitDurability(std::optional<DurableBootstrap> bootstrap) {
+  const DurabilityOptions& d = options_.durability;
+  durability::WalOptions wal_options;
+  wal_options.fsync_policy = d.fsync_policy;
+  wal_options.flush_interval = d.flush_interval;
+  wal_options.segment_bytes = d.wal_segment_bytes;
+  wal_options.fault_hooks = options_.fault_hooks;
+
+  uint64_t next_lsn;
+  if (bootstrap.has_value()) {
+    // Recovery path (`Open`): the directory already reflects `base_`;
+    // just resume the log where replay left off.
+    next_lsn = bootstrap->next_lsn;
+  } else {
+    // Fresh initialization: this engine's state supersedes whatever the
+    // directory holds, at an LSN above everything already there — old
+    // checkpoints become stale (and are truncated away below), never
+    // ambiguous.
+    uint64_t base_lsn = 0;
+    std::vector<uint64_t> existing = durability::ListCheckpoints(d.dir);
+    if (!existing.empty()) base_lsn = existing.front();
+    // Scan (without applying) to find the log's end; this also truncates
+    // any torn tail so the re-opened segment ends at a valid record.
+    auto scan = durability::WriteAheadLog::Replay(
+        d.dir, /*start_lsn=*/~0ull,
+        [](uint64_t, const std::string&) { return Status::OK(); });
+    if (!scan.ok()) return scan.status();
+    base_lsn = std::max(base_lsn, scan->last_lsn);
+    KASKADE_RETURN_IF_ERROR(durability::WriteCheckpoint(
+        d.dir, base_, {}, base_lsn, options_.fault_hooks));
+    // The catalog starts empty, so any view-set sidecar left by an
+    // earlier incarnation is stale — supersede it too.
+    KASKADE_RETURN_IF_ERROR(durability::WriteViewSet(d.dir, {}));
+    next_lsn = base_lsn + 1;
+  }
+
+  KASKADE_ASSIGN_OR_RETURN(
+      wal_, durability::WriteAheadLog::Open(d.dir, next_lsn, wal_options));
+  if (!bootstrap.has_value()) {
+    KASKADE_RETURN_IF_ERROR(wal_->TruncateBelow(next_lsn));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(const std::string& dir,
+                                             EngineOptions options,
+                                             RecoveryReport* report) {
+  options.durability.dir = dir;
+  RecoveryReport recovery;
+
+  KASKADE_ASSIGN_OR_RETURN(durability::CheckpointState checkpoint,
+                           durability::LoadNewestCheckpoint(dir));
+  recovery.checkpoint_lsn = checkpoint.lsn;
+  for (std::string& note : checkpoint.skipped_corrupt) {
+    recovery.notes.push_back(std::move(note));
+  }
+
+  // Redo pass: the WAL tail re-applies acknowledged mutations on top of
+  // the checkpoint image, in LSN order. A torn tail is truncated (and
+  // noted), never applied.
+  graph::PropertyGraph recovered = std::move(checkpoint.graph);
+  uint64_t next_expected = checkpoint.lsn + 1;
+  KASKADE_ASSIGN_OR_RETURN(
+      durability::ReplayReport replayed,
+      durability::WriteAheadLog::Replay(
+          dir, checkpoint.lsn + 1,
+          [&recovered, &next_expected, &checkpoint](
+              uint64_t lsn, const std::string& payload) -> Status {
+            if (lsn != next_expected) {
+              // The log does not connect to this checkpoint — e.g. the
+              // newest checkpoint was corrupt, we fell back to an older
+              // one, and the records between the two were already
+              // truncated away. Refuse before applying anything: a
+              // detectable gap must never be silently skipped.
+              return Status::DataLoss(
+                  "WAL does not connect to checkpoint at lsn " +
+                  std::to_string(checkpoint.lsn) +
+                  ": first replayable record is lsn " + std::to_string(lsn));
+            }
+            next_expected = lsn + 1;
+            return ApplyWalPayload(&recovered, payload);
+          }));
+  recovery.records_replayed = replayed.records;
+  recovery.last_lsn = std::max(checkpoint.lsn, replayed.last_lsn);
+  recovery.truncated_bytes = replayed.truncated_bytes;
+  if (!replayed.data_loss_note.empty()) {
+    recovery.notes.push_back(replayed.data_loss_note);
+  }
+
+  DurableBootstrap bootstrap;
+  bootstrap.next_lsn = recovery.last_lsn + 1;
+  bootstrap.checkpoint_lsn = checkpoint.lsn;
+  std::unique_ptr<Engine> engine(
+      new Engine(std::move(recovered), std::move(options), bootstrap));
+  KASKADE_RETURN_IF_ERROR(engine->durability_error_);
+
+  // View contents are deliberately not persisted; re-materialize each
+  // persisted definition from the recovered base. The `views.cat`
+  // sidecar (rewritten on every add/remove) is the authoritative set; a
+  // checkpoint's embedded copy covers directories that predate it, and
+  // a corrupt sidecar degrades to that copy with a note — view contents
+  // are always rebuilt from scratch, so no stale data can leak through.
+  std::vector<ViewDefinition> definitions;
+  auto sidecar = durability::LoadViewSet(dir);
+  if (sidecar.ok()) {
+    definitions = std::move(sidecar).value();
+  } else if (sidecar.status().code() == StatusCode::kNotFound) {
+    definitions = std::move(checkpoint.views);
+  } else {
+    recovery.notes.push_back("view set sidecar unusable (" +
+                             sidecar.status().message() +
+                             "); fell back to checkpoint view set");
+    definitions = std::move(checkpoint.views);
+  }
+  for (const ViewDefinition& definition : definitions) {
+    KASKADE_RETURN_IF_ERROR(engine->AddMaterializedView(definition));
+    ++recovery.views_rematerialized;
+  }
+  if (report != nullptr) *report = recovery;
+  return engine;
+}
+
+Status Engine::durability_error() const {
+  // Written only during construction; read-only afterwards.
+  return durability_error_;
+}
+
+Result<durability::WriteAheadLog::AppendToken> Engine::LogMutationLocked(
+    std::string payload) {
+  if (!durability_error_.ok()) return durability_error_;
+  KASKADE_ASSIGN_OR_RETURN(durability::WriteAheadLog::AppendToken token,
+                           wal_->Append(payload));
+  wal_bytes_since_checkpoint_.fetch_add(payload.size(),
+                                        std::memory_order_relaxed);
+  return token;
+}
+
+Status Engine::FinishMutationDurably(
+    durability::WriteAheadLog::AppendToken token) {
+  KASKADE_RETURN_IF_ERROR(wal_->WaitDurable(token));
+  const uint64_t threshold = options_.durability.checkpoint_wal_bytes;
+  if (threshold > 0 &&
+      wal_bytes_since_checkpoint_.load(std::memory_order_relaxed) >=
+          threshold) {
+    // Claim the trigger (reset to zero) so one crossing schedules one
+    // checkpoint; bytes appended meanwhile re-arm it.
+    wal_bytes_since_checkpoint_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      checkpoint_requested_ = true;
+    }
+    checkpoint_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Engine::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  KASKADE_RETURN_IF_ERROR(durability_error_);
+  // One checkpointer at a time (manual call vs background thread);
+  // interleaved truncations would be safe but pointless work.
+  std::lock_guard<std::mutex> run(checkpoint_run_mu_);
+
+  graph::PropertyGraph snapshot{graph::GraphSchema{}};
+  std::vector<ViewDefinition> definitions;
+  uint64_t lsn;
+  {
+    // Reader lock: writers (and their WAL appends) are excluded, so the
+    // graph copy and the LSN agree; readers keep flowing.
+    std::shared_lock lock(mu_);
+    snapshot = base_;
+    lsn = wal_->next_lsn() - 1;
+    for (const CatalogEntry* entry : catalog_.Entries()) {
+      if (entry->state == ViewState::kDropping) continue;
+      definitions.push_back(entry->view.definition);
+    }
+  }
+  // The expensive serialization + fsync runs with no engine lock held.
+  KASKADE_RETURN_IF_ERROR(durability::WriteCheckpoint(
+      options_.durability.dir, snapshot, definitions, lsn,
+      options_.fault_hooks));
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  KASKADE_RETURN_IF_ERROR(wal_->TruncateBelow(lsn + 1));
+  return lsn;
+}
+
+Status Engine::PersistViewSetLocked() {
+  if (wal_ == nullptr) return Status::OK();
+  KASKADE_RETURN_IF_ERROR(durability_error_);
+  std::vector<ViewDefinition> definitions;
+  for (const CatalogEntry* entry : catalog_.Entries()) {
+    if (entry->state == ViewState::kDropping) continue;
+    definitions.push_back(entry->view.definition);
+  }
+  return durability::WriteViewSet(options_.durability.dir, definitions);
+}
+
+void Engine::CheckpointLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(checkpoint_mu_);
+      checkpoint_cv_.wait(
+          lock, [&] { return checkpoint_stop_ || checkpoint_requested_; });
+      if (checkpoint_stop_) return;
+      checkpoint_requested_ = false;
+    }
+    Result<uint64_t> written = Checkpoint();
+    if (!written.ok()) {
+      // The WAL still holds the full history — a failed checkpoint only
+      // defers truncation. Count it and wait for the next trigger.
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: quarantined-view repair worker
+// ---------------------------------------------------------------------------
+
+void Engine::NotifyRepair() {
+  if (!options_.self_heal.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    repair_poke_ = true;
+  }
+  repair_cv_.notify_one();
+}
+
+void Engine::RepairLoop() {
+  const SelfHealOptions& heal = options_.self_heal;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(repair_mu_);
+      // Sleep until poked (new quarantine) or, when retries are
+      // pending, until the earliest backoff deadline.
+      auto wake = std::chrono::steady_clock::time_point::max();
+      for (const auto& [name, state] : repair_state_) {
+        if (!state.gave_up) wake = std::min(wake, state.next_attempt);
+      }
+      if (wake == std::chrono::steady_clock::time_point::max()) {
+        repair_cv_.wait(lock, [&] { return repair_stop_ || repair_poke_; });
+      } else {
+        repair_cv_.wait_until(lock, wake,
+                              [&] { return repair_stop_ || repair_poke_; });
+      }
+      if (repair_stop_) return;
+      repair_poke_ = false;
+    }
+
+    // Snapshot the quarantined set under the reader lock; repairs below
+    // take the writer lock one view at a time, so a long rebuild never
+    // blocks queries for the whole scan.
+    std::vector<ViewDefinition> quarantined;
+    {
+      std::shared_lock lock(mu_);
+      for (const CatalogEntry* entry : catalog_.Entries()) {
+        if (entry->state == ViewState::kQuarantined) {
+          quarantined.push_back(entry->view.definition);
+        }
+      }
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    for (const ViewDefinition& definition : quarantined) {
+      const std::string name = definition.Name();
+      {
+        std::lock_guard<std::mutex> lock(repair_mu_);
+        RepairState& state = repair_state_[name];
+        if (state.gave_up || now < state.next_attempt) continue;
+      }
+      // `Add` materializes and reclaims the quarantined entry in place
+      // (same path a manual rebuild takes).
+      Status repaired;
+      {
+        std::unique_lock lock(mu_);
+        repaired = catalog_.Add(definition).status();
+      }
+      std::lock_guard<std::mutex> lock(repair_mu_);
+      if (repaired.ok()) {
+        quarantine_repairs_.fetch_add(1, std::memory_order_relaxed);
+        repair_state_.erase(name);
+      } else {
+        repair_failures_.fetch_add(1, std::memory_order_relaxed);
+        RepairState& state = repair_state_[name];
+        ++state.attempts;
+        if (heal.max_attempts > 0 && state.attempts >= heal.max_attempts) {
+          state.gave_up = true;
+          continue;
+        }
+        auto backoff = heal.initial_backoff;
+        for (size_t i = 1; i < state.attempts && backoff < heal.max_backoff;
+             ++i) {
+          backoff *= 2;
+        }
+        state.next_attempt =
+            std::chrono::steady_clock::now() + std::min(backoff,
+                                                        heal.max_backoff);
+      }
+    }
+
+    // Prune names that left quarantine some other way (manual reclaim,
+    // removal) so a stale gave_up entry cannot block a future repair of
+    // a new view with the same name.
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    for (auto it = repair_state_.begin(); it != repair_state_.end();) {
+      bool still_quarantined = false;
+      for (const ViewDefinition& definition : quarantined) {
+        if (definition.Name() == it->first) {
+          still_quarantined = true;
+          break;
+        }
+      }
+      it = still_quarantined ? std::next(it) : repair_state_.erase(it);
+    }
   }
 }
 
@@ -251,6 +642,18 @@ EngineTelemetry Engine::TelemetrySnapshot() const {
   t.patch_bytes_copied = catalog_.patch_bytes_copied();
   t.effective_dirty_fraction = catalog_.effective_max_dirty_fraction();
   t.shard_writer_acquisitions = catalog_.shard_writer_acquisitions();
+  if (wal_ != nullptr) {
+    durability::WalTelemetry wal = wal_->telemetry();
+    t.wal_appends = wal.appends;
+    t.wal_bytes = wal.bytes;
+    t.wal_fsyncs = wal.fsyncs;
+    t.group_commit_batches = wal.batches;
+  }
+  t.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  t.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  t.quarantine_repairs = quarantine_repairs_.load(std::memory_order_relaxed);
+  t.repair_failures = repair_failures_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -417,21 +820,25 @@ void Engine::FailBuild(const BuildJob& job, const Status& status) {
     std::unique_lock lock(mu_);
     (void)catalog_.Quarantine(job.handle, status);
   }
-  std::lock_guard<std::mutex> lock(build_mu_);
-  // Bound the slot: a fire-and-forget advice loop whose view fails
-  // persistently would otherwise grow it one entry per round forever.
-  // Evict the oldest *unreserved* entry — a reserved one belongs to a
-  // blocking round that is about to collect it (at worst the slot
-  // temporarily exceeds the cap by the handful of reserved failures).
-  constexpr size_t kMaxBuildErrors = 64;
-  if (build_errors_.size() >= kMaxBuildErrors) {
-    auto victim = std::find_if(
-        build_errors_.begin(), build_errors_.end(), [&](const auto& tagged) {
-          return reserved_error_handles_.count(tagged.first) == 0;
-        });
-    if (victim != build_errors_.end()) build_errors_.erase(victim);
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    // Bound the slot: a fire-and-forget advice loop whose view fails
+    // persistently would otherwise grow it one entry per round forever.
+    // Evict the oldest *unreserved* entry — a reserved one belongs to a
+    // blocking round that is about to collect it (at worst the slot
+    // temporarily exceeds the cap by the handful of reserved failures).
+    constexpr size_t kMaxBuildErrors = 64;
+    if (build_errors_.size() >= kMaxBuildErrors) {
+      auto victim = std::find_if(
+          build_errors_.begin(), build_errors_.end(),
+          [&](const auto& tagged) {
+            return reserved_error_handles_.count(tagged.first) == 0;
+          });
+      if (victim != build_errors_.end()) build_errors_.erase(victim);
+    }
+    build_errors_.emplace_back(job.handle, status);
   }
-  build_errors_.emplace_back(job.handle, status);
+  NotifyRepair();
 }
 
 Status Engine::TakeBuildErrorForHandles(
@@ -493,12 +900,14 @@ Status Engine::TakeBuildError() {
 
 Status Engine::AddMaterializedView(const ViewDefinition& definition) {
   std::unique_lock lock(mu_);
-  return catalog_.Add(definition).status();
+  KASKADE_RETURN_IF_ERROR(catalog_.Add(definition).status());
+  return PersistViewSetLocked();
 }
 
 Status Engine::RemoveView(const std::string& name) {
   std::unique_lock lock(mu_);
-  return catalog_.Remove(name);
+  KASKADE_RETURN_IF_ERROR(catalog_.Remove(name));
+  return PersistViewSetLocked();
 }
 
 Status Engine::RefreshViews() {
@@ -540,6 +949,20 @@ Status Engine::MutateBaseGraph(
   // spurious generation bump only costs a plan-cache miss.
   catalog_.NoteBaseGraphChanged();
   NoteBaseChangedLocked(nullptr);
+  if (wal_ != nullptr) {
+    // An arbitrary mutation has no delta form, so the WAL records the
+    // post-mutation graph whole (tombstones preserved: later delta
+    // records reference this exact id space). Logged even when the
+    // mutation failed — it may have partially changed the graph, and
+    // recovery must land on what is actually in memory.
+    graph::SaveOptions save_options;
+    save_options.preserve_tombstones = true;
+    auto token = LogMutationLocked(
+        kWalRebaseline + graph::GraphToString(base_, save_options));
+    if (!token.ok()) return token.status();
+    lock.unlock();
+    KASKADE_RETURN_IF_ERROR(FinishMutationDurably(token.value()));
+  }
   return status;
 }
 
@@ -569,12 +992,31 @@ Result<DeltaReport> Engine::ApplyDelta(graph::GraphDelta delta) {
   // The graph has changed even if maintenance fails below — in-flight
   // builds must see the new version either way.
   NoteBaseChangedLocked(footprint);
+  durability::WriteAheadLog::AppendToken wal_token;
+  bool logged = false;
+  if (wal_ != nullptr) {
+    // Log after the in-memory apply succeeded (so the record describes a
+    // real transition) but before maintenance: the base has genuinely
+    // changed, so even a maintenance failure below must stay on the log.
+    // Still under `mu_`, so LSN order equals apply order.
+    KASKADE_ASSIGN_OR_RETURN(
+        wal_token, LogMutationLocked(kWalDelta + graph::SerializeDelta(delta)));
+    logged = true;
+  }
   KASKADE_ASSIGN_OR_RETURN(
       DeltaMaintenanceReport maintained,
       catalog_.ApplyBaseDelta(delta, std::move(footprint)));
   report.views_incremental = maintained.views_incremental;
   report.views_rematerialized = maintained.views_rematerialized;
   report.maintenance = maintained.stats;
+  const bool poke_repair = maintained.views_quarantined > 0;
+  lock.unlock();
+  if (poke_repair) NotifyRepair();
+  if (logged) {
+    // Durability wait happens outside the engine lock so concurrent
+    // writers share one group-commit fsync.
+    KASKADE_RETURN_IF_ERROR(FinishMutationDurably(wal_token));
+  }
   return report;
 }
 

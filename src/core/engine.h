@@ -74,6 +74,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,7 @@
 #include "core/planner.h"
 #include "core/view_selector.h"
 #include "core/workload_tracker.h"
+#include "durability/wal.h"
 #include "graph/delta.h"
 #include "graph/property_graph.h"
 #include "query/executor.h"
@@ -104,6 +106,67 @@ struct BuildHooks {
   /// applied from here land "during the build" and exercise the
   /// pending-delta replay (or rebuild) path.
   std::function<void()> before_publish;
+};
+
+/// \brief Durability configuration. With `dir` set, every `ApplyDelta` /
+/// `MutateBaseGraph` is written to a checksummed write-ahead log before
+/// it is acknowledged (per `fsync_policy`), checkpoints bound recovery
+/// time, and `Engine::Open` reconstructs the engine — base graph plus
+/// re-materialized views — after a crash.
+struct DurabilityOptions {
+  /// Directory for WAL segments and checkpoints. Empty (default) keeps
+  /// the engine volatile — no logging, no recovery.
+  std::string dir;
+  /// When an acknowledged mutation is guaranteed on disk. `kEveryWrite`
+  /// loses zero acknowledged mutations on a crash; `kBatch` (group
+  /// commit) loses at most the mutations of one unflushed batch; `kNone`
+  /// leaves flushing to the OS.
+  durability::FsyncPolicy fsync_policy = durability::FsyncPolicy::kBatch;
+  /// Group-commit flush cadence (bounds how long a `kBatch` writer
+  /// waits for its fsync).
+  std::chrono::milliseconds flush_interval{2};
+  /// WAL segment rotation threshold.
+  uint64_t wal_segment_bytes = 64ull << 20;
+  /// Background checkpoint trigger: once this many WAL bytes accumulate
+  /// since the last checkpoint, the checkpointer snapshots the base
+  /// graph and truncates the log below it. 0 disables the background
+  /// checkpointer (manual `Checkpoint()` still works).
+  uint64_t checkpoint_wal_bytes = 16ull << 20;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// \brief Opt-in self-healing of quarantined views: a background worker
+/// re-materializes `kQuarantined` catalog entries with capped
+/// exponential backoff, returning them to service without operator
+/// intervention. Off by default — quarantine is deliberately sticky so
+/// a persistent fault cannot hide behind silent rebuild loops.
+struct SelfHealOptions {
+  bool enabled = false;
+  /// First retry delay after a view is quarantined; doubles per failed
+  /// attempt up to `max_backoff`.
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Attempts before the worker gives up on a view (it stays
+  /// quarantined for manual reclaim). 0 = retry forever.
+  size_t max_attempts = 8;
+};
+
+/// \brief What `Engine::Open` found and did while recovering.
+struct RecoveryReport {
+  /// LSN of the checkpoint recovery started from.
+  uint64_t checkpoint_lsn = 0;
+  /// WAL records replayed on top of the checkpoint.
+  uint64_t records_replayed = 0;
+  /// Highest LSN in the recovered state (checkpoint or replayed).
+  uint64_t last_lsn = 0;
+  /// Views re-materialized from their persisted definitions.
+  size_t views_rematerialized = 0;
+  /// Bytes removed from a torn/corrupt WAL tail.
+  uint64_t truncated_bytes = 0;
+  /// Data-loss notes: the torn-tail description and any corrupt
+  /// checkpoint files skipped. Empty = clean recovery.
+  std::vector<std::string> notes;
 };
 
 /// \brief Engine configuration.
@@ -175,10 +238,16 @@ struct EngineOptions {
   std::chrono::microseconds admission_wait_budget{0};
   /// Fault injection (see core/fault.h): a hook here is fired at every
   /// named site — snapshot build, maintainer apply, materialize,
-  /// publish, batch worker — and its failures exercise the graceful-
-  /// degradation paths. Default-constructed (no hook) costs one branch
-  /// per site.
+  /// publish, batch worker, WAL append/fsync, checkpoint write — and its
+  /// failures exercise the graceful-degradation paths. Default-
+  /// constructed (no hook) costs one branch per site.
   FaultHooks fault_hooks;
+  /// Write-ahead logging, checkpoints, and crash recovery. Disabled by
+  /// default (`dir` empty).
+  DurabilityOptions durability;
+  /// Background re-materialization of quarantined views. Off by
+  /// default.
+  SelfHealOptions self_heal;
 };
 
 /// \brief Per-call options for `Execute` / `ExecuteBatch`.
@@ -261,6 +330,20 @@ struct EngineTelemetry {
   /// `EngineOptions::shards == 1`.
   std::vector<uint64_t> shard_writer_acquisitions;
   /// @}
+  /// \name Durability (all zero for a volatile engine).
+  /// @{
+  uint64_t wal_appends = 0;         ///< Records written to the log.
+  uint64_t wal_bytes = 0;           ///< Log bytes written (framing included).
+  uint64_t wal_fsyncs = 0;          ///< fsync(2) calls the log issued.
+  uint64_t group_commit_batches = 0;  ///< Group flushes that advanced durability.
+  size_t checkpoints_written = 0;
+  size_t checkpoint_failures = 0;
+  /// @}
+  /// \name Self-healing (quarantined-view repair worker).
+  /// @{
+  size_t quarantine_repairs = 0;  ///< Views returned to kReady by the worker.
+  size_t repair_failures = 0;     ///< Repair attempts that failed.
+  /// @}
 };
 
 /// \brief Outcome of one `ApplyDelta` batch.
@@ -312,7 +395,26 @@ struct ExecutionResult {
 /// contract.
 class Engine {
  public:
+  /// Constructs the engine over `base_graph`. With
+  /// `options.durability.dir` set, the directory is (re-)initialized as
+  /// this engine's durable state: an initial checkpoint of `base_graph`
+  /// is written and the WAL opened after it. Durable-state
+  /// initialization failures are sticky (`durability_error()`), and
+  /// every subsequent mutation returns them — the engine never silently
+  /// runs volatile when durability was requested.
   explicit Engine(graph::PropertyGraph base_graph, EngineOptions options = {});
+
+  /// Recovers an engine from existing durable state in `dir`: loads the
+  /// newest valid checkpoint, replays the WAL tail in LSN order
+  /// (truncating a torn/corrupt tail rather than propagating garbage),
+  /// and re-materializes every persisted view definition. Fails with
+  /// `kNotFound` when `dir` holds no checkpoint (construct a fresh
+  /// engine instead) and `kDataLoss` when durable state exists but
+  /// nothing valid can be loaded. `report` (optional) receives what
+  /// recovery found, including data-loss notes.
+  static Result<std::unique_ptr<Engine>> Open(const std::string& dir,
+                                              EngineOptions options = {},
+                                              RecoveryReport* report = nullptr);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -542,7 +644,51 @@ class Engine {
   /// pool starts lazily and persists across batches).
   size_t batch_pool_size() const;
 
+  /// \name Durability.
+  /// @{
+
+  /// Writes a checkpoint of the current base graph and view definitions
+  /// (consistent as of one LSN, taken under the reader lock), then
+  /// truncates WAL segments the checkpoint made redundant. Returns the
+  /// checkpoint's LSN. Error when durability is disabled.
+  Result<uint64_t> Checkpoint();
+
+  /// The sticky durable-state initialization/IO error (OK when
+  /// durability is healthy or disabled).
+  Status durability_error() const;
+
+  /// The live WAL, for telemetry and crash harnesses (null when
+  /// durability is disabled).
+  const durability::WriteAheadLog* wal() const { return wal_.get(); }
+
+  size_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name Self-healing telemetry.
+  /// @{
+  /// Quarantined views the repair worker returned to service.
+  size_t quarantine_repairs() const {
+    return quarantine_repairs_.load(std::memory_order_relaxed);
+  }
+  /// Failed repair attempts.
+  size_t repair_failures() const {
+    return repair_failures_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
  private:
+  /// Durable-state positions handed from `Open` to the recovering
+  /// constructor, so it resumes the recovered log instead of
+  /// re-initializing the directory.
+  struct DurableBootstrap {
+    uint64_t next_lsn = 1;
+    uint64_t checkpoint_lsn = 0;
+  };
+
+  Engine(graph::PropertyGraph base_graph, EngineOptions options,
+         std::optional<DurableBootstrap> bootstrap);
   /// One scheduled background materialization.
   struct BuildJob {
     ViewHandle handle = kInvalidViewHandle;
@@ -666,6 +812,48 @@ class Engine {
   /// for their own callers.
   Status TakeBuildErrorForHandles(const std::vector<ViewHandle>& handles);
 
+  /// \name Durability internals.
+  /// @{
+
+  /// Fresh-directory bootstrap (constructor path): supersedes whatever
+  /// the directory holds with a checkpoint of the current base graph at
+  /// an LSN above every existing one, then opens the WAL after it.
+  Status InitDurability(std::optional<DurableBootstrap> bootstrap);
+
+  /// Appends one WAL record under the writer lock (caller holds `mu_`);
+  /// returns the token the post-release durability wait needs.
+  Result<durability::WriteAheadLog::AppendToken> LogMutationLocked(
+      std::string payload);
+
+  /// After releasing `mu_`: waits out the fsync policy for `token` and
+  /// pokes the background checkpointer when the WAL-bytes threshold is
+  /// crossed.
+  Status FinishMutationDurably(durability::WriteAheadLog::AppendToken token);
+
+  /// Background checkpointer: waits for the WAL-bytes trigger, runs
+  /// `Checkpoint`, counts failures (the WAL keeps everything, so a
+  /// failed checkpoint only defers truncation).
+  void CheckpointLoop();
+
+  /// Rewrites the `views.cat` sidecar with the catalog's current
+  /// definition set (caller holds `mu_` exclusively). The sidecar is
+  /// what makes a view added after the last checkpoint survive a crash.
+  Status PersistViewSetLocked();
+
+  /// @}
+
+  /// \name Self-healing internals.
+  /// @{
+
+  /// Wakes the repair worker (a view was quarantined or re-quarantined).
+  void NotifyRepair();
+
+  /// Repair worker: scans for quarantined views and re-materializes
+  /// them with capped exponential backoff per view name.
+  void RepairLoop();
+
+  /// @}
+
   graph::PropertyGraph base_;
   EngineOptions options_;
   ViewCatalog catalog_;
@@ -747,6 +935,50 @@ class Engine {
   std::atomic<uint64_t> next_auto_advise_at_{0};
   std::atomic<size_t> auto_advises_{0};
   std::atomic<size_t> auto_advise_errors_{0};
+  /// @}
+
+  /// \name Durability state.
+  /// @{
+  /// Null when durability is disabled. Appended under `mu_` (so LSN
+  /// order equals apply order); the durability wait happens after `mu_`
+  /// is released so concurrent `kBatch` writers share one fsync.
+  std::unique_ptr<durability::WriteAheadLog> wal_;
+  /// Sticky: set when durable-state initialization or recovery plumbing
+  /// failed; every mutation then refuses rather than silently running
+  /// volatile. Guarded by `mu_` at init, read-only afterwards.
+  Status durability_error_;
+  /// WAL bytes appended since the last checkpoint (trigger counter).
+  std::atomic<uint64_t> wal_bytes_since_checkpoint_{0};
+  std::atomic<size_t> checkpoints_written_{0};
+  std::atomic<size_t> checkpoint_failures_{0};
+  /// Checkpointer thread state (guarded by `checkpoint_mu_`).
+  mutable std::mutex checkpoint_mu_;
+  std::condition_variable checkpoint_cv_;
+  bool checkpoint_requested_ = false;
+  bool checkpoint_stop_ = false;
+  /// Serializes Checkpoint() runs (manual + background) so two
+  /// checkpointers never interleave their truncations.
+  std::mutex checkpoint_run_mu_;
+  std::thread checkpoint_thread_;
+  /// @}
+
+  /// \name Self-healing state (guarded by `repair_mu_`).
+  /// @{
+  struct RepairState {
+    size_t attempts = 0;
+    std::chrono::steady_clock::time_point next_attempt;
+    bool gave_up = false;
+  };
+  mutable std::mutex repair_mu_;
+  std::condition_variable repair_cv_;
+  bool repair_poke_ = false;
+  bool repair_stop_ = false;
+  /// Per-view backoff, keyed by view name; pruned when the view leaves
+  /// quarantine (repaired, reclaimed manually, or removed).
+  std::unordered_map<std::string, RepairState> repair_state_;
+  std::thread repair_thread_;
+  std::atomic<size_t> quarantine_repairs_{0};
+  std::atomic<size_t> repair_failures_{0};
   /// @}
 };
 

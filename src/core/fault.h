@@ -46,6 +46,18 @@ enum class FaultSite {
   /// the round and the calling thread drains the remaining tasks itself
   /// — every batch member still completes.
   kBatchWorker,
+  /// Appending a record to the write-ahead log (before the bytes reach
+  /// the OS). On failure the mutation is rejected after being applied
+  /// in memory — the engine reports the durability gap to the caller.
+  kWalAppend,
+  /// The WAL fsync/flush path. A hook that blocks here holds back the
+  /// group-commit flusher, letting crash tests pin the durable
+  /// position while acknowledged-but-unflushed writes accumulate.
+  kWalFsync,
+  /// Writing a checkpoint file. On failure the checkpoint attempt is
+  /// abandoned (tmp file removed); the WAL keeps the full history so
+  /// nothing is lost, only checkpoint-triggered truncation is deferred.
+  kCheckpointWrite,
 };
 
 inline const char* FaultSiteName(FaultSite site) {
@@ -60,6 +72,12 @@ inline const char* FaultSiteName(FaultSite site) {
       return "publish";
     case FaultSite::kBatchWorker:
       return "batch_worker";
+    case FaultSite::kWalAppend:
+      return "wal_append";
+    case FaultSite::kWalFsync:
+      return "wal_fsync";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint_write";
   }
   return "unknown";
 }

@@ -1,6 +1,7 @@
 #include "core/view_definition.h"
 
 #include "common/string_util.h"
+#include "graph/serialization.h"
 #include "query/ast.h"
 
 namespace kaskade::core {
@@ -191,6 +192,121 @@ std::string ViewDefinition::ToCypher() const {
              " AS grp, collect(v) AS members MERGE (s:Super {key: grp})";
   }
   return "";
+}
+
+namespace {
+
+/// Stable persisted tokens for each kind — these are on-disk format, so
+/// unlike `ViewKindName` they must never change once shipped.
+constexpr std::pair<ViewKind, const char*> kKindTokens[] = {
+    {ViewKind::kKHopConnector, "khop"},
+    {ViewKind::kSameVertexTypeConnector, "conn"},
+    {ViewKind::kSameEdgeTypeConnector, "econn"},
+    {ViewKind::kSourceToSinkConnector, "src2sink"},
+    {ViewKind::kVertexInclusionSummarizer, "vinc"},
+    {ViewKind::kVertexRemovalSummarizer, "vrem"},
+    {ViewKind::kEdgeInclusionSummarizer, "einc"},
+    {ViewKind::kEdgeRemovalSummarizer, "erem"},
+    {ViewKind::kVertexAggregatorSummarizer, "vagg"},
+    {ViewKind::kSubgraphAggregatorSummarizer, "sagg"},
+};
+
+}  // namespace
+
+std::string ViewDefinition::ToRecord() const {
+  using graph::EncodePropertyValue;
+  using graph::EscapeToken;
+  std::string out = "kind=";
+  for (const auto& [k_enum, token] : kKindTokens) {
+    if (k_enum == kind) out += token;
+  }
+  out += " k=" + std::to_string(k);
+  auto field = [&](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    out += std::string(" ") + key + "=" + EscapeToken(value);
+  };
+  field("source", source_type);
+  field("target", target_type);
+  field("path_edge", path_edge_type);
+  for (const std::string& type : type_list) field("type", type);
+  field("group_by", group_by_property);
+  if (predicate_op != PredicateOp::kNone) {
+    field("pred_prop", predicate_property);
+    out += " pred_op=" + std::to_string(static_cast<int>(predicate_op));
+    out += " pred_val=" + EncodePropertyValue(predicate_value);
+  }
+  field("edge_name", connector_edge_name);
+  return out;
+}
+
+Result<ViewDefinition> ViewDefinition::FromRecord(const std::string& record) {
+  ViewDefinition view;
+  bool saw_kind = false;
+  for (const std::string& token : graph::TokenizeLine(record)) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("view record token missing '=': " +
+                                     token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string raw = token.substr(eq + 1);
+    if (key == "kind") {
+      for (const auto& [k_enum, kind_token] : kKindTokens) {
+        if (raw == kind_token) {
+          view.kind = k_enum;
+          saw_kind = true;
+        }
+      }
+      if (!saw_kind) {
+        return Status::InvalidArgument("unknown view kind '" + raw + "'");
+      }
+      continue;
+    }
+    if (key == "k" || key == "pred_op") {
+      int value;
+      try {
+        value = std::stoi(raw);
+      } catch (...) {
+        return Status::InvalidArgument("bad integer in view record: " + token);
+      }
+      if (key == "k") {
+        view.k = value;
+      } else if (value < static_cast<int>(PredicateOp::kNone) ||
+                 value > static_cast<int>(PredicateOp::kGe)) {
+        return Status::InvalidArgument("bad predicate op " + raw);
+      } else {
+        view.predicate_op = static_cast<PredicateOp>(value);
+      }
+      continue;
+    }
+    if (key == "pred_val") {
+      KASKADE_ASSIGN_OR_RETURN(view.predicate_value,
+                               graph::DecodePropertyValue(raw));
+      continue;
+    }
+    KASKADE_ASSIGN_OR_RETURN(std::string value, graph::UnescapeToken(raw));
+    if (key == "source") {
+      view.source_type = std::move(value);
+    } else if (key == "target") {
+      view.target_type = std::move(value);
+    } else if (key == "path_edge") {
+      view.path_edge_type = std::move(value);
+    } else if (key == "type") {
+      view.type_list.push_back(std::move(value));
+    } else if (key == "group_by") {
+      view.group_by_property = std::move(value);
+    } else if (key == "pred_prop") {
+      view.predicate_property = std::move(value);
+    } else if (key == "edge_name") {
+      view.connector_edge_name = std::move(value);
+    } else {
+      return Status::InvalidArgument("unknown view record key '" + key + "'");
+    }
+  }
+  if (!saw_kind) {
+    return Status::InvalidArgument("view record missing kind: " + record);
+  }
+  return view;
 }
 
 }  // namespace kaskade::core

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "graph/property_value.h"
 
 namespace kaskade::core {
@@ -99,6 +100,15 @@ struct ViewDefinition {
   /// workload analyzer would send to the graph engine (§V-B), e.g.
   /// `MATCH (x:Job)-[*2..2]->(y:Job) MERGE (x)-[:2_HOP_JOB_TO_JOB]->(y)`.
   std::string ToCypher() const;
+
+  /// Serializes the definition to a single `key=value`-token line (no
+  /// trailing newline), using the shared serialization codecs. This is
+  /// the persisted form checkpoints store so recovery can re-materialize
+  /// every catalog view from its definition.
+  std::string ToRecord() const;
+
+  /// Parses a line written by `ToRecord`.
+  static Result<ViewDefinition> FromRecord(const std::string& record);
 
   bool operator==(const ViewDefinition& other) const {
     return Name() == other.Name();

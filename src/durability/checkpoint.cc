@@ -1,0 +1,336 @@
+#include "durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32c.h"
+#include "graph/serialization.h"
+
+namespace kaskade::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[] = "kaskade-checkpoint";
+constexpr int kVersion = 1;
+
+std::string CheckpointName(uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%016llx.ckpt",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+std::string HexCrc(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+Status SyncPath(const std::string& path, int open_flags) {
+  int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::Internal("open for fsync " + path + ": " +
+                            std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Parses one checkpoint file; any integrity or structure problem is a
+/// `kDataLoss` (the caller falls back to an older file).
+Result<CheckpointState> ParseCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Internal("cannot read " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  // The trailing `end <crc>` line is verified over the raw bytes before
+  // anything is parsed.
+  size_t end_pos = text.rfind("\nend ");
+  if (end_pos == std::string::npos || text.empty() || text.back() != '\n') {
+    return Status::DataLoss("missing 'end' checksum line");
+  }
+  std::string body = text.substr(0, end_pos + 1);  // includes final '\n'
+  std::istringstream end_line(text.substr(end_pos + 1));
+  std::string end_word, end_hex;
+  end_line >> end_word >> end_hex;
+  uint32_t declared = 0;
+  if (end_word != "end" ||
+      std::sscanf(end_hex.c_str(), "%8x", &declared) != 1 ||
+      end_hex.size() != 8) {
+    return Status::DataLoss("malformed 'end' checksum line");
+  }
+  if (Crc32c(body) != declared) {
+    return Status::DataLoss("checkpoint checksum mismatch");
+  }
+
+  std::istringstream is(body);
+  std::string line;
+  auto next_line = [&](const char* what) -> Status {
+    if (!std::getline(is, line)) {
+      return Status::DataLoss(std::string("truncated before ") + what);
+    }
+    return Status::OK();
+  };
+
+  KASKADE_RETURN_IF_ERROR(next_line("header"));
+  if (line != std::string(kMagic) + " " + std::to_string(kVersion)) {
+    return Status::DataLoss("bad checkpoint header '" + line + "'");
+  }
+
+  CheckpointState state;
+  KASKADE_RETURN_IF_ERROR(next_line("lsn"));
+  unsigned long long lsn = 0;
+  if (std::sscanf(line.c_str(), "lsn %llu", &lsn) != 1) {
+    return Status::DataLoss("bad lsn line '" + line + "'");
+  }
+  state.lsn = lsn;
+
+  KASKADE_RETURN_IF_ERROR(next_line("graph section"));
+  unsigned long long graph_lines = 0;
+  if (std::sscanf(line.c_str(), "graph %llu", &graph_lines) != 1) {
+    return Status::DataLoss("bad graph line '" + line + "'");
+  }
+  std::string graph_text;
+  for (unsigned long long i = 0; i < graph_lines; ++i) {
+    KASKADE_RETURN_IF_ERROR(next_line("graph body"));
+    graph_text += line;
+    graph_text += '\n';
+  }
+  auto loaded = graph::GraphFromString(graph_text);
+  if (!loaded.ok()) {
+    // The outer CRC passed, so this is a writer/format bug rather than
+    // disk corruption — still unusable, still data loss for recovery.
+    return Status::DataLoss("embedded graph rejected: " +
+                            loaded.status().message());
+  }
+  state.graph = std::move(loaded).value();
+
+  KASKADE_RETURN_IF_ERROR(next_line("views section"));
+  unsigned long long view_count = 0;
+  if (std::sscanf(line.c_str(), "views %llu", &view_count) != 1) {
+    return Status::DataLoss("bad views line '" + line + "'");
+  }
+  for (unsigned long long i = 0; i < view_count; ++i) {
+    KASKADE_RETURN_IF_ERROR(next_line("view record"));
+    auto view = core::ViewDefinition::FromRecord(line);
+    if (!view.ok()) {
+      return Status::DataLoss("view record rejected: " +
+                              view.status().message());
+    }
+    state.views.push_back(std::move(view).value());
+  }
+  return state;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& dir, const graph::PropertyGraph& g,
+                       const std::vector<core::ViewDefinition>& views,
+                       uint64_t lsn, const core::FaultHooks& hooks) {
+  KASKADE_RETURN_IF_ERROR(
+      hooks.Fire(core::FaultSite::kCheckpointWrite, dir));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create checkpoint dir " + dir + ": " +
+                            ec.message());
+  }
+
+  graph::SaveOptions save_options;
+  save_options.preserve_tombstones = true;
+  std::string graph_text = graph::GraphToString(g, save_options);
+  if (graph_text.empty()) {
+    return Status::Internal("graph serialization failed");
+  }
+  size_t graph_lines =
+      static_cast<size_t>(std::count(graph_text.begin(), graph_text.end(),
+                                     '\n'));
+
+  std::string body = std::string(kMagic) + " " + std::to_string(kVersion) +
+                     "\n";
+  body += "lsn " + std::to_string(lsn) + "\n";
+  body += "graph " + std::to_string(graph_lines) + "\n";
+  body += graph_text;
+  body += "views " + std::to_string(views.size()) + "\n";
+  for (const core::ViewDefinition& view : views) {
+    body += view.ToRecord();
+    body += '\n';
+  }
+  std::string content = body + "end " + HexCrc(Crc32c(body)) + "\n";
+
+  std::string final_path = dir + "/" + CheckpointName(lsn);
+  std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return Status::Internal("cannot create " + tmp_path);
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return Status::Internal("write failed for " + tmp_path);
+    }
+  }
+  Status synced = SyncPath(tmp_path, O_RDONLY);
+  if (!synced.ok()) {
+    fs::remove(tmp_path, ec);
+    return synced;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return Status::Internal("cannot rename " + tmp_path + ": " +
+                            ec.message());
+  }
+  return SyncPath(dir, O_RDONLY | O_DIRECTORY);
+}
+
+std::vector<uint64_t> ListCheckpoints(const std::string& dir) {
+  std::vector<uint64_t> lsns;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long lsn = 0;
+    if (std::sscanf(name.c_str(), "checkpoint-%16llx.ckpt", &lsn) == 1 &&
+        name == CheckpointName(lsn)) {
+      lsns.push_back(lsn);
+    }
+  }
+  std::sort(lsns.rbegin(), lsns.rend());
+  return lsns;
+}
+
+namespace {
+constexpr char kViewSetMagic[] = "kaskade-views";
+constexpr int kViewSetVersion = 1;
+constexpr char kViewSetFile[] = "views.cat";
+
+/// Writes `content` to `dir/name` via tmp + fsync + rename + dir fsync.
+Status WriteFileAtomically(const std::string& dir, const std::string& name,
+                           const std::string& content) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create dir " + dir + ": " + ec.message());
+  }
+  std::string final_path = dir + "/" + name;
+  std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return Status::Internal("cannot create " + tmp_path);
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return Status::Internal("write failed for " + tmp_path);
+    }
+  }
+  Status synced = SyncPath(tmp_path, O_RDONLY);
+  if (!synced.ok()) {
+    fs::remove(tmp_path, ec);
+    return synced;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return Status::Internal("cannot rename " + tmp_path + ": " + ec.message());
+  }
+  return SyncPath(dir, O_RDONLY | O_DIRECTORY);
+}
+}  // namespace
+
+Status WriteViewSet(const std::string& dir,
+                    const std::vector<core::ViewDefinition>& views) {
+  std::string body = std::string(kViewSetMagic) + " " +
+                     std::to_string(kViewSetVersion) + "\n";
+  for (const core::ViewDefinition& view : views) {
+    body += view.ToRecord();
+    body += '\n';
+  }
+  return WriteFileAtomically(dir, kViewSetFile,
+                             body + "end " + HexCrc(Crc32c(body)) + "\n");
+}
+
+Result<std::vector<core::ViewDefinition>> LoadViewSet(const std::string& dir) {
+  std::string path = dir + "/" + kViewSetFile;
+  if (!fs::exists(path)) {
+    return Status::NotFound("no view set sidecar in " + dir);
+  }
+  std::ifstream in(path);
+  if (!in) return Status::Internal("cannot read " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  size_t end_pos = text.rfind("\nend ");
+  if (end_pos == std::string::npos || text.empty() || text.back() != '\n') {
+    return Status::DataLoss("view set missing 'end' checksum line");
+  }
+  std::string body = text.substr(0, end_pos + 1);
+  uint32_t declared = 0;
+  if (std::sscanf(text.c_str() + end_pos + 1, "end %8x", &declared) != 1) {
+    return Status::DataLoss("view set malformed 'end' line");
+  }
+  if (Crc32c(body) != declared) {
+    return Status::DataLoss("view set checksum mismatch");
+  }
+
+  std::istringstream is(body);
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != std::string(kViewSetMagic) + " " +
+                  std::to_string(kViewSetVersion)) {
+    return Status::DataLoss("bad view set header");
+  }
+  std::vector<core::ViewDefinition> views;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto view = core::ViewDefinition::FromRecord(line);
+    if (!view.ok()) {
+      return Status::DataLoss("view set record rejected: " +
+                              view.status().message());
+    }
+    views.push_back(std::move(view).value());
+  }
+  return views;
+}
+
+Result<CheckpointState> LoadNewestCheckpoint(const std::string& dir) {
+  std::vector<uint64_t> lsns = ListCheckpoints(dir);
+  if (lsns.empty()) {
+    return Status::NotFound("no checkpoint in " + dir);
+  }
+  std::vector<std::string> notes;
+  for (uint64_t lsn : lsns) {
+    std::string path = dir + "/" + CheckpointName(lsn);
+    auto state = ParseCheckpoint(path);
+    if (state.ok()) {
+      state.value().skipped_corrupt = std::move(notes);
+      return std::move(state).value();
+    }
+    notes.push_back(path + ": " + state.status().message());
+  }
+  std::string all;
+  for (const std::string& note : notes) {
+    if (!all.empty()) all += "; ";
+    all += note;
+  }
+  return Status::DataLoss("every checkpoint in " + dir +
+                          " failed validation: " + all);
+}
+
+}  // namespace kaskade::durability

@@ -1,0 +1,87 @@
+/// \file checkpoint.h
+/// \brief Versioned, checksummed snapshots of the engine's durable state.
+///
+/// A checkpoint captures everything recovery needs that the WAL tail
+/// does not: the base graph as of some LSN (tombstones preserved, so the
+/// WAL tail's pre-delta edge ids stay meaningful) and the catalog's view
+/// definitions. View *contents* are deliberately not persisted — they
+/// are re-materialized from their definitions on recovery, keeping
+/// checkpoints O(|base graph|).
+///
+/// File format (`checkpoint-<lsn 16hex>.ckpt`):
+///
+/// ```
+/// kaskade-checkpoint 1
+/// lsn <n>
+/// graph <line-count>
+/// <embedded `kaskade-graph 2` text, tombstones preserved>
+/// views <count>
+/// <one ViewDefinition::ToRecord line per view>
+/// end <crc32c of all previous lines, 8hex>
+/// ```
+///
+/// Writes are atomic: the file is written and fsynced under a `.tmp`
+/// name, renamed into place, and the directory fsynced — a crash leaves
+/// either the old checkpoint set or the new one, never a half-written
+/// file with a valid name. Loading verifies the trailing CRC before
+/// parsing anything, and falls back to the next-older checkpoint when a
+/// file is corrupt.
+
+#ifndef KASKADE_DURABILITY_CHECKPOINT_H_
+#define KASKADE_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fault.h"
+#include "core/view_definition.h"
+#include "graph/property_graph.h"
+
+namespace kaskade::durability {
+
+/// \brief A loaded checkpoint: the durable state as of `lsn`.
+struct CheckpointState {
+  /// LSN of the last mutation reflected in `graph`; WAL replay resumes
+  /// at `lsn + 1`.
+  uint64_t lsn = 0;
+  graph::PropertyGraph graph{graph::GraphSchema{}};
+  std::vector<core::ViewDefinition> views;
+  /// Per-file notes about corrupt checkpoints that were skipped on the
+  /// way to this one (empty when the newest file was valid).
+  std::vector<std::string> skipped_corrupt;
+};
+
+/// Writes `checkpoint-<lsn>.ckpt` atomically into `dir`. Fires the
+/// `kCheckpointWrite` fault site first; on failure nothing is left
+/// behind but a removed tmp file.
+Status WriteCheckpoint(const std::string& dir, const graph::PropertyGraph& g,
+                       const std::vector<core::ViewDefinition>& views,
+                       uint64_t lsn, const core::FaultHooks& hooks);
+
+/// Loads the newest valid checkpoint in `dir`, skipping (and noting)
+/// corrupt ones. Fails with `kNotFound` when no checkpoint file exists
+/// and `kDataLoss` when files exist but none passes validation.
+Result<CheckpointState> LoadNewestCheckpoint(const std::string& dir);
+
+/// Lists the LSNs of all checkpoint files in `dir`, newest first.
+std::vector<uint64_t> ListCheckpoints(const std::string& dir);
+
+/// Atomically persists the catalog's current view-definition set to
+/// `dir`'s `views.cat` sidecar (same tmp/rename/fsync protocol as a
+/// checkpoint). The sidecar — not the checkpoint — is the authoritative
+/// durable record of which views exist: it is rewritten on every
+/// add/remove, so a view added after the last checkpoint survives a
+/// crash; checkpoints embed a copy only as a fallback for directories
+/// that predate the sidecar.
+Status WriteViewSet(const std::string& dir,
+                    const std::vector<core::ViewDefinition>& views);
+
+/// Loads the view-definition sidecar. `kNotFound` when the file does
+/// not exist, `kDataLoss` when it fails checksum or parse validation.
+Result<std::vector<core::ViewDefinition>> LoadViewSet(const std::string& dir);
+
+}  // namespace kaskade::durability
+
+#endif  // KASKADE_DURABILITY_CHECKPOINT_H_

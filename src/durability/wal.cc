@@ -1,0 +1,484 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace kaskade::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Frame header: [u32 payload-length][u32 crc][u64 lsn], little-endian.
+constexpr size_t kHeaderBytes = 16;
+/// Sanity bound on a single record; anything larger is treated as a
+/// corrupt length field rather than an allocation request.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+void PutU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v);
+  out[1] = static_cast<char>(v >> 8);
+  out[2] = static_cast<char>(v >> 16);
+  out[3] = static_cast<char>(v >> 24);
+}
+
+void PutU64(char* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* in) {
+  const auto* p = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const char* in) {
+  return static_cast<uint64_t>(GetU32(in)) |
+         static_cast<uint64_t>(GetU32(in + 4)) << 32;
+}
+
+/// CRC over the (lsn, payload) pair — covers the sequence number so a
+/// record can't be silently replayed under the wrong LSN.
+uint32_t RecordCrc(uint64_t lsn, std::string_view payload) {
+  char lsn_bytes[8];
+  PutU64(lsn_bytes, lsn);
+  uint32_t crc = Crc32cExtend(0, lsn_bytes, sizeof(lsn_bytes));
+  return Crc32cExtend(crc, payload.data(), payload.size());
+}
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.log",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+struct SegmentFile {
+  uint64_t first_lsn;
+  std::string path;
+};
+
+/// The directory's segment files, sorted by first LSN.
+Result<std::vector<SegmentFile>> ListSegments(const std::string& dir) {
+  std::vector<SegmentFile> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long first = 0;
+    if (std::sscanf(name.c_str(), "wal-%16llx.log", &first) == 1 &&
+        name == SegmentName(first)) {
+      segments.push_back({first, entry.path().string()});
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list WAL dir " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return segments;
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir " + dir);
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("WAL write");
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kEveryWrite:
+      return "every_write";
+  }
+  return "unknown";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "none") return FsyncPolicy::kNone;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "every_write") return FsyncPolicy::kEveryWrite;
+  return Status::InvalidArgument("unknown fsync policy '" + name +
+                                 "' (want none|batch|every_write)");
+}
+
+WriteAheadLog::WriteAheadLog(std::string dir, uint64_t next_lsn,
+                             WalOptions options)
+    : dir_(std::move(dir)), options_(options), next_lsn_(next_lsn) {}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(std::string dir,
+                                                           uint64_t next_lsn,
+                                                           WalOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create WAL dir " + dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(std::move(dir), next_lsn, options));
+  KASKADE_RETURN_IF_ERROR(wal->OpenSegment(next_lsn));
+  if (options.fsync_policy == FsyncPolicy::kBatch) {
+    wal->flusher_ = std::thread([raw = wal.get()] { raw->FlusherLoop(); });
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  flush_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (options_.fsync_policy != FsyncPolicy::kNone && io_error_.ok() &&
+        end_ > durable_) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WriteAheadLog::OpenSegment(uint64_t first_lsn) {
+  std::string path = dir_ + "/" + SegmentName(first_lsn);
+  // O_APPEND (not O_TRUNC): after recovery truncated a torn tail in
+  // place, the same segment may be re-opened and must keep its surviving
+  // records.
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open WAL segment " + path);
+  KASKADE_RETURN_IF_ERROR(SyncDir(dir_));
+  std::lock_guard<std::mutex> lock(mu_);
+  fd_ = fd;
+  segment_path_ = path;
+  segment_start_ = end_;
+  return Status::OK();
+}
+
+Result<WriteAheadLog::AppendToken> WriteAheadLog::Append(
+    std::string_view payload) {
+  KASKADE_RETURN_IF_ERROR(
+      options_.fault_hooks.Fire(core::FaultSite::kWalAppend, dir_));
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+
+  uint64_t lsn = next_lsn_.load(std::memory_order_relaxed);
+  std::string frame(kHeaderBytes, '\0');
+  PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 4, RecordCrc(lsn, payload));
+  PutU64(frame.data() + 8, lsn);
+  frame.append(payload.data(), payload.size());
+
+  AppendToken token;
+  bool rotate = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    Status written = WriteFully(fd_, frame.data(), frame.size());
+    if (!written.ok()) {
+      io_error_ = written;
+      durable_cv_.notify_all();
+      return written;
+    }
+    end_ += frame.size();
+    token = {lsn, end_};
+    rotate = end_ - segment_start_ >= options_.segment_bytes;
+    if (options_.fsync_policy == FsyncPolicy::kBatch) {
+      flusher_has_work_ = true;
+    }
+  }
+  next_lsn_.store(lsn + 1, std::memory_order_relaxed);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (options_.fsync_policy == FsyncPolicy::kBatch) flush_cv_.notify_one();
+
+  if (rotate) {
+    // Seal the old segment: everything in it becomes durable before the
+    // new file takes over, so TruncateBelow can delete whole segments
+    // without a durability check.
+    std::lock_guard<std::mutex> io(io_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    int old_fd = fd_;
+    uint64_t sealed_end = end_;
+    lock.unlock();
+    if (::fsync(old_fd) != 0) {
+      Status failed = ErrnoStatus("fsync WAL segment");
+      lock.lock();
+      io_error_ = failed;
+      durable_cv_.notify_all();
+      return failed;
+    }
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    ::close(old_fd);
+    lock.lock();
+    fd_ = -1;
+    durable_ = std::max(durable_, sealed_end);
+    lock.unlock();
+    durable_cv_.notify_all();
+    KASKADE_RETURN_IF_ERROR(OpenSegment(lsn + 1));
+  }
+  return token;
+}
+
+Status WriteAheadLog::FlushToDisk(uint64_t target_end) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    if (durable_ >= target_end) return Status::OK();
+  }
+  // The fault site fires outside every lock so a blocking hook stalls
+  // only durability, never appends (crash tests rely on this to pin the
+  // durable position while acknowledged-in-memory writes accumulate).
+  Status hook = options_.fault_hooks.Fire(core::FaultSite::kWalFsync, dir_);
+
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+  if (durable_ >= target_end) return Status::OK();
+  Status failed = hook;
+  uint64_t covered = end_;
+  if (failed.ok()) {
+    int fd = fd_;
+    lock.unlock();
+    if (::fsync(fd) != 0) failed = ErrnoStatus("fsync WAL segment");
+    lock.lock();
+  }
+  if (!failed.ok()) {
+    io_error_ = failed;
+    lock.unlock();
+    durable_cv_.notify_all();
+    return failed;
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  durable_ = std::max(durable_, covered);
+  lock.unlock();
+  durable_cv_.notify_all();
+  return Status::OK();
+}
+
+void WriteAheadLog::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    flush_cv_.wait_for(lock, options_.flush_interval,
+                       [&] { return stop_ || flusher_has_work_; });
+    if (stop_) break;
+    flusher_has_work_ = false;
+    if (!io_error_.ok() || end_ <= durable_) continue;
+    uint64_t target = end_;
+    lock.unlock();
+    Status flushed = FlushToDisk(target);
+    if (flushed.ok()) batches_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+Status WriteAheadLog::WaitDurable(const AppendToken& token) {
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNone:
+      return Status::OK();
+    case FsyncPolicy::kEveryWrite:
+      return FlushToDisk(token.end);
+    case FsyncPolicy::kBatch: {
+      std::unique_lock<std::mutex> lock(mu_);
+      durable_cv_.wait(lock, [&] {
+        return durable_ >= token.end || !io_error_.ok() || stop_;
+      });
+      if (durable_ >= token.end) return Status::OK();
+      if (!io_error_.ok()) return io_error_;
+      return Status::Unavailable("WAL shut down before flush");
+    }
+  }
+  return Status::Internal("bad fsync policy");
+}
+
+Status WriteAheadLog::Sync() {
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = end_;
+  }
+  return FlushToDisk(target);
+}
+
+Status WriteAheadLog::TruncateBelow(uint64_t lsn) {
+  KASKADE_ASSIGN_OR_RETURN(std::vector<SegmentFile> segments,
+                           ListSegments(dir_));
+  std::string active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = segment_path_;
+  }
+  bool removed = false;
+  // A segment covers [its first LSN, next segment's first LSN): it is
+  // redundant only when the NEXT segment already starts at or below the
+  // cutoff.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first_lsn > lsn) break;
+    if (segments[i].path == active) continue;
+    std::error_code ec;
+    fs::remove(segments[i].path, ec);
+    if (ec) {
+      return Status::Internal("cannot remove WAL segment " +
+                              segments[i].path + ": " + ec.message());
+    }
+    removed = true;
+  }
+  if (removed) KASKADE_RETURN_IF_ERROR(SyncDir(dir_));
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_;
+}
+
+uint64_t WriteAheadLog::durable_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
+}
+
+std::string WriteAheadLog::current_segment_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_path_;
+}
+
+WalTelemetry WriteAheadLog::telemetry() const {
+  WalTelemetry t;
+  t.appends = appends_.load(std::memory_order_relaxed);
+  t.bytes = bytes_.load(std::memory_order_relaxed);
+  t.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  t.batches = batches_.load(std::memory_order_relaxed);
+  return t;
+}
+
+Result<ReplayReport> WriteAheadLog::Replay(
+    const std::string& dir, uint64_t start_lsn,
+    const std::function<Status(uint64_t lsn, const std::string& payload)>&
+        apply) {
+  ReplayReport report;
+  if (!fs::exists(dir)) return report;
+  KASKADE_ASSIGN_OR_RETURN(std::vector<SegmentFile> segments,
+                           ListSegments(dir));
+
+  bool corrupt = false;
+  uint64_t expected_lsn = 0;  // 0 = accept whatever the log starts with.
+  for (size_t seg = 0; seg < segments.size() && !corrupt; ++seg) {
+    const SegmentFile& segment = segments[seg];
+    std::ifstream in(segment.path, std::ios::binary);
+    if (!in) {
+      return Status::Internal("cannot read WAL segment " + segment.path);
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    size_t offset = 0;
+    std::string why;
+    while (offset < data.size()) {
+      if (offset + kHeaderBytes > data.size()) {
+        why = "partial frame header";
+        break;
+      }
+      uint32_t length = GetU32(data.data() + offset);
+      uint32_t crc = GetU32(data.data() + offset + 4);
+      uint64_t lsn = GetU64(data.data() + offset + 8);
+      if (length > kMaxPayloadBytes) {
+        why = "implausible record length";
+        break;
+      }
+      if (offset + kHeaderBytes + length > data.size()) {
+        why = "torn record (length past end of file)";
+        break;
+      }
+      std::string payload = data.substr(offset + kHeaderBytes, length);
+      if (RecordCrc(lsn, payload) != crc) {
+        why = "checksum mismatch";
+        break;
+      }
+      if (expected_lsn != 0 && lsn != expected_lsn) {
+        why = "sequence break (expected lsn " + std::to_string(expected_lsn) +
+              ", found " + std::to_string(lsn) + ")";
+        break;
+      }
+      expected_lsn = lsn + 1;
+      report.last_lsn = lsn;
+      offset += kHeaderBytes + length;
+      if (lsn >= start_lsn) {
+        if (report.records == 0) report.first_lsn = lsn;
+        KASKADE_RETURN_IF_ERROR(apply(lsn, payload));
+        ++report.records;
+      }
+    }
+    if (offset < data.size()) {
+      // Invalid record: cut the tail here and drop every later segment —
+      // nothing past a corruption point can be trusted to be in
+      // sequence.
+      corrupt = true;
+      report.data_loss_note = "WAL " + segment.path + " @" +
+                              std::to_string(offset) + ": " + why +
+                              "; truncated torn tail";
+      report.truncated_bytes += data.size() - offset;
+      std::error_code ec;
+      fs::resize_file(segment.path, offset, ec);
+      if (ec) {
+        return Status::Internal("cannot truncate torn WAL tail in " +
+                                segment.path + ": " + ec.message());
+      }
+      for (size_t later = seg + 1; later < segments.size(); ++later) {
+        std::error_code size_ec;
+        auto size = fs::file_size(segments[later].path, size_ec);
+        if (!size_ec) report.truncated_bytes += size;
+        fs::remove(segments[later].path, ec);
+        if (ec) {
+          return Status::Internal("cannot remove WAL segment " +
+                                  segments[later].path + ": " + ec.message());
+        }
+      }
+      KASKADE_RETURN_IF_ERROR(SyncDir(dir));
+    }
+  }
+  return report;
+}
+
+}  // namespace kaskade::durability

@@ -1,0 +1,202 @@
+/// \file wal.h
+/// \brief Checksummed, segment-rotated write-ahead log.
+///
+/// Every engine mutation appends one record here before it is
+/// acknowledged, so a crash can be recovered by replaying the log tail
+/// on top of the newest checkpoint. The on-disk record framing is
+///
+/// ```
+/// [u32 payload-length][u32 crc32c(lsn || payload)][u64 lsn][payload]
+/// ```
+///
+/// (little-endian integers). LSNs are assigned by the single writer and
+/// increase by exactly one per record, which lets replay detect a
+/// corrupt or torn record three independent ways: a length that runs
+/// past the file, a CRC mismatch, or an LSN break. Replay stops at the
+/// first invalid record, truncates it and everything after it (including
+/// later segments), and reports the loss — a torn tail is never
+/// propagated into the recovered graph.
+///
+/// Durability is policy-driven (`FsyncPolicy`):
+/// - `kNone`: no fsync; the OS decides when bytes hit disk.
+/// - `kBatch` (group commit): a flusher thread fsyncs at a bounded
+///   interval; writers block until the batch containing their record is
+///   flushed, so one fsync amortizes over every record appended since
+///   the last one.
+/// - `kEveryWrite`: each writer fsyncs (or rides a concurrent fsync that
+///   already covers its record) before its mutation is acknowledged.
+///
+/// Threading contract: `Append` calls must be externally serialized (the
+/// engine holds its writer lock); `WaitDurable`, telemetry reads, and
+/// the background flusher are free-threaded.
+
+#ifndef KASKADE_DURABILITY_WAL_H_
+#define KASKADE_DURABILITY_WAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/result.h"
+#include "core/fault.h"
+
+namespace kaskade::durability {
+
+/// \brief When acknowledged writes are forced to stable storage.
+enum class FsyncPolicy {
+  kNone,       ///< Never fsync from the engine; fastest, widest loss window.
+  kBatch,      ///< Group commit: one fsync per flush interval covers a batch.
+  kEveryWrite, ///< Fsync before every acknowledgement; zero acknowledged loss.
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
+/// \brief WAL tuning knobs.
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+  /// Upper bound on how long a `kBatch` writer waits for its group's
+  /// fsync (the flusher wakes at this cadence, or immediately when poked).
+  std::chrono::milliseconds flush_interval{2};
+  /// Rotate to a new segment file once the current one exceeds this.
+  uint64_t segment_bytes = 64ull << 20;
+  /// Durability fault sites (`kWalAppend`, `kWalFsync`) fire through
+  /// these hooks.
+  core::FaultHooks fault_hooks;
+};
+
+/// \brief Monotonic counters, readable while the log is live.
+struct WalTelemetry {
+  uint64_t appends = 0;   ///< Records appended.
+  uint64_t bytes = 0;     ///< Bytes appended (framing included).
+  uint64_t fsyncs = 0;    ///< fsync(2) calls issued.
+  uint64_t batches = 0;   ///< Group-commit flushes that advanced durability.
+};
+
+/// \brief What `Replay` found on disk.
+struct ReplayReport {
+  uint64_t records = 0;          ///< Records delivered to the callback.
+  uint64_t first_lsn = 0;        ///< LSN of the first record delivered.
+  uint64_t last_lsn = 0;         ///< Highest LSN seen (0 = log empty).
+  uint64_t truncated_bytes = 0;  ///< Torn/corrupt tail bytes removed.
+  /// Human-readable description of a detected torn tail; empty when the
+  /// log was clean.
+  std::string data_loss_note;
+};
+
+/// \brief The write-ahead log over one directory of `wal-<lsn>.log`
+/// segment files.
+class WriteAheadLog {
+ public:
+  /// Handle for `WaitDurable`: identifies the log position a record's
+  /// acknowledgement must wait for.
+  struct AppendToken {
+    uint64_t lsn = 0;
+    uint64_t end = 0;  ///< Logical byte offset just past the record.
+  };
+
+  /// Opens the log for appending; the next record gets `next_lsn`. A
+  /// segment file named for `next_lsn` is created (or re-opened for
+  /// append after recovery truncated it in place).
+  static Result<std::unique_ptr<WriteAheadLog>> Open(std::string dir,
+                                                     uint64_t next_lsn,
+                                                     WalOptions options);
+
+  /// Stops the flusher and closes the active segment (with a final
+  /// fsync unless the policy is `kNone`).
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record. Calls must be externally serialized; the
+  /// returned token is what `WaitDurable` blocks on. The record is NOT
+  /// durable yet when this returns.
+  Result<AppendToken> Append(std::string_view payload);
+
+  /// Blocks per the fsync policy until `token`'s record is durable
+  /// (no-op for `kNone`). Returns the sticky I/O error if the log hit
+  /// an unrecoverable write/fsync failure.
+  Status WaitDurable(const AppendToken& token);
+
+  /// Deletes whole segment files all of whose records have LSN below
+  /// `lsn` (called after a checkpoint at `lsn - 1` made them redundant).
+  /// The active segment is never deleted.
+  Status TruncateBelow(uint64_t lsn);
+
+  /// Forces everything appended so far to disk regardless of policy.
+  Status Sync();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Logical byte offsets since `Open` — `end_offset` counts appended
+  /// bytes, `durable_offset` the prefix known to have been fsynced.
+  /// While the log stays in its first segment these equal offsets into
+  /// the segment file, which is what crash tests use to truncate a
+  /// copied directory at the exact durability boundary.
+  uint64_t end_offset() const;
+  uint64_t durable_offset() const;
+
+  /// Path of the segment currently being appended to.
+  std::string current_segment_path() const;
+
+  WalTelemetry telemetry() const;
+
+  /// Replays every record with `lsn >= start_lsn` from the segments in
+  /// `dir`, in LSN order, through `apply`. Detects a torn or corrupt
+  /// tail (bad length, bad CRC, LSN break, partial frame), truncates it
+  /// in place — later segments included — and reports what was dropped.
+  /// An `apply` error aborts the replay and is returned as-is.
+  static Result<ReplayReport> Replay(
+      const std::string& dir, uint64_t start_lsn,
+      const std::function<Status(uint64_t lsn, const std::string& payload)>&
+          apply);
+
+ private:
+  WriteAheadLog(std::string dir, uint64_t next_lsn, WalOptions options);
+
+  Status OpenSegment(uint64_t first_lsn);
+  /// Fsyncs bytes up to the captured end offset; returns the sticky
+  /// error on failure. Caller must NOT hold `mu_`.
+  Status FlushToDisk(uint64_t target_end);
+  void FlusherLoop();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  /// Serializes fsync(2) against segment-file close during rotation, so
+  /// a flush never syncs a recycled descriptor. Held across the (slow)
+  /// fsync call itself; `mu_` is never held while waiting for it.
+  mutable std::mutex io_mu_;
+  /// Guards segment fd value and the offsets/error below.
+  mutable std::mutex mu_;
+  std::condition_variable durable_cv_;  ///< Signaled when durable_ advances.
+  std::condition_variable flush_cv_;    ///< Pokes the flusher.
+  int fd_ = -1;
+  std::string segment_path_;
+  uint64_t segment_start_ = 0;  ///< Logical offset where the segment begins.
+  uint64_t end_ = 0;            ///< Logical bytes appended.
+  uint64_t durable_ = 0;        ///< Logical bytes known fsynced.
+  Status io_error_;             ///< Sticky; set on write/fsync failure.
+  bool flusher_has_work_ = false;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> next_lsn_;
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  std::thread flusher_;
+};
+
+}  // namespace kaskade::durability
+
+#endif  // KASKADE_DURABILITY_WAL_H_

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 
 namespace kaskade::graph {
@@ -11,14 +12,266 @@ namespace kaskade::graph {
 namespace {
 
 constexpr char kMagic[] = "kaskade-graph";
-constexpr int kVersion = 1;
+/// Version 2 added sections, per-section CRC32C, the whole-file `end`
+/// checksum, and the tombstone-preserving `xvertex`/`xedge` records.
+constexpr int kVersion = 2;
+constexpr int kLegacyVersion = 1;
 
 bool NeedsEscape(char c) {
   return std::isspace(static_cast<unsigned char>(c)) || c == '=' ||
          c == '\\' || !std::isprint(static_cast<unsigned char>(c));
 }
 
-std::string Escape(const std::string& raw) {
+std::string HexCrc(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+Result<uint32_t> ParseHexCrc(const std::string& token) {
+  if (token.size() != 8) {
+    return Status::DataLoss("bad checksum token '" + token + "'");
+  }
+  uint32_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::DataLoss("bad checksum digit in '" + token + "'");
+    }
+    value = value * 16 + static_cast<uint32_t>(digit);
+  }
+  return value;
+}
+
+/// Everything a data line can declare, version-independent: the loader
+/// first collects these, then constructs the graph, then applies the
+/// tombstones — so a dead vertex's dead incident edges are removed
+/// before `RemoveVertex` runs.
+struct PendingGraph {
+  GraphSchema schema;
+  struct PendingVertex {
+    std::string type;
+    PropertyMap props;
+    bool live = true;
+  };
+  struct PendingEdge {
+    VertexId source;
+    VertexId target;
+    std::string type;
+    PropertyMap props;
+    bool live = true;
+  };
+  std::vector<PendingVertex> vertices;
+  std::vector<PendingEdge> edges;
+};
+
+Status ParseDataLine(const std::vector<std::string>& tokens,
+                     PendingGraph* pending) {
+  const std::string& record = tokens[0];
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument(why);
+  };
+  if (record == "vtype") {
+    if (tokens.size() != 2) return fail("vtype wants 1 argument");
+    KASKADE_ASSIGN_OR_RETURN(std::string name, UnescapeToken(tokens[1]));
+    pending->schema.AddVertexType(name);
+  } else if (record == "etype") {
+    if (tokens.size() != 4) return fail("etype wants 3 arguments");
+    KASKADE_ASSIGN_OR_RETURN(std::string name, UnescapeToken(tokens[1]));
+    KASKADE_ASSIGN_OR_RETURN(std::string src, UnescapeToken(tokens[2]));
+    KASKADE_ASSIGN_OR_RETURN(std::string dst, UnescapeToken(tokens[3]));
+    KASKADE_RETURN_IF_ERROR(
+        pending->schema.AddEdgeType(name, src, dst).status());
+  } else if (record == "vertex" || record == "xvertex") {
+    if (tokens.size() < 2) return fail("vertex wants a type");
+    PendingGraph::PendingVertex vertex;
+    vertex.live = record[0] != 'x';
+    KASKADE_ASSIGN_OR_RETURN(vertex.type, UnescapeToken(tokens[1]));
+    KASKADE_RETURN_IF_ERROR(ParsePropertyTokens(tokens, 2, &vertex.props));
+    pending->vertices.push_back(std::move(vertex));
+  } else if (record == "edge" || record == "xedge") {
+    if (tokens.size() < 4) return fail("edge wants src dst type");
+    PendingGraph::PendingEdge edge;
+    edge.live = record[0] != 'x';
+    try {
+      edge.source = static_cast<VertexId>(std::stoul(tokens[1]));
+      edge.target = static_cast<VertexId>(std::stoul(tokens[2]));
+    } catch (...) {
+      return fail("bad endpoint id");
+    }
+    KASKADE_ASSIGN_OR_RETURN(edge.type, UnescapeToken(tokens[3]));
+    KASKADE_RETURN_IF_ERROR(ParsePropertyTokens(tokens, 4, &edge.props));
+    pending->edges.push_back(std::move(edge));
+  } else {
+    return fail("unknown record '" + record + "'");
+  }
+  return Status::OK();
+}
+
+/// Builds the graph from collected records: everything is added live
+/// first (so dead edges can reference dead endpoints), then edges and
+/// vertices are tombstoned in that order (`RemoveVertex` requires no
+/// live incident edges).
+Result<PropertyGraph> ConstructGraph(PendingGraph pending) {
+  PropertyGraph graph(pending.schema);
+  for (auto& vertex : pending.vertices) {
+    KASKADE_RETURN_IF_ERROR(
+        graph.AddVertex(vertex.type, std::move(vertex.props)).status());
+  }
+  std::vector<EdgeId> dead_edges;
+  for (size_t i = 0; i < pending.edges.size(); ++i) {
+    auto& edge = pending.edges[i];
+    KASKADE_ASSIGN_OR_RETURN(EdgeId id,
+                             graph.AddEdge(edge.source, edge.target, edge.type,
+                                           std::move(edge.props)));
+    if (!edge.live) dead_edges.push_back(id);
+  }
+  for (EdgeId e : dead_edges) {
+    KASKADE_RETURN_IF_ERROR(graph.RemoveEdge(e));
+  }
+  for (size_t v = 0; v < pending.vertices.size(); ++v) {
+    if (pending.vertices[v].live) continue;
+    KASKADE_RETURN_IF_ERROR(graph.RemoveVertex(static_cast<VertexId>(v)));
+  }
+  return graph;
+}
+
+/// Reads the remaining lines of a version-1 (unchecksummed) stream.
+Result<PropertyGraph> LoadLegacyGraph(std::istream* in) {
+  PendingGraph pending;
+  std::string line;
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = TokenizeLine(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "xvertex" || tokens[0] == "xedge") {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": tombstone records require format version 2");
+    }
+    Status parsed = ParseDataLine(tokens, &pending);
+    if (!parsed.ok()) {
+      return Status(parsed.code(), "line " + std::to_string(line_number) +
+                                       ": " + parsed.message());
+    }
+  }
+  return ConstructGraph(std::move(pending));
+}
+
+/// One integrity-checked section of a version-2 stream: reads the
+/// declared number of data lines, verifies the trailing `crc <name>
+/// <hex>` line, and feeds each data line to the record parser. `total`
+/// accumulates the whole-file checksum.
+Status ReadSection(std::istream* in, const std::string& expect_name,
+                   std::string* first_line, uint32_t* total,
+                   PendingGraph* pending) {
+  auto extend_total = [&](const std::string& line) {
+    *total = Crc32cExtend(*total, line.data(), line.size());
+    *total = Crc32cExtend(*total, "\n", 1);
+  };
+  std::vector<std::string> header = TokenizeLine(*first_line);
+  if (header.size() != 3 || header[0] != "section" ||
+      header[1] != expect_name) {
+    return Status::DataLoss("expected 'section " + expect_name +
+                            " <count>', got '" + *first_line + "'");
+  }
+  size_t count = 0;
+  try {
+    count = std::stoul(header[2]);
+  } catch (...) {
+    return Status::DataLoss("bad section count '" + header[2] + "'");
+  }
+  extend_total(*first_line);
+
+  uint32_t section_crc = 0;
+  std::vector<std::vector<std::string>> data_lines;
+  data_lines.reserve(count);
+  std::string line;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(*in, line)) {
+      return Status::DataLoss("section '" + expect_name +
+                              "' truncated: expected " + std::to_string(count) +
+                              " records, file ended after " +
+                              std::to_string(i));
+    }
+    section_crc = Crc32cExtend(section_crc, line.data(), line.size());
+    section_crc = Crc32cExtend(section_crc, "\n", 1);
+    extend_total(line);
+    data_lines.push_back(TokenizeLine(line));
+  }
+  if (!std::getline(*in, line)) {
+    return Status::DataLoss("section '" + expect_name +
+                            "' truncated: missing checksum line");
+  }
+  std::vector<std::string> crc_tokens = TokenizeLine(line);
+  if (crc_tokens.size() != 3 || crc_tokens[0] != "crc" ||
+      crc_tokens[1] != expect_name) {
+    return Status::DataLoss("expected 'crc " + expect_name + " <hex>', got '" +
+                            line + "'");
+  }
+  KASKADE_ASSIGN_OR_RETURN(uint32_t declared, ParseHexCrc(crc_tokens[2]));
+  if (declared != section_crc) {
+    return Status::DataLoss("section '" + expect_name +
+                            "' checksum mismatch: declared " + crc_tokens[2] +
+                            ", computed " + HexCrc(section_crc));
+  }
+  extend_total(line);
+
+  // Only after the checksum passed do the records get parsed — corrupted
+  // bytes never reach graph construction.
+  for (size_t i = 0; i < data_lines.size(); ++i) {
+    if (data_lines[i].empty()) {
+      return Status::DataLoss("empty record in section '" + expect_name + "'");
+    }
+    Status parsed = ParseDataLine(data_lines[i], pending);
+    if (!parsed.ok()) {
+      return Status(parsed.code(), "section '" + expect_name + "' record " +
+                                       std::to_string(i) + ": " +
+                                       parsed.message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<PropertyGraph> LoadCheckedGraph(std::istream* in,
+                                       const std::string& header_line) {
+  uint32_t total = 0;
+  total = Crc32cExtend(total, header_line.data(), header_line.size());
+  total = Crc32cExtend(total, "\n", 1);
+
+  PendingGraph pending;
+  const char* section_names[] = {"schema", "vertices", "edges"};
+  std::string line;
+  for (const char* name : section_names) {
+    if (!std::getline(*in, line)) {
+      return Status::DataLoss(std::string("truncated before section '") +
+                              name + "'");
+    }
+    KASKADE_RETURN_IF_ERROR(ReadSection(in, name, &line, &total, &pending));
+  }
+  if (!std::getline(*in, line)) {
+    return Status::DataLoss("truncated: missing 'end' checksum line");
+  }
+  std::vector<std::string> end_tokens = TokenizeLine(line);
+  if (end_tokens.size() != 2 || end_tokens[0] != "end") {
+    return Status::DataLoss("expected 'end <hex>', got '" + line + "'");
+  }
+  KASKADE_ASSIGN_OR_RETURN(uint32_t declared, ParseHexCrc(end_tokens[1]));
+  if (declared != total) {
+    return Status::DataLoss("file checksum mismatch: declared " +
+                            end_tokens[1] + ", computed " + HexCrc(total));
+  }
+  return ConstructGraph(std::move(pending));
+}
+
+}  // namespace
+
+std::string EscapeToken(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
   char buf[8];
@@ -34,7 +287,7 @@ std::string Escape(const std::string& raw) {
   return out;
 }
 
-Result<std::string> Unescape(const std::string& escaped) {
+Result<std::string> UnescapeToken(const std::string& escaped) {
   std::string out;
   out.reserve(escaped.size());
   for (size_t i = 0; i < escaped.size(); ++i) {
@@ -64,7 +317,7 @@ Result<std::string> Unescape(const std::string& escaped) {
   return out;
 }
 
-std::string EncodeValue(const PropertyValue& value) {
+std::string EncodePropertyValue(const PropertyValue& value) {
   if (value.is_null()) return "n:";
   if (value.is_bool()) return value.as_bool() ? "b:1" : "b:0";
   if (value.is_int()) return "i:" + std::to_string(value.as_int());
@@ -73,10 +326,10 @@ std::string EncodeValue(const PropertyValue& value) {
     os << std::setprecision(17) << value.as_double();
     return "d:" + os.str();
   }
-  return "s:" + Escape(value.as_string());
+  return "s:" + EscapeToken(value.as_string());
 }
 
-Result<PropertyValue> DecodeValue(const std::string& encoded) {
+Result<PropertyValue> DecodePropertyValue(const std::string& encoded) {
   if (encoded.size() < 2 || encoded[1] != ':') {
     return Status::InvalidArgument("bad property encoding '" + encoded + "'");
   }
@@ -99,7 +352,7 @@ Result<PropertyValue> DecodeValue(const std::string& encoded) {
         return Status::InvalidArgument("bad double '" + payload + "'");
       }
     case 's': {
-      KASKADE_ASSIGN_OR_RETURN(std::string raw, Unescape(payload));
+      KASKADE_ASSIGN_OR_RETURN(std::string raw, UnescapeToken(payload));
       return PropertyValue(std::move(raw));
     }
     default:
@@ -108,14 +361,17 @@ Result<PropertyValue> DecodeValue(const std::string& encoded) {
   }
 }
 
-void WriteProperties(const PropertyMap& props, std::ostream* out) {
+void AppendProperties(const PropertyMap& props, std::string* out) {
   for (const auto& [key, value] : props) {
-    *out << " " << Escape(key) << "=" << EncodeValue(value);
+    *out += " ";
+    *out += EscapeToken(key);
+    *out += "=";
+    *out += EncodePropertyValue(value);
   }
 }
 
-Status ParseProperties(const std::vector<std::string>& tokens, size_t start,
-                       PropertyMap* props) {
+Status ParsePropertyTokens(const std::vector<std::string>& tokens,
+                           size_t start, PropertyMap* props) {
   for (size_t i = start; i < tokens.size(); ++i) {
     if (tokens[i].empty()) continue;
     size_t eq = tokens[i].find('=');
@@ -124,15 +380,15 @@ Status ParseProperties(const std::vector<std::string>& tokens, size_t start,
                                      tokens[i]);
     }
     KASKADE_ASSIGN_OR_RETURN(std::string key,
-                             Unescape(tokens[i].substr(0, eq)));
+                             UnescapeToken(tokens[i].substr(0, eq)));
     KASKADE_ASSIGN_OR_RETURN(PropertyValue value,
-                             DecodeValue(tokens[i].substr(eq + 1)));
+                             DecodePropertyValue(tokens[i].substr(eq + 1)));
     props->Set(key, std::move(value));
   }
   return Status::OK();
 }
 
-std::vector<std::string> Tokenize(const std::string& line) {
+std::vector<std::string> TokenizeLine(const std::string& line) {
   std::vector<std::string> tokens;
   std::istringstream is(line);
   std::string token;
@@ -140,38 +396,89 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
-}  // namespace
-
-Status SaveGraph(const PropertyGraph& graph, std::ostream* out) {
-  *out << kMagic << " " << kVersion << "\n";
+Status SaveGraph(const PropertyGraph& graph, std::ostream* out,
+                 const SaveOptions& options) {
+  // Render every section's data lines first, then emit with counts and
+  // checksums — the writer and the loader compute the CRCs over the
+  // same byte runs (each line plus its newline).
   const GraphSchema& schema = graph.schema();
+  std::vector<std::string> schema_lines;
   for (const std::string& name : schema.vertex_type_names()) {
-    *out << "vtype " << Escape(name) << "\n";
+    schema_lines.push_back("vtype " + EscapeToken(name));
   }
   for (const EdgeTypeDecl& decl : schema.edge_types()) {
-    *out << "etype " << Escape(decl.name) << " "
-         << Escape(schema.vertex_type_name(decl.source_type)) << " "
-         << Escape(schema.vertex_type_name(decl.target_type)) << "\n";
+    schema_lines.push_back(
+        "etype " + EscapeToken(decl.name) + " " +
+        EscapeToken(schema.vertex_type_name(decl.source_type)) + " " +
+        EscapeToken(schema.vertex_type_name(decl.target_type)));
   }
-  // Dead elements are dropped and vertex ids compacted (the format has
-  // no tombstone notion); loading a saved graph yields dense live ids.
-  std::vector<VertexId> remap(graph.NumVertices(), kInvalidId);
-  VertexId next_id = 0;
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-    if (!graph.IsVertexLive(v)) continue;
-    remap[v] = next_id++;
-    *out << "vertex " << Escape(graph.VertexTypeName(v));
-    WriteProperties(graph.VertexProperties(v), out);
-    *out << "\n";
+
+  std::vector<std::string> vertex_lines;
+  std::vector<std::string> edge_lines;
+  if (options.preserve_tombstones) {
+    // Exact id-space reproduction: every element in id order, dead ones
+    // marked — the checkpoint/WAL contract (a WAL tail names pre-delta
+    // edge ids, which must mean the same thing after reload).
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      std::string line = graph.IsVertexLive(v) ? "vertex " : "xvertex ";
+      line += EscapeToken(graph.VertexTypeName(v));
+      AppendProperties(graph.VertexProperties(v), &line);
+      vertex_lines.push_back(std::move(line));
+    }
+    for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+      const EdgeRecord& rec = graph.Edge(e);
+      std::string line = graph.IsEdgeLive(e) ? "edge " : "xedge ";
+      line += std::to_string(rec.source) + " " + std::to_string(rec.target) +
+              " " + EscapeToken(graph.EdgeTypeName(e));
+      AppendProperties(graph.EdgeProperties(e), &line);
+      edge_lines.push_back(std::move(line));
+    }
+  } else {
+    // Dead elements are dropped and vertex ids compacted; loading a
+    // graph saved this way yields dense live ids.
+    std::vector<VertexId> remap(graph.NumVertices(), kInvalidId);
+    VertexId next_id = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (!graph.IsVertexLive(v)) continue;
+      remap[v] = next_id++;
+      std::string line = "vertex " + EscapeToken(graph.VertexTypeName(v));
+      AppendProperties(graph.VertexProperties(v), &line);
+      vertex_lines.push_back(std::move(line));
+    }
+    for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+      if (!graph.IsEdgeLive(e)) continue;
+      const EdgeRecord& rec = graph.Edge(e);
+      std::string line = "edge " + std::to_string(remap[rec.source]) + " " +
+                         std::to_string(remap[rec.target]) + " " +
+                         EscapeToken(graph.EdgeTypeName(e));
+      AppendProperties(graph.EdgeProperties(e), &line);
+      edge_lines.push_back(std::move(line));
+    }
   }
-  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
-    if (!graph.IsEdgeLive(e)) continue;
-    const EdgeRecord& rec = graph.Edge(e);
-    *out << "edge " << remap[rec.source] << " " << remap[rec.target] << " "
-         << Escape(graph.EdgeTypeName(e));
-    WriteProperties(graph.EdgeProperties(e), out);
-    *out << "\n";
-  }
+
+  uint32_t total = 0;
+  auto emit = [&](const std::string& line) {
+    total = Crc32cExtend(total, line.data(), line.size());
+    total = Crc32cExtend(total, "\n", 1);
+    *out << line << "\n";
+  };
+  auto emit_section = [&](const char* name,
+                          const std::vector<std::string>& lines) {
+    emit(std::string("section ") + name + " " + std::to_string(lines.size()));
+    uint32_t section_crc = 0;
+    for (const std::string& line : lines) {
+      section_crc = Crc32cExtend(section_crc, line.data(), line.size());
+      section_crc = Crc32cExtend(section_crc, "\n", 1);
+      emit(line);
+    }
+    emit(std::string("crc ") + name + " " + HexCrc(section_crc));
+  };
+
+  emit(std::string(kMagic) + " " + std::to_string(kVersion));
+  emit_section("schema", schema_lines);
+  emit_section("vertices", vertex_lines);
+  emit_section("edges", edge_lines);
+  *out << "end " << HexCrc(total) << "\n";
   if (!out->good()) return Status::Internal("stream write failed");
   return Status::OK();
 }
@@ -181,89 +488,100 @@ Result<PropertyGraph> LoadGraph(std::istream* in) {
   if (!std::getline(*in, line)) {
     return Status::InvalidArgument("empty input");
   }
-  std::vector<std::string> header = Tokenize(line);
+  std::vector<std::string> header = TokenizeLine(line);
   if (header.size() != 2 || header[0] != kMagic) {
     return Status::InvalidArgument("not a kaskade-graph file");
+  }
+  if (header[1] == std::to_string(kLegacyVersion)) {
+    return LoadLegacyGraph(in);
   }
   if (header[1] != std::to_string(kVersion)) {
     return Status::InvalidArgument("unsupported version " + header[1]);
   }
-
-  // Pass 1: schema lines must precede data lines; we build as we stream.
-  GraphSchema schema;
-  std::vector<std::pair<std::string, PropertyMap>> pending_vertices;
-  struct PendingEdge {
-    VertexId source;
-    VertexId target;
-    std::string type;
-    PropertyMap props;
-  };
-  std::vector<PendingEdge> pending_edges;
-  size_t line_number = 1;
-  while (std::getline(*in, line)) {
-    ++line_number;
-    std::vector<std::string> tokens = Tokenize(line);
-    if (tokens.empty() || tokens[0][0] == '#') continue;
-    auto fail = [&](const std::string& why) {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     ": " + why);
-    };
-    if (tokens[0] == "vtype") {
-      if (tokens.size() != 2) return fail("vtype wants 1 argument");
-      KASKADE_ASSIGN_OR_RETURN(std::string name, Unescape(tokens[1]));
-      schema.AddVertexType(name);
-    } else if (tokens[0] == "etype") {
-      if (tokens.size() != 4) return fail("etype wants 3 arguments");
-      KASKADE_ASSIGN_OR_RETURN(std::string name, Unescape(tokens[1]));
-      KASKADE_ASSIGN_OR_RETURN(std::string src, Unescape(tokens[2]));
-      KASKADE_ASSIGN_OR_RETURN(std::string dst, Unescape(tokens[3]));
-      KASKADE_RETURN_IF_ERROR(schema.AddEdgeType(name, src, dst).status());
-    } else if (tokens[0] == "vertex") {
-      if (tokens.size() < 2) return fail("vertex wants a type");
-      KASKADE_ASSIGN_OR_RETURN(std::string type, Unescape(tokens[1]));
-      PropertyMap props;
-      KASKADE_RETURN_IF_ERROR(ParseProperties(tokens, 2, &props));
-      pending_vertices.emplace_back(std::move(type), std::move(props));
-    } else if (tokens[0] == "edge") {
-      if (tokens.size() < 4) return fail("edge wants src dst type");
-      PendingEdge edge;
-      try {
-        edge.source = static_cast<VertexId>(std::stoul(tokens[1]));
-        edge.target = static_cast<VertexId>(std::stoul(tokens[2]));
-      } catch (...) {
-        return fail("bad endpoint id");
-      }
-      KASKADE_ASSIGN_OR_RETURN(edge.type, Unescape(tokens[3]));
-      KASKADE_RETURN_IF_ERROR(ParseProperties(tokens, 4, &edge.props));
-      pending_edges.push_back(std::move(edge));
-    } else {
-      return fail("unknown record '" + tokens[0] + "'");
-    }
-  }
-
-  PropertyGraph graph(schema);
-  for (auto& [type, props] : pending_vertices) {
-    KASKADE_RETURN_IF_ERROR(
-        graph.AddVertex(type, std::move(props)).status());
-  }
-  for (PendingEdge& edge : pending_edges) {
-    KASKADE_RETURN_IF_ERROR(
-        graph.AddEdge(edge.source, edge.target, edge.type,
-                      std::move(edge.props))
-            .status());
-  }
-  return graph;
+  return LoadCheckedGraph(in, line);
 }
 
-std::string GraphToString(const PropertyGraph& graph) {
+std::string GraphToString(const PropertyGraph& graph,
+                          const SaveOptions& options) {
   std::ostringstream os;
-  Status st = SaveGraph(graph, &os);
+  Status st = SaveGraph(graph, &os, options);
   return st.ok() ? os.str() : "";
 }
 
 Result<PropertyGraph> GraphFromString(const std::string& text) {
   std::istringstream is(text);
   return LoadGraph(&is);
+}
+
+// ---------------------------------------------------------------------------
+// GraphDelta serialization (WAL record payloads)
+// ---------------------------------------------------------------------------
+
+std::string SerializeDelta(const GraphDelta& delta) {
+  std::string out;
+  for (const GraphDelta::VertexInsert& v : delta.vertex_inserts) {
+    out += "addv " + EscapeToken(v.type_name);
+    AppendProperties(v.properties, &out);
+    out += "\n";
+  }
+  for (EdgeId e : delta.edge_removals) {
+    out += "rme " + std::to_string(e) + "\n";
+  }
+  for (const GraphDelta::EdgeInsert& e : delta.edge_inserts) {
+    out += "adde " + std::to_string(e.source) + " " +
+           std::to_string(e.target) + " " + EscapeToken(e.type_name);
+    AppendProperties(e.properties, &out);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<GraphDelta> ParseDelta(const std::string& text) {
+  GraphDelta delta;
+  std::istringstream is(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = TokenizeLine(line);
+    if (tokens.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("delta line " +
+                                     std::to_string(line_number) + ": " + why);
+    };
+    if (tokens[0] == "addv") {
+      if (tokens.size() < 2) return fail("addv wants a type");
+      GraphDelta::VertexInsert insert;
+      KASKADE_ASSIGN_OR_RETURN(insert.type_name, UnescapeToken(tokens[1]));
+      KASKADE_RETURN_IF_ERROR(
+          ParsePropertyTokens(tokens, 2, &insert.properties));
+      delta.vertex_inserts.push_back(std::move(insert));
+    } else if (tokens[0] == "adde") {
+      if (tokens.size() < 4) return fail("adde wants src dst type");
+      GraphDelta::EdgeInsert insert;
+      try {
+        insert.source = static_cast<VertexId>(std::stoul(tokens[1]));
+        insert.target = static_cast<VertexId>(std::stoul(tokens[2]));
+      } catch (...) {
+        return fail("bad endpoint id");
+      }
+      KASKADE_ASSIGN_OR_RETURN(insert.type_name, UnescapeToken(tokens[3]));
+      KASKADE_RETURN_IF_ERROR(
+          ParsePropertyTokens(tokens, 4, &insert.properties));
+      delta.edge_inserts.push_back(std::move(insert));
+    } else if (tokens[0] == "rme") {
+      if (tokens.size() != 2) return fail("rme wants an edge id");
+      try {
+        delta.edge_removals.push_back(
+            static_cast<EdgeId>(std::stoul(tokens[1])));
+      } catch (...) {
+        return fail("bad edge id");
+      }
+    } else {
+      return fail("unknown delta record '" + tokens[0] + "'");
+    }
+  }
+  return delta;
 }
 
 }  // namespace kaskade::graph

@@ -1,45 +1,117 @@
 /// \file serialization.h
-/// \brief Text serialization for property graphs.
+/// \brief Text serialization for property graphs and mutation deltas.
 ///
 /// A line-oriented, diff-friendly format so graphs and materialized views
 /// can be saved, shipped, and reloaded (Kaskade materializes views as
 /// physical data objects — this is their on-disk form in this
-/// implementation):
+/// implementation). Since version 2 the format is integrity-checked:
+/// every section carries a CRC32C and the file ends with a whole-file
+/// CRC, so truncation or corruption fails the load with `kDataLoss`
+/// instead of constructing a silently wrong graph:
 ///
 /// ```
-/// kaskade-graph 1
+/// kaskade-graph 2
+/// section schema 3
 /// vtype Job
 /// vtype File
 /// etype WRITES_TO Job File
-/// vertex 0 Job CPU=d:12.5 name=s:job\_0
+/// crc schema 1a2b3c4d
+/// section vertices 2
+/// vertex Job CPU=d:12.5 name=s:job\_0
+/// vertex File
+/// crc vertices 5e6f7a8b
+/// section edges 1
 /// edge 0 1 WRITES_TO timestamp=i:7
+/// crc edges 9c0d1e2f
+/// end 3a4b5c6d
 /// ```
 ///
 /// Property values are typed (`i:`/`d:`/`s:`/`b:`/`n:`); strings escape
 /// whitespace, `=`, and backslash with `\xx` hex escapes. Vertices appear
 /// before edges; ids are implicit (declaration order), matching the
 /// append-only id assignment of `PropertyGraph`.
+///
+/// By default dead elements are dropped and ids compacted. Durability
+/// consumers (checkpoints, whose WAL tail references pre-checkpoint edge
+/// ids) pass `SaveOptions::preserve_tombstones`, which writes dead
+/// elements as `xvertex`/`xedge` records in id order so the reloaded
+/// graph reproduces the exact id space, tombstones included.
+///
+/// Version 1 files (no sections, no checksums) remain loadable.
 
 #ifndef KASKADE_GRAPH_SERIALIZATION_H_
 #define KASKADE_GRAPH_SERIALIZATION_H_
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "graph/delta.h"
 #include "graph/property_graph.h"
 
 namespace kaskade::graph {
 
-/// Writes `graph` (schema, vertices, edges, properties) to `out`.
-Status SaveGraph(const PropertyGraph& graph, std::ostream* out);
+/// \brief Serialization knobs for `SaveGraph`.
+struct SaveOptions {
+  /// Write dead vertices/edges (as `xvertex`/`xedge`) in id order so the
+  /// loaded graph reproduces the saver's exact id space, tombstones
+  /// included. Default (false) drops dead elements and compacts ids.
+  bool preserve_tombstones = false;
+};
 
-/// Reads a graph previously written by `SaveGraph`.
+/// Writes `graph` (schema, vertices, edges, properties) to `out` in the
+/// current (checksummed) format version.
+Status SaveGraph(const PropertyGraph& graph, std::ostream* out,
+                 const SaveOptions& options = {});
+
+/// Reads a graph previously written by `SaveGraph` (any supported
+/// version). A truncated or corrupted version-2 file fails with
+/// `kDataLoss`; structurally invalid content fails with
+/// `kInvalidArgument`. Never constructs a graph from bytes that fail
+/// their checksum.
 Result<PropertyGraph> LoadGraph(std::istream* in);
 
 /// Convenience: serialize to / parse from a string.
-std::string GraphToString(const PropertyGraph& graph);
+std::string GraphToString(const PropertyGraph& graph,
+                          const SaveOptions& options = {});
 Result<PropertyGraph> GraphFromString(const std::string& text);
+
+/// \name Mutation-delta serialization (WAL record payloads).
+///
+/// A `GraphDelta` round-trips through a line-oriented body (`addv` /
+/// `adde` / `rme` records in canonical order). No header or checksum —
+/// the WAL record framing owns integrity.
+/// @{
+std::string SerializeDelta(const GraphDelta& delta);
+Result<GraphDelta> ParseDelta(const std::string& text);
+/// @}
+
+/// \name Shared token codecs.
+///
+/// The building blocks of the graph format, exposed so other persisted
+/// records (view-definition records in checkpoints, WAL payloads) encode
+/// strings and property values identically.
+/// @{
+
+/// Escapes whitespace, '=', '\' and non-printables as `\xx` hex.
+std::string EscapeToken(const std::string& raw);
+Result<std::string> UnescapeToken(const std::string& escaped);
+
+/// Typed property-value codec (`i:`/`d:`/`s:`/`b:`/`n:`).
+std::string EncodePropertyValue(const PropertyValue& value);
+Result<PropertyValue> DecodePropertyValue(const std::string& encoded);
+
+/// Appends " key=value" pairs for every property.
+void AppendProperties(const PropertyMap& props, std::string* out);
+
+/// Parses `key=value` property tokens starting at `tokens[start]`.
+Status ParsePropertyTokens(const std::vector<std::string>& tokens,
+                           size_t start, PropertyMap* props);
+
+/// Whitespace tokenizer shared by every line-oriented record parser.
+std::vector<std::string> TokenizeLine(const std::string& line);
+/// @}
 
 }  // namespace kaskade::graph
 

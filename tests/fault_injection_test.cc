@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/catalog.h"
@@ -293,6 +295,88 @@ TEST(FaultInjectionTest, BatchWorkerFaultNeverLosesABatchMember) {
   EngineTelemetry telemetry = subject.TelemetrySnapshot();
   EXPECT_GT(telemetry.batch_worker_faults, 0u);
   EXPECT_GE(state->failed.load(), telemetry.batch_worker_faults);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: opt-in quarantine repair
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, SelfHealRepairsQuarantinedViewAfterOneShotFault) {
+  auto state = std::make_shared<FaultState>();
+  state->site = FaultSite::kMaintainerApply;
+  state->only_detail = JobConnector().Name();
+
+  EngineOptions options;
+  options.fault_hooks = FailingHooks(state);
+  options.self_heal.enabled = true;
+  options.self_heal.initial_backoff = std::chrono::milliseconds(1);
+  Engine subject(FaultProv(), options);
+  Engine oracle(FaultProv());
+  ASSERT_TRUE(subject.AddMaterializedView(JobConnector()).ok());
+  ASSERT_TRUE(oracle.AddMaterializedView(JobConnector()).ok());
+
+  const graph::PropertyGraph& base = subject.base_graph();
+  std::vector<graph::VertexId> jobs =
+      base.VerticesOfType(base.schema().FindVertexType("Job"));
+  std::vector<graph::VertexId> files =
+      base.VerticesOfType(base.schema().FindVertexType("File"));
+  ASSERT_FALSE(jobs.empty());
+  ASSERT_FALSE(files.empty());
+
+  // One-shot fault: the maintainer fails exactly once, quarantining the
+  // view; every later rebuild attempt is clean.
+  graph::GraphDelta delta;
+  delta.AddEdge(jobs.front(), files.back(), "WRITES_TO");
+  graph::GraphDelta oracle_delta;
+  oracle_delta.AddEdge(jobs.front(), files.back(), "WRITES_TO");
+  ASSERT_TRUE(subject.ApplyDelta(std::move(delta)).ok());
+  ASSERT_TRUE(oracle.ApplyDelta(std::move(oracle_delta)).ok());
+  state->armed.store(false);
+  ASSERT_EQ(state->failed.load(), 1u);
+
+  // The repair worker notices the quarantine and rebuilds the view
+  // without any manual intervention.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (subject.TelemetrySnapshot().quarantine_repairs == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EngineTelemetry telemetry = subject.TelemetrySnapshot();
+  EXPECT_GE(telemetry.quarantine_repairs, 1u);
+  EXPECT_EQ(telemetry.views_quarantined, 0u);
+  const CatalogEntry* healed = subject.catalog().Find(JobConnector().Name());
+  ASSERT_NE(healed, nullptr);
+  EXPECT_EQ(healed->state, ViewState::kReady);
+  EXPECT_TRUE(healed->health.ok());
+
+  // The healed view answers exactly like the fault-free oracle's.
+  const std::string text = datasets::AncestorsQueryText("Job", 2);
+  auto expected = oracle.Execute(text);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  auto got = subject.Execute(text);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(CanonicalRows(got->table), CanonicalRows(expected->table));
+
+  // A second fault round heals again: repair is a loop, not a one-off.
+  state->armed.store(true);
+  graph::GraphDelta second;
+  second.AddEdge(jobs.back(), files.front(), "WRITES_TO");
+  graph::GraphDelta oracle_second;
+  oracle_second.AddEdge(jobs.back(), files.front(), "WRITES_TO");
+  ASSERT_TRUE(subject.ApplyDelta(std::move(second)).ok());
+  ASSERT_TRUE(oracle.ApplyDelta(std::move(oracle_second)).ok());
+  state->armed.store(false);
+  while (subject.TelemetrySnapshot().quarantine_repairs < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(subject.TelemetrySnapshot().quarantine_repairs, 2u);
+  auto after = subject.Execute(text);
+  auto after_expected = oracle.Execute(text);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_TRUE(after_expected.ok()) << after_expected.status();
+  EXPECT_EQ(CanonicalRows(after->table), CanonicalRows(after_expected->table));
 }
 
 }  // namespace
